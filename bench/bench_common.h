@@ -1,0 +1,84 @@
+#ifndef HGMATCH_BENCH_BENCH_COMMON_H_
+#define HGMATCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/indexed_hypergraph.h"
+#include "gen/dataset_profiles.h"
+#include "gen/query_gen.h"
+#include "pairwise/graph.h"
+
+namespace hgmatch::bench {
+
+/// A generated dataset ready for benchmarking.
+struct Dataset {
+  std::string name;
+  const DatasetProfile* profile = nullptr;
+  double scale = 1.0;
+  double generate_seconds = 0;
+  double index_seconds = 0;
+  IndexedHypergraph index = IndexedHypergraph::Build(Hypergraph());
+};
+
+/// Generates and indexes one profile dataset. `scale` <= 0 uses the
+/// profile's default scale.
+Dataset LoadDataset(const std::string& name, double scale = -1);
+
+/// Parses dataset names from argv (arguments after the binary name); when
+/// none are given, returns `defaults`.
+std::vector<std::string> DatasetArgs(int argc, char** argv,
+                                     const std::vector<std::string>& defaults);
+
+/// Number of queries sampled per (dataset, query class). Defaults to 3;
+/// override with the HGMATCH_QUERIES environment variable (the paper uses
+/// 20 — set HGMATCH_QUERIES=20 for a full-fidelity run).
+size_t QueriesPerSetting();
+
+/// Per-query timeout in seconds for baseline methods. Defaults to 1.0;
+/// override with HGMATCH_TIMEOUT (the paper uses 3600).
+double BaselineTimeoutSeconds();
+
+/// Deterministic per-(dataset, setting) query workload.
+std::vector<Hypergraph> QueriesFor(const Dataset& dataset,
+                                   const QuerySettings& settings);
+
+/// Methods compared in the paper's single-thread experiments (Fig 8,
+/// Table IV).
+enum class Method { kHgMatch, kCflH, kDafH, kCeciH, kRapidMatch };
+inline constexpr Method kAllMethods[] = {Method::kHgMatch, Method::kCflH,
+                                         Method::kDafH, Method::kCeciH,
+                                         Method::kRapidMatch};
+const char* MethodName(Method m);
+
+/// Runs one (query, method) pair under a timeout. Caches the bipartite
+/// conversion of the data hypergraph across RapidMatch runs.
+class ComparisonRunner {
+ public:
+  explicit ComparisonRunner(const Dataset& dataset) : dataset_(dataset) {}
+
+  struct Outcome {
+    double seconds = 0;   // elapsed (== timeout when timed out)
+    bool completed = false;
+    uint64_t results = 0;  // embeddings under the method's semantics
+  };
+
+  Outcome Run(const Hypergraph& query, Method method, double timeout);
+
+ private:
+  const Dataset& dataset_;
+  bool bipartite_built_ = false;
+  pairwise::Graph data_bipartite_;
+};
+
+/// Prints the standard bench header: binary purpose + workload parameters.
+void PrintHeader(const std::string& experiment, const std::string& what);
+
+/// Formats seconds in engineering style ("1.23e-04 s" -> "0.123ms").
+std::string FormatSeconds(double seconds);
+
+}  // namespace hgmatch::bench
+
+#endif  // HGMATCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,88 @@
+// Fig 12 (Exp-6, Load Balancing): per-worker busy time with dynamic work
+// stealing vs the static split of first-matched hyperedges
+// (HGMatch-NOSTL), on a high-result q3 query. The paper's finding: without
+// stealing, worker busy times diverge (one straggler dominates); with
+// stealing they are nearly equal.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/hgmatch.h"
+#include "parallel/executor.h"
+
+using namespace hgmatch;        // NOLINT
+using namespace hgmatch::bench; // NOLINT
+
+namespace {
+
+void PrintWorkers(const char* label, const ParallelResult& r) {
+  std::vector<double> busy;
+  for (const WorkerReport& w : r.workers) busy.push_back(w.busy_seconds);
+  std::sort(busy.begin(), busy.end());
+  double sum = 0, max = 0;
+  for (double b : busy) {
+    sum += b;
+    max = std::max(max, b);
+  }
+  const double avg = busy.empty() ? 0 : sum / busy.size();
+  std::printf("  %-14s wall=%8s  worker busy (sorted):", label,
+              FormatSeconds(r.stats.seconds).c_str());
+  for (double b : busy) std::printf(" %7s", FormatSeconds(b).c_str());
+  std::printf("\n  %-14s imbalance max/avg = %.2f\n", "",
+              avg > 0 ? max / avg : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintHeader("Fig 12 (Exp-6)",
+              "Work stealing vs static split (per-worker busy time)");
+  const std::vector<std::string> names = DatasetArgs(argc, argv, {"AR"});
+  for (const std::string& name : names) {
+    Dataset d = LoadDataset(name);
+    std::vector<Hypergraph> queries = QueriesFor(d, kQ3);
+    // Pick the q3 query with the most results (the skew stressor).
+    size_t best = 0;
+    uint64_t best_count = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      MatchOptions probe;
+      probe.limit = 1'000'000;
+      probe.timeout_seconds = 10;
+      Result<MatchStats> r = MatchSequential(d.index, queries[i], probe);
+      if (r.ok() && r.value().embeddings >= best_count) {
+        best_count = r.value().embeddings;
+        best = i;
+      }
+    }
+    if (queries.empty()) continue;
+    const Hypergraph& q = queries[best];
+
+    std::printf("%s q3 (>= %llu embeddings), 8 workers:\n", d.name.c_str(),
+                static_cast<unsigned long long>(best_count));
+    ParallelOptions options;
+    options.num_threads = 8;
+
+    options.work_stealing = false;
+    Result<ParallelResult> nostl = MatchParallel(d.index, q, options);
+    if (nostl.ok()) PrintWorkers("HGMatch-NOSTL", nostl.value());
+
+    options.work_stealing = true;
+    Result<ParallelResult> stl = MatchParallel(d.index, q, options);
+    if (stl.ok()) {
+      PrintWorkers("HGMatch", stl.value());
+      uint64_t steals = 0;
+      for (const WorkerReport& w : stl.value().workers) steals += w.steals;
+      std::printf("  successful steals: %llu\n",
+                  static_cast<unsigned long long>(steals));
+      if (nostl.ok()) {
+        std::printf("  embeddings agree: %s\n",
+                    stl.value().stats.embeddings ==
+                            nostl.value().stats.embeddings
+                        ? "yes"
+                        : "NO (bug!)");
+      }
+    }
+  }
+  return 0;
+}

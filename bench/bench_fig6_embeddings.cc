@@ -1,0 +1,49 @@
+// Fig 6 + Table III: distribution (five-number summary) of the number of
+// embeddings for each query class q2/q3/q4/q6 on each dataset. The paper
+// draws these as box plots; we print the quantiles that define the boxes.
+// Queries whose enumeration exceeds the timeout are counted at their
+// partial count and flagged.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/hgmatch.h"
+#include "util/stats.h"
+
+using namespace hgmatch;        // NOLINT
+using namespace hgmatch::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  PrintHeader("Fig 6 / Table III",
+              "Number-of-embeddings distributions per query class");
+  std::printf("Table III query settings:\n");
+  for (const QuerySettings& s : kAllQuerySettings) {
+    std::printf("  %s: |E|=%u, |V| in [%u, %u]\n", s.name, s.num_edges,
+                s.min_vertices, s.max_vertices);
+  }
+  std::printf("\n%-4s %-3s | %9s %9s %9s %9s %9s | %s\n", "ds", "q", "min",
+              "q1", "median", "q3", "max", "timeouts");
+
+  const std::vector<std::string> names =
+      DatasetArgs(argc, argv, {"HC", "MA", "CH", "CP", "SB", "WT", "TC"});
+  for (const std::string& name : names) {
+    Dataset d = LoadDataset(name);
+    for (const QuerySettings& settings : kAllQuerySettings) {
+      std::vector<double> counts;
+      int timeouts = 0;
+      for (const Hypergraph& q : QueriesFor(d, settings)) {
+        MatchOptions options;
+        options.timeout_seconds = 5 * BaselineTimeoutSeconds();
+        Result<MatchStats> r = MatchSequential(d.index, q, options);
+        if (!r.ok()) continue;
+        counts.push_back(static_cast<double>(r.value().embeddings));
+        timeouts += r.value().timed_out;
+      }
+      const Summary s = Summarize(counts);
+      std::printf("%-4s %-3s | %9.3g %9.3g %9.3g %9.3g %9.3g | %d\n",
+                  d.name.c_str(), settings.name, s.min, s.q1, s.median, s.q3,
+                  s.max, timeouts);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig 7 (Exp-1, Index Building): per dataset, the time to build the
+// inverted hyperedge index, the raw graph size, and the index size. The
+// paper's finding to reproduce: index construction is fast (seconds even at
+// the largest scale) and the index is about the same size as the graph.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+
+using namespace hgmatch;        // NOLINT
+using namespace hgmatch::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  PrintHeader("Fig 7 (Exp-1)", "Index building time and size");
+  std::printf("%-4s | %12s %12s %12s %10s\n", "ds", "index time", "graph size",
+              "index size", "idx/graph");
+  const std::vector<std::string> names = DatasetArgs(
+      argc, argv, {"HC", "MA", "CH", "CP", "SB", "HB", "WT", "TC", "SA", "AR"});
+  for (const std::string& name : names) {
+    Dataset d = LoadDataset(name);
+    const uint64_t graph_bytes = d.index.graph().MemoryBytes();
+    const uint64_t index_bytes = d.index.IndexBytes();
+    std::printf("%-4s | %12s %12s %12s %9.2fx\n", d.name.c_str(),
+                FormatSeconds(d.index_seconds).c_str(),
+                HumanBytes(graph_bytes).c_str(),
+                HumanBytes(index_bytes).c_str(),
+                static_cast<double>(index_bytes) /
+                    static_cast<double>(graph_bytes));
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Motivating application 1 (paper Section I): mining biological networks.
+// Protein interaction data is modelled as a hypergraph whose vertices are
+// proteins (labelled by family) and whose hyperedges are complexes. A
+// biologist expresses a complex pattern of interest as a query hypergraph
+// and finds all occurrences in the network.
+//
+// This example builds a synthetic protein-complex network, plants a known
+// "bridged double complex" motif, and searches for it with both the
+// sequential and the parallel engine.
+
+#include <cstdio>
+
+#include "core/hgmatch.h"
+#include "gen/generator.h"
+#include "parallel/executor.h"
+
+using namespace hgmatch;  // NOLINT: example brevity
+
+namespace {
+
+// Protein families used as vertex labels.
+enum Family : Label { kKinase = 0, kPhosphatase, kScaffold, kReceptor, kNumFamilies };
+
+// The motif: two complexes that share exactly one scaffold protein; one
+// complex contains a receptor, the other a phosphatase, and both contain a
+// kinase. (A classic signalling-pathway shape.)
+Hypergraph MotifQuery() {
+  Hypergraph q;
+  const VertexId scaffold = q.AddVertex(kScaffold);
+  const VertexId kinase1 = q.AddVertex(kKinase);
+  const VertexId receptor = q.AddVertex(kReceptor);
+  const VertexId kinase2 = q.AddVertex(kKinase);
+  const VertexId phosphatase = q.AddVertex(kPhosphatase);
+  (void)q.AddEdge({scaffold, kinase1, receptor});
+  (void)q.AddEdge({scaffold, kinase2, phosphatase});
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  // Background network: heavy-tailed participation, complexes of 2-8
+  // proteins over 4 families.
+  GeneratorConfig config;
+  config.seed = 2026;
+  config.num_vertices = 4000;   // proteins
+  config.num_edges = 12000;     // complexes
+  config.num_labels = kNumFamilies;
+  config.arity_min = 2;
+  config.arity_max = 8;
+  config.arity_param = 0.4;
+  config.vertex_skew = 0.8;     // hub proteins
+  Hypergraph network = GenerateHypergraph(config);
+
+  // Plant a handful of motif instances so the search has guaranteed hits.
+  for (int i = 0; i < 4; ++i) {
+    const VertexId scaffold = network.AddVertex(kScaffold);
+    const VertexId k1 = network.AddVertex(kKinase);
+    const VertexId r = network.AddVertex(kReceptor);
+    const VertexId k2 = network.AddVertex(kKinase);
+    const VertexId p = network.AddVertex(kPhosphatase);
+    (void)network.AddEdge({scaffold, k1, r});
+    (void)network.AddEdge({scaffold, k2, p});
+  }
+
+  std::printf("protein network: %zu proteins, %zu complexes, avg size %.1f\n",
+              network.NumVertices(), network.NumEdges(),
+              network.AverageArity());
+
+  IndexedHypergraph indexed = IndexedHypergraph::Build(std::move(network));
+  std::printf("indexed into %zu signature tables (%llu KB of index)\n",
+              indexed.partitions().size(),
+              static_cast<unsigned long long>(indexed.IndexBytes() / 1024));
+
+  const Hypergraph query = MotifQuery();
+  CollectSink sink(/*cap=*/5);
+  Result<MatchStats> stats =
+      MatchSequential(indexed, query, MatchOptions{}, &sink);
+  if (!stats.ok()) {
+    std::printf("match failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("motif occurrences: %llu (%.3f ms, %llu candidates examined)\n",
+              static_cast<unsigned long long>(stats.value().embeddings),
+              stats.value().seconds * 1e3,
+              static_cast<unsigned long long>(stats.value().candidates));
+  for (const Embedding& m : sink.embeddings()) {
+    std::printf("  complexes (%u, %u) share scaffold\n", m[0], m[1]);
+  }
+
+  // Parallel run for larger networks.
+  ParallelOptions popts;
+  popts.num_threads = 4;
+  Result<ParallelResult> par = MatchParallel(indexed, query, popts);
+  if (par.ok()) {
+    std::printf("parallel engine agrees: %llu occurrences (peak task mem %llu "
+                "bytes)\n",
+                static_cast<unsigned long long>(par.value().stats.embeddings),
+                static_cast<unsigned long long>(par.value().peak_task_bytes));
+  }
+  return 0;
+}

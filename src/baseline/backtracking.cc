@@ -1,0 +1,244 @@
+#include "baseline/backtracking.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baseline/ihs_filter.h"
+#include "util/set_ops.h"
+#include "util/timer.h"
+
+namespace hgmatch {
+
+namespace {
+
+// Failing-set value meaning "an embedding was found below; never prune".
+constexpr uint64_t kFullSet = ~0ULL;
+
+class VertexBacktracker {
+ public:
+  VertexBacktracker(const IndexedHypergraph& data, const Hypergraph& query,
+                    const BaselineOptions& options)
+      : data_(data.graph()),
+        query_(query),
+        options_(options),
+        deadline_(Deadline::After(options.timeout_seconds)) {
+    // Candidate sets: IHS filter, or plain label-degree filtering.
+    if (options.use_ihs) {
+      IhsFilter filter(data);
+      candidates_ = filter.BuildCandidates(query);
+    } else {
+      candidates_.resize(query.NumVertices());
+      for (VertexId v = 0; v < data_.NumVertices(); ++v) {
+        for (VertexId u = 0; u < query.NumVertices(); ++u) {
+          if (query.label(u) == data_.label(v) &&
+              query.degree(u) <= data_.degree(v)) {
+            candidates_[u].push_back(v);
+          }
+        }
+      }
+    }
+    std::vector<size_t> sizes;
+    sizes.reserve(candidates_.size());
+    for (const auto& c : candidates_) sizes.push_back(c.size());
+    order_ = ComputeVertexOrder(query, sizes, options.order);
+
+    mapping_.assign(query.NumVertices(), kInvalidVertex);
+    owner_.assign(data_.NumVertices(), kInvalidVertex);
+    edge_matched_.assign(query.NumEdges(), 0);
+    // Matched query neighbours of each vertex, filled as the order runs.
+    position_.assign(query.NumVertices(), UINT32_MAX);
+    for (uint32_t i = 0; i < order_.size(); ++i) position_[order_[i]] = i;
+    for (VertexId u = 0; u < query.NumVertices(); ++u) {
+      adjacency_.push_back(query.AdjacentVertices(u));
+    }
+  }
+
+  BaselineResult Run() {
+    Timer timer;
+    if (!candidates_.empty()) {
+      bool any_empty = false;
+      for (const auto& c : candidates_) any_empty |= c.empty();
+      if (!any_empty) Recurse(0);
+    }
+    result_.seconds = timer.ElapsedSeconds();
+    return result_;
+  }
+
+ private:
+  uint64_t Mask(VertexId u) const {
+    return options_.failing_sets ? (1ULL << u) : 0;
+  }
+
+  bool ShouldStop() {
+    if (result_.timed_out || result_.limit_hit) return true;
+    if (++poll_counter_ >= 4096) {
+      poll_counter_ = 0;
+      if (deadline_.Expired()) {
+        result_.timed_out = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Theorem III.2: every query hyperedge completed by assigning u must map
+  // onto a data hyperedge. `edge_matched_` counts matched member vertices
+  // per query edge; on completion the image set is looked up by content
+  // hash. On failure *fail_mask is set to the edge's vertex mask.
+  bool EdgesSatisfied(VertexId u, uint64_t* fail_mask) {
+    for (EdgeId e : query_.incident(u)) {
+      if (edge_matched_[e] != query_.arity(e)) continue;
+      image_scratch_.clear();
+      for (VertexId w : query_.edge(e)) image_scratch_.push_back(mapping_[w]);
+      if (data_.FindEdge(image_scratch_, query_.edge_label(e)) ==
+          kInvalidEdge) {
+        if (options_.failing_sets) {
+          *fail_mask = 0;
+          for (VertexId w : query_.edge(e)) *fail_mask |= 1ULL << w;
+        }
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Local adjacency pruning: v must share a data hyperedge with the image
+  // of every matched query neighbour of u.
+  bool AdjacentToMatched(VertexId u, VertexId v, uint64_t* fail_mask) {
+    for (VertexId w : adjacency_[u]) {
+      const VertexId fv = mapping_[w];
+      if (fv == kInvalidVertex) continue;
+      if (!Intersects(data_.incident(v), data_.incident(fv))) {
+        *fail_mask = Mask(u) | Mask(w);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Returns the failing set of this subtree (kFullSet when an embedding was
+  // found below, which disables ancestor pruning).
+  uint64_t Recurse(uint32_t depth) {
+    ++result_.recursions;
+    if (depth == order_.size()) {
+      ++result_.embeddings;
+      if (options_.limit != 0 && result_.embeddings >= options_.limit) {
+        result_.limit_hit = true;
+      }
+      return kFullSet;
+    }
+    const VertexId u = order_[depth];
+    uint64_t failing = Mask(u);
+    bool found = false;
+
+    for (VertexId v : candidates_[u]) {
+      if (ShouldStop()) break;
+      ++result_.candidates_checked;
+      if (owner_[v] != kInvalidVertex) {
+        failing |= Mask(u) | Mask(owner_[v]);
+        continue;
+      }
+      uint64_t fail_mask = 0;
+      if (options_.adjacency_pruning && !AdjacentToMatched(u, v, &fail_mask)) {
+        failing |= fail_mask;
+        continue;
+      }
+      mapping_[u] = v;
+      owner_[v] = u;
+      for (EdgeId e : query_.incident(u)) ++edge_matched_[e];
+      if (EdgesSatisfied(u, &fail_mask)) {
+        const uint64_t child = Recurse(depth + 1);
+        if (child == kFullSet) {
+          found = true;
+        } else if (options_.failing_sets && !found &&
+                   !(child & (1ULL << u))) {
+          // The subtree failed for reasons independent of u's assignment:
+          // no other candidate for u can help (DAF backjumping).
+          for (EdgeId e : query_.incident(u)) --edge_matched_[e];
+          owner_[v] = kInvalidVertex;
+          mapping_[u] = kInvalidVertex;
+          return child;
+        } else {
+          failing |= child;
+        }
+      } else {
+        failing |= fail_mask;
+      }
+      for (EdgeId e : query_.incident(u)) --edge_matched_[e];
+      owner_[v] = kInvalidVertex;
+      mapping_[u] = kInvalidVertex;
+      if (result_.timed_out || result_.limit_hit) break;
+    }
+    return found ? kFullSet : failing;
+  }
+
+  const Hypergraph& data_;
+  const Hypergraph& query_;
+  const BaselineOptions& options_;
+  const Deadline deadline_;
+
+  std::vector<std::vector<VertexId>> candidates_;
+  std::vector<VertexId> order_;
+  std::vector<uint32_t> position_;
+  std::vector<VertexSet> adjacency_;
+  std::vector<VertexId> mapping_;   // f(u), per query vertex
+  std::vector<VertexId> owner_;     // inverse of f, per data vertex
+  std::vector<uint32_t> edge_matched_;
+  VertexSet image_scratch_;
+  uint64_t poll_counter_ = 0;
+  BaselineResult result_;
+};
+
+}  // namespace
+
+Result<BaselineResult> MatchByVertex(const IndexedHypergraph& data,
+                                     const Hypergraph& query,
+                                     const BaselineOptions& options) {
+  if (query.NumVertices() == 0 || query.NumEdges() == 0) {
+    return Status::InvalidArgument("query hypergraph must be non-empty");
+  }
+  if (options.failing_sets && query.NumVertices() > 64) {
+    return Status::InvalidArgument(
+        "failing-set pruning supports at most 64 query vertices");
+  }
+  VertexBacktracker search(data, query, options);
+  return search.Run();
+}
+
+namespace {
+
+Result<BaselineResult> RunNamed(const IndexedHypergraph& data,
+                                const Hypergraph& query,
+                                VertexOrderStrategy order, bool failing_sets,
+                                double timeout_seconds) {
+  BaselineOptions options;
+  options.order = order;
+  options.failing_sets = failing_sets && query.NumVertices() <= 64;
+  options.timeout_seconds = timeout_seconds;
+  return MatchByVertex(data, query, options);
+}
+
+}  // namespace
+
+Result<BaselineResult> MatchCflH(const IndexedHypergraph& data,
+                                 const Hypergraph& query,
+                                 double timeout_seconds) {
+  return RunNamed(data, query, VertexOrderStrategy::kCflStyle, false,
+                  timeout_seconds);
+}
+
+Result<BaselineResult> MatchDafH(const IndexedHypergraph& data,
+                                 const Hypergraph& query,
+                                 double timeout_seconds) {
+  return RunNamed(data, query, VertexOrderStrategy::kDafStyle, true,
+                  timeout_seconds);
+}
+
+Result<BaselineResult> MatchCeciH(const IndexedHypergraph& data,
+                                  const Hypergraph& query,
+                                  double timeout_seconds) {
+  return RunNamed(data, query, VertexOrderStrategy::kCeciStyle, false,
+                  timeout_seconds);
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,38 @@
+#include "baseline/bipartite.h"
+
+#include <algorithm>
+
+namespace hgmatch {
+
+pairwise::Graph ConvertToBipartite(const Hypergraph& h, size_t label_base) {
+  std::vector<Label> labels;
+  labels.reserve(h.NumVertices() + h.NumEdges());
+  for (VertexId v = 0; v < h.NumVertices(); ++v) labels.push_back(h.label(v));
+  // Injective encoding of (hyperedge label, arity) above the vertex-label
+  // range: equal-label, equal-arity hyperedge vertices — and only those —
+  // may match.
+  const size_t arity_span = static_cast<size_t>(h.MaxArity()) + 1;
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    labels.push_back(static_cast<Label>(label_base +
+                                        h.edge_label(e) * arity_span +
+                                        h.arity(e)));
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(h.NumIncidences());
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    const VertexId edge_vertex = static_cast<VertexId>(h.NumVertices() + e);
+    for (VertexId v : h.edge(e)) edges.emplace_back(v, edge_vertex);
+  }
+  return pairwise::Graph::Build(std::move(labels), std::move(edges));
+}
+
+Result<pairwise::PairwiseResult> MatchViaBipartite(
+    const Hypergraph& data, const Hypergraph& query,
+    const pairwise::PairwiseOptions& options) {
+  const size_t label_base = std::max(data.NumLabels(), query.NumLabels());
+  const pairwise::Graph data_bg = ConvertToBipartite(data, label_base);
+  const pairwise::Graph query_bg = ConvertToBipartite(query, label_base);
+  return pairwise::MatchPairwise(data_bg, query_bg, options);
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,37 @@
+#ifndef HGMATCH_BASELINE_BIPARTITE_H_
+#define HGMATCH_BASELINE_BIPARTITE_H_
+
+#include "core/hypergraph.h"
+#include "pairwise/graph.h"
+#include "pairwise/pairwise_matcher.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// The bipartite-conversion strawman (Section I, Fig 2): a hypergraph
+/// H = (V, E) becomes a pairwise graph whose vertices are V ∪ E and whose
+/// edges are the (vertex, hyperedge) incidences. Original vertices keep
+/// their labels; each hyperedge vertex receives the reserved label
+/// `num_original_labels + arity`. Labelling hyperedge vertices by arity
+/// makes the reduction *exact* for non-induced subgraph isomorphism: a
+/// query hyperedge-vertex of arity a maps only to data hyperedge-vertices
+/// of the same arity, and its a matched neighbours then exhaust the data
+/// hyperedge's members, so subset containment implies set equality.
+///
+/// `label_base` must be >= the number of labels of every hypergraph that
+/// will be matched against the result (use the data hypergraph's
+/// NumLabels() for both conversions so labels align).
+pairwise::Graph ConvertToBipartite(const Hypergraph& h, size_t label_base);
+
+/// The paper's RapidMatch comparison path: convert both hypergraphs to
+/// bipartite pairwise graphs and run conventional subgraph matching.
+/// `embeddings` counts pairwise vertex mappings, which correspond 1:1 to
+/// the injective vertex mappings of Definition III.3 (the hyperedge-vertex
+/// assignment is uniquely determined in a simple hypergraph).
+Result<pairwise::PairwiseResult> MatchViaBipartite(
+    const Hypergraph& data, const Hypergraph& query,
+    const pairwise::PairwiseOptions& options = {});
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_BASELINE_BIPARTITE_H_

@@ -1,0 +1,118 @@
+#include "baseline/ihs_filter.h"
+
+#include <algorithm>
+
+#include "core/signature.h"
+#include "util/set_ops.h"
+
+namespace hgmatch {
+
+namespace {
+
+// Builds a sorted (key, count) histogram in place.
+template <typename K>
+void BuildHistogram(std::vector<std::pair<K, uint32_t>>* hist) {
+  std::sort(hist->begin(), hist->end());
+  size_t w = 0;
+  for (size_t r = 0; r < hist->size();) {
+    const K key = (*hist)[r].first;
+    uint32_t c = 0;
+    while (r < hist->size() && (*hist)[r].first == key) {
+      c += (*hist)[r].second;
+      ++r;
+    }
+    (*hist)[w++] = {key, c};
+  }
+  hist->resize(w);
+}
+
+// True iff every (key, count) of `a` is dominated by `b`'s count for the
+// same key. Both histograms sorted by key.
+template <typename K>
+bool HistogramDominated(const std::vector<std::pair<K, uint32_t>>& a,
+                        const std::vector<std::pair<K, uint32_t>>& b) {
+  size_t j = 0;
+  for (const auto& [key, count] : a) {
+    while (j < b.size() && b[j].first < key) ++j;
+    if (j >= b.size() || b[j].first != key || b[j].second < count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+IhsFilter::IhsFilter(const IndexedHypergraph& data)
+    : data_(data), adj_size_(data.graph().NumVertices(), UINT32_MAX) {}
+
+uint32_t IhsFilter::AdjacencySize(VertexId v) {
+  if (adj_size_[v] == UINT32_MAX) {
+    adj_size_[v] =
+        static_cast<uint32_t>(data_.graph().AdjacentVertices(v).size());
+  }
+  return adj_size_[v];
+}
+
+bool IhsFilter::Passes(const Hypergraph& query, VertexId u, VertexId v) {
+  const Hypergraph& data = data_.graph();
+  // Condition 1: label and degree.
+  if (query.label(u) != data.label(v)) return false;
+  if (query.degree(u) > data.degree(v)) return false;
+
+  // Condition 2: number of adjacent vertices.
+  const uint32_t adj_u =
+      static_cast<uint32_t>(query.AdjacentVertices(u).size());
+  if (adj_u > AdjacencySize(v)) return false;
+
+  // Condition 3: arity containment. Query-side histogram.
+  query_arity_hist_.clear();
+  for (EdgeId e : query.incident(u)) {
+    query_arity_hist_.emplace_back(query.arity(e), 1u);
+  }
+  BuildHistogram(&query_arity_hist_);
+  std::vector<std::pair<uint32_t, uint32_t>> data_arity_hist;
+  for (EdgeId e : data.incident(v)) {
+    data_arity_hist.emplace_back(data.arity(e), 1u);
+  }
+  BuildHistogram(&data_arity_hist);
+  if (!HistogramDominated(query_arity_hist_, data_arity_hist)) return false;
+
+  // Condition 4: incident hyperedge signatures. Signatures are identified
+  // with data partition ids; a query signature absent from the data
+  // immediately disqualifies every v.
+  query_sig_hist_.clear();
+  for (EdgeId e : query.incident(u)) {
+    const Partition* p = data_.FindPartition(SignatureKeyOf(query, e));
+    if (p == nullptr) return false;
+    query_sig_hist_.emplace_back(p->id(), 1u);
+  }
+  BuildHistogram(&query_sig_hist_);
+  std::vector<std::pair<PartitionId, uint32_t>> data_sig_hist;
+  for (EdgeId e : data.incident(v)) {
+    data_sig_hist.emplace_back(data_.PartitionOf(e), 1u);
+  }
+  BuildHistogram(&data_sig_hist);
+  return HistogramDominated(query_sig_hist_, data_sig_hist);
+}
+
+std::vector<std::vector<VertexId>> IhsFilter::BuildCandidates(
+    const Hypergraph& query) {
+  const Hypergraph& data = data_.graph();
+  std::vector<std::vector<VertexId>> candidates(query.NumVertices());
+  // Group data vertices by label once to avoid |V(q)| full scans.
+  std::vector<std::vector<VertexId>> by_label(data.NumLabels());
+  for (VertexId v = 0; v < data.NumVertices(); ++v) {
+    by_label[data.label(v)].push_back(v);
+  }
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    const Label l = query.label(u);
+    if (l >= by_label.size()) continue;
+    for (VertexId v : by_label[l]) {
+      if (Passes(query, u, v)) candidates[u].push_back(v);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,56 @@
+#ifndef HGMATCH_BASELINE_IHS_FILTER_H_
+#define HGMATCH_BASELINE_IHS_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/indexed_hypergraph.h"
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// The incident hyperedge structure (IHS) candidate-vertex filter of
+/// Ha et al. [30], as added by the paper to every match-by-vertex baseline
+/// (Section III.B). A data vertex v enters the candidate set of query
+/// vertex u iff
+///   1. l(u) = l(v) and d(u) <= d(v)                       (degree & label)
+///   2. |adj(u)| <= |adj(v)|                               (adjacent nodes)
+///   3. for every arity a, |he_a(u)| <= |he_a(v)|          (arity containment)
+///   4. for every incident signature s, the number of u's incident query
+///      hyperedges with signature s does not exceed the number of v's
+///      incident data hyperedges with signature s          (hyperedge labels)
+/// Condition 4 is the per-signature-multiplicity reading of the paper's
+/// "∃e1,e2, ∀σ, |e1(σ)| = |e2(σ)|" condition; it is exact-safe (any valid
+/// embedding maps u's incident hyperedges to *distinct*, signature-equal
+/// data hyperedges incident to v) and subsumes 1 and 3, which are still
+/// evaluated first as cheap early exits.
+class IhsFilter {
+ public:
+  /// `data` must outlive the filter. Per-data-vertex statistics (adjacency
+  /// size, arity histogram) are memoised lazily: the filter touches only
+  /// data vertices whose label occurs in a query.
+  explicit IhsFilter(const IndexedHypergraph& data);
+
+  /// Candidate vertex set of each query vertex (indexed by query vertex
+  /// id), sorted ascending. Any empty set proves the query has no
+  /// embedding.
+  std::vector<std::vector<VertexId>> BuildCandidates(const Hypergraph& query);
+
+  /// Single-pair test (conditions 1-4); exposed for tests.
+  bool Passes(const Hypergraph& query, VertexId u, VertexId v);
+
+ private:
+  uint32_t AdjacencySize(VertexId v);
+
+  const IndexedHypergraph& data_;
+  // Lazily-memoised |adj(v)|; UINT32_MAX = not yet computed.
+  std::vector<uint32_t> adj_size_;
+  // Scratch for per-call histograms.
+  std::vector<std::pair<uint32_t, uint32_t>> query_arity_hist_;
+  std::vector<std::pair<PartitionId, uint32_t>> query_sig_hist_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_BASELINE_IHS_FILTER_H_

@@ -1,0 +1,185 @@
+#include "baseline/ordering.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/set_ops.h"
+
+namespace hgmatch {
+
+namespace {
+
+// Adjacency lists of the query's vertex-adjacency graph (two vertices are
+// adjacent iff they share a hyperedge).
+std::vector<VertexSet> BuildAdjacency(const Hypergraph& query) {
+  std::vector<VertexSet> adj(query.NumVertices());
+  for (VertexId u = 0; u < query.NumVertices(); ++u) {
+    adj[u] = query.AdjacentVertices(u);
+  }
+  return adj;
+}
+
+// Greedy connected order minimising a per-vertex score.
+template <typename ScoreFn>
+std::vector<VertexId> GreedyConnectedOrder(const Hypergraph& query,
+                                           const std::vector<VertexSet>& adj,
+                                           ScoreFn score) {
+  const size_t n = query.NumVertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<uint8_t> used(n, 0);
+  std::vector<uint8_t> frontier(n, 0);
+
+  auto pick = [&](bool restrict_frontier) {
+    VertexId best = kInvalidVertex;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (VertexId u = 0; u < n; ++u) {
+      if (used[u]) continue;
+      if (restrict_frontier && !frontier[u]) continue;
+      const double s = score(u);
+      if (s < best_score) {
+        best_score = s;
+        best = u;
+      }
+    }
+    return best;
+  };
+
+  while (order.size() < n) {
+    VertexId next = pick(!order.empty());
+    if (next == kInvalidVertex) next = pick(false);  // disconnected query
+    used[next] = 1;
+    order.push_back(next);
+    for (VertexId w : adj[next]) {
+      if (!used[w]) frontier[w] = 1;
+    }
+  }
+  return order;
+}
+
+// BFS levels from `root` over the adjacency graph; unreachable vertices get
+// level UINT32_MAX and are appended afterwards.
+std::vector<uint32_t> BfsLevels(const std::vector<VertexSet>& adj,
+                                VertexId root) {
+  std::vector<uint32_t> level(adj.size(), UINT32_MAX);
+  std::deque<VertexId> queue = {root};
+  level[root] = 0;
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId w : adj[u]) {
+      if (level[w] == UINT32_MAX) {
+        level[w] = level[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<VertexId> BfsOrder(const Hypergraph& query,
+                               const std::vector<VertexSet>& adj,
+                               const std::vector<size_t>& cand, VertexId root) {
+  std::vector<uint32_t> level = BfsLevels(adj, root);
+  std::vector<VertexId> order(query.NumVertices());
+  for (VertexId u = 0; u < order.size(); ++u) order[u] = u;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (level[a] != level[b]) return level[a] < level[b];
+    return cand[a] < cand[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ClassifyCoreForestLeaf(const Hypergraph& query) {
+  const size_t n = query.NumVertices();
+  std::vector<VertexSet> adj = BuildAdjacency(query);
+  std::vector<uint32_t> deg(n);
+  for (VertexId u = 0; u < n; ++u) deg[u] = static_cast<uint32_t>(adj[u].size());
+
+  // Iteratively peel degree<=1 vertices; survivors form the 2-core.
+  std::vector<uint8_t> removed(n, 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < n; ++u) {
+      if (removed[u] || deg[u] > 1) continue;
+      removed[u] = 1;
+      changed = true;
+      for (VertexId w : adj[u]) {
+        if (!removed[w] && deg[w] > 0) --deg[w];
+      }
+    }
+  }
+
+  std::vector<uint8_t> tier(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    if (!removed[u]) {
+      tier[u] = 0;  // core
+    } else if (adj[u].size() <= 1) {
+      tier[u] = 2;  // leaf
+    } else {
+      tier[u] = 1;  // forest
+    }
+  }
+  return tier;
+}
+
+std::vector<VertexId> ComputeVertexOrder(
+    const Hypergraph& query, const std::vector<size_t>& candidate_sizes,
+    VertexOrderStrategy strategy) {
+  const std::vector<VertexSet> adj = BuildAdjacency(query);
+  const auto& cand = candidate_sizes;
+
+  switch (strategy) {
+    case VertexOrderStrategy::kGqlStyle:
+      return GreedyConnectedOrder(query, adj, [&](VertexId u) {
+        return static_cast<double>(cand[u]);
+      });
+
+    case VertexOrderStrategy::kCflStyle: {
+      const std::vector<uint8_t> tier = ClassifyCoreForestLeaf(query);
+      // Tier dominates; candidate size breaks ties (leaves go last, which
+      // postpones their Cartesian products as CFL intends).
+      return GreedyConnectedOrder(query, adj, [&](VertexId u) {
+        return static_cast<double>(tier[u]) * 1e12 +
+               static_cast<double>(cand[u]);
+      });
+    }
+
+    case VertexOrderStrategy::kDafStyle: {
+      // Root = argmin |C(u)| / d(u) over the adjacency graph.
+      VertexId root = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (VertexId u = 0; u < query.NumVertices(); ++u) {
+        const double d = std::max<size_t>(1, adj[u].size());
+        const double s = static_cast<double>(cand[u]) / d;
+        if (s < best) {
+          best = s;
+          root = u;
+        }
+      }
+      return BfsOrder(query, adj, cand, root);
+    }
+
+    case VertexOrderStrategy::kCeciStyle: {
+      // Root = smallest candidate set among maximum-degree vertices.
+      size_t max_deg = 0;
+      for (const auto& a : adj) max_deg = std::max(max_deg, a.size());
+      VertexId root = 0;
+      size_t best = SIZE_MAX;
+      for (VertexId u = 0; u < query.NumVertices(); ++u) {
+        if (adj[u].size() == max_deg && cand[u] < best) {
+          best = cand[u];
+          root = u;
+        }
+      }
+      return BfsOrder(query, adj, cand, root);
+    }
+  }
+  return {};
+}
+
+}  // namespace hgmatch

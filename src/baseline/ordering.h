@@ -1,0 +1,48 @@
+#ifndef HGMATCH_BASELINE_ORDERING_H_
+#define HGMATCH_BASELINE_ORDERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// Matching-order strategies of the match-by-vertex baselines. The paper
+/// extends the published CFL / DAF / CECI implementations with the generic
+/// hyperedge constraint (Theorem III.2) and the IHS filter; what
+/// distinguishes the three algorithms inside that common framework is
+/// chiefly how they order query vertices, which these strategies reproduce:
+///
+///  * kGqlStyle  — greedy minimum-candidate-set order (the classic GQL
+///                 heuristic), connectivity-constrained.
+///  * kCflStyle  — CFL's core-forest-leaf decomposition: 2-core vertices
+///                 first, then forest (internal tree) vertices, then
+///                 degree-1 leaves, each tier ordered by candidate count
+///                 (postponing the "Cartesian products" of leaves).
+///  * kDafStyle  — DAF's rooted-DAG BFS order: root = min |C(u)|/d(u),
+///                 then BFS levels with candidate-size tie-break (a
+///                 topological order of the query DAG).
+///  * kCeciStyle — CECI's BFS-tree order from the root chosen as the vertex
+///                 with the smallest candidate set among max-degree
+///                 vertices.
+///
+/// Every strategy returns a connected order whenever the query is connected
+/// (each vertex after the first shares a hyperedge with an earlier vertex).
+enum class VertexOrderStrategy { kGqlStyle, kCflStyle, kDafStyle, kCeciStyle };
+
+/// Computes a vertex matching order. `candidate_sizes[u]` is |C(u)| from
+/// the IHS filter (used as the cost signal, as in the original algorithms).
+std::vector<VertexId> ComputeVertexOrder(
+    const Hypergraph& query, const std::vector<size_t>& candidate_sizes,
+    VertexOrderStrategy strategy);
+
+/// Classifies query vertices for kCflStyle: 0 = core (in the 2-core of the
+/// adjacency structure), 1 = forest, 2 = leaf (degree-1 in the adjacency
+/// graph). Exposed for tests.
+std::vector<uint8_t> ClassifyCoreForestLeaf(const Hypergraph& query);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_BASELINE_ORDERING_H_

@@ -1,0 +1,185 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+#include "core/validation.h"
+#include "util/set_ops.h"
+
+namespace hgmatch {
+
+Expander::Expander(const IndexedHypergraph& data, const QueryPlan& plan)
+    : data_(&data), plan_(&plan) {}
+
+void Expander::BuildVertexCounts(const EdgeId* embedding, uint32_t step) {
+  counts_.clear();
+  const Hypergraph& h = data_->graph();
+  for (uint32_t j = 0; j < step; ++j) {
+    for (VertexId v : h.edge(embedding[j])) counts_.emplace_back(v, 1u);
+  }
+  std::sort(counts_.begin(), counts_.end());
+  // Collapse runs of the same vertex into (vertex, multiplicity).
+  size_t w = 0;
+  for (size_t r = 0; r < counts_.size();) {
+    const VertexId v = counts_[r].first;
+    uint32_t c = 0;
+    while (r < counts_.size() && counts_[r].first == v) {
+      ++c;
+      ++r;
+    }
+    counts_[w++] = {v, c};
+  }
+  counts_.resize(w);
+}
+
+uint32_t Expander::CountOf(VertexId v) const {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), std::make_pair(v, 0u),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == counts_.end() || it->first != v) return 0;
+  return it->second;
+}
+
+void Expander::GenerateCandidatesImpl(const EdgeId* embedding, uint32_t step,
+                                      std::vector<EdgeId>* out) {
+  out->clear();
+  const PlanStep& s = plan_->steps[step];
+  const Partition* part = data_->FindPartition(s.signature);
+  if (part == nullptr) return;  // Observation V.1: no table, no candidates.
+
+  if (s.adjacent_prev.empty()) {
+    // SCAN semantics: first hyperedge of the order (or of a disconnected
+    // component) matches every hyperedge of its signature table.
+    *out = part->edges();
+  } else {
+    const Hypergraph& h = data_->graph();
+
+    // Line 1: vertices matched by non-adjacent query hyperedges must not be
+    // incident to the new hyperedge (Observation V.3).
+    non_incident_.clear();
+    for (uint32_t j : s.nonadjacent_prev) {
+      const VertexSet& fe = h.edge(embedding[j]);
+      non_incident_.insert(non_incident_.end(), fe.begin(), fe.end());
+    }
+    SortUnique(&non_incident_);
+
+    // Lines 3-7: for each shared query vertex u, collect V_incdt (the data
+    // vertices that may be matched to u: Observations V.2/V.3/V.4), union
+    // their posting lists in this signature's table, and intersect across
+    // all shared vertices.
+    bool first = true;
+    for (size_t a = 0; a < s.adjacent_prev.size(); ++a) {
+      const auto& ap = s.adjacent_prev[a];
+      const VertexSet& fe = h.edge(embedding[ap.step]);
+      for (size_t k = 0; k < ap.shared.size(); ++k) {
+        const PlanStep::SharedVertexInfo info = s.shared_info[a][k];
+        incident_scratch_.clear();
+        for (VertexId v : fe) {
+          if (h.label(v) != info.label) continue;
+          if (CountOf(v) != info.degree_before) continue;
+          if (Contains(non_incident_, v)) continue;
+          incident_scratch_.push_back(v);  // fe sorted => scratch sorted
+        }
+        if (incident_scratch_.empty()) {
+          out->clear();
+          return;
+        }
+        list_ptrs_.clear();
+        for (VertexId v : incident_scratch_) {
+          const EdgeSet& postings = part->Postings(v);
+          if (!postings.empty()) list_ptrs_.push_back(&postings);
+        }
+        UnionMany(list_ptrs_, &union_scratch_);
+        if (first) {
+          out->swap(union_scratch_);
+          first = false;
+        } else {
+          Intersect(*out, union_scratch_, &intersect_scratch_);
+          out->swap(intersect_scratch_);
+        }
+        if (out->empty()) return;
+      }
+    }
+  }
+
+  // A data hyperedge can appear in at most one embedding position (query
+  // hyperedges are distinct vertex sets and f is injective); drop matched
+  // edges that share this signature so downstream validation never sees a
+  // duplicate.
+  for (uint32_t j = 0; j < step; ++j) {
+    if (data_->PartitionOf(embedding[j]) != part->id()) continue;
+    auto it = std::lower_bound(out->begin(), out->end(), embedding[j]);
+    if (it != out->end() && *it == embedding[j]) out->erase(it);
+  }
+}
+
+bool Expander::IsValidImpl(const EdgeId* embedding, uint32_t step, EdgeId c,
+                           bool* vertex_count_ok) {
+  *vertex_count_ok = false;
+  const PlanStep& s = plan_->steps[step];
+  const Hypergraph& h = data_->graph();
+
+  // Observation V.5: |V(q')| must equal |V(H_m')|.
+  uint32_t new_vertices = 0;
+  for (VertexId v : h.edge(c)) {
+    if (CountOf(v) == 0) ++new_vertices;
+  }
+  const uint32_t distinct_after =
+      static_cast<uint32_t>(counts_.size()) + new_vertices;
+  if (distinct_after != s.num_query_vertices_after) return false;
+  *vertex_count_ok = true;
+
+  // Theorem V.2: the multiset of vertex profiles of the new hyperedge's
+  // vertices must equal the precomputed query-side profiles.
+  data_profiles_.clear();
+  for (VertexId v : h.edge(c)) {
+    PlanStep::Profile p;
+    p.label = h.label(v);
+    p.steps_mask = 1ULL << step;  // v ∈ m'[step] = c
+    for (uint32_t j = 0; j < step; ++j) {
+      if (Contains(h.edge(embedding[j]), v)) p.steps_mask |= 1ULL << j;
+    }
+    data_profiles_.push_back(p);
+  }
+  std::sort(data_profiles_.begin(), data_profiles_.end());
+  return data_profiles_ == s.query_profiles;
+}
+
+void Expander::Expand(const EdgeId* embedding, uint32_t step,
+                      std::vector<EdgeId>* out_valid, MatchStats* stats) {
+  BuildVertexCounts(embedding, step);
+  GenerateCandidatesImpl(embedding, step, &candidate_scratch_);
+  stats->candidates += candidate_scratch_.size();
+  out_valid->clear();
+  for (EdgeId c : candidate_scratch_) {
+    bool vertex_count_ok = false;
+    if (IsValidImpl(embedding, step, c, &vertex_count_ok)) {
+      out_valid->push_back(c);
+    }
+    if (vertex_count_ok) ++stats->filtered;
+  }
+  ++stats->expansions;
+}
+
+void Expander::GenerateCandidates(const EdgeId* embedding, uint32_t step,
+                                  std::vector<EdgeId>* out) {
+  BuildVertexCounts(embedding, step);
+  GenerateCandidatesImpl(embedding, step, out);
+}
+
+bool Expander::IsValidEmbedding(const EdgeId* embedding, uint32_t step,
+                                EdgeId c, bool* vertex_count_ok) {
+  BuildVertexCounts(embedding, step);
+  return IsValidImpl(embedding, step, c, vertex_count_ok);
+}
+
+bool Expander::VerifyExact(const EdgeId* embedding, uint32_t size) const {
+  std::vector<EdgeId> order;
+  order.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    order.push_back(plan_->steps[i].query_edge);
+  }
+  return EmbeddingConsistent(*plan_->query, data_->graph(), order.data(),
+                             embedding, size);
+}
+
+}  // namespace hgmatch

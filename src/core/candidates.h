@@ -1,0 +1,84 @@
+#ifndef HGMATCH_CORE_CANDIDATES_H_
+#define HGMATCH_CORE_CANDIDATES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/indexed_hypergraph.h"
+#include "core/matching_order.h"
+#include "core/result.h"
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// Reusable per-thread expansion state: candidate generation (Algorithm 4)
+/// plus embedding validation (Algorithm 5) for one compiled query against
+/// one indexed data hypergraph. Buffers grow to the working-set size of the
+/// query and are then reused, so the steady-state hot path performs no
+/// allocation. The parallel engine creates one Expander per worker thread;
+/// an Expander itself is not thread-safe.
+class Expander {
+ public:
+  /// `data` and `plan` must outlive the Expander.
+  Expander(const IndexedHypergraph& data, const QueryPlan& plan);
+
+  /// The EXPAND operator body: given the partial embedding
+  /// m = embedding[0..step-1], appends to *out_valid every data hyperedge c
+  /// such that m + c is a valid partial embedding of the first step+1 query
+  /// hyperedges. Runs Algorithm 4 then Algorithm 5 on each candidate, and
+  /// accumulates the candidates/filtered counters of Fig 9 into *stats.
+  /// For step 0 this is the SCAN operator (full signature-table scan).
+  void Expand(const EdgeId* embedding, uint32_t step,
+              std::vector<EdgeId>* out_valid, MatchStats* stats);
+
+  /// Standalone GenerateHyperedgeCandidates (Algorithm 4); sorted output.
+  /// Prefer Expand() in hot loops.
+  void GenerateCandidates(const EdgeId* embedding, uint32_t step,
+                          std::vector<EdgeId>* out);
+
+  /// Standalone IsValidEmbedding (Algorithm 5) for candidate `c` appended
+  /// at `step`. `vertex_count_ok` reports whether the Observation V.5 check
+  /// passed (the "Filtered" counter of Fig 9). Prefer Expand() in hot loops.
+  bool IsValidEmbedding(const EdgeId* embedding, uint32_t step, EdgeId c,
+                        bool* vertex_count_ok);
+
+  /// Exact re-verification of a (partial or complete) embedding through the
+  /// global vertex-class argument (see validation.h). Used by strict mode
+  /// and tests.
+  bool VerifyExact(const EdgeId* embedding, uint32_t size) const;
+
+  const QueryPlan& plan() const { return *plan_; }
+  const IndexedHypergraph& data() const { return *data_; }
+
+ private:
+  // Rebuilds vertex -> multiplicity for embedding[0..step-1] into counts_
+  // (sorted by vertex id). Must be called before the *Impl helpers.
+  void BuildVertexCounts(const EdgeId* embedding, uint32_t step);
+
+  // Binary search in counts_; zero when absent.
+  uint32_t CountOf(VertexId v) const;
+
+  // Algorithm 4 / Algorithm 5 bodies; require counts_ to be current.
+  void GenerateCandidatesImpl(const EdgeId* embedding, uint32_t step,
+                              std::vector<EdgeId>* out);
+  bool IsValidImpl(const EdgeId* embedding, uint32_t step, EdgeId c,
+                   bool* vertex_count_ok);
+
+  const IndexedHypergraph* data_;
+  const QueryPlan* plan_;
+
+  // Scratch, reused across calls.
+  std::vector<std::pair<VertexId, uint32_t>> counts_;   // d_Hm(v)
+  std::vector<VertexId> non_incident_;                  // V_nonincdt, sorted
+  std::vector<VertexId> incident_scratch_;              // V_incdt per u
+  std::vector<EdgeId> union_scratch_;                   // per-u posting union
+  std::vector<EdgeId> intersect_scratch_;
+  std::vector<EdgeId> candidate_scratch_;               // Expand() candidates
+  std::vector<const std::vector<EdgeId>*> list_ptrs_;   // UnionMany inputs
+  std::vector<PlanStep::Profile> data_profiles_;        // Algorithm 5 side
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_CANDIDATES_H_

@@ -1,0 +1,75 @@
+#include "core/hgmatch.h"
+
+#include <vector>
+
+#include "util/timer.h"
+
+namespace hgmatch {
+
+MatchStats ExecutePlanSequential(const IndexedHypergraph& data,
+                                 const QueryPlan& plan,
+                                 const MatchOptions& options,
+                                 EmbeddingSink* sink) {
+  MatchStats stats;
+  Timer timer;
+  const Deadline deadline = Deadline::After(options.timeout_seconds);
+  const uint32_t n = plan.NumSteps();
+
+  Expander expander(data, plan);
+  std::vector<std::vector<EdgeId>> level_valid(n);
+  std::vector<size_t> cursor(n, 0);
+  std::vector<EdgeId> embedding(n, kInvalidEdge);
+
+  expander.Expand(embedding.data(), 0, &level_valid[0], &stats);
+  int depth = 0;
+  uint64_t steps_since_poll = 0;
+
+  while (depth >= 0) {
+    if (++steps_since_poll >= 4096) {
+      steps_since_poll = 0;
+      if (deadline.Expired()) {
+        stats.timed_out = true;
+        break;
+      }
+    }
+    if (cursor[depth] >= level_valid[depth].size()) {
+      // This subtree is exhausted; backtrack.
+      cursor[depth] = 0;
+      level_valid[depth].clear();
+      --depth;
+      continue;
+    }
+    const EdgeId c = level_valid[depth][cursor[depth]++];
+    embedding[depth] = c;
+    if (static_cast<uint32_t>(depth) + 1 == n) {
+      if (options.strict_validation &&
+          !expander.VerifyExact(embedding.data(), n)) {
+        continue;  // Never taken if Algorithm 5 is exact; tests assert this.
+      }
+      ++stats.embeddings;
+      if (sink != nullptr) sink->Emit(embedding.data(), n);
+      if (options.limit != 0 && stats.embeddings >= options.limit) {
+        stats.limit_hit = true;
+        break;
+      }
+    } else {
+      ++depth;
+      expander.Expand(embedding.data(), depth, &level_valid[depth], &stats);
+      cursor[depth] = 0;
+    }
+  }
+
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Result<MatchStats> MatchSequential(const IndexedHypergraph& data,
+                                   const Hypergraph& query,
+                                   const MatchOptions& options,
+                                   EmbeddingSink* sink) {
+  Result<QueryPlan> plan = BuildQueryPlan(query, data);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlanSequential(data, plan.value(), options, sink);
+}
+
+}  // namespace hgmatch

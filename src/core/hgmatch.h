@@ -1,0 +1,33 @@
+#ifndef HGMATCH_CORE_HGMATCH_H_
+#define HGMATCH_CORE_HGMATCH_H_
+
+#include "core/candidates.h"
+#include "core/hypergraph.h"
+#include "core/indexed_hypergraph.h"
+#include "core/matching_order.h"
+#include "core/result.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Single-threaded match-by-hyperedge enumeration (Algorithm 2 executed
+/// with the LIFO task schedule of Section VI.B, i.e. depth-first over the
+/// task tree, which bounds memory to one candidate list per plan step).
+/// Embeddings are emitted to `sink` (may be null to only count) in matching
+/// order; see QueryPlan::Order() for the query-edge order of the tuple.
+MatchStats ExecutePlanSequential(const IndexedHypergraph& data,
+                                 const QueryPlan& plan,
+                                 const MatchOptions& options,
+                                 EmbeddingSink* sink);
+
+/// Convenience wrapper: plans the query (Algorithm 3) and runs
+/// ExecutePlanSequential. Fails if the query is empty or exceeds 64
+/// hyperedges.
+Result<MatchStats> MatchSequential(const IndexedHypergraph& data,
+                                   const Hypergraph& query,
+                                   const MatchOptions& options = {},
+                                   EmbeddingSink* sink = nullptr);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_HGMATCH_H_

@@ -1,0 +1,151 @@
+#include "core/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/set_ops.h"
+
+namespace hgmatch {
+
+uint64_t HashVertexSet(const VertexSet& vertices) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (VertexId v : vertices) {
+    h = Mix64(h ^ (static_cast<uint64_t>(v) + 0x100000001b3ULL));
+  }
+  return h;
+}
+
+Hypergraph Hypergraph::Clone() const {
+  Hypergraph copy;
+  copy.labels_ = labels_;
+  copy.edges_ = edges_;
+  copy.edge_labels_ = edge_labels_;
+  copy.incident_ = incident_;
+  copy.edge_hash_ = edge_hash_;
+  copy.num_labels_ = num_labels_;
+  copy.num_edge_labels_ = num_edge_labels_;
+  copy.max_arity_ = max_arity_;
+  copy.total_incidences_ = total_incidences_;
+  return copy;
+}
+
+VertexId Hypergraph::AddVertex(Label label) {
+  labels_.push_back(label);
+  incident_.emplace_back();
+  if (label + 1 > num_labels_) num_labels_ = label + 1;
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+VertexId Hypergraph::AddVertices(size_t count, Label label) {
+  const VertexId first = static_cast<VertexId>(labels_.size());
+  labels_.resize(labels_.size() + count, label);
+  incident_.resize(incident_.size() + count);
+  if (count > 0 && label + 1 > num_labels_) num_labels_ = label + 1;
+  return first;
+}
+
+Result<EdgeId> Hypergraph::AddEdge(VertexSet vertices, Label edge_label) {
+  SortUnique(&vertices);
+  if (vertices.empty()) {
+    return Status::InvalidArgument("hyperedge must be non-empty");
+  }
+  if (vertices.back() >= labels_.size()) {
+    return Status::InvalidArgument("hyperedge mentions unknown vertex " +
+                                   std::to_string(vertices.back()));
+  }
+  const uint64_t h = Mix64(HashVertexSet(vertices) ^ edge_label);
+  auto it = edge_hash_.find(h);
+  if (it != edge_hash_.end()) {
+    for (EdgeId existing : it->second) {
+      if (edges_[existing] == vertices &&
+          edge_labels_[existing] == edge_label) {
+        return existing;
+      }
+    }
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  max_arity_ = std::max(max_arity_, static_cast<uint32_t>(vertices.size()));
+  total_incidences_ += vertices.size();
+  if (edge_label + 1 > num_edge_labels_) num_edge_labels_ = edge_label + 1;
+  for (VertexId v : vertices) incident_[v].push_back(id);
+  edges_.push_back(std::move(vertices));
+  edge_labels_.push_back(edge_label);
+  edge_hash_[h].push_back(id);
+  return id;
+}
+
+EdgeId Hypergraph::FindEdge(VertexSet vertices, Label edge_label) const {
+  SortUnique(&vertices);
+  auto it = edge_hash_.find(Mix64(HashVertexSet(vertices) ^ edge_label));
+  if (it != edge_hash_.end()) {
+    for (EdgeId e : it->second) {
+      if (edges_[e] == vertices && edge_labels_[e] == edge_label) return e;
+    }
+  }
+  return kInvalidEdge;
+}
+
+double Hypergraph::AverageArity() const {
+  if (edges_.empty()) return 0;
+  return static_cast<double>(total_incidences_) /
+         static_cast<double>(edges_.size());
+}
+
+VertexSet Hypergraph::AdjacentVertices(VertexId v) const {
+  VertexSet out;
+  for (EdgeId e : incident_[v]) {
+    out.insert(out.end(), edges_[e].begin(), edges_[e].end());
+  }
+  SortUnique(&out);
+  // Remove v itself.
+  auto it = std::lower_bound(out.begin(), out.end(), v);
+  if (it != out.end() && *it == v) out.erase(it);
+  return out;
+}
+
+EdgeSet Hypergraph::AdjacentEdges(EdgeId e) const {
+  EdgeSet out;
+  for (VertexId v : edges_[e]) {
+    out.insert(out.end(), incident_[v].begin(), incident_[v].end());
+  }
+  SortUnique(&out);
+  auto it = std::lower_bound(out.begin(), out.end(), e);
+  if (it != out.end() && *it == e) out.erase(it);
+  return out;
+}
+
+bool Hypergraph::IsConnected() const {
+  if (edges_.empty()) return true;
+  std::vector<uint8_t> edge_seen(edges_.size(), 0);
+  std::vector<uint8_t> vertex_seen(labels_.size(), 0);
+  std::vector<EdgeId> stack = {0};
+  edge_seen[0] = 1;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    const EdgeId e = stack.back();
+    stack.pop_back();
+    for (VertexId v : edges_[e]) {
+      if (vertex_seen[v]) continue;
+      vertex_seen[v] = 1;
+      for (EdgeId next : incident_[v]) {
+        if (!edge_seen[next]) {
+          edge_seen[next] = 1;
+          ++reached;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return reached == edges_.size();
+}
+
+uint64_t Hypergraph::MemoryBytes() const {
+  uint64_t bytes = labels_.size() * sizeof(Label);
+  // Each incidence appears once in an edge list and once in a vertex list.
+  bytes += 2 * total_incidences_ * sizeof(VertexId);
+  bytes += edges_.size() * sizeof(VertexSet);
+  bytes += incident_.size() * sizeof(EdgeSet);
+  return bytes;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,139 @@
+#ifndef HGMATCH_CORE_HYPERGRAPH_H_
+#define HGMATCH_CORE_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// An undirected, vertex-labelled simple hypergraph H = (V, E, l, Sigma)
+/// (Definition III.1). Vertices carry a label; hyperedges are non-empty sets
+/// of vertices. The structure is append-only: vertices and hyperedges are
+/// added once and never removed, which matches the offline-preprocess /
+/// online-query lifecycle of HGMatch (Section IV.A).
+///
+/// Invariants maintained by this class:
+///  * every hyperedge's vertex list is sorted ascending and duplicate-free
+///    ("repeated vertices in one hyperedge" are removed, as in the paper's
+///    dataset preprocessing, Section VII.A);
+///  * no two hyperedges contain the same vertex set (repeated hyperedges are
+///    rejected at insert);
+///  * each vertex's incident-hyperedge list he(v) is sorted ascending.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  // Movable but not copyable by accident: copies of multi-GB hypergraphs
+  // should be explicit via Clone().
+  Hypergraph(Hypergraph&&) = default;
+  Hypergraph& operator=(Hypergraph&&) = default;
+  Hypergraph(const Hypergraph&) = delete;
+  Hypergraph& operator=(const Hypergraph&) = delete;
+
+  /// Deep copy, for tests and tools that genuinely need one.
+  Hypergraph Clone() const;
+
+  /// Adds a vertex with the given label and returns its id (ids are dense,
+  /// starting at 0).
+  VertexId AddVertex(Label label);
+
+  /// Adds `count` vertices sharing one label; returns the first new id.
+  VertexId AddVertices(size_t count, Label label);
+
+  /// Adds a hyperedge over `vertices` (order/duplicates irrelevant; the set
+  /// is canonicalised), optionally carrying a hyperedge label
+  /// (paper footnote 2: edge-labelled hypergraphs add an equality
+  /// constraint on hyperedge labels, which this library folds into the
+  /// signature partition key). Returns the new edge id, or the id of the
+  /// existing identical (vertex set, label) hyperedge (the hypergraph stays
+  /// simple), or InvalidArgument if the set is empty or mentions an unknown
+  /// vertex. Unlabelled hyperedges carry label 0.
+  Result<EdgeId> AddEdge(VertexSet vertices, Label edge_label = 0);
+
+  size_t NumVertices() const { return labels_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// Number of distinct labels actually used (max label + 1 over vertices).
+  size_t NumLabels() const { return num_labels_; }
+
+  Label label(VertexId v) const { return labels_[v]; }
+
+  /// The (sorted) vertex set of a hyperedge.
+  const VertexSet& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Arity a(e): number of vertices in the hyperedge.
+  uint32_t arity(EdgeId e) const {
+    return static_cast<uint32_t>(edges_[e].size());
+  }
+
+  /// Incident hyperedges he(v), sorted ascending by edge id.
+  const EdgeSet& incident(VertexId v) const { return incident_[v]; }
+
+  /// Degree d(v) = |he(v)|.
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(incident_[v].size());
+  }
+
+  /// Maximum arity over all hyperedges (0 if edgeless).
+  uint32_t MaxArity() const { return max_arity_; }
+
+  /// Average arity a_H = sum a(e) / |E| (0 if edgeless).
+  double AverageArity() const;
+
+  /// Total number of (vertex, hyperedge) incidences = sum of arities.
+  uint64_t NumIncidences() const { return total_incidences_; }
+
+  /// All vertices adjacent to v (vertices sharing a hyperedge with v,
+  /// excluding v itself), sorted. Computed on demand.
+  VertexSet AdjacentVertices(VertexId v) const;
+
+  /// All hyperedges adjacent to e (sharing at least one vertex, excluding e),
+  /// sorted. Computed on demand.
+  EdgeSet AdjacentEdges(EdgeId e) const;
+
+  /// Hyperedge label (0 unless set at AddEdge).
+  Label edge_label(EdgeId e) const { return edge_labels_[e]; }
+
+  /// Number of distinct hyperedge labels in use (max + 1; 1 when only the
+  /// default label 0 occurs, 0 when edgeless).
+  size_t NumEdgeLabels() const { return num_edge_labels_; }
+
+  /// Returns the id of the hyperedge with exactly this vertex set (order
+  /// and duplicates in `vertices` are irrelevant) and this hyperedge label,
+  /// or kInvalidEdge when absent. O(1) expected (content hash).
+  EdgeId FindEdge(VertexSet vertices, Label edge_label = 0) const;
+
+  /// True iff the hyperedge set is connected when viewed as a graph whose
+  /// nodes are hyperedges and whose links are shared vertices. Vertices in
+  /// no hyperedge are ignored. An edgeless hypergraph counts as connected.
+  bool IsConnected() const;
+
+  /// Estimated in-memory size of the raw hypergraph: labels plus all
+  /// hyperedge vertex lists plus incidence lists (what the paper calls the
+  /// "graph size" in Exp-1).
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<VertexSet> edges_;
+  std::vector<Label> edge_labels_;
+  std::vector<EdgeSet> incident_;
+  // Dedup map: 64-bit content hash of the canonical vertex set -> edge ids
+  // with that hash (collisions resolved by full comparison).
+  std::unordered_map<uint64_t, std::vector<EdgeId>> edge_hash_;
+  size_t num_labels_ = 0;
+  size_t num_edge_labels_ = 0;
+  uint32_t max_arity_ = 0;
+  uint64_t total_incidences_ = 0;
+};
+
+/// 64-bit content hash of a canonical (sorted, unique) vertex set.
+uint64_t HashVertexSet(const VertexSet& vertices);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_HYPERGRAPH_H_

@@ -1,0 +1,111 @@
+#include "core/hypergraph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hgmatch {
+
+namespace {
+
+// Gini coefficient of a non-negative sample (sorted internally).
+double Gini(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double cum = 0, weighted = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    cum += values[i];
+    weighted += values[i] * static_cast<double>(i + 1);
+  }
+  if (cum == 0) return 0;
+  const double n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace
+
+HypergraphStats ComputeStats(const Hypergraph& h) {
+  HypergraphStats s;
+  s.num_vertices = h.NumVertices();
+  s.num_edges = h.NumEdges();
+  s.num_labels = h.NumLabels();
+  s.num_incidences = h.NumIncidences();
+  s.max_arity = h.MaxArity();
+  s.avg_arity = h.AverageArity();
+  s.connected = h.IsConnected();
+
+  s.arity_histogram.assign(static_cast<size_t>(s.max_arity) + 1, 0);
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) ++s.arity_histogram[h.arity(e)];
+
+  s.label_counts.assign(s.num_labels, 0);
+  std::vector<double> degrees;
+  degrees.reserve(h.NumVertices());
+  uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < h.NumVertices(); ++v) {
+    if (h.label(v) < s.label_counts.size()) ++s.label_counts[h.label(v)];
+    const uint32_t d = h.degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    degree_sum += d;
+    degrees.push_back(static_cast<double>(d));
+  }
+  s.avg_degree = h.NumVertices() == 0
+                     ? 0
+                     : static_cast<double>(degree_sum) /
+                           static_cast<double>(h.NumVertices());
+  s.degree_histogram.assign(static_cast<size_t>(s.max_degree) + 1, 0);
+  for (VertexId v = 0; v < h.NumVertices(); ++v) {
+    ++s.degree_histogram[h.degree(v)];
+  }
+  s.degree_gini = Gini(std::move(degrees));
+  return s;
+}
+
+std::string HypergraphStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%llu |E|=%llu |Sigma|=%llu incidences=%llu\n"
+                "arity: max=%u avg=%.2f\n"
+                "degree: max=%u avg=%.2f gini=%.3f\n"
+                "connected=%s",
+                static_cast<unsigned long long>(num_vertices),
+                static_cast<unsigned long long>(num_edges),
+                static_cast<unsigned long long>(num_labels),
+                static_cast<unsigned long long>(num_incidences), max_arity,
+                avg_arity, max_degree, avg_degree, degree_gini,
+                connected ? "yes" : "no");
+  return buf;
+}
+
+PartitionStats ComputePartitionStats(const IndexedHypergraph& index) {
+  PartitionStats s;
+  s.num_partitions = index.partitions().size();
+  if (s.num_partitions == 0) return s;
+  std::vector<uint64_t> sizes;
+  uint64_t total = 0;
+  for (const Partition& p : index.partitions()) {
+    sizes.push_back(p.size());
+    total += p.size();
+    s.largest_partition = std::max<uint64_t>(s.largest_partition, p.size());
+  }
+  s.avg_partition_size =
+      static_cast<double>(total) / static_cast<double>(s.num_partitions);
+  std::sort(sizes.rbegin(), sizes.rend());
+  uint64_t top = 0;
+  for (size_t i = 0; i < std::min<size_t>(10, sizes.size()); ++i) {
+    top += sizes[i];
+  }
+  s.top10_fraction =
+      total == 0 ? 0 : static_cast<double>(top) / static_cast<double>(total);
+  return s;
+}
+
+std::string PartitionStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "signature tables=%llu largest=%llu avg=%.1f top10=%.1f%%",
+                static_cast<unsigned long long>(num_partitions),
+                static_cast<unsigned long long>(largest_partition),
+                avg_partition_size, 100 * top10_fraction);
+  return buf;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,64 @@
+#ifndef HGMATCH_CORE_HYPERGRAPH_STATS_H_
+#define HGMATCH_CORE_HYPERGRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/indexed_hypergraph.h"
+
+namespace hgmatch {
+
+/// Descriptive statistics of a hypergraph, in the shape of the paper's
+/// Table II plus the distributional detail (degree/arity/label histograms)
+/// that the workload generator is calibrated against. Used by the CLI's
+/// `stats` command and by tests that validate generated datasets.
+struct HypergraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_labels = 0;
+  uint64_t num_incidences = 0;
+  uint32_t max_arity = 0;
+  double avg_arity = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0;
+  bool connected = false;
+
+  /// histogram[i] = number of hyperedges with arity i (index 0 unused).
+  std::vector<uint64_t> arity_histogram;
+  /// histogram[i] = number of vertices with degree i.
+  std::vector<uint64_t> degree_histogram;
+  /// count of vertices per label, indexed by label.
+  std::vector<uint64_t> label_counts;
+
+  /// Gini coefficient of the degree sequence in [0, 1] — 0 means all
+  /// vertices participate equally, values near 1 mean a few hubs dominate
+  /// (the workload-skew signal motivating work stealing, Section VI.C).
+  double degree_gini = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes all statistics in one pass over the hypergraph.
+HypergraphStats ComputeStats(const Hypergraph& h);
+
+/// Signature-table statistics of an indexed hypergraph: number of tables,
+/// largest table, and the skew of table sizes (how concentrated hyperedges
+/// are in few signatures — the property that makes SCAN selective).
+struct PartitionStats {
+  uint64_t num_partitions = 0;
+  uint64_t largest_partition = 0;
+  double avg_partition_size = 0;
+  /// Fraction of all hyperedges in the 10 largest tables.
+  double top10_fraction = 0;
+
+  std::string ToString() const;
+};
+
+PartitionStats ComputePartitionStats(const IndexedHypergraph& index);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_HYPERGRAPH_STATS_H_

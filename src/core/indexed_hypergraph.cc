@@ -1,0 +1,53 @@
+#include "core/indexed_hypergraph.h"
+
+namespace hgmatch {
+
+namespace {
+const EdgeSet kEmptyPostings;
+}  // namespace
+
+IndexedHypergraph IndexedHypergraph::Build(Hypergraph graph) {
+  IndexedHypergraph out;
+  out.graph_ = std::move(graph);
+  const Hypergraph& h = out.graph_;
+  out.edge_partition_.resize(h.NumEdges(), kInvalidPartition);
+  // Edge ids are visited in ascending order, so Partition::Add keeps every
+  // posting list sorted with no extra sort pass.
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    Signature s = SignatureKeyOf(h, e);
+    auto [it, inserted] = out.by_signature_.try_emplace(
+        s, static_cast<PartitionId>(out.partitions_.size()));
+    if (inserted) {
+      out.partitions_.emplace_back(it->second, std::move(s));
+    }
+    out.partitions_[it->second].Add(e, h.edge(e));
+    out.edge_partition_[e] = it->second;
+  }
+  return out;
+}
+
+const Partition* IndexedHypergraph::FindPartition(const Signature& s) const {
+  auto it = by_signature_.find(s);
+  if (it == by_signature_.end()) return nullptr;
+  return &partitions_[it->second];
+}
+
+size_t IndexedHypergraph::Cardinality(const Signature& s) const {
+  const Partition* p = FindPartition(s);
+  return p == nullptr ? 0 : p->size();
+}
+
+const EdgeSet& IndexedHypergraph::Postings(const Signature& s,
+                                           VertexId v) const {
+  const Partition* p = FindPartition(s);
+  if (p == nullptr) return kEmptyPostings;
+  return p->Postings(v);
+}
+
+uint64_t IndexedHypergraph::IndexBytes() const {
+  uint64_t bytes = edge_partition_.size() * sizeof(PartitionId);
+  for (const Partition& p : partitions_) bytes += p.IndexBytes();
+  return bytes;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,63 @@
+#ifndef HGMATCH_CORE_INDEXED_HYPERGRAPH_H_
+#define HGMATCH_CORE_INDEXED_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/partition.h"
+#include "core/signature.h"
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// The product of HGMatch's offline preprocessing stage (Section IV.A):
+/// the data hypergraph stored as per-signature hyperedge tables, each with
+/// its lightweight inverted hyperedge index. Built once per data hypergraph;
+/// no further auxiliary structure is created at query time.
+class IndexedHypergraph {
+ public:
+  /// Builds the partitioned storage + inverted indexes. Takes ownership of
+  /// the hypergraph (the raw structure is still accessible via graph()).
+  static IndexedHypergraph Build(Hypergraph graph);
+
+  IndexedHypergraph(IndexedHypergraph&&) = default;
+  IndexedHypergraph& operator=(IndexedHypergraph&&) = default;
+  IndexedHypergraph(const IndexedHypergraph&) = delete;
+  IndexedHypergraph& operator=(const IndexedHypergraph&) = delete;
+
+  const Hypergraph& graph() const { return graph_; }
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// The partition holding all hyperedges of signature s, or nullptr when no
+  /// data hyperedge has that signature.
+  const Partition* FindPartition(const Signature& s) const;
+
+  /// Hyperedge cardinality Card(s, H) = number of data hyperedges with
+  /// signature s (Definition V.2). O(1) after the hash lookup.
+  size_t Cardinality(const Signature& s) const;
+
+  /// Partition that contains data hyperedge e.
+  PartitionId PartitionOf(EdgeId e) const { return edge_partition_[e]; }
+
+  /// Posting list he(v, s): incident hyperedges of v with signature s,
+  /// ascending global ids. Empty if the signature or vertex is absent.
+  const EdgeSet& Postings(const Signature& s, VertexId v) const;
+
+  /// Total bytes of all inverted indexes + table headers (Exp-1 metric).
+  uint64_t IndexBytes() const;
+
+ private:
+  IndexedHypergraph() = default;
+
+  Hypergraph graph_;
+  std::vector<Partition> partitions_;
+  std::unordered_map<Signature, PartitionId, SignatureHash> by_signature_;
+  std::vector<PartitionId> edge_partition_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_INDEXED_HYPERGRAPH_H_

@@ -1,0 +1,31 @@
+#include "core/partition.h"
+
+namespace hgmatch {
+
+namespace {
+const EdgeSet kEmptyPostings;
+}  // namespace
+
+const EdgeSet& Partition::Postings(VertexId v) const {
+  auto it = index_.find(v);
+  if (it == index_.end()) return kEmptyPostings;
+  return it->second;
+}
+
+void Partition::Add(EdgeId e, const VertexSet& vertices) {
+  edges_.push_back(e);
+  for (VertexId v : vertices) index_[v].push_back(e);
+}
+
+uint64_t Partition::IndexBytes() const {
+  uint64_t bytes = signature_.size() * sizeof(Label);
+  bytes += edges_.size() * sizeof(EdgeId);
+  for (const auto& [v, postings] : index_) {
+    (void)v;
+    bytes += sizeof(VertexId) + postings.size() * sizeof(EdgeId) +
+             sizeof(EdgeSet);
+  }
+  return bytes;
+}
+
+}  // namespace hgmatch

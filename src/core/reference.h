@@ -1,0 +1,30 @@
+#ifndef HGMATCH_CORE_REFERENCE_H_
+#define HGMATCH_CORE_REFERENCE_H_
+
+#include "core/hypergraph.h"
+#include "core/indexed_hypergraph.h"
+#include "core/result.h"
+
+namespace hgmatch {
+
+/// Brute-force oracle with HGMatch's *edge-tuple* result semantics: counts
+/// injective assignments of query hyperedges (in query-edge-id order) to
+/// signature-equal data hyperedges that admit a consistent vertex bijection
+/// (checked exactly via EmbeddingConsistent at every prefix). Exponential;
+/// only for tests on small inputs. Embeddings are emitted indexed by query
+/// edge id.
+MatchStats ReferenceEdgeTupleMatch(const IndexedHypergraph& data,
+                                   const Hypergraph& query,
+                                   const MatchOptions& options = {},
+                                   EmbeddingSink* sink = nullptr);
+
+/// Brute-force oracle with *vertex-mapping* semantics (Definition III.3
+/// taken literally): counts injective, label-preserving vertex mappings f
+/// such that the image of every query hyperedge is a data hyperedge. This
+/// is the result notion enumerated naturally by match-by-vertex baselines.
+uint64_t ReferenceVertexMatchCount(const Hypergraph& data,
+                                   const Hypergraph& query);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_REFERENCE_H_

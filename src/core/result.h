@@ -1,0 +1,116 @@
+#ifndef HGMATCH_CORE_RESULT_H_
+#define HGMATCH_CORE_RESULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// An embedding in match-by-hyperedge form: the i-th entry is the data
+/// hyperedge matched to the i-th query hyperedge of the matching order
+/// (m = (e_H1, ..., e_Hn), Section III.A).
+using Embedding = std::vector<EdgeId>;
+
+/// Consumer of complete embeddings (the SINK dataflow operator's logic,
+/// Section VI.A). Implementations must be thread-safe when used with the
+/// parallel executor, which may call Emit concurrently.
+class EmbeddingSink {
+ public:
+  virtual ~EmbeddingSink() = default;
+
+  /// Called once per embedding; `edges` has exactly |E(q)| entries, ordered
+  /// by the matching order. The pointed-to storage is only valid during the
+  /// call.
+  virtual void Emit(const EdgeId* edges, uint32_t size) = 0;
+};
+
+/// Counts embeddings without storing them (the evaluation mode used by all
+/// experiments in the paper, Section VII.A "Metrics").
+class CountSink : public EmbeddingSink {
+ public:
+  void Emit(const EdgeId*, uint32_t) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Stores up to `cap` embeddings (and counts all of them).
+class CollectSink : public EmbeddingSink {
+ public:
+  explicit CollectSink(size_t cap = SIZE_MAX) : cap_(cap) {}
+
+  void Emit(const EdgeId* edges, uint32_t size) override {
+    ++count_;
+    if (embeddings_.size() < cap_) {
+      embeddings_.emplace_back(edges, edges + size);
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  const std::vector<Embedding>& embeddings() const { return embeddings_; }
+
+ private:
+  size_t cap_;
+  uint64_t count_ = 0;
+  std::vector<Embedding> embeddings_;
+};
+
+/// Adapts a std::function. Handy in examples and tests.
+class CallbackSink : public EmbeddingSink {
+ public:
+  explicit CallbackSink(std::function<void(const EdgeId*, uint32_t)> fn)
+      : fn_(std::move(fn)) {}
+
+  void Emit(const EdgeId* edges, uint32_t size) override { fn_(edges, size); }
+
+ private:
+  std::function<void(const EdgeId*, uint32_t)> fn_;
+};
+
+/// Execution statistics of one matching run. The counter triple
+/// (candidates, filtered, embeddings) reproduces the quantities of the
+/// paper's Exp-3 (Fig 9): `candidates` counts hyperedges produced by
+/// Algorithm 4, `filtered` those surviving the vertex-count check
+/// (Observation V.5), and `embeddings` the final validated results.
+struct MatchStats {
+  uint64_t embeddings = 0;
+  uint64_t candidates = 0;
+  uint64_t filtered = 0;
+  uint64_t expansions = 0;  // number of EXPAND task executions
+  bool timed_out = false;
+  bool limit_hit = false;
+  double seconds = 0;
+
+  MatchStats& operator+=(const MatchStats& other) {
+    embeddings += other.embeddings;
+    candidates += other.candidates;
+    filtered += other.filtered;
+    expansions += other.expansions;
+    timed_out = timed_out || other.timed_out;
+    limit_hit = limit_hit || other.limit_hit;
+    return *this;
+  }
+};
+
+/// Options shared by all matchers in this library.
+struct MatchOptions {
+  /// Per-query wall-clock timeout in seconds; <= 0 disables (paper Exp-2
+  /// uses 1 hour; our benches default to a few seconds at laptop scale).
+  double timeout_seconds = 0;
+
+  /// Stop after this many embeddings; 0 = unlimited.
+  uint64_t limit = 0;
+
+  /// When true, completed embeddings are re-verified with an exact
+  /// bijection search in addition to Algorithm 5 (used by tests; the paper's
+  /// validation is Algorithm 5 alone).
+  bool strict_validation = false;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_RESULT_H_

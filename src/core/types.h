@@ -1,0 +1,47 @@
+#ifndef HGMATCH_CORE_TYPES_H_
+#define HGMATCH_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hgmatch {
+
+/// Identifier of a vertex in a hypergraph. Vertices are densely numbered
+/// from 0 to |V|-1.
+using VertexId = uint32_t;
+
+/// Identifier of a hyperedge in a hypergraph. Hyperedges are densely numbered
+/// from 0 to |E|-1 in insertion order.
+using EdgeId = uint32_t;
+
+/// Vertex label. Labels are densely numbered from 0 to |Sigma|-1.
+using Label = uint32_t;
+
+/// Identifier of a hyperedge-signature partition (Section IV.B).
+using PartitionId = uint32_t;
+
+/// Sentinel meaning "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel meaning "no hyperedge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Sentinel meaning "no label".
+inline constexpr Label kInvalidLabel = std::numeric_limits<Label>::max();
+
+/// Sentinel meaning "no partition".
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/// A set of vertices, always kept sorted ascending and duplicate-free.
+using VertexSet = std::vector<VertexId>;
+
+/// A set of hyperedge ids, always kept sorted ascending and duplicate-free.
+using EdgeSet = std::vector<EdgeId>;
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_TYPES_H_

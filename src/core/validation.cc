@@ -1,0 +1,51 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace hgmatch {
+
+namespace {
+
+// Builds the sorted list of (label, incidence mask) classes, one entry per
+// distinct vertex appearing in edges[order[0..n-1]].
+void BuildClasses(const Hypergraph& h, const EdgeId* edges, uint32_t n,
+                  std::vector<std::pair<VertexId, uint64_t>>* scratch,
+                  std::vector<std::pair<Label, uint64_t>>* classes) {
+  scratch->clear();
+  for (uint32_t j = 0; j < n; ++j) {
+    for (VertexId v : h.edge(edges[j])) {
+      scratch->emplace_back(v, 1ULL << j);
+    }
+  }
+  std::sort(scratch->begin(), scratch->end());
+  classes->clear();
+  size_t i = 0;
+  while (i < scratch->size()) {
+    const VertexId v = (*scratch)[i].first;
+    uint64_t mask = 0;
+    while (i < scratch->size() && (*scratch)[i].first == v) {
+      mask |= (*scratch)[i].second;
+      ++i;
+    }
+    classes->emplace_back(h.label(v), mask);
+  }
+  std::sort(classes->begin(), classes->end());
+}
+
+}  // namespace
+
+bool EmbeddingConsistent(const Hypergraph& query, const Hypergraph& data,
+                         const EdgeId* order, const EdgeId* matched,
+                         uint32_t n) {
+  std::vector<std::pair<VertexId, uint64_t>> scratch;
+  std::vector<std::pair<Label, uint64_t>> query_classes;
+  std::vector<std::pair<Label, uint64_t>> data_classes;
+  BuildClasses(query, order, n, &scratch, &query_classes);
+  BuildClasses(data, matched, n, &scratch, &data_classes);
+  // Sorted multisets of classes must be identical (equal class populations).
+  return query_classes == data_classes;
+}
+
+}  // namespace hgmatch

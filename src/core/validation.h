@@ -1,0 +1,34 @@
+#ifndef HGMATCH_CORE_VALIDATION_H_
+#define HGMATCH_CORE_VALIDATION_H_
+
+#include <cstdint>
+
+#include "core/hypergraph.h"
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// Exact consistency check of a (partial or complete) match-by-hyperedge
+/// assignment: given query hyperedges (order[0..n-1]) matched to data
+/// hyperedges (matched[0..n-1]), decides whether an injective, label- and
+/// incidence-preserving vertex bijection f exists between the vertices of
+/// the partial query and the vertices of the partial embedding
+/// (Lemma V.1 generalised to the whole prefix).
+///
+/// The check is exact and runs in O(total incidences * log): group the
+/// vertices on both sides into (label, incidence step mask) classes; a
+/// consistent bijection exists iff every class has the same population on
+/// both sides. Sufficiency: map each query vertex to any same-class data
+/// vertex; incidence masks then guarantee f(e_qj) ⊆ m_j with equal arity
+/// (signatures match by construction), hence f(e_qj) = m_j. Necessity: any
+/// valid f preserves each vertex's class. This is Theorem V.2 applied to
+/// *all* vertices rather than only the last hyperedge's.
+///
+/// Requires n <= 64 and that `matched` contains no duplicate data edge.
+bool EmbeddingConsistent(const Hypergraph& query, const Hypergraph& data,
+                         const EdgeId* order, const EdgeId* matched,
+                         uint32_t n);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_VALIDATION_H_

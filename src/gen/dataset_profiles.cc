@@ -1,0 +1,99 @@
+#include "gen/dataset_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hgmatch {
+
+Hypergraph DatasetProfile::Generate(double scale) const {
+  GeneratorConfig scaled = config;
+  scaled.num_vertices = std::max<uint32_t>(
+      8, static_cast<uint32_t>(std::llround(config.num_vertices * scale)));
+  scaled.num_edges = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::llround(config.num_edges * scale)));
+  scaled.arity_max = std::min(scaled.arity_max, scaled.num_vertices);
+  return GenerateHypergraph(scaled);
+}
+
+namespace {
+
+// Geometric success probability targeting the given mean arity.
+double GeoP(double mean, uint32_t arity_min) {
+  const double extra = std::max(0.05, mean - arity_min);
+  return 1.0 / (extra + 1.0);
+}
+
+DatasetProfile Make(std::string name, std::string description, uint64_t v,
+                    uint64_t e, uint64_t labels, uint32_t amax, double aavg,
+                    double vertex_skew, double label_skew,
+                    double label_locality, double default_scale) {
+  DatasetProfile p;
+  p.name = std::move(name);
+  p.description = std::move(description);
+  p.paper_vertices = v;
+  p.paper_edges = e;
+  p.paper_labels = labels;
+  p.paper_max_arity = amax;
+  p.paper_avg_arity = aavg;
+  p.default_scale = default_scale;
+
+  GeneratorConfig& c = p.config;
+  c.seed = 0x48474d;  // deterministic per-profile streams via name hash below
+  for (char ch : p.name) c.seed = c.seed * 131 + static_cast<uint8_t>(ch);
+  c.num_vertices = static_cast<uint32_t>(v);
+  c.num_edges = static_cast<uint32_t>(e);
+  c.num_labels = static_cast<uint32_t>(labels);
+  c.arity_min = aavg < 3.0 ? 2 : 2;
+  c.arity_max = amax;
+  c.arity_dist = ArityDistribution::kGeometric;
+  c.arity_param = GeoP(aavg, c.arity_min);
+  c.vertex_skew = vertex_skew;
+  c.label_skew = label_skew;
+  c.label_locality = label_locality;
+  return p;
+}
+
+std::vector<DatasetProfile> BuildProfiles() {
+  std::vector<DatasetProfile> out;
+  // name, description, |V|, |E|, |Sigma|, amax, avg arity,
+  // vertex skew, label skew, default scale.
+  out.push_back(Make("HC", "US House committees (members per committee)",
+                     1290, 331, 2, 81, 34.8, 0.4, 0.3, 0.0, 1.0));
+  out.push_back(Make("MA", "MathOverflow answers (users per question)",
+                     73851, 5444, 1456, 1784, 24.2, 0.8, 1.2, 0.85, 1.0));
+  out.push_back(Make("CH", "High-school contact groups", 327, 7818, 9, 5, 2.3,
+                     0.5, 0.7, 0.6, 1.0));
+  out.push_back(Make("CP", "Primary-school contact groups", 242, 12704, 11, 5,
+                     2.4, 0.5, 0.7, 0.6, 1.0));
+  out.push_back(Make("SB", "US Senate bill cosponsors", 294, 20584, 2, 99, 8.0,
+                     0.7, 0.3, 0.0, 1.0));
+  out.push_back(Make("HB", "US House bill cosponsors", 1494, 52960, 2, 399,
+                     20.5, 0.7, 0.3, 0.0, 1.0));
+  out.push_back(Make("WT", "Walmart trips (products per basket)", 88860, 65507,
+                     11, 25, 6.6, 0.8, 1.0, 0.8, 1.0));
+  out.push_back(Make("TC", "Trivago clicks (hotels per session)", 172738,
+                     212483, 160, 85, 4.1, 0.8, 1.2, 0.8, 1.0));
+  out.push_back(Make("SA", "StackOverflow answers (users per question)",
+                     15211989, 1103193, 56502, 61315, 23.7, 0.9, 1.5, 0.85,
+                     1.0 / 16));
+  out.push_back(Make("AR", "Amazon reviews (reviewers per product)", 2268264,
+                     4239108, 29, 9350, 17.1, 0.9, 0.8, 0.85, 1.0 / 16));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<DatasetProfile>& AllDatasetProfiles() {
+  static const std::vector<DatasetProfile>& profiles =
+      *new std::vector<DatasetProfile>(BuildProfiles());
+  return profiles;
+}
+
+const DatasetProfile* FindDatasetProfile(const std::string& name) {
+  for (const DatasetProfile& p : AllDatasetProfiles()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace hgmatch

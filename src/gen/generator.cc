@@ -1,0 +1,107 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+
+#include "util/set_ops.h"
+
+namespace hgmatch {
+
+uint32_t SampleArity(const GeneratorConfig& config, Rng* rng) {
+  const uint32_t lo = std::max(1u, config.arity_min);
+  const uint32_t hi = std::max(lo, config.arity_max);
+  switch (config.arity_dist) {
+    case ArityDistribution::kUniform:
+      return static_cast<uint32_t>(rng->NextRange(lo, hi));
+    case ArityDistribution::kGeometric: {
+      const double p =
+          config.arity_param > 0 && config.arity_param <= 1.0
+              ? config.arity_param
+              : 0.5;
+      const uint64_t a = lo + rng->NextGeometric(p) - 1;
+      return static_cast<uint32_t>(std::min<uint64_t>(a, hi));
+    }
+    case ArityDistribution::kZipf:
+      return lo + static_cast<uint32_t>(
+                      rng->NextZipf(hi - lo + 1, config.arity_param));
+  }
+  return lo;
+}
+
+Hypergraph GenerateHypergraph(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Hypergraph h;
+
+  // Labels: Zipf-skewed over a shuffled alphabet so label 0 is not always
+  // the most frequent one.
+  std::vector<Label> alphabet(config.num_labels);
+  for (Label l = 0; l < config.num_labels; ++l) alphabet[l] = l;
+  rng.Shuffle(&alphabet);
+  for (uint32_t i = 0; i < config.num_vertices; ++i) {
+    const uint64_t pick = rng.NextZipf(config.num_labels, config.label_skew);
+    h.AddVertex(alphabet[pick]);
+  }
+
+  // Vertex picking: Zipf over a shuffled permutation => heavy-tailed
+  // degrees without correlating degree and vertex id.
+  std::vector<VertexId> perm(config.num_vertices);
+  for (VertexId v = 0; v < config.num_vertices; ++v) perm[v] = v;
+  rng.Shuffle(&perm);
+
+  // Label classes in permuted order, for thematic (label-local) picking.
+  std::vector<std::vector<VertexId>> by_label(config.num_labels);
+  if (config.label_locality > 0) {
+    for (VertexId v : perm) by_label[h.label(v)].push_back(v);
+  }
+
+  const uint64_t max_attempts = 10ULL * config.num_edges + 100;
+  uint64_t attempts = 0;
+  uint32_t added = 0;
+  VertexSet members;
+  while (added < config.num_edges && attempts < max_attempts) {
+    ++attempts;
+    const uint32_t arity =
+        std::min<uint32_t>(SampleArity(config, &rng), config.num_vertices);
+    members.clear();
+    // Rejection-sample distinct members; for arities close to |V| fall back
+    // to a partial shuffle.
+    if (arity * 4 >= config.num_vertices) {
+      std::vector<VertexId> pool(perm);
+      for (uint32_t i = 0; i < arity; ++i) {
+        const uint64_t j = i + rng.NextBounded(pool.size() - i);
+        std::swap(pool[i], pool[j]);
+        members.push_back(pool[i]);
+      }
+    } else {
+      // Theme of this hyperedge (only used when locality is enabled).
+      const Label theme =
+          config.label_locality > 0
+              ? static_cast<Label>(
+                    rng.NextZipf(config.num_labels, config.label_skew))
+              : 0;
+      const std::vector<VertexId>* theme_class =
+          config.label_locality > 0 && !by_label[theme].empty()
+              ? &by_label[theme]
+              : nullptr;
+      uint32_t tries = 0;
+      while (members.size() < arity && tries < 64 * arity) {
+        ++tries;
+        VertexId v;
+        if (theme_class != nullptr &&
+            rng.NextBernoulli(config.label_locality)) {
+          v = (*theme_class)[rng.NextZipf(theme_class->size(),
+                                          config.vertex_skew)];
+        } else {
+          v = perm[rng.NextZipf(config.num_vertices, config.vertex_skew)];
+        }
+        if (!Contains(members, v)) InsertSorted(&members, v);
+      }
+      if (members.empty()) continue;
+    }
+    const size_t before = h.NumEdges();
+    (void)h.AddEdge(members);  // duplicate edges return the existing id
+    if (h.NumEdges() > before) ++added;
+  }
+  return h;
+}
+
+}  // namespace hgmatch

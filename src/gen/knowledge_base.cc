@@ -1,0 +1,139 @@
+#include "gen/knowledge_base.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hgmatch {
+
+const char* KbTypeName(Label type) {
+  switch (type) {
+    case kPlayer:
+      return "Player";
+    case kTeam:
+      return "Team";
+    case kMatch:
+      return "Match";
+    case kActor:
+      return "Actor";
+    case kCharacter:
+      return "Character";
+    case kTvShow:
+      return "TVShow";
+    case kSeason:
+      return "Season";
+    case kAward:
+      return "Award";
+    case kFilm:
+      return "Film";
+    case kDirector:
+      return "Director";
+    default:
+      return "Unknown";
+  }
+}
+
+namespace {
+
+// Dense id ranges per entity type.
+struct EntityRanges {
+  VertexId first[kNumKbTypes];
+  uint32_t count[kNumKbTypes];
+
+  VertexId Pick(Label type, Rng* rng, double skew = 0.7) const {
+    return first[type] +
+           static_cast<VertexId>(rng->NextZipf(count[type], skew));
+  }
+};
+
+}  // namespace
+
+Hypergraph GenerateKnowledgeBase(const KbConfig& config) {
+  Rng rng(config.seed);
+  Hypergraph h;
+  EntityRanges r;
+  const uint32_t counts[kNumKbTypes] = {
+      config.players, config.teams,    config.matches, config.actors,
+      config.characters, config.tv_shows, config.seasons, config.awards,
+      config.films,   config.directors};
+  for (Label t = 0; t < kNumKbTypes; ++t) {
+    r.first[t] = h.AddVertices(counts[t], t);
+    r.count[t] = counts[t];
+  }
+
+  // Planted Query-1 instances: one player, two distinct teams, two distinct
+  // matches. Matches are drawn without reuse bias so the two facts differ.
+  for (uint32_t i = 0; i < config.planted_multi_team_players; ++i) {
+    const VertexId p = r.first[kPlayer] + (i % r.count[kPlayer]);
+    const VertexId t1 = r.first[kTeam] + (i % r.count[kTeam]);
+    const VertexId t2 =
+        r.first[kTeam] + ((i + 1 + i / r.count[kTeam]) % r.count[kTeam]);
+    const VertexId m1 = r.first[kMatch] + ((2 * i) % r.count[kMatch]);
+    const VertexId m2 = r.first[kMatch] + ((2 * i + 1) % r.count[kMatch]);
+    if (t1 != t2 && m1 != m2) {
+      (void)h.AddEdge({p, t1, m1});
+      (void)h.AddEdge({p, t2, m2});
+    }
+  }
+
+  // Planted Query-2 instances: same character and show, two actors, two
+  // seasons.
+  for (uint32_t i = 0; i < config.planted_recast_characters; ++i) {
+    const VertexId c = r.first[kCharacter] + (i % r.count[kCharacter]);
+    const VertexId s = r.first[kTvShow] + (i % r.count[kTvShow]);
+    const VertexId a1 = r.first[kActor] + ((2 * i) % r.count[kActor]);
+    const VertexId a2 = r.first[kActor] + ((2 * i + 1) % r.count[kActor]);
+    const VertexId se1 = r.first[kSeason] + (i % r.count[kSeason]);
+    const VertexId se2 = r.first[kSeason] + ((i + 1) % r.count[kSeason]);
+    if (a1 != a2 && se1 != se2) {
+      (void)h.AddEdge({a1, c, s, se1});
+      (void)h.AddEdge({a2, c, s, se2});
+    }
+  }
+
+  // Background facts (Zipf-skewed participation, as in real KBs).
+  for (uint32_t i = 0; i < config.player_facts; ++i) {
+    (void)h.AddEdge({r.Pick(kPlayer, &rng), r.Pick(kTeam, &rng),
+                     r.Pick(kMatch, &rng)});
+  }
+  for (uint32_t i = 0; i < config.acting_facts; ++i) {
+    (void)h.AddEdge({r.Pick(kActor, &rng), r.Pick(kCharacter, &rng),
+                     r.Pick(kTvShow, &rng), r.Pick(kSeason, &rng)});
+  }
+  for (uint32_t i = 0; i < config.award_facts; ++i) {
+    (void)h.AddEdge(
+        {r.Pick(kActor, &rng), r.Pick(kAward, &rng), r.Pick(kFilm, &rng)});
+  }
+  for (uint32_t i = 0; i < config.directing_facts; ++i) {
+    (void)h.AddEdge({r.Pick(kDirector, &rng), r.Pick(kFilm, &rng),
+                     r.Pick(kActor, &rng)});
+  }
+  return h;
+}
+
+Hypergraph KbQueryMultiTeamPlayer() {
+  Hypergraph q;
+  const VertexId p = q.AddVertex(kPlayer);
+  const VertexId t1 = q.AddVertex(kTeam);
+  const VertexId m1 = q.AddVertex(kMatch);
+  const VertexId t2 = q.AddVertex(kTeam);
+  const VertexId m2 = q.AddVertex(kMatch);
+  (void)q.AddEdge({p, t1, m1});
+  (void)q.AddEdge({p, t2, m2});
+  return q;
+}
+
+Hypergraph KbQueryRecastCharacter() {
+  Hypergraph q;
+  const VertexId c = q.AddVertex(kCharacter);
+  const VertexId s = q.AddVertex(kTvShow);
+  const VertexId a1 = q.AddVertex(kActor);
+  const VertexId se1 = q.AddVertex(kSeason);
+  const VertexId a2 = q.AddVertex(kActor);
+  const VertexId se2 = q.AddVertex(kSeason);
+  (void)q.AddEdge({a1, c, s, se1});
+  (void)q.AddEdge({a2, c, s, se2});
+  return q;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,81 @@
+#ifndef HGMATCH_GEN_KNOWLEDGE_BASE_H_
+#define HGMATCH_GEN_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/hypergraph.h"
+
+namespace hgmatch {
+
+/// Entity types of the synthetic JF17K-like knowledge hypergraph used by
+/// the Section VII.D case study. Each vertex's label is its type, exactly
+/// as in the paper's JF17K setup ("the label for each vertex representing
+/// its type").
+enum KbType : Label {
+  kPlayer = 0,
+  kTeam = 1,
+  kMatch = 2,
+  kActor = 3,
+  kCharacter = 4,
+  kTvShow = 5,
+  kSeason = 6,
+  kAward = 7,
+  kFilm = 8,
+  kDirector = 9,
+  kNumKbTypes = 10,
+};
+
+const char* KbTypeName(Label type);
+
+/// Configuration of the knowledge-base generator. JF17K is a subset of
+/// non-binary Freebase relations; this generator emits n-ary facts of the
+/// two relation kinds the paper's case study quotes —
+/// (Player, Team, Match) and (Actor, Character, TVShow, Season) — plus two
+/// distractor relations, with Zipf-skewed entity participation. A known
+/// number of "planted" instances guarantees both case-study queries have
+/// answers whose counts the example program verifies.
+struct KbConfig {
+  uint64_t seed = 17;
+
+  uint32_t players = 400;
+  uint32_t teams = 60;
+  uint32_t matches = 300;
+  uint32_t actors = 300;
+  uint32_t characters = 200;
+  uint32_t tv_shows = 80;
+  uint32_t seasons = 12;
+  uint32_t awards = 40;
+  uint32_t films = 150;
+  uint32_t directors = 80;
+
+  uint32_t player_facts = 3000;   // (Player, Team, Match)
+  uint32_t acting_facts = 2500;   // (Actor, Character, TVShow, Season)
+  uint32_t award_facts = 800;     // (Actor, Award, Film)
+  uint32_t directing_facts = 600; // (Director, Film, Actor)
+
+  /// Planted instances of case-study Query 1: a player who represented two
+  /// different teams in two different matches.
+  uint32_t planted_multi_team_players = 25;
+
+  /// Planted instances of case-study Query 2: a character in a show played
+  /// by two different actors in different seasons.
+  uint32_t planted_recast_characters = 15;
+};
+
+/// Generates the knowledge hypergraph. Deterministic in `config.seed`.
+Hypergraph GenerateKnowledgeBase(const KbConfig& config);
+
+/// Case-study Query 1 (Fig 13a): "football players who represented
+/// different teams in different matches" — two (Player, Team, Match)
+/// hyperedges sharing only the player.
+Hypergraph KbQueryMultiTeamPlayer();
+
+/// Case-study Query 2 (Fig 13b): "actors who played the same character in
+/// a TV show on different seasons" — two (Actor, Character, TVShow, Season)
+/// hyperedges sharing the character and the show.
+Hypergraph KbQueryRecastCharacter();
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_GEN_KNOWLEDGE_BASE_H_

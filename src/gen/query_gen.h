@@ -1,0 +1,56 @@
+#ifndef HGMATCH_GEN_QUERY_GEN_H_
+#define HGMATCH_GEN_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// One query class of the paper's Table III: number of query hyperedges and
+/// the admissible range of distinct query vertices.
+struct QuerySettings {
+  const char* name;
+  uint32_t num_edges;
+  uint32_t min_vertices;
+  uint32_t max_vertices;
+};
+
+/// The paper's four query classes (Table III).
+inline constexpr QuerySettings kQ2{"q2", 2, 5, 15};
+inline constexpr QuerySettings kQ3{"q3", 3, 10, 20};
+inline constexpr QuerySettings kQ4{"q4", 4, 10, 30};
+inline constexpr QuerySettings kQ6{"q6", 6, 15, 35};
+inline constexpr QuerySettings kAllQuerySettings[] = {kQ2, kQ3, kQ4, kQ6};
+
+/// Samples a connected query hypergraph as a random walk over the data
+/// hypergraph's hyperedges (Section VII.A): start at a random hyperedge,
+/// repeatedly add a random hyperedge adjacent to those already collected,
+/// until `settings.num_edges` distinct hyperedges are gathered; accept if
+/// the number of distinct vertices lies in [min_vertices, max_vertices].
+/// By construction the query has at least one embedding in `data`.
+///
+/// When `max_attempts` walks all miss the vertex range (possible on
+/// low-arity datasets whose k-edge subhypergraphs are simply smaller than
+/// min_vertices), the last connected sample is accepted regardless of the
+/// range, so every (dataset, class) pair yields queries — a documented
+/// relaxation of Table III.
+///
+/// Returns NotFound only if `data` has no hyperedge or every walk failed to
+/// reach `num_edges` distinct hyperedges (disconnected tiny data).
+Result<Hypergraph> SampleQuery(const Hypergraph& data,
+                               const QuerySettings& settings, Rng* rng,
+                               uint32_t max_attempts = 200);
+
+/// Samples `count` queries (seeded deterministically). Queries that cannot
+/// be sampled are skipped, so the result may be shorter than `count`.
+std::vector<Hypergraph> SampleQueries(const Hypergraph& data,
+                                      const QuerySettings& settings,
+                                      size_t count, uint64_t seed);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_GEN_QUERY_GEN_H_

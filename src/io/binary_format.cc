@@ -1,0 +1,108 @@
+#include "io/binary_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace hgmatch {
+
+namespace {
+
+// Thin RAII + error-folding wrapper over std::FILE.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : file_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  void Write(const void* data, size_t bytes) {
+    if (!ok()) return;
+    failed_ |= std::fwrite(data, 1, bytes, file_) != bytes;
+  }
+
+  void Read(void* data, size_t bytes) {
+    if (!ok()) return;
+    failed_ |= std::fread(data, 1, bytes, file_) != bytes;
+  }
+
+  template <typename T>
+  void WriteValue(T value) {
+    Write(&value, sizeof(T));
+  }
+
+  template <typename T>
+  T ReadValue() {
+    T value{};
+    Read(&value, sizeof(T));
+    return value;
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Status SaveHypergraphBinary(const Hypergraph& h, const std::string& path) {
+  File f(path, "wb");
+  if (!f.ok()) return Status::IOError("cannot open " + path);
+  f.WriteValue<uint32_t>(kBinaryMagic);
+  f.WriteValue<uint64_t>(h.NumVertices());
+  f.WriteValue<uint64_t>(h.NumEdges());
+  f.WriteValue<uint64_t>(h.NumIncidences());
+  for (VertexId v = 0; v < h.NumVertices(); ++v) {
+    f.WriteValue<Label>(h.label(v));
+  }
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    const VertexSet& members = h.edge(e);
+    f.WriteValue<uint32_t>(static_cast<uint32_t>(members.size()));
+    f.WriteValue<Label>(h.edge_label(e));
+    f.Write(members.data(), members.size() * sizeof(VertexId));
+  }
+  if (!f.ok()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Hypergraph> LoadHypergraphBinary(const std::string& path) {
+  File f(path, "rb");
+  if (!f.ok()) return Status::IOError("cannot open " + path);
+  if (f.ReadValue<uint32_t>() != kBinaryMagic) {
+    return Status::Corruption(path + ": bad magic (not an HGM1 file)");
+  }
+  const uint64_t num_vertices = f.ReadValue<uint64_t>();
+  const uint64_t num_edges = f.ReadValue<uint64_t>();
+  const uint64_t num_incidences = f.ReadValue<uint64_t>();
+  if (!f.ok()) return Status::Corruption(path + ": truncated header");
+
+  Hypergraph h;
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    h.AddVertex(f.ReadValue<Label>());
+  }
+  if (!f.ok()) return Status::Corruption(path + ": truncated label section");
+
+  uint64_t incidences = 0;
+  VertexSet members;
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    const uint32_t arity = f.ReadValue<uint32_t>();
+    const Label edge_label = f.ReadValue<Label>();
+    if (!f.ok() || arity == 0 || arity > num_vertices) {
+      return Status::Corruption(path + ": bad hyperedge record");
+    }
+    members.resize(arity);
+    f.Read(members.data(), arity * sizeof(VertexId));
+    if (!f.ok()) return Status::Corruption(path + ": truncated hyperedge");
+    incidences += arity;
+    Result<EdgeId> added = h.AddEdge(members, edge_label);
+    if (!added.ok()) return added.status();
+  }
+  if (incidences != num_incidences) {
+    return Status::Corruption(path + ": incidence count mismatch");
+  }
+  return h;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,31 @@
+#ifndef HGMATCH_IO_BINARY_FORMAT_H_
+#define HGMATCH_IO_BINARY_FORMAT_H_
+
+#include <string>
+
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Compact binary hypergraph format for fast offline preprocessing
+/// round-trips (the "Load Graph" step of Fig 3 for large datasets, where
+/// text parsing dominates):
+///
+///   [u32 magic 'HGM1'] [u64 |V|] [u64 |E|] [u64 incidences]
+///   [Label * |V|]                     vertex labels
+///   [u32 arity, Label edge_label, VertexId * arity]...  per hyperedge
+///
+/// Little-endian, no alignment padding. All sections are length-prefixed so
+/// corruption is detected by size mismatches rather than UB.
+inline constexpr uint32_t kBinaryMagic = 0x31'4d'47'48;  // "HGM1"
+
+/// Writes `h` to `path` in binary format.
+Status SaveHypergraphBinary(const Hypergraph& h, const std::string& path);
+
+/// Reads a binary hypergraph from `path`.
+Result<Hypergraph> LoadHypergraphBinary(const std::string& path);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_IO_BINARY_FORMAT_H_

@@ -1,0 +1,97 @@
+#include "io/loader.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace hgmatch {
+
+Result<Hypergraph> ParseHypergraph(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::pair<VertexId, Label>> vertices;
+  std::vector<std::pair<VertexSet, Label>> edges;
+  size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "v") {
+      int64_t id = -1, label = -1;
+      if (!(ls >> id >> label) || id < 0 || label < 0) {
+        return Status::Corruption("bad vertex line " + std::to_string(line_no));
+      }
+      vertices.emplace_back(static_cast<VertexId>(id),
+                            static_cast<Label>(label));
+    } else if (tag == "e" || tag == "el") {
+      Label edge_label = 0;
+      if (tag == "el") {
+        int64_t l = -1;
+        if (!(ls >> l) || l < 0) {
+          return Status::Corruption("bad hyperedge label at line " +
+                                    std::to_string(line_no));
+        }
+        edge_label = static_cast<Label>(l);
+      }
+      VertexSet members;
+      int64_t v = -1;
+      while (ls >> v) {
+        if (v < 0) {
+          return Status::Corruption("bad hyperedge line " +
+                                    std::to_string(line_no));
+        }
+        members.push_back(static_cast<VertexId>(v));
+      }
+      if (members.empty()) {
+        return Status::Corruption("empty hyperedge at line " +
+                                  std::to_string(line_no));
+      }
+      edges.emplace_back(std::move(members), edge_label);
+    } else {
+      return Status::Corruption("unknown line tag '" + tag + "' at line " +
+                                std::to_string(line_no));
+    }
+  }
+
+  // Materialise vertices densely.
+  VertexId max_id = 0;
+  for (const auto& [id, label] : vertices) max_id = std::max(max_id, id);
+  if (!vertices.empty() && vertices.size() != static_cast<size_t>(max_id) + 1) {
+    return Status::Corruption("vertex ids are not dense: " +
+                              std::to_string(vertices.size()) +
+                              " declarations, max id " +
+                              std::to_string(max_id));
+  }
+  std::vector<Label> labels(vertices.size(), kInvalidLabel);
+  for (const auto& [id, label] : vertices) {
+    if (labels[id] != kInvalidLabel) {
+      return Status::Corruption("vertex " + std::to_string(id) +
+                                " declared twice");
+    }
+    labels[id] = label;
+  }
+
+  Hypergraph h;
+  for (Label l : labels) h.AddVertex(l);
+  for (auto& [members, edge_label] : edges) {
+    Result<EdgeId> added = h.AddEdge(std::move(members), edge_label);
+    if (!added.ok()) return added.status();
+  }
+  return h;
+}
+
+Result<Hypergraph> LoadHypergraph(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return ParseHypergraph(text);
+}
+
+}  // namespace hgmatch

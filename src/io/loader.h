@@ -1,0 +1,31 @@
+#ifndef HGMATCH_IO_LOADER_H_
+#define HGMATCH_IO_LOADER_H_
+
+#include <string>
+
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Text format for labelled hypergraphs:
+///
+///   # comment lines and blank lines are ignored
+///   v <vertex-id> <label>        # one per vertex, ids dense from 0
+///   e <v1> <v2> ... <vk>         # one unlabelled hyperedge, k >= 1
+///   el <label> <v1> ... <vk>     # one labelled hyperedge (footnote 2)
+///
+/// Vertex lines may appear in any order but every id in [0, max_id] must be
+/// declared exactly once. Duplicate vertices within a hyperedge are merged
+/// and duplicate hyperedges are dropped (the paper's preprocessing,
+/// Section VII.A).
+
+/// Parses a hypergraph from file contents.
+Result<Hypergraph> ParseHypergraph(const std::string& text);
+
+/// Reads and parses `path`.
+Result<Hypergraph> LoadHypergraph(const std::string& path);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_IO_LOADER_H_

@@ -1,0 +1,37 @@
+#include "io/writer.h"
+
+#include <cstdio>
+
+namespace hgmatch {
+
+std::string FormatHypergraph(const Hypergraph& h) {
+  std::string out;
+  out.reserve(h.NumVertices() * 8 + h.NumIncidences() * 8);
+  for (VertexId v = 0; v < h.NumVertices(); ++v) {
+    out += "v " + std::to_string(v) + " " + std::to_string(h.label(v)) + "\n";
+  }
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    if (h.edge_label(e) != 0) {
+      out += "el " + std::to_string(h.edge_label(e));
+    } else {
+      out += "e";
+    }
+    for (VertexId v : h.edge(e)) {
+      out += " " + std::to_string(v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status SaveHypergraph(const Hypergraph& h, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const std::string text = FormatHypergraph(h);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace hgmatch

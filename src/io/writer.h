@@ -1,0 +1,19 @@
+#ifndef HGMATCH_IO_WRITER_H_
+#define HGMATCH_IO_WRITER_H_
+
+#include <string>
+
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Serialises a hypergraph in the loader's text format (see io/loader.h).
+std::string FormatHypergraph(const Hypergraph& h);
+
+/// Writes FormatHypergraph(h) to `path`.
+Status SaveHypergraph(const Hypergraph& h, const std::string& path);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_IO_WRITER_H_

@@ -1,0 +1,51 @@
+#include "pairwise/graph.h"
+
+#include <algorithm>
+
+namespace hgmatch::pairwise {
+
+Graph Graph::Build(std::vector<Label> labels,
+                   std::vector<std::pair<VertexId, VertexId>> edges) {
+  Graph g;
+  g.labels_ = std::move(labels);
+  for (Label l : g.labels_) {
+    if (l + 1 > g.num_labels_) g.num_labels_ = l + 1;
+  }
+  // Canonicalise: a < b, drop self-loops, dedupe.
+  for (auto& [a, b] : edges) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const auto& e) { return e.first == e.second; }),
+              edges.end());
+  g.num_edges_ = edges.size();
+
+  const size_t n = g.labels_.size();
+  std::vector<uint32_t> deg(n, 0);
+  for (const auto& [a, b] : edges) {
+    ++deg[a];
+    ++deg[b];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.adjacency_.resize(g.offsets_[n]);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    g.adjacency_[cursor[a]++] = b;
+    g.adjacency_[cursor[b]++] = a;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + g.offsets_[v],
+              g.adjacency_.begin() + g.offsets_[v + 1]);
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId a, VertexId b) const {
+  if (degree(a) > degree(b)) std::swap(a, b);
+  return std::binary_search(NeighborsBegin(a), NeighborsEnd(a), b);
+}
+
+}  // namespace hgmatch::pairwise

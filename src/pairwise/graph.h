@@ -1,0 +1,66 @@
+#ifndef HGMATCH_PAIRWISE_GRAPH_H_
+#define HGMATCH_PAIRWISE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hgmatch::pairwise {
+
+using hgmatch::Label;
+using hgmatch::VertexId;
+
+/// A conventional (pairwise) undirected vertex-labelled simple graph in CSR
+/// form. This substrate exists because the bipartite-conversion strawman
+/// (Section I / Fig 2) reduces subhypergraph matching to conventional
+/// subgraph matching; the RapidMatch comparison in the paper's experiments
+/// runs on exactly such converted graphs.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph from labels and an undirected edge list (self-loops and
+  /// duplicate edges are removed).
+  static Graph Build(std::vector<Label> labels,
+                     std::vector<std::pair<VertexId, VertexId>> edges);
+
+  size_t NumVertices() const { return labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  size_t NumLabels() const { return num_labels_; }
+
+  Label label(VertexId v) const { return labels_[v]; }
+
+  uint32_t degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbour list of v.
+  const VertexId* NeighborsBegin(VertexId v) const {
+    return adjacency_.data() + offsets_[v];
+  }
+  const VertexId* NeighborsEnd(VertexId v) const {
+    return adjacency_.data() + offsets_[v + 1];
+  }
+
+  /// True iff {a, b} is an edge (binary search on the smaller list).
+  bool HasEdge(VertexId a, VertexId b) const;
+
+  uint64_t MemoryBytes() const {
+    return labels_.size() * sizeof(Label) +
+           adjacency_.size() * sizeof(VertexId) +
+           offsets_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<uint64_t> offsets_;   // size |V|+1
+  std::vector<VertexId> adjacency_;  // size 2|E|
+  size_t num_edges_ = 0;
+  size_t num_labels_ = 0;
+};
+
+}  // namespace hgmatch::pairwise
+
+#endif  // HGMATCH_PAIRWISE_GRAPH_H_

@@ -1,0 +1,181 @@
+#include "pairwise/pairwise_matcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace hgmatch::pairwise {
+
+namespace {
+
+class Backtracker {
+ public:
+  Backtracker(const Graph& data, const Graph& query,
+              const PairwiseOptions& options)
+      : data_(data),
+        query_(query),
+        options_(options),
+        deadline_(hgmatch::Deadline::After(options.timeout_seconds)) {
+    // LDF candidate filter.
+    candidates_.resize(query.NumVertices());
+    for (VertexId v = 0; v < data.NumVertices(); ++v) {
+      for (VertexId u = 0; u < query.NumVertices(); ++u) {
+        if (query.label(u) == data.label(v) &&
+            query.degree(u) <= data.degree(v)) {
+          candidates_[u].push_back(v);
+        }
+      }
+    }
+    ComputeOrder();
+    mapping_.assign(query.NumVertices(), hgmatch::kInvalidVertex);
+    used_.assign(data.NumVertices(), 0);
+  }
+
+  PairwiseResult Run() {
+    hgmatch::Timer timer;
+    bool any_empty = false;
+    for (const auto& c : candidates_) any_empty |= c.empty();
+    if (!any_empty && query_.NumVertices() > 0) Recurse(0);
+    result_.seconds = timer.ElapsedSeconds();
+    return result_;
+  }
+
+ private:
+  // Greedy connected minimum-candidate order; for each position also
+  // remember one already-matched neighbour ("pivot") whose image's
+  // neighbour list seeds the runtime candidates.
+  void ComputeOrder() {
+    const size_t n = query_.NumVertices();
+    std::vector<uint8_t> used(n, 0);
+    order_.reserve(n);
+    pivot_.assign(n, hgmatch::kInvalidVertex);
+    for (size_t i = 0; i < n; ++i) {
+      VertexId best = hgmatch::kInvalidVertex;
+      bool best_connected = false;
+      size_t best_size = std::numeric_limits<size_t>::max();
+      for (VertexId u = 0; u < n; ++u) {
+        if (used[u]) continue;
+        VertexId piv = hgmatch::kInvalidVertex;
+        for (const VertexId* w = query_.NeighborsBegin(u);
+             w != query_.NeighborsEnd(u); ++w) {
+          if (used[*w]) {
+            piv = *w;
+            break;
+          }
+        }
+        const bool connected = piv != hgmatch::kInvalidVertex || i == 0;
+        if ((connected && !best_connected) ||
+            (connected == best_connected && candidates_[u].size() < best_size)) {
+          best = u;
+          best_connected = connected;
+          best_size = candidates_[u].size();
+          pivot_[i] = piv;
+        }
+      }
+      used[best] = 1;
+      order_.push_back(best);
+    }
+    // Recompute pivots against final positions (first matched neighbour).
+    std::vector<uint32_t> pos(n);
+    for (uint32_t i = 0; i < n; ++i) pos[order_[i]] = i;
+    for (uint32_t i = 0; i < n; ++i) {
+      const VertexId u = order_[i];
+      pivot_[i] = hgmatch::kInvalidVertex;
+      for (const VertexId* w = query_.NeighborsBegin(u);
+           w != query_.NeighborsEnd(u); ++w) {
+        if (pos[*w] < i) {
+          pivot_[i] = *w;
+          break;
+        }
+      }
+    }
+  }
+
+  bool ShouldStop() {
+    if (result_.timed_out || result_.limit_hit) return true;
+    if (++poll_counter_ >= 4096) {
+      poll_counter_ = 0;
+      if (deadline_.Expired()) result_.timed_out = true;
+    }
+    return result_.timed_out;
+  }
+
+  // Checks every query edge between u and an already-matched vertex.
+  bool Consistent(VertexId u, VertexId v) const {
+    for (const VertexId* w = query_.NeighborsBegin(u);
+         w != query_.NeighborsEnd(u); ++w) {
+      const VertexId fw = mapping_[*w];
+      if (fw == hgmatch::kInvalidVertex) continue;
+      if (!data_.HasEdge(v, fw)) return false;
+    }
+    return true;
+  }
+
+  void TryCandidate(uint32_t depth, VertexId u, VertexId v) {
+    if (used_[v] || query_.label(u) != data_.label(v)) return;
+    if (query_.degree(u) > data_.degree(v)) return;
+    if (!Consistent(u, v)) return;
+    mapping_[u] = v;
+    used_[v] = 1;
+    Recurse(depth + 1);
+    used_[v] = 0;
+    mapping_[u] = hgmatch::kInvalidVertex;
+  }
+
+  void Recurse(uint32_t depth) {
+    ++result_.recursions;
+    if (ShouldStop()) return;
+    if (depth == order_.size()) {
+      ++result_.embeddings;
+      if (options_.limit != 0 && result_.embeddings >= options_.limit) {
+        result_.limit_hit = true;
+      }
+      return;
+    }
+    const VertexId u = order_[depth];
+    const VertexId piv = pivot_[depth];
+    if (piv != hgmatch::kInvalidVertex) {
+      // Candidates come from the image neighbourhood of the pivot.
+      const VertexId fp = mapping_[piv];
+      for (const VertexId* v = data_.NeighborsBegin(fp);
+           v != data_.NeighborsEnd(fp) && !result_.timed_out; ++v) {
+        TryCandidate(depth, u, *v);
+        if (result_.limit_hit) return;
+      }
+    } else {
+      for (VertexId v : candidates_[u]) {
+        TryCandidate(depth, u, v);
+        if (result_.timed_out || result_.limit_hit) return;
+      }
+    }
+  }
+
+  const Graph& data_;
+  const Graph& query_;
+  const PairwiseOptions& options_;
+  const hgmatch::Deadline deadline_;
+
+  std::vector<std::vector<VertexId>> candidates_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> pivot_;
+  std::vector<VertexId> mapping_;
+  std::vector<uint8_t> used_;
+  uint64_t poll_counter_ = 0;
+  PairwiseResult result_;
+};
+
+}  // namespace
+
+hgmatch::Result<PairwiseResult> MatchPairwise(const Graph& data,
+                                              const Graph& query,
+                                              const PairwiseOptions& options) {
+  if (query.NumVertices() == 0) {
+    return hgmatch::Status::InvalidArgument("query graph must be non-empty");
+  }
+  Backtracker search(data, query, options);
+  return search.Run();
+}
+
+}  // namespace hgmatch::pairwise

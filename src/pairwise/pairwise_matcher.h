@@ -1,0 +1,36 @@
+#ifndef HGMATCH_PAIRWISE_PAIRWISE_MATCHER_H_
+#define HGMATCH_PAIRWISE_PAIRWISE_MATCHER_H_
+
+#include <cstdint>
+
+#include "pairwise/graph.h"
+#include "util/status.h"
+
+namespace hgmatch::pairwise {
+
+struct PairwiseOptions {
+  double timeout_seconds = 0;
+  uint64_t limit = 0;
+};
+
+struct PairwiseResult {
+  uint64_t embeddings = 0;  // injective label-preserving vertex mappings
+  uint64_t recursions = 0;
+  bool timed_out = false;
+  bool limit_hit = false;
+  double seconds = 0;
+};
+
+/// Conventional backtracking subgraph matching on pairwise graphs
+/// (non-induced subgraph isomorphism): label-and-degree candidate filter,
+/// greedy connected minimum-candidate matching order, and runtime candidate
+/// computation by intersecting the neighbour lists of matched neighbours.
+/// This is the standard framework of [53]/[70] that the RapidMatch
+/// comparison runs on top of (after bipartite conversion; see
+/// baseline/bipartite.h).
+hgmatch::Result<PairwiseResult> MatchPairwise(
+    const Graph& data, const Graph& query, const PairwiseOptions& options = {});
+
+}  // namespace hgmatch::pairwise
+
+#endif  // HGMATCH_PAIRWISE_PAIRWISE_MATCHER_H_

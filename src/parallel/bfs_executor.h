@@ -1,0 +1,34 @@
+#ifndef HGMATCH_PARALLEL_BFS_EXECUTOR_H_
+#define HGMATCH_PARALLEL_BFS_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "core/indexed_hypergraph.h"
+#include "core/matching_order.h"
+#include "core/result.h"
+#include "parallel/executor.h"
+
+namespace hgmatch {
+
+/// Result of a BFS (level-synchronous) run.
+struct BfsResult {
+  MatchStats stats;
+  /// Peak bytes of materialised intermediate embeddings (the sum of the
+  /// current and next level buffers at their largest). This is the quantity
+  /// that explodes with the result count in the paper's Fig 11.
+  uint64_t peak_bytes = 0;
+};
+
+/// Executes a plan with BFS-style scheduling: every level's partial
+/// embeddings are fully materialised before the next EXPAND begins
+/// (the straightforward parallelisation the paper argues *against* in
+/// Section VI.B; used as the memory baseline of Exp-5). Parallelism within
+/// a level uses the same number of threads as `options.num_threads`.
+/// `options.limit` and `options.timeout_seconds` are honoured between rows.
+BfsResult ExecutePlanBfs(const IndexedHypergraph& data, const QueryPlan& plan,
+                         const ParallelOptions& options,
+                         EmbeddingSink* sink = nullptr);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_BFS_EXECUTOR_H_

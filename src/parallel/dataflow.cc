@@ -1,0 +1,43 @@
+#include "parallel/dataflow.h"
+
+namespace hgmatch {
+
+DataflowGraph DataflowGraph::FromPlan(const QueryPlan& plan) {
+  DataflowGraph g;
+  for (uint32_t i = 0; i < plan.NumSteps(); ++i) {
+    Operator op;
+    op.kind = i == 0 ? OperatorKind::kScan : OperatorKind::kExpand;
+    op.step = i;
+    op.signature = plan.steps[i].signature;
+    g.operators_.push_back(std::move(op));
+  }
+  Operator sink;
+  sink.kind = OperatorKind::kSink;
+  sink.step = plan.NumSteps();
+  g.operators_.push_back(std::move(sink));
+  return g;
+}
+
+std::string DataflowGraph::ToString(const IndexedHypergraph* data) const {
+  std::string out;
+  for (const Operator& op : operators_) {
+    switch (op.kind) {
+      case OperatorKind::kScan:
+        out += "SCAN" + SignatureToString(op.signature);
+        break;
+      case OperatorKind::kExpand:
+        out += "EXPAND" + SignatureToString(op.signature);
+        break;
+      case OperatorKind::kSink:
+        out += "SINK";
+        break;
+    }
+    if (data != nullptr && op.kind != OperatorKind::kSink) {
+      out += " [card=" + std::to_string(data->Cardinality(op.signature)) + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,104 @@
+#ifndef HGMATCH_PARALLEL_DATAFLOW_H_
+#define HGMATCH_PARALLEL_DATAFLOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/indexed_hypergraph.h"
+#include "core/matching_order.h"
+#include "core/result.h"
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// The logical dataflow graph of a query (Section VI.A): a directed path
+/// SCAN -> EXPAND* -> SINK where each operator carries the query hyperedge
+/// it matches. The physical execution of the graph is the task-based
+/// scheduler (executor.h); this class is the logical plan representation
+/// used by the plan generator, by EXPLAIN-style tooling, and by the
+/// extension operators below.
+class DataflowGraph {
+ public:
+  enum class OperatorKind { kScan, kExpand, kSink };
+
+  struct Operator {
+    OperatorKind kind;
+    /// Plan step this operator executes (kScan: 0; kSink: NumSteps()).
+    uint32_t step = 0;
+    /// Signature of the query hyperedge matched (empty for kSink).
+    Signature signature;
+  };
+
+  /// Derives the dataflow graph of a compiled plan (always a path, Fig 5a).
+  static DataflowGraph FromPlan(const QueryPlan& plan);
+
+  const std::vector<Operator>& operators() const { return operators_; }
+
+  /// Human-readable plan, one operator per line; when `data` is non-null
+  /// each SCAN/EXPAND line is annotated with the hyperedge cardinality
+  /// Card(e,H) the plan generator used (Fig 3 "fetch cardinality").
+  std::string ToString(const IndexedHypergraph* data = nullptr) const;
+
+ private:
+  std::vector<Operator> operators_;
+};
+
+/// --- Extension operators -------------------------------------------------
+///
+/// The paper's Section VI.A Remark sketches extending the dataflow with
+/// extra operators (property filtering, aggregation) as future work; these
+/// sink adaptors realise exactly that: because every operator after the
+/// last EXPAND consumes complete embeddings, post-processing operators
+/// compose as sink decorators without touching the engine.
+
+/// FILTER operator: forwards only embeddings accepted by a predicate.
+class FilterSink : public EmbeddingSink {
+ public:
+  using Predicate = std::function<bool(const EdgeId* edges, uint32_t size)>;
+
+  FilterSink(Predicate predicate, EmbeddingSink* next)
+      : predicate_(std::move(predicate)), next_(next) {}
+
+  void Emit(const EdgeId* edges, uint32_t size) override {
+    ++seen_;
+    if (predicate_(edges, size)) {
+      ++passed_;
+      if (next_ != nullptr) next_->Emit(edges, size);
+    }
+  }
+
+  uint64_t seen() const { return seen_; }
+  uint64_t passed() const { return passed_; }
+
+ private:
+  Predicate predicate_;
+  EmbeddingSink* next_;
+  uint64_t seen_ = 0;
+  uint64_t passed_ = 0;
+};
+
+/// AGGREGATE operator: counts embeddings grouped by a caller-supplied key
+/// (e.g. the data hyperedge matched to a chosen query hyperedge).
+class GroupCountSink : public EmbeddingSink {
+ public:
+  using KeyFn = std::function<uint64_t(const EdgeId* edges, uint32_t size)>;
+
+  explicit GroupCountSink(KeyFn key) : key_(std::move(key)) {}
+
+  void Emit(const EdgeId* edges, uint32_t size) override {
+    ++counts_[key_(edges, size)];
+  }
+
+  const std::map<uint64_t, uint64_t>& counts() const { return counts_; }
+
+ private:
+  KeyFn key_;
+  std::map<uint64_t, uint64_t> counts_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_DATAFLOW_H_

@@ -1,0 +1,99 @@
+#ifndef HGMATCH_PARALLEL_TASK_H_
+#define HGMATCH_PARALLEL_TASK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// The minimal scheduling unit of HGMatch (Definition VI.1). A task is
+/// either a SCAN task (a sub-range of the first plan step's signature
+/// table, realising T_SCAN without materialising one task per hyperedge)
+/// or an EXPAND task (a partial embedding of `depth` hyperedges). SINK
+/// logic runs inline when an expansion completes an embedding, exactly as a
+/// T_SINK that is scheduled immediately after being spawned (LIFO order).
+///
+/// Tasks are heap-allocated with a flexible trailing array so a task is one
+/// contiguous allocation of 16 + 4*depth bytes — "a task contains only a
+/// partial embedding and a pointer to the function defining its execution
+/// logic" (Section VI.B Remark); here the kind tag plays the role of the
+/// function pointer.
+struct Task {
+  enum class Kind : uint32_t { kScan, kExpand };
+
+  Kind kind;
+  uint32_t depth;     // EXPAND: matched hyperedges; SCAN: unused (0)
+  uint32_t scan_lo;   // SCAN: range [scan_lo, scan_hi) into the scan table
+  uint32_t scan_hi;
+  EdgeId edges[];     // EXPAND: the partial embedding (depth entries)
+
+  /// Bytes of the allocation backing this task.
+  size_t SizeBytes() const {
+    return sizeof(Task) + sizeof(EdgeId) * depth;
+  }
+
+  static Task* NewScan(uint32_t lo, uint32_t hi) {
+    Task* t = static_cast<Task*>(::malloc(sizeof(Task)));
+    if (t == nullptr) ::abort();  // allocation failure is not recoverable
+    t->kind = Kind::kScan;
+    t->depth = 0;
+    t->scan_lo = lo;
+    t->scan_hi = hi;
+    return t;
+  }
+
+  static Task* NewExpand(const EdgeId* prefix, uint32_t prefix_len,
+                         EdgeId next) {
+    Task* t = static_cast<Task*>(
+        ::malloc(sizeof(Task) + sizeof(EdgeId) * (prefix_len + 1)));
+    if (t == nullptr) ::abort();  // allocation failure is not recoverable
+    t->kind = Kind::kExpand;
+    t->depth = prefix_len + 1;
+    t->scan_lo = t->scan_hi = 0;
+    for (uint32_t i = 0; i < prefix_len; ++i) t->edges[i] = prefix[i];
+    t->edges[prefix_len] = next;
+    return t;
+  }
+
+  static void Free(Task* t) { ::free(t); }
+};
+
+/// Tracks live task bytes and their high-water mark across all workers;
+/// the peak realises the left-hand side of the Theorem VI.1 memory bound,
+/// which Exp-5 (Fig 11) compares against BFS materialisation.
+class TaskMemoryTracker {
+ public:
+  void OnAlloc(size_t bytes) {
+    const uint64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void OnFree(size_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_TASK_H_

@@ -1,0 +1,132 @@
+#ifndef HGMATCH_PARALLEL_WS_DEQUE_H_
+#define HGMATCH_PARALLEL_WS_DEQUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hgmatch {
+
+/// Chase–Lev lock-free work-stealing deque [17] (Chase & Lev, SPAA'05),
+/// with the memory-order corrections of Lê et al. (PPoPP'13). The owner
+/// thread pushes and pops at the *bottom* (LIFO — realising the
+/// bounded-memory schedule of Section VI.B), while thief threads steal
+/// single elements from the *top*, i.e. the oldest tasks, which correspond
+/// to the largest unexplored subtrees. HGMatch's executor steals a batch of
+/// up to half a victim's queue by repeated Steal calls (Section VI.C).
+///
+/// T must be trivially copyable (the executor stores Task pointers).
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(int64_t initial_capacity = 64)
+      : top_(0), bottom_(0), array_(new Array(initial_capacity)) {}
+
+  ~WorkStealingDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. Amortised O(1); grows the backing array on overflow.
+  void Push(T item) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) {
+      a = Grow(a, t, b);
+    }
+    a->Put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Pops the most recently pushed element (LIFO).
+  bool Pop(T* out) {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T item = a->Get(b);
+      if (t == b) {
+        // Last element: race against thieves via CAS on top.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return false;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      *out = item;
+      return true;
+    }
+    // Deque was empty.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Any thread. Steals the oldest element (FIFO end).
+  bool Steal(T* out) {
+    int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      Array* a = array_.load(std::memory_order_consume);
+      T item = a->Get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return false;  // Lost the race; caller may retry.
+      }
+      *out = item;
+      return true;
+    }
+    return false;
+  }
+
+  /// Approximate size; exact only when quiescent.
+  int64_t SizeApprox() const {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+  bool EmptyApprox() const { return SizeApprox() <= 0; }
+
+ private:
+  struct Array {
+    explicit Array(int64_t cap) : capacity(cap), data(new std::atomic<T>[cap]) {}
+    const int64_t capacity;
+    std::unique_ptr<std::atomic<T>[]> data;
+
+    T Get(int64_t i) const {
+      return data[i & (capacity - 1)].load(std::memory_order_relaxed);
+    }
+    void Put(int64_t i, T item) {
+      data[i & (capacity - 1)].store(item, std::memory_order_relaxed);
+    }
+  };
+
+  Array* Grow(Array* old, int64_t t, int64_t b) {
+    Array* bigger = new Array(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
+    array_.store(bigger, std::memory_order_release);
+    // Old arrays are retired, not freed, until destruction: a concurrent
+    // thief may still hold the old pointer.
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_;
+  std::atomic<int64_t> bottom_;
+  std::atomic<Array*> array_;
+  std::vector<Array*> retired_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_WS_DEQUE_H_

@@ -1,0 +1,86 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace hgmatch {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(&s);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(&s);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire multiply-shift; bias is negligible for bound << 2^64.
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(Next64()) * static_cast<unsigned __int128>(bound);
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::NextRange(uint64_t lo, uint64_t hi) {
+  return lo + NextBounded(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return NextBounded(n);
+  // Rejection sampling (Devroye) against the continuous Zipf envelope;
+  // constant expected number of iterations for any s.
+  const double t = std::pow(static_cast<double>(n), 1.0 - s);
+  while (true) {
+    const double u = NextDouble();
+    const double v = NextDouble();
+    // Inverse of the envelope CDF.
+    double x;
+    if (s == 1.0) {
+      x = std::pow(static_cast<double>(n), u);
+    } else {
+      x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+    }
+    const uint64_t k = static_cast<uint64_t>(x);
+    if (k >= n) continue;
+    const double ratio = std::pow((k + 1.0) / (x > 1.0 ? x : 1.0), s);
+    if (v * x / (k + 1.0) <= ratio) return k;
+  }
+}
+
+uint64_t Rng::NextGeometric(double p) {
+  if (p >= 1.0) return 1;
+  const double u = NextDouble();
+  return 1 + static_cast<uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+}  // namespace hgmatch

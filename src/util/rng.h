@@ -1,0 +1,67 @@
+#ifndef HGMATCH_UTIL_RNG_H_
+#define HGMATCH_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hgmatch {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// splitmix64. All randomised components of the library (dataset generators,
+/// query samplers, work-stealing victim selection) use this generator so that
+/// experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator. Uses splitmix64 to spread the seed over the
+  /// full 256-bit state so that nearby seeds yield independent streams.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform in [0, bound). Requires bound > 0. Uses Lemire's multiply-shift
+  /// rejection-free approximation, adequate for non-cryptographic sampling.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Zipf-distributed value in [0, n) with skew parameter s >= 0.
+  /// s == 0 degenerates to uniform. Uses inverse-CDF over a precomputed
+  /// table when n is small, rejection sampling otherwise.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric number of trials >= 1 with success probability p in (0,1].
+  uint64_t NextGeometric(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// splitmix64 step; exposed for hashing use elsewhere.
+uint64_t SplitMix64(uint64_t* state);
+
+/// One-shot 64-bit mix suitable for combining hash values.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_UTIL_RNG_H_

@@ -1,0 +1,189 @@
+#include "util/set_ops.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace hgmatch {
+namespace {
+
+// Sizes more asymmetric than this ratio take the galloping (binary-search)
+// path; the constant follows common practice in search-engine posting-list
+// kernels.
+constexpr size_t kGallopRatio = 32;
+
+// Galloping intersection: for each element of the small list, locate it in
+// the large list via exponential + binary search, advancing a frontier.
+void IntersectGallop(const std::vector<uint32_t>& small,
+                     const std::vector<uint32_t>& large,
+                     std::vector<uint32_t>* out) {
+  size_t lo = 0;
+  for (uint32_t x : small) {
+    // Exponential probe from the current frontier.
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < large.size() && large[hi] < x) {
+      lo = hi;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi > large.size()) hi = large.size();
+    const auto it = std::lower_bound(large.begin() + lo, large.begin() + hi, x);
+    lo = static_cast<size_t>(it - large.begin());
+    if (lo < large.size() && large[lo] == x) {
+      out->push_back(x);
+      ++lo;
+    }
+    if (lo >= large.size()) break;
+  }
+}
+
+void IntersectMerge(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b,
+                    std::vector<uint32_t>* out) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+void Intersect(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+               std::vector<uint32_t>* out) {
+  out->clear();
+  if (a.empty() || b.empty()) return;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  out->reserve(small.size());
+  if (large.size() / (small.size() + 1) >= kGallopRatio) {
+    IntersectGallop(small, large, out);
+  } else {
+    IntersectMerge(a, b, out);
+  }
+}
+
+size_t IntersectSize(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+void IntersectInPlace(std::vector<uint32_t>* a,
+                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> tmp;
+  Intersect(*a, b, &tmp);
+  a->swap(tmp);
+}
+
+void Union(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+           std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(*out));
+}
+
+void UnionInPlace(std::vector<uint32_t>* a, const std::vector<uint32_t>& b) {
+  if (b.empty()) return;
+  std::vector<uint32_t> tmp;
+  Union(*a, b, &tmp);
+  a->swap(tmp);
+}
+
+void UnionMany(const std::vector<const std::vector<uint32_t>*>& inputs,
+               std::vector<uint32_t>* out) {
+  out->clear();
+  if (inputs.empty()) return;
+  if (inputs.size() == 1) {
+    *out = *inputs[0];
+    return;
+  }
+  if (inputs.size() == 2) {
+    Union(*inputs[0], *inputs[1], out);
+    return;
+  }
+  // K-way merge with a min-heap over (value, input index, position).
+  struct Cursor {
+    uint32_t value;
+    uint32_t input;
+    uint32_t pos;
+    bool operator>(const Cursor& other) const { return value > other.value; }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<Cursor>> heap;
+  size_t total = 0;
+  for (uint32_t k = 0; k < inputs.size(); ++k) {
+    total += inputs[k]->size();
+    if (!inputs[k]->empty()) heap.push({(*inputs[k])[0], k, 0});
+  }
+  out->reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    if (out->empty() || out->back() != c.value) out->push_back(c.value);
+    const auto& in = *inputs[c.input];
+    if (c.pos + 1 < in.size()) heap.push({in[c.pos + 1], c.input, c.pos + 1});
+  }
+}
+
+void Difference(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+                std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(*out));
+}
+
+bool Contains(const std::vector<uint32_t>& a, uint32_t x) {
+  return std::binary_search(a.begin(), a.end(), x);
+}
+
+bool Intersects(const std::vector<uint32_t>& a,
+                const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsSubset(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  if (a.size() > b.size()) return false;
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void InsertSorted(std::vector<uint32_t>* a, uint32_t x) {
+  auto it = std::lower_bound(a->begin(), a->end(), x);
+  if (it == a->end() || *it != x) a->insert(it, x);
+}
+
+void SortUnique(std::vector<uint32_t>* a) {
+  std::sort(a->begin(), a->end());
+  a->erase(std::unique(a->begin(), a->end()), a->end());
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,65 @@
+#ifndef HGMATCH_UTIL_SET_OPS_H_
+#define HGMATCH_UTIL_SET_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hgmatch {
+
+/// Sorted-set algebra on duplicate-free ascending uint32 vectors.
+///
+/// These kernels are the workhorse of HGMatch's candidate generation
+/// (Algorithm 4): posting lists of the inverted hyperedge index are unioned
+/// per incident vertex and the per-vertex unions are intersected. The paper
+/// notes these operations "can be implemented very efficiently on modern
+/// hardware"; we provide a scalar merge path plus a galloping path that is
+/// automatically selected when the input sizes are very asymmetric.
+
+/// out = a ∩ b. `out` is cleared first. Aliasing with inputs is not allowed.
+void Intersect(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+               std::vector<uint32_t>* out);
+
+/// Returns |a ∩ b| without materialising the intersection.
+size_t IntersectSize(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b);
+
+/// In-place: a = a ∩ b.
+void IntersectInPlace(std::vector<uint32_t>* a, const std::vector<uint32_t>& b);
+
+/// out = a ∪ b. `out` is cleared first. Aliasing with inputs is not allowed.
+void Union(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+           std::vector<uint32_t>* out);
+
+/// In-place: a = a ∪ b (uses a scratch buffer internally).
+void UnionInPlace(std::vector<uint32_t>* a, const std::vector<uint32_t>& b);
+
+/// out = union of all input lists (k-way merge). `inputs` may be empty, in
+/// which case `out` is cleared. Pointers must be non-null.
+void UnionMany(const std::vector<const std::vector<uint32_t>*>& inputs,
+               std::vector<uint32_t>* out);
+
+/// out = a \ b. `out` is cleared first.
+void Difference(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b,
+                std::vector<uint32_t>* out);
+
+/// True iff x ∈ a (binary search).
+bool Contains(const std::vector<uint32_t>& a, uint32_t x);
+
+/// True iff a ∩ b is non-empty (early-exit merge/gallop).
+bool Intersects(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b);
+
+/// True iff a ⊆ b.
+bool IsSubset(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b);
+
+/// Inserts x into sorted vector a, keeping it sorted; no-op if present.
+void InsertSorted(std::vector<uint32_t>* a, uint32_t x);
+
+/// Sorts and removes duplicates in place.
+void SortUnique(std::vector<uint32_t>* a);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_UTIL_SET_OPS_H_

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hgmatch {
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.q1 = QuantileSorted(samples, 0.25);
+  s.median = QuantileSorted(samples, 0.5);
+  s.q3 = QuantileSorted(samples, 0.75);
+  double sum = 0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  return s;
+}
+
+std::string Summary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g mean=%.3g n=%zu",
+                min, q1, median, q3, max, mean, count);
+  return buf;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+  } else if (bytes < 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", bytes / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+std::string HumanCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+double GeoMean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0;
+  double log_sum = 0;
+  for (double x : samples) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,42 @@
+#ifndef HGMATCH_UTIL_STATS_H_
+#define HGMATCH_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hgmatch {
+
+/// Five-number summary (min, q1, median, q3, max) plus mean, as used to
+/// report box-plot style distributions (paper Fig 6).
+struct Summary {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  size_t count = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes the summary of a sample (copies and sorts internally).
+Summary Summarize(std::vector<double> samples);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0,1].
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Formats a byte count as "123B" / "4.5KB" / "6.7MB" / "8.9GB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a count with thousands separators.
+std::string HumanCount(uint64_t n);
+
+/// Geometric mean of strictly positive samples; returns 0 for empty input.
+double GeoMean(const std::vector<double>& samples);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_UTIL_STATS_H_

@@ -1,0 +1,94 @@
+#ifndef HGMATCH_UTIL_STATUS_H_
+#define HGMATCH_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hgmatch {
+
+/// Error codes used across the library. Modelled after the common
+/// database-library convention (cf. arrow::Status / rocksdb::Status):
+/// functions that can fail return a Status (or Result<T>) instead of
+/// throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kTimeout,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight status object: either OK (no allocation) or an error code
+/// with a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. The value may only be
+/// accessed when ok() is true.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse
+  /// (`return value;` / `return Status::IOError(...)`), matching the
+  /// convention of arrow::Result.
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_UTIL_STATUS_H_

@@ -1,0 +1,69 @@
+#ifndef HGMATCH_UTIL_TIMER_H_
+#define HGMATCH_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hgmatch {
+
+/// Monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget. `Infinite()` never expires. Matchers poll this every
+/// few thousand search steps to honour the per-query timeouts used in the
+/// paper's Table IV experiment.
+class Deadline {
+ public:
+  /// Deadline that expires `seconds` from now; non-positive means infinite.
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds > 0) {
+      d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(seconds));
+      d.infinite_ = false;
+    }
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return !infinite_ && Clock::now() >= expiry_;
+  }
+
+  bool IsInfinite() const { return infinite_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point expiry_{};
+  bool infinite_ = true;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_UTIL_TIMER_H_

@@ -1,0 +1,200 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validation.h"
+#include "tests/test_fixtures.h"
+
+namespace hgmatch {
+namespace {
+
+// Example V.1 of the paper: with matching order
+// ({u2,u4}, {u0,u1,u2}, {u0,u1,u3,u4}) and partial embedding m = (e1, e3),
+// the candidates of the third query hyperedge are exactly {e5}.
+TEST(CandidatesTest, PaperExampleV1) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q = PaperQueryHypergraph();
+  Result<QueryPlan> plan = BuildQueryPlanWithOrder(q, {0, 1, 2});
+  ASSERT_TRUE(plan.ok());
+  Expander expander(idx, plan.value());
+
+  const EdgeId m[] = {0 /*e1*/, 2 /*e3*/};
+  std::vector<EdgeId> out;
+  expander.GenerateCandidates(m, 2, &out);
+  EXPECT_EQ(out, (std::vector<EdgeId>{4}));  // e5
+}
+
+TEST(CandidatesTest, ScanStepReturnsWholeTable) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q = PaperQueryHypergraph();
+  Result<QueryPlan> plan = BuildQueryPlanWithOrder(q, {0, 1, 2});
+  ASSERT_TRUE(plan.ok());
+  Expander expander(idx, plan.value());
+  std::vector<EdgeId> out;
+  expander.GenerateCandidates(nullptr, 0, &out);
+  EXPECT_EQ(out, (std::vector<EdgeId>{0, 1}));  // e1, e2: the {A,B} table
+}
+
+TEST(CandidatesTest, MissingSignatureYieldsNoCandidates) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  // Query with a hyperedge signature {B,C} absent from the data.
+  Hypergraph q;
+  const VertexId b = q.AddVertex(1);
+  const VertexId c = q.AddVertex(2);
+  (void)q.AddEdge({b, c});
+  Result<QueryPlan> plan = BuildQueryPlanWithOrder(q, {0});
+  ASSERT_TRUE(plan.ok());
+  Expander expander(idx, plan.value());
+  std::vector<EdgeId> out = {99};
+  expander.GenerateCandidates(nullptr, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CandidatesTest, ExcludesAlreadyMatchedEdges) {
+  // Data: triangle-ish structure where the same signature table serves two
+  // steps; the edge already used must not be offered again.
+  Hypergraph h;
+  h.AddVertices(4, 0);  // all label A
+  (void)h.AddEdge({0, 1});
+  (void)h.AddEdge({1, 2});
+  (void)h.AddEdge({2, 3});
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(h));
+
+  Hypergraph q;
+  q.AddVertices(3, 0);
+  (void)q.AddEdge({0, 1});
+  (void)q.AddEdge({1, 2});
+  Result<QueryPlan> plan = BuildQueryPlanWithOrder(q, {0, 1});
+  ASSERT_TRUE(plan.ok());
+  Expander expander(idx, plan.value());
+
+  const EdgeId m[] = {1 /*{1,2}*/};
+  std::vector<EdgeId> out;
+  expander.GenerateCandidates(m, 1, &out);
+  // Neighbours of data edge {1,2} with signature {A,A}: {0,1} and {2,3};
+  // the matched edge itself is excluded.
+  EXPECT_EQ(out, (std::vector<EdgeId>{0, 2}));
+}
+
+// Fig 4 of the paper: a candidate that passes the vertex-count check but
+// fails profile validation. Partial query: e0={u0,u1} (B,A),
+// e1={u2,u3,u4,u5}? — we reproduce the *structure*: the multiset of
+// profiles differs although counts agree.
+TEST(ValidationTest, RejectsProfileMismatch) {
+  // Data: v0(B) v1..v5(A); edges d0={v0,v1}, d1={v3,v4,v5}, d2={v1,v2,v3}.
+  Hypergraph h;
+  const Label A = 0, B = 1;
+  h.AddVertex(B);
+  for (int i = 0; i < 5; ++i) h.AddVertex(A);
+  const EdgeId d0 = h.AddEdge({0, 1}).value();
+  const EdgeId d1 = h.AddEdge({3, 4, 5}).value();
+  const EdgeId d2 = h.AddEdge({1, 2, 3}).value();
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(h));
+
+  // Query: u0(B) u1..u5(A); q0={u0,u1}, q1={u3,u4,u5}, q2={u2,u3,u4}.
+  // Here q2 intersects q1 in TWO vertices (u3,u4) and is disjoint from q0.
+  Hypergraph q;
+  q.AddVertex(B);
+  for (int i = 0; i < 5; ++i) q.AddVertex(A);
+  (void)q.AddEdge({0, 1});
+  (void)q.AddEdge({3, 4, 5});
+  (void)q.AddEdge({2, 3, 4});
+  Result<QueryPlan> plan = BuildQueryPlanWithOrder(q, {0, 1, 2});
+  ASSERT_TRUE(plan.ok());
+  Expander expander(idx, plan.value());
+
+  // Candidate d2={v1,v2,v3} for q2: touches d0 (via v1) although q2 is
+  // non-adjacent to q0, and shares only ONE vertex with d1 (v3) although
+  // q2 shares two with q1. Vertex count: |V(q')| = 6;
+  // |V(m')| with m'=(d0,d1,d2) = 6 as well => count check passes, profile
+  // check must reject.
+  const EdgeId m[] = {d0, d1};
+  bool count_ok = false;
+  EXPECT_FALSE(expander.IsValidEmbedding(m, 2, d2, &count_ok));
+  EXPECT_TRUE(count_ok);
+  // The exact class check agrees.
+  const EdgeId full[] = {d0, d1, d2};
+  const EdgeId order[] = {0, 1, 2};
+  EXPECT_FALSE(
+      EmbeddingConsistent(q, idx.graph(), order, full, 3));
+}
+
+TEST(ValidationTest, AcceptsPaperEmbeddings) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q = PaperQueryHypergraph();
+  Result<QueryPlan> plan = BuildQueryPlanWithOrder(q, {0, 1, 2});
+  ASSERT_TRUE(plan.ok());
+  Expander expander(idx, plan.value());
+
+  bool count_ok = false;
+  const EdgeId m1[] = {0, 2};
+  EXPECT_TRUE(expander.IsValidEmbedding(m1, 2, 4, &count_ok));  // + e5
+  EXPECT_TRUE(count_ok);
+  const EdgeId m2[] = {1, 3};
+  EXPECT_TRUE(expander.IsValidEmbedding(m2, 2, 5, &count_ok));  // + e6
+  // Cross combination is invalid: (e1, e3) + e6.
+  EXPECT_FALSE(expander.IsValidEmbedding(m1, 2, 5, &count_ok));
+
+  // VerifyExact agrees on the two full embeddings.
+  const EdgeId full1[] = {0, 2, 4};
+  const EdgeId full2[] = {1, 3, 5};
+  EXPECT_TRUE(expander.VerifyExact(full1, 3));
+  EXPECT_TRUE(expander.VerifyExact(full2, 3));
+}
+
+TEST(ValidationTest, VertexCountCheckFiltersEarly) {
+  // Candidate sharing too many vertices with the partial embedding fails
+  // the Observation V.5 check (count_ok == false).
+  Hypergraph h;
+  h.AddVertices(5, 0);
+  const EdgeId d0 = h.AddEdge({0, 1, 2}).value();
+  const EdgeId d1 = h.AddEdge({0, 1, 3}).value();
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(h));
+
+  // Query expects the two edges to share exactly one vertex.
+  Hypergraph q;
+  q.AddVertices(5, 0);
+  (void)q.AddEdge({0, 1, 2});
+  (void)q.AddEdge({2, 3, 4});
+  Result<QueryPlan> plan = BuildQueryPlanWithOrder(q, {0, 1});
+  ASSERT_TRUE(plan.ok());
+  Expander expander(idx, plan.value());
+
+  const EdgeId m[] = {d0};
+  bool count_ok = true;
+  EXPECT_FALSE(expander.IsValidEmbedding(m, 1, d1, &count_ok));
+  EXPECT_FALSE(count_ok);  // 4 distinct data vertices != 5 query vertices
+}
+
+TEST(EmbeddingConsistentTest, SymmetricVerticesAllowAnyBijection) {
+  // Two query vertices with identical labels and incidence are
+  // interchangeable; the class check must accept.
+  Hypergraph h;
+  h.AddVertices(3, 0);
+  const EdgeId d0 = h.AddEdge({0, 1, 2}).value();
+  Hypergraph q;
+  q.AddVertices(3, 0);
+  (void)q.AddEdge({0, 1, 2});
+  const EdgeId order[] = {0};
+  const EdgeId matched[] = {d0};
+  EXPECT_TRUE(EmbeddingConsistent(q, h, order, matched, 1));
+}
+
+TEST(EmbeddingConsistentTest, LabelMultiplicityMismatchRejected) {
+  Hypergraph h;
+  h.AddVertex(0);
+  h.AddVertex(0);
+  h.AddVertex(1);
+  const EdgeId d0 = h.AddEdge({0, 1, 2}).value();  // labels {A,A,B}
+  Hypergraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  q.AddVertex(1);
+  (void)q.AddEdge({0, 1, 2});  // labels {A,B,B}
+  const EdgeId order[] = {0};
+  const EdgeId matched[] = {d0};
+  EXPECT_FALSE(EmbeddingConsistent(q, h, order, matched, 1));
+}
+
+}  // namespace
+}  // namespace hgmatch

@@ -1,0 +1,144 @@
+#include "core/hgmatch.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "tests/test_fixtures.h"
+
+namespace hgmatch {
+namespace {
+
+TEST(SequentialEngineTest, PaperExampleFindsBothEmbeddings) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q = PaperQueryHypergraph();
+  CollectSink sink;
+  Result<MatchStats> stats = MatchSequential(idx, q, MatchOptions{}, &sink);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().embeddings, 2u);
+  ASSERT_EQ(sink.embeddings().size(), 2u);
+  // Matching order is (0,1,2), so tuples are already per query edge id:
+  // (e1,e3,e5) = (0,2,4) and (e2,e4,e6) = (1,3,5).
+  std::vector<Embedding> got = sink.embeddings();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got[0], (Embedding{0, 2, 4}));
+  EXPECT_EQ(got[1], (Embedding{1, 3, 5}));
+}
+
+TEST(SequentialEngineTest, AgreesWithReferenceOnPaperExample) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q = PaperQueryHypergraph();
+  MatchStats ref = ReferenceEdgeTupleMatch(idx, q);
+  Result<MatchStats> got = MatchSequential(idx, q);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().embeddings, ref.embeddings);
+}
+
+TEST(SequentialEngineTest, SingleEdgeQueryCountsSignatureTable) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  // Query = one {A,B} hyperedge: matches e1 and e2.
+  Hypergraph q;
+  const VertexId a = q.AddVertex(0);
+  const VertexId b = q.AddVertex(1);
+  (void)q.AddEdge({a, b});
+  Result<MatchStats> stats = MatchSequential(idx, q);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().embeddings, 2u);
+}
+
+TEST(SequentialEngineTest, NoMatchWhenSignatureMissing) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q;
+  const VertexId b = q.AddVertex(1);
+  const VertexId c = q.AddVertex(2);
+  (void)q.AddEdge({b, c});  // {B,C} table does not exist
+  Result<MatchStats> stats = MatchSequential(idx, q);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().embeddings, 0u);
+}
+
+TEST(SequentialEngineTest, LimitStopsEnumeration) {
+  // Data with many embeddings of a single-edge query.
+  Hypergraph h;
+  h.AddVertices(40, 0);
+  for (VertexId v = 0; v + 1 < 40; ++v) (void)h.AddEdge({v, v + 1});
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(h));
+  Hypergraph q;
+  q.AddVertices(2, 0);
+  (void)q.AddEdge({0, 1});
+  MatchOptions options;
+  options.limit = 5;
+  Result<MatchStats> stats = MatchSequential(idx, q, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().embeddings, 5u);
+  EXPECT_TRUE(stats.value().limit_hit);
+}
+
+TEST(SequentialEngineTest, StrictValidationChangesNothing) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Hypergraph data = GenerateHypergraph(SmallRandomConfig(seed));
+    IndexedHypergraph idx = IndexedHypergraph::Build(std::move(data));
+    GeneratorConfig qc = SmallRandomConfig(seed + 50);
+    qc.num_edges = 3;
+    qc.num_vertices = 8;
+    Hypergraph q = GenerateHypergraph(qc);
+    if (q.NumEdges() == 0) continue;
+    MatchOptions strict;
+    strict.strict_validation = true;
+    Result<MatchStats> plain = MatchSequential(idx, q);
+    Result<MatchStats> checked = MatchSequential(idx, q, strict);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(checked.ok());
+    // Theorem V.2's incremental check must agree with the exact check.
+    EXPECT_EQ(plain.value().embeddings, checked.value().embeddings)
+        << "Algorithm 5 disagreed with exact validation at seed " << seed;
+  }
+}
+
+TEST(SequentialEngineTest, StatsCountersAreCoherent) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q = PaperQueryHypergraph();
+  Result<MatchStats> stats = MatchSequential(idx, q);
+  ASSERT_TRUE(stats.ok());
+  // candidates >= filtered >= embeddings (Fig 9's three bars).
+  EXPECT_GE(stats.value().candidates, stats.value().filtered);
+  EXPECT_GE(stats.value().filtered, stats.value().embeddings);
+  EXPECT_GT(stats.value().expansions, 0u);
+  EXPECT_GE(stats.value().seconds, 0.0);
+}
+
+TEST(SequentialEngineTest, RejectsEmptyQuery) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q;
+  q.AddVertex(0);
+  EXPECT_FALSE(MatchSequential(idx, q).ok());
+}
+
+TEST(ReferenceTest, VertexSemanticsOnPaperExample) {
+  // The paper example's two hyperedge-tuple embeddings each admit exactly
+  // one vertex bijection, so both semantics agree here.
+  Hypergraph data = PaperDataHypergraph();
+  Hypergraph q = PaperQueryHypergraph();
+  EXPECT_EQ(ReferenceVertexMatchCount(data, q), 2u);
+}
+
+TEST(ReferenceTest, VertexSemanticsCountsSymmetries) {
+  // One data edge {A,A}; query edge {A,A}: a single hyperedge-tuple but two
+  // vertex mappings (the two vertices are interchangeable).
+  Hypergraph data;
+  data.AddVertices(2, 0);
+  (void)data.AddEdge({0, 1});
+  Hypergraph q;
+  q.AddVertices(2, 0);
+  (void)q.AddEdge({0, 1});
+  EXPECT_EQ(ReferenceVertexMatchCount(data, q), 2u);
+
+  IndexedHypergraph idx = IndexedHypergraph::Build(data.Clone());
+  MatchStats tuple = ReferenceEdgeTupleMatch(idx, q);
+  EXPECT_EQ(tuple.embeddings, 1u);
+  Result<MatchStats> hg = MatchSequential(idx, q);
+  ASSERT_TRUE(hg.ok());
+  EXPECT_EQ(hg.value().embeddings, 1u);
+}
+
+}  // namespace
+}  // namespace hgmatch

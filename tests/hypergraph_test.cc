@@ -1,0 +1,132 @@
+#include "core/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/signature.h"
+
+namespace hgmatch {
+namespace {
+
+// Builds the paper's running example (Fig 1b): 7 vertices, 6 hyperedges.
+// Labels: A=0, B=1, C=2.
+Hypergraph PaperDataHypergraph() {
+  Hypergraph h;
+  const Label A = 0, B = 1, C = 2;
+  // v0..v6 with labels A, C, A, A, B, C, A (Fig 1b).
+  for (Label l : {A, C, A, A, B, C, A}) h.AddVertex(l);
+  EXPECT_TRUE(h.AddEdge({2, 4}).ok());           // e1 = {v2, v4}
+  EXPECT_TRUE(h.AddEdge({4, 6}).ok());           // e2 = {v4, v6}
+  EXPECT_TRUE(h.AddEdge({0, 1, 2}).ok());        // e3 = {v0, v1, v2}
+  EXPECT_TRUE(h.AddEdge({3, 5, 6}).ok());        // e4 = {v3, v5, v6}
+  EXPECT_TRUE(h.AddEdge({0, 1, 4, 6}).ok());     // e5 = {v0, v1, v4, v6}
+  EXPECT_TRUE(h.AddEdge({2, 3, 4, 5}).ok());     // e6 = {v2, v3, v4, v5}
+  return h;
+}
+
+TEST(HypergraphTest, BasicCounts) {
+  Hypergraph h = PaperDataHypergraph();
+  EXPECT_EQ(h.NumVertices(), 7u);
+  EXPECT_EQ(h.NumEdges(), 6u);
+  EXPECT_EQ(h.NumLabels(), 3u);
+  EXPECT_EQ(h.MaxArity(), 4u);
+  EXPECT_DOUBLE_EQ(h.AverageArity(), (2 + 2 + 3 + 3 + 4 + 4) / 6.0);
+  EXPECT_EQ(h.NumIncidences(), 18u);
+}
+
+TEST(HypergraphTest, EdgeCanonicalisation) {
+  Hypergraph h;
+  h.AddVertices(4, 0);
+  Result<EdgeId> e = h.AddEdge({3, 1, 3, 2});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(h.edge(e.value()), (VertexSet{1, 2, 3}));
+  EXPECT_EQ(h.arity(e.value()), 3u);
+}
+
+TEST(HypergraphTest, DuplicateEdgeReturnsExistingId) {
+  Hypergraph h;
+  h.AddVertices(4, 0);
+  Result<EdgeId> first = h.AddEdge({0, 1});
+  Result<EdgeId> dup = h.AddEdge({1, 0});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(first.value(), dup.value());
+  EXPECT_EQ(h.NumEdges(), 1u);
+}
+
+TEST(HypergraphTest, RejectsEmptyAndUnknownVertex) {
+  Hypergraph h;
+  h.AddVertices(2, 0);
+  EXPECT_FALSE(h.AddEdge({}).ok());
+  EXPECT_FALSE(h.AddEdge({5}).ok());
+}
+
+TEST(HypergraphTest, IncidenceAndDegree) {
+  Hypergraph h = PaperDataHypergraph();
+  // v4 appears in e1, e2, e5, e6 (ids 0, 1, 4, 5).
+  EXPECT_EQ(h.incident(4), (EdgeSet{0, 1, 4, 5}));
+  EXPECT_EQ(h.degree(4), 4u);
+  EXPECT_EQ(h.degree(3), 2u);
+}
+
+TEST(HypergraphTest, AdjacentVertices) {
+  Hypergraph h = PaperDataHypergraph();
+  // v0 is in e3={v0,v1,v2} and e5={v0,v1,v4,v6}.
+  EXPECT_EQ(h.AdjacentVertices(0), (VertexSet{1, 2, 4, 6}));
+}
+
+TEST(HypergraphTest, AdjacentEdges) {
+  Hypergraph h = PaperDataHypergraph();
+  // e1={v2,v4} shares v2 with e3, e6 and v4 with e2, e5, e6.
+  EXPECT_EQ(h.AdjacentEdges(0), (EdgeSet{1, 2, 4, 5}));
+}
+
+TEST(HypergraphTest, FindEdge) {
+  Hypergraph h = PaperDataHypergraph();
+  EXPECT_EQ(h.FindEdge({4, 2}), 0u);
+  EXPECT_EQ(h.FindEdge({0, 1, 4, 6}), 4u);
+  EXPECT_EQ(h.FindEdge({0, 1}), kInvalidEdge);
+  EXPECT_EQ(h.FindEdge({0, 1, 2, 3}), kInvalidEdge);
+}
+
+TEST(HypergraphTest, Connectivity) {
+  Hypergraph h = PaperDataHypergraph();
+  EXPECT_TRUE(h.IsConnected());
+  Hypergraph two;
+  two.AddVertices(4, 0);
+  ASSERT_TRUE(two.AddEdge({0, 1}).ok());
+  ASSERT_TRUE(two.AddEdge({2, 3}).ok());
+  EXPECT_FALSE(two.IsConnected());
+}
+
+TEST(HypergraphTest, CloneIsDeep) {
+  Hypergraph h = PaperDataHypergraph();
+  Hypergraph copy = h.Clone();
+  copy.AddVertex(0);
+  ASSERT_TRUE(copy.AddEdge({0, 7}).ok());
+  EXPECT_EQ(h.NumVertices(), 7u);
+  EXPECT_EQ(h.NumEdges(), 6u);
+  EXPECT_EQ(copy.NumEdges(), 7u);
+}
+
+TEST(SignatureTest, PaperExample) {
+  Hypergraph h = PaperDataHypergraph();
+  // S(e1) = {A, B}: labels of v2 (A) and v4 (B).
+  EXPECT_EQ(SignatureOf(h, 0), (Signature{0, 1}));
+  // S(e3) = {A, A, C}.
+  EXPECT_EQ(SignatureOf(h, 2), (Signature{0, 0, 2}));
+  // S(e5) = {A, A, B, C}.
+  EXPECT_EQ(SignatureOf(h, 4), (Signature{0, 0, 1, 2}));
+  // e5 and e6 share a signature; e1 and e2 share a signature.
+  EXPECT_EQ(SignatureOf(h, 4), SignatureOf(h, 5));
+  EXPECT_EQ(SignatureOf(h, 0), SignatureOf(h, 1));
+  EXPECT_EQ(SignatureToString(SignatureOf(h, 2)), "{A,A,C}");
+}
+
+TEST(SignatureTest, HashDistinguishes) {
+  EXPECT_NE(HashSignature({0, 1}), HashSignature({0, 0, 1}));
+  EXPECT_NE(HashSignature({0}), HashSignature({1}));
+  EXPECT_EQ(HashSignature({2, 3, 3}), HashSignature({2, 3, 3}));
+}
+
+}  // namespace
+}  // namespace hgmatch

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/indexed_hypergraph.h"
+#include "core/partition.h"
+#include "tests/test_fixtures.h"
+
+namespace hgmatch {
+namespace {
+
+// Table I of the paper: the data hypergraph of Fig 1b partitions into three
+// hyperedge tables with signatures {A,B}, {A,A,C} and {A,A,B,C}.
+TEST(IndexedHypergraphTest, PaperTableOnePartitions) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ASSERT_EQ(idx.partitions().size(), 3u);
+
+  const Signature ab{0, 1}, aac{0, 0, 2}, aabc{0, 0, 1, 2};
+  const Partition* p1 = idx.FindPartition(ab);
+  const Partition* p2 = idx.FindPartition(aac);
+  const Partition* p3 = idx.FindPartition(aabc);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  ASSERT_NE(p3, nullptr);
+
+  // Partition 1: e1={v2,v4}, e2={v4,v6}.
+  EXPECT_EQ(p1->edges(), (EdgeSet{0, 1}));
+  // Partition 2: e3, e4.
+  EXPECT_EQ(p2->edges(), (EdgeSet{2, 3}));
+  // Partition 3: e5, e6.
+  EXPECT_EQ(p3->edges(), (EdgeSet{4, 5}));
+}
+
+// Table I's inverted index: v4 -> [e1, e2] in partition 1; v4 -> [e5, e6]
+// in partition 3; v0 -> [e3] in partition 2.
+TEST(IndexedHypergraphTest, PaperTableOneInvertedIndex) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  EXPECT_EQ(idx.Postings({0, 1}, 4), (EdgeSet{0, 1}));
+  EXPECT_EQ(idx.Postings({0, 0, 1, 2}, 4), (EdgeSet{4, 5}));
+  EXPECT_EQ(idx.Postings({0, 0, 2}, 0), (EdgeSet{2}));
+  // v0 never occurs in partition 1.
+  EXPECT_TRUE(idx.Postings({0, 1}, 0).empty());
+  // Unknown signature: empty postings, zero cardinality.
+  EXPECT_TRUE(idx.Postings({2, 2}, 0).empty());
+  EXPECT_EQ(idx.Cardinality({2, 2}), 0u);
+}
+
+TEST(IndexedHypergraphTest, CardinalityIsTableSize) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  EXPECT_EQ(idx.Cardinality({0, 1}), 2u);
+  EXPECT_EQ(idx.Cardinality({0, 0, 2}), 2u);
+  EXPECT_EQ(idx.Cardinality({0, 0, 1, 2}), 2u);
+}
+
+TEST(IndexedHypergraphTest, PartitionOfMapsEveryEdge) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  for (EdgeId e = 0; e < idx.graph().NumEdges(); ++e) {
+    const PartitionId p = idx.PartitionOf(e);
+    ASSERT_LT(p, idx.partitions().size());
+    const EdgeSet& edges = idx.partitions()[p].edges();
+    EXPECT_TRUE(std::find(edges.begin(), edges.end(), e) != edges.end());
+  }
+}
+
+// Invariants on a random hypergraph: every posting list is sorted, contains
+// exactly the incident edges of that signature, and partition sizes sum to
+// |E|. Size analysis: index is O(a_H * |E|) (Section IV.C).
+class IndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexPropertyTest, Invariants) {
+  Hypergraph h = GenerateHypergraph(SmallRandomConfig(GetParam()));
+  const uint64_t incidences = h.NumIncidences();
+  const size_t num_edges = h.NumEdges();
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(h));
+  const Hypergraph& g = idx.graph();
+
+  size_t total = 0;
+  uint64_t posting_entries = 0;
+  for (const Partition& p : idx.partitions()) {
+    total += p.size();
+    EXPECT_TRUE(std::is_sorted(p.edges().begin(), p.edges().end()));
+    for (EdgeId e : p.edges()) {
+      EXPECT_EQ(SignatureOf(g, e), p.signature());
+      EXPECT_EQ(idx.PartitionOf(e), p.id());
+      // Every member vertex's posting list contains e.
+      for (VertexId v : g.edge(e)) {
+        const EdgeSet& postings = p.Postings(v);
+        EXPECT_TRUE(std::binary_search(postings.begin(), postings.end(), e));
+        EXPECT_TRUE(std::is_sorted(postings.begin(), postings.end()));
+      }
+      posting_entries += g.arity(e);
+    }
+  }
+  EXPECT_EQ(total, num_edges);
+  EXPECT_EQ(posting_entries, incidences);
+  // Lightweight index: proportional to incidences, not quadratic.
+  EXPECT_LE(idx.IndexBytes(),
+            64 * (incidences + num_edges + idx.partitions().size() + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace hgmatch

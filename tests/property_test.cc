@@ -1,0 +1,156 @@
+// Cross-engine property sweeps: on random hypergraphs and random-walk
+// queries, every engine in the library must agree with the brute-force
+// oracle of matching semantics (see DESIGN.md §1):
+//   * HGMatch sequential == edge-tuple brute force (count AND set),
+//   * HGMatch parallel (any thread count, stealing on/off) == sequential,
+//   * BFS executor == sequential,
+//   * plan order is irrelevant to the result set.
+
+#include <gtest/gtest.h>
+
+#include "core/hgmatch.h"
+#include "core/reference.h"
+#include "gen/query_gen.h"
+#include "parallel/bfs_executor.h"
+#include "parallel/executor.h"
+#include "tests/test_fixtures.h"
+
+namespace hgmatch {
+namespace {
+
+struct Scenario {
+  uint64_t seed;
+  uint32_t query_edges;
+};
+
+class CrossEngineTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    const Scenario& s = GetParam();
+    data_ = IndexedHypergraph::Build(
+        GenerateHypergraph(SmallRandomConfig(s.seed)));
+    Rng rng(s.seed * 977 + 13);
+    QuerySettings settings{"t", s.query_edges, 2,
+                           100};  // wide vertex range: accept any walk
+    Result<Hypergraph> q = SampleQuery(data_.graph(), settings, &rng);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = std::move(q.value());
+  }
+
+  IndexedHypergraph data_ = IndexedHypergraph::Build(Hypergraph());
+  Hypergraph query_;
+};
+
+TEST_P(CrossEngineTest, SequentialMatchesEdgeTupleOracle) {
+  CollectSink oracle_sink;
+  MatchStats oracle = ReferenceEdgeTupleMatch(data_, query_, {}, &oracle_sink);
+
+  Result<QueryPlan> plan = BuildQueryPlan(query_, data_);
+  ASSERT_TRUE(plan.ok());
+  CollectSink sink;
+  MatchStats got =
+      ExecutePlanSequential(data_, plan.value(), MatchOptions{}, &sink);
+
+  EXPECT_EQ(got.embeddings, oracle.embeddings);
+  // Sets must agree too (normalise both to query-edge-id indexed tuples;
+  // the oracle emits in query-edge-id order already).
+  std::vector<EdgeId> natural(query_.NumEdges());
+  for (EdgeId e = 0; e < query_.NumEdges(); ++e) natural[e] = e;
+  EXPECT_EQ(NormalizeEmbeddings(sink.embeddings(), plan.value().Order()),
+            NormalizeEmbeddings(oracle_sink.embeddings(), natural));
+  // Random-walk queries always have at least one embedding (themselves).
+  EXPECT_GE(got.embeddings, 1u);
+}
+
+TEST_P(CrossEngineTest, EveryPlanOrderGivesTheSameResultSet) {
+  Result<MatchStats> expected = MatchSequential(data_, query_);
+  ASSERT_TRUE(expected.ok());
+  // Try a few alternative (arbitrary) permutations.
+  std::vector<EdgeId> order(query_.NumEdges());
+  for (EdgeId e = 0; e < query_.NumEdges(); ++e) order[e] = e;
+  for (int rot = 0; rot < 3; ++rot) {
+    std::rotate(order.begin(), order.begin() + 1, order.end());
+    Result<QueryPlan> plan = BuildQueryPlanWithOrder(query_, order);
+    ASSERT_TRUE(plan.ok());
+    MatchStats got =
+        ExecutePlanSequential(data_, plan.value(), MatchOptions{}, nullptr);
+    EXPECT_EQ(got.embeddings, expected.value().embeddings)
+        << "order rotation " << rot;
+  }
+}
+
+TEST_P(CrossEngineTest, ParallelMatchesSequential) {
+  Result<MatchStats> expected = MatchSequential(data_, query_);
+  ASSERT_TRUE(expected.ok());
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    for (bool stealing : {true, false}) {
+      ParallelOptions options;
+      options.num_threads = threads;
+      options.work_stealing = stealing;
+      options.scan_grain = 4;  // force range splitting even on small data
+      Result<ParallelResult> got = MatchParallel(data_, query_, options);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value().stats.embeddings, expected.value().embeddings)
+          << threads << " threads, stealing=" << stealing;
+    }
+  }
+}
+
+TEST_P(CrossEngineTest, BfsExecutorMatchesSequential) {
+  Result<MatchStats> expected = MatchSequential(data_, query_);
+  ASSERT_TRUE(expected.ok());
+  Result<QueryPlan> plan = BuildQueryPlan(query_, data_);
+  ASSERT_TRUE(plan.ok());
+  ParallelOptions options;
+  options.num_threads = 2;
+  BfsResult got = ExecutePlanBfs(data_, plan.value(), options);
+  EXPECT_EQ(got.stats.embeddings, expected.value().embeddings);
+  EXPECT_GT(got.peak_bytes, 0u);
+}
+
+std::vector<Scenario> MakeScenarios() {
+  std::vector<Scenario> out;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    out.push_back({seed, 2});
+    out.push_back({seed, 3});
+    out.push_back({seed, 4});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHypergraphs, CrossEngineTest,
+                         ::testing::ValuesIn(MakeScenarios()));
+
+// Denser sweep of the validation path: strict mode (exact bijection check
+// per embedding) must never disagree with Algorithm 5 across many random
+// instances — this is the empirical verification of Theorem V.2.
+class StrictValidationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrictValidationSweep, AlgorithmFiveIsExact) {
+  const uint64_t seed = GetParam();
+  GeneratorConfig config = SmallRandomConfig(seed);
+  config.num_labels = 1 + seed % 2;  // few labels => many symmetric vertices
+  IndexedHypergraph data =
+      IndexedHypergraph::Build(GenerateHypergraph(config));
+  Rng rng(seed * 31 + 7);
+  for (int i = 0; i < 5; ++i) {
+    QuerySettings settings{"t", 3, 2, 100};
+    Result<Hypergraph> q = SampleQuery(data.graph(), settings, &rng);
+    if (!q.ok()) continue;
+    MatchOptions strict;
+    strict.strict_validation = true;
+    Result<MatchStats> a = MatchSequential(data, q.value());
+    Result<MatchStats> b = MatchSequential(data, q.value(), strict);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().embeddings, b.value().embeddings);
+    MatchStats oracle = ReferenceEdgeTupleMatch(data, q.value());
+    EXPECT_EQ(a.value().embeddings, oracle.embeddings);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrictValidationSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace hgmatch

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace hgmatch {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t x = a.Next64();
+    EXPECT_EQ(x, b.Next64());
+  }
+  bool any_diff = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) any_diff |= a2.Next64() != c.Next64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const uint64_t r = rng.NextRange(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  int buckets[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.NextBounded(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], n / 10, n / 50);  // within 2% absolute
+  }
+}
+
+TEST(RngTest, ZipfRangeAndSkew) {
+  Rng rng(13);
+  uint64_t low_half = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t z = rng.NextZipf(100, 1.1);
+    ASSERT_LT(z, 100u);
+    if (z < 10) ++low_half;
+  }
+  // With skew 1.1 the first 10 of 100 values should dominate.
+  EXPECT_GT(low_half, static_cast<uint64_t>(n) / 2);
+  // Skew 0 degenerates to uniform.
+  uint64_t low_uniform = 0;
+  for (int i = 0; i < n; ++i) low_uniform += rng.NextZipf(100, 0.0) < 10;
+  EXPECT_NEAR(static_cast<double>(low_uniform), n * 0.1, n * 0.02);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextGeometric(0.25));
+  EXPECT_NEAR(sum / n, 4.0, 0.15);  // mean of Geometric(p) is 1/p
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+  EXPECT_EQ(Status::Timeout("t").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::IOError("x").ToString(), "IOError: x");
+}
+
+TEST(StatusTest, ResultCarriesValueOrStatus) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatsTest, SummaryQuartiles) {
+  Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.q1, 2);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 4);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(Summarize({}).count, 0u);
+  EXPECT_DOUBLE_EQ(Summarize({7}).median, 7);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0), 10.0);
+}
+
+TEST(StatsTest, HumanFormatting) {
+  EXPECT_EQ(HumanBytes(512), "512B");
+  EXPECT_EQ(HumanBytes(2048), "2.0KB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.0MB");
+  EXPECT_EQ(HumanCount(1234567), "1,234,567");
+  EXPECT_EQ(HumanCount(12), "12");
+}
+
+TEST(StatsTest, GeoMean) {
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+  EXPECT_NEAR(GeoMean({1, 100}), 10.0, 1e-9);
+}
+
+TEST(TimerTest, DeadlineExpires) {
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+  EXPECT_TRUE(Deadline::Infinite().IsInfinite());
+  Deadline d = Deadline::After(0.01);
+  EXPECT_FALSE(d.IsInfinite());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.Expired());
+  // Non-positive timeout means infinite.
+  EXPECT_TRUE(Deadline::After(0).IsInfinite());
+  EXPECT_TRUE(Deadline::After(-1).IsInfinite());
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_GE(t.ElapsedMillis(), 10);
+  EXPECT_GE(t.ElapsedMicros(), 10000);
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 10);
+}
+
+}  // namespace
+}  // namespace hgmatch

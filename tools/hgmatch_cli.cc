@@ -1,0 +1,203 @@
+// hgmatch — command-line front end to the library.
+//
+//   hgmatch gen <profile|random> <out.hg|out.hgb> [scale]
+//   hgmatch stats <file>
+//   hgmatch convert <in> <out>
+//   hgmatch sample <data> <num-edges> [count]
+//   hgmatch match <data> <query> [threads] [limit]
+//
+// Files ending in .hgb use the binary format (io/binary_format.h); anything
+// else is the text format (io/loader.h).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/hgmatch.h"
+#include "core/hypergraph_stats.h"
+#include "gen/dataset_profiles.h"
+#include "gen/query_gen.h"
+#include "io/binary_format.h"
+#include "io/loader.h"
+#include "io/writer.h"
+#include "parallel/dataflow.h"
+#include "parallel/executor.h"
+#include "util/timer.h"
+
+namespace hgmatch {
+namespace {
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() >= 4 && path.substr(path.size() - 4) == ".hgb";
+}
+
+Result<Hypergraph> LoadAny(const std::string& path) {
+  return IsBinaryPath(path) ? LoadHypergraphBinary(path)
+                            : LoadHypergraph(path);
+}
+
+Status SaveAny(const Hypergraph& h, const std::string& path) {
+  return IsBinaryPath(path) ? SaveHypergraphBinary(h, path)
+                            : SaveHypergraph(h, path);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hgmatch gen <profile|random> <out[.hgb]> [scale]\n"
+               "  hgmatch stats <file>\n"
+               "  hgmatch convert <in> <out>\n"
+               "  hgmatch sample <data> <num-edges> [count]\n"
+               "  hgmatch match <data> <query> [threads] [limit]\n"
+               "profiles: HC MA CH CP SB HB WT TC SA AR random\n");
+  return 2;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string profile_name = argv[2];
+  const std::string out = argv[3];
+  const double scale = argc > 4 ? std::atof(argv[4]) : -1;
+  Hypergraph h;
+  Timer timer;
+  if (profile_name == "random") {
+    GeneratorConfig config;
+    config.seed = 1;
+    if (scale > 0) {
+      config.num_vertices = static_cast<uint32_t>(1000 * scale);
+      config.num_edges = static_cast<uint32_t>(3000 * scale);
+    }
+    h = GenerateHypergraph(config);
+  } else {
+    const DatasetProfile* profile = FindDatasetProfile(profile_name);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "unknown profile '%s'\n", profile_name.c_str());
+      return 2;
+    }
+    h = scale > 0 ? profile->Generate(scale) : profile->GenerateDefault();
+  }
+  const Status s = SaveAny(h, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %zu vertices, %zu hyperedges -> %s (%.2fs)\n",
+              h.NumVertices(), h.NumEdges(), out.c_str(),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<Hypergraph> h = LoadAny(argv[2]);
+  if (!h.ok()) {
+    std::fprintf(stderr, "%s\n", h.status().ToString().c_str());
+    return 1;
+  }
+  const HypergraphStats stats = ComputeStats(h.value());
+  std::printf("%s\n", stats.ToString().c_str());
+  Timer timer;
+  IndexedHypergraph index = IndexedHypergraph::Build(std::move(h.value()));
+  std::printf("%s (index built in %.3fs, %llu bytes)\n",
+              ComputePartitionStats(index).ToString().c_str(),
+              timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(index.IndexBytes()));
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<Hypergraph> h = LoadAny(argv[2]);
+  if (!h.ok()) {
+    std::fprintf(stderr, "%s\n", h.status().ToString().c_str());
+    return 1;
+  }
+  const Status s = SaveAny(h.value(), argv[3]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", argv[3]);
+  return 0;
+}
+
+int CmdSample(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<Hypergraph> data = LoadAny(argv[2]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t k = static_cast<uint32_t>(std::atoi(argv[3]));
+  const size_t count = argc > 4 ? static_cast<size_t>(std::atol(argv[4])) : 1;
+  QuerySettings settings{"cli", k, 2, 1000};
+  const auto queries = SampleQueries(data.value(), settings, count, 7);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("# query %zu\n%s", i, FormatHypergraph(queries[i]).c_str());
+  }
+  return queries.empty() ? 1 : 0;
+}
+
+int CmdMatch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<Hypergraph> data = LoadAny(argv[2]);
+  Result<Hypergraph> query = LoadAny(argv[3]);
+  if (!data.ok() || !query.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!data.ok() ? data.status() : query.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  const uint32_t threads =
+      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1;
+  const uint64_t limit = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
+
+  IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
+  Result<QueryPlan> plan = BuildQueryPlan(query.value(), index);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", DataflowGraph::FromPlan(plan.value()).ToString(&index).c_str());
+
+  if (threads <= 1) {
+    MatchOptions options;
+    options.limit = limit;
+    const MatchStats stats =
+        ExecutePlanSequential(index, plan.value(), options, nullptr);
+    std::printf("embeddings: %llu%s in %.3fs (%llu candidates)\n",
+                static_cast<unsigned long long>(stats.embeddings),
+                stats.limit_hit ? "+" : "", stats.seconds,
+                static_cast<unsigned long long>(stats.candidates));
+  } else {
+    ParallelOptions options;
+    options.num_threads = threads;
+    options.limit = limit;
+    const ParallelResult r =
+        ExecutePlanParallel(index, plan.value(), options, nullptr);
+    std::printf("embeddings: %llu%s in %.3fs with %u threads "
+                "(peak task mem %llu bytes)\n",
+                static_cast<unsigned long long>(r.stats.embeddings),
+                r.stats.limit_hit ? "+" : "", r.stats.seconds, threads,
+                static_cast<unsigned long long>(r.peak_task_bytes));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "convert") return CmdConvert(argc, argv);
+  if (cmd == "sample") return CmdSample(argc, argv);
+  if (cmd == "match") return CmdMatch(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hgmatch
+
+int main(int argc, char** argv) { return hgmatch::Main(argc, argv); }
