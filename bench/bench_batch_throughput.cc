@@ -1,0 +1,69 @@
+// Batch throughput: queries/second of the shared-pool batch engine
+// (parallel/batch_runner.h) as the number of threads grows, compared with
+// running the same workload one query at a time through the sequential
+// engine. Inter-query parallelism should scale throughput with the thread
+// count on workloads of many small/medium queries even when no single
+// query has enough intra-query work to occupy the pool.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/hgmatch.h"
+#include "parallel/batch_runner.h"
+#include "util/timer.h"
+
+using namespace hgmatch;        // NOLINT
+using namespace hgmatch::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  PrintHeader("Batch throughput",
+              "queries/second of the shared work-stealing pool");
+  const std::vector<std::string> names = DatasetArgs(argc, argv, {"CP"});
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("hardware threads available: %u\n\n", hw);
+
+  for (const std::string& name : names) {
+    Dataset d = LoadDataset(name);
+
+    // Workload: every sampled query of the three smaller query classes,
+    // repeated to a batch large enough to amortise pool startup.
+    std::vector<Hypergraph> batch =
+        BatchWorkloadFor(d, {kQ2, kQ3, kQ4}, 12 * QueriesPerSetting());
+    if (batch.empty()) {
+      std::printf("%s: no queries sampled, skipping\n\n", d.name.c_str());
+      continue;
+    }
+
+    // Sequential reference: one query after another, single thread.
+    Timer seq_timer;
+    uint64_t seq_embeddings = 0;
+    for (const Hypergraph& q : batch) {
+      Result<MatchStats> r = MatchSequential(d.index, q);
+      if (r.ok()) seq_embeddings += r.value().embeddings;
+    }
+    const double seq_seconds = seq_timer.ElapsedSeconds();
+    std::printf("%s: %zu queries, %llu embeddings\n", d.name.c_str(),
+                batch.size(),
+                static_cast<unsigned long long>(seq_embeddings));
+    std::printf("  sequential loop: %10s  %8.1f queries/s\n",
+                FormatSeconds(seq_seconds).c_str(),
+                seq_seconds > 0 ? batch.size() / seq_seconds : 0.0);
+
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      if (threads > 2 * hw && threads > 4) break;
+      BatchOptions options;
+      options.parallel.num_threads = threads;
+      const BatchResult r = RunBatch(d.index, batch, options);
+      std::printf("  batch t=%2u:     %10s  %8.1f queries/s  "
+                  "(%llu embeddings, peak task mem %llu bytes)\n",
+                  threads, FormatSeconds(r.seconds).c_str(),
+                  r.seconds > 0 ? batch.size() / r.seconds : 0.0,
+                  static_cast<unsigned long long>(r.total.embeddings),
+                  static_cast<unsigned long long>(r.peak_task_bytes));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -64,6 +64,21 @@ std::vector<Hypergraph> QueriesFor(const Dataset& dataset,
                        seed);
 }
 
+std::vector<Hypergraph> BatchWorkloadFor(
+    const Dataset& dataset, const std::vector<QuerySettings>& settings,
+    size_t min_size) {
+  std::vector<Hypergraph> batch;
+  for (const QuerySettings& s : settings) {
+    for (Hypergraph& q : QueriesFor(dataset, s)) batch.push_back(std::move(q));
+  }
+  const size_t base = batch.size();
+  if (base == 0) return batch;
+  while (batch.size() < min_size) {
+    batch.push_back(batch[batch.size() % base].Clone());
+  }
+  return batch;
+}
+
 const char* MethodName(Method m) {
   switch (m) {
     case Method::kHgMatch:

@@ -45,6 +45,14 @@ double BaselineTimeoutSeconds();
 std::vector<Hypergraph> QueriesFor(const Dataset& dataset,
                                    const QuerySettings& settings);
 
+/// Deterministic mixed batch workload: every QueriesFor query of each
+/// class in `settings`, cloned round-robin until at least `min_size`
+/// queries (so batch benchmarks amortise pool startup). Used by
+/// bench_batch_throughput and by batch-serving experiments.
+std::vector<Hypergraph> BatchWorkloadFor(
+    const Dataset& dataset, const std::vector<QuerySettings>& settings,
+    size_t min_size);
+
 /// Methods compared in the paper's single-thread experiments (Fig 8,
 /// Table IV).
 enum class Method { kHgMatch, kCflH, kDafH, kCeciH, kRapidMatch };

@@ -83,7 +83,9 @@ Result<Hypergraph> ParseHypergraph(const std::string& text) {
   return h;
 }
 
-Result<Hypergraph> LoadHypergraph(const std::string& path) {
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::string text;
@@ -91,7 +93,56 @@ Result<Hypergraph> LoadHypergraph(const std::string& path) {
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
   std::fclose(f);
-  return ParseHypergraph(text);
+  return text;
+}
+
+bool IsQuerySeparator(const std::string& line) {
+  size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return false;
+  size_t end = line.find_last_not_of(" \t\r");
+  const std::string trimmed = line.substr(begin, end - begin + 1);
+  return trimmed == "---" || trimmed.rfind("# query", 0) == 0;
+}
+
+}  // namespace
+
+Result<Hypergraph> LoadHypergraph(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseHypergraph(text.value());
+}
+
+Result<std::vector<Hypergraph>> ParseQuerySet(const std::string& text) {
+  std::vector<std::string> blocks(1);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (IsQuerySeparator(line)) {
+      blocks.emplace_back();
+    } else {
+      blocks.back().append(line).push_back('\n');
+    }
+  }
+
+  std::vector<Hypergraph> queries;
+  for (const std::string& block : blocks) {
+    if (block.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    Result<Hypergraph> q = ParseHypergraph(block);
+    if (!q.ok()) {
+      // Index among non-empty blocks, matching the CLI's query numbering.
+      return Status(q.status().code(),
+                    "query block " + std::to_string(queries.size()) + ": " +
+                        q.status().message());
+    }
+    queries.push_back(std::move(q.value()));
+  }
+  return queries;
+}
+
+Result<std::vector<Hypergraph>> LoadQuerySet(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseQuerySet(text.value());
 }
 
 }  // namespace hgmatch

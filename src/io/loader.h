@@ -2,6 +2,7 @@
 #define HGMATCH_IO_LOADER_H_
 
 #include <string>
+#include <vector>
 
 #include "core/hypergraph.h"
 #include "util/status.h"
@@ -25,6 +26,16 @@ Result<Hypergraph> ParseHypergraph(const std::string& text);
 
 /// Reads and parses `path`.
 Result<Hypergraph> LoadHypergraph(const std::string& path);
+
+/// Query-set text format: several hypergraphs in one file, each in the
+/// format above, separated by lines consisting of "---" or starting with
+/// "# query" (so the output of `hgmatch sample` loads directly). Separator
+/// blocks with no content are skipped; an error in any block fails the
+/// whole set with its block index in the message.
+Result<std::vector<Hypergraph>> ParseQuerySet(const std::string& text);
+
+/// Reads and parses a query-set file.
+Result<std::vector<Hypergraph>> LoadQuerySet(const std::string& path);
 
 }  // namespace hgmatch
 

@@ -1,0 +1,82 @@
+#ifndef HGMATCH_PARALLEL_BATCH_RUNNER_H_
+#define HGMATCH_PARALLEL_BATCH_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/indexed_hypergraph.h"
+#include "core/result.h"
+#include "parallel/executor.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Options of the batch execution engine.
+struct BatchOptions {
+  /// Pool configuration plus the *per-query* timeout/limit. Because all
+  /// queries of a batch are admitted simultaneously, per-query timeouts are
+  /// measured from batch start — under heavy inter-query sharing this is
+  /// also each query's end-to-end latency budget.
+  ParallelOptions parallel;
+
+  /// Whole-batch wall-clock timeout in seconds; <= 0 disables. When it
+  /// fires, unfinished queries report timed_out (conservatively: a query
+  /// whose last task is mid-execution at the expiry instant may be marked
+  /// timed_out even though its counts end up complete).
+  double batch_timeout_seconds = 0;
+};
+
+/// Outcome of one query of a batch. Entries of BatchResult::queries appear
+/// in input order regardless of completion order (deterministic ordering).
+struct BatchQueryResult {
+  /// Planning outcome; when not ok the query was never executed and stats
+  /// are all-zero.
+  Status status;
+
+  /// Per-query counters, exactly comparable to a standalone run of the same
+  /// query. `seconds` is the time from batch start until the last task of
+  /// this query finished.
+  MatchStats stats;
+};
+
+/// Aggregate outcome of a batch run.
+struct BatchResult {
+  std::vector<BatchQueryResult> queries;  // input order
+  MatchStats total;                       // summed over queries
+  std::vector<WorkerReport> workers;      // size = pool threads
+  uint64_t peak_task_bytes = 0;           // across all concurrent queries
+  double seconds = 0;                     // batch wall time
+
+  /// Queries fully completed (planned, not timed out, no limit hit).
+  uint64_t completed = 0;
+
+  /// Batch throughput: completed / seconds (0 when nothing completed).
+  double QueriesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(completed) / seconds : 0;
+  }
+};
+
+/// Runs a set of queries against one indexed data hypergraph on a single
+/// shared work-stealing pool (Section VI.C), layering inter-query
+/// parallelism on the intra-query task model: every query is compiled to a
+/// plan, its SCAN ranges are seeded round-robin across the workers, and from
+/// then on tasks of all queries mix freely in the same Chase-Lev deques, so
+/// an expensive query's task subtree is stolen and spread while cheap
+/// queries drain. Per-query timeout/limit come from `options.parallel`;
+/// embedding counts are exact per query (each task is tagged with its query
+/// context), so `queries[i].stats.embeddings` equals a standalone
+/// MatchSequential run of queries[i].
+///
+/// `sinks`, when non-null, must have one entry per query (entries may be
+/// null); Emit calls are serialised per sink. Queries that fail to plan
+/// (e.g. empty) get their error in queries[i].status and do not affect the
+/// others.
+BatchResult RunBatch(const IndexedHypergraph& data,
+                     const std::vector<Hypergraph>& queries,
+                     const BatchOptions& options = {},
+                     const std::vector<EmbeddingSink*>* sinks = nullptr);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_BATCH_RUNNER_H_

@@ -1,0 +1,207 @@
+#include "parallel/batch_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/hgmatch.h"
+#include "gen/generator.h"
+#include "gen/query_gen.h"
+#include "io/loader.h"
+#include "io/writer.h"
+#include "tests/test_fixtures.h"
+
+namespace hgmatch {
+namespace {
+
+// Deterministic small workload: a mix of sampled (guaranteed non-empty
+// result) and generated queries against one random data hypergraph.
+std::vector<Hypergraph> MixedQueries(const Hypergraph& data, size_t count) {
+  std::vector<Hypergraph> queries;
+  Rng rng(91);
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t k = 2 + static_cast<uint32_t>(i % 3);
+    Result<Hypergraph> sampled =
+        SampleQuery(data, QuerySettings{"batch", k, 2, 200}, &rng);
+    if (sampled.ok()) {
+      queries.push_back(std::move(sampled.value()));
+    } else {
+      GeneratorConfig qc = SmallRandomConfig(40 + i);
+      qc.num_edges = k;
+      queries.push_back(GenerateHypergraph(qc));
+    }
+  }
+  return queries;
+}
+
+TEST(BatchRunnerTest, CountsMatchSequentialPerQuery) {
+  Hypergraph data = GenerateHypergraph(SmallRandomConfig(9));
+  std::vector<Hypergraph> queries = MixedQueries(data, 8);
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(data));
+
+  std::vector<uint64_t> expected;
+  for (const Hypergraph& q : queries) {
+    Result<MatchStats> seq = MatchSequential(idx, q);
+    ASSERT_TRUE(seq.ok());
+    expected.push_back(seq.value().embeddings);
+  }
+
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    BatchOptions options;
+    options.parallel.num_threads = threads;
+    options.parallel.scan_grain = 2;
+    const BatchResult r = RunBatch(idx, queries, options);
+    ASSERT_EQ(r.queries.size(), queries.size());
+    uint64_t total = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(r.queries[i].status.ok());
+      EXPECT_EQ(r.queries[i].stats.embeddings, expected[i])
+          << "query " << i << ", " << threads << " threads";
+      total += expected[i];
+    }
+    EXPECT_EQ(r.total.embeddings, total);
+    EXPECT_EQ(r.completed, queries.size());
+    EXPECT_EQ(r.workers.size(), threads);
+  }
+}
+
+TEST(BatchRunnerTest, PaperExampleRepeatedQueries) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  std::vector<Hypergraph> queries;
+  for (int i = 0; i < 5; ++i) queries.push_back(PaperQueryHypergraph());
+
+  BatchOptions options;
+  options.parallel.num_threads = 3;
+  options.parallel.scan_grain = 1;
+  const BatchResult r = RunBatch(idx, queries, options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.queries[i].stats.embeddings, 2u) << "query " << i;
+  }
+  EXPECT_EQ(r.total.embeddings, 10u);
+  EXPECT_EQ(r.completed, 5u);
+  EXPECT_GT(r.peak_task_bytes, 0u);
+}
+
+TEST(BatchRunnerTest, SinksReceiveExactEmbeddings) {
+  Hypergraph data = GenerateHypergraph(SmallRandomConfig(11));
+  std::vector<Hypergraph> queries = MixedQueries(data, 4);
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(data));
+
+  std::vector<CollectSink> collect(queries.size());
+  std::vector<EmbeddingSink*> sinks;
+  for (CollectSink& s : collect) sinks.push_back(&s);
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.scan_grain = 2;
+  const BatchResult r = RunBatch(idx, queries, options, &sinks);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<QueryPlan> plan = BuildQueryPlan(queries[i], idx);
+    ASSERT_TRUE(plan.ok());
+    CollectSink seq;
+    ExecutePlanSequential(idx, plan.value(), MatchOptions{}, &seq);
+    auto a = seq.embeddings();
+    auto b = collect[i].embeddings();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "query " << i;
+    EXPECT_EQ(r.queries[i].stats.embeddings, collect[i].count());
+  }
+}
+
+TEST(BatchRunnerTest, PlanningFailureIsIsolated) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  std::vector<Hypergraph> queries;
+  queries.push_back(PaperQueryHypergraph());
+  queries.emplace_back();  // empty query: planning fails
+  queries.push_back(PaperQueryHypergraph());
+
+  const BatchResult r = RunBatch(idx, queries, BatchOptions{});
+  ASSERT_EQ(r.queries.size(), 3u);
+  EXPECT_TRUE(r.queries[0].status.ok());
+  EXPECT_FALSE(r.queries[1].status.ok());
+  EXPECT_TRUE(r.queries[2].status.ok());
+  EXPECT_EQ(r.queries[0].stats.embeddings, 2u);
+  EXPECT_EQ(r.queries[1].stats.embeddings, 0u);
+  EXPECT_EQ(r.queries[2].stats.embeddings, 2u);
+  EXPECT_EQ(r.completed, 2u);
+}
+
+TEST(BatchRunnerTest, PerQueryLimitStopsEachQuery) {
+  Hypergraph h;
+  h.AddVertices(100, 0);
+  for (VertexId v = 0; v + 1 < 100; ++v) (void)h.AddEdge({v, v + 1});
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(h));
+  Hypergraph q;
+  q.AddVertices(3, 0);
+  (void)q.AddEdge({0, 1});
+  (void)q.AddEdge({1, 2});
+  std::vector<Hypergraph> queries;
+  queries.push_back(q.Clone());
+  queries.push_back(q.Clone());
+
+  BatchOptions options;
+  options.parallel.num_threads = 2;
+  options.parallel.limit = 3;
+  const BatchResult r = RunBatch(idx, queries, options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(r.queries[i].stats.limit_hit) << "query " << i;
+    EXPECT_GE(r.queries[i].stats.embeddings, 3u) << "query " << i;
+  }
+  EXPECT_EQ(r.completed, 0u);
+}
+
+TEST(BatchRunnerTest, NoStealMeansZeroSteals) {
+  Hypergraph data = GenerateHypergraph(SmallRandomConfig(7));
+  std::vector<Hypergraph> queries = MixedQueries(data, 4);
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(data));
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.work_stealing = false;
+  const BatchResult r = RunBatch(idx, queries, options);
+  for (const WorkerReport& w : r.workers) EXPECT_EQ(w.steals, 0u);
+  EXPECT_EQ(r.completed, queries.size());
+}
+
+TEST(BatchRunnerTest, EmptyBatchIsOk) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  const BatchResult r = RunBatch(idx, {}, BatchOptions{});
+  EXPECT_TRUE(r.queries.empty());
+  EXPECT_EQ(r.total.embeddings, 0u);
+  EXPECT_EQ(r.completed, 0u);
+}
+
+TEST(QuerySetIoTest, ParseSeparatorsAndSampleOutput) {
+  const Hypergraph q = PaperQueryHypergraph();
+  const std::string one = FormatHypergraph(q);
+  // "# query i" headers (hgmatch sample output) and "---" both separate.
+  const std::string text =
+      "# query 0\n" + one + "---\n" + one + "\n# query 2\n" + one;
+  Result<std::vector<Hypergraph>> set = ParseQuerySet(text);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().size(), 3u);
+  for (const Hypergraph& parsed : set.value()) {
+    EXPECT_EQ(parsed.NumVertices(), q.NumVertices());
+    EXPECT_EQ(parsed.NumEdges(), q.NumEdges());
+  }
+}
+
+TEST(QuerySetIoTest, BadBlockReportsIndex) {
+  Result<std::vector<Hypergraph>> set =
+      ParseQuerySet("v 0 0\ne 0\n---\nnonsense line\n");
+  ASSERT_FALSE(set.ok());
+  EXPECT_NE(set.status().message().find("query block 1"), std::string::npos);
+}
+
+TEST(QuerySetIoTest, EmptyAndWhitespaceBlocksSkipped) {
+  Result<std::vector<Hypergraph>> set =
+      ParseQuerySet("---\n\n---\nv 0 0\ne 0\n---\n  \n");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hgmatch

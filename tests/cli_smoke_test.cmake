@@ -1,0 +1,85 @@
+# End-to-end smoke test of the hgmatch CLI, run via
+#   cmake -DHGMATCH_CLI=<binary> -DWORK_DIR=<dir> -P cli_smoke_test.cmake
+#
+# Exercises gen/stats/match/batch on the paper's running example (Fig 1),
+# whose query has exactly 2 embeddings in the data hypergraph.
+
+if(NOT DEFINED HGMATCH_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "HGMATCH_CLI and WORK_DIR must be defined")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Fig 1b data hypergraph: labels A=0 B=1 C=2.
+file(WRITE ${WORK_DIR}/data.hg
+"v 0 0
+v 1 2
+v 2 0
+v 3 0
+v 4 1
+v 5 2
+v 6 0
+e 2 4
+e 4 6
+e 0 1 2
+e 3 5 6
+e 0 1 4 6
+e 2 3 4 5
+")
+
+# Fig 1a query.
+file(WRITE ${WORK_DIR}/query.hg
+"v 0 0
+v 1 2
+v 2 0
+v 3 0
+v 4 1
+e 2 4
+e 0 1 2
+e 0 1 3 4
+")
+
+# Query set: the same query three times, using both separator styles.
+file(WRITE ${WORK_DIR}/queries.hgq "# query 0\n")
+file(READ ${WORK_DIR}/query.hg QUERY_TEXT)
+file(APPEND ${WORK_DIR}/queries.hgq "${QUERY_TEXT}---\n${QUERY_TEXT}")
+file(APPEND ${WORK_DIR}/queries.hgq "# query 2\n${QUERY_TEXT}")
+
+function(run_cli expect_re)
+  execute_process(COMMAND ${HGMATCH_CLI} ${ARGN}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err
+                  RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "hgmatch ${ARGN} failed (${code}):\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "${expect_re}")
+    message(FATAL_ERROR
+            "hgmatch ${ARGN}: output did not match '${expect_re}':\n${out}")
+  endif()
+endfunction()
+
+# stats: 7 vertices, 6 hyperedges.
+run_cli("\\|V\\|=7 \\|E\\|=6" stats ${WORK_DIR}/data.hg)
+
+# Round-trip through the binary format.
+run_cli("wrote" convert ${WORK_DIR}/data.hg ${WORK_DIR}/data.hgb)
+run_cli("\\|V\\|=7 \\|E\\|=6" stats ${WORK_DIR}/data.hgb)
+
+# Sequential and parallel match: exactly 2 embeddings.
+run_cli("embeddings: 2 in" match ${WORK_DIR}/data.hg ${WORK_DIR}/query.hg 1)
+run_cli("embeddings: 2 in" match ${WORK_DIR}/data.hgb ${WORK_DIR}/query.hg 4)
+
+# Batch: 3 queries x 2 embeddings through the shared pool.
+run_cli("query 0: embeddings 2 in" batch ${WORK_DIR}/data.hg
+        ${WORK_DIR}/queries.hgq 4)
+run_cli("query 2: embeddings 2 in" batch ${WORK_DIR}/data.hg
+        ${WORK_DIR}/queries.hgq 4)
+run_cli("batch: 3 queries \\(3 completed\\), embeddings 6 in" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4)
+
+# Generator round-trip: a toy random dataset loads and indexes.
+run_cli("generated" gen random ${WORK_DIR}/toy.hg 0.05)
+run_cli("\\|V\\|=" stats ${WORK_DIR}/toy.hg)
+
+message(STATUS "cli_smoke_test passed")

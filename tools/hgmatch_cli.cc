@@ -5,6 +5,7 @@
 //   hgmatch convert <in> <out>
 //   hgmatch sample <data> <num-edges> [count]
 //   hgmatch match <data> <query> [threads] [limit]
+//   hgmatch batch <data> <queryset> [threads] [limit]
 //
 // Files ending in .hgb use the binary format (io/binary_format.h); anything
 // else is the text format (io/loader.h).
@@ -21,6 +22,7 @@
 #include "io/binary_format.h"
 #include "io/loader.h"
 #include "io/writer.h"
+#include "parallel/batch_runner.h"
 #include "parallel/dataflow.h"
 #include "parallel/executor.h"
 #include "util/timer.h"
@@ -42,6 +44,16 @@ Status SaveAny(const Hypergraph& h, const std::string& path) {
                             : SaveHypergraph(h, path);
 }
 
+// Parses a thread-count argument; returns false on junk or negatives
+// (atoi would otherwise wrap -1 to ~4 billion threads).
+bool ParseThreads(const char* arg, uint32_t* out) {
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || v < 0 || v > 1 << 16) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -50,7 +62,10 @@ int Usage() {
                "  hgmatch convert <in> <out>\n"
                "  hgmatch sample <data> <num-edges> [count]\n"
                "  hgmatch match <data> <query> [threads] [limit]\n"
-               "profiles: HC MA CH CP SB HB WT TC SA AR random\n");
+               "  hgmatch batch <data> <queryset> [threads] [limit]\n"
+               "profiles: HC MA CH CP SB HB WT TC SA AR random\n"
+               "queryset: text queries separated by '---' or '# query' "
+               "lines\n");
   return 2;
 }
 
@@ -150,8 +165,11 @@ int CmdMatch(int argc, char** argv) {
                      .c_str());
     return 1;
   }
-  const uint32_t threads =
-      argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1;
+  uint32_t threads = 1;
+  if (argc > 4 && !ParseThreads(argv[4], &threads)) {
+    std::fprintf(stderr, "bad thread count '%s'\n", argv[4]);
+    return 2;
+  }
   const uint64_t limit = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
 
   IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
@@ -186,6 +204,58 @@ int CmdMatch(int argc, char** argv) {
   return 0;
 }
 
+int CmdBatch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  Result<Hypergraph> data = LoadAny(argv[2]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<Hypergraph>> queries = LoadQuerySet(argv[3]);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  if (queries.value().empty()) {
+    std::fprintf(stderr, "query set %s is empty\n", argv[3]);
+    return 1;
+  }
+
+  BatchOptions options;
+  if (argc > 4 && !ParseThreads(argv[4], &options.parallel.num_threads)) {
+    std::fprintf(stderr, "bad thread count '%s'\n", argv[4]);
+    return 2;
+  }
+  options.parallel.limit =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
+
+  IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
+  const BatchResult r = RunBatch(index, queries.value(), options);
+
+  size_t planned = 0;
+  for (size_t i = 0; i < r.queries.size(); ++i) {
+    const BatchQueryResult& q = r.queries[i];
+    if (!q.status.ok()) {
+      std::printf("query %zu: %s\n", i, q.status.ToString().c_str());
+      continue;
+    }
+    ++planned;
+    std::printf("query %zu: embeddings %llu%s in %.3fs\n", i,
+                static_cast<unsigned long long>(q.stats.embeddings),
+                q.stats.limit_hit ? "+" : (q.stats.timed_out ? " (timeout)"
+                                                             : ""),
+                q.stats.seconds);
+  }
+  std::printf("batch: %llu queries (%llu completed), embeddings %llu "
+              "in %.3fs (%.1f queries/s, peak task mem %llu bytes)\n",
+              static_cast<unsigned long long>(r.queries.size()),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.total.embeddings), r.seconds,
+              r.QueriesPerSecond(),
+              static_cast<unsigned long long>(r.peak_task_bytes));
+  return planned > 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
@@ -194,6 +264,7 @@ int Main(int argc, char** argv) {
   if (cmd == "convert") return CmdConvert(argc, argv);
   if (cmd == "sample") return CmdSample(argc, argv);
   if (cmd == "match") return CmdMatch(argc, argv);
+  if (cmd == "batch") return CmdBatch(argc, argv);
   return Usage();
 }
 
