@@ -51,16 +51,46 @@ int main(int argc, char** argv) {
                 FormatSeconds(seq_seconds).c_str(),
                 seq_seconds > 0 ? batch.size() / seq_seconds : 0.0);
 
+    uint32_t max_threads = 1;
     for (uint32_t threads : {1u, 2u, 4u, 8u}) {
       if (threads > 2 * hw && threads > 4) break;
+      max_threads = threads;
       BatchOptions options;
       options.parallel.num_threads = threads;
       const BatchResult r = RunBatch(d.index, batch, options);
       std::printf("  batch t=%2u:     %10s  %8.1f queries/s  "
-                  "(%llu embeddings, peak task mem %llu bytes)\n",
+                  "(%llu embeddings, peak task mem %llu bytes, "
+                  "%llu plan-cache hits)\n",
                   threads, FormatSeconds(r.seconds).c_str(),
                   r.seconds > 0 ? batch.size() / r.seconds : 0.0,
                   static_cast<unsigned long long>(r.total.embeddings),
+                  static_cast<unsigned long long>(r.peak_task_bytes),
+                  static_cast<unsigned long long>(r.plan_cache_hits));
+    }
+
+    // Ablations at the largest pool: planning every copy independently
+    // (plan cache off), and admission windows that bound in-flight queries
+    // (multi-user serving mode; peak task memory should shrink with the
+    // window while throughput stays close).
+    {
+      BatchOptions options;
+      options.parallel.num_threads = max_threads;
+      options.plan_cache = false;
+      const BatchResult r = RunBatch(d.index, batch, options);
+      std::printf("  no plan cache:  %10s  %8.1f queries/s\n",
+                  FormatSeconds(r.seconds).c_str(),
+                  r.seconds > 0 ? batch.size() / r.seconds : 0.0);
+    }
+    for (uint32_t window : {1u, 2 * max_threads}) {
+      BatchOptions options;
+      options.parallel.num_threads = max_threads;
+      options.max_inflight_queries = window;
+      options.plan_cache = false;  // window effects are per executed query
+      const BatchResult r = RunBatch(d.index, batch, options);
+      std::printf("  window=%3u:     %10s  %8.1f queries/s  "
+                  "(peak task mem %llu bytes)\n",
+                  window, FormatSeconds(r.seconds).c_str(),
+                  r.seconds > 0 ? batch.size() / r.seconds : 0.0,
                   static_cast<unsigned long long>(r.peak_task_bytes));
     }
     std::printf("\n");

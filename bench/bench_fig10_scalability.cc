@@ -10,6 +10,7 @@
 
 #include "bench/bench_common.h"
 #include "core/hgmatch.h"
+#include "parallel/batch_runner.h"
 #include "parallel/executor.h"
 
 using namespace hgmatch;        // NOLINT
@@ -40,18 +41,33 @@ int main(int argc, char** argv) {
       std::printf("%s q3^%zu (>= %llu embeddings):\n", d.name.c_str(), k + 1,
                   static_cast<unsigned long long>(ranked[k].first));
       double t1 = 0;
+      uint32_t max_threads = 1;
       for (uint32_t threads : {1u, 2u, 4u, 8u}) {
         if (threads > 2 * hw && threads > 4) break;
+        max_threads = threads;
         ParallelOptions options;
         options.num_threads = threads;
         Result<ParallelResult> r = MatchParallel(d.index, q, options);
         if (!r.ok()) continue;
         const double t = r.value().stats.seconds;
         if (threads == 1) t1 = t;
-        std::printf("  t=%2u: %10s  speedup %5.2fx  (%llu embeddings)\n",
-                    threads, FormatSeconds(t).c_str(),
-                    t1 > 0 ? t1 / t : 1.0,
-                    static_cast<unsigned long long>(r.value().stats.embeddings));
+        std::printf(
+            "  t=%2u: %10s  speedup %5.2fx  (%llu embeddings)\n", threads,
+            FormatSeconds(t).c_str(), t1 > 0 ? t1 / t : 1.0,
+            static_cast<unsigned long long>(r.value().stats.embeddings));
+      }
+      // Facade-parity check: the same query as a batch of one through the
+      // batch engine must match the executor's count and wall time (both
+      // are thin layers over the shared scheduler core).
+      {
+        std::vector<Hypergraph> one;
+        one.push_back(q.Clone());
+        BatchOptions options;
+        options.parallel.num_threads = max_threads;
+        const BatchResult r = RunBatch(d.index, one, options);
+        std::printf("  batch-of-one t=%2u: %10s  (%llu embeddings)\n",
+                    max_threads, FormatSeconds(r.seconds).c_str(),
+                    static_cast<unsigned long long>(r.total.embeddings));
       }
     }
   }

@@ -1,354 +1,59 @@
 #include "parallel/batch_runner.h"
 
-#include <atomic>
-#include <cstdlib>
+#include <cstring>
 #include <memory>
-#include <mutex>
-#include <thread>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
-#include "core/candidates.h"
-#include "core/matching_order.h"
-#include "parallel/task.h"
-#include "parallel/ws_deque.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "core/signature.h"
+#include "parallel/scheduler.h"
 
 namespace hgmatch {
 
 namespace {
 
-// Shared per-query state of a batch run. Tasks are tagged with their
-// context, so counters, limits and timeouts stay exact per query even while
-// tasks of different queries mix in the same deques.
-struct QueryContext {
-  uint32_t index = 0;
-  QueryPlan plan;
-  const EdgeSet* scan_table = nullptr;  // first-step signature table
-  Deadline deadline;
-  EmbeddingSink* sink = nullptr;
-  std::mutex sink_mutex;
-  std::atomic<uint64_t> emitted{0};
-  std::atomic<int64_t> pending{0};
-  std::atomic<bool> stop{false};
-  std::atomic<bool> timed_out{false};
-  std::atomic<bool> limit_hit{false};
-  // Written exactly once, by the worker that retires the query's last task
-  // (pending can only reach zero once — children are spawned before their
-  // parent task is retired).
-  double finish_seconds = 0;
-  bool seeded = false;
-};
+constexpr uint32_t kNotScheduled = 0xffffffffu;
 
-// The scheduling unit of the batch engine: a Task (parallel/task.h) plus
-// the owning query context. Same single-allocation layout.
-struct BatchTask {
-  QueryContext* ctx;
-  Task::Kind kind;
-  uint32_t depth;    // EXPAND: matched hyperedges; SCAN: 0
-  uint32_t scan_lo;  // SCAN: range [scan_lo, scan_hi) into ctx->scan_table
-  uint32_t scan_hi;
-  EdgeId edges[];  // EXPAND: the partial embedding (depth entries)
-
-  size_t SizeBytes() const { return sizeof(BatchTask) + sizeof(EdgeId) * depth; }
-
-  static BatchTask* NewScan(QueryContext* ctx, uint32_t lo, uint32_t hi) {
-    BatchTask* t = static_cast<BatchTask*>(::malloc(sizeof(BatchTask)));
-    if (t == nullptr) ::abort();  // allocation failure is not recoverable
-    t->ctx = ctx;
-    t->kind = Task::Kind::kScan;
-    t->depth = 0;
-    t->scan_lo = lo;
-    t->scan_hi = hi;
-    return t;
-  }
-
-  static BatchTask* NewExpand(QueryContext* ctx, const EdgeId* prefix,
-                              uint32_t prefix_len, EdgeId next) {
-    BatchTask* t = static_cast<BatchTask*>(
-        ::malloc(sizeof(BatchTask) + sizeof(EdgeId) * (prefix_len + 1)));
-    if (t == nullptr) ::abort();  // allocation failure is not recoverable
-    t->ctx = ctx;
-    t->kind = Task::Kind::kExpand;
-    t->depth = prefix_len + 1;
-    t->scan_lo = t->scan_hi = 0;
-    for (uint32_t i = 0; i < prefix_len; ++i) t->edges[i] = prefix[i];
-    t->edges[prefix_len] = next;
-    return t;
-  }
-
-  static void Free(BatchTask* t) { ::free(t); }
-};
-
-// Multi-query work-stealing engine: the Section VI.C scheduler generalised
-// to many concurrent plans over one pool.
-class BatchEngine {
- public:
-  BatchEngine(const IndexedHypergraph& data, size_t num_queries,
-              const BatchOptions& options)
-      : data_(data),
-        options_(options),
-        batch_deadline_(Deadline::After(options.batch_timeout_seconds)),
-        num_threads_(options.parallel.num_threads != 0
-                         ? options.parallel.num_threads
-                         : std::max(1u, std::thread::hardware_concurrency())) {
-    contexts_.reserve(num_queries);
-  }
-
-  // Plans and admits one query; returns its planning status.
-  Status Admit(const Hypergraph& query, EmbeddingSink* sink) {
-    auto ctx = std::make_unique<QueryContext>();
-    ctx->index = static_cast<uint32_t>(contexts_.size());
-    ctx->sink = sink;
-    ctx->deadline = Deadline::After(options_.parallel.timeout_seconds);
-    Result<QueryPlan> plan = BuildQueryPlan(query, data_);
-    if (!plan.ok()) {
-      ctx->stop.store(true, std::memory_order_relaxed);
-      contexts_.push_back(std::move(ctx));
-      return plan.status();
-    }
-    ctx->plan = std::move(plan.value());
-    const Partition* first = data_.FindPartition(ctx->plan.steps[0].signature);
-    if (first != nullptr && !first->edges().empty()) {
-      ctx->scan_table = &first->edges();
-    }
-    contexts_.push_back(std::move(ctx));
-    return Status::OK();
-  }
-
-  BatchResult Run() {
-    BatchResult result;
-    result.queries.resize(contexts_.size());
-
-    workers_.reserve(num_threads_);
-    for (uint32_t i = 0; i < num_threads_; ++i) {
-      workers_.push_back(std::make_unique<Worker>(
-          contexts_.size(), i, options_.parallel.seed + i));
-    }
-
-    // Seed: split every query's first-step signature table into one SCAN
-    // range per worker, rotating the assignment by query index so small
-    // batches still spread across the pool (the work-stealing pass then
-    // rebalances dynamically).
-    for (auto& ctx : contexts_) {
-      if (ctx->scan_table == nullptr) continue;
-      ctx->seeded = true;
-      const uint64_t total = ctx->scan_table->size();
-      const uint64_t chunk = (total + num_threads_ - 1) / num_threads_;
-      for (uint32_t w = 0; w < num_threads_; ++w) {
-        const uint64_t lo = static_cast<uint64_t>(w) * chunk;
-        if (lo >= total) break;
-        const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
-        Worker* owner = workers_[(w + ctx->index) % num_threads_].get();
-        Spawn(owner, BatchTask::NewScan(ctx.get(), static_cast<uint32_t>(lo),
-                                        static_cast<uint32_t>(hi)));
-      }
-    }
-
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads_);
-    for (uint32_t i = 0; i < num_threads_; ++i) {
-      threads.emplace_back([this, i] { WorkerLoop(workers_[i].get()); });
-    }
-    for (auto& t : threads) t.join();
-
-    for (size_t q = 0; q < contexts_.size(); ++q) {
-      QueryContext* ctx = contexts_[q].get();
-      MatchStats stats;
-      for (auto& w : workers_) stats += w->query_stats[q];
-      stats.timed_out = ctx->timed_out.load(std::memory_order_relaxed);
-      stats.limit_hit = ctx->limit_hit.load(std::memory_order_relaxed);
-      stats.seconds = ctx->seeded ? ctx->finish_seconds : 0;
-      result.queries[q].stats = stats;
-    }
-
-    for (auto& w : workers_) {
-      for (const MatchStats& s : w->query_stats) w->report.stats += s;
-      result.workers.push_back(std::move(w->report));
-    }
-    for (const BatchQueryResult& q : result.queries) result.total += q.stats;
-    result.peak_task_bytes = memory_.peak_bytes();
-    result.seconds = wall_.ElapsedSeconds();
-    return result;
-  }
-
- private:
-  struct Worker {
-    Worker(size_t num_queries, uint32_t id, uint64_t seed)
-        : id(id), rng(seed), query_stats(num_queries),
-          expanders(num_queries) {}
-
-    uint32_t id;
-    WorkStealingDeque<BatchTask*> deque;
-    Rng rng;
-    std::vector<EdgeId> valid;      // Expand() output buffer
-    std::vector<EdgeId> embedding;  // SINK copy buffer
-    std::vector<MatchStats> query_stats;                // indexed by query
-    std::vector<std::unique_ptr<Expander>> expanders;   // lazily built
-    WorkerReport report;
-    uint64_t poll_counter = 0;
+// Canonical cache key of a query hypergraph: the per-edge signature keys of
+// core/signature (label multiset + hyperedge label) extended with the exact
+// vertex structure, so key equality is exactly structural identity — two
+// queries with equal keys have identical vertex labels and identical
+// hyperedges over identical vertex ids, and therefore compile to
+// interchangeable plans.
+std::string QueryCacheKey(const Hypergraph& q) {
+  std::string key;
+  key.reserve(16 + q.NumVertices() * sizeof(Label) +
+              q.NumIncidences() * sizeof(VertexId) +
+              q.NumEdges() * (sizeof(Label) + 8));
+  auto append = [&key](const void* data, size_t bytes) {
+    key.append(static_cast<const char*>(data), bytes);
   };
-
-  Expander& ExpanderFor(Worker* w, QueryContext* ctx) {
-    auto& slot = w->expanders[ctx->index];
-    if (slot == nullptr) slot = std::make_unique<Expander>(data_, ctx->plan);
-    return *slot;
+  const uint64_t nv = q.NumVertices();
+  append(&nv, sizeof(nv));
+  for (VertexId v = 0; v < q.NumVertices(); ++v) {
+    const Label l = q.label(v);
+    append(&l, sizeof(l));
   }
-
-  void Spawn(Worker* w, BatchTask* t) {
-    memory_.OnAlloc(t->SizeBytes());
-    t->ctx->pending.fetch_add(1, std::memory_order_acq_rel);
-    pending_.fetch_add(1, std::memory_order_acq_rel);
-    ++w->report.tasks_spawned;
-    w->deque.Push(t);
+  for (EdgeId e = 0; e < q.NumEdges(); ++e) {
+    const Signature sig = SignatureKeyOf(q, e);
+    const uint64_t hash = HashSignature(sig);
+    append(&hash, sizeof(hash));
+    const VertexSet& vs = q.edge(e);
+    const uint64_t arity = vs.size();
+    append(&arity, sizeof(arity));
+    append(vs.data(), vs.size() * sizeof(VertexId));
+    const Label el = q.edge_label(e);
+    append(&el, sizeof(el));
   }
+  return key;
+}
 
-  void Finish(BatchTask* t) {
-    QueryContext* ctx = t->ctx;
-    memory_.OnFree(t->SizeBytes());
-    BatchTask::Free(t);
-    if (ctx->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      ctx->finish_seconds = wall_.ElapsedSeconds();
-    }
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
-  }
-
-  void PollDeadlines(Worker* w, QueryContext* ctx) {
-    if (++w->poll_counter < 1024) return;
-    w->poll_counter = 0;
-    if (ctx->deadline.Expired()) {
-      ctx->timed_out.store(true, std::memory_order_relaxed);
-      ctx->stop.store(true, std::memory_order_relaxed);
-    }
-    if (batch_deadline_.Expired() &&
-        !batch_expired_.exchange(true, std::memory_order_relaxed)) {
-      for (auto& c : contexts_) {
-        if (c->pending.load(std::memory_order_acquire) > 0) {
-          c->timed_out.store(true, std::memory_order_relaxed);
-        }
-        c->stop.store(true, std::memory_order_relaxed);
-      }
-    }
-  }
-
-  void EmitEmbedding(Worker* w, QueryContext* ctx, const EdgeId* prefix,
-                     uint32_t prefix_len, EdgeId last) {
-    ++w->query_stats[ctx->index].embeddings;
-    if (ctx->sink != nullptr) {
-      if (w->embedding.size() < static_cast<size_t>(prefix_len) + 1) {
-        w->embedding.resize(prefix_len + 1);
-      }
-      for (uint32_t i = 0; i < prefix_len; ++i) w->embedding[i] = prefix[i];
-      w->embedding[prefix_len] = last;
-      std::lock_guard<std::mutex> lock(ctx->sink_mutex);
-      ctx->sink->Emit(w->embedding.data(), prefix_len + 1);
-    }
-    if (options_.parallel.limit != 0) {
-      const uint64_t total =
-          ctx->emitted.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (total >= options_.parallel.limit) {
-        ctx->limit_hit.store(true, std::memory_order_relaxed);
-        ctx->stop.store(true, std::memory_order_relaxed);
-      }
-    }
-  }
-
-  void ProcessChild(Worker* w, QueryContext* ctx, const EdgeId* prefix,
-                    uint32_t prefix_len, EdgeId c) {
-    if (prefix_len + 1 == ctx->plan.NumSteps()) {
-      EmitEmbedding(w, ctx, prefix, prefix_len, c);
-    } else {
-      Spawn(w, BatchTask::NewExpand(ctx, prefix, prefix_len, c));
-    }
-  }
-
-  void ExecuteScan(Worker* w, BatchTask* t) {
-    QueryContext* ctx = t->ctx;
-    uint32_t lo = t->scan_lo;
-    uint32_t hi = t->scan_hi;
-    while (hi - lo > options_.parallel.scan_grain) {
-      const uint32_t mid = lo + (hi - lo) / 2;
-      Spawn(w, BatchTask::NewScan(ctx, mid, hi));
-      hi = mid;
-    }
-    for (uint32_t i = lo;
-         i < hi && !ctx->stop.load(std::memory_order_relaxed); ++i) {
-      ProcessChild(w, ctx, nullptr, 0, (*ctx->scan_table)[i]);
-      PollDeadlines(w, ctx);
-    }
-  }
-
-  void ExecuteExpand(Worker* w, BatchTask* t) {
-    QueryContext* ctx = t->ctx;
-    ExpanderFor(w, ctx).Expand(t->edges, t->depth, &w->valid,
-                               &w->query_stats[ctx->index]);
-    for (EdgeId c : w->valid) {
-      if (ctx->stop.load(std::memory_order_relaxed)) break;
-      ProcessChild(w, ctx, t->edges, t->depth, c);
-    }
-    PollDeadlines(w, ctx);
-  }
-
-  void Execute(Worker* w, BatchTask* t) {
-    if (t->ctx->stop.load(std::memory_order_relaxed)) return;  // drop
-    Timer busy;
-    if (t->kind == Task::Kind::kScan) {
-      ExecuteScan(w, t);
-    } else {
-      ExecuteExpand(w, t);
-    }
-    ++w->report.tasks_executed;
-    w->report.busy_seconds += busy.ElapsedSeconds();
-  }
-
-  // Steals up to half of a random victim's queue (Section VI.C).
-  BatchTask* TrySteal(Worker* w) {
-    if (num_threads_ < 2) return nullptr;
-    for (uint32_t attempt = 0; attempt < 2 * num_threads_; ++attempt) {
-      const uint32_t victim_id =
-          static_cast<uint32_t>(w->rng.NextBounded(num_threads_));
-      if (victim_id == w->id) continue;
-      Worker* victim = workers_[victim_id].get();
-      BatchTask* first = nullptr;
-      if (!victim->deque.Steal(&first)) continue;
-      ++w->report.steals;
-      int64_t extra = victim->deque.SizeApprox() / 2;
-      BatchTask* t = nullptr;
-      while (extra-- > 0 && victim->deque.Steal(&t)) {
-        w->deque.Push(t);
-      }
-      return first;
-    }
-    return nullptr;
-  }
-
-  void WorkerLoop(Worker* w) {
-    while (true) {
-      if (pending_.load(std::memory_order_acquire) == 0) break;
-      BatchTask* t = nullptr;
-      if (w->deque.Pop(&t)) {
-        Execute(w, t);
-        Finish(t);
-      } else if (options_.parallel.work_stealing &&
-                 (t = TrySteal(w)) != nullptr) {
-        Execute(w, t);
-        Finish(t);
-      } else {
-        std::this_thread::yield();
-      }
-    }
-  }
-
-  const IndexedHypergraph& data_;
-  const BatchOptions& options_;
-  const Deadline batch_deadline_;
-  const uint32_t num_threads_;
-  Timer wall_;
-
-  std::vector<std::unique_ptr<QueryContext>> contexts_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::atomic<int64_t> pending_{0};
-  std::atomic<bool> batch_expired_{false};
-  TaskMemoryTracker memory_;
+// Bookkeeping of one input query through the admission layer.
+struct QuerySlot {
+  Status status;                          // planning outcome
+  uint32_t sched_index = kNotScheduled;   // index into scheduler outcomes
+  uint32_t mirror_of = kNotScheduled;     // input index of canonical copy
 };
 
 }  // namespace
@@ -357,22 +62,80 @@ BatchResult RunBatch(const IndexedHypergraph& data,
                      const std::vector<Hypergraph>& queries,
                      const BatchOptions& options,
                      const std::vector<EmbeddingSink*>* sinks) {
-  BatchEngine engine(data, queries.size(), options);
-  std::vector<Status> planning(queries.size());
+  SchedulerOptions sched_options;
+  sched_options.parallel = options.parallel;
+  sched_options.batch_timeout_seconds = options.batch_timeout_seconds;
+  sched_options.max_inflight_queries = options.max_inflight_queries;
+  sched_options.task_quota = options.task_quota;
+  Scheduler scheduler(data, sched_options);
+
+  BatchResult result;
+  result.queries.resize(queries.size());
+
+  // Admission: plan every query, detecting repeated queries through the
+  // plan cache. A repeat reuses the canonical copy's compiled plan; when it
+  // has no sink of its own it is not even submitted — its exact counts are
+  // mirrored from the canonical execution afterwards.
+  std::vector<QuerySlot> slots(queries.size());
+  std::vector<std::unique_ptr<QueryPlan>> plans;    // owned, stable addresses
+  std::vector<const QueryPlan*> plan_of(queries.size(), nullptr);
+  std::unordered_map<std::string, uint32_t> cache;  // key -> canonical input
   for (size_t i = 0; i < queries.size(); ++i) {
     EmbeddingSink* sink =
         (sinks != nullptr && i < sinks->size()) ? (*sinks)[i] : nullptr;
-    planning[i] = engine.Admit(queries[i], sink);
+    std::string key;
+    if (options.plan_cache) {
+      key = QueryCacheKey(queries[i]);
+      auto it = cache.find(key);
+      if (it != cache.end()) {
+        const uint32_t canonical = it->second;
+        ++result.plan_cache_hits;
+        plan_of[i] = plan_of[canonical];
+        if (sink == nullptr) {
+          slots[i].mirror_of = canonical;
+        } else {
+          // The sink must observe this copy's own embeddings, so the copy
+          // executes — but on the shared compiled plan.
+          slots[i].sched_index = scheduler.Submit(plan_of[i], sink);
+        }
+        continue;
+      }
+    }
+    Result<QueryPlan> plan = BuildQueryPlan(queries[i], data);
+    if (!plan.ok()) {
+      slots[i].status = plan.status();
+      continue;
+    }
+    plans.push_back(std::make_unique<QueryPlan>(std::move(plan.value())));
+    plan_of[i] = plans.back().get();
+    if (options.plan_cache) {
+      cache.emplace(std::move(key), static_cast<uint32_t>(i));
+    }
+    slots[i].sched_index = scheduler.Submit(plan_of[i], sink);
   }
-  BatchResult result = engine.Run();
-  result.completed = 0;
+  result.unique_plans = plans.size();
+
+  SchedulerReport report = scheduler.Run();
+
   for (size_t i = 0; i < queries.size(); ++i) {
-    result.queries[i].status = std::move(planning[i]);
-    const BatchQueryResult& q = result.queries[i];
+    BatchQueryResult& q = result.queries[i];
+    q.status = std::move(slots[i].status);
+    const uint32_t sched = slots[i].mirror_of != kNotScheduled
+                               ? slots[slots[i].mirror_of].sched_index
+                               : slots[i].sched_index;
+    if (sched != kNotScheduled) {
+      const QueryOutcome& outcome = report.queries[sched];
+      q.stats = outcome.stats;
+      q.admit_seconds = outcome.admit_seconds;
+    }
     if (q.status.ok() && !q.stats.timed_out && !q.stats.limit_hit) {
       ++result.completed;
     }
+    result.total += q.stats;
   }
+  result.workers = std::move(report.workers);
+  result.peak_task_bytes = report.peak_task_bytes;
+  result.seconds = report.seconds;
   return result;
 }
 

@@ -14,17 +14,39 @@ namespace hgmatch {
 
 /// Options of the batch execution engine.
 struct BatchOptions {
-  /// Pool configuration plus the *per-query* timeout/limit. Because all
-  /// queries of a batch are admitted simultaneously, per-query timeouts are
-  /// measured from batch start — under heavy inter-query sharing this is
-  /// also each query's end-to-end latency budget.
+  /// Pool configuration plus the *per-query* timeout/limit. Per-query
+  /// timeouts are measured from each query's *admission* time (when its
+  /// SCAN ranges are seeded into the pool), so a query waiting behind the
+  /// admission window does not burn its own budget while queued.
   ParallelOptions parallel;
 
   /// Whole-batch wall-clock timeout in seconds; <= 0 disables. When it
-  /// fires, unfinished queries report timed_out (conservatively: a query
-  /// whose last task is mid-execution at the expiry instant may be marked
-  /// timed_out even though its counts end up complete).
+  /// fires, unfinished queries are stopped; a query is only reported
+  /// timed_out if some of its work was actually dropped — a query whose
+  /// final mid-flight task completes its counts keeps exact stats and is
+  /// not marked timed out.
   double batch_timeout_seconds = 0;
+
+  /// Admission window: at most this many queries are in flight at once;
+  /// the rest wait in input order and are admitted as earlier queries
+  /// finish. 0 = unlimited (the whole batch is admitted up front). A
+  /// window of 1 serialises the queries while keeping intra-query
+  /// parallelism; a small window bounds per-batch memory and gives later
+  /// queries predictable admission latency under multi-user load.
+  uint32_t max_inflight_queries = 0;
+
+  /// Per-query fairness quota: when a query already has this many live
+  /// tasks, further expansions of it run inline depth-first instead of
+  /// being queued, so one expensive query cannot flood the shared deques
+  /// and starve cheap queries of the batch. 0 = off.
+  uint64_t task_quota = 0;
+
+  /// Detect repeated (structurally identical) queries and reuse one
+  /// compiled plan for all copies; copies without a sink additionally skip
+  /// execution entirely and mirror the first copy's exact counts. Repeats
+  /// are found via a canonical per-edge signature key (core/signature)
+  /// refined by the exact structure, so only true duplicates ever share.
+  bool plan_cache = true;
 };
 
 /// Outcome of one query of a batch. Entries of BatchResult::queries appear
@@ -35,9 +57,13 @@ struct BatchQueryResult {
   Status status;
 
   /// Per-query counters, exactly comparable to a standalone run of the same
-  /// query. `seconds` is the time from batch start until the last task of
-  /// this query finished.
+  /// query. `seconds` is the time from this query's admission until its
+  /// last task finished.
   MatchStats stats;
+
+  /// Seconds from batch start until this query was admitted into the pool
+  /// (0 when the admission window is unlimited).
+  double admit_seconds = 0;
 };
 
 /// Aggregate outcome of a batch run.
@@ -51,22 +77,33 @@ struct BatchResult {
   /// Queries fully completed (planned, not timed out, no limit hit).
   uint64_t completed = 0;
 
+  /// Queries whose compiled plan came from the plan cache (i.e. they were
+  /// structurally identical to an earlier query of the batch).
+  uint64_t plan_cache_hits = 0;
+
+  /// Distinct plans actually compiled for this batch.
+  uint64_t unique_plans = 0;
+
   /// Batch throughput: completed / seconds (0 when nothing completed).
   double QueriesPerSecond() const {
     return seconds > 0 ? static_cast<double>(completed) / seconds : 0;
   }
 };
 
-/// Runs a set of queries against one indexed data hypergraph on a single
-/// shared work-stealing pool (Section VI.C), layering inter-query
-/// parallelism on the intra-query task model: every query is compiled to a
-/// plan, its SCAN ranges are seeded round-robin across the workers, and from
-/// then on tasks of all queries mix freely in the same Chase-Lev deques, so
-/// an expensive query's task subtree is stolen and spread while cheap
-/// queries drain. Per-query timeout/limit come from `options.parallel`;
-/// embedding counts are exact per query (each task is tagged with its query
-/// context), so `queries[i].stats.embeddings` equals a standalone
-/// MatchSequential run of queries[i].
+/// Runs a set of queries against one indexed data hypergraph. This is a
+/// thin admission layer over the shared scheduler core
+/// (parallel/scheduler.h): it plans each query (deduplicating repeated
+/// queries through the plan cache), submits the plans, and maps the
+/// scheduler outcomes back to input order. The scheduler runs all queries
+/// on a single shared work-stealing pool (Section VI.C), layering
+/// inter-query parallelism on the intra-query task model: every query's
+/// SCAN ranges are seeded across the workers at admission, and from then on
+/// tasks of all queries mix freely in the same Chase-Lev deques, so an
+/// expensive query's task subtree is stolen and spread while cheap queries
+/// drain. Per-query timeout/limit come from `options.parallel`; embedding
+/// counts are exact per query (each task is tagged with its query context),
+/// so `queries[i].stats.embeddings` equals a standalone MatchSequential run
+/// of queries[i] — including under the admission window and task quota.
 ///
 /// `sinks`, when non-null, must have one entry per query (entries may be
 /// null); Emit calls are serialised per sink. Queries that fail to plan

@@ -1,267 +1,28 @@
 #include "parallel/executor.h"
 
-#include <atomic>
-#include <mutex>
-#include <thread>
-
-#include "core/candidates.h"
-#include "parallel/task.h"
-#include "parallel/ws_deque.h"
-#include "util/rng.h"
-#include "util/timer.h"
+#include "parallel/scheduler.h"
 
 namespace hgmatch {
 
-namespace {
-
-// Shared state of one parallel matching run.
-class Engine {
- public:
-  Engine(const IndexedHypergraph& data, const QueryPlan& plan,
-         const ParallelOptions& options, EmbeddingSink* sink)
-      : data_(data),
-        plan_(plan),
-        options_(options),
-        sink_(sink),
-        deadline_(Deadline::After(options.timeout_seconds)),
-        num_threads_(options.num_threads != 0
-                         ? options.num_threads
-                         : std::max(1u, std::thread::hardware_concurrency())) {
-  }
-
-  ParallelResult Run() {
-    ParallelResult result;
-    Timer wall;
-    const uint32_t n = plan_.NumSteps();
-    workers_.reserve(num_threads_);
-    for (uint32_t i = 0; i < num_threads_; ++i) {
-      workers_.push_back(std::make_unique<Worker>(data_, plan_, i,
-                                                  options_.seed + i));
-    }
-
-    // Seed: split the first step's signature table into one SCAN range per
-    // worker (the static split is also the NOSTL load-assignment baseline).
-    const Partition* first =
-        n > 0 ? data_.FindPartition(plan_.steps[0].signature) : nullptr;
-    if (first != nullptr && !first->edges().empty()) {
-      const uint64_t total = first->edges().size();
-      const uint64_t chunk = (total + num_threads_ - 1) / num_threads_;
-      for (uint32_t w = 0; w < num_threads_; ++w) {
-        const uint64_t lo = static_cast<uint64_t>(w) * chunk;
-        if (lo >= total) break;
-        const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
-        Spawn(workers_[w].get(),
-              Task::NewScan(static_cast<uint32_t>(lo),
-                            static_cast<uint32_t>(hi)));
-      }
-      scan_table_ = &first->edges();
-    }
-
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads_);
-    for (uint32_t i = 0; i < num_threads_; ++i) {
-      threads.emplace_back([this, i] { WorkerLoop(workers_[i].get()); });
-    }
-    for (auto& t : threads) t.join();
-
-    for (auto& w : workers_) {
-      result.stats += w->report.stats;
-      result.workers.push_back(std::move(w->report));
-    }
-    result.stats.timed_out = timed_out_.load(std::memory_order_relaxed);
-    result.stats.limit_hit = limit_hit_.load(std::memory_order_relaxed);
-    result.stats.seconds = wall.ElapsedSeconds();
-    result.peak_task_bytes = memory_.peak_bytes();
-    return result;
-  }
-
- private:
-  struct Worker {
-    Worker(const IndexedHypergraph& data, const QueryPlan& plan, uint32_t id,
-           uint64_t seed)
-        : id(id), expander(data, plan), rng(seed) {
-      embedding.resize(std::max<size_t>(1, plan.NumSteps()));
-    }
-
-    uint32_t id;
-    WorkStealingDeque<Task*> deque;
-    Expander expander;
-    Rng rng;
-    std::vector<EdgeId> valid;      // Expand() output buffer
-    std::vector<EdgeId> embedding;  // SINK copy buffer
-    WorkerReport report;
-    uint64_t poll_counter = 0;
-  };
-
-  void Spawn(Worker* w, Task* t) {
-    memory_.OnAlloc(t->SizeBytes());
-    pending_.fetch_add(1, std::memory_order_acq_rel);
-    ++w->report.tasks_spawned;
-    w->deque.Push(t);
-  }
-
-  void Finish(Task* t) {
-    memory_.OnFree(t->SizeBytes());
-    Task::Free(t);
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
-  }
-
-  bool Stopped() const { return stop_.load(std::memory_order_relaxed); }
-
-  void PollDeadline(Worker* w) {
-    if (++w->poll_counter >= 1024) {
-      w->poll_counter = 0;
-      if (deadline_.Expired()) {
-        timed_out_.store(true, std::memory_order_relaxed);
-        stop_.store(true, std::memory_order_relaxed);
-      }
-    }
-  }
-
-  void EmitEmbedding(Worker* w, const EdgeId* prefix, uint32_t prefix_len,
-                     EdgeId last) {
-    ++w->report.stats.embeddings;
-    if (sink_ != nullptr) {
-      for (uint32_t i = 0; i < prefix_len; ++i) w->embedding[i] = prefix[i];
-      w->embedding[prefix_len] = last;
-      std::lock_guard<std::mutex> lock(sink_mutex_);
-      sink_->Emit(w->embedding.data(), prefix_len + 1);
-    }
-    if (options_.limit != 0) {
-      const uint64_t total =
-          emitted_.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (total >= options_.limit) {
-        limit_hit_.store(true, std::memory_order_relaxed);
-        stop_.store(true, std::memory_order_relaxed);
-      }
-    }
-  }
-
-  // Handles one child hyperedge `c` extending `prefix` (already validated):
-  // emit if complete, otherwise spawn the EXPAND task (T_SINK is executed
-  // inline; it would be scheduled immediately after spawning under LIFO).
-  void ProcessChild(Worker* w, const EdgeId* prefix, uint32_t prefix_len,
-                    EdgeId c) {
-    if (prefix_len + 1 == plan_.NumSteps()) {
-      EmitEmbedding(w, prefix, prefix_len, c);
-    } else {
-      Spawn(w, Task::NewExpand(prefix, prefix_len, c));
-    }
-  }
-
-  void ExecuteScan(Worker* w, Task* t) {
-    // Range splitting: push the upper half back (thieves take the oldest,
-    // i.e. the largest, ranges first) until the range is small enough.
-    uint32_t lo = t->scan_lo;
-    uint32_t hi = t->scan_hi;
-    while (hi - lo > options_.scan_grain) {
-      const uint32_t mid = lo + (hi - lo) / 2;
-      Spawn(w, Task::NewScan(mid, hi));
-      hi = mid;
-    }
-    // The first query hyperedge matches every hyperedge of its signature
-    // table (Observation V.1); no validation is needed at step 0.
-    for (uint32_t i = lo; i < hi && !Stopped(); ++i) {
-      ProcessChild(w, nullptr, 0, (*scan_table_)[i]);
-      PollDeadline(w);
-    }
-  }
-
-  void ExecuteExpand(Worker* w, Task* t) {
-    w->expander.Expand(t->edges, t->depth, &w->valid, &w->report.stats);
-    for (EdgeId c : w->valid) {
-      if (Stopped()) break;
-      ProcessChild(w, t->edges, t->depth, c);
-    }
-    PollDeadline(w);
-  }
-
-  void Execute(Worker* w, Task* t) {
-    Timer busy;
-    if (t->kind == Task::Kind::kScan) {
-      ExecuteScan(w, t);
-    } else {
-      ExecuteExpand(w, t);
-    }
-    ++w->report.tasks_executed;
-    w->report.busy_seconds += busy.ElapsedSeconds();
-  }
-
-  // Steals up to half of a random victim's queue (Section VI.C). The first
-  // stolen task is returned for immediate execution; the rest go into the
-  // caller's own deque.
-  Task* TrySteal(Worker* w) {
-    for (uint32_t attempt = 0; attempt < 2 * num_threads_; ++attempt) {
-      const uint32_t victim_id =
-          static_cast<uint32_t>(w->rng.NextBounded(num_threads_));
-      if (victim_id == w->id) continue;
-      Worker* victim = workers_[victim_id].get();
-      Task* first = nullptr;
-      if (!victim->deque.Steal(&first)) continue;
-      ++w->report.steals;
-      int64_t extra = victim->deque.SizeApprox() / 2;
-      Task* t = nullptr;
-      while (extra-- > 0 && victim->deque.Steal(&t)) {
-        w->deque.Push(t);
-      }
-      return first;
-    }
-    return nullptr;
-  }
-
-  void Drain(Worker* w) {
-    Task* t = nullptr;
-    while (w->deque.Pop(&t)) Finish(t);
-  }
-
-  void WorkerLoop(Worker* w) {
-    while (true) {
-      if (pending_.load(std::memory_order_acquire) == 0) break;
-      if (Stopped()) {
-        Drain(w);
-        if (pending_.load(std::memory_order_acquire) == 0) break;
-        std::this_thread::yield();
-        continue;
-      }
-      Task* t = nullptr;
-      if (w->deque.Pop(&t)) {
-        Execute(w, t);
-        Finish(t);
-      } else if (options_.work_stealing && (t = TrySteal(w)) != nullptr) {
-        Execute(w, t);
-        Finish(t);
-      } else {
-        std::this_thread::yield();
-      }
-    }
-  }
-
-  const IndexedHypergraph& data_;
-  const QueryPlan& plan_;
-  const ParallelOptions& options_;
-  EmbeddingSink* sink_;
-  const Deadline deadline_;
-  const uint32_t num_threads_;
-
-  std::vector<std::unique_ptr<Worker>> workers_;
-  const EdgeSet* scan_table_ = nullptr;
-  std::atomic<int64_t> pending_{0};
-  std::atomic<bool> stop_{false};
-  std::atomic<bool> timed_out_{false};
-  std::atomic<bool> limit_hit_{false};
-  std::atomic<uint64_t> emitted_{0};
-  TaskMemoryTracker memory_;
-  std::mutex sink_mutex_;
-};
-
-}  // namespace
-
+// The single-query engine is a batch of one on the shared scheduler core
+// (parallel/scheduler.h): all worker-pool, deque, steal and deadline logic
+// lives there; this translation unit only maps the option/result types.
 ParallelResult ExecutePlanParallel(const IndexedHypergraph& data,
                                    const QueryPlan& plan,
                                    const ParallelOptions& options,
                                    EmbeddingSink* sink) {
-  Engine engine(data, plan, options, sink);
-  return engine.Run();
+  SchedulerOptions sched_options;
+  sched_options.parallel = options;
+  Scheduler scheduler(data, sched_options);
+  scheduler.Submit(&plan, sink);
+  SchedulerReport report = scheduler.Run();
+
+  ParallelResult result;
+  result.stats = report.queries[0].stats;
+  result.stats.seconds = report.seconds;  // single query: run time == wall
+  result.workers = std::move(report.workers);
+  result.peak_task_bytes = report.peak_task_bytes;
+  return result;
 }
 
 Result<ParallelResult> MatchParallel(const IndexedHypergraph& data,

@@ -56,9 +56,16 @@ struct ParallelResult {
 /// Runs a compiled plan on the task-based scheduler (Section VI.B) with
 /// dynamic work stealing (Section VI.C): each worker owns a Chase–Lev deque,
 /// schedules LIFO, and steals up to half of a random victim's queue when
-/// idle. `sink` may be null (count only); when non-null, Emit calls are
-/// serialised by the engine, so any sink works but heavy sinks limit
-/// scalability — the experiments count, matching the paper's metric.
+/// idle. This is a thin facade over the shared scheduler core
+/// (parallel/scheduler.h) — a single query runs as a batch of one, so every
+/// deque/steal/deadline behaviour is identical to the batch engine's
+/// (parallel/batch_runner.h) by construction. `sink` may be null (count
+/// only); when non-null, Emit calls are serialised by the engine, so any
+/// sink works but heavy sinks limit scalability — the experiments count,
+/// matching the paper's metric. `stats.timed_out` is only set when the
+/// deadline fired AND some work was actually dropped; a run whose final
+/// tasks complete their counts despite an expired deadline reports exact
+/// results.
 ParallelResult ExecutePlanParallel(const IndexedHypergraph& data,
                                    const QueryPlan& plan,
                                    const ParallelOptions& options,

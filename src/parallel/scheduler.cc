@@ -1,0 +1,479 @@
+#include "parallel/scheduler.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/candidates.h"
+#include "parallel/task.h"
+#include "parallel/ws_deque.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace hgmatch {
+
+namespace {
+
+constexpr uint32_t kNoQuery = 0xffffffffu;
+
+// Shared per-query state. Tasks are tagged with their context (Task::owner),
+// so counters, limits and deadlines stay exact per query even while tasks of
+// different queries mix in the same deques.
+//
+// Non-atomic fields written at admission (deadline, admit_seconds, seeded)
+// are published to other workers through the deque: the admitting thread
+// seeds the query's SCAN tasks after writing them, and any other worker can
+// only reach the context through a task obtained from a deque (Pop/Steal
+// both synchronise with the Push).
+struct QueryContext {
+  uint32_t index = 0;
+  const QueryPlan* plan = nullptr;
+  const EdgeSet* scan_table = nullptr;  // first-step signature table
+  EmbeddingSink* sink = nullptr;
+  std::mutex sink_mutex;
+  Deadline deadline;        // per-query budget, armed at admission
+  double admit_seconds = 0; // Run() start -> admission
+  // Written exactly once, by the worker that retires the query's last task
+  // (pending can only reach zero once — children are spawned before their
+  // parent task is retired).
+  double finish_seconds = 0;
+  bool seeded = false;
+  std::atomic<uint64_t> emitted{0};
+  std::atomic<int64_t> pending{0};
+  std::atomic<bool> stop{false};
+  // Why two flags instead of a single timed_out: a deadline may fire while
+  // the query's final tasks are mid-execution and still complete all their
+  // counts. The query is only *reported* timed out when the deadline fired
+  // AND some of its work was actually dropped, so exact counts are never
+  // mislabelled.
+  std::atomic<bool> timeout_fired{false};
+  std::atomic<bool> work_dropped{false};
+  std::atomic<bool> limit_hit{false};
+  std::atomic<bool> finished{false};
+};
+
+}  // namespace
+
+// One pool thread. Per-query state (stats, expanders) is sparse: slots
+// materialise on first touch, so a worker that never executes a task of
+// query q spends nothing on q.
+class Scheduler::Impl {
+ public:
+  Impl(const IndexedHypergraph& data, const SchedulerOptions& options)
+      : data_(data),
+        options_(options),
+        num_threads_(options.parallel.num_threads != 0
+                         ? options.parallel.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency())) {
+  }
+
+  uint32_t Submit(const QueryPlan* plan, EmbeddingSink* sink) {
+    auto ctx = std::make_unique<QueryContext>();
+    ctx->index = static_cast<uint32_t>(queries_.size());
+    ctx->plan = plan;
+    ctx->sink = sink;
+    const Partition* first =
+        plan->NumSteps() > 0 ? data_.FindPartition(plan->steps[0].signature)
+                             : nullptr;
+    if (first != nullptr && !first->edges().empty()) {
+      ctx->scan_table = &first->edges();
+    }
+    queries_.push_back(std::move(ctx));
+    return queries_.back()->index;
+  }
+
+  SchedulerReport Run() {
+    wall_.Reset();
+    batch_deadline_ = Deadline::After(options_.batch_timeout_seconds);
+
+    workers_.reserve(num_threads_);
+    for (uint32_t i = 0; i < num_threads_; ++i) {
+      workers_.push_back(
+          std::make_unique<Worker>(i, options_.parallel.seed + i));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      AdmitLocked(nullptr);
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads_);
+    for (uint32_t i = 0; i < num_threads_; ++i) {
+      threads.emplace_back([this, i] { WorkerLoop(workers_[i].get()); });
+    }
+    for (auto& t : threads) t.join();
+
+    SchedulerReport report;
+    report.queries.resize(queries_.size());
+    for (auto& w : workers_) {
+      for (const auto& [q, stats] : w->query_stats) {
+        report.queries[q].stats += stats;
+        w->report.stats += stats;
+      }
+    }
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      QueryContext* ctx = queries_[q].get();
+      MatchStats& stats = report.queries[q].stats;
+      stats.limit_hit = ctx->limit_hit.load(std::memory_order_relaxed);
+      stats.timed_out = ctx->timeout_fired.load(std::memory_order_relaxed) &&
+                        ctx->work_dropped.load(std::memory_order_relaxed);
+      stats.seconds =
+          ctx->seeded ? ctx->finish_seconds - ctx->admit_seconds : 0;
+      report.queries[q].admit_seconds = ctx->admit_seconds;
+    }
+    for (auto& w : workers_) report.workers.push_back(std::move(w->report));
+    report.peak_task_bytes = memory_.peak_bytes();
+    report.seconds = wall_.ElapsedSeconds();
+    return report;
+  }
+
+  uint32_t num_threads() const { return num_threads_; }
+
+ private:
+  struct Worker {
+    Worker(uint32_t id, uint64_t seed) : id(id), rng(seed) {}
+
+    uint32_t id;
+    WorkStealingDeque<Task*> deque;
+    Rng rng;
+    std::vector<EdgeId> embedding;      // SINK copy buffer
+    std::vector<std::vector<EdgeId>> valid_at;  // Expand() output per depth
+    std::vector<EdgeId> inline_prefix;  // quota-path partial embedding
+    // Sparse per-query accumulation, O(touched queries) per worker. The
+    // one-entry caches skip the hash lookup on the common task runs of one
+    // query (LIFO scheduling keeps runs long).
+    std::unordered_map<uint32_t, MatchStats> query_stats;
+    std::unordered_map<const QueryPlan*, std::unique_ptr<Expander>> expanders;
+    uint32_t stats_key = kNoQuery;
+    MatchStats* stats_cache = nullptr;
+    const QueryPlan* expander_key = nullptr;
+    Expander* expander_cache = nullptr;
+    WorkerReport report;
+    uint64_t poll_counter = 0;
+  };
+
+  static QueryContext* Ctx(Task* t) {
+    return static_cast<QueryContext*>(t->owner);
+  }
+
+  // unordered_map guarantees reference stability of values, so the caches
+  // survive rehashes.
+  MatchStats* StatsFor(Worker* w, QueryContext* ctx) {
+    if (w->stats_key != ctx->index) {
+      w->stats_key = ctx->index;
+      w->stats_cache = &w->query_stats[ctx->index];
+    }
+    return w->stats_cache;
+  }
+
+  Expander* ExpanderFor(Worker* w, QueryContext* ctx) {
+    if (w->expander_key != ctx->plan) {
+      auto& slot = w->expanders[ctx->plan];
+      if (slot == nullptr) slot = std::make_unique<Expander>(data_, *ctx->plan);
+      w->expander_key = ctx->plan;
+      w->expander_cache = slot.get();
+    }
+    return w->expander_cache;
+  }
+
+  // Grows the per-depth buffers up front so no reference into valid_at is
+  // ever invalidated by a deeper (inline) expansion resizing the vector.
+  void EnsureDepthBuffers(Worker* w, uint32_t steps) {
+    if (w->valid_at.size() < steps) w->valid_at.resize(steps);
+    if (w->inline_prefix.size() < steps) w->inline_prefix.resize(steps);
+  }
+
+  void Spawn(Worker* w, Task* t) {
+    memory_.OnAlloc(t->SizeBytes());
+    Ctx(t)->pending.fetch_add(1, std::memory_order_acq_rel);
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    ++w->report.tasks_spawned;
+    w->deque.Push(t);
+  }
+
+  void Finish(Worker* w, Task* t) {
+    QueryContext* ctx = Ctx(t);
+    memory_.OnFree(t->SizeBytes());
+    Task::Free(t);
+    if (ctx->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task of this query retired: record its finish, free the
+      // admission slot and seed waiting queries *before* the global count
+      // below can reach zero, so the pool never shuts down between two
+      // admissions.
+      ctx->finish_seconds = wall_.ElapsedSeconds();
+      ctx->finished.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      --inflight_;
+      AdmitLocked(w);
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  // Admits queries in submission order until the window is full or none are
+  // left. Callers hold admit_mutex_. `seeder == nullptr` only for the
+  // initial admission (before the pool threads start), where SCAN ranges
+  // are spread round-robin over all workers; mid-run admissions seed into
+  // the admitting worker's own deque (Chase-Lev Push is owner-only) and
+  // rely on stealing to spread.
+  void AdmitLocked(Worker* seeder) {
+    const uint32_t window = options_.max_inflight_queries;
+    while (next_admit_ < queries_.size() &&
+           (window == 0 || inflight_ < window)) {
+      QueryContext* ctx = queries_[next_admit_++].get();
+      ctx->admit_seconds = wall_.ElapsedSeconds();
+      ctx->deadline = Deadline::After(options_.parallel.timeout_seconds);
+      if (ctx->stop.load(std::memory_order_relaxed)) {
+        // Stopped before it ever ran (whole-run deadline): all of its work
+        // is dropped by definition, unless it had none to begin with.
+        if (ctx->scan_table != nullptr) {
+          ctx->work_dropped.store(true, std::memory_order_relaxed);
+        }
+        ctx->finish_seconds = ctx->admit_seconds;
+        ctx->finished.store(true, std::memory_order_release);
+        continue;
+      }
+      if (ctx->scan_table == nullptr) {
+        // Nothing matches the first step: done at admission.
+        ctx->finish_seconds = ctx->admit_seconds;
+        ctx->finished.store(true, std::memory_order_release);
+        continue;
+      }
+      ctx->seeded = true;
+      ++inflight_;
+      const uint64_t total = ctx->scan_table->size();
+      const uint64_t chunk = (total + num_threads_ - 1) / num_threads_;
+      for (uint32_t w = 0; w < num_threads_; ++w) {
+        const uint64_t lo = static_cast<uint64_t>(w) * chunk;
+        if (lo >= total) break;
+        const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
+        Worker* owner = seeder != nullptr
+                            ? seeder
+                            : workers_[(w + ctx->index) % num_threads_].get();
+        Spawn(owner, Task::NewScan(ctx, static_cast<uint32_t>(lo),
+                                   static_cast<uint32_t>(hi)));
+      }
+    }
+    if (next_admit_ == queries_.size()) {
+      all_admitted_.store(true, std::memory_order_release);
+    }
+  }
+
+  void PollDeadlines(Worker* w, QueryContext* ctx) {
+    if (++w->poll_counter < 1024) return;
+    w->poll_counter = 0;
+    if (ctx->deadline.Expired()) {
+      ctx->timeout_fired.store(true, std::memory_order_relaxed);
+      ctx->stop.store(true, std::memory_order_relaxed);
+    }
+    if (batch_deadline_.Expired() &&
+        !batch_expired_.exchange(true, std::memory_order_relaxed)) {
+      for (auto& c : queries_) {
+        if (c->finished.load(std::memory_order_acquire)) continue;
+        c->timeout_fired.store(true, std::memory_order_relaxed);
+        c->stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void EmitEmbedding(Worker* w, QueryContext* ctx, const EdgeId* prefix,
+                     uint32_t prefix_len, EdgeId last) {
+    ++StatsFor(w, ctx)->embeddings;
+    if (ctx->sink != nullptr) {
+      if (w->embedding.size() < static_cast<size_t>(prefix_len) + 1) {
+        w->embedding.resize(prefix_len + 1);
+      }
+      for (uint32_t i = 0; i < prefix_len; ++i) w->embedding[i] = prefix[i];
+      w->embedding[prefix_len] = last;
+      std::lock_guard<std::mutex> lock(ctx->sink_mutex);
+      ctx->sink->Emit(w->embedding.data(), prefix_len + 1);
+    }
+    if (options_.parallel.limit != 0) {
+      const uint64_t total =
+          ctx->emitted.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (total >= options_.parallel.limit) {
+        ctx->limit_hit.store(true, std::memory_order_relaxed);
+        ctx->stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Handles one child hyperedge `c` extending `prefix` (already validated):
+  // emit if complete, queue the EXPAND task, or — when the query is over
+  // its task quota — expand depth-first inline so its deque share stays
+  // bounded (the work still happens, it just cannot bury other queries'
+  // tasks under millions of queued expansions).
+  void ProcessChild(Worker* w, QueryContext* ctx, const EdgeId* prefix,
+                    uint32_t prefix_len, EdgeId c) {
+    if (prefix_len + 1 == ctx->plan->NumSteps()) {
+      EmitEmbedding(w, ctx, prefix, prefix_len, c);
+    } else if (options_.task_quota != 0 &&
+               ctx->pending.load(std::memory_order_relaxed) >=
+                   static_cast<int64_t>(options_.task_quota)) {
+      for (uint32_t i = 0; i < prefix_len; ++i) w->inline_prefix[i] = prefix[i];
+      w->inline_prefix[prefix_len] = c;
+      ExpandInline(w, ctx, prefix_len + 1);
+    } else {
+      Spawn(w, Task::NewExpand(ctx, prefix, prefix_len, c));
+    }
+  }
+
+  // Depth-first expansion of w->inline_prefix[0..len) without queueing
+  // tasks. Recursion depth is bounded by the plan length; each depth owns
+  // its valid buffer (EnsureDepthBuffers ran before any reference is held).
+  void ExpandInline(Worker* w, QueryContext* ctx, uint32_t len) {
+    std::vector<EdgeId>& valid = w->valid_at[len];
+    ExpanderFor(w, ctx)->Expand(w->inline_prefix.data(), len, &valid,
+                                StatsFor(w, ctx));
+    const uint32_t steps = ctx->plan->NumSteps();
+    size_t i = 0;
+    for (; i < valid.size(); ++i) {
+      if (ctx->stop.load(std::memory_order_relaxed)) break;
+      if (len + 1 == steps) {
+        EmitEmbedding(w, ctx, w->inline_prefix.data(), len, valid[i]);
+      } else {
+        w->inline_prefix[len] = valid[i];
+        ExpandInline(w, ctx, len + 1);
+      }
+    }
+    if (i < valid.size()) {
+      ctx->work_dropped.store(true, std::memory_order_relaxed);
+    }
+    PollDeadlines(w, ctx);
+  }
+
+  void ExecuteScan(Worker* w, Task* t) {
+    QueryContext* ctx = Ctx(t);
+    EnsureDepthBuffers(w, ctx->plan->NumSteps());
+    // Range splitting: push the upper half back (thieves take the oldest,
+    // i.e. the largest, ranges first) until the range is small enough.
+    uint32_t lo = t->scan_lo;
+    uint32_t hi = t->scan_hi;
+    while (hi - lo > options_.parallel.scan_grain) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      Spawn(w, Task::NewScan(ctx, mid, hi));
+      hi = mid;
+    }
+    // The first query hyperedge matches every hyperedge of its signature
+    // table (Observation V.1); no validation is needed at step 0.
+    uint32_t i = lo;
+    for (; i < hi; ++i) {
+      if (ctx->stop.load(std::memory_order_relaxed)) break;
+      ProcessChild(w, ctx, nullptr, 0, (*ctx->scan_table)[i]);
+      PollDeadlines(w, ctx);
+    }
+    if (i < hi) ctx->work_dropped.store(true, std::memory_order_relaxed);
+  }
+
+  void ExecuteExpand(Worker* w, Task* t) {
+    QueryContext* ctx = Ctx(t);
+    EnsureDepthBuffers(w, ctx->plan->NumSteps());
+    std::vector<EdgeId>& valid = w->valid_at[t->depth];
+    ExpanderFor(w, ctx)->Expand(t->edges, t->depth, &valid, StatsFor(w, ctx));
+    size_t i = 0;
+    for (; i < valid.size(); ++i) {
+      if (ctx->stop.load(std::memory_order_relaxed)) break;
+      ProcessChild(w, ctx, t->edges, t->depth, valid[i]);
+    }
+    if (i < valid.size()) {
+      ctx->work_dropped.store(true, std::memory_order_relaxed);
+    }
+    PollDeadlines(w, ctx);
+  }
+
+  void Execute(Worker* w, Task* t) {
+    QueryContext* ctx = Ctx(t);
+    if (ctx->stop.load(std::memory_order_relaxed)) {
+      // Dropped, not run: this query's counts are now incomplete.
+      ctx->work_dropped.store(true, std::memory_order_relaxed);
+      return;
+    }
+    Timer busy;
+    if (t->kind == Task::Kind::kScan) {
+      ExecuteScan(w, t);
+    } else {
+      ExecuteExpand(w, t);
+    }
+    ++w->report.tasks_executed;
+    w->report.busy_seconds += busy.ElapsedSeconds();
+  }
+
+  // Steals up to half of a random victim's queue (Section VI.C). The first
+  // stolen task is returned for immediate execution; the rest go into the
+  // caller's own deque.
+  Task* TrySteal(Worker* w) {
+    if (num_threads_ < 2) return nullptr;
+    for (uint32_t attempt = 0; attempt < 2 * num_threads_; ++attempt) {
+      const uint32_t victim_id =
+          static_cast<uint32_t>(w->rng.NextBounded(num_threads_));
+      if (victim_id == w->id) continue;
+      Worker* victim = workers_[victim_id].get();
+      Task* first = nullptr;
+      if (!victim->deque.Steal(&first)) continue;
+      ++w->report.steals;
+      int64_t extra = victim->deque.SizeApprox() / 2;
+      Task* t = nullptr;
+      while (extra-- > 0 && victim->deque.Steal(&t)) {
+        w->deque.Push(t);
+      }
+      return first;
+    }
+    return nullptr;
+  }
+
+  void WorkerLoop(Worker* w) {
+    while (true) {
+      // Finish() admits waiting queries before decrementing the global
+      // pending count, so pending_ == 0 && all_admitted_ is a stable
+      // termination condition.
+      if (pending_.load(std::memory_order_acquire) == 0 &&
+          all_admitted_.load(std::memory_order_acquire)) {
+        break;
+      }
+      Task* t = nullptr;
+      if (w->deque.Pop(&t)) {
+        Execute(w, t);
+        Finish(w, t);
+      } else if (options_.parallel.work_stealing &&
+                 (t = TrySteal(w)) != nullptr) {
+        Execute(w, t);
+        Finish(w, t);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  const IndexedHypergraph& data_;
+  const SchedulerOptions options_;
+  const uint32_t num_threads_;
+  Deadline batch_deadline_;
+  Timer wall_;
+
+  std::vector<std::unique_ptr<QueryContext>> queries_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex admit_mutex_;
+  uint32_t next_admit_ = 0;  // guarded by admit_mutex_
+  uint32_t inflight_ = 0;    // guarded by admit_mutex_
+  std::atomic<bool> all_admitted_{false};
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> batch_expired_{false};
+  TaskMemoryTracker memory_;
+};
+
+Scheduler::Scheduler(const IndexedHypergraph& data,
+                     const SchedulerOptions& options)
+    : impl_(std::make_unique<Impl>(data, options)) {}
+
+Scheduler::~Scheduler() = default;
+
+uint32_t Scheduler::Submit(const QueryPlan* plan, EmbeddingSink* sink) {
+  return impl_->Submit(plan, sink);
+}
+
+SchedulerReport Scheduler::Run() { return impl_->Run(); }
+
+uint32_t Scheduler::num_threads() const { return impl_->num_threads(); }
+
+}  // namespace hgmatch

@@ -1,0 +1,111 @@
+#ifndef HGMATCH_PARALLEL_SCHEDULER_H_
+#define HGMATCH_PARALLEL_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/indexed_hypergraph.h"
+#include "core/matching_order.h"
+#include "core/result.h"
+#include "parallel/executor.h"
+
+namespace hgmatch {
+
+/// Options of the shared scheduler core. `parallel` carries the pool shape
+/// (threads, stealing, scan grain, seed) and the *per-query* timeout/limit;
+/// the remaining fields only matter for multi-query runs and are no-ops for
+/// a batch of one.
+struct SchedulerOptions {
+  /// Pool configuration plus per-query timeout/limit. The per-query timeout
+  /// is measured from the query's *admission* (the instant its SCAN ranges
+  /// are seeded), not from Run() start, so a query waiting in the admission
+  /// queue does not burn its own budget.
+  ParallelOptions parallel;
+
+  /// Whole-run wall-clock timeout in seconds; <= 0 disables. When it fires,
+  /// every unfinished query is stopped; a query is reported `timed_out` only
+  /// if any of its work was actually dropped (a query whose final mid-flight
+  /// task completes its counts is not marked timed out).
+  double batch_timeout_seconds = 0;
+
+  /// Admission window: at most this many queries have live tasks at any
+  /// instant; the rest wait in submission order and are admitted as slots
+  /// free up. 0 = unlimited (every query is admitted up front). A window of
+  /// 1 serialises the queries while keeping intra-query parallelism.
+  uint32_t max_inflight_queries = 0;
+
+  /// Per-query fairness quota: when a query already has at least this many
+  /// live (queued or executing) tasks, new expansions of that query are run
+  /// inline depth-first instead of being queued, so one expensive query
+  /// cannot flood the deques and starve the rest of a batch. 0 = off.
+  uint64_t task_quota = 0;
+};
+
+/// Outcome of one submitted query. `stats` is exactly comparable to a
+/// standalone sequential run of the same plan: `seconds` measures admission
+/// -> last task retired, `timed_out` is set only when work was dropped.
+struct QueryOutcome {
+  MatchStats stats;
+
+  /// Seconds from Run() start until this query was admitted (0 when the
+  /// admission window is unlimited).
+  double admit_seconds = 0;
+};
+
+/// Aggregate outcome of one scheduler run.
+struct SchedulerReport {
+  std::vector<QueryOutcome> queries;  // submission order
+  std::vector<WorkerReport> workers;  // size = pool threads
+  uint64_t peak_task_bytes = 0;       // high-water mark of live task memory
+  double seconds = 0;                 // whole-run wall time
+};
+
+/// The scheduler core shared by the single-query executor
+/// (parallel/executor.h) and the batch engine (parallel/batch_runner.h):
+/// one worker pool where each worker owns a Chase-Lev deque, schedules LIFO
+/// and steals up to half of a random victim's queue when idle
+/// (Section VI.B/VI.C), generalised to many concurrent query plans by
+/// tagging every task with its query context. It owns the worker pool, the
+/// deques, the steal policy, per-query deadlines/limits, the admission
+/// window and per-worker stats accumulation; the two public engines are
+/// thin facades over it.
+///
+/// Per-worker state is sparse: a worker only materialises stats slots and
+/// expanders for the queries (respectively plans) whose tasks it actually
+/// executed, so memory is O(threads x touched-queries), not
+/// O(threads x submitted-queries) — thousand-query batches stay cheap.
+///
+/// Usage: construct, Submit() each compiled plan once, then Run() exactly
+/// once. Plans must stay alive until Run() returns; submitting the same
+/// plan pointer for several queries is allowed (the batch engine's plan
+/// cache does this) and shares per-worker expanders between them.
+class Scheduler {
+ public:
+  Scheduler(const IndexedHypergraph& data, const SchedulerOptions& options);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers one query for the next Run(). `plan` must outlive Run();
+  /// `sink` may be null (count only) — Emit calls are serialised per query.
+  /// Returns the query's index into SchedulerReport::queries.
+  uint32_t Submit(const QueryPlan* plan, EmbeddingSink* sink = nullptr);
+
+  /// Executes every submitted query to completion (or timeout/limit) and
+  /// returns the per-query outcomes. Call exactly once.
+  SchedulerReport Run();
+
+  /// Resolved pool size (`parallel.num_threads`, with 0 mapped to
+  /// std::thread::hardware_concurrency()).
+  uint32_t num_threads() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_SCHEDULER_H_

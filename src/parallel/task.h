@@ -17,13 +17,17 @@ namespace hgmatch {
 /// T_SINK that is scheduled immediately after being spawned (LIFO order).
 ///
 /// Tasks are heap-allocated with a flexible trailing array so a task is one
-/// contiguous allocation of 16 + 4*depth bytes — "a task contains only a
+/// contiguous allocation of 24 + 4*depth bytes — "a task contains only a
 /// partial embedding and a pointer to the function defining its execution
 /// logic" (Section VI.B Remark); here the kind tag plays the role of the
-/// function pointer.
+/// function pointer, and `owner` tags the task with the scheduler-internal
+/// query context it belongs to, so tasks of many concurrent queries can mix
+/// freely in the same deques while counters, limits and deadlines stay
+/// exact per query (the multi-query generalisation of Section VI.C).
 struct Task {
   enum class Kind : uint32_t { kScan, kExpand };
 
+  void* owner;        // scheduler query context (opaque to this header)
   Kind kind;
   uint32_t depth;     // EXPAND: matched hyperedges; SCAN: unused (0)
   uint32_t scan_lo;   // SCAN: range [scan_lo, scan_hi) into the scan table
@@ -35,9 +39,10 @@ struct Task {
     return sizeof(Task) + sizeof(EdgeId) * depth;
   }
 
-  static Task* NewScan(uint32_t lo, uint32_t hi) {
+  static Task* NewScan(void* owner, uint32_t lo, uint32_t hi) {
     Task* t = static_cast<Task*>(::malloc(sizeof(Task)));
     if (t == nullptr) ::abort();  // allocation failure is not recoverable
+    t->owner = owner;
     t->kind = Kind::kScan;
     t->depth = 0;
     t->scan_lo = lo;
@@ -45,11 +50,12 @@ struct Task {
     return t;
   }
 
-  static Task* NewExpand(const EdgeId* prefix, uint32_t prefix_len,
-                         EdgeId next) {
+  static Task* NewExpand(void* owner, const EdgeId* prefix,
+                         uint32_t prefix_len, EdgeId next) {
     Task* t = static_cast<Task*>(
         ::malloc(sizeof(Task) + sizeof(EdgeId) * (prefix_len + 1)));
     if (t == nullptr) ::abort();  // allocation failure is not recoverable
+    t->owner = owner;
     t->kind = Kind::kExpand;
     t->depth = prefix_len + 1;
     t->scan_lo = t->scan_hi = 0;

@@ -81,6 +81,75 @@ TEST(BatchRunnerTest, PaperExampleRepeatedQueries) {
   EXPECT_EQ(r.total.embeddings, 10u);
   EXPECT_EQ(r.completed, 5u);
   EXPECT_GT(r.peak_task_bytes, 0u);
+  // The four repeats are plan-cache hits onto the first copy's plan.
+  EXPECT_EQ(r.plan_cache_hits, 4u);
+  EXPECT_EQ(r.unique_plans, 1u);
+}
+
+TEST(BatchRunnerTest, PlanCacheDisabledPlansEveryCopy) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  std::vector<Hypergraph> queries;
+  for (int i = 0; i < 5; ++i) queries.push_back(PaperQueryHypergraph());
+
+  BatchOptions options;
+  options.parallel.num_threads = 3;
+  options.plan_cache = false;
+  const BatchResult r = RunBatch(idx, queries, options);
+  EXPECT_EQ(r.plan_cache_hits, 0u);
+  EXPECT_EQ(r.unique_plans, 5u);
+  EXPECT_EQ(r.total.embeddings, 10u);
+  EXPECT_EQ(r.completed, 5u);
+}
+
+TEST(BatchRunnerTest, PlanCacheDistinguishesNearDuplicates) {
+  // Same edge-signature multisets but different structure must not share a
+  // plan or counts: the cache key is exact structural identity.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  std::vector<Hypergraph> queries;
+  queries.push_back(PaperQueryHypergraph());
+  {
+    // Same vertices, but the {A,B} edge uses u3 (also label A) instead of
+    // u2 — structurally different, signature multiset identical.
+    Hypergraph q;
+    const Label A = 0, B = 1, C = 2;
+    for (Label l : {A, C, A, A, B}) q.AddVertex(l);
+    (void)q.AddEdge({3, 4});
+    (void)q.AddEdge({0, 1, 2});
+    (void)q.AddEdge({0, 1, 3, 4});
+    queries.push_back(std::move(q));
+  }
+
+  const BatchResult r = RunBatch(idx, queries, BatchOptions{});
+  EXPECT_EQ(r.plan_cache_hits, 0u);
+  EXPECT_EQ(r.unique_plans, 2u);
+  Result<MatchStats> seq0 = MatchSequential(idx, queries[0]);
+  Result<MatchStats> seq1 = MatchSequential(idx, queries[1]);
+  ASSERT_TRUE(seq0.ok());
+  ASSERT_TRUE(seq1.ok());
+  EXPECT_EQ(r.queries[0].stats.embeddings, seq0.value().embeddings);
+  EXPECT_EQ(r.queries[1].stats.embeddings, seq1.value().embeddings);
+}
+
+TEST(BatchRunnerTest, PlanCacheWithSinksStillEmitsPerCopy) {
+  // Repeated queries that carry sinks share the compiled plan but execute
+  // individually, so every sink observes its own exact embedding stream.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  std::vector<Hypergraph> queries;
+  for (int i = 0; i < 3; ++i) queries.push_back(PaperQueryHypergraph());
+
+  std::vector<CollectSink> collect(queries.size());
+  std::vector<EmbeddingSink*> sinks;
+  for (CollectSink& s : collect) sinks.push_back(&s);
+
+  BatchOptions options;
+  options.parallel.num_threads = 3;
+  const BatchResult r = RunBatch(idx, queries, options, &sinks);
+  EXPECT_EQ(r.plan_cache_hits, 2u);
+  EXPECT_EQ(r.unique_plans, 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(collect[i].count(), 2u) << "query " << i;
+    EXPECT_EQ(r.queries[i].stats.embeddings, 2u) << "query " << i;
+  }
 }
 
 TEST(BatchRunnerTest, SinksReceiveExactEmbeddings) {

@@ -70,13 +70,23 @@ run_cli("\\|V\\|=7 \\|E\\|=6" stats ${WORK_DIR}/data.hgb)
 run_cli("embeddings: 2 in" match ${WORK_DIR}/data.hg ${WORK_DIR}/query.hg 1)
 run_cli("embeddings: 2 in" match ${WORK_DIR}/data.hgb ${WORK_DIR}/query.hg 4)
 
-# Batch: 3 queries x 2 embeddings through the shared pool.
+# Batch: 3 queries x 2 embeddings through the shared pool. The three
+# identical queries are plan-cache hits onto one compiled plan.
 run_cli("query 0: embeddings 2 in" batch ${WORK_DIR}/data.hg
         ${WORK_DIR}/queries.hgq 4)
 run_cli("query 2: embeddings 2 in" batch ${WORK_DIR}/data.hg
         ${WORK_DIR}/queries.hgq 4)
 run_cli("batch: 3 queries \\(3 completed\\), embeddings 6 in" batch
         ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4)
+run_cli("2 plan-cache hits" batch ${WORK_DIR}/data.hg
+        ${WORK_DIR}/queries.hgq 4)
+run_cli("0 plan-cache hits" batch ${WORK_DIR}/data.hg
+        ${WORK_DIR}/queries.hgq 4 --no-plan-cache)
+
+# Admission window + fairness quota: same results, serialised admission.
+run_cli("batch: 3 queries \\(3 completed\\), embeddings 6 in" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4
+        --max-inflight=1 --task-quota=8)
 
 # Generator round-trip: a toy random dataset loads and indexes.
 run_cli("generated" gen random ${WORK_DIR}/toy.hg 0.05)

@@ -103,15 +103,17 @@ TEST(WsDequeTest, ConcurrentStealLosesNothing) {
 }
 
 TEST(TaskTest, LayoutAndAccounting) {
-  Task* scan = Task::NewScan(3, 17);
+  int owner_tag = 0;  // any context pointer; the scheduler passes its own
+  Task* scan = Task::NewScan(&owner_tag, 3, 17);
   EXPECT_EQ(scan->kind, Task::Kind::kScan);
+  EXPECT_EQ(scan->owner, &owner_tag);
   EXPECT_EQ(scan->scan_lo, 3u);
   EXPECT_EQ(scan->scan_hi, 17u);
   EXPECT_EQ(scan->SizeBytes(), sizeof(Task));
   Task::Free(scan);
 
   const EdgeId prefix[] = {7, 9};
-  Task* expand = Task::NewExpand(prefix, 2, 11);
+  Task* expand = Task::NewExpand(&owner_tag, prefix, 2, 11);
   EXPECT_EQ(expand->kind, Task::Kind::kExpand);
   EXPECT_EQ(expand->depth, 3u);
   EXPECT_EQ(expand->edges[0], 7u);

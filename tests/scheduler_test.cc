@@ -1,0 +1,337 @@
+// Edge-path coverage of the shared scheduler core (parallel/scheduler.h)
+// through its two facades: admission window, per-query task quota, timeouts
+// measured from admission, limit overshoot bounds, degenerate pool sizes,
+// fairness under an expensive query, and input-order determinism.
+
+#include "parallel/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hgmatch.h"
+#include "parallel/batch_runner.h"
+#include "tests/test_fixtures.h"
+
+namespace hgmatch {
+namespace {
+
+// Complete "co-occurrence" data hypergraph: every pair {i, j} of m label-0
+// vertices is a hyperedge, so path queries blow up combinatorially — the
+// expensive-query stressor of these tests.
+Hypergraph PairCliqueData(uint32_t m) {
+  Hypergraph h;
+  h.AddVertices(m, 0);
+  for (VertexId i = 0; i < m; ++i) {
+    for (VertexId j = i + 1; j < m; ++j) (void)h.AddEdge({i, j});
+  }
+  return h;
+}
+
+// Path query of `k` edges over label-0 vertices: {0,1}, {1,2}, ...
+Hypergraph PathQuery(uint32_t k) {
+  Hypergraph q;
+  q.AddVertices(k + 1, 0);
+  for (VertexId v = 0; v < k; ++v) (void)q.AddEdge({v, v + 1});
+  return q;
+}
+
+// Three structurally distinct query shapes, for pool-degeneracy checks.
+std::vector<Hypergraph> DistinctQueries() {
+  std::vector<Hypergraph> queries;
+  queries.push_back(PaperQueryHypergraph());
+  {
+    Hypergraph q;  // single {A,B} edge
+    const Label A = 0, B = 1;
+    q.AddVertex(A);
+    q.AddVertex(B);
+    (void)q.AddEdge({0, 1});
+    queries.push_back(std::move(q));
+  }
+  {
+    Hypergraph q;  // single {A,A,B,C} edge
+    const Label A = 0, B = 1, C = 2;
+    q.AddVertex(A);
+    q.AddVertex(A);
+    q.AddVertex(B);
+    q.AddVertex(C);
+    (void)q.AddEdge({0, 1, 2, 3});
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<uint64_t> SequentialCounts(const IndexedHypergraph& idx,
+                                       const std::vector<Hypergraph>& queries) {
+  std::vector<uint64_t> expected;
+  for (const Hypergraph& q : queries) {
+    Result<MatchStats> r = MatchSequential(idx, q);
+    expected.push_back(r.ok() ? r.value().embeddings : 0);
+  }
+  return expected;
+}
+
+TEST(SchedulerTest, DeterministicInputOrderAcrossConfigurations) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  std::vector<Hypergraph> queries;
+  for (uint32_t k : {1u, 2u, 3u}) queries.push_back(PathQuery(k));
+  const std::vector<uint64_t> expected = SequentialCounts(idx, queries);
+  // Pairwise-distinct counts, so any cross-query mix-up is visible.
+  ASSERT_NE(expected[0], expected[1]);
+  ASSERT_NE(expected[1], expected[2]);
+  ASSERT_NE(expected[0], expected[2]);
+
+  for (uint32_t threads : {1u, 4u}) {
+    for (uint32_t window : {0u, 1u, 2u}) {
+      for (uint64_t quota : {uint64_t{0}, uint64_t{2}}) {
+        BatchOptions options;
+        options.parallel.num_threads = threads;
+        options.parallel.scan_grain = 1;
+        options.max_inflight_queries = window;
+        options.task_quota = quota;
+        const BatchResult r = RunBatch(idx, queries, options);
+        ASSERT_EQ(r.queries.size(), queries.size());
+        for (size_t i = 0; i < queries.size(); ++i) {
+          EXPECT_EQ(r.queries[i].stats.embeddings, expected[i])
+              << "query " << i << " threads=" << threads
+              << " window=" << window << " quota=" << quota;
+        }
+        EXPECT_EQ(r.completed, queries.size());
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, ZeroAndSingleThreadPools) {
+  Hypergraph data = GenerateHypergraph(SmallRandomConfig(13));
+  IndexedHypergraph idx = IndexedHypergraph::Build(std::move(data));
+  std::vector<Hypergraph> queries = DistinctQueries();
+  const std::vector<uint64_t> expected = SequentialCounts(idx, queries);
+
+  // num_threads = 0 resolves to hardware_concurrency (>= 1 worker).
+  BatchOptions defaults;
+  const BatchResult auto_pool = RunBatch(idx, queries, defaults);
+  EXPECT_GE(auto_pool.workers.size(), 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(auto_pool.queries[i].stats.embeddings, expected[i]);
+  }
+
+  // A single worker still honours admission windows and quotas.
+  BatchOptions one;
+  one.parallel.num_threads = 1;
+  one.max_inflight_queries = 1;
+  one.task_quota = 1;
+  const BatchResult single = RunBatch(idx, queries, one);
+  EXPECT_EQ(single.workers.size(), 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(single.queries[i].stats.embeddings, expected[i]);
+  }
+}
+
+TEST(SchedulerTest, AdmissionWindowOfOneSerialisesQueries) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(12));
+  std::vector<Hypergraph> queries;
+  queries.push_back(PathQuery(2));
+  queries.push_back(PathQuery(3));
+  queries.push_back(PathQuery(2).Clone());  // identical to queries[0]
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.max_inflight_queries = 1;
+  options.plan_cache = false;  // every copy runs, so admission is observable
+  const BatchResult r = RunBatch(idx, queries, options);
+
+  const std::vector<uint64_t> expected = SequentialCounts(idx, queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.queries[i].stats.embeddings, expected[i]) << "query " << i;
+  }
+  // With a window of one, query i is only admitted once query i-1 retired
+  // its last task.
+  for (size_t i = 1; i < queries.size(); ++i) {
+    const double prev_finish =
+        r.queries[i - 1].admit_seconds + r.queries[i - 1].stats.seconds;
+    EXPECT_GE(r.queries[i].admit_seconds, prev_finish) << "query " << i;
+  }
+}
+
+TEST(SchedulerTest, FairnessCheapQueryCompletesUnderExpensiveLoad) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  std::vector<Hypergraph> queries;
+  queries.push_back(PathQuery(4));  // expensive: burns its whole budget
+  queries.push_back(PathQuery(1));  // cheap: one SCAN pass
+
+  const uint64_t cheap_expected =
+      MatchSequential(idx, queries[1]).value().embeddings;
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.timeout_seconds = 0.25;  // only the expensive one hits it
+  options.max_inflight_queries = 2;
+  options.task_quota = 64;
+  const BatchResult r = RunBatch(idx, queries, options);
+
+  // The cheap query is admitted alongside the expensive one and completes
+  // exactly, milliseconds into the run, while the expensive query is still
+  // saturating the pool (it runs its full 0.25s budget).
+  EXPECT_TRUE(r.queries[0].stats.timed_out);
+  EXPECT_FALSE(r.queries[1].stats.timed_out);
+  EXPECT_EQ(r.queries[1].stats.embeddings, cheap_expected);
+  const double cheap_finish =
+      r.queries[1].admit_seconds + r.queries[1].stats.seconds;
+  const double expensive_finish =
+      r.queries[0].admit_seconds + r.queries[0].stats.seconds;
+  EXPECT_LT(cheap_finish, expensive_finish);
+  EXPECT_EQ(r.completed, 1u);
+}
+
+TEST(SchedulerTest, TaskQuotaKeepsCountsExact) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(14));
+  std::vector<Hypergraph> queries;
+  queries.push_back(PathQuery(3));
+  queries.push_back(PathQuery(2));
+
+  const std::vector<uint64_t> expected = SequentialCounts(idx, queries);
+  for (uint64_t quota : {uint64_t{1}, uint64_t{8}}) {
+    BatchOptions options;
+    options.parallel.num_threads = 4;
+    options.task_quota = quota;
+    const BatchResult r = RunBatch(idx, queries, options);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(r.queries[i].stats.embeddings, expected[i])
+          << "query " << i << " quota=" << quota;
+    }
+  }
+}
+
+TEST(SchedulerTest, LimitOvershootIsBoundedByPoolSize) {
+  const uint32_t threads = 4;
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(20));
+  std::vector<Hypergraph> queries;
+  queries.push_back(PathQuery(3));
+
+  BatchOptions options;
+  options.parallel.num_threads = threads;
+  options.parallel.limit = 10;
+  const BatchResult r = RunBatch(idx, queries, options);
+  EXPECT_TRUE(r.queries[0].stats.limit_hit);
+  // Every emission goes through one fetch_add on the per-query counter, and
+  // the emitting worker that crosses the limit stops itself before its next
+  // child — so each of the other workers can emit at most one straggler.
+  EXPECT_GE(r.queries[0].stats.embeddings, 10u);
+  EXPECT_LE(r.queries[0].stats.embeddings, 10u + threads);
+}
+
+TEST(SchedulerTest, PerQueryTimeoutFiresMidBatchAndIsolatesNeighbours) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  std::vector<Hypergraph> queries;
+  queries.push_back(PathQuery(4));  // far more work than the budget allows
+  queries.push_back(PathQuery(1));
+  queries.push_back(PathQuery(1).Clone());
+
+  const uint64_t cheap_expected =
+      MatchSequential(idx, queries[1]).value().embeddings;
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.timeout_seconds = 0.05;
+  options.plan_cache = false;
+  const BatchResult r = RunBatch(idx, queries, options);
+
+  EXPECT_TRUE(r.queries[0].stats.timed_out);
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_FALSE(r.queries[i].stats.timed_out) << "query " << i;
+    EXPECT_EQ(r.queries[i].stats.embeddings, cheap_expected) << "query " << i;
+  }
+  EXPECT_EQ(r.completed, 2u);
+}
+
+TEST(SchedulerTest, PerQueryTimeoutMeasuredFromAdmission) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  std::vector<Hypergraph> queries;
+  queries.push_back(PathQuery(4));  // burns its whole 0.15s budget
+  queries.push_back(PathQuery(1));  // admitted after ~0.15s, finishes in ms
+
+  const uint64_t cheap_expected =
+      MatchSequential(idx, queries[1]).value().embeddings;
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.timeout_seconds = 0.15;
+  options.max_inflight_queries = 1;
+  const BatchResult r = RunBatch(idx, queries, options);
+
+  EXPECT_TRUE(r.queries[0].stats.timed_out);
+  // The cheap query was admitted only after the expensive one exhausted its
+  // budget; were timeouts measured from batch start it would be dead on
+  // arrival. Measured from admission, it completes exactly.
+  EXPECT_GE(r.queries[1].admit_seconds, 0.05);
+  EXPECT_FALSE(r.queries[1].stats.timed_out);
+  EXPECT_EQ(r.queries[1].stats.embeddings, cheap_expected);
+}
+
+TEST(SchedulerTest, CompletedCountsAreNeverMarkedTimedOut) {
+  // A deadline that has long expired before Run() still yields exact,
+  // un-flagged results when every task completes its counts (the scheduler
+  // only reports timed_out when work was actually dropped).
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  std::vector<Hypergraph> queries;
+  queries.push_back(PaperQueryHypergraph());
+
+  BatchOptions options;
+  options.parallel.num_threads = 2;
+  options.parallel.timeout_seconds = 1e-9;
+  const BatchResult r = RunBatch(idx, queries, options);
+  EXPECT_EQ(r.queries[0].stats.embeddings, 2u);
+  EXPECT_FALSE(r.queries[0].stats.timed_out);
+  EXPECT_EQ(r.completed, 1u);
+}
+
+TEST(SchedulerTest, BatchTimeoutStopsStragglersAndKeepsFinishedExact) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  std::vector<Hypergraph> queries;
+  queries.push_back(PathQuery(4));  // straggler, stopped by the batch budget
+  queries.push_back(PathQuery(1));  // finishes long before the batch budget
+
+  const uint64_t cheap_expected =
+      MatchSequential(idx, queries[1]).value().embeddings;
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.batch_timeout_seconds = 0.08;
+  options.task_quota = 64;  // keep the straggler from burying the cheap one
+  const BatchResult r = RunBatch(idx, queries, options);
+
+  EXPECT_TRUE(r.queries[0].stats.timed_out);
+  EXPECT_EQ(r.queries[1].stats.embeddings, cheap_expected);
+  EXPECT_FALSE(r.queries[1].stats.timed_out);
+  EXPECT_EQ(r.completed, 1u);
+}
+
+TEST(SchedulerTest, DirectCoreBatchOfOneMatchesExecutor) {
+  // The Scheduler class is also usable directly: a batch of one must agree
+  // with the executor facade bit-for-bit on counts.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  Hypergraph q = PaperQueryHypergraph();
+  Result<QueryPlan> plan = BuildQueryPlan(q, idx);
+  ASSERT_TRUE(plan.ok());
+
+  SchedulerOptions options;
+  options.parallel.num_threads = 3;
+  options.parallel.scan_grain = 1;
+  Scheduler scheduler(idx, options);
+  EXPECT_EQ(scheduler.Submit(&plan.value()), 0u);
+  SchedulerReport report = scheduler.Run();
+  ASSERT_EQ(report.queries.size(), 1u);
+  EXPECT_EQ(report.queries[0].stats.embeddings, 2u);
+  EXPECT_EQ(report.workers.size(), 3u);
+
+  ParallelOptions popts;
+  popts.num_threads = 3;
+  popts.scan_grain = 1;
+  const ParallelResult via_facade =
+      ExecutePlanParallel(idx, plan.value(), popts);
+  EXPECT_EQ(via_facade.stats.embeddings, report.queries[0].stats.embeddings);
+}
+
+}  // namespace
+}  // namespace hgmatch

@@ -5,7 +5,9 @@
 //   hgmatch convert <in> <out>
 //   hgmatch sample <data> <num-edges> [count]
 //   hgmatch match <data> <query> [threads] [limit]
-//   hgmatch batch <data> <queryset> [threads] [limit]
+//   hgmatch batch <data> <queryset> [threads] [limit] [--max-inflight=N]
+//                 [--task-quota=N] [--timeout=S] [--batch-timeout=S]
+//                 [--no-plan-cache]
 //
 // Files ending in .hgb use the binary format (io/binary_format.h); anything
 // else is the text format (io/loader.h).
@@ -63,10 +65,33 @@ int Usage() {
                "  hgmatch sample <data> <num-edges> [count]\n"
                "  hgmatch match <data> <query> [threads] [limit]\n"
                "  hgmatch batch <data> <queryset> [threads] [limit]\n"
+               "    [--max-inflight=N]   admission window (0 = all at once)\n"
+               "    [--task-quota=N]     per-query live-task fairness cap\n"
+               "    [--timeout=S]        per-query timeout, from admission\n"
+               "    [--batch-timeout=S]  whole-batch timeout\n"
+               "    [--no-plan-cache]    plan every query independently\n"
                "profiles: HC MA CH CP SB HB WT TC SA AR random\n"
                "queryset: text queries separated by '---' or '# query' "
                "lines\n");
   return 2;
+}
+
+// Parses a non-negative integer "--flag=value" payload.
+bool ParseCount(const char* payload, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(payload, &end, 10);
+  if (end == payload || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+// Parses a "--flag=value" seconds payload (non-negative decimal).
+bool ParseSeconds(const char* payload, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(payload, &end);
+  if (end == payload || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
 }
 
 int CmdGen(int argc, char** argv) {
@@ -178,7 +203,8 @@ int CmdMatch(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s", DataflowGraph::FromPlan(plan.value()).ToString(&index).c_str());
+  std::printf(
+      "%s", DataflowGraph::FromPlan(plan.value()).ToString(&index).c_str());
 
   if (threads <= 1) {
     MatchOptions options;
@@ -222,12 +248,50 @@ int CmdBatch(int argc, char** argv) {
   }
 
   BatchOptions options;
-  if (argc > 4 && !ParseThreads(argv[4], &options.parallel.num_threads)) {
-    std::fprintf(stderr, "bad thread count '%s'\n", argv[4]);
-    return 2;
+  int positional = 0;
+  for (int a = 4; a < argc; ++a) {
+    const char* arg = argv[a];
+    uint64_t count = 0;
+    if (std::strncmp(arg, "--max-inflight=", 15) == 0) {
+      if (!ParseCount(arg + 15, &count) || count > 1u << 20) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.max_inflight_queries = static_cast<uint32_t>(count);
+    } else if (std::strncmp(arg, "--task-quota=", 13) == 0) {
+      if (!ParseCount(arg + 13, &count)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.task_quota = count;
+    } else if (std::strncmp(arg, "--timeout=", 10) == 0) {
+      if (!ParseSeconds(arg + 10, &options.parallel.timeout_seconds)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--batch-timeout=", 16) == 0) {
+      if (!ParseSeconds(arg + 16, &options.batch_timeout_seconds)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--no-plan-cache") == 0) {
+      options.plan_cache = false;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    } else if (positional == 0) {
+      if (!ParseThreads(arg, &options.parallel.num_threads)) {
+        std::fprintf(stderr, "bad thread count '%s'\n", arg);
+        return 2;
+      }
+      ++positional;
+    } else if (positional == 1) {
+      options.parallel.limit = std::strtoull(arg, nullptr, 10);
+      ++positional;
+    } else {
+      return Usage();
+    }
   }
-  options.parallel.limit =
-      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
 
   IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
   const BatchResult r = RunBatch(index, queries.value(), options);
@@ -247,12 +311,14 @@ int CmdBatch(int argc, char** argv) {
                 q.stats.seconds);
   }
   std::printf("batch: %llu queries (%llu completed), embeddings %llu "
-              "in %.3fs (%.1f queries/s, peak task mem %llu bytes)\n",
+              "in %.3fs (%.1f queries/s, peak task mem %llu bytes, "
+              "%llu plan-cache hits)\n",
               static_cast<unsigned long long>(r.queries.size()),
               static_cast<unsigned long long>(r.completed),
               static_cast<unsigned long long>(r.total.embeddings), r.seconds,
               r.QueriesPerSecond(),
-              static_cast<unsigned long long>(r.peak_task_bytes));
+              static_cast<unsigned long long>(r.peak_task_bytes),
+              static_cast<unsigned long long>(r.plan_cache_hits));
   return planned > 0 ? 0 : 1;
 }
 
