@@ -6,7 +6,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/signature.h"
 #include "parallel/scheduler.h"
 
 namespace hgmatch {
@@ -15,17 +14,16 @@ namespace {
 
 constexpr uint32_t kNotScheduled = 0xffffffffu;
 
-// Canonical cache key of a query hypergraph: the per-edge signature keys of
-// core/signature (label multiset + hyperedge label) extended with the exact
-// vertex structure, so key equality is exactly structural identity — two
-// queries with equal keys have identical vertex labels and identical
-// hyperedges over identical vertex ids, and therefore compile to
-// interchangeable plans.
+// Canonical cache key of a query hypergraph: the exact vertex structure
+// (vertex labels, then each hyperedge's arity, vertex ids and edge label),
+// so key equality is exactly structural identity — two queries with equal
+// keys have identical vertex labels and identical hyperedges over identical
+// vertex ids, and therefore compile to interchangeable plans.
 std::string QueryCacheKey(const Hypergraph& q) {
   std::string key;
   key.reserve(16 + q.NumVertices() * sizeof(Label) +
               q.NumIncidences() * sizeof(VertexId) +
-              q.NumEdges() * (sizeof(Label) + 8));
+              q.NumEdges() * (sizeof(Label) + sizeof(uint64_t)));
   auto append = [&key](const void* data, size_t bytes) {
     key.append(static_cast<const char*>(data), bytes);
   };
@@ -36,9 +34,6 @@ std::string QueryCacheKey(const Hypergraph& q) {
     append(&l, sizeof(l));
   }
   for (EdgeId e = 0; e < q.NumEdges(); ++e) {
-    const Signature sig = SignatureKeyOf(q, e);
-    const uint64_t hash = HashSignature(sig);
-    append(&hash, sizeof(hash));
     const VertexSet& vs = q.edge(e);
     const uint64_t arity = vs.size();
     append(&arity, sizeof(arity));

@@ -61,8 +61,9 @@ struct BatchQueryResult {
   /// last task finished.
   MatchStats stats;
 
-  /// Seconds from batch start until this query was admitted into the pool
-  /// (0 when the admission window is unlimited).
+  /// Seconds from batch start until this query was admitted into the pool.
+  /// Always the wall clock at admission, so approximately — not exactly —
+  /// 0 when the admission window is unlimited; do not test it with == 0.
   double admit_seconds = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "parallel/scheduler.h"
 
 #include <atomic>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -22,10 +23,11 @@ constexpr uint32_t kNoQuery = 0xffffffffu;
 // different queries mix in the same deques.
 //
 // Non-atomic fields written at admission (deadline, admit_seconds, seeded)
-// are published to other workers through the deque: the admitting thread
-// seeds the query's SCAN tasks after writing them, and any other worker can
-// only reach the context through a task obtained from a deque (Pop/Steal
-// both synchronise with the Push).
+// are published to other workers through the structure that carries the
+// query's SCAN tasks: the initial admission pushes into the (not yet
+// running) workers' deques, whose Pop/Steal synchronise with the Push, and
+// mid-run admissions go through the injection queue, whose mutex orders the
+// writes before any reader.
 struct QueryContext {
   uint32_t index = 0;
   const QueryPlan* plan = nullptr;
@@ -211,12 +213,41 @@ class Scheduler::Impl {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
 
+  // Mid-run admissions cannot Push into another worker's deque (Chase-Lev
+  // Push is owner-only), so their SCAN ranges go through this shared
+  // injection queue, which idle workers drain before resorting to stealing.
+  // Callers hold admit_mutex_. Two properties hang off that lock: the
+  // ranges spread over the pool even with work stealing disabled, and no
+  // range is reachable — let alone retired — until the whole query is
+  // seeded, so ctx->pending cannot transiently hit zero mid-seeding and run
+  // the last-task path in Finish() early (which would double-free the
+  // admission slot and wrap inflight_).
+  void Inject(Worker* seeder, Task* t) {
+    memory_.OnAlloc(t->SizeBytes());
+    Ctx(t)->pending.fetch_add(1, std::memory_order_acq_rel);
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    ++seeder->report.tasks_spawned;
+    inject_.push_back(t);
+    inject_size_.fetch_add(1, std::memory_order_release);
+  }
+
+  Task* PopInject() {
+    // Lock-free pre-check so idle workers spinning in WorkerLoop do not
+    // hammer admit_mutex_ when nothing was injected.
+    if (inject_size_.load(std::memory_order_acquire) == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    if (inject_.empty()) return nullptr;
+    Task* t = inject_.front();
+    inject_.pop_front();
+    inject_size_.fetch_sub(1, std::memory_order_relaxed);
+    return t;
+  }
+
   // Admits queries in submission order until the window is full or none are
   // left. Callers hold admit_mutex_. `seeder == nullptr` only for the
   // initial admission (before the pool threads start), where SCAN ranges
-  // are spread round-robin over all workers; mid-run admissions seed into
-  // the admitting worker's own deque (Chase-Lev Push is owner-only) and
-  // rely on stealing to spread.
+  // are spread round-robin over all workers' deques; mid-run admissions go
+  // through the injection queue (see Inject()).
   void AdmitLocked(Worker* seeder) {
     const uint32_t window = options_.max_inflight_queries;
     while (next_admit_ < queries_.size() &&
@@ -248,11 +279,13 @@ class Scheduler::Impl {
         const uint64_t lo = static_cast<uint64_t>(w) * chunk;
         if (lo >= total) break;
         const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
-        Worker* owner = seeder != nullptr
-                            ? seeder
-                            : workers_[(w + ctx->index) % num_threads_].get();
-        Spawn(owner, Task::NewScan(ctx, static_cast<uint32_t>(lo),
-                                   static_cast<uint32_t>(hi)));
+        Task* t = Task::NewScan(ctx, static_cast<uint32_t>(lo),
+                                static_cast<uint32_t>(hi));
+        if (seeder == nullptr) {
+          Spawn(workers_[(w + ctx->index) % num_threads_].get(), t);
+        } else {
+          Inject(seeder, t);
+        }
       }
     }
     if (next_admit_ == queries_.size()) {
@@ -348,9 +381,12 @@ class Scheduler::Impl {
     EnsureDepthBuffers(w, ctx->plan->NumSteps());
     // Range splitting: push the upper half back (thieves take the oldest,
     // i.e. the largest, ranges first) until the range is small enough.
+    // scan_grain clamps to >= 1: at grain 0 a 1-element range would split
+    // into an identical copy of itself forever.
+    const uint32_t grain = std::max(1u, options_.parallel.scan_grain);
     uint32_t lo = t->scan_lo;
     uint32_t hi = t->scan_hi;
-    while (hi - lo > options_.parallel.scan_grain) {
+    while (hi - lo > grain) {
       const uint32_t mid = lo + (hi - lo) / 2;
       Spawn(w, Task::NewScan(ctx, mid, hi));
       hi = mid;
@@ -432,11 +468,13 @@ class Scheduler::Impl {
         break;
       }
       Task* t = nullptr;
-      if (w->deque.Pop(&t)) {
-        Execute(w, t);
-        Finish(w, t);
-      } else if (options_.parallel.work_stealing &&
-                 (t = TrySteal(w)) != nullptr) {
+      if (!w->deque.Pop(&t)) {
+        // Freshly injected seed ranges first (they spread a newly admitted
+        // query without depending on work stealing), then steal.
+        t = PopInject();
+        if (t == nullptr && options_.parallel.work_stealing) t = TrySteal(w);
+      }
+      if (t != nullptr) {
         Execute(w, t);
         Finish(w, t);
       } else {
@@ -454,8 +492,10 @@ class Scheduler::Impl {
   std::vector<std::unique_ptr<QueryContext>> queries_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::mutex admit_mutex_;
-  uint32_t next_admit_ = 0;  // guarded by admit_mutex_
-  uint32_t inflight_ = 0;    // guarded by admit_mutex_
+  uint32_t next_admit_ = 0;        // guarded by admit_mutex_
+  uint32_t inflight_ = 0;          // guarded by admit_mutex_
+  std::deque<Task*> inject_;       // mid-run SCAN seeds, guarded by admit_mutex_
+  std::atomic<int64_t> inject_size_{0};
   std::atomic<bool> all_admitted_{false};
   std::atomic<int64_t> pending_{0};
   std::atomic<bool> batch_expired_{false};

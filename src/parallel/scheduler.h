@@ -48,8 +48,10 @@ struct SchedulerOptions {
 struct QueryOutcome {
   MatchStats stats;
 
-  /// Seconds from Run() start until this query was admitted (0 when the
-  /// admission window is unlimited).
+  /// Seconds from Run() start until this query was admitted. Always the
+  /// wall clock at admission, so approximately — not exactly — 0 when the
+  /// admission window is unlimited (every query is admitted before the
+  /// pool threads start); do not test it with == 0.
   double admit_seconds = 0;
 };
 
@@ -69,7 +71,9 @@ struct SchedulerReport {
 /// tagging every task with its query context. It owns the worker pool, the
 /// deques, the steal policy, per-query deadlines/limits, the admission
 /// window and per-worker stats accumulation; the two public engines are
-/// thin facades over it.
+/// thin facades over it. Queries admitted mid-run are seeded through a
+/// shared injection queue that idle workers drain, so a newly admitted
+/// query spreads over the pool even with work stealing disabled.
 ///
 /// Per-worker state is sparse: a worker only materialises stats slots and
 /// expanders for the queries (respectively plans) whose tasks it actually

@@ -154,6 +154,54 @@ TEST(SchedulerTest, AdmissionWindowOfOneSerialisesQueries) {
   }
 }
 
+TEST(SchedulerTest, MidRunAdmissionsDoNotRequireWorkStealing) {
+  // Queries admitted mid-run are seeded through the shared injection queue
+  // that idle workers drain directly, so an admission window composes with
+  // work stealing disabled: every query still spreads and completes exactly.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(10));
+  std::vector<Hypergraph> queries;
+  for (uint32_t k : {1u, 2u, 3u, 1u, 2u, 3u}) queries.push_back(PathQuery(k));
+  const std::vector<uint64_t> expected = SequentialCounts(idx, queries);
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.scan_grain = 1;
+  options.parallel.work_stealing = false;
+  options.max_inflight_queries = 2;
+  options.plan_cache = false;  // every copy is admitted and executed
+  const BatchResult r = RunBatch(idx, queries, options);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.queries[i].stats.embeddings, expected[i]) << "query " << i;
+  }
+  EXPECT_EQ(r.completed, queries.size());
+}
+
+TEST(SchedulerTest, AdmissionChurnStressKeepsCountsExact) {
+  // Regression: mid-run admission used to push its SCAN ranges one Spawn at
+  // a time into a live deque, so a thief could retire the first range —
+  // ctx->pending transiently zero — before the next was pushed, running the
+  // last-task path in Finish() twice: the admission slot was double-freed
+  // and the unsigned inflight counter wrapped, hanging the run. Many tiny
+  // queries through a window of 1 maximise mid-run admissions; the batch
+  // must terminate with exact per-query counts.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  std::vector<Hypergraph> queries;
+  for (int i = 0; i < 32; ++i) queries.push_back(PathQuery(1 + i % 2));
+  const std::vector<uint64_t> expected = SequentialCounts(idx, queries);
+
+  BatchOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.scan_grain = 1;  // one hyperedge per task: maximum churn
+  options.max_inflight_queries = 1;
+  options.plan_cache = false;
+  const BatchResult r = RunBatch(idx, queries, options);
+  ASSERT_EQ(r.queries.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(r.queries[i].stats.embeddings, expected[i]) << "query " << i;
+  }
+  EXPECT_EQ(r.completed, queries.size());
+}
+
 TEST(SchedulerTest, FairnessCheapQueryCompletesUnderExpensiveLoad) {
   IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
   std::vector<Hypergraph> queries;

@@ -76,8 +76,10 @@ int Usage() {
   return 2;
 }
 
-// Parses a non-negative integer "--flag=value" payload.
+// Parses a non-negative integer "--flag=value" payload. strtoull would
+// silently wrap negative input, so a leading '-' is rejected up front.
 bool ParseCount(const char* payload, uint64_t* out) {
+  if (payload[0] == '-') return false;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(payload, &end, 10);
   if (end == payload || *end != '\0') return false;
