@@ -1,7 +1,11 @@
 #include "io/loader.h"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 #include <vector>
 
 namespace hgmatch {
@@ -104,6 +108,72 @@ bool IsQuerySeparator(const std::string& line) {
   return trimmed == "---" || trimmed.rfind("# query", 0) == 0;
 }
 
+std::string Trim(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Interprets a '#' comment line as a per-query submission header when its
+// first token is one of the known keys followed by '='. Returns 0 when the
+// line is an ordinary comment, 1 when a header was parsed into *submit, and
+// -1 (with *error set) when a known key carries a malformed or
+// out-of-range value — a typo in a header must fail loudly, not run the
+// query under silently-default options.
+int ParseQueryHeader(const std::string& line, SubmitOptions* submit,
+                     std::string* error) {
+  const size_t eq = line.find('=');
+  if (eq == std::string::npos) return 0;
+  const std::string key = Trim(line.substr(1, eq - 1));
+  if (key != "tenant" && key != "priority" && key != "weight" &&
+      key != "timeout") {
+    return 0;
+  }
+  const std::string value = Trim(line.substr(eq + 1));
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  if (key == "tenant") {
+    if (value.empty() || value[0] == '-') {
+      *error = "bad tenant header value '" + value + "'";
+      return -1;
+    }
+    const unsigned long long v = std::strtoull(begin, &end, 10);
+    if (end == begin || *end != '\0' || v > 0xffffffffull) {
+      *error = "bad tenant header value '" + value + "'";
+      return -1;
+    }
+    submit->tenant_id = static_cast<uint32_t>(v);
+  } else if (key == "priority") {
+    const long v = std::strtol(begin, &end, 10);
+    if (end == begin || *end != '\0' || v < INT32_MIN || v > INT32_MAX) {
+      *error = "bad priority header value '" + value + "'";
+      return -1;
+    }
+    submit->priority = static_cast<int32_t>(v);
+  } else if (key == "weight") {
+    const double v = std::strtod(begin, &end);
+    // !isfinite rejects overflowed values like 1e999: an infinite weight
+    // would make the tenant's virtual-time increment zero and starve every
+    // other tenant — exactly the silent misconfiguration headers must not
+    // let through.
+    if (end == begin || *end != '\0' || !(v > 0) || !std::isfinite(v)) {
+      *error = "bad weight header value '" + value + "' (must be finite > 0)";
+      return -1;
+    }
+    submit->weight = v;
+  } else {  // timeout
+    const double v = std::strtod(begin, &end);
+    if (end == begin || *end != '\0' || v < 0 || !std::isfinite(v)) {
+      *error =
+          "bad timeout header value '" + value + "' (must be finite >= 0)";
+      return -1;
+    }
+    submit->timeout_seconds = v;
+  }
+  return 1;
+}
+
 }  // namespace
 
 Result<Hypergraph> LoadHypergraph(const std::string& path) {
@@ -112,29 +182,55 @@ Result<Hypergraph> LoadHypergraph(const std::string& path) {
   return ParseHypergraph(text.value());
 }
 
-Result<std::vector<Hypergraph>> ParseQuerySet(const std::string& text) {
-  std::vector<std::string> blocks(1);
+Result<std::vector<QuerySetEntry>> ParseQuerySetEntries(
+    const std::string& text) {
+  struct RawBlock {
+    std::string text;
+    SubmitOptions submit;
+  };
+  std::vector<RawBlock> blocks(1);
   std::istringstream in(text);
   std::string line;
+  size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (IsQuerySeparator(line)) {
       blocks.emplace_back();
-    } else {
-      blocks.back().append(line).push_back('\n');
+      continue;
     }
+    const std::string trimmed = Trim(line);
+    if (!trimmed.empty() && trimmed[0] == '#') {
+      std::string error;
+      if (ParseQueryHeader(trimmed, &blocks.back().submit, &error) < 0) {
+        return Status::Corruption("query set line " + std::to_string(line_no) +
+                                  ": " + error);
+      }
+    }
+    blocks.back().text.append(line).push_back('\n');
   }
 
-  std::vector<Hypergraph> queries;
-  for (const std::string& block : blocks) {
-    if (block.find_first_not_of(" \t\r\n") == std::string::npos) continue;
-    Result<Hypergraph> q = ParseHypergraph(block);
+  std::vector<QuerySetEntry> entries;
+  for (RawBlock& block : blocks) {
+    if (block.text.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    Result<Hypergraph> q = ParseHypergraph(block.text);
     if (!q.ok()) {
       // Index among non-empty blocks, matching the CLI's query numbering.
       return Status(q.status().code(),
-                    "query block " + std::to_string(queries.size()) + ": " +
+                    "query block " + std::to_string(entries.size()) + ": " +
                         q.status().message());
     }
-    queries.push_back(std::move(q.value()));
+    entries.push_back(QuerySetEntry{std::move(q.value()), block.submit});
+  }
+  return entries;
+}
+
+Result<std::vector<Hypergraph>> ParseQuerySet(const std::string& text) {
+  Result<std::vector<QuerySetEntry>> entries = ParseQuerySetEntries(text);
+  if (!entries.ok()) return entries.status();
+  std::vector<Hypergraph> queries;
+  queries.reserve(entries.value().size());
+  for (QuerySetEntry& e : entries.value()) {
+    queries.push_back(std::move(e.query));
   }
   return queries;
 }
@@ -143,6 +239,13 @@ Result<std::vector<Hypergraph>> LoadQuerySet(const std::string& path) {
   Result<std::string> text = ReadFile(path);
   if (!text.ok()) return text.status();
   return ParseQuerySet(text.value());
+}
+
+Result<std::vector<QuerySetEntry>> LoadQuerySetEntries(
+    const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseQuerySetEntries(text.value());
 }
 
 }  // namespace hgmatch

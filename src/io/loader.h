@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/hypergraph.h"
+#include "parallel/submit_options.h"
 #include "util/status.h"
 
 namespace hgmatch {
@@ -32,10 +33,39 @@ Result<Hypergraph> LoadHypergraph(const std::string& path);
 /// "# query" (so the output of `hgmatch sample` loads directly). Separator
 /// blocks with no content are skipped; an error in any block fails the
 /// whole set with its block index in the message.
+///
+/// A block may additionally carry per-query submission headers — comment
+/// lines of the form
+///
+///   # tenant=<uint>       fairness group under weighted-fair admission
+///   # priority=<int>      strict-priority rank (higher = sooner)
+///   # weight=<float>      tenant share, > 0
+///   # timeout=<seconds>   per-query budget, >= 0 (0 = no timeout)
+///
+/// surfaced through QuerySetEntry::submit. A header key with a malformed
+/// or out-of-range value is a parse error (never silently ignored); other
+/// `#` lines remain plain comments. A repeated header in one block takes
+/// its last value.
 Result<std::vector<Hypergraph>> ParseQuerySet(const std::string& text);
 
 /// Reads and parses a query-set file.
 Result<std::vector<Hypergraph>> LoadQuerySet(const std::string& path);
+
+/// One query of a query set plus its per-query submission options (from
+/// the block headers above; defaults when absent). `submit.sink` is always
+/// null — sinks are a caller concern.
+struct QuerySetEntry {
+  Hypergraph query;
+  SubmitOptions submit;
+};
+
+/// ParseQuerySet variant that also surfaces the per-query headers.
+Result<std::vector<QuerySetEntry>> ParseQuerySetEntries(
+    const std::string& text);
+
+/// Reads and parses a query-set file including per-query headers.
+Result<std::vector<QuerySetEntry>> LoadQuerySetEntries(
+    const std::string& path);
 
 }  // namespace hgmatch
 

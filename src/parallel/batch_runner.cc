@@ -1,136 +1,72 @@
 #include "parallel/batch_runner.h"
 
-#include <cstring>
-#include <memory>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "parallel/scheduler.h"
+#include "parallel/service.h"
 
 namespace hgmatch {
 
-namespace {
-
-constexpr uint32_t kNotScheduled = 0xffffffffu;
-
-// Canonical cache key of a query hypergraph: the exact vertex structure
-// (vertex labels, then each hyperedge's arity, vertex ids and edge label),
-// so key equality is exactly structural identity — two queries with equal
-// keys have identical vertex labels and identical hyperedges over identical
-// vertex ids, and therefore compile to interchangeable plans.
-std::string QueryCacheKey(const Hypergraph& q) {
-  std::string key;
-  key.reserve(16 + q.NumVertices() * sizeof(Label) +
-              q.NumIncidences() * sizeof(VertexId) +
-              q.NumEdges() * (sizeof(Label) + sizeof(uint64_t)));
-  auto append = [&key](const void* data, size_t bytes) {
-    key.append(static_cast<const char*>(data), bytes);
-  };
-  const uint64_t nv = q.NumVertices();
-  append(&nv, sizeof(nv));
-  for (VertexId v = 0; v < q.NumVertices(); ++v) {
-    const Label l = q.label(v);
-    append(&l, sizeof(l));
-  }
-  for (EdgeId e = 0; e < q.NumEdges(); ++e) {
-    const VertexSet& vs = q.edge(e);
-    const uint64_t arity = vs.size();
-    append(&arity, sizeof(arity));
-    append(vs.data(), vs.size() * sizeof(VertexId));
-    const Label el = q.edge_label(e);
-    append(&el, sizeof(el));
-  }
-  return key;
-}
-
-// Bookkeeping of one input query through the admission layer.
-struct QuerySlot {
-  Status status;                          // planning outcome
-  uint32_t sched_index = kNotScheduled;   // index into scheduler outcomes
-  uint32_t mirror_of = kNotScheduled;     // input index of canonical copy
-};
-
-}  // namespace
-
+// The batch engine is a compatibility facade over the streaming query
+// service: one private MatchService per call (so plan-cache statistics are
+// batch-scoped), submit every query in input order, wait for all of them,
+// map outcomes back to input order. Admission order, plan caching,
+// sink-less repeat mirroring and per-query exactness all live in the
+// service/scheduler layers.
 BatchResult RunBatch(const IndexedHypergraph& data,
                      const std::vector<Hypergraph>& queries,
                      const BatchOptions& options,
-                     const std::vector<EmbeddingSink*>* sinks) {
-  SchedulerOptions sched_options;
-  sched_options.parallel = options.parallel;
-  sched_options.batch_timeout_seconds = options.batch_timeout_seconds;
-  sched_options.max_inflight_queries = options.max_inflight_queries;
-  sched_options.task_quota = options.task_quota;
-  Scheduler scheduler(data, sched_options);
+                     const std::vector<EmbeddingSink*>* sinks,
+                     const std::vector<SubmitOptions>* submit) {
+  ServiceOptions service_options;
+  service_options.parallel = options.parallel;
+  service_options.admission = options.admission;
+  service_options.max_inflight_queries = options.max_inflight_queries;
+  service_options.task_quota = options.task_quota;
+  service_options.run_timeout_seconds = options.batch_timeout_seconds;
+  service_options.plan_cache = options.plan_cache;
+  // Frozen-batch mode: collect the whole batch before the pool starts, so
+  // the pre-start seeds spread directly over the worker deques and every
+  // per-query deadline arms when execution actually begins — the batch
+  // engine's historical timing semantics.
+  service_options.defer_start = true;
+  MatchService service(data, service_options);
+
+  std::vector<Ticket> tickets;
+  tickets.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SubmitOptions so =
+        (submit != nullptr && i < submit->size()) ? (*submit)[i]
+                                                  : SubmitOptions{};
+    if (sinks != nullptr && i < sinks->size()) so.sink = (*sinks)[i];
+    tickets.push_back(service.SubmitBorrowed(queries[i], so));
+  }
+  const ServiceReport sr = service.Shutdown();  // drains and joins
 
   BatchResult result;
   result.queries.resize(queries.size());
-
-  // Admission: plan every query, detecting repeated queries through the
-  // plan cache. A repeat reuses the canonical copy's compiled plan; when it
-  // has no sink of its own it is not even submitted — its exact counts are
-  // mirrored from the canonical execution afterwards.
-  std::vector<QuerySlot> slots(queries.size());
-  std::vector<std::unique_ptr<QueryPlan>> plans;    // owned, stable addresses
-  std::vector<const QueryPlan*> plan_of(queries.size(), nullptr);
-  std::unordered_map<std::string, uint32_t> cache;  // key -> canonical input
-  for (size_t i = 0; i < queries.size(); ++i) {
-    EmbeddingSink* sink =
-        (sinks != nullptr && i < sinks->size()) ? (*sinks)[i] : nullptr;
-    std::string key;
-    if (options.plan_cache) {
-      key = QueryCacheKey(queries[i]);
-      auto it = cache.find(key);
-      if (it != cache.end()) {
-        const uint32_t canonical = it->second;
-        ++result.plan_cache_hits;
-        plan_of[i] = plan_of[canonical];
-        if (sink == nullptr) {
-          slots[i].mirror_of = canonical;
-        } else {
-          // The sink must observe this copy's own embeddings, so the copy
-          // executes — but on the shared compiled plan.
-          slots[i].sched_index = scheduler.Submit(plan_of[i], sink);
-        }
-        continue;
-      }
-    }
-    Result<QueryPlan> plan = BuildQueryPlan(queries[i], data);
-    if (!plan.ok()) {
-      slots[i].status = plan.status();
-      continue;
-    }
-    plans.push_back(std::make_unique<QueryPlan>(std::move(plan.value())));
-    plan_of[i] = plans.back().get();
-    if (options.plan_cache) {
-      cache.emplace(std::move(key), static_cast<uint32_t>(i));
-    }
-    slots[i].sched_index = scheduler.Submit(plan_of[i], sink);
-  }
-  result.unique_plans = plans.size();
-
-  SchedulerReport report = scheduler.Run();
-
   for (size_t i = 0; i < queries.size(); ++i) {
     BatchQueryResult& q = result.queries[i];
-    q.status = std::move(slots[i].status);
-    const uint32_t sched = slots[i].mirror_of != kNotScheduled
-                               ? slots[slots[i].mirror_of].sched_index
-                               : slots[i].sched_index;
-    if (sched != kNotScheduled) {
-      const QueryOutcome& outcome = report.queries[sched];
+    const QueryOutcome& outcome = tickets[i].Wait();  // resolved: pure read
+    q.status = tickets[i].status();
+    q.outcome = outcome.status;
+    q.mirrored = outcome.mirrored;
+    if (q.status.ok()) {
       q.stats = outcome.stats;
       q.admit_seconds = outcome.admit_seconds;
     }
-    if (q.status.ok() && !q.stats.timed_out && !q.stats.limit_hit) {
+    if (q.status.ok() && !q.stats.timed_out && !q.stats.limit_hit &&
+        q.outcome != QueryStatus::kCancelled) {
       ++result.completed;
     }
     result.total += q.stats;
   }
-  result.workers = std::move(report.workers);
-  result.peak_task_bytes = report.peak_task_bytes;
-  result.seconds = report.seconds;
+  result.workers = sr.workers;
+  result.peak_task_bytes = sr.peak_task_bytes;
+  result.seconds = sr.seconds;
+  result.executed = sr.executed;
+  result.mirrored = sr.mirrored;
+  result.plan_cache_hits = sr.plan_cache_hits;
+  result.unique_plans = sr.unique_plans;
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "core/indexed_hypergraph.h"
 #include "core/result.h"
 #include "parallel/executor.h"
+#include "parallel/scheduler.h"
 #include "util/status.h"
 
 namespace hgmatch {
@@ -28,12 +29,18 @@ struct BatchOptions {
   double batch_timeout_seconds = 0;
 
   /// Admission window: at most this many queries are in flight at once;
-  /// the rest wait in input order and are admitted as earlier queries
-  /// finish. 0 = unlimited (the whole batch is admitted up front). A
-  /// window of 1 serialises the queries while keeping intra-query
+  /// the rest wait in admission-policy order and are admitted as earlier
+  /// queries finish. 0 = unlimited (the whole batch is admitted up front).
+  /// A window of 1 serialises the queries while keeping intra-query
   /// parallelism; a small window bounds per-batch memory and gives later
   /// queries predictable admission latency under multi-user load.
   uint32_t max_inflight_queries = 0;
+
+  /// Order in which waiting queries are admitted: FIFO in input order (the
+  /// historical behaviour), strict priority, or weighted-fair across
+  /// tenants (see AdmissionPolicy); priorities/tenants/weights come from
+  /// the per-query SubmitOptions passed to RunBatch.
+  AdmissionPolicy admission = AdmissionPolicy::kFifo;
 
   /// Per-query fairness quota: when a query already has this many live
   /// tasks, further expansions of it run inline depth-first instead of
@@ -44,17 +51,25 @@ struct BatchOptions {
   /// Detect repeated (structurally identical) queries and reuse one
   /// compiled plan for all copies; copies without a sink additionally skip
   /// execution entirely and mirror the first copy's exact counts. Repeats
-  /// are found via a canonical per-edge signature key (core/signature)
-  /// refined by the exact structure, so only true duplicates ever share.
+  /// are found via an exact structural key, so only true duplicates ever
+  /// share.
   bool plan_cache = true;
 };
 
 /// Outcome of one query of a batch. Entries of BatchResult::queries appear
 /// in input order regardless of completion order (deterministic ordering).
 struct BatchQueryResult {
-  /// Planning outcome; when not ok the query was never executed and stats
-  /// are all-zero.
+  /// Planning outcome; when not ok the query was never executed, stats are
+  /// all-zero and `outcome` is QueryStatus::kPlanError.
   Status status;
+
+  /// Terminal state: ok / timeout / limit / cancelled / plan-error.
+  QueryStatus outcome = QueryStatus::kOk;
+
+  /// True when this query's counts were mirrored from a structurally
+  /// identical earlier query (plan cache, sink-less repeat) instead of
+  /// executing.
+  bool mirrored = false;
 
   /// Per-query counters, exactly comparable to a standalone run of the same
   /// query. `seconds` is the time from this query's admission until its
@@ -75,45 +90,59 @@ struct BatchResult {
   uint64_t peak_task_bytes = 0;           // across all concurrent queries
   double seconds = 0;                     // batch wall time
 
-  /// Queries fully completed (planned, not timed out, no limit hit).
+  /// Queries fully completed (planned, not timed out, no limit hit) —
+  /// including mirrored repeats, whose canonical copy completed.
   uint64_t completed = 0;
 
+  /// Queries that actually executed on the pool.
+  uint64_t executed = 0;
+
+  /// Sink-less repeats that skipped execution and mirrored the canonical
+  /// copy's counts. Mirrored queries are finished *results* but zero-cost
+  /// *work* — keep the two apart when reporting throughput.
+  uint64_t mirrored = 0;
+
   /// Queries whose compiled plan came from the plan cache (i.e. they were
-  /// structurally identical to an earlier query of the batch).
+  /// structurally identical to an earlier query of the batch), whether
+  /// they then executed or mirrored.
   uint64_t plan_cache_hits = 0;
 
   /// Distinct plans actually compiled for this batch.
   uint64_t unique_plans = 0;
 
-  /// Batch throughput: completed / seconds (0 when nothing completed).
+  /// Batch throughput in *executed* queries per second. Mirrored repeats
+  /// are deliberately excluded: they complete at zero execution cost, so
+  /// counting them would inflate the number (combine with `mirrored` when
+  /// the serving rate including cache hits is wanted).
   double QueriesPerSecond() const {
-    return seconds > 0 ? static_cast<double>(completed) / seconds : 0;
+    return seconds > 0 ? static_cast<double>(executed) / seconds : 0;
   }
 };
 
 /// Runs a set of queries against one indexed data hypergraph. This is a
-/// thin admission layer over the shared scheduler core
-/// (parallel/scheduler.h): it plans each query (deduplicating repeated
-/// queries through the plan cache), submits the plans, and maps the
-/// scheduler outcomes back to input order. The scheduler runs all queries
+/// thin compatibility facade over the streaming query service
+/// (parallel/service.h MatchService): it submits every query (the service
+/// plans them, deduplicating repeats through the plan cache), waits for all
+/// of them, and maps the outcomes back to input order. The service in turn
+/// drives the shared scheduler core (parallel/scheduler.h): all queries run
 /// on a single shared work-stealing pool (Section VI.C), layering
-/// inter-query parallelism on the intra-query task model: every query's
-/// SCAN ranges are seeded across the workers at admission, and from then on
-/// tasks of all queries mix freely in the same Chase-Lev deques, so an
-/// expensive query's task subtree is stolen and spread while cheap queries
-/// drain. Per-query timeout/limit come from `options.parallel`; embedding
-/// counts are exact per query (each task is tagged with its query context),
-/// so `queries[i].stats.embeddings` equals a standalone MatchSequential run
-/// of queries[i] — including under the admission window and task quota.
+/// inter-query parallelism on the intra-query task model, and per-query
+/// counts stay exact (each task is tagged with its query context), so
+/// `queries[i].stats.embeddings` equals a standalone MatchSequential run of
+/// queries[i] — including under the admission window and task quota.
 ///
 /// `sinks`, when non-null, must have one entry per query (entries may be
-/// null); Emit calls are serialised per sink. Queries that fail to plan
-/// (e.g. empty) get their error in queries[i].status and do not affect the
-/// others.
+/// null); Emit calls are serialised per sink. `submit`, when non-null, must
+/// have one entry per query and carries the per-query admission parameters
+/// (tenant/priority/weight/timeout/limit — the loader's per-query headers
+/// land here); its sink field is overridden by `sinks` when both are given.
+/// Queries that fail to plan (e.g. empty) get their error in
+/// queries[i].status and do not affect the others.
 BatchResult RunBatch(const IndexedHypergraph& data,
                      const std::vector<Hypergraph>& queries,
                      const BatchOptions& options = {},
-                     const std::vector<EmbeddingSink*>* sinks = nullptr);
+                     const std::vector<EmbeddingSink*>* sinks = nullptr,
+                     const std::vector<SubmitOptions>* submit = nullptr);
 
 }  // namespace hgmatch
 

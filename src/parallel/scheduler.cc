@@ -1,7 +1,10 @@
 #include "parallel/scheduler.h"
 
 #include <atomic>
+#include <cmath>
+#include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -14,9 +17,18 @@
 
 namespace hgmatch {
 
-namespace {
+const char* QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kTimeout: return "timeout";
+    case QueryStatus::kLimit: return "limit";
+    case QueryStatus::kCancelled: return "cancelled";
+    case QueryStatus::kPlanError: return "plan-error";
+  }
+  return "unknown";
+}
 
-constexpr uint32_t kNoQuery = 0xffffffffu;
+namespace {
 
 // Shared per-query state. Tasks are tagged with their context (Task::owner),
 // so counters, limits and deadlines stay exact per query even while tasks of
@@ -24,23 +36,40 @@ constexpr uint32_t kNoQuery = 0xffffffffu;
 //
 // Non-atomic fields written at admission (deadline, admit_seconds, seeded)
 // are published to other workers through the structure that carries the
-// query's SCAN tasks: the initial admission pushes into the (not yet
-// running) workers' deques, whose Pop/Steal synchronise with the Push, and
-// mid-run admissions go through the injection queue, whose mutex orders the
+// query's SCAN tasks: pre-start admission pushes into the (not yet running)
+// workers' deques, whose Pop/Steal synchronise with the Push, and admissions
+// while the pool runs go through the injection queue, whose mutex orders the
 // writes before any reader.
+//
+// The stat sums are flushed once per task (Impl::FlushTaskStats), not once
+// per counter event, so the atomics are off the per-candidate hot path; the
+// sums are complete exactly when the query's last task retires (every flush
+// happens-before that task's pending decrement), which is when the outcome
+// is assembled.
 struct QueryContext {
   uint32_t index = 0;
   const QueryPlan* plan = nullptr;
   const EdgeSet* scan_table = nullptr;  // first-step signature table
   EmbeddingSink* sink = nullptr;
   std::mutex sink_mutex;
-  Deadline deadline;        // per-query budget, armed at admission
-  double admit_seconds = 0; // Run() start -> admission
+
+  // Effective per-query budgets and admission parameters, resolved against
+  // the engine-wide defaults at Submit().
+  double timeout_seconds = 0;
+  uint64_t limit = 0;
+  uint32_t tenant_id = 0;
+  int32_t priority = 0;
+  double weight = 1.0;
+
+  Deadline deadline;         // per-query budget, armed at admission
+  double admit_seconds = 0;  // pool start -> admission
   // Written exactly once, by the worker that retires the query's last task
   // (pending can only reach zero once — children are spawned before their
   // parent task is retired).
   double finish_seconds = 0;
+  uint64_t admit_index = 0;  // global admission sequence number
   bool seeded = false;
+
   std::atomic<uint64_t> emitted{0};
   std::atomic<int64_t> pending{0};
   std::atomic<bool> stop{false};
@@ -52,14 +81,24 @@ struct QueryContext {
   std::atomic<bool> timeout_fired{false};
   std::atomic<bool> work_dropped{false};
   std::atomic<bool> limit_hit{false};
+  std::atomic<bool> cancel_requested{false};
   std::atomic<bool> finished{false};
+
+  // Per-task stat flushes; summed into the outcome when the query finishes.
+  std::atomic<uint64_t> embeddings_sum{0};
+  std::atomic<uint64_t> candidates_sum{0};
+  std::atomic<uint64_t> filtered_sum{0};
+  std::atomic<uint64_t> expansions_sum{0};
+
+  // Assembled by CompleteQuery; readable once `finished` is set.
+  QueryOutcome outcome;
 };
 
 }  // namespace
 
-// One pool thread. Per-query state (stats, expanders) is sparse: slots
-// materialise on first touch, so a worker that never executes a task of
-// query q spends nothing on q.
+// One pool thread plus the streaming admission machinery. Worker state
+// (expanders, depth buffers) is sparse per plan: a worker that never
+// executes a task of plan p spends nothing on p.
 class Scheduler::Impl {
  public:
   Impl(const IndexedHypergraph& data, const SchedulerOptions& options)
@@ -70,65 +109,162 @@ class Scheduler::Impl {
                          : std::max(1u, std::thread::hardware_concurrency())) {
   }
 
-  uint32_t Submit(const QueryPlan* plan, EmbeddingSink* sink) {
+  ~Impl() {
+    if (!started_ || joined_) return;
+    // Abandoned while running (e.g. an exception unwound past Join): stop
+    // every unfinished query and drain, so the threads can be joined.
+    {
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      for (auto& q : queries_) {
+        if (!q->finished.load(std::memory_order_acquire)) {
+          q->cancel_requested.store(true, std::memory_order_relaxed);
+          q->stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    Seal();
+    Join();
+  }
+
+  uint32_t Submit(const QueryPlan* plan, const SubmitOptions& so) {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
     auto ctx = std::make_unique<QueryContext>();
     ctx->index = static_cast<uint32_t>(queries_.size());
     ctx->plan = plan;
-    ctx->sink = sink;
+    ctx->sink = so.sink;
+    ctx->tenant_id = so.tenant_id;
+    ctx->priority = so.priority;
+    // A non-finite weight would zero the tenant's virtual-time increment
+    // and starve every other tenant; fall back to the neutral share.
+    ctx->weight =
+        (so.weight > 0 && std::isfinite(so.weight)) ? so.weight : 1.0;
+    ctx->timeout_seconds = so.timeout_seconds < 0
+                               ? options_.parallel.timeout_seconds
+                               : so.timeout_seconds;
+    ctx->limit = so.limit == SubmitOptions::kInheritLimit
+                     ? options_.parallel.limit
+                     : so.limit;
     const Partition* first =
         plan->NumSteps() > 0 ? data_.FindPartition(plan->steps[0].signature)
                              : nullptr;
     if (first != nullptr && !first->edges().empty()) {
       ctx->scan_table = &first->edges();
     }
+    QueryContext* raw = ctx.get();
     queries_.push_back(std::move(ctx));
-    return queries_.back()->index;
+    submitted_count_.fetch_add(1, std::memory_order_relaxed);
+    EnqueuePendingLocked(raw);
+    if (threads_running_) {
+      AdmitLocked(nullptr);
+      idle_cv_.notify_all();
+    }
+    return raw->index;
   }
 
-  SchedulerReport Run() {
-    wall_.Reset();
-    batch_deadline_ = Deadline::After(options_.batch_timeout_seconds);
-
-    workers_.reserve(num_threads_);
-    for (uint32_t i = 0; i < num_threads_; ++i) {
-      workers_.push_back(
-          std::make_unique<Worker>(i, options_.parallel.seed + i));
-    }
-
+  void Start() {
+    std::vector<std::thread> to_launch;
     {
       std::lock_guard<std::mutex> lock(admit_mutex_);
+      wall_.Reset();
+      batch_deadline_ = Deadline::After(options_.batch_timeout_seconds);
+      workers_.reserve(num_threads_);
+      for (uint32_t i = 0; i < num_threads_; ++i) {
+        workers_.push_back(
+            std::make_unique<Worker>(i, options_.parallel.seed + i));
+      }
+      // Queries submitted before Start() are seeded directly into the
+      // workers' deques (threads_running_ still false); everything after
+      // this block goes through the injection queue.
       AdmitLocked(nullptr);
+      threads_running_ = true;
+      started_ = true;
     }
-
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads_);
+    threads_.reserve(num_threads_);
     for (uint32_t i = 0; i < num_threads_; ++i) {
-      threads.emplace_back([this, i] { WorkerLoop(workers_[i].get()); });
+      threads_.emplace_back([this, i] { WorkerLoop(workers_[i].get()); });
     }
-    for (auto& t : threads) t.join();
+  }
 
-    SchedulerReport report;
-    report.queries.resize(queries_.size());
-    for (auto& w : workers_) {
-      for (const auto& [q, stats] : w->query_stats) {
-        report.queries[q].stats += stats;
-        w->report.stats += stats;
+  void Seal() {
+    {
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      if (sealed_) return;
+      sealed_ = true;
+      if (threads_running_) AdmitLocked(nullptr);
+      if (queued_count_ == 0) {
+        all_admitted_.store(true, std::memory_order_release);
       }
     }
-    for (size_t q = 0; q < queries_.size(); ++q) {
-      QueryContext* ctx = queries_[q].get();
-      MatchStats& stats = report.queries[q].stats;
-      stats.limit_hit = ctx->limit_hit.load(std::memory_order_relaxed);
-      stats.timed_out = ctx->timeout_fired.load(std::memory_order_relaxed) &&
-                        ctx->work_dropped.load(std::memory_order_relaxed);
-      stats.seconds =
-          ctx->seeded ? ctx->finish_seconds - ctx->admit_seconds : 0;
-      report.queries[q].admit_seconds = ctx->admit_seconds;
+    idle_cv_.notify_all();
+  }
+
+  SchedulerReport Join() {
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+    joined_ = true;
+
+    SchedulerReport report;
+    report.queries.reserve(queries_.size());
+    for (auto& q : queries_) report.queries.push_back(q->outcome);
+    // Conservation of the spawn counter: SCAN seeds injected by external
+    // submitter threads have no worker to account them to.
+    if (!workers_.empty()) {
+      workers_[0]->report.tasks_spawned += external_spawned_;
     }
     for (auto& w : workers_) report.workers.push_back(std::move(w->report));
     report.peak_task_bytes = memory_.peak_bytes();
     report.seconds = wall_.ElapsedSeconds();
     return report;
+  }
+
+  SchedulerReport Run() {
+    Start();
+    Seal();
+    return Join();
+  }
+
+  bool Cancel(uint32_t query) {
+    std::unique_lock<std::mutex> lock(admit_mutex_);
+    QueryContext* ctx = queries_[query].get();
+    if (ctx->finished.load(std::memory_order_acquire)) return false;
+    ctx->cancel_requested.store(true, std::memory_order_relaxed);
+    ctx->stop.store(true, std::memory_order_relaxed);
+    if (!ctx->seeded) {
+      // Still waiting for admission: resolve it right here rather than when
+      // the window would eventually have reached it. Its queue entry stays
+      // behind and is skipped (already finished) when popped. Before
+      // Start() the run clock has not begun (wall_ resets there), so a
+      // pre-start cancellation stamps 0 to stay inside the run's timeline.
+      ctx->admit_index = admit_seq_++;
+      ctx->admit_seconds = ctx->finish_seconds =
+          started_ ? wall_.ElapsedSeconds() : 0;
+      CompleteQuery(ctx);
+      if (threads_running_) AdmitLocked(nullptr);
+    }
+    return true;
+  }
+
+  const QueryOutcome& WaitQuery(uint32_t query) {
+    QueryContext* ctx = ContextFor(query);
+    std::unique_lock<std::mutex> lock(finish_mutex_);
+    finish_cv_.wait(lock, [ctx] {
+      return ctx->finished.load(std::memory_order_acquire);
+    });
+    return ctx->outcome;
+  }
+
+  const QueryOutcome* TryGetQuery(uint32_t query) {
+    QueryContext* ctx = ContextFor(query);
+    if (!ctx->finished.load(std::memory_order_acquire)) return nullptr;
+    return &ctx->outcome;
+  }
+
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(finish_mutex_);
+    finish_cv_.wait(lock, [this] {
+      return finished_count_.load(std::memory_order_acquire) ==
+             submitted_count_.load(std::memory_order_acquire);
+    });
   }
 
   uint32_t num_threads() const { return num_threads_; }
@@ -143,13 +279,14 @@ class Scheduler::Impl {
     std::vector<EdgeId> embedding;      // SINK copy buffer
     std::vector<std::vector<EdgeId>> valid_at;  // Expand() output per depth
     std::vector<EdgeId> inline_prefix;  // quota-path partial embedding
-    // Sparse per-query accumulation, O(touched queries) per worker. The
-    // one-entry caches skip the hash lookup on the common task runs of one
-    // query (LIFO scheduling keeps runs long).
-    std::unordered_map<uint32_t, MatchStats> query_stats;
+    // Stats of the task currently executing; flushed into the owning
+    // query's atomic sums when the task retires (so the per-candidate hot
+    // path stays free of atomics).
+    MatchStats task_stats;
+    // Sparse per-plan expanders with a one-entry cache that skips the hash
+    // lookup on the common task runs of one plan (LIFO scheduling keeps
+    // runs long).
     std::unordered_map<const QueryPlan*, std::unique_ptr<Expander>> expanders;
-    uint32_t stats_key = kNoQuery;
-    MatchStats* stats_cache = nullptr;
     const QueryPlan* expander_key = nullptr;
     Expander* expander_cache = nullptr;
     WorkerReport report;
@@ -160,14 +297,11 @@ class Scheduler::Impl {
     return static_cast<QueryContext*>(t->owner);
   }
 
-  // unordered_map guarantees reference stability of values, so the caches
-  // survive rehashes.
-  MatchStats* StatsFor(Worker* w, QueryContext* ctx) {
-    if (w->stats_key != ctx->index) {
-      w->stats_key = ctx->index;
-      w->stats_cache = &w->query_stats[ctx->index];
-    }
-    return w->stats_cache;
+  QueryContext* ContextFor(uint32_t query) {
+    // queries_ may be reallocated by a concurrent Submit; the contexts
+    // themselves are heap-stable.
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    return queries_[query].get();
   }
 
   Expander* ExpanderFor(Worker* w, QueryContext* ctx) {
@@ -195,17 +329,53 @@ class Scheduler::Impl {
     w->deque.Push(t);
   }
 
+  // Assembles the final outcome of a finished query and publishes it. The
+  // caller guarantees single-writer access (either the worker that retired
+  // the query's last task, or a thread holding admit_mutex_ for a query
+  // that never seeded).
+  void CompleteQuery(QueryContext* ctx) {
+    QueryOutcome& out = ctx->outcome;
+    out.stats.embeddings = ctx->embeddings_sum.load(std::memory_order_relaxed);
+    out.stats.candidates = ctx->candidates_sum.load(std::memory_order_relaxed);
+    out.stats.filtered = ctx->filtered_sum.load(std::memory_order_relaxed);
+    out.stats.expansions = ctx->expansions_sum.load(std::memory_order_relaxed);
+    out.stats.limit_hit = ctx->limit_hit.load(std::memory_order_relaxed);
+    out.stats.timed_out =
+        ctx->timeout_fired.load(std::memory_order_relaxed) &&
+        ctx->work_dropped.load(std::memory_order_relaxed);
+    out.stats.seconds =
+        ctx->seeded ? ctx->finish_seconds - ctx->admit_seconds : 0;
+    if (ctx->cancel_requested.load(std::memory_order_relaxed)) {
+      out.status = QueryStatus::kCancelled;
+    } else if (out.stats.timed_out) {
+      out.status = QueryStatus::kTimeout;
+    } else if (out.stats.limit_hit) {
+      out.status = QueryStatus::kLimit;
+    } else {
+      out.status = QueryStatus::kOk;
+    }
+    out.admit_seconds = ctx->admit_seconds;
+    out.finish_seconds = ctx->finish_seconds;
+    out.admit_index = ctx->admit_index;
+    finished_count_.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(finish_mutex_);
+      ctx->finished.store(true, std::memory_order_release);
+    }
+    finish_cv_.notify_all();
+  }
+
   void Finish(Worker* w, Task* t) {
     QueryContext* ctx = Ctx(t);
     memory_.OnFree(t->SizeBytes());
     Task::Free(t);
     if (ctx->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last task of this query retired: record its finish, free the
-      // admission slot and seed waiting queries *before* the global count
-      // below can reach zero, so the pool never shuts down between two
-      // admissions.
+      // Last task of this query retired: record its finish and publish the
+      // outcome, then free the admission slot and seed waiting queries
+      // *before* the global count below can reach zero, so the pool never
+      // shuts down between two admissions.
       ctx->finish_seconds = wall_.ElapsedSeconds();
-      ctx->finished.store(true, std::memory_order_release);
+      CompleteQuery(ctx);
       std::lock_guard<std::mutex> lock(admit_mutex_);
       --inflight_;
       AdmitLocked(w);
@@ -213,12 +383,88 @@ class Scheduler::Impl {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
 
-  // Mid-run admissions cannot Push into another worker's deque (Chase-Lev
-  // Push is owner-only), so their SCAN ranges go through this shared
-  // injection queue, which idle workers drain before resorting to stealing.
-  // Callers hold admit_mutex_. Two properties hang off that lock: the
-  // ranges spread over the pool even with work stealing disabled, and no
-  // range is reachable — let alone retired — until the whole query is
+  // ------------------------------------------------------------ admission --
+
+  // Appends a submitted query to its policy's waiting structure. Callers
+  // hold admit_mutex_.
+  void EnqueuePendingLocked(QueryContext* ctx) {
+    ++queued_count_;
+    switch (options_.admission) {
+      case AdmissionPolicy::kFifo:
+        fifo_pending_.push_back(ctx);
+        break;
+      case AdmissionPolicy::kPriority:
+        prio_pending_[ctx->priority].push_back(ctx);
+        break;
+      case AdmissionPolicy::kWeightedFair: {
+        TenantState& ts = tenants_[ctx->tenant_id];
+        if (ts.queue.empty()) {
+          // A tenant (re)entering the system must not be able to claim the
+          // virtual time it "saved" while absent; it restarts at the
+          // current global virtual time (start-time fair queueing).
+          ts.vtime = std::max(ts.vtime, global_vtime_);
+        }
+        ts.queue.push_back(ctx);
+        break;
+      }
+    }
+  }
+
+  // Pops the next query to admit per the admission policy, skipping entries
+  // that already finished (cancelled while queued). Returns nullptr when
+  // nothing admissible remains. Callers hold admit_mutex_.
+  QueryContext* PopNextLocked() {
+    while (queued_count_ > 0) {
+      QueryContext* ctx = nullptr;
+      switch (options_.admission) {
+        case AdmissionPolicy::kFifo:
+          ctx = fifo_pending_.front();
+          fifo_pending_.pop_front();
+          break;
+        case AdmissionPolicy::kPriority: {
+          auto it = prio_pending_.begin();  // greatest priority first
+          ctx = it->second.front();
+          it->second.pop_front();
+          if (it->second.empty()) prio_pending_.erase(it);
+          break;
+        }
+        case AdmissionPolicy::kWeightedFair: {
+          // Tenant with the least virtual time goes next; ties resolve to
+          // the tenant whose head query was submitted first, so the order
+          // is deterministic regardless of map iteration order.
+          TenantState* best = nullptr;
+          for (auto& [tenant, ts] : tenants_) {
+            if (ts.queue.empty()) continue;
+            if (best == nullptr || ts.vtime < best->vtime ||
+                (ts.vtime == best->vtime &&
+                 ts.queue.front()->index < best->queue.front()->index)) {
+              best = &ts;
+            }
+          }
+          if (best == nullptr) return nullptr;  // queued_count_ says otherwise
+          ctx = best->queue.front();
+          best->queue.pop_front();
+          if (!ctx->finished.load(std::memory_order_acquire)) {
+            // Charge the tenant only for queries that actually advance.
+            global_vtime_ = best->vtime;
+            best->vtime += 1.0 / ctx->weight;
+          }
+          break;
+        }
+      }
+      if (ctx == nullptr) return nullptr;  // unreachable: switch is exhaustive
+      --queued_count_;
+      if (!ctx->finished.load(std::memory_order_acquire)) return ctx;
+    }
+    return nullptr;
+  }
+
+  // Admissions while the pool runs cannot Push into another worker's deque
+  // (Chase-Lev Push is owner-only), so their SCAN ranges go through this
+  // shared injection queue, which idle workers drain before resorting to
+  // stealing. Callers hold admit_mutex_. Two properties hang off that lock:
+  // the ranges spread over the pool even with work stealing disabled, and
+  // no range is reachable — let alone retired — until the whole query is
   // seeded, so ctx->pending cannot transiently hit zero mid-seeding and run
   // the last-task path in Finish() early (which would double-free the
   // admission slot and wrap inflight_).
@@ -226,7 +472,11 @@ class Scheduler::Impl {
     memory_.OnAlloc(t->SizeBytes());
     Ctx(t)->pending.fetch_add(1, std::memory_order_acq_rel);
     pending_.fetch_add(1, std::memory_order_acq_rel);
-    ++seeder->report.tasks_spawned;
+    if (seeder != nullptr) {
+      ++seeder->report.tasks_spawned;
+    } else {
+      ++external_spawned_;  // submissions from non-pool threads
+    }
     inject_.push_back(t);
     inject_size_.fetch_add(1, std::memory_order_release);
   }
@@ -243,18 +493,20 @@ class Scheduler::Impl {
     return t;
   }
 
-  // Admits queries in submission order until the window is full or none are
-  // left. Callers hold admit_mutex_. `seeder == nullptr` only for the
-  // initial admission (before the pool threads start), where SCAN ranges
-  // are spread round-robin over all workers' deques; mid-run admissions go
-  // through the injection queue (see Inject()).
+  // Admits queries in policy order until the window is full or none are
+  // left. Callers hold admit_mutex_. `seeder == nullptr` for admissions not
+  // performed by a pool worker (pre-start seeding, external Submit/Cancel
+  // threads); before the threads launch, SCAN ranges are spread round-robin
+  // over all workers' deques, afterwards they go through the injection
+  // queue (see Inject()).
   void AdmitLocked(Worker* seeder) {
     const uint32_t window = options_.max_inflight_queries;
-    while (next_admit_ < queries_.size() &&
-           (window == 0 || inflight_ < window)) {
-      QueryContext* ctx = queries_[next_admit_++].get();
+    while (queued_count_ > 0 && (window == 0 || inflight_ < window)) {
+      QueryContext* ctx = PopNextLocked();
+      if (ctx == nullptr) break;
+      ctx->admit_index = admit_seq_++;
       ctx->admit_seconds = wall_.ElapsedSeconds();
-      ctx->deadline = Deadline::After(options_.parallel.timeout_seconds);
+      ctx->deadline = Deadline::After(ctx->timeout_seconds);
       if (ctx->stop.load(std::memory_order_relaxed)) {
         // Stopped before it ever ran (whole-run deadline): all of its work
         // is dropped by definition, unless it had none to begin with.
@@ -262,13 +514,13 @@ class Scheduler::Impl {
           ctx->work_dropped.store(true, std::memory_order_relaxed);
         }
         ctx->finish_seconds = ctx->admit_seconds;
-        ctx->finished.store(true, std::memory_order_release);
+        CompleteQuery(ctx);
         continue;
       }
       if (ctx->scan_table == nullptr) {
         // Nothing matches the first step: done at admission.
         ctx->finish_seconds = ctx->admit_seconds;
-        ctx->finished.store(true, std::memory_order_release);
+        CompleteQuery(ctx);
         continue;
       }
       ctx->seeded = true;
@@ -281,17 +533,19 @@ class Scheduler::Impl {
         const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
         Task* t = Task::NewScan(ctx, static_cast<uint32_t>(lo),
                                 static_cast<uint32_t>(hi));
-        if (seeder == nullptr) {
+        if (!threads_running_) {
           Spawn(workers_[(w + ctx->index) % num_threads_].get(), t);
         } else {
           Inject(seeder, t);
         }
       }
     }
-    if (next_admit_ == queries_.size()) {
+    if (sealed_ && queued_count_ == 0) {
       all_admitted_.store(true, std::memory_order_release);
     }
   }
+
+  // ------------------------------------------------------------ execution --
 
   void PollDeadlines(Worker* w, QueryContext* ctx) {
     if (++w->poll_counter < 1024) return;
@@ -302,6 +556,9 @@ class Scheduler::Impl {
     }
     if (batch_deadline_.Expired() &&
         !batch_expired_.exchange(true, std::memory_order_relaxed)) {
+      // queries_ grows under admit_mutex_ in streaming mode, so the
+      // once-per-run sweep over it takes the lock.
+      std::lock_guard<std::mutex> lock(admit_mutex_);
       for (auto& c : queries_) {
         if (c->finished.load(std::memory_order_acquire)) continue;
         c->timeout_fired.store(true, std::memory_order_relaxed);
@@ -312,7 +569,7 @@ class Scheduler::Impl {
 
   void EmitEmbedding(Worker* w, QueryContext* ctx, const EdgeId* prefix,
                      uint32_t prefix_len, EdgeId last) {
-    ++StatsFor(w, ctx)->embeddings;
+    ++w->task_stats.embeddings;
     if (ctx->sink != nullptr) {
       if (w->embedding.size() < static_cast<size_t>(prefix_len) + 1) {
         w->embedding.resize(prefix_len + 1);
@@ -322,10 +579,10 @@ class Scheduler::Impl {
       std::lock_guard<std::mutex> lock(ctx->sink_mutex);
       ctx->sink->Emit(w->embedding.data(), prefix_len + 1);
     }
-    if (options_.parallel.limit != 0) {
+    if (ctx->limit != 0) {
       const uint64_t total =
           ctx->emitted.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (total >= options_.parallel.limit) {
+      if (total >= ctx->limit) {
         ctx->limit_hit.store(true, std::memory_order_relaxed);
         ctx->stop.store(true, std::memory_order_relaxed);
       }
@@ -358,7 +615,7 @@ class Scheduler::Impl {
   void ExpandInline(Worker* w, QueryContext* ctx, uint32_t len) {
     std::vector<EdgeId>& valid = w->valid_at[len];
     ExpanderFor(w, ctx)->Expand(w->inline_prefix.data(), len, &valid,
-                                StatsFor(w, ctx));
+                                &w->task_stats);
     const uint32_t steps = ctx->plan->NumSteps();
     size_t i = 0;
     for (; i < valid.size(); ++i) {
@@ -406,7 +663,7 @@ class Scheduler::Impl {
     QueryContext* ctx = Ctx(t);
     EnsureDepthBuffers(w, ctx->plan->NumSteps());
     std::vector<EdgeId>& valid = w->valid_at[t->depth];
-    ExpanderFor(w, ctx)->Expand(t->edges, t->depth, &valid, StatsFor(w, ctx));
+    ExpanderFor(w, ctx)->Expand(t->edges, t->depth, &valid, &w->task_stats);
     size_t i = 0;
     for (; i < valid.size(); ++i) {
       if (ctx->stop.load(std::memory_order_relaxed)) break;
@@ -418,6 +675,27 @@ class Scheduler::Impl {
     PollDeadlines(w, ctx);
   }
 
+  // Adds the just-executed task's counters to the owning query's sums (for
+  // the per-query outcome) and the worker's report (for load-balance
+  // accounting). Runs once per task, before Finish() decrements pending, so
+  // the sums are complete when the last task retires.
+  void FlushTaskStats(Worker* w, QueryContext* ctx) {
+    const MatchStats& s = w->task_stats;
+    if (s.embeddings != 0) {
+      ctx->embeddings_sum.fetch_add(s.embeddings, std::memory_order_relaxed);
+    }
+    if (s.candidates != 0) {
+      ctx->candidates_sum.fetch_add(s.candidates, std::memory_order_relaxed);
+    }
+    if (s.filtered != 0) {
+      ctx->filtered_sum.fetch_add(s.filtered, std::memory_order_relaxed);
+    }
+    if (s.expansions != 0) {
+      ctx->expansions_sum.fetch_add(s.expansions, std::memory_order_relaxed);
+    }
+    w->report.stats += s;
+  }
+
   void Execute(Worker* w, Task* t) {
     QueryContext* ctx = Ctx(t);
     if (ctx->stop.load(std::memory_order_relaxed)) {
@@ -426,11 +704,13 @@ class Scheduler::Impl {
       return;
     }
     Timer busy;
+    w->task_stats = MatchStats{};
     if (t->kind == Task::Kind::kScan) {
       ExecuteScan(w, t);
     } else {
       ExecuteExpand(w, t);
     }
+    FlushTaskStats(w, ctx);
     ++w->report.tasks_executed;
     w->report.busy_seconds += busy.ElapsedSeconds();
   }
@@ -459,6 +739,7 @@ class Scheduler::Impl {
   }
 
   void WorkerLoop(Worker* w) {
+    uint32_t idle_rounds = 0;
     while (true) {
       // Finish() admits waiting queries before decrementing the global
       // pending count, so pending_ == 0 && all_admitted_ is a stable
@@ -477,8 +758,17 @@ class Scheduler::Impl {
       if (t != nullptr) {
         Execute(w, t);
         Finish(w, t);
-      } else {
+        idle_rounds = 0;
+      } else if (++idle_rounds < 64) {
         std::this_thread::yield();
+      } else {
+        // A long-lived service pool can be idle for a while between
+        // submissions; park on the idle condvar instead of burning a core.
+        // The timeout bounds the latency of wakeup paths that do not
+        // notify (e.g. stealable work appearing in a peer's deque).
+        std::unique_lock<std::mutex> lock(idle_mutex_);
+        idle_cv_.wait_for(lock, std::chrono::microseconds(500));
+        idle_rounds = 0;
       }
     }
   }
@@ -489,16 +779,41 @@ class Scheduler::Impl {
   Deadline batch_deadline_;
   Timer wall_;
 
-  std::vector<std::unique_ptr<QueryContext>> queries_;
+  std::vector<std::unique_ptr<QueryContext>> queries_;  // admit_mutex_
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool joined_ = false;
+
   std::mutex admit_mutex_;
-  uint32_t next_admit_ = 0;        // guarded by admit_mutex_
+  bool threads_running_ = false;   // guarded by admit_mutex_
+  bool sealed_ = false;            // guarded by admit_mutex_
   uint32_t inflight_ = 0;          // guarded by admit_mutex_
-  std::deque<Task*> inject_;       // mid-run SCAN seeds, guarded by admit_mutex_
+  size_t queued_count_ = 0;        // entries across the policy structures
+  uint64_t admit_seq_ = 0;         // guarded by admit_mutex_
+  uint64_t external_spawned_ = 0;  // guarded by admit_mutex_
+  std::deque<QueryContext*> fifo_pending_;               // admit_mutex_
+  std::map<int32_t, std::deque<QueryContext*>, std::greater<int32_t>>
+      prio_pending_;                                     // admit_mutex_
+  struct TenantState {
+    double vtime = 0;
+    std::deque<QueryContext*> queue;
+  };
+  std::unordered_map<uint32_t, TenantState> tenants_;    // admit_mutex_
+  double global_vtime_ = 0;                              // admit_mutex_
+  std::deque<Task*> inject_;  // mid-run SCAN seeds, guarded by admit_mutex_
   std::atomic<int64_t> inject_size_{0};
   std::atomic<bool> all_admitted_{false};
   std::atomic<int64_t> pending_{0};
   std::atomic<bool> batch_expired_{false};
+  std::atomic<uint64_t> submitted_count_{0};
+  std::atomic<uint64_t> finished_count_{0};
+
+  std::mutex finish_mutex_;              // guards finished publication
+  std::condition_variable finish_cv_;    // broadcast on every query finish
+  std::mutex idle_mutex_;                // parks idle workers
+  std::condition_variable idle_cv_;      // notified on new admissible work
+
   TaskMemoryTracker memory_;
 };
 
@@ -508,11 +823,36 @@ Scheduler::Scheduler(const IndexedHypergraph& data,
 
 Scheduler::~Scheduler() = default;
 
-uint32_t Scheduler::Submit(const QueryPlan* plan, EmbeddingSink* sink) {
-  return impl_->Submit(plan, sink);
+uint32_t Scheduler::Submit(const QueryPlan* plan,
+                           const SubmitOptions& options) {
+  return impl_->Submit(plan, options);
 }
 
+uint32_t Scheduler::Submit(const QueryPlan* plan, EmbeddingSink* sink) {
+  SubmitOptions options;
+  options.sink = sink;
+  return impl_->Submit(plan, options);
+}
+
+void Scheduler::Start() { impl_->Start(); }
+
+void Scheduler::Seal() { impl_->Seal(); }
+
+SchedulerReport Scheduler::Join() { return impl_->Join(); }
+
 SchedulerReport Scheduler::Run() { return impl_->Run(); }
+
+bool Scheduler::Cancel(uint32_t query) { return impl_->Cancel(query); }
+
+const QueryOutcome& Scheduler::WaitQuery(uint32_t query) {
+  return impl_->WaitQuery(query);
+}
+
+const QueryOutcome* Scheduler::TryGetQuery(uint32_t query) {
+  return impl_->TryGetQuery(query);
+}
+
+void Scheduler::WaitIdle() { impl_->WaitIdle(); }
 
 uint32_t Scheduler::num_threads() const { return impl_->num_threads(); }
 

@@ -9,31 +9,37 @@
 #include "core/matching_order.h"
 #include "core/result.h"
 #include "parallel/executor.h"
+#include "parallel/submit_options.h"
 
 namespace hgmatch {
 
 /// Options of the shared scheduler core. `parallel` carries the pool shape
-/// (threads, stealing, scan grain, seed) and the *per-query* timeout/limit;
-/// the remaining fields only matter for multi-query runs and are no-ops for
-/// a batch of one.
+/// (threads, stealing, scan grain, seed) and the *per-query* default
+/// timeout/limit; the remaining fields only matter for multi-query runs and
+/// are no-ops for a batch of one.
 struct SchedulerOptions {
-  /// Pool configuration plus per-query timeout/limit. The per-query timeout
-  /// is measured from the query's *admission* (the instant its SCAN ranges
-  /// are seeded), not from Run() start, so a query waiting in the admission
-  /// queue does not burn its own budget.
+  /// Pool configuration plus per-query default timeout/limit. The per-query
+  /// timeout is measured from the query's *admission* (the instant its SCAN
+  /// ranges are seeded), not from submission, so a query waiting in the
+  /// admission queue does not burn its own budget.
   ParallelOptions parallel;
 
-  /// Whole-run wall-clock timeout in seconds; <= 0 disables. When it fires,
-  /// every unfinished query is stopped; a query is reported `timed_out` only
-  /// if any of its work was actually dropped (a query whose final mid-flight
-  /// task completes its counts is not marked timed out).
+  /// Whole-run wall-clock timeout in seconds; <= 0 disables. Armed when the
+  /// pool starts. When it fires, every unfinished query is stopped; a query
+  /// is reported `timed_out` only if any of its work was actually dropped
+  /// (a query whose final mid-flight task completes its counts is not
+  /// marked timed out).
   double batch_timeout_seconds = 0;
 
   /// Admission window: at most this many queries have live tasks at any
-  /// instant; the rest wait in submission order and are admitted as slots
-  /// free up. 0 = unlimited (every query is admitted up front). A window of
-  /// 1 serialises the queries while keeping intra-query parallelism.
+  /// instant; the rest wait in admission-policy order and are admitted as
+  /// slots free up. 0 = unlimited (every query is admitted on submission).
+  /// A window of 1 serialises the queries while keeping intra-query
+  /// parallelism.
   uint32_t max_inflight_queries = 0;
+
+  /// Order in which waiting queries are admitted (see AdmissionPolicy).
+  AdmissionPolicy admission = AdmissionPolicy::kFifo;
 
   /// Per-query fairness quota: when a query already has at least this many
   /// live (queued or executing) tasks, new expansions of that query are run
@@ -43,16 +49,35 @@ struct SchedulerOptions {
 };
 
 /// Outcome of one submitted query. `stats` is exactly comparable to a
-/// standalone sequential run of the same plan: `seconds` measures admission
-/// -> last task retired, `timed_out` is set only when work was dropped.
+/// standalone sequential run of the same plan: `stats.seconds` measures
+/// admission -> last task retired, `timed_out` is set only when work was
+/// dropped.
 struct QueryOutcome {
+  /// Terminal state; see QueryStatus. The scheduler never reports
+  /// kPlanError (it only sees compiled plans) — the service layer does.
+  QueryStatus status = QueryStatus::kOk;
+
+  /// Set by the service layer when this outcome was mirrored from a
+  /// structurally identical earlier query instead of executing.
+  bool mirrored = false;
+
   MatchStats stats;
 
-  /// Seconds from Run() start until this query was admitted. Always the
+  /// Seconds from pool start until this query was admitted. Always the
   /// wall clock at admission, so approximately — not exactly — 0 when the
-  /// admission window is unlimited (every query is admitted before the
-  /// pool threads start); do not test it with == 0.
+  /// admission window is unlimited; do not test it with == 0.
   double admit_seconds = 0;
+
+  /// Seconds from pool start until this query's last task retired (equals
+  /// admit_seconds for queries resolved at admission, e.g. cancelled while
+  /// queued or matching nothing at step 0).
+  double finish_seconds = 0;
+
+  /// 0-based position of this query in the global admission sequence —
+  /// the observable order the admission policy produced. Queries resolved
+  /// without ever reaching admission (cancelled while queued) also consume
+  /// a slot in this sequence, at the moment they resolve.
+  uint64_t admit_index = 0;
 };
 
 /// Aggregate outcome of one scheduler run.
@@ -64,26 +89,30 @@ struct SchedulerReport {
 };
 
 /// The scheduler core shared by the single-query executor
-/// (parallel/executor.h) and the batch engine (parallel/batch_runner.h):
-/// one worker pool where each worker owns a Chase-Lev deque, schedules LIFO
-/// and steals up to half of a random victim's queue when idle
-/// (Section VI.B/VI.C), generalised to many concurrent query plans by
-/// tagging every task with its query context. It owns the worker pool, the
-/// deques, the steal policy, per-query deadlines/limits, the admission
-/// window and per-worker stats accumulation; the two public engines are
-/// thin facades over it. Queries admitted mid-run are seeded through a
+/// (parallel/executor.h), the batch facade (parallel/batch_runner.h) and
+/// the streaming query service (parallel/service.h): one worker pool where
+/// each worker owns a Chase-Lev deque, schedules LIFO and steals up to half
+/// of a random victim's queue when idle (Section VI.B/VI.C), generalised to
+/// many concurrent query plans by tagging every task with its query
+/// context. It owns the worker pool, the deques, the steal policy,
+/// per-query deadlines/limits, the admission window and policy, and
+/// per-query stats accumulation; the public engines are thin facades over
+/// it. Queries admitted while the pool is running are seeded through a
 /// shared injection queue that idle workers drain, so a newly admitted
 /// query spreads over the pool even with work stealing disabled.
 ///
-/// Per-worker state is sparse: a worker only materialises stats slots and
-/// expanders for the queries (respectively plans) whose tasks it actually
-/// executed, so memory is O(threads x touched-queries), not
-/// O(threads x submitted-queries) — thousand-query batches stay cheap.
+/// Two usage modes:
 ///
-/// Usage: construct, Submit() each compiled plan once, then Run() exactly
-/// once. Plans must stay alive until Run() returns; submitting the same
-/// plan pointer for several queries is allowed (the batch engine's plan
-/// cache does this) and shares per-worker expanders between them.
+///  * Batch (the historical API): construct, Submit() each compiled plan,
+///    then Run() exactly once — equivalent to Start() + Seal() + Join().
+///  * Streaming: construct, Start(), then Submit() from any thread at any
+///    time; each submission is admitted per the admission policy. Cancel()
+///    stops one query; WaitQuery()/TryGetQuery() observe per-query
+///    outcomes as they finish; Seal() + Join() shut the pool down.
+///
+/// Plans must stay alive until the owning query finishes; submitting the
+/// same plan pointer for several queries is allowed (the plan caches do
+/// this) and shares per-worker expanders between them.
 class Scheduler {
  public:
   Scheduler(const IndexedHypergraph& data, const SchedulerOptions& options);
@@ -92,14 +121,50 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Registers one query for the next Run(). `plan` must outlive Run();
-  /// `sink` may be null (count only) — Emit calls are serialised per query.
-  /// Returns the query's index into SchedulerReport::queries.
+  /// Registers one query. `plan` must outlive the query; `options.sink` may
+  /// be null (count only). Thread-safe after Start(); must not be called
+  /// after Seal(). Returns the query's index (also its index into
+  /// SchedulerReport::queries).
+  uint32_t Submit(const QueryPlan* plan, const SubmitOptions& options);
+
+  /// Back-compat convenience: Submit with default options and this sink.
   uint32_t Submit(const QueryPlan* plan, EmbeddingSink* sink = nullptr);
 
-  /// Executes every submitted query to completion (or timeout/limit) and
-  /// returns the per-query outcomes. Call exactly once.
+  /// Launches the worker pool. Queries submitted before Start() are seeded
+  /// directly into the workers' deques (round-robin); later submissions go
+  /// through the injection queue. Call exactly once.
+  void Start();
+
+  /// Declares that no further Submit() calls will follow, which arms pool
+  /// termination: workers exit once every admitted query has retired its
+  /// last task and the admission queue is empty.
+  void Seal();
+
+  /// Waits for termination (requires Seal()), joins the workers and
+  /// returns the aggregate report. Call exactly once.
+  SchedulerReport Join();
+
+  /// Batch mode: Start() + Seal() + Join().
   SchedulerReport Run();
+
+  /// Requests cancellation of one query. A query still waiting for
+  /// admission resolves immediately (status kCancelled, zero stats); an
+  /// in-flight query stops at the next task boundary and resolves once its
+  /// live tasks drain. Returns false iff the query had already finished.
+  /// Thread-safe.
+  bool Cancel(uint32_t query);
+
+  /// Blocks until the query finishes and returns its outcome. The
+  /// reference stays valid for the scheduler's lifetime. Thread-safe; may
+  /// be called before, during or after Join().
+  const QueryOutcome& WaitQuery(uint32_t query);
+
+  /// Non-blocking WaitQuery: null until the query finishes.
+  const QueryOutcome* TryGetQuery(uint32_t query);
+
+  /// Blocks until every query submitted so far has finished (the pool may
+  /// stay up for more submissions). Thread-safe.
+  void WaitIdle();
 
   /// Resolved pool size (`parallel.num_threads`, with 0 mapped to
   /// std::thread::hardware_concurrency()).

@@ -1,0 +1,388 @@
+#include "parallel/service.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/matching_order.h"
+#include "util/timer.h"
+
+namespace hgmatch {
+
+namespace {
+
+constexpr uint32_t kNotScheduled = 0xffffffffu;
+
+// Canonical cache key of a query hypergraph: the exact vertex structure
+// (vertex labels, then each hyperedge's arity, vertex ids and edge label),
+// so key equality is exactly structural identity — two queries with equal
+// keys have identical vertex labels and identical hyperedges over identical
+// vertex ids, and therefore compile to interchangeable plans.
+std::string QueryCacheKey(const Hypergraph& q) {
+  std::string key;
+  key.reserve(16 + q.NumVertices() * sizeof(Label) +
+              q.NumIncidences() * sizeof(VertexId) +
+              q.NumEdges() * (sizeof(Label) + sizeof(uint64_t)));
+  auto append = [&key](const void* data, size_t bytes) {
+    key.append(static_cast<const char*>(data), bytes);
+  };
+  const uint64_t nv = q.NumVertices();
+  append(&nv, sizeof(nv));
+  for (VertexId v = 0; v < q.NumVertices(); ++v) {
+    const Label l = q.label(v);
+    append(&l, sizeof(l));
+  }
+  for (EdgeId e = 0; e < q.NumEdges(); ++e) {
+    const VertexSet& vs = q.edge(e);
+    const uint64_t arity = vs.size();
+    append(&arity, sizeof(arity));
+    append(vs.data(), vs.size() * sizeof(VertexId));
+    const Label el = q.edge_label(e);
+    append(&el, sizeof(el));
+  }
+  return key;
+}
+
+}  // namespace
+
+namespace internal {
+
+// Shared state behind one Ticket. Exactly one of three shapes:
+//  * executed:  sched_index valid — the query ran (or runs) on the pool;
+//  * mirror:    canonical set — a sink-less structural repeat that copies
+//               the canonical execution's outcome instead of running;
+//  * rejected:  plan_status not-ok — failed planning or submitted after
+//               Shutdown; resolved immediately.
+struct QueryRecord {
+  ServiceImpl* service = nullptr;
+  uint64_t id = 0;
+  Status plan_status;
+  uint32_t sched_index = kNotScheduled;
+  std::shared_ptr<QueryRecord> canonical;
+  Hypergraph owned_query;  // keeps the plan's query alive for owning submits
+
+  std::atomic<bool> resolved{false};
+  QueryOutcome outcome;  // valid once `resolved`
+};
+
+class ServiceImpl {
+ public:
+  ServiceImpl(const IndexedHypergraph& data, const ServiceOptions& options)
+      : data_(data),
+        options_(options),
+        scheduler_(data, MakeSchedulerOptions(options)) {
+    if (!options.defer_start) {
+      scheduler_.Start();
+      started_ = true;
+    }
+  }
+
+  ~ServiceImpl() { Shutdown(); }
+
+  Ticket Submit(Hypergraph query, const SubmitOptions& so) {
+    auto rec = std::make_shared<QueryRecord>();
+    rec->owned_query = std::move(query);
+    return SubmitRecord(std::move(rec), nullptr, so);
+  }
+
+  Ticket SubmitBorrowed(const Hypergraph& query, const SubmitOptions& so) {
+    return SubmitRecord(std::make_shared<QueryRecord>(), &query, so);
+  }
+
+  void Drain() {
+    EnsureStarted();
+    scheduler_.WaitIdle();
+  }
+
+  ServiceReport Shutdown() {
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+    if (shut_down_.load(std::memory_order_acquire)) return report_;
+    {
+      // Reject submissions racing with the shutdown *before* sealing the
+      // scheduler: a scheduler submission after Seal() would never be
+      // admitted.
+      std::lock_guard<std::mutex> lock(mutex_);
+      sealed_ = true;
+      if (!started_) {
+        scheduler_.Start();
+        started_ = true;
+      }
+    }
+    scheduler_.Seal();
+    SchedulerReport sr = scheduler_.Join();
+    {
+      // Resolve every outstanding ticket from the final outcomes so that
+      // Wait/TryGet after Shutdown are pure reads (tickets then work even
+      // while the service is being torn down). resolve_mutex_ fences the
+      // loop against a concurrent Ticket::Wait resolving the same record.
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+      for (auto& rec : records_) {
+        if (rec->resolved.load(std::memory_order_acquire)) continue;
+        const QueryRecord* source =
+            rec->canonical != nullptr ? rec->canonical.get() : rec.get();
+        rec->outcome = sr.queries[source->sched_index];
+        rec->outcome.mirrored = rec->canonical != nullptr;
+        rec->resolved.store(true, std::memory_order_release);
+      }
+      report_.workers = std::move(sr.workers);
+      report_.peak_task_bytes = sr.peak_task_bytes;
+      report_.seconds = sr.seconds;
+      report_.submitted = submitted_;
+      report_.executed = executed_;
+      report_.mirrored = mirrored_;
+      report_.plan_errors = plan_errors_;
+      report_.plan_cache_hits = plan_cache_hits_;
+      report_.unique_plans = plans_.size();
+    }
+    shut_down_.store(true, std::memory_order_release);
+    return report_;
+  }
+
+  uint32_t num_threads() const { return scheduler_.num_threads(); }
+
+  // ------------------------------------------------- ticket entry points --
+
+  const QueryOutcome& Wait(QueryRecord* rec) {
+    if (rec->resolved.load(std::memory_order_acquire)) return rec->outcome;
+    const QueryRecord* source =
+        rec->canonical != nullptr ? rec->canonical.get() : rec;
+    const QueryOutcome& out = scheduler_.WaitQuery(source->sched_index);
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    if (!rec->resolved.load(std::memory_order_acquire)) {
+      rec->outcome = out;
+      rec->outcome.mirrored = rec->canonical != nullptr;
+      rec->resolved.store(true, std::memory_order_release);
+    }
+    return rec->outcome;
+  }
+
+  const QueryOutcome* TryGet(QueryRecord* rec) {
+    if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
+    const QueryRecord* source =
+        rec->canonical != nullptr ? rec->canonical.get() : rec;
+    if (scheduler_.TryGetQuery(source->sched_index) == nullptr) return nullptr;
+    return &Wait(rec);  // finished: resolve without blocking
+  }
+
+  bool Cancel(QueryRecord* rec) {
+    if (rec->resolved.load(std::memory_order_acquire)) return false;
+    if (rec->canonical == nullptr) {
+      return scheduler_.Cancel(rec->sched_index);
+    }
+    // Mirror: if the canonical execution already finished, the mirror is
+    // (about to be) resolved from it — too late to cancel; otherwise the
+    // mirror detaches and resolves as cancelled, leaving the canonical
+    // execution (and any sibling mirrors) untouched.
+    if (scheduler_.TryGetQuery(rec->canonical->sched_index) != nullptr) {
+      Wait(rec);
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    if (rec->resolved.load(std::memory_order_acquire)) return false;
+    rec->outcome = QueryOutcome{};
+    rec->outcome.status = QueryStatus::kCancelled;
+    rec->outcome.mirrored = true;
+    rec->resolved.store(true, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  static SchedulerOptions MakeSchedulerOptions(const ServiceOptions& o) {
+    SchedulerOptions so;
+    so.parallel = o.parallel;
+    so.admission = o.admission;
+    so.max_inflight_queries = o.max_inflight_queries;
+    so.task_quota = o.task_quota;
+    so.batch_timeout_seconds = o.run_timeout_seconds;
+    return so;
+  }
+
+  void EnsureStarted() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) {
+      scheduler_.Start();
+      started_ = true;
+    }
+  }
+
+  double EffectiveTimeout(const SubmitOptions& so) const {
+    return so.timeout_seconds < 0 ? options_.parallel.timeout_seconds
+                                  : so.timeout_seconds;
+  }
+
+  uint64_t EffectiveLimit(const SubmitOptions& so) const {
+    return so.limit == SubmitOptions::kInheritLimit ? options_.parallel.limit
+                                                    : so.limit;
+  }
+
+  // `borrowed` is null for owning submits (the query then lives in
+  // rec->owned_query).
+  Ticket SubmitRecord(std::shared_ptr<QueryRecord> rec,
+                      const Hypergraph* borrowed, const SubmitOptions& so) {
+    const Hypergraph& query =
+        borrowed != nullptr ? *borrowed : rec->owned_query;
+    rec->service = this;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    SweepResolvedRecordsLocked();
+    rec->id = submitted_++;
+    if (sealed_) {
+      rec->plan_status = Status::InvalidArgument("service is shut down");
+      rec->outcome.status = QueryStatus::kPlanError;
+      rec->resolved.store(true, std::memory_order_release);
+      ++plan_errors_;
+      records_.push_back(rec);
+      return Ticket(std::move(rec));
+    }
+
+    std::string key;
+    if (options_.plan_cache) {
+      key = QueryCacheKey(query);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++plan_cache_hits_;
+        CacheEntry& entry = it->second;
+        const bool same_budgets =
+            EffectiveTimeout(so) == entry.timeout_seconds &&
+            EffectiveLimit(so) == entry.limit;
+        if (so.sink == nullptr && same_budgets) {
+          const QueryOutcome* done =
+              scheduler_.TryGetQuery(entry.canonical->sched_index);
+          if (done == nullptr || done->status == QueryStatus::kOk ||
+              done->status == QueryStatus::kLimit) {
+            // Mirror: skip execution, copy the canonical outcome once it
+            // is (or already became) available. A canonical that is known
+            // to have timed out or been cancelled is not a trustworthy
+            // source of counts, so such repeats re-execute below.
+            rec->canonical = entry.canonical;
+            ++mirrored_;
+            records_.push_back(rec);
+            return Ticket(std::move(rec));
+          }
+        }
+        rec->sched_index = scheduler_.Submit(entry.plan, so);
+        ++executed_;
+        records_.push_back(rec);
+        return Ticket(std::move(rec));
+      }
+    }
+
+    Result<QueryPlan> plan = BuildQueryPlan(query, data_);
+    if (!plan.ok()) {
+      rec->plan_status = plan.status();
+      rec->outcome.status = QueryStatus::kPlanError;
+      rec->resolved.store(true, std::memory_order_release);
+      ++plan_errors_;
+      records_.push_back(rec);
+      return Ticket(std::move(rec));
+    }
+    plans_.push_back(std::make_unique<QueryPlan>(std::move(plan.value())));
+    const QueryPlan* compiled = plans_.back().get();
+    rec->sched_index = scheduler_.Submit(compiled, so);
+    ++executed_;
+    if (options_.plan_cache) {
+      cache_.emplace(std::move(key),
+                     CacheEntry{compiled, rec, EffectiveTimeout(so),
+                                EffectiveLimit(so)});
+    }
+    records_.push_back(rec);
+    return Ticket(std::move(rec));
+  }
+
+  // Opportunistic GC for long-lived services: a resolved record is a pure
+  // read through whatever tickets still hold it and is never needed by
+  // Shutdown's resolve-all loop, so it can leave the registry (the
+  // shared_ptr keeps live tickets valid, and cache canonicals stay
+  // reachable through cache_ / their mirrors). Amortised O(1): sweep only
+  // when the registry doubled since the last sweep. Callers hold mutex_.
+  void SweepResolvedRecordsLocked() {
+    if (records_.size() < 64 || records_.size() < 2 * last_sweep_size_) {
+      return;
+    }
+    std::erase_if(records_, [](const std::shared_ptr<QueryRecord>& rec) {
+      return rec->resolved.load(std::memory_order_acquire);
+    });
+    last_sweep_size_ = records_.size();
+  }
+
+  struct CacheEntry {
+    const QueryPlan* plan = nullptr;
+    std::shared_ptr<QueryRecord> canonical;  // first submission of this key
+    double timeout_seconds = 0;  // the canonical's effective budgets: only
+    uint64_t limit = 0;          // repeats under equal budgets may mirror
+  };
+
+  const IndexedHypergraph& data_;
+  const ServiceOptions options_;
+  Scheduler scheduler_;
+
+  std::mutex mutex_;  // cache, records, counters
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::vector<std::unique_ptr<QueryPlan>> plans_;
+  std::vector<std::shared_ptr<QueryRecord>> records_;
+  uint64_t submitted_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t mirrored_ = 0;
+  uint64_t plan_errors_ = 0;
+  uint64_t plan_cache_hits_ = 0;
+  size_t last_sweep_size_ = 0;
+  bool sealed_ = false;
+  bool started_ = false;  // guarded by mutex_ after construction
+
+  std::mutex resolve_mutex_;  // serialises Wait/Cancel resolution races
+
+  std::mutex shutdown_mutex_;
+  std::atomic<bool> shut_down_{false};
+  ServiceReport report_;
+};
+
+}  // namespace internal
+
+// ------------------------------------------------------------------ Ticket --
+
+uint64_t Ticket::id() const { return rec_->id; }
+
+const Status& Ticket::status() const { return rec_->plan_status; }
+
+const QueryOutcome& Ticket::Wait() const {
+  if (rec_->resolved.load(std::memory_order_acquire)) return rec_->outcome;
+  return rec_->service->Wait(rec_.get());
+}
+
+const QueryOutcome* Ticket::TryGet() const {
+  if (rec_->resolved.load(std::memory_order_acquire)) return &rec_->outcome;
+  return rec_->service->TryGet(rec_.get());
+}
+
+bool Ticket::Cancel() const {
+  if (rec_->resolved.load(std::memory_order_acquire)) return false;
+  return rec_->service->Cancel(rec_.get());
+}
+
+// ------------------------------------------------------------ MatchService --
+
+MatchService::MatchService(const IndexedHypergraph& data,
+                           const ServiceOptions& options)
+    : impl_(std::make_unique<internal::ServiceImpl>(data, options)) {}
+
+MatchService::~MatchService() = default;
+
+Ticket MatchService::Submit(Hypergraph query, const SubmitOptions& options) {
+  return impl_->Submit(std::move(query), options);
+}
+
+Ticket MatchService::SubmitBorrowed(const Hypergraph& query,
+                                    const SubmitOptions& options) {
+  return impl_->SubmitBorrowed(query, options);
+}
+
+void MatchService::Drain() { impl_->Drain(); }
+
+ServiceReport MatchService::Shutdown() { return impl_->Shutdown(); }
+
+uint32_t MatchService::num_threads() const { return impl_->num_threads(); }
+
+}  // namespace hgmatch

@@ -1,0 +1,176 @@
+#ifndef HGMATCH_PARALLEL_SERVICE_H_
+#define HGMATCH_PARALLEL_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "core/indexed_hypergraph.h"
+#include "parallel/scheduler.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+class MatchService;
+
+namespace internal {
+class ServiceImpl;
+struct QueryRecord;
+}  // namespace internal
+
+/// Options of the streaming query service.
+struct ServiceOptions {
+  /// Pool configuration plus the per-query *default* timeout/limit
+  /// (overridable per submission through SubmitOptions).
+  ParallelOptions parallel;
+
+  /// Order in which waiting queries are admitted when the admission window
+  /// has a free slot (see AdmissionPolicy).
+  AdmissionPolicy admission = AdmissionPolicy::kFifo;
+
+  /// Admission window: at most this many queries in flight at once; the
+  /// rest wait in admission-policy order. 0 = unlimited.
+  uint32_t max_inflight_queries = 0;
+
+  /// Per-query fairness quota on live tasks (see SchedulerOptions).
+  uint64_t task_quota = 0;
+
+  /// Whole-service wall-clock budget in seconds, armed when the pool
+  /// starts; <= 0 disables. Exists mainly for the RunBatch facade's
+  /// whole-batch timeout; a long-lived service normally leaves it off.
+  double run_timeout_seconds = 0;
+
+  /// Batch mode (used by the RunBatch facade): do not start the worker
+  /// pool at construction — collect every submission first and start the
+  /// pool lazily at Drain()/Shutdown(). Queries submitted before the pool
+  /// starts are seeded directly into the worker deques (the frozen-batch
+  /// layout, where LIFO scheduling naturally runs the latest-seeded cheap
+  /// queries first and every per-query deadline arms at the same instant),
+  /// instead of streaming through the injection queue into an
+  /// already-saturated pool. With defer_start, Ticket::Wait() blocks until
+  /// something triggers the start — call Drain() or Shutdown() first.
+  bool defer_start = false;
+
+  /// Detect repeated (structurally identical) queries across *all*
+  /// submissions of this service's lifetime and reuse one compiled plan for
+  /// all copies. A sink-less repeat additionally skips execution and
+  /// mirrors the canonical copy's exact counts — unless the canonical is
+  /// already known to have ended abnormally (timeout/cancelled) or ran
+  /// under different timeout/limit budgets, in which case the repeat
+  /// executes on the shared plan.
+  bool plan_cache = true;
+};
+
+/// Aggregate accounting of one service lifetime, returned by Shutdown().
+struct ServiceReport {
+  std::vector<WorkerReport> workers;  // size = pool threads
+  uint64_t peak_task_bytes = 0;       // high-water mark of live task memory
+  double seconds = 0;                 // construction -> Shutdown wall time
+
+  uint64_t submitted = 0;        // every Submit() call
+  uint64_t executed = 0;         // queries that actually ran on the pool
+  uint64_t mirrored = 0;         // sink-less repeats resolved from the cache
+  uint64_t plan_errors = 0;      // submissions that failed planning
+  uint64_t plan_cache_hits = 0;  // submissions that reused a compiled plan
+  uint64_t unique_plans = 0;     // distinct plans compiled
+};
+
+/// Handle to one submitted query. Cheap to copy (shared state); the empty
+/// (default-constructed) ticket is invalid. A ticket must not outlive its
+/// MatchService unless the service was shut down first (Shutdown resolves
+/// every outstanding ticket, after which Wait/TryGet only read stored
+/// outcomes).
+class Ticket {
+ public:
+  Ticket() = default;
+
+  bool valid() const { return rec_ != nullptr; }
+
+  /// Monotonic per-service submission id (0-based).
+  uint64_t id() const;
+
+  /// Planning/acceptance status: not-ok iff the query never executed
+  /// because planning failed or the service was already shut down (the
+  /// outcome then reports QueryStatus::kPlanError).
+  const Status& status() const;
+
+  /// Blocks until the query finishes (completion, timeout, limit or
+  /// cancellation) and returns its outcome. The reference stays valid for
+  /// the service's lifetime. Thread-safe; may be called repeatedly.
+  const QueryOutcome& Wait() const;
+
+  /// Non-blocking Wait: null until the query has finished.
+  const QueryOutcome* TryGet() const;
+
+  /// Requests cancellation. A query waiting for admission (or a not yet
+  /// resolved mirror) resolves immediately with QueryStatus::kCancelled; an
+  /// in-flight query stops at the next task boundary, keeping the partial
+  /// counts it completed. Returns false iff the query had already finished.
+  bool Cancel() const;
+
+ private:
+  friend class MatchService;
+  friend class internal::ServiceImpl;
+  explicit Ticket(std::shared_ptr<internal::QueryRecord> rec)
+      : rec_(std::move(rec)) {}
+
+  std::shared_ptr<internal::QueryRecord> rec_;
+};
+
+/// A long-lived match-query service bound to one indexed data hypergraph:
+/// the streaming front end of the shared scheduler core
+/// (parallel/scheduler.h). Construction starts the worker pool; Submit()
+/// plans the query (deduplicating structurally identical queries through a
+/// service-lifetime plan cache), hands it to the scheduler under the
+/// configured admission policy, and returns a Ticket immediately — queries
+/// may be submitted from any thread while earlier ones are running.
+/// Ticket::Wait()/TryGet() observe per-query outcomes as they finish;
+/// Ticket::Cancel() stops one query without disturbing the rest; Drain()
+/// waits for everything submitted so far; Shutdown() seals the service,
+/// drains, joins the pool and returns the aggregate report.
+///
+/// The batch engine (parallel/batch_runner.h RunBatch) is a thin facade
+/// over this class: submit all, wait all, map outcomes to input order.
+class MatchService {
+ public:
+  /// Starts the worker pool. `data` must outlive the service.
+  MatchService(const IndexedHypergraph& data, const ServiceOptions& options);
+
+  /// Shuts down (cancelling nothing: outstanding queries finish first).
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Submits one query; the service takes ownership of the hypergraph (the
+  /// compiled plan references it until the query finishes). Returns
+  /// immediately. Thread-safe. After Shutdown(), submissions are rejected:
+  /// the ticket resolves at once with kPlanError and a not-ok status().
+  Ticket Submit(Hypergraph query, const SubmitOptions& options = {});
+
+  /// Like Submit() but without taking ownership: `query` must stay alive
+  /// until its ticket resolves. Used by RunBatch, which already owns the
+  /// whole batch.
+  Ticket SubmitBorrowed(const Hypergraph& query,
+                        const SubmitOptions& options = {});
+
+  /// Blocks until every query submitted so far has finished. The service
+  /// stays up for further submissions. Thread-safe.
+  void Drain();
+
+  /// Seals the service (further Submit calls are rejected), waits for all
+  /// outstanding queries, joins the pool and returns the aggregate report.
+  /// Idempotent: later calls return the same report.
+  ServiceReport Shutdown();
+
+  /// Resolved pool size.
+  uint32_t num_threads() const;
+
+ private:
+  std::unique_ptr<internal::ServiceImpl> impl_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_SERVICE_H_

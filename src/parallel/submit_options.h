@@ -1,0 +1,80 @@
+#ifndef HGMATCH_PARALLEL_SUBMIT_OPTIONS_H_
+#define HGMATCH_PARALLEL_SUBMIT_OPTIONS_H_
+
+#include <cstdint>
+
+// Plain-data submission vocabulary shared by the scheduler core
+// (parallel/scheduler.h), the streaming service (parallel/service.h), the
+// batch facade (parallel/batch_runner.h) and the query-set loader
+// (io/loader.h). Deliberately free of scheduler/executor includes so that
+// parsing a query-set file does not couple the io layer to the concurrency
+// subsystem.
+
+namespace hgmatch {
+
+class EmbeddingSink;
+
+/// Order in which waiting queries are admitted into the pool when the
+/// admission window has a free slot.
+enum class AdmissionPolicy : uint8_t {
+  /// Submission order (the batch engine's historical behaviour).
+  kFifo,
+  /// Highest SubmitOptions::priority first; ties in submission order.
+  kPriority,
+  /// Weighted fair queueing across tenants: each tenant accrues virtual
+  /// time 1/weight per admitted query, and the pending tenant with the
+  /// smallest virtual time goes next, so over any busy interval tenant
+  /// admission shares converge to the weight ratio. Within a tenant,
+  /// submission order.
+  kWeightedFair,
+};
+
+/// Terminal state of one submitted query. A query has exactly one status;
+/// when several causes coincide the most user-actionable one wins
+/// (plan-error > cancelled > timeout > limit > ok).
+enum class QueryStatus : uint8_t {
+  kOk,         // ran to completion with exact counts
+  kTimeout,    // its deadline fired and some of its work was dropped
+  kLimit,      // stopped at its embedding limit
+  kCancelled,  // Cancel() reached it before completion
+  kPlanError,  // never executed: planning failed (service layer only)
+};
+
+/// Stable display name: "ok", "timeout", "limit", "cancelled", "plan-error".
+const char* QueryStatusName(QueryStatus status);
+
+/// Per-query submission parameters. Defaults inherit the engine-wide
+/// configuration, so `Submit(plan)` behaves exactly as before this struct
+/// existed.
+struct SubmitOptions {
+  /// Inherit the engine-wide ParallelOptions::limit.
+  static constexpr uint64_t kInheritLimit = ~uint64_t{0};
+
+  /// Fairness group of the query under AdmissionPolicy::kWeightedFair.
+  uint32_t tenant_id = 0;
+
+  /// Admission priority under AdmissionPolicy::kPriority (higher = sooner).
+  int32_t priority = 0;
+
+  /// Relative share of this query's tenant under kWeightedFair; must be a
+  /// finite value > 0 (anything else falls back to 1). A tenant with
+  /// weight 3 is admitted ~3x as often as one with weight 1 while both
+  /// have queries waiting.
+  double weight = 1.0;
+
+  /// Per-query timeout in seconds, measured from admission. Negative =
+  /// inherit ParallelOptions::timeout_seconds; 0 = no timeout.
+  double timeout_seconds = -1;
+
+  /// Per-query embedding limit; kInheritLimit = inherit
+  /// ParallelOptions::limit; 0 = unlimited.
+  uint64_t limit = kInheritLimit;
+
+  /// Consumer of this query's embeddings; may be null (count only). Emit
+  /// calls are serialised per query.
+  EmbeddingSink* sink = nullptr;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_PARALLEL_SUBMIT_OPTIONS_H_

@@ -88,6 +88,35 @@ run_cli("batch: 3 queries \\(3 completed\\), embeddings 6 in" batch
         ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4
         --max-inflight=1 --task-quota=8)
 
+# Per-query status column, and the executed/mirrored split in the summary
+# (the two sink-less repeats mirror the first copy's counts).
+run_cli("query 0: embeddings 2 in [0-9.]+s  \\[ok\\]" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4)
+run_cli("query 2: embeddings 2 in [0-9.]+s  \\[ok\\] \\(mirrored\\)" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4)
+run_cli("1 executed at [0-9.]+ queries/s, 2 mirrored" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4)
+
+# Per-query submission headers + admission policies end to end.
+file(READ ${WORK_DIR}/query.hg QUERY_TEXT2)
+file(WRITE ${WORK_DIR}/tenants.hgq
+     "# tenant=1\n# weight=3\n${QUERY_TEXT2}---\n# tenant=2\n# priority=5\n${QUERY_TEXT2}")
+run_cli("batch: 2 queries \\(2 completed\\), embeddings 4 in" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/tenants.hgq 2
+        --policy=wfq --max-inflight=1 --no-plan-cache)
+run_cli("batch: 2 queries \\(2 completed\\), embeddings 4 in" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/tenants.hgq 2 --policy=priority)
+
+# A malformed header must fail the load, not run with silent defaults.
+file(WRITE ${WORK_DIR}/bad.hgq "# weight=heavy\n${QUERY_TEXT2}")
+execute_process(COMMAND ${HGMATCH_CLI} batch ${WORK_DIR}/data.hg
+                        ${WORK_DIR}/bad.hgq 2
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "bad weight header")
+  message(FATAL_ERROR
+          "malformed query-set header was not rejected (${code}):\n${out}${err}")
+endif()
+
 # Generator round-trip: a toy random dataset loads and indexes.
 run_cli("generated" gen random ${WORK_DIR}/toy.hg 0.05)
 run_cli("\\|V\\|=" stats ${WORK_DIR}/toy.hg)

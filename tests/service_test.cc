@@ -1,0 +1,463 @@
+// Coverage of the streaming query service (parallel/service.h): concurrent
+// Submit while the pool runs, Cancel of queued vs in-flight queries, Wait
+// after Shutdown, cross-submission plan-cache mirroring, deterministic
+// strict-priority and weighted-fair admission order (including the 3:1
+// weight-share guarantee), and the acceptance bar that a query submitted
+// mid-run produces MatchStats identical to a standalone MatchSequential run
+// under every admission policy with work stealing on and off. All tests are
+// TSan-clean by construction (no raw shared state outside the library).
+
+#include "parallel/service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/hgmatch.h"
+#include "io/loader.h"
+#include "io/writer.h"
+#include "tests/test_fixtures.h"
+
+namespace hgmatch {
+namespace {
+
+// Complete "co-occurrence" data hypergraph: every pair {i, j} of m label-0
+// vertices is a hyperedge, so path queries blow up combinatorially — the
+// expensive-query stressor of these tests.
+Hypergraph PairCliqueData(uint32_t m) {
+  Hypergraph h;
+  h.AddVertices(m, 0);
+  for (VertexId i = 0; i < m; ++i) {
+    for (VertexId j = i + 1; j < m; ++j) (void)h.AddEdge({i, j});
+  }
+  return h;
+}
+
+// Path query of `k` edges over label-0 vertices: {0,1}, {1,2}, ...
+Hypergraph PathQuery(uint32_t k) {
+  Hypergraph q;
+  q.AddVertices(k + 1, 0);
+  for (VertexId v = 0; v < k; ++v) (void)q.AddEdge({v, v + 1});
+  return q;
+}
+
+// A sink whose first Emit blocks until Release(): submitted with an
+// admission window of 1, the owning "plug" query deterministically holds
+// the window while a test stages the queries behind it.
+class GateSink : public EmbeddingSink {
+ public:
+  void Emit(const EdgeId*, uint32_t) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+  }
+
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+ServiceOptions BaseOptions(uint32_t threads) {
+  ServiceOptions o;
+  o.parallel.num_threads = threads;
+  o.parallel.scan_grain = 1;
+  return o;
+}
+
+TEST(ServiceTest, MidRunSubmitMatchesSequentialAcrossPoliciesAndStealing) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  std::vector<Hypergraph> queries;
+  for (uint32_t k : {1u, 2u, 3u, 2u, 1u, 3u}) queries.push_back(PathQuery(k));
+  std::vector<MatchStats> expected;
+  for (const Hypergraph& q : queries) {
+    Result<MatchStats> r = MatchSequential(idx, q);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value());
+  }
+
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::kFifo, AdmissionPolicy::kPriority,
+        AdmissionPolicy::kWeightedFair}) {
+    for (bool stealing : {true, false}) {
+      ServiceOptions options = BaseOptions(4);
+      options.admission = policy;
+      options.parallel.work_stealing = stealing;
+      options.max_inflight_queries = 2;
+      options.plan_cache = false;  // every copy executes
+      MatchService service(idx, options);
+
+      // The pool is live from construction, so every one of these
+      // submissions is a mid-run admission.
+      std::vector<Ticket> tickets;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        SubmitOptions so;
+        so.tenant_id = static_cast<uint32_t>(i % 2);
+        so.priority = static_cast<int32_t>(i);
+        so.weight = 1.0 + static_cast<double>(i % 3);
+        tickets.push_back(service.Submit(queries[i].Clone(), so));
+      }
+      for (size_t i = 0; i < tickets.size(); ++i) {
+        const QueryOutcome& out = tickets[i].Wait();
+        EXPECT_EQ(out.status, QueryStatus::kOk) << "query " << i;
+        // Embedding counts are the cross-engine exactness contract (the
+        // candidate/filtered counters differ by construction: the
+        // sequential engine counts the SCAN step's table rows as
+        // candidates, the task engine matches them for free per
+        // Observation V.1).
+        EXPECT_EQ(out.stats.embeddings, expected[i].embeddings)
+            << "query " << i << " policy=" << static_cast<int>(policy)
+            << " stealing=" << stealing;
+      }
+      service.Shutdown();
+    }
+  }
+}
+
+TEST(ServiceTest, ConcurrentSubmitFromManyThreadsDuringARun) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  const uint64_t expected1 =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const uint64_t expected2 =
+      MatchSequential(idx, PathQuery(2)).value().embeddings;
+  ASSERT_NE(expected1, expected2);
+
+  ServiceOptions options = BaseOptions(4);
+  options.max_inflight_queries = 2;
+  options.plan_cache = false;
+  MatchService service(idx, options);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<uint64_t>> got(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint32_t k = 1 + static_cast<uint32_t>((s + i) % 2);
+        Ticket t = service.Submit(PathQuery(k));
+        got[s].push_back(t.Wait().stats.embeddings == (k == 1 ? expected1
+                                                              : expected2));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  service.Drain();
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.submitted, kSubmitters * kPerThread);
+  EXPECT_EQ(report.executed, kSubmitters * kPerThread);
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_TRUE(got[s][i]) << "submitter " << s << " query " << i;
+    }
+  }
+}
+
+TEST(ServiceTest, CancelQueuedQueryResolvesImmediately) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  options.plan_cache = false;
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();  // the plug now holds the only admission slot
+
+  Ticket queued = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(queued.TryGet(), nullptr);
+  EXPECT_TRUE(queued.Cancel());
+  // Resolved right away, while the plug still blocks the window: a
+  // cancelled queued query does not wait for a slot it will never use.
+  const QueryOutcome* out = queued.TryGet();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->status, QueryStatus::kCancelled);
+  EXPECT_EQ(out->stats.embeddings, 0u);
+  EXPECT_FALSE(queued.Cancel());  // already finished
+
+  gate.Release();
+  EXPECT_EQ(plug.Wait().status, QueryStatus::kOk);
+  EXPECT_EQ(plug.Wait().stats.embeddings, 2u);
+  EXPECT_FALSE(plug.Cancel());  // finished queries cannot be cancelled
+  service.Shutdown();
+}
+
+TEST(ServiceTest, CancelInFlightQueryStopsItAndSparesTheRest) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  const uint64_t cheap_expected =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+
+  ServiceOptions options = BaseOptions(4);
+  options.task_quota = 64;  // the monster cannot bury later queries
+  MatchService service(idx, options);
+
+  Ticket monster = service.Submit(PathQuery(4));  // far beyond test scale
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(monster.Cancel());
+  const QueryOutcome& out = monster.Wait();
+  EXPECT_EQ(out.status, QueryStatus::kCancelled);
+  EXPECT_FALSE(out.stats.timed_out);  // cancelled, not timed out
+
+  // The service stays healthy: a fresh query completes exactly.
+  Ticket cheap = service.Submit(PathQuery(1));
+  EXPECT_EQ(cheap.Wait().status, QueryStatus::kOk);
+  EXPECT_EQ(cheap.Wait().stats.embeddings, cheap_expected);
+  service.Shutdown();
+}
+
+TEST(ServiceTest, WaitAfterShutdownReturnsStoredOutcomes) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchService service(idx, BaseOptions(2));
+  Ticket a = service.Submit(PaperQueryHypergraph());
+  Ticket b = service.Submit(PaperQueryHypergraph());
+  service.Shutdown();
+
+  EXPECT_EQ(a.Wait().stats.embeddings, 2u);
+  EXPECT_EQ(b.Wait().stats.embeddings, 2u);
+  EXPECT_EQ(b.Wait().mirrored, true);  // sink-less structural repeat
+
+  // Submissions after Shutdown are rejected, not lost in limbo.
+  Ticket late = service.Submit(PaperQueryHypergraph());
+  EXPECT_FALSE(late.status().ok());
+  EXPECT_EQ(late.Wait().status, QueryStatus::kPlanError);
+}
+
+TEST(ServiceTest, PlanCacheMirrorsRepeatsAcrossSubmissions) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchService service(idx, BaseOptions(2));
+
+  Ticket first = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(first.Wait().stats.embeddings, 2u);
+  EXPECT_FALSE(first.Wait().mirrored);
+
+  // A structurally identical sink-less repeat, submitted long after the
+  // canonical finished, mirrors its exact counts instead of executing.
+  Ticket repeat = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(repeat.Wait().stats.embeddings, 2u);
+  EXPECT_TRUE(repeat.Wait().mirrored);
+
+  // A repeat that carries a sink must execute (the sink needs its own
+  // embedding stream), still reusing the cached plan.
+  CollectSink collect;
+  SubmitOptions with_sink;
+  with_sink.sink = &collect;
+  Ticket sinked = service.Submit(PaperQueryHypergraph(), with_sink);
+  EXPECT_EQ(sinked.Wait().stats.embeddings, 2u);
+  EXPECT_FALSE(sinked.Wait().mirrored);
+  EXPECT_EQ(collect.count(), 2u);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.submitted, 3u);
+  EXPECT_EQ(report.executed, 2u);
+  EXPECT_EQ(report.mirrored, 1u);
+  EXPECT_EQ(report.plan_cache_hits, 2u);
+  EXPECT_EQ(report.unique_plans, 1u);
+}
+
+TEST(ServiceTest, StrictPriorityOrdersWaitingQueries) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(6));
+
+  ServiceOptions options = BaseOptions(2);
+  options.admission = AdmissionPolicy::kPriority;
+  options.max_inflight_queries = 1;
+  options.plan_cache = false;
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  plug_options.priority = 1000;
+  Ticket plug = service.Submit(PathQuery(1), plug_options);
+  gate.AwaitEntered();
+
+  // Staged while the plug holds the window; admitted strictly by priority.
+  std::vector<int32_t> priorities = {0, 5, 1, 5, -3};
+  std::vector<Ticket> staged;
+  for (int32_t p : priorities) {
+    SubmitOptions so;
+    so.priority = p;
+    staged.push_back(service.Submit(PathQuery(1), so));
+  }
+  gate.Release();
+  service.Drain();
+
+  std::vector<std::pair<uint64_t, int32_t>> order;  // (admit_index, priority)
+  for (size_t i = 0; i < staged.size(); ++i) {
+    order.emplace_back(staged[i].Wait().admit_index, priorities[i]);
+  }
+  std::sort(order.begin(), order.end());
+  // 5, 5, 1, 0, -3 — equal priorities keep submission order.
+  EXPECT_EQ(order[0].second, 5);
+  EXPECT_EQ(order[1].second, 5);
+  EXPECT_EQ(order[2].second, 1);
+  EXPECT_EQ(order[3].second, 0);
+  EXPECT_EQ(order[4].second, -3);
+  service.Shutdown();
+}
+
+TEST(ServiceTest, WeightedFairAdmissionHonoursThreeToOneWeights) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(6));
+
+  ServiceOptions options = BaseOptions(2);
+  options.admission = AdmissionPolicy::kWeightedFair;
+  options.max_inflight_queries = 1;
+  options.plan_cache = false;
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  plug_options.tenant_id = 99;
+  Ticket plug = service.Submit(PathQuery(1), plug_options);
+  gate.AwaitEntered();
+
+  // Two tenants flood the service while the plug holds the window: A at
+  // weight 3, B at weight 1.
+  constexpr int kPerTenant = 24;
+  std::vector<Ticket> tenant_a, tenant_b;
+  std::thread flood_a([&] {
+    SubmitOptions so;
+    so.tenant_id = 1;
+    so.weight = 3.0;
+    for (int i = 0; i < kPerTenant; ++i) {
+      tenant_a.push_back(service.Submit(PathQuery(1), so));
+    }
+  });
+  std::thread flood_b([&] {
+    SubmitOptions so;
+    so.tenant_id = 2;
+    so.weight = 1.0;
+    for (int i = 0; i < kPerTenant; ++i) {
+      tenant_b.push_back(service.Submit(PathQuery(1), so));
+    }
+  });
+  flood_a.join();
+  flood_b.join();
+  gate.Release();
+  service.Drain();
+
+  // The plug consumed admission slot 0; the first 16 real admissions must
+  // split 12:4 — the 3:1 weight ratio — independent of how the two flood
+  // threads interleaved their submissions (virtual-time accounting, not
+  // arrival order, decides).
+  int a_in_first_16 = 0, b_in_first_16 = 0;
+  for (const Ticket& t : tenant_a) {
+    const uint64_t ai = t.Wait().admit_index;
+    if (ai >= 1 && ai <= 16) ++a_in_first_16;
+  }
+  for (const Ticket& t : tenant_b) {
+    const uint64_t ai = t.Wait().admit_index;
+    if (ai >= 1 && ai <= 16) ++b_in_first_16;
+  }
+  EXPECT_EQ(a_in_first_16, 12);
+  EXPECT_EQ(b_in_first_16, 4);
+
+  // Everyone eventually completes — fairness shapes order, not outcomes.
+  for (const Ticket& t : tenant_a) {
+    EXPECT_EQ(t.Wait().status, QueryStatus::kOk);
+  }
+  for (const Ticket& t : tenant_b) {
+    EXPECT_EQ(t.Wait().status, QueryStatus::kOk);
+  }
+  service.Shutdown();
+}
+
+TEST(ServiceTest, DrainWaitsForEverythingSubmittedSoFar) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(10));
+  MatchService service(idx, BaseOptions(4));
+  std::vector<Ticket> tickets;
+  for (uint32_t k : {1u, 2u, 3u}) {
+    tickets.push_back(service.Submit(PathQuery(k)));
+  }
+  service.Drain();
+  for (const Ticket& t : tickets) {
+    EXPECT_NE(t.TryGet(), nullptr);  // Drain returned => already finished
+  }
+  service.Shutdown();
+}
+
+TEST(ServiceTest, PlanErrorResolvesImmediately) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchService service(idx, BaseOptions(2));
+  Ticket bad = service.Submit(Hypergraph());  // empty query: planning fails
+  EXPECT_FALSE(bad.status().ok());
+  const QueryOutcome* out = bad.TryGet();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->status, QueryStatus::kPlanError);
+  EXPECT_FALSE(bad.Cancel());
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.plan_errors, 1u);
+  EXPECT_EQ(report.executed, 0u);
+}
+
+// ---------------------------------------------------- query-set headers --
+
+TEST(QuerySetHeaderTest, HeadersSurfaceAsSubmitOptions) {
+  const std::string one = FormatHypergraph(PaperQueryHypergraph());
+  const std::string text = "# query 0\n# tenant=7\n# priority=-2\n" + one +
+                           "---\n# weight=2.5\n# timeout=1.5\n" + one +
+                           "# query 2\n" + one;
+  Result<std::vector<QuerySetEntry>> set = ParseQuerySetEntries(text);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().size(), 3u);
+
+  EXPECT_EQ(set.value()[0].submit.tenant_id, 7u);
+  EXPECT_EQ(set.value()[0].submit.priority, -2);
+  EXPECT_EQ(set.value()[0].submit.weight, 1.0);            // default
+  EXPECT_LT(set.value()[0].submit.timeout_seconds, 0);     // inherit
+
+  EXPECT_EQ(set.value()[1].submit.tenant_id, 0u);          // default
+  EXPECT_EQ(set.value()[1].submit.weight, 2.5);
+  EXPECT_EQ(set.value()[1].submit.timeout_seconds, 1.5);
+
+  // Headers do not leak across separators.
+  EXPECT_EQ(set.value()[2].submit.tenant_id, 0u);
+  EXPECT_EQ(set.value()[2].submit.priority, 0);
+}
+
+TEST(QuerySetHeaderTest, MalformedHeaderIsAParseError) {
+  const std::string one = FormatHypergraph(PaperQueryHypergraph());
+  for (const char* header :
+       {"# tenant=abc", "# tenant=-1", "# priority=high", "# weight=0",
+        "# weight=-3", "# timeout=-1", "# timeout=soon"}) {
+    Result<std::vector<QuerySetEntry>> set =
+        ParseQuerySetEntries(std::string(header) + "\n" + one);
+    EXPECT_FALSE(set.ok()) << header;
+    EXPECT_NE(set.status().message().find("line 1"), std::string::npos)
+        << set.status().ToString();
+  }
+}
+
+TEST(QuerySetHeaderTest, UnknownCommentKeysStayComments) {
+  const std::string one = FormatHypergraph(PaperQueryHypergraph());
+  const std::string text =
+      "# produced-by=sampler v2\n# note: tenant stuff\n# tenant 5\n" + one;
+  Result<std::vector<QuerySetEntry>> set = ParseQuerySetEntries(text);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().size(), 1u);
+  EXPECT_EQ(set.value()[0].submit.tenant_id, 0u);  // "# tenant 5" has no '='
+}
+
+}  // namespace
+}  // namespace hgmatch

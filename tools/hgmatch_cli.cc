@@ -7,7 +7,7 @@
 //   hgmatch match <data> <query> [threads] [limit]
 //   hgmatch batch <data> <queryset> [threads] [limit] [--max-inflight=N]
 //                 [--task-quota=N] [--timeout=S] [--batch-timeout=S]
-//                 [--no-plan-cache]
+//                 [--no-plan-cache] [--policy=fifo|priority|wfq]
 //
 // Files ending in .hgb use the binary format (io/binary_format.h); anything
 // else is the text format (io/loader.h).
@@ -70,9 +70,13 @@ int Usage() {
                "    [--timeout=S]        per-query timeout, from admission\n"
                "    [--batch-timeout=S]  whole-batch timeout\n"
                "    [--no-plan-cache]    plan every query independently\n"
+               "    [--policy=P]         admission order: fifo (default),\n"
+               "                         priority, wfq (weighted-fair)\n"
                "profiles: HC MA CH CP SB HB WT TC SA AR random\n"
                "queryset: text queries separated by '---' or '# query' "
-               "lines\n");
+               "lines;\n"
+               "  per-query '# tenant= # priority= # weight= # timeout=' "
+               "headers\n");
   return 2;
 }
 
@@ -239,12 +243,12 @@ int CmdBatch(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  Result<std::vector<Hypergraph>> queries = LoadQuerySet(argv[3]);
-  if (!queries.ok()) {
-    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+  Result<std::vector<QuerySetEntry>> entries = LoadQuerySetEntries(argv[3]);
+  if (!entries.ok()) {
+    std::fprintf(stderr, "%s\n", entries.status().ToString().c_str());
     return 1;
   }
-  if (queries.value().empty()) {
+  if (entries.value().empty()) {
     std::fprintf(stderr, "query set %s is empty\n", argv[3]);
     return 1;
   }
@@ -278,6 +282,18 @@ int CmdBatch(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--no-plan-cache") == 0) {
       options.plan_cache = false;
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      const char* policy = arg + 9;
+      if (std::strcmp(policy, "fifo") == 0) {
+        options.admission = AdmissionPolicy::kFifo;
+      } else if (std::strcmp(policy, "priority") == 0) {
+        options.admission = AdmissionPolicy::kPriority;
+      } else if (std::strcmp(policy, "wfq") == 0) {
+        options.admission = AdmissionPolicy::kWeightedFair;
+      } else {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return 2;
@@ -295,30 +311,41 @@ int CmdBatch(int argc, char** argv) {
     }
   }
 
+  std::vector<Hypergraph> queries;
+  std::vector<SubmitOptions> submit;
+  queries.reserve(entries.value().size());
+  submit.reserve(entries.value().size());
+  for (QuerySetEntry& e : entries.value()) {
+    queries.push_back(std::move(e.query));
+    submit.push_back(e.submit);
+  }
+
   IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
-  const BatchResult r = RunBatch(index, queries.value(), options);
+  const BatchResult r = RunBatch(index, queries, options, nullptr, &submit);
 
   size_t planned = 0;
   for (size_t i = 0; i < r.queries.size(); ++i) {
     const BatchQueryResult& q = r.queries[i];
     if (!q.status.ok()) {
-      std::printf("query %zu: %s\n", i, q.status.ToString().c_str());
+      std::printf("query %zu: %s  [%s]\n", i, q.status.ToString().c_str(),
+                  QueryStatusName(q.outcome));
       continue;
     }
     ++planned;
-    std::printf("query %zu: embeddings %llu%s in %.3fs\n", i,
+    std::printf("query %zu: embeddings %llu%s in %.3fs  [%s]%s\n", i,
                 static_cast<unsigned long long>(q.stats.embeddings),
-                q.stats.limit_hit ? "+" : (q.stats.timed_out ? " (timeout)"
-                                                             : ""),
-                q.stats.seconds);
+                q.stats.limit_hit ? "+" : "", q.stats.seconds,
+                QueryStatusName(q.outcome), q.mirrored ? " (mirrored)" : "");
   }
   std::printf("batch: %llu queries (%llu completed), embeddings %llu "
-              "in %.3fs (%.1f queries/s, peak task mem %llu bytes, "
-              "%llu plan-cache hits)\n",
+              "in %.3fs (%llu executed at %.1f queries/s, %llu mirrored, "
+              "peak task mem %llu bytes, %llu plan-cache hits)\n",
               static_cast<unsigned long long>(r.queries.size()),
               static_cast<unsigned long long>(r.completed),
               static_cast<unsigned long long>(r.total.embeddings), r.seconds,
+              static_cast<unsigned long long>(r.executed),
               r.QueriesPerSecond(),
+              static_cast<unsigned long long>(r.mirrored),
               static_cast<unsigned long long>(r.peak_task_bytes),
               static_cast<unsigned long long>(r.plan_cache_hits));
   return planned > 0 ? 0 : 1;
