@@ -1,0 +1,100 @@
+// Wire-overhead bench: the same query workload executed (a) in process
+// through MatchService and (b) over the loopback TCP front end
+// (net/server.h / net/client.h), single client and pipelined. The gap
+// between the two rows is the whole protocol cost — framing, hypergraph
+// (de)serialisation, the poll loop and the kernel's loopback path — which
+// bounds what a remote deployment can lose before the network itself.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "parallel/service.h"
+#include "util/timer.h"
+
+namespace hgmatch::bench {
+namespace {
+
+struct Row {
+  const char* mode;
+  size_t queries = 0;
+  uint64_t embeddings = 0;
+  double seconds = 0;
+};
+
+void PrintRow(const Row& row) {
+  std::printf("%-12s %6zu queries  %10llu embeddings  %8.4fs  %8.1f q/s\n",
+              row.mode, row.queries,
+              static_cast<unsigned long long>(row.embeddings), row.seconds,
+              row.seconds > 0 ? static_cast<double>(row.queries) / row.seconds
+                              : 0);
+}
+
+int Main(int argc, char** argv) {
+  const auto names = DatasetArgs(argc, argv, {"CP"});
+  for (const std::string& name : names) {
+    Dataset dataset = LoadDataset(name);
+    std::printf("== %s ==\n", dataset.name.c_str());
+    const std::vector<QuerySettings> settings = {
+        {"small", 3, 2, 2000}, {"medium", 5, 2, 2000}};
+    const std::vector<Hypergraph> queries =
+        BatchWorkloadFor(dataset, settings, /*min_size=*/64);
+
+    ServiceOptions service_options;
+    service_options.parallel.num_threads = 4;
+    service_options.parallel.limit = 100000;
+
+    {  // In-process baseline: submit all, wait all.
+      MatchService service(dataset.index, service_options);
+      Row row{"in-process"};
+      Timer timer;
+      std::vector<Ticket> tickets;
+      tickets.reserve(queries.size());
+      for (const Hypergraph& q : queries) {
+        tickets.push_back(service.SubmitBorrowed(q));
+      }
+      for (Ticket& t : tickets) row.embeddings += t.Wait().stats.embeddings;
+      row.seconds = timer.ElapsedSeconds();
+      row.queries = queries.size();
+      PrintRow(row);
+    }
+
+    {  // The same workload through the TCP front end, pipelined.
+      ServerOptions server_options;
+      server_options.service = service_options;
+      MatchServer server(dataset.index, server_options);
+      if (!server.Start().ok()) {
+        std::printf("loopback      unavailable on this platform\n");
+        continue;
+      }
+      MatchClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+      Row row{"loopback"};
+      Timer timer;
+      std::vector<uint64_t> ids;
+      ids.reserve(queries.size());
+      for (const Hypergraph& q : queries) {
+        Result<uint64_t> id = client.Submit(q);
+        if (!id.ok()) return 1;
+        ids.push_back(id.value());
+      }
+      for (uint64_t id : ids) {
+        Result<WireOutcome> reply = client.WaitOutcome(id);
+        if (!reply.ok()) return 1;
+        row.embeddings += reply.value().outcome.stats.embeddings;
+      }
+      row.seconds = timer.ElapsedSeconds();
+      row.queries = ids.size();
+      PrintRow(row);
+      server.Stop();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hgmatch::bench
+
+int main(int argc, char** argv) { return hgmatch::bench::Main(argc, argv); }

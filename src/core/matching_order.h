@@ -42,7 +42,8 @@ struct PlanStep {
     Label label = kInvalidLabel;
     uint32_t degree_before = 0;
   };
-  std::vector<std::vector<SharedVertexInfo>> shared_info;  // parallel to adjacent_prev
+  // Parallel to adjacent_prev.
+  std::vector<std::vector<SharedVertexInfo>> shared_info;
 
   /// |V(q')| of the partial query AFTER this step (Observation V.5).
   uint32_t num_query_vertices_after = 0;
@@ -72,6 +73,14 @@ struct PlanStep {
 /// (Fig 3); the dataflow graph SCAN -> EXPAND* -> SINK follows the steps.
 struct QueryPlan {
   const Hypergraph* query = nullptr;  // not owned
+
+  /// Process-unique plan identity (1-based; 0 = unassigned), stamped at
+  /// compilation. Engines key cached per-plan state (e.g. the scheduler's
+  /// per-worker expanders) by uid rather than by plan address, so a freed
+  /// plan whose heap address gets reused can never alias another plan's
+  /// cached state.
+  uint64_t uid = 0;
+
   std::vector<PlanStep> steps;
 
   uint32_t NumSteps() const { return static_cast<uint32_t>(steps.size()); }

@@ -4,21 +4,30 @@
 #include <cstring>
 #include <vector>
 
+#include "io/byte_io.h"
+
 namespace hgmatch {
 
 namespace {
 
-// Thin RAII + error-folding wrapper over std::FILE.
-class File {
+// Thin RAII + error-folding wrapper over std::FILE, mirroring ByteReader's
+// sticky-failure contract so one decoder template (below) serves both the
+// streaming file path and the in-memory wire path.
+class BinaryFile {
  public:
-  File(const std::string& path, const char* mode)
+  BinaryFile(const std::string& path, const char* mode)
       : file_(std::fopen(path.c_str(), mode)) {}
-  ~File() {
+  ~BinaryFile() {
     if (file_ != nullptr) std::fclose(file_);
   }
   bool ok() const { return file_ != nullptr && !failed_; }
 
-  void Write(const void* data, size_t bytes) {
+  // Files are trusted local input: no cheap size bound exists before
+  // reading, so the hostile-header pre-check degrades to a no-op and
+  // truncation surfaces through the sticky failure bit instead.
+  uint64_t remaining() const { return ~uint64_t{0}; }
+
+  void Append(const void* data, size_t bytes) {  // encoder-sink face
     if (!ok()) return;
     failed_ |= std::fwrite(data, 1, bytes, file_) != bytes;
   }
@@ -26,11 +35,6 @@ class File {
   void Read(void* data, size_t bytes) {
     if (!ok()) return;
     failed_ |= std::fread(data, 1, bytes, file_) != bytes;
-  }
-
-  template <typename T>
-  void WriteValue(T value) {
-    Write(&value, sizeof(T));
   }
 
   template <typename T>
@@ -45,62 +49,115 @@ class File {
   bool failed_ = false;
 };
 
-}  // namespace
-
-Status SaveHypergraphBinary(const Hypergraph& h, const std::string& path) {
-  File f(path, "wb");
-  if (!f.ok()) return Status::IOError("cannot open " + path);
-  f.WriteValue<uint32_t>(kBinaryMagic);
-  f.WriteValue<uint64_t>(h.NumVertices());
-  f.WriteValue<uint64_t>(h.NumEdges());
-  f.WriteValue<uint64_t>(h.NumIncidences());
-  for (VertexId v = 0; v < h.NumVertices(); ++v) {
-    f.WriteValue<Label>(h.label(v));
+// Decodes one hypergraph image from any sticky-failure reader exposing
+// ok()/remaining()/Read()/ReadValue() — BinaryFile streams from disk
+// without materialising the file, ByteReader decodes wire payloads.
+template <typename Reader>
+Result<Hypergraph> DecodeHypergraphFrom(Reader& r) {
+  if (r.template ReadValue<uint32_t>() != kBinaryMagic || !r.ok()) {
+    return Status::Corruption("bad magic (not an HGM1 image)");
   }
-  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
-    const VertexSet& members = h.edge(e);
-    f.WriteValue<uint32_t>(static_cast<uint32_t>(members.size()));
-    f.WriteValue<Label>(h.edge_label(e));
-    f.Write(members.data(), members.size() * sizeof(VertexId));
+  const uint64_t num_vertices = r.template ReadValue<uint64_t>();
+  const uint64_t num_edges = r.template ReadValue<uint64_t>();
+  const uint64_t num_incidences = r.template ReadValue<uint64_t>();
+  if (!r.ok()) return Status::Corruption("truncated header");
+  // Every vertex costs one Label and every incidence one VertexId, so a
+  // header whose counts exceed the bytes at hand is corrupt; checking here
+  // stops a hostile header from driving the AddVertex loop below through
+  // billions of iterations (the wire front end decodes untrusted bytes).
+  if (num_vertices > r.remaining() / sizeof(Label) ||
+      num_incidences > r.remaining() / sizeof(VertexId)) {
+    return Status::Corruption("section counts exceed image size");
   }
-  if (!f.ok()) return Status::IOError("short write to " + path);
-  return Status::OK();
-}
-
-Result<Hypergraph> LoadHypergraphBinary(const std::string& path) {
-  File f(path, "rb");
-  if (!f.ok()) return Status::IOError("cannot open " + path);
-  if (f.ReadValue<uint32_t>() != kBinaryMagic) {
-    return Status::Corruption(path + ": bad magic (not an HGM1 file)");
-  }
-  const uint64_t num_vertices = f.ReadValue<uint64_t>();
-  const uint64_t num_edges = f.ReadValue<uint64_t>();
-  const uint64_t num_incidences = f.ReadValue<uint64_t>();
-  if (!f.ok()) return Status::Corruption(path + ": truncated header");
 
   Hypergraph h;
   for (uint64_t v = 0; v < num_vertices; ++v) {
-    h.AddVertex(f.ReadValue<Label>());
+    h.AddVertex(r.template ReadValue<Label>());
   }
-  if (!f.ok()) return Status::Corruption(path + ": truncated label section");
+  if (!r.ok()) return Status::Corruption("truncated label section");
 
   uint64_t incidences = 0;
   VertexSet members;
   for (uint64_t e = 0; e < num_edges; ++e) {
-    const uint32_t arity = f.ReadValue<uint32_t>();
-    const Label edge_label = f.ReadValue<Label>();
-    if (!f.ok() || arity == 0 || arity > num_vertices) {
-      return Status::Corruption(path + ": bad hyperedge record");
+    const uint32_t arity = r.template ReadValue<uint32_t>();
+    const Label edge_label = r.template ReadValue<Label>();
+    if (!r.ok() || arity == 0 || arity > num_vertices) {
+      return Status::Corruption("bad hyperedge record");
     }
     members.resize(arity);
-    f.Read(members.data(), arity * sizeof(VertexId));
-    if (!f.ok()) return Status::Corruption(path + ": truncated hyperedge");
+    r.Read(members.data(), arity * sizeof(VertexId));
+    if (!r.ok()) return Status::Corruption("truncated hyperedge");
     incidences += arity;
     Result<EdgeId> added = h.AddEdge(members, edge_label);
     if (!added.ok()) return added.status();
   }
   if (incidences != num_incidences) {
-    return Status::Corruption(path + ": incidence count mismatch");
+    return Status::Corruption("incidence count mismatch");
+  }
+  return h;
+}
+
+// Encodes one hypergraph image into any sink exposing Append(ptr, bytes) —
+// a std::string for wire payloads, the file directly for SaveHypergraph
+// (no multi-GB intermediate image).
+template <typename Sink>
+void EncodeHypergraphTo(const Hypergraph& h, Sink& out) {
+  const auto put = [&out](const auto value) {
+    out.Append(&value, sizeof(value));
+  };
+  put(kBinaryMagic);
+  put(static_cast<uint64_t>(h.NumVertices()));
+  put(static_cast<uint64_t>(h.NumEdges()));
+  put(h.NumIncidences());
+  for (VertexId v = 0; v < h.NumVertices(); ++v) put(h.label(v));
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    const VertexSet& members = h.edge(e);
+    put(static_cast<uint32_t>(members.size()));
+    put(h.edge_label(e));
+    out.Append(members.data(), members.size() * sizeof(VertexId));
+  }
+}
+
+struct StringSink {
+  std::string* out;
+  void Append(const void* data, size_t bytes) {
+    out->append(static_cast<const char*>(data), bytes);
+  }
+};
+
+}  // namespace
+
+void AppendHypergraphBinary(const Hypergraph& h, std::string* out) {
+  out->reserve(out->size() + 4 + 3 * 8 + h.NumVertices() * sizeof(Label) +
+               h.NumEdges() * (4 + sizeof(Label)) +
+               h.NumIncidences() * sizeof(VertexId));
+  StringSink sink{out};
+  EncodeHypergraphTo(h, sink);
+}
+
+Result<Hypergraph> DecodeHypergraphBinary(const void* data, size_t size) {
+  ByteReader r(data, size);
+  Result<Hypergraph> h = DecodeHypergraphFrom(r);
+  if (h.ok() && r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after hypergraph");
+  }
+  return h;
+}
+
+Status SaveHypergraphBinary(const Hypergraph& h, const std::string& path) {
+  BinaryFile f(path, "wb");
+  if (!f.ok()) return Status::IOError("cannot open " + path);
+  EncodeHypergraphTo(h, f);
+  if (!f.ok()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Hypergraph> LoadHypergraphBinary(const std::string& path) {
+  BinaryFile f(path, "rb");
+  if (!f.ok()) return Status::IOError("cannot open " + path);
+  Result<Hypergraph> h = DecodeHypergraphFrom(f);
+  if (!h.ok()) {
+    return Status(h.status().code(), path + ": " + h.status().message());
   }
   return h;
 }

@@ -20,6 +20,17 @@ namespace hgmatch {
 /// corruption is detected by size mismatches rather than UB.
 inline constexpr uint32_t kBinaryMagic = 0x31'4d'47'48;  // "HGM1"
 
+/// Appends the binary encoding of `h` — the exact file image above, magic
+/// included — to *out. Shared by the file writer below and the wire
+/// protocol (net/protocol.h), which inlines query hypergraphs into SUBMIT
+/// frames.
+void AppendHypergraphBinary(const Hypergraph& h, std::string* out);
+
+/// Decodes a hypergraph from an in-memory binary image (the inverse of
+/// AppendHypergraphBinary). `size` must cover exactly one hypergraph;
+/// trailing bytes are a Corruption error like any other size mismatch.
+Result<Hypergraph> DecodeHypergraphBinary(const void* data, size_t size);
+
 /// Writes `h` to `path` in binary format.
 Status SaveHypergraphBinary(const Hypergraph& h, const std::string& path);
 

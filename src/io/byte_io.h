@@ -1,0 +1,61 @@
+#ifndef HGMATCH_IO_BYTE_IO_H_
+#define HGMATCH_IO_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+// Little-endian plain-data (de)serialisation helpers shared by the binary
+// hypergraph format (io/binary_format.cc) and the wire protocol
+// (net/protocol.cc). Reading is sticky-failure: corruption is detected by
+// one final ok() check instead of per-field branching at every call site.
+
+namespace hgmatch {
+
+/// Appends the raw little-endian bytes of a POD value.
+template <typename T>
+inline void AppendValue(T value, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Bounded reader over an in-memory byte image.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return !failed_; }
+  uint64_t remaining() const { return size_ - pos_; }
+  std::string_view rest() const {
+    return std::string_view(data_ + pos_, size_ - pos_);
+  }
+
+  void Read(void* out, size_t bytes) {
+    if (failed_ || bytes > size_ - pos_) {
+      failed_ = true;
+      return;
+    }
+    std::memcpy(out, data_ + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  template <typename T>
+  T ReadValue() {
+    T value{};
+    Read(&value, sizeof(T));
+    return value;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_IO_BYTE_IO_H_

@@ -1,0 +1,86 @@
+#ifndef HGMATCH_NET_CLIENT_H_
+#define HGMATCH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/hypergraph.h"
+#include "net/protocol.h"
+#include "parallel/submit_options.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Blocking client of the hgmatch wire protocol (net/protocol.h), used by
+/// `hgmatch query --connect`, the loopback tests and the benches. One
+/// instance speaks for one connection and is NOT thread-safe — it is a
+/// deliberately simple, synchronous API; concurrency comes from pipelining
+/// (submit many, then wait) or from one client per thread.
+///
+/// Submissions are pipelined: Submit() assigns a connection-unique request
+/// id and returns immediately after writing the frame; WaitOutcome(id)
+/// blocks reading frames until that id's outcome (or rejection) arrives,
+/// buffering outcomes of other ids for their own waits. A submission shed
+/// by server backpressure surfaces as a normal outcome with
+/// QueryStatus::kRejected.
+class MatchClient {
+ public:
+  MatchClient() = default;
+  ~MatchClient();
+
+  MatchClient(const MatchClient&) = delete;
+  MatchClient& operator=(const MatchClient&) = delete;
+
+  /// Connects to host:port (numeric IP or hostname). POSIX-only.
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one query; returns its request id. `options.sink` is ignored
+  /// (embeddings do not cross the wire; counts and stats do).
+  Result<uint64_t> Submit(const Hypergraph& query,
+                          const SubmitOptions& options = {});
+
+  /// Blocks until `request_id`'s outcome (or rejection) arrives.
+  Result<WireOutcome> WaitOutcome(uint64_t request_id);
+
+  /// Requests cancellation of an in-flight submission (fire and forget:
+  /// the outcome — cancelled or already finished — still arrives).
+  Status Cancel(uint64_t request_id);
+
+  /// Round-trips a PING frame.
+  Status Ping();
+
+  /// Fetches the server statistics snapshot.
+  Result<WireStats> Stats();
+
+  /// Asks the server process to shut down (needs the server to run with
+  /// allow_remote_shutdown).
+  Status RequestShutdown();
+
+  void Close();
+
+ private:
+  Status SendFrame(FrameType type, const std::string& payload);
+  /// Blocks until one complete frame arrives.
+  Result<FrameReader::Frame> ReadOneFrame();
+  /// Files an outcome/rejection frame under its request id in ready_;
+  /// kError and unexpected types abort with an error status.
+  Status AbsorbFrame(const FrameReader::Frame& frame);
+  /// ReadOneFrame + AbsorbFrame: advances by exactly one outcome-bearing
+  /// frame (the WaitOutcome pump).
+  Status PumpOutcomeFrame();
+  /// Reads frames until one of type `want` arrives, buffering outcomes and
+  /// rejections along the way; kError aborts with its message.
+  Result<FrameReader::Frame> ReadFrameOfType(FrameType want);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameReader reader_;
+  std::unordered_map<uint64_t, WireOutcome> ready_;  // out-of-order arrivals
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_NET_CLIENT_H_

@@ -1,0 +1,184 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "io/binary_format.h"
+#include "io/byte_io.h"
+
+namespace hgmatch {
+
+namespace {
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kSubmit) &&
+         type <= static_cast<uint8_t>(FrameType::kShutdown);
+}
+
+}  // namespace
+
+void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
+  out->reserve(out->size() + kWireHeaderBytes + payload.size());
+  AppendValue<uint32_t>(kWireMagic, out);
+  AppendValue<uint8_t>(static_cast<uint8_t>(type), out);
+  AppendValue<uint32_t>(static_cast<uint32_t>(payload.size()), out);
+  out->append(payload);
+}
+
+std::string EncodeSubmit(const WireSubmit& submit) {
+  return EncodeSubmit(submit, submit.query);
+}
+
+std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query) {
+  std::string payload;
+  AppendValue<uint64_t>(fields.request_id, &payload);
+  AppendValue<uint32_t>(fields.tenant_id, &payload);
+  AppendValue<int32_t>(fields.priority, &payload);
+  AppendValue<double>(fields.weight, &payload);
+  AppendValue<double>(fields.timeout_seconds, &payload);
+  AppendValue<uint64_t>(fields.limit, &payload);
+  AppendHypergraphBinary(query, &payload);
+  return payload;
+}
+
+Result<WireSubmit> DecodeSubmit(std::string_view payload) {
+  ByteReader r(payload);
+  WireSubmit submit;
+  submit.request_id = r.ReadValue<uint64_t>();
+  submit.tenant_id = r.ReadValue<uint32_t>();
+  submit.priority = r.ReadValue<int32_t>();
+  submit.weight = r.ReadValue<double>();
+  submit.timeout_seconds = r.ReadValue<double>();
+  submit.limit = r.ReadValue<uint64_t>();
+  if (!r.ok()) return Status::Corruption("truncated SUBMIT frame");
+  const std::string_view image = r.rest();
+  Result<Hypergraph> query =
+      DecodeHypergraphBinary(image.data(), image.size());
+  if (!query.ok()) {
+    return Status::Corruption("SUBMIT query: " + query.status().message());
+  }
+  submit.query = std::move(query).value();
+  return submit;
+}
+
+std::string EncodeOutcome(const WireOutcome& wire) {
+  const QueryOutcome& out = wire.outcome;
+  std::string payload;
+  AppendValue<uint64_t>(wire.request_id, &payload);
+  AppendValue<uint8_t>(static_cast<uint8_t>(out.status), &payload);
+  AppendValue<uint8_t>(out.mirrored ? 1 : 0, &payload);
+  AppendValue<uint8_t>(out.stats.timed_out ? 1 : 0, &payload);
+  AppendValue<uint8_t>(out.stats.limit_hit ? 1 : 0, &payload);
+  AppendValue<uint64_t>(out.stats.embeddings, &payload);
+  AppendValue<uint64_t>(out.stats.candidates, &payload);
+  AppendValue<uint64_t>(out.stats.filtered, &payload);
+  AppendValue<uint64_t>(out.stats.expansions, &payload);
+  AppendValue<double>(out.stats.seconds, &payload);
+  AppendValue<double>(out.admit_seconds, &payload);
+  AppendValue<double>(out.finish_seconds, &payload);
+  AppendValue<uint64_t>(out.admit_index, &payload);
+  return payload;
+}
+
+Result<WireOutcome> DecodeOutcome(std::string_view payload) {
+  ByteReader r(payload);
+  WireOutcome wire;
+  wire.request_id = r.ReadValue<uint64_t>();
+  const uint8_t status = r.ReadValue<uint8_t>();
+  if (status > static_cast<uint8_t>(QueryStatus::kRejected)) {
+    return Status::Corruption("OUTCOME frame: unknown query status");
+  }
+  QueryOutcome& out = wire.outcome;
+  out.status = static_cast<QueryStatus>(status);
+  out.mirrored = r.ReadValue<uint8_t>() != 0;
+  out.stats.timed_out = r.ReadValue<uint8_t>() != 0;
+  out.stats.limit_hit = r.ReadValue<uint8_t>() != 0;
+  out.stats.embeddings = r.ReadValue<uint64_t>();
+  out.stats.candidates = r.ReadValue<uint64_t>();
+  out.stats.filtered = r.ReadValue<uint64_t>();
+  out.stats.expansions = r.ReadValue<uint64_t>();
+  out.stats.seconds = r.ReadValue<double>();
+  out.admit_seconds = r.ReadValue<double>();
+  out.finish_seconds = r.ReadValue<double>();
+  out.admit_index = r.ReadValue<uint64_t>();
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("malformed OUTCOME frame");
+  }
+  return wire;
+}
+
+std::string EncodeRequestId(uint64_t request_id) {
+  std::string payload;
+  AppendValue<uint64_t>(request_id, &payload);
+  return payload;
+}
+
+Result<uint64_t> DecodeRequestId(std::string_view payload) {
+  ByteReader r(payload);
+  const uint64_t id = r.ReadValue<uint64_t>();
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("malformed request-id frame");
+  }
+  return id;
+}
+
+std::string EncodeStats(const WireStats& stats) {
+  std::string payload;
+  AppendValue<uint32_t>(stats.num_threads, &payload);
+  AppendValue<uint64_t>(stats.connections, &payload);
+  AppendValue<uint64_t>(stats.submitted, &payload);
+  AppendValue<uint64_t>(stats.completed, &payload);
+  AppendValue<uint64_t>(stats.rejected, &payload);
+  AppendValue<uint64_t>(stats.cancelled_by_disconnect, &payload);
+  AppendValue<uint64_t>(stats.inflight, &payload);
+  return payload;
+}
+
+Result<WireStats> DecodeStats(std::string_view payload) {
+  ByteReader r(payload);
+  WireStats stats;
+  stats.num_threads = r.ReadValue<uint32_t>();
+  stats.connections = r.ReadValue<uint64_t>();
+  stats.submitted = r.ReadValue<uint64_t>();
+  stats.completed = r.ReadValue<uint64_t>();
+  stats.rejected = r.ReadValue<uint64_t>();
+  stats.cancelled_by_disconnect = r.ReadValue<uint64_t>();
+  stats.inflight = r.ReadValue<uint64_t>();
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("malformed STATS frame");
+  }
+  return stats;
+}
+
+Result<bool> FrameReader::Next(Frame* out) {
+  // Compact lazily: drop consumed bytes once they dominate the buffer, so
+  // the hot path is an offset bump, not a memmove per frame.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  if (buffer_.size() - consumed_ < kWireHeaderBytes) return false;
+  const char* header = buffer_.data() + consumed_;
+  uint32_t magic;
+  std::memcpy(&magic, header, sizeof(magic));
+  if (magic != kWireMagic) {
+    return Status::Corruption("bad frame magic (incompatible peer?)");
+  }
+  const uint8_t type = static_cast<uint8_t>(header[4]);
+  if (!ValidFrameType(type)) {
+    return Status::Corruption("unknown frame type");
+  }
+  uint32_t payload_bytes;
+  std::memcpy(&payload_bytes, header + 5, sizeof(payload_bytes));
+  if (payload_bytes > kMaxWirePayload) {
+    return Status::Corruption("frame exceeds the payload bound");
+  }
+  if (buffer_.size() - consumed_ < kWireHeaderBytes + payload_bytes) {
+    return false;
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buffer_, consumed_ + kWireHeaderBytes, payload_bytes);
+  consumed_ += kWireHeaderBytes + payload_bytes;
+  return true;
+}
+
+}  // namespace hgmatch

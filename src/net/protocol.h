@@ -1,0 +1,146 @@
+#ifndef HGMATCH_NET_PROTOCOL_H_
+#define HGMATCH_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/hypergraph.h"
+#include "parallel/scheduler.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Wire protocol of the hgmatch TCP front end (net/server.h serves it,
+/// net/client.h speaks it): a stream of length-prefixed binary frames,
+/// little-endian, no padding:
+///
+///   [u32 magic "HGN1"] [u8 type] [u32 payload bytes] [payload...]
+///
+/// The magic doubles as the protocol version — an incompatible revision
+/// bumps the trailing digit and old peers fail fast on the first frame.
+/// Payloads are bounded by kMaxWirePayload; a frame announcing more (or a
+/// header with the wrong magic, or an undecodable payload) is a protocol
+/// error: the server answers with one kError frame and closes the
+/// connection, cancelling that connection's in-flight queries.
+///
+/// Frame payloads:
+///   kSubmit     client->server  WireSubmit (options + inline query
+///                               hypergraph in the io/binary_format image)
+///   kOutcome    server->client  WireOutcome (full QueryOutcome/MatchStats)
+///   kRejected   server->client  u64 request id: the submission was shed by
+///                               queue-depth backpressure
+///                               (SchedulerOptions::max_queued_queries) —
+///                               retry once the backlog drains
+///   kCancel     client->server  u64 request id (unknown ids are ignored:
+///                               the race with completion is benign)
+///   kPing       client->server  arbitrary payload, echoed back
+///   kPong       server->client  the kPing payload
+///   kStats      client->server  empty
+///   kStatsReply server->client  WireStats snapshot
+///   kError      server->client  UTF-8 message; the connection closes next
+///   kShutdown   client->server  empty; asks the server process to finish
+///                               outstanding work and exit (honoured only
+///                               with ServerOptions::allow_remote_shutdown)
+inline constexpr uint32_t kWireMagic = 0x314e'4748;  // "HGN1"
+
+/// Upper bound on a frame payload (a ~16 MiB query hypergraph is far
+/// beyond any sane pattern; real limits come from the data graph side).
+inline constexpr uint32_t kMaxWirePayload = 16u << 20;
+
+/// Bytes of the fixed frame header.
+inline constexpr size_t kWireHeaderBytes = 4 + 1 + 4;
+
+enum class FrameType : uint8_t {
+  kSubmit = 1,
+  kOutcome = 2,
+  kRejected = 3,
+  kCancel = 4,
+  kPing = 5,
+  kPong = 6,
+  kStats = 7,
+  kStatsReply = 8,
+  kError = 9,
+  kShutdown = 10,
+};
+
+/// One query submission as it crosses the wire: the client-chosen request
+/// id (scopes the reply; unique per connection), the SubmitOptions fields
+/// that make sense remotely (no sink), and the query itself.
+struct WireSubmit {
+  uint64_t request_id = 0;
+  uint32_t tenant_id = 0;
+  int32_t priority = 0;
+  double weight = 1.0;
+  double timeout_seconds = -1;              // < 0 = inherit server default
+  uint64_t limit = ~uint64_t{0};            // SubmitOptions::kInheritLimit
+  Hypergraph query;
+};
+
+/// One finished query's reply: the request id plus the full QueryOutcome
+/// (status, exact MatchStats, admission timestamps and sequence number).
+struct WireOutcome {
+  uint64_t request_id = 0;
+  QueryOutcome outcome;
+};
+
+/// Server statistics snapshot (kStatsReply).
+struct WireStats {
+  uint32_t num_threads = 0;             // worker pool size
+  uint64_t connections = 0;             // currently open connections
+  uint64_t submitted = 0;               // SUBMIT frames accepted
+  uint64_t completed = 0;               // outcomes delivered
+  uint64_t rejected = 0;                // shed by queue-depth backpressure
+  uint64_t cancelled_by_disconnect = 0; // queries cancelled by peer drops
+  uint64_t inflight = 0;                // queries awaiting their outcome
+};
+
+/// Appends one complete frame (header + payload) to *out.
+void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+
+std::string EncodeSubmit(const WireSubmit& submit);
+/// Encode variant that reads the query from the caller instead of
+/// `fields.query` (whose value is ignored), so senders need not clone a
+/// hypergraph into the move-only WireSubmit just to serialise it.
+std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query);
+Result<WireSubmit> DecodeSubmit(std::string_view payload);
+
+std::string EncodeOutcome(const WireOutcome& outcome);
+Result<WireOutcome> DecodeOutcome(std::string_view payload);
+
+/// kRejected and kCancel payloads are a bare request id.
+std::string EncodeRequestId(uint64_t request_id);
+Result<uint64_t> DecodeRequestId(std::string_view payload);
+
+std::string EncodeStats(const WireStats& stats);
+Result<WireStats> DecodeStats(std::string_view payload);
+
+/// Incremental frame parser: feed raw stream bytes, pop complete frames.
+/// Validates the magic, the type tag and the payload bound as soon as a
+/// header is complete, so a malformed peer is caught before its payload is
+/// buffered.
+class FrameReader {
+ public:
+  struct Frame {
+    FrameType type = FrameType::kError;
+    std::string payload;
+  };
+
+  void Feed(const char* data, size_t size) { buffer_.append(data, size); }
+
+  /// Pops the next complete frame into *out. Returns true when a frame was
+  /// popped, false when more bytes are needed, or a Corruption status on a
+  /// malformed header (the stream is then unusable).
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_NET_PROTOCOL_H_

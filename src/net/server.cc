@@ -1,0 +1,575 @@
+#include "net/server.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HGMATCH_HAVE_SOCKETS 1
+#endif
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#if HGMATCH_HAVE_SOCKETS
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/socket_util.h"
+#endif
+
+namespace hgmatch {
+
+#if HGMATCH_HAVE_SOCKETS
+
+namespace {
+
+using net_internal::SendBytes;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+class MatchServer::Impl {
+ public:
+  Impl(const IndexedHypergraph& data, const ServerOptions& options)
+      : options_(options), service_(data, options.service) {}
+
+  ~Impl() { Stop(); }
+
+  Status Start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::IOError("socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      CloseListen();
+      return Status::InvalidArgument("bad listen address " + options_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      CloseListen();
+      return Status::IOError("cannot bind " + options_.host + ":" +
+                             std::to_string(options_.port));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len);
+    port_ = ntohs(bound.sin_port);
+    if (::listen(listen_fd_, 64) != 0 || !SetNonBlocking(listen_fd_)) {
+      CloseListen();
+      return Status::IOError("cannot listen on " + options_.host);
+    }
+    if (::pipe(wake_pipe_) != 0) {
+      CloseListen();
+      return Status::IOError("pipe() failed");
+    }
+    SetNonBlocking(wake_pipe_[0]);
+    SetNonBlocking(wake_pipe_[1]);
+    thread_ = std::thread([this] {
+      ServeLoop();
+      std::lock_guard<std::mutex> lock(exit_mutex_);
+      exited_ = true;
+      exit_cv_.notify_all();
+    });
+    return Status::OK();
+  }
+
+  uint16_t port() const { return port_; }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(exit_mutex_);
+    exit_cv_.wait(lock, [this] { return exited_; });
+  }
+
+  bool WaitFor(double seconds) {
+    std::unique_lock<std::mutex> lock(exit_mutex_);
+    return exit_cv_.wait_for(lock,
+                             std::chrono::duration<double>(
+                                 seconds > 0 ? seconds : 0),
+                             [this] { return exited_; });
+  }
+
+  void Stop() {
+    stop_requested_.store(true, std::memory_order_release);
+    if (wake_pipe_[1] >= 0) {
+      const char byte = 0;
+      (void)!::write(wake_pipe_[1], &byte, 1);
+    }
+    if (thread_.joinable()) thread_.join();
+    CloseListen();
+    for (int i = 0; i < 2; ++i) {
+      if (wake_pipe_[i] >= 0) {
+        ::close(wake_pipe_[i]);
+        wake_pipe_[i] = -1;
+      }
+    }
+  }
+
+  WireStats Stats() const {
+    WireStats s;
+    s.num_threads = service_.num_threads();
+    s.connections = connections_.load(std::memory_order_relaxed);
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.cancelled_by_disconnect =
+        cancelled_by_disconnect_.load(std::memory_order_relaxed);
+    s.inflight = inflight_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;
+    size_t out_sent = 0;  // prefix of outbuf already on the wire
+    std::unordered_map<uint64_t, Ticket> inflight;
+    // The connection is ending (protocol error answered with kError, or
+    // peer EOF): in-flight queries are already cancelled; flush whatever
+    // replies were earned, then close.
+    bool draining = false;
+    // Peer EOF seen: stop polling POLLIN (a closed peer reports readable
+    // forever).
+    bool peer_closed = false;
+  };
+
+  void CloseListen() {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  void SendFrame(Conn* conn, FrameType type, std::string_view payload) {
+    AppendFrame(type, payload, &conn->outbuf);
+  }
+
+  // Cancels and orphans every in-flight query of a dying connection. The
+  // tickets move to the zombie list so the loop still observes their
+  // resolution (retrieving an outcome is what lets the service recycle the
+  // query's slot — see parallel/service.h retention notes).
+  void CancelConnQueries(Conn* conn) {
+    cancelled_by_disconnect_.fetch_add(conn->inflight.size(),
+                                       std::memory_order_relaxed);
+    inflight_.fetch_sub(conn->inflight.size(), std::memory_order_relaxed);
+    for (auto& [id, ticket] : conn->inflight) {
+      ticket.Cancel();
+      // A cancel that resolved synchronously (queued query, mirror) needs
+      // no zombie tracking — its outcome is already retrievable.
+      if (ticket.TryGet() == nullptr) zombies_.push_back(ticket);
+    }
+    conn->inflight.clear();
+  }
+
+  // Queues one finished query's reply on its connection.
+  void DeliverOutcome(Conn* conn, uint64_t request_id,
+                      const QueryOutcome& outcome) {
+    if (outcome.status == QueryStatus::kRejected) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendFrame(conn, FrameType::kRejected, EncodeRequestId(request_id));
+    } else {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      SendFrame(conn, FrameType::kOutcome,
+                EncodeOutcome({request_id, outcome}));
+    }
+  }
+
+  void ProtocolError(Conn* conn, const std::string& message) {
+    if (conn->draining) return;
+    SendFrame(conn, FrameType::kError, message);
+    CancelConnQueries(conn);
+    conn->draining = true;
+  }
+
+  // Connection teardown is signalled through conn->draining, never by a
+  // return value.
+  void HandleFrame(Conn* conn, FrameReader::Frame& frame) {
+    switch (frame.type) {
+      case FrameType::kSubmit: {
+        Result<WireSubmit> submit = DecodeSubmit(frame.payload);
+        if (!submit.ok()) {
+          ProtocolError(conn, submit.status().message());
+          return;
+        }
+        WireSubmit& ws = submit.value();
+        if (conn->inflight.count(ws.request_id) != 0) {
+          ProtocolError(conn, "duplicate request id " +
+                                  std::to_string(ws.request_id));
+          return;
+        }
+        SubmitOptions so;
+        so.tenant_id = ws.tenant_id;
+        so.priority = ws.priority;
+        so.weight = std::isfinite(ws.weight) ? ws.weight : 1.0;
+        so.timeout_seconds =
+            std::isfinite(ws.timeout_seconds) ? ws.timeout_seconds : -1;
+        so.limit = ws.limit;
+        Ticket ticket = service_.Submit(std::move(ws.query), so);
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+        // Backpressure sheds, planning errors and mirrors of completed
+        // canonicals resolve synchronously: answer inline — the
+        // finished-count gate in DeliverFinished would never fire for
+        // them.
+        const QueryOutcome* done = ticket.TryGet();
+        if (done != nullptr) {
+          DeliverOutcome(conn, ws.request_id, *done);
+          return;
+        }
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+        conn->inflight.emplace(ws.request_id, std::move(ticket));
+        return;
+      }
+      case FrameType::kCancel: {
+        Result<uint64_t> id = DecodeRequestId(frame.payload);
+        if (!id.ok()) {
+          ProtocolError(conn, id.status().message());
+          return;
+        }
+        auto it = conn->inflight.find(id.value());
+        // Unknown ids are ignored: the cancel raced the outcome.
+        if (it != conn->inflight.end()) {
+          it->second.Cancel();
+          // A synchronously resolved cancel (queued query, mirror of a
+          // running canonical) never advances the pool's finished counter,
+          // so the gated sweep would sit on it: answer inline.
+          const QueryOutcome* done = it->second.TryGet();
+          if (done != nullptr) {
+            DeliverOutcome(conn, it->first, *done);
+            inflight_.fetch_sub(1, std::memory_order_relaxed);
+            conn->inflight.erase(it);
+          }
+        }
+        return;
+      }
+      case FrameType::kPing:
+        SendFrame(conn, FrameType::kPong, frame.payload);
+        return;
+      case FrameType::kStats:
+        SendFrame(conn, FrameType::kStatsReply, EncodeStats(Stats()));
+        return;
+      case FrameType::kShutdown:
+        if (options_.allow_remote_shutdown) {
+          shutting_down_ = true;
+          CloseListen();
+        } else {
+          ProtocolError(conn, "remote shutdown is disabled");
+        }
+        return;
+      default:
+        // Server-bound streams must not carry server->client frames.
+        ProtocolError(conn, "unexpected frame type");
+        return;
+    }
+  }
+
+  // Reads everything available and handles the complete frames; true when
+  // the connection must be dropped. A clean EOF still parses what arrived
+  // first, so a peer that pipelines frames and closes loses nothing.
+  bool ReadConn(Conn* conn) {
+    char buffer[1 << 16];
+    bool peer_closed = false;
+    while (true) {
+      const ssize_t got = ::read(conn->fd, buffer, sizeof(buffer));
+      if (got > 0) {
+        conn->reader.Feed(buffer, static_cast<size_t>(got));
+        if (static_cast<size_t>(got) < sizeof(buffer)) break;
+        continue;
+      }
+      if (got == 0) {  // clean EOF
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return true;
+    }
+    if (!conn->draining) {  // ignore bytes after an error
+      FrameReader::Frame frame;
+      while (true) {
+        Result<bool> next = conn->reader.Next(&frame);
+        if (!next.ok()) {
+          ProtocolError(conn, next.status().message());
+          break;
+        }
+        if (!next.value()) break;
+        HandleFrame(conn, frame);
+        if (conn->draining) break;
+      }
+    }
+    return peer_closed;
+  }
+
+  // Flushes as much buffered output as the socket accepts; true when the
+  // connection must be dropped (write error, or a drained error-close).
+  bool FlushConn(Conn* conn) {
+    while (conn->out_sent < conn->outbuf.size()) {
+      const ssize_t sent =
+          SendBytes(conn->fd, conn->outbuf.data() + conn->out_sent,
+                    conn->outbuf.size() - conn->out_sent);
+      if (sent > 0) {
+        conn->out_sent += static_cast<size_t>(sent);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return true;
+    }
+    if (conn->out_sent == conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->out_sent = 0;
+      if (conn->draining) return true;
+    }
+    // A peer that stopped reading its replies pins every byte we buffer;
+    // past the bound it is abandoned like any other dead connection.
+    if (conn->outbuf.size() - conn->out_sent >
+        options_.max_connection_buffer) {
+      return true;
+    }
+    return false;
+  }
+
+  void AcceptConnections() {
+    while (listen_fd_ >= 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN and friends: done for this pass
+      if (!SetNonBlocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (conns_.size() >= options_.max_connections) {
+        // Turn the connection away loudly (best-effort write on a fresh
+        // socket buffer) instead of hanging it.
+        std::string frame;
+        AppendFrame(FrameType::kError, "server is at max connections",
+                    &frame);
+        (void)SendBytes(fd, frame.data(), frame.size());
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conns_.push_back(std::move(conn));
+    }
+    connections_.store(conns_.size(), std::memory_order_relaxed);
+  }
+
+  void DropConn(size_t i) {
+    CancelConnQueries(conns_[i].get());
+    ::close(conns_[i]->fd);
+    conns_.erase(conns_.begin() + i);
+    connections_.store(conns_.size(), std::memory_order_relaxed);
+  }
+
+  // Delivers outcomes of finished queries into their connections' output
+  // buffers, and lets go of zombie tickets (cancelled for dead peers) once
+  // resolved.
+  void DeliverFinished() {
+    // Cheap gate: every ticket tracked here resolves through a pool-query
+    // finish (submit-time-resolved tickets were answered inline), so an
+    // unadvanced finished counter means there is nothing to sweep — no
+    // per-ticket lock traffic on idle passes. Snapshot before sweeping: a
+    // finish racing the sweep re-arms the next pass.
+    const uint64_t finished_now = service_.finished_queries();
+    if (finished_now == finished_seen_) return;
+    for (auto& conn : conns_) {
+      for (auto it = conn->inflight.begin(); it != conn->inflight.end();) {
+        const QueryOutcome* done = it->second.TryGet();
+        if (done == nullptr) {
+          ++it;
+          continue;
+        }
+        DeliverOutcome(conn.get(), it->first, *done);
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        it = conn->inflight.erase(it);
+      }
+    }
+    std::erase_if(zombies_,
+                  [](const Ticket& t) { return t.TryGet() != nullptr; });
+    finished_seen_ = finished_now;
+  }
+
+  bool AnyPendingWork() const {
+    if (!zombies_.empty()) return true;
+    for (const auto& conn : conns_) {
+      if (!conn->inflight.empty()) return true;
+    }
+    return false;
+  }
+
+  void ServeLoop() {
+    std::vector<pollfd> fds;
+    while (true) {
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+      AcceptConnections();
+      DeliverFinished();
+      for (size_t i = 0; i < conns_.size();) {
+        if (FlushConn(conns_[i].get())) {
+          DropConn(i);
+        } else {
+          ++i;
+        }
+      }
+      if (shutting_down_) {
+        // Graceful remote shutdown: finish in-flight work, flush, then
+        // close connections as they go idle; exit when none remain.
+        for (size_t i = 0; i < conns_.size();) {
+          Conn* conn = conns_[i].get();
+          if (conn->inflight.empty() && conn->outbuf.empty()) {
+            DropConn(i);
+          } else {
+            ++i;
+          }
+        }
+        if (conns_.empty() && zombies_.empty()) break;
+      }
+
+      fds.clear();
+      fds.push_back({wake_pipe_[0], POLLIN, 0});
+      if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+      for (const auto& conn : conns_) {
+        // A half-closed peer reports POLLIN/EOF forever; stop asking.
+        short events = conn->peer_closed ? 0 : POLLIN;
+        if (conn->out_sent < conn->outbuf.size()) events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+      }
+      // Finished queries surface via TryGet polling, so idle cadence only
+      // matters while queries are in flight.
+      const int timeout_ms = AnyPendingWork() ? 2 : 250;
+      const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (ready < 0 && errno != EINTR) break;
+
+      size_t fd_index = 0;
+      if (fds[fd_index].revents & POLLIN) {
+        char drain[64];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+      }
+      ++fd_index;
+      if (listen_fd_ >= 0) ++fd_index;  // accept handled at loop top
+      // Map poll results back to connections (same order as built).
+      for (size_t i = 0; i < conns_.size() && fd_index + i < fds.size();
+           ++i) {
+        const short revents = fds[fd_index + i].revents;
+        Conn* conn = conns_[i].get();
+        if (revents & (POLLERR | POLLNVAL)) {
+          conn->outbuf.clear();  // the socket is gone; nothing to flush
+          conn->draining = true;
+          continue;
+        }
+        if (!conn->peer_closed && (revents & (POLLIN | POLLHUP))) {
+          if (ReadConn(conn)) {
+            // Peer EOF. The requester is gone, so its in-flight queries
+            // are cancelled (abandoned work must not outlive its
+            // requester) — but replies already earned by the final burst
+            // (PONGs, inline outcomes) are flushed, not discarded.
+            conn->peer_closed = true;
+            CancelConnQueries(conn);
+            conn->draining = true;
+          }
+        }
+      }
+      for (size_t i = 0; i < conns_.size();) {
+        Conn* conn = conns_[i].get();
+        if (conn->draining && conn->outbuf.empty()) {
+          DropConn(i);
+        } else {
+          ++i;
+        }
+      }
+    }
+    // Loop exit: cancel whatever is still in flight and close every socket
+    // (outcomes of cancelled queries resolve inside the service when it
+    // shuts down with the server).
+    for (auto& conn : conns_) {
+      CancelConnQueries(conn.get());
+      ::close(conn->fd);
+    }
+    conns_.clear();
+    connections_.store(0, std::memory_order_relaxed);
+    zombies_.clear();
+  }
+
+  const ServerOptions options_;
+  MatchService service_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool shutting_down_ = false;  // serving-thread only
+
+  std::vector<std::unique_ptr<Conn>> conns_;  // serving-thread only
+  std::vector<Ticket> zombies_;               // serving-thread only
+  uint64_t finished_seen_ = 0;                // serving-thread only
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cancelled_by_disconnect_{0};
+  std::atomic<uint64_t> inflight_{0};
+
+  std::mutex exit_mutex_;
+  std::condition_variable exit_cv_;
+  bool exited_ = false;
+};
+
+#else  // !HGMATCH_HAVE_SOCKETS
+
+// Stub so the library links on platforms without POSIX sockets; Start()
+// reports the gap instead of failing at compile time.
+class MatchServer::Impl {
+ public:
+  Impl(const IndexedHypergraph&, const ServerOptions&) {}
+  Status Start() {
+    return Status::Internal("hgmatch net requires POSIX sockets");
+  }
+  uint16_t port() const { return 0; }
+  void Wait() {}
+  bool WaitFor(double) { return true; }
+  void Stop() {}
+  WireStats Stats() const { return {}; }
+};
+
+#endif  // HGMATCH_HAVE_SOCKETS
+
+MatchServer::MatchServer(const IndexedHypergraph& data,
+                         const ServerOptions& options)
+    : impl_(std::make_unique<Impl>(data, options)) {}
+
+MatchServer::~MatchServer() = default;
+
+Status MatchServer::Start() { return impl_->Start(); }
+
+uint16_t MatchServer::port() const { return impl_->port(); }
+
+void MatchServer::Wait() { impl_->Wait(); }
+
+bool MatchServer::WaitFor(double seconds) { return impl_->WaitFor(seconds); }
+
+void MatchServer::Stop() { impl_->Stop(); }
+
+WireStats MatchServer::Stats() const { return impl_->Stats(); }
+
+}  // namespace hgmatch

@@ -1,0 +1,101 @@
+#ifndef HGMATCH_NET_SERVER_H_
+#define HGMATCH_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/indexed_hypergraph.h"
+#include "net/protocol.h"
+#include "parallel/service.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Options of the TCP front end.
+struct ServerOptions {
+  /// Listen address. The default binds loopback only — exposing a match
+  /// service beyond the host is a deliberate act (`0.0.0.0`).
+  std::string host = "127.0.0.1";
+
+  /// Listen port; 0 picks an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+
+  /// The backing MatchService configuration. Backpressure lives here:
+  /// service.max_queued_queries bounds the admission backlog, and the
+  /// server relays each shed submission as a kRejected frame.
+  ServiceOptions service;
+
+  /// Accepted connections beyond this are turned away with a kError frame.
+  uint32_t max_connections = 64;
+
+  /// Per-connection output-buffer bound: a peer that submits but never
+  /// reads its replies is dropped (in-flight queries cancelled) once this
+  /// many unsent bytes accumulate, so one stalled client cannot grow
+  /// server memory. Must exceed the largest single frame
+  /// (kMaxWirePayload); outcomes are ~150 bytes each.
+  uint64_t max_connection_buffer = uint64_t{2} * kMaxWirePayload;
+
+  /// Honour kShutdown frames (any connected client may then stop the
+  /// server). Off by default; `hgmatch serve` enables it on request for
+  /// scripted runs (the CLI smoke test drives it).
+  bool allow_remote_shutdown = false;
+};
+
+/// A poll()-based multi-connection TCP server over one MatchService: the
+/// wire front end that turns the library into a servable system. One
+/// serving thread multiplexes the listening socket and every connection
+/// (non-blocking reads/writes, per-connection frame reassembly and output
+/// buffering); query execution itself runs on the service's worker pool,
+/// so a slow client never blocks matching and a heavy query never blocks
+/// the protocol.
+///
+/// Per connection the server keeps a table of in-flight tickets keyed by
+/// the client's request id. Outcomes are delivered as kOutcome frames in
+/// completion order (clients pipeline submissions and match replies by
+/// id); a submission shed by queue-depth backpressure comes back
+/// immediately as kRejected. A connection that drops — cleanly or not —
+/// has all its in-flight queries cancelled: abandoned work never outlives
+/// its requester. A malformed frame gets one kError frame and the same
+/// cancel-and-close treatment.
+///
+/// POSIX-only (poll/sockets); Start() reports Internal elsewhere.
+class MatchServer {
+ public:
+  /// `data` must outlive the server.
+  MatchServer(const IndexedHypergraph& data, const ServerOptions& options);
+
+  /// Stops and joins (cancelling in-flight queries of open connections).
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Binds, listens and launches the serving thread. Call once.
+  Status Start();
+
+  /// The bound port (resolves option port 0); valid after Start().
+  uint16_t port() const;
+
+  /// Blocks until the serving loop exits: Stop(), or a remote shutdown
+  /// when ServerOptions::allow_remote_shutdown is set.
+  void Wait();
+
+  /// Wait with a budget; true when the loop exited within it.
+  bool WaitFor(double seconds);
+
+  /// Stops serving: wakes the loop, cancels in-flight queries, closes
+  /// every socket and joins the thread. Idempotent.
+  void Stop();
+
+  /// Statistics snapshot, equivalent to a kStats round-trip.
+  WireStats Stats() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_NET_SERVER_H_

@@ -1,0 +1,26 @@
+#ifndef HGMATCH_NET_SOCKET_UTIL_H_
+#define HGMATCH_NET_SOCKET_UTIL_H_
+
+// Small shared POSIX socket helpers for the wire front end. Only include
+// from inside a #if-guarded POSIX region (net/server.cc, net/client.cc).
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace hgmatch {
+namespace net_internal {
+
+// send() with SIGPIPE suppressed: a peer that closed mid-write is an
+// ordinary disconnect, not a process-killing signal.
+inline ssize_t SendBytes(int fd, const char* data, size_t size) {
+#ifdef MSG_NOSIGNAL
+  return ::send(fd, data, size, MSG_NOSIGNAL);
+#else
+  return ::send(fd, data, size, 0);
+#endif
+}
+
+}  // namespace net_internal
+}  // namespace hgmatch
+
+#endif  // HGMATCH_NET_SOCKET_UTIL_H_

@@ -55,7 +55,8 @@ BatchResult RunBatch(const IndexedHypergraph& data,
       q.admit_seconds = outcome.admit_seconds;
     }
     if (q.status.ok() && !q.stats.timed_out && !q.stats.limit_hit &&
-        q.outcome != QueryStatus::kCancelled) {
+        q.outcome != QueryStatus::kCancelled &&
+        q.outcome != QueryStatus::kRejected) {
       ++result.completed;
     }
     result.total += q.stats;

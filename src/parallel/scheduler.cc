@@ -1,6 +1,7 @@
 #include "parallel/scheduler.h"
 
 #include <atomic>
+#include <cassert>
 #include <cmath>
 #include <condition_variable>
 #include <deque>
@@ -24,11 +25,14 @@ const char* QueryStatusName(QueryStatus status) {
     case QueryStatus::kLimit: return "limit";
     case QueryStatus::kCancelled: return "cancelled";
     case QueryStatus::kPlanError: return "plan-error";
+    case QueryStatus::kRejected: return "rejected";
   }
   return "unknown";
 }
 
 namespace {
+
+struct QuerySlot;
 
 // Shared per-query state. Tasks are tagged with their context (Task::owner),
 // so counters, limits and deadlines stay exact per query even while tasks of
@@ -48,6 +52,7 @@ namespace {
 // is assembled.
 struct QueryContext {
   uint32_t index = 0;
+  QuerySlot* slot = nullptr;  // owning slot (node-stable in the slot map)
   const QueryPlan* plan = nullptr;
   const EdgeSet* scan_table = nullptr;  // first-step signature table
   EmbeddingSink* sink = nullptr;
@@ -60,6 +65,7 @@ struct QueryContext {
   uint32_t tenant_id = 0;
   int32_t priority = 0;
   double weight = 1.0;
+  double cost = 1.0;  // WFQ admission charge (SubmitOptions::cost)
 
   Deadline deadline;         // per-query budget, armed at admission
   double admit_seconds = 0;  // pool start -> admission
@@ -69,6 +75,13 @@ struct QueryContext {
   double finish_seconds = 0;
   uint64_t admit_index = 0;  // global admission sequence number
   bool seeded = false;
+  // True while a policy waiting-queue entry points at this context; such a
+  // context must stay allocated until the entry is popped even if the query
+  // already resolved (cancelled/rejected while waiting). admit_mutex_.
+  bool in_pending_queue = false;
+  // Shed by the max_queued_queries bound; set before CompleteQuery on the
+  // rejection path (same thread), read only by CompleteQuery.
+  bool rejected = false;
 
   std::atomic<uint64_t> emitted{0};
   std::atomic<int64_t> pending{0};
@@ -82,16 +95,28 @@ struct QueryContext {
   std::atomic<bool> work_dropped{false};
   std::atomic<bool> limit_hit{false};
   std::atomic<bool> cancel_requested{false};
-  std::atomic<bool> finished{false};
 
   // Per-task stat flushes; summed into the outcome when the query finishes.
   std::atomic<uint64_t> embeddings_sum{0};
   std::atomic<uint64_t> candidates_sum{0};
   std::atomic<uint64_t> filtered_sum{0};
   std::atomic<uint64_t> expansions_sum{0};
+};
 
-  // Assembled by CompleteQuery; readable once `finished` is set.
-  QueryOutcome outcome;
+// One submission's bookkeeping slot: the slim outcome record plus (until
+// the query finishes) the heavy execution context. Slots live in a
+// node-based map keyed by submission index, so references are stable while
+// the map grows and individual slots can be erased by Release() — the
+// retention contract of a long-lived streaming service: heavy state is
+// O(in-flight) automatically, slim records are O(not-yet-released).
+struct QuerySlot {
+  std::unique_ptr<QueryContext> ctx;  // reset the moment the query finishes
+  QueryOutcome outcome;               // assembled by CompleteQuery
+  std::atomic<bool> finished{false};
+  // Release() arrived while a pending-queue entry still held ctx (a query
+  // cancelled/rejected while waiting): erase the slot when that entry is
+  // reaped. Guarded by admit_mutex_.
+  bool release_on_reap = false;
 };
 
 }  // namespace
@@ -115,10 +140,10 @@ class Scheduler::Impl {
     // every unfinished query and drain, so the threads can be joined.
     {
       std::lock_guard<std::mutex> lock(admit_mutex_);
-      for (auto& q : queries_) {
-        if (!q->finished.load(std::memory_order_acquire)) {
-          q->cancel_requested.store(true, std::memory_order_relaxed);
-          q->stop.store(true, std::memory_order_relaxed);
+      for (auto& [index, slot] : queries_) {
+        if (!slot.finished.load(std::memory_order_acquire)) {
+          slot.ctx->cancel_requested.store(true, std::memory_order_relaxed);
+          slot.ctx->stop.store(true, std::memory_order_relaxed);
         }
       }
     }
@@ -127,17 +152,26 @@ class Scheduler::Impl {
   }
 
   uint32_t Submit(const QueryPlan* plan, const SubmitOptions& so) {
+    // Compiler-stamped plans only: uid 0 would collide with the workers'
+    // empty-expander-cache sentinel and alias distinct plans in the
+    // uid-keyed expander maps.
+    assert(plan->uid != 0 && "submit plans built by BuildQueryPlan");
     std::lock_guard<std::mutex> lock(admit_mutex_);
+    const uint32_t index = next_query_index_++;
+    QuerySlot& slot = queries_[index];
     auto ctx = std::make_unique<QueryContext>();
-    ctx->index = static_cast<uint32_t>(queries_.size());
+    ctx->index = index;
+    ctx->slot = &slot;
     ctx->plan = plan;
     ctx->sink = so.sink;
     ctx->tenant_id = so.tenant_id;
     ctx->priority = so.priority;
     // A non-finite weight would zero the tenant's virtual-time increment
-    // and starve every other tenant; fall back to the neutral share.
+    // and starve every other tenant; fall back to the neutral share. The
+    // cost charge gets the same protection.
     ctx->weight =
         (so.weight > 0 && std::isfinite(so.weight)) ? so.weight : 1.0;
+    ctx->cost = (so.cost > 0 && std::isfinite(so.cost)) ? so.cost : 1.0;
     ctx->timeout_seconds = so.timeout_seconds < 0
                                ? options_.parallel.timeout_seconds
                                : so.timeout_seconds;
@@ -151,14 +185,34 @@ class Scheduler::Impl {
       ctx->scan_table = &first->edges();
     }
     QueryContext* raw = ctx.get();
-    queries_.push_back(std::move(ctx));
+    slot.ctx = std::move(ctx);
     submitted_count_.fetch_add(1, std::memory_order_relaxed);
+
+    // Queue-depth backpressure: once the pool runs, the waiting queue is
+    // non-empty only while the admission window is full (AdmitLocked drains
+    // it otherwise), so "window full and the queue at its bound" means this
+    // submission could only wait — shed it instead of queueing, before it
+    // costs any queue memory. Resolved synchronously: the caller observes
+    // kRejected from the returned index immediately.
+    const uint32_t window = options_.max_inflight_queries;
+    if (threads_running_ && options_.max_queued_queries != 0 &&
+        window != 0 && inflight_ >= window &&
+        queued_count_ - queued_corpses_ >= options_.max_queued_queries) {
+      raw->rejected = true;
+      raw->admit_index = admit_seq_++;
+      raw->admit_seconds = raw->finish_seconds = wall_.ElapsedSeconds();
+      rejected_count_.fetch_add(1, std::memory_order_relaxed);
+      CompleteQuery(raw);
+      RecycleContextLocked(raw);
+      return index;
+    }
+
     EnqueuePendingLocked(raw);
     if (threads_running_) {
       AdmitLocked(nullptr);
       idle_cv_.notify_all();
     }
-    return raw->index;
+    return index;
   }
 
   void Start() {
@@ -204,8 +258,22 @@ class Scheduler::Impl {
     joined_ = true;
 
     SchedulerReport report;
-    report.queries.reserve(queries_.size());
-    for (auto& q : queries_) report.queries.push_back(q->outcome);
+    {
+      // Sized to the highest *retained* index: batch-style users never
+      // release, so they get the full dense vector; a streaming service
+      // that released every retrieved outcome gets a (near-)empty one
+      // instead of an O(ever-submitted) allocation at shutdown. Released
+      // slots below the highest retained index read default-initialised.
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      uint32_t dense_size = 0;
+      for (auto& [index, slot] : queries_) {
+        dense_size = std::max(dense_size, index + 1);
+      }
+      report.queries.resize(dense_size);
+      for (auto& [index, slot] : queries_) {
+        report.queries[index] = slot.outcome;
+      }
+    }
     // Conservation of the spawn counter: SCAN seeds injected by external
     // submitter threads have no worker to account them to.
     if (!workers_.empty()) {
@@ -225,8 +293,11 @@ class Scheduler::Impl {
 
   bool Cancel(uint32_t query) {
     std::unique_lock<std::mutex> lock(admit_mutex_);
-    QueryContext* ctx = queries_[query].get();
-    if (ctx->finished.load(std::memory_order_acquire)) return false;
+    auto it = queries_.find(query);
+    if (it == queries_.end()) return false;  // released: long finished
+    QuerySlot& slot = it->second;
+    if (slot.finished.load(std::memory_order_acquire)) return false;
+    QueryContext* ctx = slot.ctx.get();
     ctx->cancel_requested.store(true, std::memory_order_relaxed);
     ctx->stop.store(true, std::memory_order_relaxed);
     if (!ctx->seeded) {
@@ -239,24 +310,102 @@ class Scheduler::Impl {
       ctx->admit_seconds = ctx->finish_seconds =
           started_ ? wall_.ElapsedSeconds() : 0;
       CompleteQuery(ctx);
+      if (ctx->in_pending_queue) {
+        // Its queue entry is now a corpse: it still occupies the policy
+        // structure until popped, but must no longer count against the
+        // max_queued_queries backpressure bound.
+        ++queued_corpses_;
+      } else {
+        RecycleContextLocked(ctx);
+      }
       if (threads_running_) AdmitLocked(nullptr);
     }
     return true;
   }
 
   const QueryOutcome& WaitQuery(uint32_t query) {
-    QueryContext* ctx = ContextFor(query);
+    QuerySlot* slot = SlotFor(query);
+    if (slot == nullptr) {
+      // Waiting on a Release()d query is a contract violation (retrieval
+      // and release must be serialised by the caller); fail soft with an
+      // empty outcome rather than dereferencing a dead slot.
+      static const QueryOutcome kReleased{};
+      return kReleased;
+    }
     std::unique_lock<std::mutex> lock(finish_mutex_);
-    finish_cv_.wait(lock, [ctx] {
-      return ctx->finished.load(std::memory_order_acquire);
+    finish_cv_.wait(lock, [slot] {
+      return slot->finished.load(std::memory_order_acquire);
     });
-    return ctx->outcome;
+    return slot->outcome;
+  }
+
+  const QueryOutcome* WaitQueryFor(uint32_t query, double seconds) {
+    QuerySlot* slot = SlotFor(query);
+    if (slot == nullptr) return nullptr;
+    std::unique_lock<std::mutex> lock(finish_mutex_);
+    const bool done = finish_cv_.wait_for(
+        lock, std::chrono::duration<double>(seconds > 0 ? seconds : 0),
+        [slot] { return slot->finished.load(std::memory_order_acquire); });
+    return done ? &slot->outcome : nullptr;
   }
 
   const QueryOutcome* TryGetQuery(uint32_t query) {
-    QueryContext* ctx = ContextFor(query);
-    if (!ctx->finished.load(std::memory_order_acquire)) return nullptr;
-    return &ctx->outcome;
+    QuerySlot* slot = SlotFor(query);
+    if (slot == nullptr) return nullptr;
+    if (!slot->finished.load(std::memory_order_acquire)) return nullptr;
+    return &slot->outcome;
+  }
+
+  bool Release(uint32_t query) {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    auto it = queries_.find(query);
+    if (it == queries_.end()) return false;
+    if (!it->second.finished.load(std::memory_order_acquire)) return false;
+    if (it->second.ctx != nullptr) {
+      // The heavy context is still referenced — by a pending-queue corpse
+      // (query cancelled/rejected while waiting) or by the worker that is
+      // mid-way through its finish path; the slot follows the context out
+      // when it is reaped.
+      if (it->second.release_on_reap) return false;  // already released
+      it->second.release_on_reap = true;
+      return true;
+    }
+    queries_.erase(it);
+    return true;
+  }
+
+  void RetirePlan(uint64_t plan_uid) {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    retired_plans_.push_back(plan_uid);
+    // Trim the retire log to what the slowest worker has not consumed yet,
+    // so it does not grow with ever-retired plans.
+    uint64_t min_seen = retired_base_ + retired_plans_.size();
+    for (auto& w : workers_) min_seen = std::min(min_seen, w->retire_seen);
+    while (retired_base_ < min_seen && !retired_plans_.empty()) {
+      retired_plans_.pop_front();
+      ++retired_base_;
+    }
+    retired_version_.fetch_add(1, std::memory_order_release);
+  }
+
+  size_t LiveContexts() {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    size_t live = 0;
+    for (auto& [index, slot] : queries_) live += slot.ctx != nullptr;
+    return live;
+  }
+
+  size_t RetainedSlots() {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    return queries_.size();
+  }
+
+  uint64_t RejectedCount() const {
+    return rejected_count_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t FinishedCount() const {
+    return finished_count_.load(std::memory_order_acquire);
   }
 
   void WaitIdle() {
@@ -285,10 +434,17 @@ class Scheduler::Impl {
     MatchStats task_stats;
     // Sparse per-plan expanders with a one-entry cache that skips the hash
     // lookup on the common task runs of one plan (LIFO scheduling keeps
-    // runs long).
-    std::unordered_map<const QueryPlan*, std::unique_ptr<Expander>> expanders;
-    const QueryPlan* expander_key = nullptr;
+    // runs long). Keyed by QueryPlan::uid, never by address: a retired
+    // plan's freed memory being reused for a new plan must not alias its
+    // cached state.
+    std::unordered_map<uint64_t, std::unique_ptr<Expander>> expanders;
+    uint64_t expander_key = 0;  // uids are 1-based; 0 never matches
     Expander* expander_cache = nullptr;
+    // Count of RetirePlan() entries this worker has consumed (absolute
+    // position in the retire log; guarded by admit_mutex_) and the last
+    // retire-log version observed (worker-local fast-path check).
+    uint64_t retire_seen = 0;
+    uint64_t retire_seen_version = 0;
     WorkerReport report;
     uint64_t poll_counter = 0;
   };
@@ -297,21 +453,39 @@ class Scheduler::Impl {
     return static_cast<QueryContext*>(t->owner);
   }
 
-  QueryContext* ContextFor(uint32_t query) {
-    // queries_ may be reallocated by a concurrent Submit; the contexts
-    // themselves are heap-stable.
+  QuerySlot* SlotFor(uint32_t query) {
+    // The slot map grows under admit_mutex_; slots are node-stable.
     std::lock_guard<std::mutex> lock(admit_mutex_);
-    return queries_[query].get();
+    auto it = queries_.find(query);
+    return it == queries_.end() ? nullptr : &it->second;
   }
 
   Expander* ExpanderFor(Worker* w, QueryContext* ctx) {
-    if (w->expander_key != ctx->plan) {
-      auto& slot = w->expanders[ctx->plan];
+    const uint64_t uid = ctx->plan->uid;
+    if (w->expander_key != uid) {
+      auto& slot = w->expanders[uid];
       if (slot == nullptr) slot = std::make_unique<Expander>(data_, *ctx->plan);
-      w->expander_key = ctx->plan;
+      w->expander_key = uid;
       w->expander_cache = slot.get();
     }
     return w->expander_cache;
+  }
+
+  // Drops this worker's cached expanders for every plan retired since the
+  // worker last looked. Runs on the worker's own state, so the map mutation
+  // is single-threaded; the retire log itself is read under admit_mutex_.
+  void ReapRetiredPlans(Worker* w) {
+    std::lock_guard<std::mutex> lock(admit_mutex_);
+    const uint64_t end = retired_base_ + retired_plans_.size();
+    for (uint64_t i = std::max(w->retire_seen, retired_base_); i < end; ++i) {
+      const uint64_t uid = retired_plans_[i - retired_base_];
+      w->expanders.erase(uid);
+      if (w->expander_key == uid) {
+        w->expander_key = 0;
+        w->expander_cache = nullptr;
+      }
+    }
+    w->retire_seen = end;
   }
 
   // Grows the per-depth buffers up front so no reference into valid_at is
@@ -329,12 +503,12 @@ class Scheduler::Impl {
     w->deque.Push(t);
   }
 
-  // Assembles the final outcome of a finished query and publishes it. The
-  // caller guarantees single-writer access (either the worker that retired
-  // the query's last task, or a thread holding admit_mutex_ for a query
-  // that never seeded).
+  // Assembles the final outcome of a finished query and publishes it into
+  // the query's slim slot. The caller guarantees single-writer access
+  // (either the worker that retired the query's last task, or a thread
+  // holding admit_mutex_ for a query that never seeded).
   void CompleteQuery(QueryContext* ctx) {
-    QueryOutcome& out = ctx->outcome;
+    QueryOutcome& out = ctx->slot->outcome;
     out.stats.embeddings = ctx->embeddings_sum.load(std::memory_order_relaxed);
     out.stats.candidates = ctx->candidates_sum.load(std::memory_order_relaxed);
     out.stats.filtered = ctx->filtered_sum.load(std::memory_order_relaxed);
@@ -345,7 +519,9 @@ class Scheduler::Impl {
         ctx->work_dropped.load(std::memory_order_relaxed);
     out.stats.seconds =
         ctx->seeded ? ctx->finish_seconds - ctx->admit_seconds : 0;
-    if (ctx->cancel_requested.load(std::memory_order_relaxed)) {
+    if (ctx->rejected) {
+      out.status = QueryStatus::kRejected;
+    } else if (ctx->cancel_requested.load(std::memory_order_relaxed)) {
       out.status = QueryStatus::kCancelled;
     } else if (out.stats.timed_out) {
       out.status = QueryStatus::kTimeout;
@@ -357,12 +533,27 @@ class Scheduler::Impl {
     out.admit_seconds = ctx->admit_seconds;
     out.finish_seconds = ctx->finish_seconds;
     out.admit_index = ctx->admit_index;
-    finished_count_.fetch_add(1, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(finish_mutex_);
-      ctx->finished.store(true, std::memory_order_release);
+      ctx->slot->finished.store(true, std::memory_order_release);
+      // Count strictly after the flag: an observer of the advanced count
+      // must find the outcome retrievable, or a count-gated poller (the
+      // wire server) could sweep too early and then never re-check. Under
+      // finish_mutex_ so WaitIdle's predicate cannot miss its wakeup.
+      finished_count_.fetch_add(1, std::memory_order_release);
     }
     finish_cv_.notify_all();
+  }
+
+  // Frees the heavy context of a finished query (bounded retention: heavy
+  // state lives exactly as long as the query). Callers hold admit_mutex_
+  // and guarantee the query finished and no pending-queue entry points at
+  // the context. Invalidates ctx.
+  void RecycleContextLocked(QueryContext* ctx) {
+    QuerySlot* slot = ctx->slot;
+    const uint32_t index = ctx->index;
+    slot->ctx.reset();
+    if (slot->release_on_reap) queries_.erase(index);
   }
 
   void Finish(Worker* w, Task* t) {
@@ -379,6 +570,7 @@ class Scheduler::Impl {
       std::lock_guard<std::mutex> lock(admit_mutex_);
       --inflight_;
       AdmitLocked(w);
+      RecycleContextLocked(ctx);  // frees ctx; must stay the last use
     }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -389,6 +581,7 @@ class Scheduler::Impl {
   // hold admit_mutex_.
   void EnqueuePendingLocked(QueryContext* ctx) {
     ++queued_count_;
+    ctx->in_pending_queue = true;
     switch (options_.admission) {
       case AdmissionPolicy::kFifo:
         fifo_pending_.push_back(ctx);
@@ -433,28 +626,59 @@ class Scheduler::Impl {
           // the tenant whose head query was submitted first, so the order
           // is deterministic regardless of map iteration order.
           TenantState* best = nullptr;
+          uint32_t best_tenant = 0;
           for (auto& [tenant, ts] : tenants_) {
             if (ts.queue.empty()) continue;
             if (best == nullptr || ts.vtime < best->vtime ||
                 (ts.vtime == best->vtime &&
                  ts.queue.front()->index < best->queue.front()->index)) {
               best = &ts;
+              best_tenant = tenant;
             }
           }
           if (best == nullptr) return nullptr;  // queued_count_ says otherwise
           ctx = best->queue.front();
           best->queue.pop_front();
-          if (!ctx->finished.load(std::memory_order_acquire)) {
-            // Charge the tenant only for queries that actually advance.
+          if (!ctx->slot->finished.load(std::memory_order_acquire)) {
+            // Charge the tenant only for queries that actually advance, by
+            // the query's admission cost (cost-aware WFQ: the service sets
+            // cost to the plan's measured task count; 1 when unknown).
             global_vtime_ = best->vtime;
-            best->vtime += 1.0 / ctx->weight;
+            best->vtime += ctx->cost / ctx->weight;
+          }
+          // Bounded tenant state: a drained tenant whose virtual time is
+          // not ahead of the global clock would re-enter at the global
+          // clock anyway (start-time fair queueing), so its entry is pure
+          // reconstructible state — drop it, keeping the map sized by
+          // active tenants instead of every tenant id ever seen (a remote
+          // client can mint ids freely). A tenant still "in debt" (vtime
+          // ahead of global) keeps its entry until the clock catches up,
+          // so bursting and rejoining cannot shed the debt. O(1) targeted
+          // check per pop; drained-in-debt stragglers are reaped by an
+          // amortised sweep when the map has doubled.
+          if (best->queue.empty() && best->vtime <= global_vtime_) {
+            tenants_.erase(best_tenant);
+          }
+          if (tenants_.size() >= 16 &&
+              tenants_.size() >= 2 * last_tenant_sweep_size_) {
+            std::erase_if(tenants_, [this](const auto& entry) {
+              return entry.second.queue.empty() &&
+                     entry.second.vtime <= global_vtime_;
+            });
+            last_tenant_sweep_size_ = tenants_.size();
           }
           break;
         }
       }
       if (ctx == nullptr) return nullptr;  // unreachable: switch is exhaustive
       --queued_count_;
-      if (!ctx->finished.load(std::memory_order_acquire)) return ctx;
+      ctx->in_pending_queue = false;
+      if (!ctx->slot->finished.load(std::memory_order_acquire)) return ctx;
+      // Reap a corpse: the query resolved (cancelled while waiting) before
+      // being popped; its heavy context was kept alive only for this
+      // pointer.
+      --queued_corpses_;
+      RecycleContextLocked(ctx);
     }
     return nullptr;
   }
@@ -515,12 +739,14 @@ class Scheduler::Impl {
         }
         ctx->finish_seconds = ctx->admit_seconds;
         CompleteQuery(ctx);
+        RecycleContextLocked(ctx);
         continue;
       }
       if (ctx->scan_table == nullptr) {
         // Nothing matches the first step: done at admission.
         ctx->finish_seconds = ctx->admit_seconds;
         CompleteQuery(ctx);
+        RecycleContextLocked(ctx);
         continue;
       }
       ctx->seeded = true;
@@ -559,10 +785,10 @@ class Scheduler::Impl {
       // queries_ grows under admit_mutex_ in streaming mode, so the
       // once-per-run sweep over it takes the lock.
       std::lock_guard<std::mutex> lock(admit_mutex_);
-      for (auto& c : queries_) {
-        if (c->finished.load(std::memory_order_acquire)) continue;
-        c->timeout_fired.store(true, std::memory_order_relaxed);
-        c->stop.store(true, std::memory_order_relaxed);
+      for (auto& [index, slot] : queries_) {
+        if (slot.finished.load(std::memory_order_acquire)) continue;
+        slot.ctx->timeout_fired.store(true, std::memory_order_relaxed);
+        slot.ctx->stop.store(true, std::memory_order_relaxed);
       }
     }
   }
@@ -748,6 +974,12 @@ class Scheduler::Impl {
           all_admitted_.load(std::memory_order_acquire)) {
         break;
       }
+      if (retired_version_.load(std::memory_order_acquire) !=
+          w->retire_seen_version) {
+        w->retire_seen_version =
+            retired_version_.load(std::memory_order_acquire);
+        ReapRetiredPlans(w);
+      }
       Task* t = nullptr;
       if (!w->deque.Pop(&t)) {
         // Freshly injected seed ranges first (they spread a newly admitted
@@ -779,7 +1011,11 @@ class Scheduler::Impl {
   Deadline batch_deadline_;
   Timer wall_;
 
-  std::vector<std::unique_ptr<QueryContext>> queries_;  // admit_mutex_
+  // Slot map of every not-yet-released submission, keyed by submission
+  // index (indices are never reused). Node-based so slot references stay
+  // valid while it grows and shrinks. Guarded by admit_mutex_.
+  std::unordered_map<uint32_t, QuerySlot> queries_;
+  uint32_t next_query_index_ = 0;  // admit_mutex_
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   bool started_ = false;
@@ -790,6 +1026,7 @@ class Scheduler::Impl {
   bool sealed_ = false;            // guarded by admit_mutex_
   uint32_t inflight_ = 0;          // guarded by admit_mutex_
   size_t queued_count_ = 0;        // entries across the policy structures
+  size_t queued_corpses_ = 0;      // of which: already resolved (cancelled)
   uint64_t admit_seq_ = 0;         // guarded by admit_mutex_
   uint64_t external_spawned_ = 0;  // guarded by admit_mutex_
   std::deque<QueryContext*> fifo_pending_;               // admit_mutex_
@@ -800,9 +1037,17 @@ class Scheduler::Impl {
     std::deque<QueryContext*> queue;
   };
   std::unordered_map<uint32_t, TenantState> tenants_;    // admit_mutex_
+  size_t last_tenant_sweep_size_ = 0;                    // admit_mutex_
   double global_vtime_ = 0;                              // admit_mutex_
   std::deque<Task*> inject_;  // mid-run SCAN seeds, guarded by admit_mutex_
   std::atomic<int64_t> inject_size_{0};
+  // Retire log of plan uids whose cached per-worker state is obsolete;
+  // workers consume it lazily (ReapRetiredPlans). Trimmed to the slowest
+  // worker. Guarded by admit_mutex_; the version is the lock-free signal.
+  std::deque<uint64_t> retired_plans_;
+  uint64_t retired_base_ = 0;
+  std::atomic<uint64_t> retired_version_{0};
+  std::atomic<uint64_t> rejected_count_{0};
   std::atomic<bool> all_admitted_{false};
   std::atomic<int64_t> pending_{0};
   std::atomic<bool> batch_expired_{false};
@@ -848,9 +1093,25 @@ const QueryOutcome& Scheduler::WaitQuery(uint32_t query) {
   return impl_->WaitQuery(query);
 }
 
+const QueryOutcome* Scheduler::WaitQueryFor(uint32_t query, double seconds) {
+  return impl_->WaitQueryFor(query, seconds);
+}
+
 const QueryOutcome* Scheduler::TryGetQuery(uint32_t query) {
   return impl_->TryGetQuery(query);
 }
+
+bool Scheduler::Release(uint32_t query) { return impl_->Release(query); }
+
+void Scheduler::RetirePlan(uint64_t plan_uid) { impl_->RetirePlan(plan_uid); }
+
+size_t Scheduler::LiveContexts() { return impl_->LiveContexts(); }
+
+size_t Scheduler::RetainedSlots() { return impl_->RetainedSlots(); }
+
+uint64_t Scheduler::RejectedCount() const { return impl_->RejectedCount(); }
+
+uint64_t Scheduler::FinishedCount() const { return impl_->FinishedCount(); }
 
 void Scheduler::WaitIdle() { impl_->WaitIdle(); }
 

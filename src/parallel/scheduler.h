@@ -41,6 +41,15 @@ struct SchedulerOptions {
   /// Order in which waiting queries are admitted (see AdmissionPolicy).
   AdmissionPolicy admission = AdmissionPolicy::kFifo;
 
+  /// Queue-depth backpressure: upper bound on queries *waiting* for
+  /// admission while the pool is running. A Submit() that arrives when the
+  /// admission window is full and this many queries are already waiting
+  /// resolves immediately with QueryStatus::kRejected instead of queueing
+  /// (load shedding — the caller may retry once the backlog drains).
+  /// 0 = unbounded. Queries submitted before Start() (the frozen-batch
+  /// collection phase) are never shed.
+  uint32_t max_queued_queries = 0;
+
   /// Per-query fairness quota: when a query already has at least this many
   /// live (queued or executing) tasks, new expansions of that query are run
   /// inline depth-first instead of being queued, so one expensive query
@@ -121,10 +130,12 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Registers one query. `plan` must outlive the query; `options.sink` may
-  /// be null (count only). Thread-safe after Start(); must not be called
-  /// after Seal(). Returns the query's index (also its index into
-  /// SchedulerReport::queries).
+  /// Registers one query. `plan` must outlive the query and must come from
+  /// BuildQueryPlan/BuildQueryPlanWithOrder (its uid stamps the per-worker
+  /// expander cache; a hand-assembled plan with uid 0 is rejected by
+  /// assertion). `options.sink` may be null (count only). Thread-safe
+  /// after Start(); must not be called after Seal(). Returns the query's
+  /// index (also its index into SchedulerReport::queries).
   uint32_t Submit(const QueryPlan* plan, const SubmitOptions& options);
 
   /// Back-compat convenience: Submit with default options and this sink.
@@ -155,12 +166,54 @@ class Scheduler {
   bool Cancel(uint32_t query);
 
   /// Blocks until the query finishes and returns its outcome. The
-  /// reference stays valid for the scheduler's lifetime. Thread-safe; may
+  /// reference stays valid until the query is Release()d (or for the
+  /// scheduler's lifetime when Release is never called). Thread-safe; may
   /// be called before, during or after Join().
   const QueryOutcome& WaitQuery(uint32_t query);
 
+  /// Bounded WaitQuery: blocks for at most `seconds` and returns null if
+  /// the query was still unfinished when the budget expired. Thread-safe.
+  const QueryOutcome* WaitQueryFor(uint32_t query, double seconds);
+
   /// Non-blocking WaitQuery: null until the query finishes.
   const QueryOutcome* TryGetQuery(uint32_t query);
+
+  /// Recycles a finished query's outcome slot once the caller has copied
+  /// everything it needs: after Release the index is permanently invalid
+  /// (indices are never reused) and the query appears default-initialised
+  /// in SchedulerReport::queries. Returns false when the query is unknown,
+  /// already released or not yet finished. Must not race with
+  /// WaitQuery/WaitQueryFor/TryGetQuery on the same query — the caller
+  /// serialises retrieval against release (the service layer does).
+  ///
+  /// The *heavy* per-query state (task context, deadline, atomics) is
+  /// recycled automatically the moment a query finishes, independent of
+  /// Release; Release additionally drops the slim outcome record, keeping a
+  /// long-lived streaming scheduler O(in-flight), not O(ever-submitted).
+  bool Release(uint32_t query);
+
+  /// Declares that no further queries will ever be submitted for the plan
+  /// with this uid (QueryPlan::uid): workers lazily drop their cached
+  /// per-plan expansion state. Call before freeing a plan whose queries all
+  /// finished; without it, per-worker state grows with distinct plans.
+  void RetirePlan(uint64_t plan_uid);
+
+  /// Diagnostics: number of heavy per-query contexts currently allocated
+  /// (in-flight + waiting queries). Bounded by the admission window plus
+  /// the waiting queue at any instant.
+  size_t LiveContexts();
+
+  /// Diagnostics: number of (slim) per-query outcome slots retained, i.e.
+  /// submissions not yet Release()d.
+  size_t RetainedSlots();
+
+  /// Total submissions shed by the max_queued_queries bound so far.
+  uint64_t RejectedCount() const;
+
+  /// Monotonic count of queries that have finished (any terminal status).
+  /// Cheap (one atomic load): pollers can skip scanning for outcomes while
+  /// it has not advanced.
+  uint64_t FinishedCount() const;
 
   /// Blocks until every query submitted so far has finished (the pool may
   /// stay up for more submissions). Thread-safe.

@@ -1,5 +1,6 @@
 #include "parallel/service.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <string>
@@ -53,8 +54,12 @@ namespace internal {
 //  * executed:  sched_index valid — the query ran (or runs) on the pool;
 //  * mirror:    canonical set — a sink-less structural repeat that copies
 //               the canonical execution's outcome instead of running;
-//  * rejected:  plan_status not-ok — failed planning or submitted after
+//  * failed:    plan_status not-ok — failed planning or submitted after
 //               Shutdown; resolved immediately.
+// Once resolved, the record is the slim, self-contained outcome store: the
+// scheduler slot behind it is released (and, for plan-cache-off
+// submissions, the compiled plan retired and freed), so a record costs the
+// scheduler nothing after its outcome was first retrieved.
 struct QueryRecord {
   ServiceImpl* service = nullptr;
   uint64_t id = 0;
@@ -62,6 +67,20 @@ struct QueryRecord {
   uint32_t sched_index = kNotScheduled;
   std::shared_ptr<QueryRecord> canonical;
   Hypergraph owned_query;  // keeps the plan's query alive for owning submits
+  // Plan-cache-off submissions own their plan; retired + freed at
+  // resolution (cached plans instead live in ServiceImpl::plans_ for the
+  // service lifetime, bounded by distinct query structures).
+  std::unique_ptr<QueryPlan> owned_plan;
+  // Cost tracker of this record's plan-cache entry: latest measured task
+  // count of a completed run of the plan (0 = not yet measured). Written at
+  // resolution, read at later submissions for cost-aware WFQ charging.
+  std::shared_ptr<std::atomic<uint64_t>> plan_cost;
+
+  // Threads currently blocked inside scheduler_.WaitQuery[For] on this
+  // record's slot; the slot may only be released when none are (guarded by
+  // resolve_mutex_, like `released`).
+  int waiters = 0;
+  bool released = false;
 
   std::atomic<bool> resolved{false};
   QueryOutcome outcome;  // valid once `resolved`
@@ -111,31 +130,32 @@ class ServiceImpl {
       }
     }
     scheduler_.Seal();
-    SchedulerReport sr = scheduler_.Join();
+    scheduler_.WaitIdle();
     {
       // Resolve every outstanding ticket from the final outcomes so that
       // Wait/TryGet after Shutdown are pure reads (tickets then work even
-      // while the service is being torn down). resolve_mutex_ fences the
-      // loop against a concurrent Ticket::Wait resolving the same record.
+      // while the service is being torn down), and so their slots are
+      // released *before* Join assembles its report — a long-lived service
+      // then shuts down without materialising an O(ever-submitted)
+      // outcome vector. resolve_mutex_ fences the loop against a
+      // concurrent Ticket::Wait resolving the same record.
       std::lock_guard<std::mutex> lock(mutex_);
       std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
-      for (auto& rec : records_) {
-        if (rec->resolved.load(std::memory_order_acquire)) continue;
-        const QueryRecord* source =
-            rec->canonical != nullptr ? rec->canonical.get() : rec.get();
-        rec->outcome = sr.queries[source->sched_index];
-        rec->outcome.mirrored = rec->canonical != nullptr;
-        rec->resolved.store(true, std::memory_order_release);
-      }
+      for (auto& rec : records_) ResolveFinishedLocked(rec.get());
+    }
+    SchedulerReport sr = scheduler_.Join();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
       report_.workers = std::move(sr.workers);
       report_.peak_task_bytes = sr.peak_task_bytes;
       report_.seconds = sr.seconds;
       report_.submitted = submitted_;
       report_.executed = executed_;
       report_.mirrored = mirrored_;
+      report_.rejected = scheduler_.RejectedCount();
       report_.plan_errors = plan_errors_;
       report_.plan_cache_hits = plan_cache_hits_;
-      report_.unique_plans = plans_.size();
+      report_.unique_plans = unique_plans_;
     }
     shut_down_.store(true, std::memory_order_release);
     return report_;
@@ -143,45 +163,105 @@ class ServiceImpl {
 
   uint32_t num_threads() const { return scheduler_.num_threads(); }
 
+  uint64_t finished_queries() const { return scheduler_.FinishedCount(); }
+
   // ------------------------------------------------- ticket entry points --
 
   const QueryOutcome& Wait(QueryRecord* rec) {
-    if (rec->resolved.load(std::memory_order_acquire)) return rec->outcome;
-    const QueryRecord* source =
-        rec->canonical != nullptr ? rec->canonical.get() : rec;
-    const QueryOutcome& out = scheduler_.WaitQuery(source->sched_index);
+    if (rec->canonical != nullptr) {
+      // Mirrors resolve from their canonical *record* (never from the
+      // scheduler: the canonical's slot may already be released).
+      const QueryOutcome& canonical_out = Wait(rec->canonical.get());
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (!rec->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(rec, canonical_out);
+      }
+      return rec->outcome;
+    }
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (rec->resolved.load(std::memory_order_acquire)) return rec->outcome;
+      ++rec->waiters;  // blocks slot release while we wait on it
+    }
+    const QueryOutcome& out = scheduler_.WaitQuery(rec->sched_index);
     std::lock_guard<std::mutex> lock(resolve_mutex_);
+    --rec->waiters;
     if (!rec->resolved.load(std::memory_order_acquire)) {
-      rec->outcome = out;
-      rec->outcome.mirrored = rec->canonical != nullptr;
-      rec->resolved.store(true, std::memory_order_release);
+      ResolveLocked(rec, out);
+    } else {
+      MaybeReleaseLocked(rec);  // we may have been the last waiter
     }
     return rec->outcome;
   }
 
+  const QueryOutcome* WaitFor(QueryRecord* rec, double timeout_seconds) {
+    if (rec->canonical != nullptr) {
+      const QueryOutcome* canonical_out =
+          WaitFor(rec->canonical.get(), timeout_seconds);
+      if (canonical_out == nullptr) return nullptr;
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (!rec->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(rec, *canonical_out);
+      }
+      return &rec->outcome;
+    }
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
+      ++rec->waiters;
+    }
+    const QueryOutcome* out =
+        scheduler_.WaitQueryFor(rec->sched_index, timeout_seconds);
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    --rec->waiters;
+    if (out != nullptr && !rec->resolved.load(std::memory_order_acquire)) {
+      ResolveLocked(rec, *out);
+    } else {
+      MaybeReleaseLocked(rec);
+    }
+    return rec->resolved.load(std::memory_order_acquire) ? &rec->outcome
+                                                         : nullptr;
+  }
+
   const QueryOutcome* TryGet(QueryRecord* rec) {
     if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
-    const QueryRecord* source =
-        rec->canonical != nullptr ? rec->canonical.get() : rec;
-    if (scheduler_.TryGetQuery(source->sched_index) == nullptr) return nullptr;
-    return &Wait(rec);  // finished: resolve without blocking
+    if (rec->canonical != nullptr) {
+      const QueryOutcome* canonical_out = TryGet(rec->canonical.get());
+      if (canonical_out == nullptr) return nullptr;
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (!rec->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(rec, *canonical_out);
+      }
+      return &rec->outcome;
+    }
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
+    // Safe against release: releases happen under resolve_mutex_, which we
+    // hold, and this record's slot is unreleased (it is unresolved).
+    const QueryOutcome* out = scheduler_.TryGetQuery(rec->sched_index);
+    if (out == nullptr) return nullptr;
+    ResolveLocked(rec, *out);
+    return &rec->outcome;
   }
 
   bool Cancel(QueryRecord* rec) {
     if (rec->resolved.load(std::memory_order_acquire)) return false;
     if (rec->canonical == nullptr) {
+      // Resolution (and slot release) happens when the outcome is next
+      // retrieved; a released slot reports false here (long finished).
       return scheduler_.Cancel(rec->sched_index);
     }
     // Mirror: if the canonical execution already finished, the mirror is
     // (about to be) resolved from it — too late to cancel; otherwise the
     // mirror detaches and resolves as cancelled, leaving the canonical
     // execution (and any sibling mirrors) untouched.
-    if (scheduler_.TryGetQuery(rec->canonical->sched_index) != nullptr) {
-      Wait(rec);
-      return false;
-    }
+    const QueryOutcome* canonical_out = TryGet(rec->canonical.get());
     std::lock_guard<std::mutex> lock(resolve_mutex_);
     if (rec->resolved.load(std::memory_order_acquire)) return false;
+    if (canonical_out != nullptr) {
+      ResolveLocked(rec, *canonical_out);
+      return false;
+    }
     rec->outcome = QueryOutcome{};
     rec->outcome.status = QueryStatus::kCancelled;
     rec->outcome.mirrored = true;
@@ -195,9 +275,66 @@ class ServiceImpl {
     so.parallel = o.parallel;
     so.admission = o.admission;
     so.max_inflight_queries = o.max_inflight_queries;
+    so.max_queued_queries = o.max_queued_queries;
     so.task_quota = o.task_quota;
     so.batch_timeout_seconds = o.run_timeout_seconds;
     return so;
+  }
+
+  // Stores `out` as the record's final outcome and releases whatever the
+  // record still pins: its scheduler slot (once no Wait is blocked on it)
+  // and, for plan-cache-off submissions, the compiled plan. Also feeds the
+  // measured task count back into the plan-cache cost tracker (cost-aware
+  // WFQ). Callers hold resolve_mutex_ and guarantee !rec->resolved.
+  void ResolveLocked(QueryRecord* rec, const QueryOutcome& out) {
+    rec->outcome = out;
+    rec->outcome.mirrored = rec->canonical != nullptr;
+    if (rec->plan_cost != nullptr && rec->canonical == nullptr &&
+        out.status == QueryStatus::kOk) {
+      // Only complete runs measure the plan's true cost; partial runs
+      // (timeout/cancel/limit) undercount and would skew later charges.
+      rec->plan_cost->store(std::max<uint64_t>(1, out.stats.expansions),
+                            std::memory_order_relaxed);
+    }
+    rec->resolved.store(true, std::memory_order_release);
+    MaybeReleaseLocked(rec);
+  }
+
+  // Releases the resolved record's scheduler slot unless a waiter is still
+  // blocked inside scheduler_.WaitQuery[For] on it (the last such waiter
+  // releases on its way out). Callers hold resolve_mutex_.
+  void MaybeReleaseLocked(QueryRecord* rec) {
+    if (rec->released || rec->waiters != 0 ||
+        rec->sched_index == kNotScheduled ||
+        !rec->resolved.load(std::memory_order_acquire)) {
+      return;
+    }
+    rec->released = true;
+    scheduler_.Release(rec->sched_index);
+    if (rec->owned_plan != nullptr) {
+      // Plan-cache off: this plan served exactly this (finished) query.
+      // Retire the uid so workers drop their cached expanders, then free
+      // the plan and its query.
+      scheduler_.RetirePlan(rec->owned_plan->uid);
+      rec->owned_plan.reset();
+      rec->owned_query = Hypergraph();
+    }
+  }
+
+  // Shutdown path: resolve a record from its finished scheduler slot (or
+  // its canonical record, resolved first). Callers hold resolve_mutex_
+  // after Seal()+WaitIdle(), so every query has finished and every
+  // unresolved record's slot is still retained. Recursion depth is at most
+  // one (a canonical is never itself a mirror).
+  void ResolveFinishedLocked(QueryRecord* rec) {
+    if (rec->resolved.load(std::memory_order_acquire)) return;
+    if (rec->canonical != nullptr) {
+      ResolveFinishedLocked(rec->canonical.get());
+      ResolveLocked(rec, rec->canonical->outcome);
+      return;
+    }
+    const QueryOutcome* out = scheduler_.TryGetQuery(rec->sched_index);
+    if (out != nullptr) ResolveLocked(rec, *out);
   }
 
   void EnsureStarted() {
@@ -217,6 +354,22 @@ class ServiceImpl {
     return so.limit == SubmitOptions::kInheritLimit ? options_.parallel.limit
                                                     : so.limit;
   }
+
+  struct CacheEntry {
+    const QueryPlan* plan = nullptr;
+    // Source of mirrored outcomes; replaced when the original ends
+    // unusably and a later accepted run takes over.
+    std::shared_ptr<QueryRecord> canonical;
+    // The record whose owned_query the cached plan references. Never
+    // replaced: it pins the query hypergraph for as long as the plan can
+    // be submitted, even after `canonical` moves on.
+    std::shared_ptr<QueryRecord> plan_owner;
+    // Latest measured task count of a completed run of this plan (0 = not
+    // yet measured); the cost-aware WFQ charge of later submissions.
+    std::shared_ptr<std::atomic<uint64_t>> cost;
+    double timeout_seconds = 0;  // the canonical's effective budgets: only
+    uint64_t limit = 0;          // repeats under equal budgets may mirror
+  };
 
   // `borrowed` is null for owning submits (the query then lives in
   // rec->owned_query).
@@ -248,9 +401,10 @@ class ServiceImpl {
         const bool same_budgets =
             EffectiveTimeout(so) == entry.timeout_seconds &&
             EffectiveLimit(so) == entry.limit;
+        // TryGet resolves (and recycles) the canonical opportunistically;
+        // it never consults a released slot.
+        const QueryOutcome* done = TryGet(entry.canonical.get());
         if (so.sink == nullptr && same_budgets) {
-          const QueryOutcome* done =
-              scheduler_.TryGetQuery(entry.canonical->sched_index);
           if (done == nullptr || done->status == QueryStatus::kOk ||
               done->status == QueryStatus::kLimit) {
             // Mirror: skip execution, copy the canonical outcome once it
@@ -263,8 +417,18 @@ class ServiceImpl {
             return Ticket(std::move(rec));
           }
         }
-        rec->sched_index = scheduler_.Submit(entry.plan, so);
-        ++executed_;
+        rec->plan_cost = entry.cost;
+        rec->sched_index =
+            scheduler_.Submit(entry.plan, WithPlanCost(so, entry));
+        if (CountScheduledLocked(rec.get()) && done != nullptr &&
+            done->status != QueryStatus::kOk &&
+            done->status != QueryStatus::kLimit && same_budgets) {
+          // The cached canonical ended unusably (rejected/cancelled/
+          // timeout) so repeats stopped mirroring; this accepted,
+          // same-budget execution becomes the new canonical, restoring
+          // mirroring for the structure once it completes.
+          entry.canonical = rec;
+        }
         records_.push_back(rec);
         return Ticket(std::move(rec));
       }
@@ -279,17 +443,52 @@ class ServiceImpl {
       records_.push_back(rec);
       return Ticket(std::move(rec));
     }
-    plans_.push_back(std::make_unique<QueryPlan>(std::move(plan.value())));
-    const QueryPlan* compiled = plans_.back().get();
+    auto compiled_owner =
+        std::make_unique<QueryPlan>(std::move(plan).value());
+    const QueryPlan* compiled = compiled_owner.get();
+    ++unique_plans_;
     rec->sched_index = scheduler_.Submit(compiled, so);
-    ++executed_;
-    if (options_.plan_cache) {
+    const bool accepted = CountScheduledLocked(rec.get());
+    if (options_.plan_cache && accepted) {
+      plans_.push_back(std::move(compiled_owner));
+      auto cost = std::make_shared<std::atomic<uint64_t>>(0);
+      rec->plan_cost = cost;
       cache_.emplace(std::move(key),
-                     CacheEntry{compiled, rec, EffectiveTimeout(so),
-                                EffectiveLimit(so)});
+                     CacheEntry{compiled, rec, rec, std::move(cost),
+                                EffectiveTimeout(so), EffectiveLimit(so)});
+    } else {
+      // Without the cache — or when this submission was shed by the queue
+      // bound (a rejected canonical would poison the structure's cache
+      // entry: repeats could never mirror again) — the plan serves exactly
+      // this record; it is retired + freed at resolution (bounded
+      // retention for cache-off services).
+      rec->owned_plan = std::move(compiled_owner);
     }
     records_.push_back(rec);
     return Ticket(std::move(rec));
+  }
+
+  // A submission shed by the queue-depth bound resolves synchronously
+  // inside scheduler_.Submit; classify it as rejected rather than executed
+  // (report semantics: `executed` = queries that actually ran). Returns
+  // whether the submission was accepted onto the pool.
+  bool CountScheduledLocked(QueryRecord* rec) {
+    const QueryOutcome* out = scheduler_.TryGetQuery(rec->sched_index);
+    if (out != nullptr && out->status == QueryStatus::kRejected) return false;
+    ++executed_;
+    return true;
+  }
+
+  // Cost-aware WFQ: charge this admission by the plan's last measured task
+  // count (first-seen plans keep the flat charge of 1).
+  SubmitOptions WithPlanCost(const SubmitOptions& so, const CacheEntry& entry) {
+    SubmitOptions effective = so;
+    if (options_.cost_aware_wfq &&
+        options_.admission == AdmissionPolicy::kWeightedFair) {
+      const uint64_t measured = entry.cost->load(std::memory_order_relaxed);
+      if (measured > 0) effective.cost = static_cast<double>(measured);
+    }
+    return effective;
   }
 
   // Opportunistic GC for long-lived services: a resolved record is a pure
@@ -308,13 +507,6 @@ class ServiceImpl {
     last_sweep_size_ = records_.size();
   }
 
-  struct CacheEntry {
-    const QueryPlan* plan = nullptr;
-    std::shared_ptr<QueryRecord> canonical;  // first submission of this key
-    double timeout_seconds = 0;  // the canonical's effective budgets: only
-    uint64_t limit = 0;          // repeats under equal budgets may mirror
-  };
-
   const IndexedHypergraph& data_;
   const ServiceOptions options_;
   Scheduler scheduler_;
@@ -328,6 +520,7 @@ class ServiceImpl {
   uint64_t mirrored_ = 0;
   uint64_t plan_errors_ = 0;
   uint64_t plan_cache_hits_ = 0;
+  uint64_t unique_plans_ = 0;  // plans compiled (cached or record-owned)
   size_t last_sweep_size_ = 0;
   bool sealed_ = false;
   bool started_ = false;  // guarded by mutex_ after construction
@@ -350,6 +543,11 @@ const Status& Ticket::status() const { return rec_->plan_status; }
 const QueryOutcome& Ticket::Wait() const {
   if (rec_->resolved.load(std::memory_order_acquire)) return rec_->outcome;
   return rec_->service->Wait(rec_.get());
+}
+
+const QueryOutcome* Ticket::Wait(double timeout_seconds) const {
+  if (rec_->resolved.load(std::memory_order_acquire)) return &rec_->outcome;
+  return rec_->service->WaitFor(rec_.get(), timeout_seconds);
 }
 
 const QueryOutcome* Ticket::TryGet() const {
@@ -384,5 +582,9 @@ void MatchService::Drain() { impl_->Drain(); }
 ServiceReport MatchService::Shutdown() { return impl_->Shutdown(); }
 
 uint32_t MatchService::num_threads() const { return impl_->num_threads(); }
+
+uint64_t MatchService::finished_queries() const {
+  return impl_->finished_queries();
+}
 
 }  // namespace hgmatch

@@ -33,6 +33,13 @@ struct ServiceOptions {
   /// rest wait in admission-policy order. 0 = unlimited.
   uint32_t max_inflight_queries = 0;
 
+  /// Queue-depth backpressure: upper bound on queries waiting for
+  /// admission. When the window is full and this many queries already
+  /// wait, Submit() resolves the new ticket immediately with
+  /// QueryStatus::kRejected instead of queueing — the service's load
+  /// shedding path (callers retry once the backlog drains). 0 = unbounded.
+  uint32_t max_queued_queries = 0;
+
   /// Per-query fairness quota on live tasks (see SchedulerOptions).
   uint64_t task_quota = 0;
 
@@ -58,8 +65,21 @@ struct ServiceOptions {
   /// mirrors the canonical copy's exact counts — unless the canonical is
   /// already known to have ended abnormally (timeout/cancelled) or ran
   /// under different timeout/limit budgets, in which case the repeat
-  /// executes on the shared plan.
+  /// executes on the shared plan. A mirror attached while its canonical is
+  /// still running shares the canonical's fate, including a later
+  /// cancellation or timeout of the canonical (re-dispatching such
+  /// mirrors is a known open item); a canonical that ends abnormally is
+  /// replaced by the next accepted same-budget execution, so mirroring
+  /// resumes for the structure.
   bool plan_cache = true;
+
+  /// Cost-aware weighted-fair charging: under AdmissionPolicy::kWeightedFair
+  /// each admission charges its tenant by the measured task count of the
+  /// previous completed run of the same plan (tracked through the plan
+  /// cache) instead of a flat 1 unit, so tenant shares hold in *work* units
+  /// when query sizes are heterogeneous. First-seen plans charge 1. No
+  /// effect without plan_cache or under other admission policies.
+  bool cost_aware_wfq = true;
 };
 
 /// Aggregate accounting of one service lifetime, returned by Shutdown().
@@ -71,6 +91,7 @@ struct ServiceReport {
   uint64_t submitted = 0;        // every Submit() call
   uint64_t executed = 0;         // queries that actually ran on the pool
   uint64_t mirrored = 0;         // sink-less repeats resolved from the cache
+  uint64_t rejected = 0;         // shed by the max_queued_queries bound
   uint64_t plan_errors = 0;      // submissions that failed planning
   uint64_t plan_cache_hits = 0;  // submissions that reused a compiled plan
   uint64_t unique_plans = 0;     // distinct plans compiled
@@ -95,10 +116,17 @@ class Ticket {
   /// outcome then reports QueryStatus::kPlanError).
   const Status& status() const;
 
-  /// Blocks until the query finishes (completion, timeout, limit or
-  /// cancellation) and returns its outcome. The reference stays valid for
-  /// the service's lifetime. Thread-safe; may be called repeatedly.
+  /// Blocks until the query finishes (completion, timeout, limit,
+  /// cancellation or rejection) and returns its outcome. The reference
+  /// stays valid for the service's lifetime. Thread-safe; may be called
+  /// repeatedly.
   const QueryOutcome& Wait() const;
+
+  /// Bounded Wait (request deadlines, e.g. the wire front end): blocks
+  /// until the query finishes or `timeout_seconds` elapses, whichever is
+  /// first. Returns the outcome, or null on expiry — expiry does NOT
+  /// cancel the query; pair with Cancel() to give up on it. Thread-safe.
+  const QueryOutcome* Wait(double timeout_seconds) const;
 
   /// Non-blocking Wait: null until the query has finished.
   const QueryOutcome* TryGet() const;
@@ -129,6 +157,14 @@ class Ticket {
 /// Ticket::Cancel() stops one query without disturbing the rest; Drain()
 /// waits for everything submitted so far; Shutdown() seals the service,
 /// drains, joins the pool and returns the aggregate report.
+///
+/// Retention is bounded for a long-lived service: a query's heavy
+/// execution state is recycled the moment it finishes, its scheduler slot
+/// is recycled when its outcome is first retrieved (Wait/TryGet — outcomes
+/// never retrieved are reclaimed at Shutdown), and resolved ticket records
+/// are swept opportunistically, so memory tracks in-flight work plus the
+/// plan cache (one plan + canonical outcome per distinct query structure),
+/// not the total ever submitted.
 ///
 /// The batch engine (parallel/batch_runner.h RunBatch) is a thin facade
 /// over this class: submit all, wait all, map outcomes to input order.
@@ -166,6 +202,12 @@ class MatchService {
 
   /// Resolved pool size.
   uint32_t num_threads() const;
+
+  /// Monotonic count of pool queries that have finished (any terminal
+  /// status; mirrors resolve without touching it). One atomic load — a
+  /// poller (e.g. the wire server) can skip scanning its tickets while
+  /// this has not advanced.
+  uint64_t finished_queries() const;
 
  private:
   std::unique_ptr<internal::ServiceImpl> impl_;

@@ -31,16 +31,19 @@ enum class AdmissionPolicy : uint8_t {
 
 /// Terminal state of one submitted query. A query has exactly one status;
 /// when several causes coincide the most user-actionable one wins
-/// (plan-error > cancelled > timeout > limit > ok).
+/// (plan-error > rejected > cancelled > timeout > limit > ok).
 enum class QueryStatus : uint8_t {
   kOk,         // ran to completion with exact counts
   kTimeout,    // its deadline fired and some of its work was dropped
   kLimit,      // stopped at its embedding limit
   kCancelled,  // Cancel() reached it before completion
   kPlanError,  // never executed: planning failed (service layer only)
+  kRejected,   // shed at submission: the waiting queue was at its
+               // max_queued_queries bound (retry later)
 };
 
-/// Stable display name: "ok", "timeout", "limit", "cancelled", "plan-error".
+/// Stable display name: "ok", "timeout", "limit", "cancelled", "plan-error",
+/// "rejected".
 const char* QueryStatusName(QueryStatus status);
 
 /// Per-query submission parameters. Defaults inherit the engine-wide
@@ -69,6 +72,15 @@ struct SubmitOptions {
   /// Per-query embedding limit; kInheritLimit = inherit
   /// ParallelOptions::limit; 0 = unlimited.
   uint64_t limit = kInheritLimit;
+
+  /// Admission charge of this query under AdmissionPolicy::kWeightedFair,
+  /// in abstract work units: its tenant's virtual time advances by
+  /// cost/weight when the query is admitted, so expensive queries consume
+  /// proportionally more of their tenant's share. Must be finite and > 0
+  /// (anything else falls back to 1). The service layer sets this to the
+  /// measured task count of the previous run of the same plan (cost-aware
+  /// WFQ); 1 — the flat historical charge — for first-seen plans.
+  double cost = 1.0;
 
   /// Consumer of this query's embeddings; may be null (count only). Emit
   /// calls are serialised per query.

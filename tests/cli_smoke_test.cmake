@@ -121,4 +121,43 @@ endif()
 run_cli("generated" gen random ${WORK_DIR}/toy.hg 0.05)
 run_cli("\\|V\\|=" stats ${WORK_DIR}/toy.hg)
 
+# Wire front end round trip: serve the paper example over loopback, query
+# it remotely, and check the results equal the local batch run (2 + 2
+# embeddings, second copy mirrored). POSIX-only: the server is backgrounded
+# through sh. --serve-seconds bounds the orphan if the shutdown frame is
+# lost; the CTest TIMEOUT bounds this script if the socket wedges.
+if(UNIX)
+  set(PORT_FILE ${WORK_DIR}/serve.port)
+  execute_process(COMMAND sh -c
+      "${HGMATCH_CLI} serve ${WORK_DIR}/data.hg --port=0 \
+--port-file=${PORT_FILE} --serve-seconds=120 --max-queued=64 \
+--allow-remote-shutdown > ${WORK_DIR}/serve.log 2>&1 &")
+
+  set(SERVE_PORT "")
+  foreach(attempt RANGE 100)
+    if(EXISTS ${PORT_FILE})
+      file(READ ${PORT_FILE} port_content)
+      if(port_content MATCHES "^([0-9]+)")
+        set(SERVE_PORT ${CMAKE_MATCH_1})
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(SERVE_PORT STREQUAL "")
+    file(READ ${WORK_DIR}/serve.log serve_log)
+    message(FATAL_ERROR "hgmatch serve did not come up:\n${serve_log}")
+  endif()
+
+  # Same queryset, same counts as the local batch run above; the repeats
+  # mirror through the server-side plan cache. --shutdown stops the server.
+  run_cli("query 0: embeddings 2 in [0-9.]+s  \\[ok\\]" query
+          --connect=127.0.0.1:${SERVE_PORT} ${WORK_DIR}/queries.hgq)
+  run_cli("query 2: embeddings 2 in [0-9.]+s  \\[ok\\] \\(mirrored\\)" query
+          --connect=127.0.0.1:${SERVE_PORT} ${WORK_DIR}/queries.hgq)
+  run_cli("remote: 3 queries \\(3 completed, 0 rejected\\), embeddings 6 in"
+          query --connect=127.0.0.1:${SERVE_PORT} ${WORK_DIR}/queries.hgq
+          --shutdown)
+endif()
+
 message(STATUS "cli_smoke_test passed")

@@ -1,0 +1,646 @@
+// Loopback coverage of the wire front end: frame encode/decode round
+// trips and malformed-input rejection (net/protocol.h, no sockets), then
+// a real MatchServer + MatchClient over 127.0.0.1 — submit/outcome parity
+// with MatchSequential, pipelining, concurrent clients, cancel over the
+// wire, connection drops cancelling in-flight queries, protocol errors
+// closing the connection, and queue-depth backpressure surfacing as
+// kRejected while admitted queries keep exact stats (the acceptance bar
+// of the serve subsystem). Socket tests are POSIX-only and skip elsewhere.
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hgmatch.h"
+#include "tests/test_fixtures.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HGMATCH_NET_TEST_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace hgmatch {
+namespace {
+
+// ------------------------------------------------ protocol (no sockets) --
+
+TEST(ProtocolTest, SubmitFrameRoundTripsOptionsAndQuery) {
+  WireSubmit submit;
+  submit.request_id = 77;
+  submit.tenant_id = 5;
+  submit.priority = -3;
+  submit.weight = 2.5;
+  submit.timeout_seconds = 1.25;
+  submit.limit = 42;
+  submit.query = PaperQueryHypergraph();
+
+  Result<WireSubmit> decoded = DecodeSubmit(EncodeSubmit(submit));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().request_id, 77u);
+  EXPECT_EQ(decoded.value().tenant_id, 5u);
+  EXPECT_EQ(decoded.value().priority, -3);
+  EXPECT_EQ(decoded.value().weight, 2.5);
+  EXPECT_EQ(decoded.value().timeout_seconds, 1.25);
+  EXPECT_EQ(decoded.value().limit, 42u);
+  EXPECT_EQ(decoded.value().query.NumVertices(), 5u);
+  EXPECT_EQ(decoded.value().query.NumEdges(), 3u);
+  EXPECT_EQ(decoded.value().query.edge(2), PaperQueryHypergraph().edge(2));
+}
+
+TEST(ProtocolTest, OutcomeFrameRoundTripsFullStats) {
+  WireOutcome wire;
+  wire.request_id = 9;
+  wire.outcome.status = QueryStatus::kLimit;
+  wire.outcome.mirrored = true;
+  wire.outcome.stats.embeddings = 101;
+  wire.outcome.stats.candidates = 202;
+  wire.outcome.stats.filtered = 150;
+  wire.outcome.stats.expansions = 77;
+  wire.outcome.stats.limit_hit = true;
+  wire.outcome.stats.seconds = 0.5;
+  wire.outcome.admit_seconds = 0.25;
+  wire.outcome.finish_seconds = 0.75;
+  wire.outcome.admit_index = 13;
+
+  Result<WireOutcome> decoded = DecodeOutcome(EncodeOutcome(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const QueryOutcome& out = decoded.value().outcome;
+  EXPECT_EQ(decoded.value().request_id, 9u);
+  EXPECT_EQ(out.status, QueryStatus::kLimit);
+  EXPECT_TRUE(out.mirrored);
+  EXPECT_EQ(out.stats.embeddings, 101u);
+  EXPECT_EQ(out.stats.candidates, 202u);
+  EXPECT_EQ(out.stats.filtered, 150u);
+  EXPECT_EQ(out.stats.expansions, 77u);
+  EXPECT_TRUE(out.stats.limit_hit);
+  EXPECT_EQ(out.stats.seconds, 0.5);
+  EXPECT_EQ(out.admit_index, 13u);
+}
+
+TEST(ProtocolTest, FrameReaderReassemblesFragmentedStreams) {
+  std::string stream;
+  AppendFrame(FrameType::kPing, "hello", &stream);
+  AppendFrame(FrameType::kCancel, EncodeRequestId(4), &stream);
+
+  FrameReader reader;
+  FrameReader::Frame frame;
+  // Feed one byte at a time: frames must surface exactly at completion.
+  std::vector<FrameReader::Frame> frames;
+  for (char c : stream) {
+    reader.Feed(&c, 1);
+    Result<bool> next = reader.Next(&frame);
+    ASSERT_TRUE(next.ok());
+    if (next.value()) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kPing);
+  EXPECT_EQ(frames[0].payload, "hello");
+  EXPECT_EQ(frames[1].type, FrameType::kCancel);
+  EXPECT_EQ(DecodeRequestId(frames[1].payload).value(), 4u);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ProtocolTest, FrameReaderRejectsMalformedHeaders) {
+  {
+    FrameReader reader;  // wrong magic
+    const char garbage[16] = {'X', 'X', 'X', 'X', 1, 0, 0, 0, 0};
+    reader.Feed(garbage, sizeof(garbage));
+    FrameReader::Frame frame;
+    EXPECT_FALSE(reader.Next(&frame).ok());
+  }
+  {
+    FrameReader reader;  // unknown frame type
+    std::string header;
+    header.append(reinterpret_cast<const char*>(&kWireMagic), 4);
+    header.push_back(99);
+    header.append(4, '\0');
+    reader.Feed(header.data(), header.size());
+    FrameReader::Frame frame;
+    EXPECT_FALSE(reader.Next(&frame).ok());
+  }
+  {
+    FrameReader reader;  // oversized payload announcement
+    std::string header;
+    header.append(reinterpret_cast<const char*>(&kWireMagic), 4);
+    header.push_back(static_cast<char>(FrameType::kPing));
+    const uint32_t huge = kMaxWirePayload + 1;
+    header.append(reinterpret_cast<const char*>(&huge), 4);
+    reader.Feed(header.data(), header.size());
+    FrameReader::Frame frame;
+    EXPECT_FALSE(reader.Next(&frame).ok());
+  }
+}
+
+TEST(ProtocolTest, TruncatedPayloadsAreCorruption) {
+  WireSubmit submit;
+  submit.query = PaperQueryHypergraph();
+  const std::string payload = EncodeSubmit(submit);
+  for (size_t cut : {size_t{0}, size_t{8}, size_t{30}, payload.size() - 1}) {
+    EXPECT_FALSE(DecodeSubmit(payload.substr(0, cut)).ok()) << cut;
+  }
+  EXPECT_FALSE(DecodeOutcome("short").ok());
+  EXPECT_FALSE(DecodeRequestId("1234").ok());
+  EXPECT_FALSE(DecodeStats("x").ok());
+  // Trailing junk is as corrupt as missing bytes.
+  EXPECT_FALSE(DecodeSubmit(payload + "junk").ok());
+}
+
+#if HGMATCH_NET_TEST_SOCKETS
+
+// ----------------------------------------------------- loopback helpers --
+
+Hypergraph PairCliqueData(uint32_t m) {
+  Hypergraph h;
+  h.AddVertices(m, 0);
+  for (VertexId i = 0; i < m; ++i) {
+    for (VertexId j = i + 1; j < m; ++j) (void)h.AddEdge({i, j});
+  }
+  return h;
+}
+
+Hypergraph PathQuery(uint32_t k) {
+  Hypergraph q;
+  q.AddVertices(k + 1, 0);
+  for (VertexId v = 0; v < k; ++v) (void)q.AddEdge({v, v + 1});
+  return q;
+}
+
+ServerOptions LoopbackOptions(uint32_t threads) {
+  ServerOptions options;
+  options.service.parallel.num_threads = threads;
+  options.service.parallel.scan_grain = 1;
+  return options;
+}
+
+// Polls `predicate` until true or ~10 s passed.
+bool EventuallyTrue(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 1000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// ------------------------------------------------------- loopback tests --
+
+TEST(NetTest, SubmitOutcomeParityWithSequential) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  const Hypergraph query = PaperQueryHypergraph();
+  const MatchStats expected = MatchSequential(idx, query).value();
+
+  Result<uint64_t> id = client.Submit(query);
+  ASSERT_TRUE(id.ok());
+  Result<WireOutcome> reply = client.WaitOutcome(id.value());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().outcome.status, QueryStatus::kOk);
+  EXPECT_EQ(reply.value().outcome.stats.embeddings, expected.embeddings);
+  EXPECT_FALSE(reply.value().outcome.mirrored);
+
+  // A structurally identical repeat mirrors through the service-side plan
+  // cache — over the wire, exactly as in process.
+  Result<uint64_t> repeat = client.Submit(query);
+  ASSERT_TRUE(repeat.ok());
+  Result<WireOutcome> mirrored = client.WaitOutcome(repeat.value());
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(mirrored.value().outcome.stats.embeddings, expected.embeddings);
+  EXPECT_TRUE(mirrored.value().outcome.mirrored);
+
+  Result<WireStats> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().submitted, 2u);
+  EXPECT_EQ(stats.value().completed, 2u);
+  EXPECT_EQ(stats.value().inflight, 0u);
+  server.Stop();
+}
+
+TEST(NetTest, PipelinedSubmissionsResolveInAnyWaitOrder) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t expected1 =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const uint64_t expected2 =
+      MatchSequential(idx, PathQuery(2)).value().embeddings;
+  ASSERT_NE(expected1, expected2);
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::vector<uint64_t> ids;
+  for (uint32_t k : {1u, 2u, 1u, 2u, 1u}) {
+    Result<uint64_t> id = client.Submit(PathQuery(k));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  // Wait in reverse: outcomes for other ids are buffered, none are lost.
+  for (size_t i = ids.size(); i-- > 0;) {
+    Result<WireOutcome> reply = client.WaitOutcome(ids[i]);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().outcome.stats.embeddings,
+              i % 2 == 0 ? expected1 : expected2)
+        << "query " << i;
+  }
+  server.Stop();
+}
+
+TEST(NetTest, ConcurrentClientsGetExactCounts) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  MatchServer server(idx, LoopbackOptions(4));
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t expected1 =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const uint64_t expected2 =
+      MatchSequential(idx, PathQuery(2)).value().embeddings;
+
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 6;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      MatchClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failures[c] = kPerClient;
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const uint32_t k = 1 + static_cast<uint32_t>((c + i) % 2);
+        Result<uint64_t> id = client.Submit(PathQuery(k));
+        if (!id.ok()) {
+          ++failures[c];
+          continue;
+        }
+        Result<WireOutcome> reply = client.WaitOutcome(id.value());
+        if (!reply.ok() ||
+            reply.value().outcome.stats.embeddings !=
+                (k == 1 ? expected1 : expected2)) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  server.Stop();
+}
+
+TEST(NetTest, CancelOverTheWireStopsAnInFlightQuery) {
+  // Path(4) over the 40-clique is far beyond test scale: without the
+  // cancel this query runs (effectively) forever.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> monster = client.Submit(PathQuery(4));
+  ASSERT_TRUE(monster.ok());
+  ASSERT_TRUE(client.Cancel(monster.value()).ok());
+  Result<WireOutcome> reply = client.WaitOutcome(monster.value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().outcome.status, QueryStatus::kCancelled);
+
+  // The server stays healthy: a fresh cheap query completes exactly.
+  const uint64_t cheap_expected =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  Result<uint64_t> cheap = client.Submit(PathQuery(1));
+  ASSERT_TRUE(cheap.ok());
+  Result<WireOutcome> cheap_reply = client.WaitOutcome(cheap.value());
+  ASSERT_TRUE(cheap_reply.ok());
+  EXPECT_EQ(cheap_reply.value().outcome.status, QueryStatus::kOk);
+  EXPECT_EQ(cheap_reply.value().outcome.stats.embeddings, cheap_expected);
+  server.Stop();
+}
+
+TEST(NetTest, CancelOfMirroredDuplicateResolvesWhileCanonicalStillRuns) {
+  // A sink-less structural duplicate of a *running* query becomes a plan
+  // -cache mirror with no scheduler slot of its own; cancelling it must
+  // deliver its kCancelled outcome immediately, not after the canonical
+  // eventually finishes (which at this scale is never).
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;  // plan_cache stays on (default)
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> canonical = client.Submit(PathQuery(4));
+  Result<uint64_t> mirror = client.Submit(PathQuery(4));
+  ASSERT_TRUE(canonical.ok() && mirror.ok());
+
+  ASSERT_TRUE(client.Cancel(mirror.value()).ok());
+  Result<WireOutcome> mirror_reply = client.WaitOutcome(mirror.value());
+  ASSERT_TRUE(mirror_reply.ok());
+  EXPECT_EQ(mirror_reply.value().outcome.status, QueryStatus::kCancelled);
+  EXPECT_TRUE(mirror_reply.value().outcome.mirrored);
+
+  ASSERT_TRUE(client.Cancel(canonical.value()).ok());
+  Result<WireOutcome> canonical_reply =
+      client.WaitOutcome(canonical.value());
+  ASSERT_TRUE(canonical_reply.ok());
+  EXPECT_EQ(canonical_reply.value().outcome.status,
+            QueryStatus::kCancelled);
+  server.Stop();
+}
+
+TEST(NetTest, ConnectionDropCancelsItsInFlightQueries) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient observer;
+  ASSERT_TRUE(observer.Connect("127.0.0.1", server.port()).ok());
+
+  {
+    MatchClient doomed;
+    ASSERT_TRUE(doomed.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(doomed.Submit(PathQuery(4)).ok());
+    // The monster is in flight before the peer vanishes.
+    ASSERT_TRUE(EventuallyTrue([&] {
+      Result<WireStats> s = observer.Stats();
+      return s.ok() && s.value().inflight >= 1;
+    }));
+    doomed.Close();
+  }
+
+  // The drop cancels the orphaned query: in-flight drains without anyone
+  // ever waiting on its outcome.
+  ASSERT_TRUE(EventuallyTrue([&] {
+    Result<WireStats> s = observer.Stats();
+    return s.ok() && s.value().cancelled_by_disconnect == 1 &&
+           s.value().inflight == 0;
+  }));
+  server.Stop();
+}
+
+// Raw socket for protocol-abuse tests (MatchClient refuses to misbehave).
+class RawConn {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool Send(const std::string& bytes) {
+    return ::send(fd_, bytes.data(), bytes.size(), 0) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+  void HalfClose() { ::shutdown(fd_, SHUT_WR); }
+  // Reads until EOF; returns everything received.
+  std::string ReadAll() {
+    std::string all;
+    char buffer[4096];
+    ssize_t got;
+    while ((got = ::read(fd_, buffer, sizeof(buffer))) > 0) {
+      all.append(buffer, static_cast<size_t>(got));
+    }
+    return all;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void ExpectErrorFrameThenEof(RawConn& conn) {
+  const std::string reply = conn.ReadAll();  // EOF proves the server closed
+  FrameReader reader;
+  reader.Feed(reply.data(), reply.size());
+  FrameReader::Frame frame;
+  Result<bool> next = reader.Next(&frame);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value());
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_FALSE(frame.payload.empty());
+}
+
+TEST(NetTest, EofFlushesRepliesEarnedByTheFinalBurst) {
+  // EOF means abandonment for *in-flight* work, but replies the final
+  // burst already earned (here: PONGs) must still be flushed before the
+  // close, not discarded with the connection.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(1));
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  std::string burst;
+  AppendFrame(FrameType::kPing, "one", &burst);
+  AppendFrame(FrameType::kPing, "two", &burst);
+  ASSERT_TRUE(conn.Send(burst));
+  conn.HalfClose();
+
+  const std::string reply = conn.ReadAll();  // until the server closes
+  FrameReader reader;
+  reader.Feed(reply.data(), reply.size());
+  FrameReader::Frame frame;
+  std::vector<std::string> pongs;
+  while (true) {
+    Result<bool> next = reader.Next(&frame);
+    ASSERT_TRUE(next.ok());
+    if (!next.value()) break;
+    ASSERT_EQ(frame.type, FrameType::kPong);
+    pongs.push_back(frame.payload);
+  }
+  EXPECT_EQ(pongs, (std::vector<std::string>{"one", "two"}));
+  server.Stop();
+}
+
+TEST(NetTest, MalformedFrameGetsErrorFrameAndClose) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(1));
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  ASSERT_TRUE(conn.Send("this is not a valid frame header"));
+  ExpectErrorFrameThenEof(conn);
+  server.Stop();
+}
+
+TEST(NetTest, OversizedFrameGetsErrorFrameAndClose) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(1));
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  std::string header;
+  header.append(reinterpret_cast<const char*>(&kWireMagic), 4);
+  header.push_back(static_cast<char>(FrameType::kSubmit));
+  const uint32_t huge = kMaxWirePayload + 1;
+  header.append(reinterpret_cast<const char*>(&huge), 4);
+  ASSERT_TRUE(conn.Send(header));
+  ExpectErrorFrameThenEof(conn);
+  server.Stop();
+}
+
+TEST(NetTest, UndecodablePayloadCancelsConnectionQueries) {
+  // A frame whose header is fine but whose SUBMIT payload is garbage must
+  // also error-and-close — and take the connection's in-flight queries
+  // with it.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient observer;
+  ASSERT_TRUE(observer.Connect("127.0.0.1", server.port()).ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  {
+    // A well-formed monster submission...
+    WireSubmit submit;
+    submit.request_id = 1;
+    submit.query = PathQuery(4);
+    std::string stream;
+    AppendFrame(FrameType::kSubmit, EncodeSubmit(submit), &stream);
+    // ...followed by a syntactically valid frame with an undecodable body.
+    AppendFrame(FrameType::kSubmit, "definitely not a hypergraph", &stream);
+    ASSERT_TRUE(conn.Send(stream));
+  }
+  ExpectErrorFrameThenEof(conn);
+  ASSERT_TRUE(EventuallyTrue([&] {
+    Result<WireStats> s = observer.Stats();
+    return s.ok() && s.value().cancelled_by_disconnect == 1 &&
+           s.value().inflight == 0;
+  }));
+  server.Stop();
+}
+
+TEST(NetTest, BackpressureRejectsOverflowAndAdmittedQueriesStayExact) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;
+  options.service.max_inflight_queries = 1;
+  options.service.max_queued_queries = 1;
+  options.service.plan_cache = false;  // repeats must not mirror past the queue
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t cheap_expected =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // The monster is admitted synchronously (window was empty) and holds the
+  // window; the first cheap query waits (queue depth 1, at the bound); the
+  // second cheap query must be shed.
+  Result<uint64_t> monster = client.Submit(PathQuery(4));
+  Result<uint64_t> waiting = client.Submit(PathQuery(1));
+  Result<uint64_t> shed = client.Submit(PathQuery(1));
+  ASSERT_TRUE(monster.ok() && waiting.ok() && shed.ok());
+
+  Result<WireOutcome> rejected = client.WaitOutcome(shed.value());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().outcome.status, QueryStatus::kRejected);
+
+  // Give up on the monster; the waiting query then runs and its counts are
+  // exact — backpressure sheds the overflow, never the admitted work.
+  ASSERT_TRUE(client.Cancel(monster.value()).ok());
+  Result<WireOutcome> cancelled = client.WaitOutcome(monster.value());
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_EQ(cancelled.value().outcome.status, QueryStatus::kCancelled);
+
+  Result<WireOutcome> completed = client.WaitOutcome(waiting.value());
+  ASSERT_TRUE(completed.ok());
+  EXPECT_EQ(completed.value().outcome.status, QueryStatus::kOk);
+  EXPECT_EQ(completed.value().outcome.stats.embeddings, cheap_expected);
+
+  Result<WireStats> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().rejected, 1u);
+  EXPECT_EQ(stats.value().submitted, 3u);
+  server.Stop();
+}
+
+TEST(NetTest, RemoteShutdownDrainsAndExits) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(1);
+  options.allow_remote_shutdown = true;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> id = client.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client.WaitOutcome(id.value()).ok());
+  ASSERT_TRUE(client.RequestShutdown().ok());
+  EXPECT_TRUE(server.WaitFor(10.0));
+  server.Stop();
+}
+
+TEST(NetTest, RemoteShutdownIsRefusedWhenDisabled) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(1));  // shutdown NOT allowed
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.RequestShutdown().ok());  // sends fine...
+  EXPECT_FALSE(client.Ping().ok());  // ...but the server errors and closes
+  EXPECT_FALSE(server.WaitFor(0.2));  // and keeps serving
+  server.Stop();
+}
+
+TEST(NetTest, ConnectionLimitTurnsExtrasAway) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(1);
+  options.max_connections = 1;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(first.Ping().ok());  // the slot-holder is fully served
+
+  RawConn second;
+  ASSERT_TRUE(second.Connect(server.port()));
+  ExpectErrorFrameThenEof(second);
+  ASSERT_TRUE(first.Ping().ok());  // unaffected
+  server.Stop();
+}
+
+#endif  // HGMATCH_NET_TEST_SOCKETS
+
+}  // namespace
+}  // namespace hgmatch

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <vector>
 
 #include "core/hgmatch.h"
@@ -379,6 +382,141 @@ TEST(SchedulerTest, DirectCoreBatchOfOneMatchesExecutor) {
   const ParallelResult via_facade =
       ExecutePlanParallel(idx, plan.value(), popts);
   EXPECT_EQ(via_facade.stats.embeddings, report.queries[0].stats.embeddings);
+}
+
+// A sink whose first Emit blocks until Release(): with an admission window
+// of 1 the owning "plug" query deterministically holds the window while a
+// test stages queries behind it.
+class GateSink : public EmbeddingSink {
+ public:
+  void Emit(const EdgeId*, uint32_t) override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+  }
+
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(SchedulerTest, ContextTableStaysBoundedUnderStreamingChurn) {
+  // Bounded retention: thousands of queries stream through a tiny window;
+  // the heavy context table must track in-flight work and Release() must
+  // recycle the slim slots, so neither structure grows with the total ever
+  // submitted (the months-long-service guarantee).
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(6));
+  const Hypergraph query = PathQuery(1);
+  Result<QueryPlan> plan = BuildQueryPlan(query, idx);
+  ASSERT_TRUE(plan.ok());
+
+  SchedulerOptions options;
+  options.parallel.num_threads = 2;
+  options.max_inflight_queries = 2;
+  Scheduler scheduler(idx, options);
+  scheduler.Start();
+
+  constexpr int kWaves = 40;
+  constexpr int kPerWave = 50;  // 2000 submissions in total
+  size_t max_live = 0;
+  size_t max_slots = 0;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<uint32_t> ids;
+    for (int i = 0; i < kPerWave; ++i) {
+      ids.push_back(scheduler.Submit(&plan.value(), SubmitOptions{}));
+    }
+    max_live = std::max(max_live, scheduler.LiveContexts());
+    max_slots = std::max(max_slots, scheduler.RetainedSlots());
+    for (uint32_t id : ids) {
+      EXPECT_EQ(scheduler.WaitQuery(id).status, QueryStatus::kOk);
+      EXPECT_TRUE(scheduler.Release(id));
+      EXPECT_FALSE(scheduler.Release(id));  // released slots are gone
+    }
+  }
+  // Bounded by one wave (what was genuinely outstanding) plus a few slots
+  // whose finishing worker had not yet run its recycle step when sampled —
+  // never by the 2000 submissions that passed through.
+  EXPECT_LE(max_live, static_cast<size_t>(kPerWave) + 4);
+  EXPECT_LE(max_slots, static_cast<size_t>(kPerWave) + 4);
+
+  scheduler.Seal();
+  const SchedulerReport report = scheduler.Join();
+  // Workers are joined: every deferred recycle has run, so nothing at all
+  // is retained — and with every slot released, Join's report does not
+  // materialise an O(ever-submitted) outcome vector either.
+  EXPECT_EQ(scheduler.LiveContexts(), 0u);
+  EXPECT_EQ(scheduler.RetainedSlots(), 0u);
+  EXPECT_EQ(report.queries.size(), 0u);
+}
+
+TEST(SchedulerTest, QueueDepthBoundShedsOnlyTheOverflow) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(6));
+  const Hypergraph query = PathQuery(1);
+  Result<QueryPlan> plan = BuildQueryPlan(query, idx);
+  ASSERT_TRUE(plan.ok());
+  const uint64_t expected =
+      MatchSequential(idx, query).value().embeddings;
+
+  SchedulerOptions options;
+  options.parallel.num_threads = 2;
+  options.parallel.scan_grain = 1;
+  options.max_inflight_queries = 1;
+  options.max_queued_queries = 1;
+  Scheduler scheduler(idx, options);
+  scheduler.Start();
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  const uint32_t plug = scheduler.Submit(&plan.value(), plug_options);
+  gate.AwaitEntered();  // the plug now owns the only admission slot
+
+  const uint32_t waiting = scheduler.Submit(&plan.value(), SubmitOptions{});
+  EXPECT_EQ(scheduler.TryGetQuery(waiting), nullptr);  // queued, not shed
+
+  // Queue at its bound: the next submission is rejected synchronously.
+  const uint32_t shed = scheduler.Submit(&plan.value(), SubmitOptions{});
+  const QueryOutcome* shed_out = scheduler.TryGetQuery(shed);
+  ASSERT_NE(shed_out, nullptr);
+  EXPECT_EQ(shed_out->status, QueryStatus::kRejected);
+  EXPECT_EQ(shed_out->stats.embeddings, 0u);
+  EXPECT_EQ(scheduler.RejectedCount(), 1u);
+  EXPECT_FALSE(scheduler.Cancel(shed));  // already finished
+
+  // Cancelling the waiting query leaves only a corpse entry in the policy
+  // queue; the bound must count the *effective* backlog (now zero), so the
+  // next submission queues instead of being shed.
+  EXPECT_TRUE(scheduler.Cancel(waiting));
+  const uint32_t after_cancel =
+      scheduler.Submit(&plan.value(), SubmitOptions{});
+  EXPECT_EQ(scheduler.TryGetQuery(after_cancel), nullptr);  // queued
+  EXPECT_EQ(scheduler.RejectedCount(), 1u);
+
+  gate.Release();
+  // The admitted query and the one admitted after the cancel both finish
+  // with exact counts: shedding affects the overflow only.
+  EXPECT_EQ(scheduler.WaitQuery(plug).status, QueryStatus::kOk);
+  EXPECT_EQ(scheduler.WaitQuery(waiting).status, QueryStatus::kCancelled);
+  EXPECT_EQ(scheduler.WaitQuery(after_cancel).status, QueryStatus::kOk);
+  EXPECT_EQ(scheduler.WaitQuery(after_cancel).stats.embeddings, expected);
+  scheduler.Seal();
+  scheduler.Join();
 }
 
 }  // namespace

@@ -411,6 +411,282 @@ TEST(ServiceTest, PlanErrorResolvesImmediately) {
   EXPECT_EQ(report.executed, 0u);
 }
 
+TEST(ServiceTest, WaitWithTimeoutExpiresThenSucceeds) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  options.plan_cache = false;
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();  // the plug holds the only admission slot
+
+  // The queued query cannot finish while the plug blocks the window: a
+  // bounded wait expires and returns null without cancelling anything.
+  Ticket queued = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(queued.Wait(0.05), nullptr);
+  EXPECT_EQ(queued.TryGet(), nullptr);  // expiry did not resolve it
+
+  gate.Release();
+  const QueryOutcome* out = queued.Wait(30.0);  // success before expiry
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->status, QueryStatus::kOk);
+  EXPECT_EQ(out->stats.embeddings, 2u);
+  // A resolved ticket answers a bounded wait immediately, even with a
+  // zero budget, from the stored outcome.
+  EXPECT_EQ(queued.Wait(0.0), out);
+  service.Shutdown();
+}
+
+TEST(ServiceTest, QueueBoundRejectsOverflowAndSparesAdmittedQueries) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  options.max_queued_queries = 1;
+  options.plan_cache = false;  // repeats must not mirror past the queue
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();
+
+  Ticket waiting = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(waiting.TryGet(), nullptr);  // queued within the bound
+
+  // The queue is at its bound: this submission is shed synchronously.
+  Ticket shed = service.Submit(PaperQueryHypergraph());
+  const QueryOutcome* shed_out = shed.TryGet();
+  ASSERT_NE(shed_out, nullptr);
+  EXPECT_EQ(shed_out->status, QueryStatus::kRejected);
+  EXPECT_EQ(shed_out->stats.embeddings, 0u);
+  EXPECT_FALSE(shed.Cancel());  // already resolved
+
+  gate.Release();
+  EXPECT_EQ(plug.Wait().status, QueryStatus::kOk);
+  EXPECT_EQ(waiting.Wait().status, QueryStatus::kOk);
+  EXPECT_EQ(waiting.Wait().stats.embeddings, 2u);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.submitted, 3u);
+  EXPECT_EQ(report.executed, 2u);  // the shed query never ran
+  EXPECT_EQ(report.rejected, 1u);
+}
+
+TEST(ServiceTest, RejectedSubmissionDoesNotPoisonThePlanCache) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  options.max_queued_queries = 1;  // plan_cache stays on (default)
+  MatchService service(idx, options);
+
+  // Structurally distinct single-edge queries: one cache entry per shape.
+  auto edge_query = [](Label a, Label b) {
+    Hypergraph q;
+    q.AddVertex(a);
+    q.AddVertex(b);
+    (void)q.AddEdge({0, 1});
+    return q;
+  };
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();
+
+  Ticket waiting = service.Submit(edge_query(0, 1));
+  Ticket shed = service.Submit(edge_query(0, 2));  // first of its shape
+  EXPECT_EQ(shed.Wait().status, QueryStatus::kRejected);
+
+  gate.Release();
+  service.Drain();
+
+  // The shed first-of-its-shape submission must NOT have become the
+  // shape's cache canonical: the next copy is a cache *miss* that
+  // executes normally, and only then do repeats mirror it.
+  Ticket again = service.Submit(edge_query(0, 2));
+  EXPECT_EQ(again.Wait().status, QueryStatus::kOk);
+  EXPECT_FALSE(again.Wait().mirrored);
+  Ticket repeat = service.Submit(edge_query(0, 2));
+  EXPECT_EQ(repeat.Wait().status, QueryStatus::kOk);
+  EXPECT_TRUE(repeat.Wait().mirrored);
+  EXPECT_EQ(repeat.Wait().stats.embeddings, again.Wait().stats.embeddings);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.submitted, 5u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.mirrored, 1u);
+  // plug, waiting, shed and `again` each compiled a plan (the rejected
+  // one was deliberately not cached); only `repeat` hit the cache.
+  EXPECT_EQ(report.unique_plans, 4u);
+  EXPECT_EQ(report.plan_cache_hits, 1u);
+}
+
+TEST(ServiceTest, AcceptedRunRestoresMirroringAfterCancelledCanonical) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;  // plan_cache stays on (default)
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();
+
+  // The first submission of this shape becomes its cache canonical, then
+  // is cancelled while waiting — an unusable source of counts.
+  auto shape = [] {
+    Hypergraph q;
+    q.AddVertex(0);
+    q.AddVertex(1);
+    (void)q.AddEdge({0, 1});
+    return q;
+  };
+  Ticket cancelled = service.Submit(shape());
+  EXPECT_TRUE(cancelled.Cancel());
+  EXPECT_EQ(cancelled.Wait().status, QueryStatus::kCancelled);
+
+  gate.Release();
+  service.Drain();
+
+  // The next same-budget copy cannot mirror the cancelled canonical, so
+  // it executes — and takes over as canonical, restoring mirroring for
+  // every copy after it.
+  Ticket second = service.Submit(shape());
+  EXPECT_EQ(second.Wait().status, QueryStatus::kOk);
+  EXPECT_FALSE(second.Wait().mirrored);
+  Ticket third = service.Submit(shape());
+  EXPECT_EQ(third.Wait().status, QueryStatus::kOk);
+  EXPECT_TRUE(third.Wait().mirrored);
+  EXPECT_EQ(third.Wait().stats.embeddings, second.Wait().stats.embeddings);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.mirrored, 1u);
+  EXPECT_EQ(report.plan_cache_hits, 2u);  // `second` and `third`
+  EXPECT_EQ(report.unique_plans, 2u);     // the plug's shape + this shape
+}
+
+TEST(ServiceTest, CostAwareWfqHoldsSharesUnderHeterogeneousQuerySizes) {
+  // The 3:1 guarantee, in *work* units: tenant A (weight 3) floods heavy
+  // queries while tenant B (weight 1) floods cheap ones. With cost-aware
+  // charging each admission advances a tenant's virtual time by the
+  // measured task count of its plan's previous run over its weight, so the
+  // admission sequence is exactly the weighted-fair schedule over costs —
+  // verified against a replay of the virtual-time algorithm.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(6));
+
+  ServiceOptions options = BaseOptions(2);
+  options.admission = AdmissionPolicy::kWeightedFair;
+  options.max_inflight_queries = 1;
+  // plan_cache + cost_aware_wfq stay at their defaults (both on).
+  MatchService service(idx, options);
+
+  // Teach the plan cache each plan's measured task count.
+  const uint64_t heavy_cost = std::max<uint64_t>(
+      1, service.Submit(PathQuery(3)).Wait().stats.expansions);
+  const uint64_t cheap_cost = std::max<uint64_t>(
+      1, service.Submit(PathQuery(1)).Wait().stats.expansions);
+  ASSERT_GT(heavy_cost, cheap_cost);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  plug_options.tenant_id = 99;
+  Ticket plug = service.Submit(PathQuery(2), plug_options);
+  gate.AwaitEntered();
+
+  // Staged from one thread while the plug holds the window, interleaved
+  // A,B,A,B,... so submission indices (the vtime tie-break) are known.
+  constexpr int kPerTenant = 18;
+  std::vector<CountSink> sinks(2 * kPerTenant);  // sinks force execution
+  std::vector<Ticket> tenant_a, tenant_b;
+  for (int i = 0; i < kPerTenant; ++i) {
+    SubmitOptions a;
+    a.tenant_id = 1;
+    a.weight = 3.0;
+    a.sink = &sinks[2 * i];
+    tenant_a.push_back(service.Submit(PathQuery(3), a));
+    SubmitOptions b;
+    b.tenant_id = 2;
+    b.weight = 1.0;
+    b.sink = &sinks[2 * i + 1];
+    tenant_b.push_back(service.Submit(PathQuery(1), b));
+  }
+  gate.Release();
+  service.Drain();
+
+  // Replay the algorithm: both tenants enter at the global virtual time
+  // the plug left behind; least vtime admits next; ties go to the earlier
+  // head submission (A's k-th precedes B's k-th, so ties pick A iff
+  // admitted counts are level); each admission charges cost/weight.
+  std::vector<int> expected_tenants;  // 1 = A, 2 = B
+  double va = 1, vb = 1;
+  int na = 0, nb = 0;
+  while (na < kPerTenant || nb < kPerTenant) {
+    bool pick_a;
+    if (na == kPerTenant) {
+      pick_a = false;
+    } else if (nb == kPerTenant) {
+      pick_a = true;
+    } else if (va != vb) {
+      pick_a = va < vb;
+    } else {
+      pick_a = na <= nb;
+    }
+    if (pick_a) {
+      expected_tenants.push_back(1);
+      va += static_cast<double>(heavy_cost) / 3.0;
+      ++na;
+    } else {
+      expected_tenants.push_back(2);
+      vb += static_cast<double>(cheap_cost) / 1.0;
+      ++nb;
+    }
+  }
+
+  // Admission indices 0..2 went to the priming queries and the plug; the
+  // flood owns 3 onwards.
+  std::vector<std::pair<uint64_t, int>> actual;  // (admit_index, tenant)
+  for (const Ticket& t : tenant_a) {
+    EXPECT_EQ(t.Wait().status, QueryStatus::kOk);
+    actual.emplace_back(t.Wait().admit_index, 1);
+  }
+  for (const Ticket& t : tenant_b) {
+    EXPECT_EQ(t.Wait().status, QueryStatus::kOk);
+    actual.emplace_back(t.Wait().admit_index, 2);
+  }
+  std::sort(actual.begin(), actual.end());
+  ASSERT_EQ(actual.size(), expected_tenants.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].second, expected_tenants[i])
+        << "admission " << i << " (admit_index " << actual[i].first << ")";
+  }
+
+  // The plain-language consequence: per admitted query A pays ~heavy/3 and
+  // B pays ~cheap, so with heavy > 3*cheap tenant B must land *more*
+  // queries than A over the interval where both are backlogged — flat
+  // 1-unit charging would have given A and B equal counts 3:1 apart.
+  if (heavy_cost > 3 * cheap_cost) {
+    const size_t first_half = actual.size() / 2;
+    int a_count = 0, b_count = 0;
+    for (size_t i = 0; i < first_half; ++i) {
+      (actual[i].second == 1 ? a_count : b_count)++;
+    }
+    EXPECT_GT(b_count, a_count);
+  }
+  service.Shutdown();
+}
+
 // ---------------------------------------------------- query-set headers --
 
 TEST(QuerySetHeaderTest, HeadersSurfaceAsSubmitOptions) {

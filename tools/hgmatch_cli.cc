@@ -8,6 +8,8 @@
 //   hgmatch batch <data> <queryset> [threads] [limit] [--max-inflight=N]
 //                 [--task-quota=N] [--timeout=S] [--batch-timeout=S]
 //                 [--no-plan-cache] [--policy=fifo|priority|wfq]
+//   hgmatch serve <data> [--port=N] [--host=H] [--threads=N] [flags...]
+//   hgmatch query --connect=HOST:PORT <queryset> [--limit=N] [--shutdown]
 //
 // Files ending in .hgb use the binary format (io/binary_format.h); anything
 // else is the text format (io/loader.h).
@@ -16,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/hgmatch.h"
 #include "core/hypergraph_stats.h"
@@ -24,6 +27,8 @@
 #include "io/binary_format.h"
 #include "io/loader.h"
 #include "io/writer.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "parallel/batch_runner.h"
 #include "parallel/dataflow.h"
 #include "parallel/executor.h"
@@ -72,6 +77,22 @@ int Usage() {
                "    [--no-plan-cache]    plan every query independently\n"
                "    [--policy=P]         admission order: fifo (default),\n"
                "                         priority, wfq (weighted-fair)\n"
+               "  hgmatch serve <data>   TCP front end over the service\n"
+               "    [--host=H]           listen address (default 127.0.0.1)\n"
+               "    [--port=N]           listen port (0 = ephemeral)\n"
+               "    [--port-file=PATH]   write the bound port to PATH\n"
+               "    [--threads=N] [--max-inflight=N] [--task-quota=N]\n"
+               "    [--timeout=S] [--policy=P] as for batch\n"
+               "    [--max-queued=N]     backpressure: reject submissions\n"
+               "                         beyond N waiting queries\n"
+               "    [--no-plan-cache]    no cross-submission plan reuse\n"
+               "                         (caps memory under endless\n"
+               "                         distinct query structures)\n"
+               "    [--serve-seconds=S]  exit after S seconds (0 = forever)\n"
+               "    [--allow-remote-shutdown]  honour client SHUTDOWN\n"
+               "  hgmatch query --connect=HOST:PORT <queryset>\n"
+               "    [--limit=N]          per-query embedding limit\n"
+               "    [--shutdown]         ask the server to exit afterwards\n"
                "profiles: HC MA CH CP SB HB WT TC SA AR random\n"
                "queryset: text queries separated by '---' or '# query' "
                "lines;\n"
@@ -98,6 +119,41 @@ bool ParseSeconds(const char* payload, double* out) {
   if (end == payload || *end != '\0' || v < 0) return false;
   *out = v;
   return true;
+}
+
+// Parses one of the scheduling flags shared by `batch` and `serve`
+// (--max-inflight/--task-quota/--timeout/--policy). Returns 1 when the
+// flag was consumed, 0 when `arg` is none of them, -1 on a bad value (the
+// caller reports it).
+int ParseSchedulingFlag(const char* arg, uint32_t* max_inflight,
+                        uint64_t* task_quota, double* timeout_seconds,
+                        AdmissionPolicy* admission) {
+  uint64_t count = 0;
+  if (std::strncmp(arg, "--max-inflight=", 15) == 0) {
+    if (!ParseCount(arg + 15, &count) || count > 1u << 20) return -1;
+    *max_inflight = static_cast<uint32_t>(count);
+    return 1;
+  }
+  if (std::strncmp(arg, "--task-quota=", 13) == 0) {
+    return ParseCount(arg + 13, task_quota) ? 1 : -1;
+  }
+  if (std::strncmp(arg, "--timeout=", 10) == 0) {
+    return ParseSeconds(arg + 10, timeout_seconds) ? 1 : -1;
+  }
+  if (std::strncmp(arg, "--policy=", 9) == 0) {
+    const char* policy = arg + 9;
+    if (std::strcmp(policy, "fifo") == 0) {
+      *admission = AdmissionPolicy::kFifo;
+    } else if (std::strcmp(policy, "priority") == 0) {
+      *admission = AdmissionPolicy::kPriority;
+    } else if (std::strcmp(policy, "wfq") == 0) {
+      *admission = AdmissionPolicy::kWeightedFair;
+    } else {
+      return -1;
+    }
+    return 1;
+  }
+  return 0;
 }
 
 int CmdGen(int argc, char** argv) {
@@ -257,43 +313,23 @@ int CmdBatch(int argc, char** argv) {
   int positional = 0;
   for (int a = 4; a < argc; ++a) {
     const char* arg = argv[a];
-    uint64_t count = 0;
-    if (std::strncmp(arg, "--max-inflight=", 15) == 0) {
-      if (!ParseCount(arg + 15, &count) || count > 1u << 20) {
-        std::fprintf(stderr, "bad value '%s'\n", arg);
-        return 2;
-      }
-      options.max_inflight_queries = static_cast<uint32_t>(count);
-    } else if (std::strncmp(arg, "--task-quota=", 13) == 0) {
-      if (!ParseCount(arg + 13, &count)) {
-        std::fprintf(stderr, "bad value '%s'\n", arg);
-        return 2;
-      }
-      options.task_quota = count;
-    } else if (std::strncmp(arg, "--timeout=", 10) == 0) {
-      if (!ParseSeconds(arg + 10, &options.parallel.timeout_seconds)) {
-        std::fprintf(stderr, "bad value '%s'\n", arg);
-        return 2;
-      }
-    } else if (std::strncmp(arg, "--batch-timeout=", 16) == 0) {
+    const int scheduling = ParseSchedulingFlag(
+        arg, &options.max_inflight_queries, &options.task_quota,
+        &options.parallel.timeout_seconds, &options.admission);
+    if (scheduling < 0) {
+      std::fprintf(stderr, "bad value '%s'\n", arg);
+      return 2;
+    }
+    if (scheduling > 0) {
+      continue;
+    }
+    if (std::strncmp(arg, "--batch-timeout=", 16) == 0) {
       if (!ParseSeconds(arg + 16, &options.batch_timeout_seconds)) {
         std::fprintf(stderr, "bad value '%s'\n", arg);
         return 2;
       }
     } else if (std::strcmp(arg, "--no-plan-cache") == 0) {
       options.plan_cache = false;
-    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
-      const char* policy = arg + 9;
-      if (std::strcmp(policy, "fifo") == 0) {
-        options.admission = AdmissionPolicy::kFifo;
-      } else if (std::strcmp(policy, "priority") == 0) {
-        options.admission = AdmissionPolicy::kPriority;
-      } else if (std::strcmp(policy, "wfq") == 0) {
-        options.admission = AdmissionPolicy::kWeightedFair;
-      } else {
-        std::fprintf(stderr, "bad value '%s'\n", arg);
-        return 2;
-      }
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return 2;
@@ -351,6 +387,215 @@ int CmdBatch(int argc, char** argv) {
   return planned > 0 ? 0 : 1;
 }
 
+// Parses "HOST:PORT" (the last ':' splits, so numeric hosts stay simple).
+bool ParseHostPort(const char* arg, std::string* host, uint16_t* port) {
+  const std::string s = arg;
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return false;
+  }
+  uint64_t p = 0;
+  if (!ParseCount(s.c_str() + colon + 1, &p) || p == 0 || p > 65535) {
+    return false;
+  }
+  *host = s.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<Hypergraph> data = LoadAny(argv[2]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  ServerOptions options;
+  std::string port_file;
+  double serve_seconds = 0;
+  for (int a = 3; a < argc; ++a) {
+    const char* arg = argv[a];
+    uint64_t count = 0;
+    const int scheduling = ParseSchedulingFlag(
+        arg, &options.service.max_inflight_queries,
+        &options.service.task_quota,
+        &options.service.parallel.timeout_seconds,
+        &options.service.admission);
+    if (scheduling < 0) {
+      std::fprintf(stderr, "bad value '%s'\n", arg);
+      return 2;
+    }
+    if (scheduling > 0) {
+      continue;
+    }
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      options.host = arg + 7;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      if (!ParseCount(arg + 7, &count) || count > 65535) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.port = static_cast<uint16_t>(count);
+    } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
+      port_file = arg + 12;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      if (!ParseThreads(arg + 10, &options.service.parallel.num_threads)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--max-queued=", 13) == 0) {
+      if (!ParseCount(arg + 13, &count) || count > 1u << 20) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.service.max_queued_queries = static_cast<uint32_t>(count);
+    } else if (std::strncmp(arg, "--serve-seconds=", 16) == 0) {
+      if (!ParseSeconds(arg + 16, &serve_seconds)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--no-plan-cache") == 0) {
+      options.service.plan_cache = false;
+    } else if (std::strcmp(arg, "--allow-remote-shutdown") == 0) {
+      options.allow_remote_shutdown = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    }
+  }
+
+  IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
+  MatchServer server(index, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s:%u (%u worker threads)\n", options.host.c_str(),
+              server.port(), server.Stats().num_threads);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+  if (serve_seconds > 0) {
+    server.WaitFor(serve_seconds);
+  } else {
+    server.Wait();
+  }
+  server.Stop();
+  const WireStats stats = server.Stats();
+  std::printf("served %llu submissions (%llu completed, %llu rejected)\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.rejected));
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  std::string host;
+  uint16_t port = 0;
+  std::string queryset;
+  uint64_t limit = SubmitOptions::kInheritLimit;
+  bool shutdown_after = false;
+  for (int a = 2; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strncmp(arg, "--connect=", 10) == 0) {
+      if (!ParseHostPort(arg + 10, &host, &port)) {
+        std::fprintf(stderr, "bad value '%s' (want HOST:PORT)\n", arg);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--limit=", 8) == 0) {
+      if (!ParseCount(arg + 8, &limit)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--shutdown") == 0) {
+      shutdown_after = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    } else if (queryset.empty()) {
+      queryset = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (host.empty() || queryset.empty()) return Usage();
+
+  Result<std::vector<QuerySetEntry>> entries = LoadQuerySetEntries(queryset);
+  if (!entries.ok()) {
+    std::fprintf(stderr, "%s\n", entries.status().ToString().c_str());
+    return 1;
+  }
+  if (entries.value().empty()) {
+    std::fprintf(stderr, "query set %s is empty\n", queryset.c_str());
+    return 1;
+  }
+
+  MatchClient client;
+  const Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  // Pipeline: submit everything, then collect outcomes in input order.
+  std::vector<uint64_t> ids;
+  ids.reserve(entries.value().size());
+  for (QuerySetEntry& e : entries.value()) {
+    SubmitOptions so = e.submit;
+    if (limit != SubmitOptions::kInheritLimit) so.limit = limit;
+    Result<uint64_t> id = client.Submit(e.query, so);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    ids.push_back(id.value());
+  }
+
+  size_t ok_count = 0;
+  uint64_t total_embeddings = 0, rejected = 0;
+  Timer timer;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Result<WireOutcome> reply = client.WaitOutcome(ids[i]);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    const QueryOutcome& out = reply.value().outcome;
+    std::printf("query %zu: embeddings %llu%s in %.3fs  [%s]%s\n", i,
+                static_cast<unsigned long long>(out.stats.embeddings),
+                out.stats.limit_hit ? "+" : "", out.stats.seconds,
+                QueryStatusName(out.status), out.mirrored ? " (mirrored)" : "");
+    total_embeddings += out.stats.embeddings;
+    if (out.status == QueryStatus::kOk || out.status == QueryStatus::kLimit) {
+      ++ok_count;
+    }
+    if (out.status == QueryStatus::kRejected) ++rejected;
+  }
+  std::printf("remote: %zu queries (%zu completed, %llu rejected), "
+              "embeddings %llu in %.3fs\n",
+              ids.size(), ok_count,
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(total_embeddings),
+              timer.ElapsedSeconds());
+  if (shutdown_after) {
+    const Status sent = client.RequestShutdown();
+    if (!sent.ok()) {
+      std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+      return 1;
+    }
+  }
+  return ok_count > 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
@@ -360,6 +605,8 @@ int Main(int argc, char** argv) {
   if (cmd == "sample") return CmdSample(argc, argv);
   if (cmd == "match") return CmdMatch(argc, argv);
   if (cmd == "batch") return CmdBatch(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
   return Usage();
 }
 
