@@ -2,9 +2,14 @@
 // through MatchService and (b) over the loopback TCP front end
 // (net/server.h / net/client.h), single client and pipelined. The gap
 // between the two rows is the whole protocol cost — framing, hypergraph
-// (de)serialisation, the poll loop and the kernel's loopback path — which
-// bounds what a remote deployment can lose before the network itself.
+// (de)serialisation, the serving loop and the kernel's loopback path —
+// which bounds what a remote deployment can lose before the network
+// itself. A second section measures single-query round-trip latency
+// percentiles (p50/p95/p99) with completion-driven delivery (the wake-pipe
+// path) against the legacy 2 ms ticket poll, so the tail-latency effect of
+// the completion path is measured, not asserted.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -30,6 +35,90 @@ void PrintRow(const Row& row) {
               static_cast<unsigned long long>(row.embeddings), row.seconds,
               row.seconds > 0 ? static_cast<double>(row.queries) / row.seconds
                               : 0);
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t n = sorted_in_place->size();
+  if (n == 0) return 0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(n - 1) + 0.5);
+  if (rank >= n) rank = n - 1;
+  return (*sorted_in_place)[rank];
+}
+
+// Unpipelined submit->wait round trips against `index`: each iteration
+// pays the full deliver-the-outcome path, so the gap between the two modes
+// is exactly the outcome-delivery latency — wake-pipe-driven (completion
+// hook) vs the legacy 2 ms ticket poll. `label` names the row;
+// `submit.timeout_seconds` may turn the query into a fixed-duration burn
+// (see DeliveryLatencySection).
+void LatencyRow(const char* label, const IndexedHypergraph& index,
+                const Hypergraph& query, const SubmitOptions& submit,
+                const ServiceOptions& service_options, bool completion_wakeups,
+                int rounds) {
+  ServerOptions server_options;
+  server_options.service = service_options;
+  server_options.completion_wakeups = completion_wakeups;
+  MatchServer server(index, server_options);
+  if (!server.Start().ok()) {
+    std::printf("latency       unavailable on this platform\n");
+    return;
+  }
+  MatchClient client;
+  if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+
+  const int warmup = rounds / 20 + 1;
+  std::vector<double> rtt;
+  rtt.reserve(rounds);
+  for (int i = 0; i < warmup + rounds; ++i) {
+    Timer timer;
+    Result<uint64_t> id = client.Submit(query, submit);
+    if (!id.ok()) return;
+    if (!client.WaitOutcome(id.value()).ok()) return;
+    if (i >= warmup) rtt.push_back(timer.ElapsedSeconds());
+  }
+  const double p50 = Percentile(&rtt, 0.50) * 1e6;
+  const double p95 = Percentile(&rtt, 0.95) * 1e6;
+  const double p99 = Percentile(&rtt, 0.99) * 1e6;
+  std::printf(
+      "%s/%-8s %4d rtts  p50 %9.1fus  p95 %9.1fus  p99 %9.1fus\n", label,
+      completion_wakeups ? "callback" : "poll", rounds, p50, p95, p99);
+  server.Stop();
+}
+
+// Isolates outcome-*delivery* latency from scheduling luck: a
+// combinatorial monster query with a 3 ms per-query timeout burns its
+// whole budget on the pool, so its outcome always finalises while the
+// serving thread is parked inside poll() — the completion path wakes the
+// loop through the pipe at that instant, the poll path sleeps out the
+// remainder of its 2 ms window. Subtract the 3 ms budget from the printed
+// percentiles to read the pure delivery cost. Robust down to single-core
+// hosts, where an instant query can finish before the serving thread ever
+// reaches poll() and the cadence cost hides.
+void DeliveryLatencySection() {
+  Hypergraph clique;
+  constexpr uint32_t kVertices = 40;
+  clique.AddVertices(kVertices, 0);
+  for (VertexId i = 0; i < kVertices; ++i) {
+    for (VertexId j = i + 1; j < kVertices; ++j) (void)clique.AddEdge({i, j});
+  }
+  IndexedHypergraph index = IndexedHypergraph::Build(std::move(clique));
+  Hypergraph monster;  // 4-edge path: far beyond the 3 ms budget
+  monster.AddVertices(5, 0);
+  for (VertexId v = 0; v < 4; ++v) (void)monster.AddEdge({v, v + 1});
+
+  ServiceOptions service_options;
+  service_options.parallel.num_threads = 2;
+  service_options.task_quota = 64;
+  service_options.plan_cache = true;  // one plan, reused every round
+  SubmitOptions submit;
+  submit.timeout_seconds = 0.003;
+
+  std::printf("-- outcome delivery (3ms budget burn; subtract 3000us) --\n");
+  LatencyRow("delivery", index, monster, submit, service_options,
+             /*completion_wakeups=*/true, 120);
+  LatencyRow("delivery", index, monster, submit, service_options,
+             /*completion_wakeups=*/false, 120);
 }
 
 int Main(int argc, char** argv) {
@@ -90,7 +179,18 @@ int Main(int argc, char** argv) {
       PrintRow(row);
       server.Stop();
     }
+
+    // Single-query round-trip tail latency: completion-driven delivery vs
+    // the legacy poll path. Small queries finish in well under a poll
+    // interval, so on multi-core hosts the poll cadence dominates their
+    // p50 — the case the completion path exists for.
+    LatencyRow("latency", dataset.index, queries.front(), SubmitOptions{},
+               service_options, /*completion_wakeups=*/true, 400);
+    LatencyRow("latency", dataset.index, queries.front(), SubmitOptions{},
+               service_options, /*completion_wakeups=*/false, 400);
   }
+
+  DeliveryLatencySection();
   return 0;
 }
 

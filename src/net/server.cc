@@ -44,7 +44,7 @@ bool SetNonBlocking(int fd) {
 class MatchServer::Impl {
  public:
   Impl(const IndexedHypergraph& data, const ServerOptions& options)
-      : options_(options), service_(data, options.service) {}
+      : options_(options), service_(data, ServiceOptionsFor(options, this)) {}
 
   ~Impl() { Stop(); }
 
@@ -108,12 +108,16 @@ class MatchServer::Impl {
 
   void Stop() {
     stop_requested_.store(true, std::memory_order_release);
-    if (wake_pipe_[1] >= 0) {
-      const char byte = 0;
-      (void)!::write(wake_pipe_[1], &byte, 1);
-    }
+    WakeLoop();
     if (thread_.joinable()) thread_.join();
     CloseListen();
+    // The loop cancelled whatever was still in flight on exit; those
+    // queries resolve asynchronously and their completion hooks write the
+    // wake pipe. Shut the service down *before* closing the pipe so no
+    // straggler hook can write into a recycled descriptor (Shutdown blocks
+    // until every outcome resolved and every hook returned; it is
+    // idempotent, so the destructor chain repeating it is harmless).
+    service_.Shutdown();
     for (int i = 0; i < 2; ++i) {
       if (wake_pipe_[i] >= 0) {
         ::close(wake_pipe_[i]);
@@ -151,6 +155,47 @@ class MatchServer::Impl {
     bool peer_closed = false;
   };
 
+  // Where a finished ticket's reply goes: the connection that submitted it
+  // and the client-chosen request id scoping the reply.
+  struct Route {
+    Conn* conn = nullptr;
+    uint64_t request_id = 0;
+  };
+
+  // Installs the completion hook that drives outcome delivery: each
+  // finished ticket id goes onto the ready list and the serving loop is
+  // woken through its pipe. The hook body is deliberately tiny — it runs
+  // on a pool worker inside the query's finish path.
+  static ServiceOptions ServiceOptionsFor(const ServerOptions& options,
+                                          Impl* self) {
+    ServiceOptions service = options.service;
+    if (!options.completion_wakeups) return service;
+    auto chained = std::move(service.on_query_complete);
+    service.on_query_complete = [self, chained](uint64_t ticket_id,
+                                                const QueryOutcome& outcome) {
+      if (chained) chained(ticket_id, outcome);
+      self->OnQueryComplete(ticket_id);
+    };
+    return service;
+  }
+
+  void OnQueryComplete(uint64_t ticket_id) {
+    {
+      std::lock_guard<std::mutex> lock(ready_mutex_);
+      ready_.push_back(ticket_id);
+    }
+    WakeLoop();
+  }
+
+  // Wakes the poll loop; a full pipe is as good as a written one (the loop
+  // drains the pipe and the ready list together).
+  void WakeLoop() {
+    if (wake_pipe_[1] >= 0) {
+      const char byte = 0;
+      (void)!::write(wake_pipe_[1], &byte, 1);
+    }
+  }
+
   void CloseListen() {
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
@@ -162,19 +207,18 @@ class MatchServer::Impl {
     AppendFrame(type, payload, &conn->outbuf);
   }
 
-  // Cancels and orphans every in-flight query of a dying connection. The
-  // tickets move to the zombie list so the loop still observes their
-  // resolution (retrieving an outcome is what lets the service recycle the
-  // query's slot — see parallel/service.h retention notes).
+  // Cancels and orphans every in-flight query of a dying connection and
+  // forgets their delivery routes. Nothing needs to track the orphans
+  // afterwards: the service resolves every outcome eagerly through its
+  // completion hook, so the queries' slots recycle without anyone reading
+  // them, and a ready-list id whose route is gone is simply skipped.
   void CancelConnQueries(Conn* conn) {
     cancelled_by_disconnect_.fetch_add(conn->inflight.size(),
                                        std::memory_order_relaxed);
     inflight_.fetch_sub(conn->inflight.size(), std::memory_order_relaxed);
     for (auto& [id, ticket] : conn->inflight) {
+      routes_.erase(ticket.id());
       ticket.Cancel();
-      // A cancel that resolved synchronously (queued query, mirror) needs
-      // no zombie tracking — its outcome is already retrievable.
-      if (ticket.TryGet() == nullptr) zombies_.push_back(ticket);
     }
     conn->inflight.clear();
   }
@@ -225,13 +269,17 @@ class MatchServer::Impl {
         Ticket ticket = service_.Submit(std::move(ws.query), so);
         submitted_.fetch_add(1, std::memory_order_relaxed);
         // Backpressure sheds, planning errors and mirrors of completed
-        // canonicals resolve synchronously: answer inline — the
-        // finished-count gate in DeliverFinished would never fire for
-        // them.
+        // canonicals resolve synchronously — and a fast query may already
+        // have finished between Submit and here: answer inline. The
+        // completion hook may have pushed such a ticket onto the ready
+        // list already; with no route registered, the sweep skips it.
         const QueryOutcome* done = ticket.TryGet();
         if (done != nullptr) {
           DeliverOutcome(conn, ws.request_id, *done);
           return;
+        }
+        if (options_.completion_wakeups) {
+          routes_[ticket.id()] = {conn, ws.request_id};
         }
         inflight_.fetch_add(1, std::memory_order_relaxed);
         conn->inflight.emplace(ws.request_id, std::move(ticket));
@@ -248,10 +296,11 @@ class MatchServer::Impl {
         if (it != conn->inflight.end()) {
           it->second.Cancel();
           // A synchronously resolved cancel (queued query, mirror of a
-          // running canonical) never advances the pool's finished counter,
-          // so the gated sweep would sit on it: answer inline.
+          // running canonical) is ready right now: answer inline and drop
+          // its route so the ready-list sweep cannot answer it again.
           const QueryOutcome* done = it->second.TryGet();
           if (done != nullptr) {
+            routes_.erase(it->second.id());
             DeliverOutcome(conn, it->first, *done);
             inflight_.fetch_sub(1, std::memory_order_relaxed);
             conn->inflight.erase(it);
@@ -380,15 +429,41 @@ class MatchServer::Impl {
     connections_.store(conns_.size(), std::memory_order_relaxed);
   }
 
-  // Delivers outcomes of finished queries into their connections' output
-  // buffers, and lets go of zombie tickets (cancelled for dead peers) once
-  // resolved.
+  // Completion-driven delivery: drains the ready list the completion hook
+  // filled and answers exactly those tickets — O(finished), never a scan
+  // of all pending tickets. Ids without a route were answered inline at
+  // submit/cancel time or belonged to a dropped connection; skipping them
+  // is the whole cleanup.
+  void DeliverReady() {
+    {
+      std::lock_guard<std::mutex> lock(ready_mutex_);
+      if (ready_.empty()) return;
+      ready_drain_.swap(ready_);
+    }
+    for (const uint64_t ticket_id : ready_drain_) {
+      auto route = routes_.find(ticket_id);
+      if (route == routes_.end()) continue;
+      Conn* conn = route->second.conn;
+      const uint64_t request_id = route->second.request_id;
+      routes_.erase(route);
+      auto it = conn->inflight.find(request_id);
+      if (it == conn->inflight.end()) continue;
+      // The hook fires strictly after the outcome is retrievable, so this
+      // TryGet cannot miss.
+      const QueryOutcome* done = it->second.TryGet();
+      if (done == nullptr) continue;
+      DeliverOutcome(conn, request_id, *done);
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      conn->inflight.erase(it);
+    }
+    ready_drain_.clear();
+  }
+
+  // Poll fallback (ServerOptions::completion_wakeups == false): scan every
+  // pending ticket, gated on the service's finished-query counter so idle
+  // passes stay cheap. Snapshot before sweeping: a finish racing the sweep
+  // re-arms the next pass.
   void DeliverFinished() {
-    // Cheap gate: every ticket tracked here resolves through a pool-query
-    // finish (submit-time-resolved tickets were answered inline), so an
-    // unadvanced finished counter means there is nothing to sweep — no
-    // per-ticket lock traffic on idle passes. Snapshot before sweeping: a
-    // finish racing the sweep re-arms the next pass.
     const uint64_t finished_now = service_.finished_queries();
     if (finished_now == finished_seen_) return;
     for (auto& conn : conns_) {
@@ -403,13 +478,10 @@ class MatchServer::Impl {
         it = conn->inflight.erase(it);
       }
     }
-    std::erase_if(zombies_,
-                  [](const Ticket& t) { return t.TryGet() != nullptr; });
     finished_seen_ = finished_now;
   }
 
   bool AnyPendingWork() const {
-    if (!zombies_.empty()) return true;
     for (const auto& conn : conns_) {
       if (!conn->inflight.empty()) return true;
     }
@@ -421,7 +493,11 @@ class MatchServer::Impl {
     while (true) {
       if (stop_requested_.load(std::memory_order_acquire)) break;
       AcceptConnections();
-      DeliverFinished();
+      if (options_.completion_wakeups) {
+        DeliverReady();
+      } else {
+        DeliverFinished();
+      }
       for (size_t i = 0; i < conns_.size();) {
         if (FlushConn(conns_[i].get())) {
           DropConn(i);
@@ -440,7 +516,7 @@ class MatchServer::Impl {
             ++i;
           }
         }
-        if (conns_.empty() && zombies_.empty()) break;
+        if (conns_.empty()) break;
       }
 
       fds.clear();
@@ -452,9 +528,11 @@ class MatchServer::Impl {
         if (conn->out_sent < conn->outbuf.size()) events |= POLLOUT;
         fds.push_back({conn->fd, events, 0});
       }
-      // Finished queries surface via TryGet polling, so idle cadence only
-      // matters while queries are in flight.
-      const int timeout_ms = AnyPendingWork() ? 2 : 250;
+      // Completion wakeups arrive through the wake pipe the instant a
+      // query finishes, so the timeout is pure idle housekeeping; only the
+      // poll fallback needs a tight cadence to notice finished queries.
+      const int timeout_ms =
+          !options_.completion_wakeups && AnyPendingWork() ? 2 : 250;
       const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
       if (ready < 0 && errno != EINTR) break;
 
@@ -498,15 +576,15 @@ class MatchServer::Impl {
       }
     }
     // Loop exit: cancel whatever is still in flight and close every socket
-    // (outcomes of cancelled queries resolve inside the service when it
-    // shuts down with the server).
+    // (outcomes of cancelled queries resolve through the service's
+    // completion path as it shuts down with the server).
     for (auto& conn : conns_) {
       CancelConnQueries(conn.get());
       ::close(conn->fd);
     }
     conns_.clear();
     connections_.store(0, std::memory_order_relaxed);
-    zombies_.clear();
+    routes_.clear();
   }
 
   const ServerOptions options_;
@@ -520,8 +598,17 @@ class MatchServer::Impl {
   bool shutting_down_ = false;  // serving-thread only
 
   std::vector<std::unique_ptr<Conn>> conns_;  // serving-thread only
-  std::vector<Ticket> zombies_;               // serving-thread only
-  uint64_t finished_seen_ = 0;                // serving-thread only
+  // Delivery routes of in-flight tickets, keyed by ticket id
+  // (serving-thread only; entries die with their answer or connection).
+  std::unordered_map<uint64_t, Route> routes_;
+  uint64_t finished_seen_ = 0;  // poll-fallback gate; serving-thread only
+
+  // Ticket ids whose outcomes finalised, pushed by the completion hook
+  // from pool threads, drained by the serving loop. ready_drain_ is the
+  // loop's reusable swap target (serving-thread only).
+  std::mutex ready_mutex_;
+  std::vector<uint64_t> ready_;
+  std::vector<uint64_t> ready_drain_;
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> submitted_{0};

@@ -40,6 +40,19 @@ struct ServerOptions {
   /// server). Off by default; `hgmatch serve` enables it on request for
   /// scripted runs (the CLI smoke test drives it).
   bool allow_remote_shutdown = false;
+
+  /// Completion-driven outcome delivery (the default): the server hangs a
+  /// completion hook on the service (ServiceOptions::on_query_complete)
+  /// that pushes each finished ticket id onto a lock-protected ready list
+  /// and writes the serving loop's wake pipe, so the loop wakes the
+  /// instant a query finishes and delivers exactly the ready outcomes —
+  /// the idle poll timeout stays at 250 ms regardless of in-flight work.
+  /// Off = the legacy poll fallback: the loop re-polls at 2 ms while
+  /// queries are in flight and scans every pending ticket, which adds up
+  /// to one poll interval of delivery latency per query. Kept as an
+  /// operational escape hatch and as the baseline of the
+  /// bench_net_loopback latency comparison.
+  bool completion_wakeups = true;
 };
 
 /// A poll()-based multi-connection TCP server over one MatchService: the
@@ -51,12 +64,16 @@ struct ServerOptions {
 /// the protocol.
 ///
 /// Per connection the server keeps a table of in-flight tickets keyed by
-/// the client's request id. Outcomes are delivered as kOutcome frames in
-/// completion order (clients pipeline submissions and match replies by
-/// id); a submission shed by queue-depth backpressure comes back
-/// immediately as kRejected. A connection that drops — cleanly or not —
-/// has all its in-flight queries cancelled: abandoned work never outlives
-/// its requester. A malformed frame gets one kError frame and the same
+/// the client's request id. Outcome delivery is completion-driven: the
+/// service's completion hook enqueues each finished ticket id on a ready
+/// list and wakes the poll loop through its wake pipe, so outcomes are
+/// delivered as kOutcome frames the moment they finalise, in completion
+/// order (clients pipeline submissions and match replies by id) — the
+/// loop never scans pending tickets on a cadence. A submission shed by
+/// queue-depth backpressure comes back immediately as kRejected. A
+/// connection that drops — cleanly or not — has all its in-flight
+/// queries cancelled: abandoned work never outlives its requester. A
+/// malformed frame gets one kError frame and the same
 /// cancel-and-close treatment.
 ///
 /// POSIX-only (poll/sockets); Start() reports Internal elsewhere.

@@ -5,10 +5,13 @@
 #include <cmath>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/candidates.h"
 #include "parallel/task.h"
@@ -83,6 +86,12 @@ struct QueryContext {
   // rejection path (same thread), read only by CompleteQuery.
   bool rejected = false;
 
+  // Per-query completion hook (SubmitOptions::completion). Moved out of the
+  // context into the deferred-fire list the moment the outcome is
+  // published, which is what makes the exactly-once guarantee structural:
+  // a query completes once, and the hook can only be taken once.
+  std::function<void(const QueryOutcome&)> completion;
+
   std::atomic<uint64_t> emitted{0};
   std::atomic<int64_t> pending{0};
   std::atomic<bool> stop{false};
@@ -156,67 +165,76 @@ class Scheduler::Impl {
     // empty-expander-cache sentinel and alias distinct plans in the
     // uid-keyed expander maps.
     assert(plan->uid != 0 && "submit plans built by BuildQueryPlan");
-    std::lock_guard<std::mutex> lock(admit_mutex_);
-    const uint32_t index = next_query_index_++;
-    QuerySlot& slot = queries_[index];
-    auto ctx = std::make_unique<QueryContext>();
-    ctx->index = index;
-    ctx->slot = &slot;
-    ctx->plan = plan;
-    ctx->sink = so.sink;
-    ctx->tenant_id = so.tenant_id;
-    ctx->priority = so.priority;
-    // A non-finite weight would zero the tenant's virtual-time increment
-    // and starve every other tenant; fall back to the neutral share. The
-    // cost charge gets the same protection.
-    ctx->weight =
-        (so.weight > 0 && std::isfinite(so.weight)) ? so.weight : 1.0;
-    ctx->cost = (so.cost > 0 && std::isfinite(so.cost)) ? so.cost : 1.0;
-    ctx->timeout_seconds = so.timeout_seconds < 0
-                               ? options_.parallel.timeout_seconds
-                               : so.timeout_seconds;
-    ctx->limit = so.limit == SubmitOptions::kInheritLimit
-                     ? options_.parallel.limit
-                     : so.limit;
-    const Partition* first =
-        plan->NumSteps() > 0 ? data_.FindPartition(plan->steps[0].signature)
-                             : nullptr;
-    if (first != nullptr && !first->edges().empty()) {
-      ctx->scan_table = &first->edges();
-    }
-    QueryContext* raw = ctx.get();
-    slot.ctx = std::move(ctx);
-    submitted_count_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t index;
+    bool notify = false;
+    std::vector<PendingCompletion> fire;
+    {
+      std::lock_guard<std::mutex> lock(admit_mutex_);
+      index = next_query_index_++;
+      QuerySlot& slot = queries_[index];
+      auto ctx = std::make_unique<QueryContext>();
+      ctx->index = index;
+      ctx->slot = &slot;
+      ctx->plan = plan;
+      ctx->sink = so.sink;
+      ctx->tenant_id = so.tenant_id;
+      ctx->priority = so.priority;
+      // A non-finite weight would zero the tenant's virtual-time increment
+      // and starve every other tenant; fall back to the neutral share. The
+      // cost charge gets the same protection.
+      ctx->weight =
+          (so.weight > 0 && std::isfinite(so.weight)) ? so.weight : 1.0;
+      ctx->cost = (so.cost > 0 && std::isfinite(so.cost)) ? so.cost : 1.0;
+      ctx->timeout_seconds = so.timeout_seconds < 0
+                                 ? options_.parallel.timeout_seconds
+                                 : so.timeout_seconds;
+      ctx->limit = so.limit == SubmitOptions::kInheritLimit
+                       ? options_.parallel.limit
+                       : so.limit;
+      ctx->completion = so.completion;
+      const Partition* first =
+          plan->NumSteps() > 0 ? data_.FindPartition(plan->steps[0].signature)
+                               : nullptr;
+      if (first != nullptr && !first->edges().empty()) {
+        ctx->scan_table = &first->edges();
+      }
+      QueryContext* raw = ctx.get();
+      slot.ctx = std::move(ctx);
+      submitted_count_.fetch_add(1, std::memory_order_relaxed);
 
-    // Queue-depth backpressure: once the pool runs, the waiting queue is
-    // non-empty only while the admission window is full (AdmitLocked drains
-    // it otherwise), so "window full and the queue at its bound" means this
-    // submission could only wait — shed it instead of queueing, before it
-    // costs any queue memory. Resolved synchronously: the caller observes
-    // kRejected from the returned index immediately.
-    const uint32_t window = options_.max_inflight_queries;
-    if (threads_running_ && options_.max_queued_queries != 0 &&
-        window != 0 && inflight_ >= window &&
-        queued_count_ - queued_corpses_ >= options_.max_queued_queries) {
-      raw->rejected = true;
-      raw->admit_index = admit_seq_++;
-      raw->admit_seconds = raw->finish_seconds = wall_.ElapsedSeconds();
-      rejected_count_.fetch_add(1, std::memory_order_relaxed);
-      CompleteQuery(raw);
-      RecycleContextLocked(raw);
-      return index;
+      // Queue-depth backpressure: once the pool runs, the waiting queue is
+      // non-empty only while the admission window is full (AdmitLocked
+      // drains it otherwise), so "window full and the queue at its bound"
+      // means this submission could only wait — shed it instead of
+      // queueing, before it costs any queue memory. Resolved synchronously:
+      // the caller observes kRejected from the returned index immediately.
+      const uint32_t window = options_.max_inflight_queries;
+      if (threads_running_ && options_.max_queued_queries != 0 &&
+          window != 0 && inflight_ >= window &&
+          queued_count_ - queued_corpses_ >= options_.max_queued_queries) {
+        raw->rejected = true;
+        raw->admit_index = admit_seq_++;
+        raw->admit_seconds = raw->finish_seconds = wall_.ElapsedSeconds();
+        rejected_count_.fetch_add(1, std::memory_order_relaxed);
+        CompleteQuery(raw);
+        QueueCompletionLocked(raw);
+        RecycleContextLocked(raw);
+      } else {
+        EnqueuePendingLocked(raw);
+        if (threads_running_) {
+          AdmitLocked(nullptr);
+          notify = true;
+        }
+      }
+      fire.swap(deferred_completions_);
     }
-
-    EnqueuePendingLocked(raw);
-    if (threads_running_) {
-      AdmitLocked(nullptr);
-      idle_cv_.notify_all();
-    }
+    if (notify) idle_cv_.notify_all();
+    FireCompletions(&fire);
     return index;
   }
 
   void Start() {
-    std::vector<std::thread> to_launch;
+    std::vector<PendingCompletion> fire;
     {
       std::lock_guard<std::mutex> lock(admit_mutex_);
       wall_.Reset();
@@ -232,7 +250,9 @@ class Scheduler::Impl {
       AdmitLocked(nullptr);
       threads_running_ = true;
       started_ = true;
+      fire.swap(deferred_completions_);
     }
+    FireCompletions(&fire);  // queries resolved at pre-start admission
     threads_.reserve(num_threads_);
     for (uint32_t i = 0; i < num_threads_; ++i) {
       threads_.emplace_back([this, i] { WorkerLoop(workers_[i].get()); });
@@ -240,6 +260,7 @@ class Scheduler::Impl {
   }
 
   void Seal() {
+    std::vector<PendingCompletion> fire;
     {
       std::lock_guard<std::mutex> lock(admit_mutex_);
       if (sealed_) return;
@@ -248,8 +269,10 @@ class Scheduler::Impl {
       if (queued_count_ == 0) {
         all_admitted_.store(true, std::memory_order_release);
       }
+      fire.swap(deferred_completions_);
     }
     idle_cv_.notify_all();
+    FireCompletions(&fire);
   }
 
   SchedulerReport Join() {
@@ -292,34 +315,41 @@ class Scheduler::Impl {
   }
 
   bool Cancel(uint32_t query) {
-    std::unique_lock<std::mutex> lock(admit_mutex_);
-    auto it = queries_.find(query);
-    if (it == queries_.end()) return false;  // released: long finished
-    QuerySlot& slot = it->second;
-    if (slot.finished.load(std::memory_order_acquire)) return false;
-    QueryContext* ctx = slot.ctx.get();
-    ctx->cancel_requested.store(true, std::memory_order_relaxed);
-    ctx->stop.store(true, std::memory_order_relaxed);
-    if (!ctx->seeded) {
-      // Still waiting for admission: resolve it right here rather than when
-      // the window would eventually have reached it. Its queue entry stays
-      // behind and is skipped (already finished) when popped. Before
-      // Start() the run clock has not begun (wall_ resets there), so a
-      // pre-start cancellation stamps 0 to stay inside the run's timeline.
-      ctx->admit_index = admit_seq_++;
-      ctx->admit_seconds = ctx->finish_seconds =
-          started_ ? wall_.ElapsedSeconds() : 0;
-      CompleteQuery(ctx);
-      if (ctx->in_pending_queue) {
-        // Its queue entry is now a corpse: it still occupies the policy
-        // structure until popped, but must no longer count against the
-        // max_queued_queries backpressure bound.
-        ++queued_corpses_;
-      } else {
-        RecycleContextLocked(ctx);
+    std::vector<PendingCompletion> fire;
+    {
+      std::unique_lock<std::mutex> lock(admit_mutex_);
+      auto it = queries_.find(query);
+      if (it == queries_.end()) return false;  // released: long finished
+      QuerySlot& slot = it->second;
+      if (slot.finished.load(std::memory_order_acquire)) return false;
+      QueryContext* ctx = slot.ctx.get();
+      ctx->cancel_requested.store(true, std::memory_order_relaxed);
+      ctx->stop.store(true, std::memory_order_relaxed);
+      if (!ctx->seeded) {
+        // Still waiting for admission: resolve it right here rather than
+        // when the window would eventually have reached it. Its queue entry
+        // stays behind and is skipped (already finished) when popped.
+        // Before Start() the run clock has not begun (wall_ resets there),
+        // so a pre-start cancellation stamps 0 to stay inside the run's
+        // timeline.
+        ctx->admit_index = admit_seq_++;
+        ctx->admit_seconds = ctx->finish_seconds =
+            started_ ? wall_.ElapsedSeconds() : 0;
+        CompleteQuery(ctx);
+        QueueCompletionLocked(ctx);
+        if (ctx->in_pending_queue) {
+          // Its queue entry is now a corpse: it still occupies the policy
+          // structure until popped, but must no longer count against the
+          // max_queued_queries backpressure bound.
+          ++queued_corpses_;
+        } else {
+          RecycleContextLocked(ctx);
+        }
+        if (threads_running_) AdmitLocked(nullptr);
       }
-      if (threads_running_) AdmitLocked(nullptr);
+      fire.swap(deferred_completions_);
     }
+    FireCompletions(&fire);
     return true;
   }
 
@@ -545,6 +575,34 @@ class Scheduler::Impl {
     finish_cv_.notify_all();
   }
 
+  // One completion hook ready to fire, detached from its (possibly already
+  // recycled) context: the hook plus a snapshot of the outcome it reports.
+  // The snapshot makes firing independent of slot lifetime — a Release()
+  // racing the fire cannot pull the outcome out from under the callback.
+  struct PendingCompletion {
+    std::function<void(const QueryOutcome&)> fn;
+    QueryOutcome outcome;
+  };
+
+  // Detaches a completed query's hook into the deferred-fire list. Callers
+  // hold admit_mutex_ and call this after CompleteQuery published the
+  // outcome (so hooks always observe a retrievable outcome) and before the
+  // context is recycled. Moving the hook out of the context is the
+  // exactly-once mechanism: the second taker finds it empty.
+  void QueueCompletionLocked(QueryContext* ctx) {
+    if (!ctx->completion) return;
+    deferred_completions_.push_back(
+        {std::move(ctx->completion), ctx->slot->outcome});
+  }
+
+  // Invokes hooks harvested from deferred_completions_. Callers must NOT
+  // hold any scheduler lock: the hook contract promises lock-free delivery
+  // so hooks can re-enter the read-side API (TryGetQuery, LiveContexts).
+  static void FireCompletions(std::vector<PendingCompletion>* fire) {
+    for (PendingCompletion& p : *fire) p.fn(p.outcome);
+    fire->clear();
+  }
+
   // Frees the heavy context of a finished query (bounded retention: heavy
   // state lives exactly as long as the query). Callers hold admit_mutex_
   // and guarantee the query finished and no pending-queue entry points at
@@ -567,10 +625,16 @@ class Scheduler::Impl {
       // shuts down between two admissions.
       ctx->finish_seconds = wall_.ElapsedSeconds();
       CompleteQuery(ctx);
-      std::lock_guard<std::mutex> lock(admit_mutex_);
-      --inflight_;
-      AdmitLocked(w);
-      RecycleContextLocked(ctx);  // frees ctx; must stay the last use
+      std::vector<PendingCompletion> fire;
+      {
+        std::lock_guard<std::mutex> lock(admit_mutex_);
+        --inflight_;
+        AdmitLocked(w);
+        QueueCompletionLocked(ctx);
+        RecycleContextLocked(ctx);  // frees ctx; must stay the last use
+        fire.swap(deferred_completions_);
+      }
+      FireCompletions(&fire);  // this query's hook + any admit-resolved ones
     }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -739,6 +803,7 @@ class Scheduler::Impl {
         }
         ctx->finish_seconds = ctx->admit_seconds;
         CompleteQuery(ctx);
+        QueueCompletionLocked(ctx);
         RecycleContextLocked(ctx);
         continue;
       }
@@ -746,6 +811,7 @@ class Scheduler::Impl {
         // Nothing matches the first step: done at admission.
         ctx->finish_seconds = ctx->admit_seconds;
         CompleteQuery(ctx);
+        QueueCompletionLocked(ctx);
         RecycleContextLocked(ctx);
         continue;
       }
@@ -1041,6 +1107,13 @@ class Scheduler::Impl {
   double global_vtime_ = 0;                              // admit_mutex_
   std::deque<Task*> inject_;  // mid-run SCAN seeds, guarded by admit_mutex_
   std::atomic<int64_t> inject_size_{0};
+  // Completion hooks of queries that finalised inside the current
+  // admit_mutex_ critical section, awaiting lock-free delivery. Every code
+  // path that can append (Submit, Cancel, Seal, Start, Finish — directly
+  // or through AdmitLocked) drains the list into a local vector before
+  // releasing the lock and fires it after, so entries never outlive the
+  // critical section that produced them. Guarded by admit_mutex_.
+  std::vector<PendingCompletion> deferred_completions_;
   // Retire log of plan uids whose cached per-worker state is obsolete;
   // workers consume it lazily (ReapRetiredPlans). Trimmed to the slowest
   // worker. Guarded by admit_mutex_; the version is the lock-free signal.

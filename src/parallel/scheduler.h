@@ -136,6 +136,13 @@ class Scheduler {
   /// assertion). `options.sink` may be null (count only). Thread-safe
   /// after Start(); must not be called after Seal(). Returns the query's
   /// index (also its index into SchedulerReport::queries).
+  ///
+  /// `options.completion`, when set, is invoked exactly once at the moment
+  /// the query's outcome finalises — whatever the terminal status,
+  /// including submissions resolved synchronously inside this call
+  /// (queue-depth rejection) or inside Cancel()/Start()/Seal() — after the
+  /// outcome became observable through TryGetQuery() and with no scheduler
+  /// lock held (see SubmitOptions::completion for the full contract).
   uint32_t Submit(const QueryPlan* plan, const SubmitOptions& options);
 
   /// Back-compat convenience: Submit with default options and this sink.

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/matching_order.h"
-#include "util/timer.h"
 
 namespace hgmatch {
 
@@ -56,10 +58,14 @@ namespace internal {
 //               the canonical execution's outcome instead of running;
 //  * failed:    plan_status not-ok — failed planning or submitted after
 //               Shutdown; resolved immediately.
-// Once resolved, the record is the slim, self-contained outcome store: the
+// Resolution is eager and completion-driven: the scheduler's per-query
+// completion hook resolves an executed record the moment its query
+// finalises (mirrors resolve in the same step as their canonical), after
+// which the record is the slim, self-contained outcome store — the
 // scheduler slot behind it is released (and, for plan-cache-off
 // submissions, the compiled plan retired and freed), so a record costs the
-// scheduler nothing after its outcome was first retrieved.
+// scheduler nothing once its query finished, whether or not anyone ever
+// retrieves the outcome.
 struct QueryRecord {
   ServiceImpl* service = nullptr;
   uint64_t id = 0;
@@ -76,11 +82,18 @@ struct QueryRecord {
   // resolution, read at later submissions for cost-aware WFQ charging.
   std::shared_ptr<std::atomic<uint64_t>> plan_cost;
 
-  // Threads currently blocked inside scheduler_.WaitQuery[For] on this
-  // record's slot; the slot may only be released when none are (guarded by
-  // resolve_mutex_, like `released`).
-  int waiters = 0;
-  bool released = false;
+  // Per-submit completion hook (SubmitOptions::completion); moved into the
+  // fire list when the record resolves, which is what makes exactly-once
+  // structural — a record resolves once, and the hook can only be taken
+  // once. Guarded by resolve_mutex_.
+  std::function<void(const QueryOutcome&)> completion;
+  // Unresolved sink-less repeats attached to this (canonical) record; they
+  // resolve in the same step as the canonical, so mirror tickets and their
+  // completion hooks never wait on anything but the one real execution.
+  // Guarded by resolve_mutex_.
+  std::vector<std::shared_ptr<QueryRecord>> mirrors;
+
+  bool released = false;  // scheduler slot handed back; resolve_mutex_
 
   std::atomic<bool> resolved{false};
   QueryOutcome outcome;  // valid once `resolved`
@@ -113,6 +126,27 @@ class ServiceImpl {
   void Drain() {
     EnsureStarted();
     scheduler_.WaitIdle();
+    // The pool going idle means every query finished, but the completion
+    // hook of the very last one may still be mid-flight on a worker; a
+    // drained service promises every ticket *resolved*, so wait out the
+    // specific records still unresolved at this point (a global count
+    // would not do: a submission racing in behind us and resolving
+    // synchronously could stand in for the straggler we are waiting for).
+    std::vector<std::shared_ptr<QueryRecord>> pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& rec : records_) {
+        if (!rec->resolved.load(std::memory_order_acquire)) {
+          pending.push_back(rec);
+        }
+      }
+    }
+    std::unique_lock<std::mutex> lock(resolve_mutex_);
+    for (const auto& rec : pending) {
+      resolve_cv_.wait(lock, [&rec] {
+        return rec->resolved.load(std::memory_order_acquire);
+      });
+    }
   }
 
   ServiceReport Shutdown() {
@@ -131,18 +165,20 @@ class ServiceImpl {
     }
     scheduler_.Seal();
     scheduler_.WaitIdle();
+    std::vector<FiredCompletion> fire;
     {
-      // Resolve every outstanding ticket from the final outcomes so that
-      // Wait/TryGet after Shutdown are pure reads (tickets then work even
-      // while the service is being torn down), and so their slots are
-      // released *before* Join assembles its report — a long-lived service
-      // then shuts down without materialising an O(ever-submitted)
-      // outcome vector. resolve_mutex_ fences the loop against a
-      // concurrent Ticket::Wait resolving the same record.
+      // Every query has finished and almost every record already resolved
+      // through its completion hook; sweep the stragglers whose hook is
+      // still mid-flight on a worker, so Wait/TryGet after Shutdown are
+      // pure reads and every slot is released *before* Join assembles its
+      // report — a long-lived service then shuts down without
+      // materialising an O(ever-submitted) outcome vector.
       std::lock_guard<std::mutex> lock(mutex_);
       std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
-      for (auto& rec : records_) ResolveFinishedLocked(rec.get());
+      for (auto& rec : records_) ResolveFinishedLocked(rec, &fire);
     }
+    resolve_cv_.notify_all();
+    FireCompletions(&fire);
     SchedulerReport sr = scheduler_.Join();
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -163,110 +199,69 @@ class ServiceImpl {
 
   uint32_t num_threads() const { return scheduler_.num_threads(); }
 
-  uint64_t finished_queries() const { return scheduler_.FinishedCount(); }
+  uint64_t finished_queries() const {
+    return finished_.load(std::memory_order_acquire);
+  }
 
   // ------------------------------------------------- ticket entry points --
 
   const QueryOutcome& Wait(QueryRecord* rec) {
-    if (rec->canonical != nullptr) {
-      // Mirrors resolve from their canonical *record* (never from the
-      // scheduler: the canonical's slot may already be released).
-      const QueryOutcome& canonical_out = Wait(rec->canonical.get());
-      std::lock_guard<std::mutex> lock(resolve_mutex_);
-      if (!rec->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(rec, canonical_out);
-      }
-      return rec->outcome;
-    }
-    {
-      std::lock_guard<std::mutex> lock(resolve_mutex_);
-      if (rec->resolved.load(std::memory_order_acquire)) return rec->outcome;
-      ++rec->waiters;  // blocks slot release while we wait on it
-    }
-    const QueryOutcome& out = scheduler_.WaitQuery(rec->sched_index);
-    std::lock_guard<std::mutex> lock(resolve_mutex_);
-    --rec->waiters;
-    if (!rec->resolved.load(std::memory_order_acquire)) {
-      ResolveLocked(rec, out);
-    } else {
-      MaybeReleaseLocked(rec);  // we may have been the last waiter
-    }
+    std::unique_lock<std::mutex> lock(resolve_mutex_);
+    resolve_cv_.wait(lock, [rec] {
+      return rec->resolved.load(std::memory_order_acquire);
+    });
     return rec->outcome;
   }
 
   const QueryOutcome* WaitFor(QueryRecord* rec, double timeout_seconds) {
-    if (rec->canonical != nullptr) {
-      const QueryOutcome* canonical_out =
-          WaitFor(rec->canonical.get(), timeout_seconds);
-      if (canonical_out == nullptr) return nullptr;
-      std::lock_guard<std::mutex> lock(resolve_mutex_);
-      if (!rec->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(rec, *canonical_out);
-      }
-      return &rec->outcome;
-    }
-    {
-      std::lock_guard<std::mutex> lock(resolve_mutex_);
-      if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
-      ++rec->waiters;
-    }
-    const QueryOutcome* out =
-        scheduler_.WaitQueryFor(rec->sched_index, timeout_seconds);
-    std::lock_guard<std::mutex> lock(resolve_mutex_);
-    --rec->waiters;
-    if (out != nullptr && !rec->resolved.load(std::memory_order_acquire)) {
-      ResolveLocked(rec, *out);
-    } else {
-      MaybeReleaseLocked(rec);
-    }
+    std::unique_lock<std::mutex> lock(resolve_mutex_);
+    resolve_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(
+            timeout_seconds > 0 ? timeout_seconds : 0),
+        [rec] { return rec->resolved.load(std::memory_order_acquire); });
     return rec->resolved.load(std::memory_order_acquire) ? &rec->outcome
                                                          : nullptr;
   }
 
   const QueryOutcome* TryGet(QueryRecord* rec) {
-    if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
-    if (rec->canonical != nullptr) {
-      const QueryOutcome* canonical_out = TryGet(rec->canonical.get());
-      if (canonical_out == nullptr) return nullptr;
-      std::lock_guard<std::mutex> lock(resolve_mutex_);
-      if (!rec->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(rec, *canonical_out);
-      }
-      return &rec->outcome;
-    }
-    std::lock_guard<std::mutex> lock(resolve_mutex_);
-    if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
-    // Safe against release: releases happen under resolve_mutex_, which we
-    // hold, and this record's slot is unreleased (it is unresolved).
-    const QueryOutcome* out = scheduler_.TryGetQuery(rec->sched_index);
-    if (out == nullptr) return nullptr;
-    ResolveLocked(rec, *out);
-    return &rec->outcome;
+    // Resolution is eager (completion hook), so the resolved flag is the
+    // whole truth — no scheduler consultation, no lock.
+    return rec->resolved.load(std::memory_order_acquire) ? &rec->outcome
+                                                         : nullptr;
   }
 
-  bool Cancel(QueryRecord* rec) {
+  bool Cancel(const std::shared_ptr<QueryRecord>& rec) {
     if (rec->resolved.load(std::memory_order_acquire)) return false;
     if (rec->canonical == nullptr) {
-      // Resolution (and slot release) happens when the outcome is next
-      // retrieved; a released slot reports false here (long finished).
+      // Resolution arrives through the scheduler's completion hook —
+      // synchronously inside this call for queries cancelled while queued,
+      // at the next task boundary for in-flight ones. A released slot
+      // reports false here (long finished).
       return scheduler_.Cancel(rec->sched_index);
     }
     // Mirror: if the canonical execution already finished, the mirror is
     // (about to be) resolved from it — too late to cancel; otherwise the
     // mirror detaches and resolves as cancelled, leaving the canonical
     // execution (and any sibling mirrors) untouched.
-    const QueryOutcome* canonical_out = TryGet(rec->canonical.get());
-    std::lock_guard<std::mutex> lock(resolve_mutex_);
-    if (rec->resolved.load(std::memory_order_acquire)) return false;
-    if (canonical_out != nullptr) {
-      ResolveLocked(rec, *canonical_out);
-      return false;
+    std::vector<FiredCompletion> fire;
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (rec->resolved.load(std::memory_order_acquire)) return false;
+      QueryRecord* canon = rec->canonical.get();
+      if (canon->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(rec, canon->outcome, &fire);
+      } else {
+        QueryOutcome out;
+        out.status = QueryStatus::kCancelled;
+        ResolveLocked(rec, out, &fire);
+        cancelled = true;
+      }
     }
-    rec->outcome = QueryOutcome{};
-    rec->outcome.status = QueryStatus::kCancelled;
-    rec->outcome.mirrored = true;
-    rec->resolved.store(true, std::memory_order_release);
-    return true;
+    resolve_cv_.notify_all();
+    FireCompletions(&fire);
+    return cancelled;
   }
 
  private:
@@ -281,12 +276,56 @@ class ServiceImpl {
     return so;
   }
 
-  // Stores `out` as the record's final outcome and releases whatever the
-  // record still pins: its scheduler slot (once no Wait is blocked on it)
-  // and, for plan-cache-off submissions, the compiled plan. Also feeds the
-  // measured task count back into the plan-cache cost tracker (cost-aware
-  // WFQ). Callers hold resolve_mutex_ and guarantee !rec->resolved.
-  void ResolveLocked(QueryRecord* rec, const QueryOutcome& out) {
+  // One resolved record whose user-visible hooks are ready to fire once
+  // every lock is released. The shared_ptr keeps the outcome alive
+  // independent of the record registry.
+  struct FiredCompletion {
+    std::shared_ptr<QueryRecord> rec;
+    std::function<void(const QueryOutcome&)> fn;
+  };
+
+  // Invokes the harvested hooks: the per-submit hook first, then the
+  // service-wide one. Callers must hold no service or scheduler lock —
+  // hooks may re-enter the read-side API (Ticket::TryGet).
+  void FireCompletions(std::vector<FiredCompletion>* fire) {
+    for (FiredCompletion& f : *fire) {
+      if (f.fn) f.fn(f.rec->outcome);
+      if (options_.on_query_complete) {
+        options_.on_query_complete(f.rec->id, f.rec->outcome);
+      }
+    }
+    fire->clear();
+  }
+
+  // The scheduler-level completion hook attached to every pool submission,
+  // and the heart of completion-driven delivery: the moment the scheduler
+  // finalises the query, the record resolves (slot released, mirrors
+  // resolved along), every Ticket::Wait is woken, and the user hooks fire
+  // — all on the thread that finalised the outcome.
+  void OnSchedulerComplete(const std::shared_ptr<QueryRecord>& rec,
+                           const QueryOutcome& out) {
+    std::vector<FiredCompletion> fire;
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (!rec->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(rec, out, &fire);
+      }
+    }
+    resolve_cv_.notify_all();
+    FireCompletions(&fire);
+  }
+
+  // Stores `out` as the record's final outcome, releases whatever the
+  // record still pins (its scheduler slot and, for plan-cache-off
+  // submissions, the compiled plan), feeds the measured task count back
+  // into the plan-cache cost tracker (cost-aware WFQ), resolves attached
+  // mirrors from the same outcome, and harvests the completion hooks into
+  // *fire for lock-free delivery by the caller. Callers hold
+  // resolve_mutex_, guarantee !rec->resolved, and notify resolve_cv_ after
+  // releasing the lock. Recursion depth is one: mirrors have no mirrors.
+  void ResolveLocked(const std::shared_ptr<QueryRecord>& rec,
+                     const QueryOutcome& out,
+                     std::vector<FiredCompletion>* fire) {
     rec->outcome = out;
     rec->outcome.mirrored = rec->canonical != nullptr;
     if (rec->plan_cost != nullptr && rec->canonical == nullptr &&
@@ -297,44 +336,85 @@ class ServiceImpl {
                             std::memory_order_relaxed);
     }
     rec->resolved.store(true, std::memory_order_release);
-    MaybeReleaseLocked(rec);
+    ReleaseSlotLocked(rec.get());
+    fire->push_back({rec, std::move(rec->completion)});
+    for (std::shared_ptr<QueryRecord>& m : rec->mirrors) {
+      if (!m->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(m, rec->outcome, fire);
+      }
+    }
+    rec->mirrors.clear();
+    if (rec->sched_index != kNotScheduled) {
+      // The finished-count gate of the wire server's poll fallback: bumped
+      // strictly after this record's resolved flag AND after its mirrors
+      // resolved (the fetch_add is visible to the lock-free sweep while
+      // resolve_mutex_ is still held — a bump before the mirror loop would
+      // let the sweep latch its gate past a mirror that resolves a few
+      // instructions later and strand its outcome), so an observer of the
+      // advanced count always finds every dependent outcome retrievable.
+      finished_.fetch_add(1, std::memory_order_release);
+    }
   }
 
-  // Releases the resolved record's scheduler slot unless a waiter is still
-  // blocked inside scheduler_.WaitQuery[For] on it (the last such waiter
-  // releases on its way out). Callers hold resolve_mutex_.
-  void MaybeReleaseLocked(QueryRecord* rec) {
-    if (rec->released || rec->waiters != 0 ||
-        rec->sched_index == kNotScheduled ||
-        !rec->resolved.load(std::memory_order_acquire)) {
-      return;
-    }
+  // Releases the resolved record's scheduler slot and, for plan-cache-off
+  // submissions, retires + frees the plan that served exactly this query.
+  // Callers hold resolve_mutex_.
+  void ReleaseSlotLocked(QueryRecord* rec) {
+    if (rec->released || rec->sched_index == kNotScheduled) return;
     rec->released = true;
     scheduler_.Release(rec->sched_index);
     if (rec->owned_plan != nullptr) {
-      // Plan-cache off: this plan served exactly this (finished) query.
-      // Retire the uid so workers drop their cached expanders, then free
-      // the plan and its query.
       scheduler_.RetirePlan(rec->owned_plan->uid);
       rec->owned_plan.reset();
       rec->owned_query = Hypergraph();
     }
   }
 
-  // Shutdown path: resolve a record from its finished scheduler slot (or
-  // its canonical record, resolved first). Callers hold resolve_mutex_
-  // after Seal()+WaitIdle(), so every query has finished and every
-  // unresolved record's slot is still retained. Recursion depth is at most
-  // one (a canonical is never itself a mirror).
-  void ResolveFinishedLocked(QueryRecord* rec) {
+  // Publishes the scheduler index of a just-submitted record, and finishes
+  // any slot release the completion hook had to skip because it ran before
+  // the index was known: a query can finalise on the pool (or synchronously
+  // inside Submit, on the rejection path) before Submit's caller regains
+  // control, and ResolveLocked then finds kNotScheduled. The catch-up also
+  // performs the finished-count bump that gates the poll fallback.
+  void AttachSchedIndex(const std::shared_ptr<QueryRecord>& rec,
+                        uint32_t index) {
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    rec->sched_index = index;
+    if (rec->resolved.load(std::memory_order_acquire) && !rec->released) {
+      ReleaseSlotLocked(rec.get());
+      finished_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  // Resolves a record outside the scheduler path (plan errors, sealed
+  // submissions, mirrors of already-finished canonicals). Callers hold no
+  // lock beyond mutex_ and fire + notify after releasing it.
+  void ResolveNow(const std::shared_ptr<QueryRecord>& rec,
+                  const QueryOutcome& out,
+                  std::vector<FiredCompletion>* fire) {
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    if (!rec->resolved.load(std::memory_order_acquire)) {
+      ResolveLocked(rec, out, fire);
+    }
+  }
+
+  // Shutdown path: resolve a straggler record from its finished scheduler
+  // slot (or its canonical record, resolved first — which resolves this
+  // mirror along). Callers hold mutex_ + resolve_mutex_ after
+  // Seal()+WaitIdle(), so every query has finished and every unresolved
+  // record's slot is still retained.
+  void ResolveFinishedLocked(const std::shared_ptr<QueryRecord>& rec,
+                             std::vector<FiredCompletion>* fire) {
     if (rec->resolved.load(std::memory_order_acquire)) return;
     if (rec->canonical != nullptr) {
-      ResolveFinishedLocked(rec->canonical.get());
-      ResolveLocked(rec, rec->canonical->outcome);
+      ResolveFinishedLocked(rec->canonical, fire);
+      if (!rec->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(rec, rec->canonical->outcome, fire);
+      }
       return;
     }
     const QueryOutcome* out = scheduler_.TryGetQuery(rec->sched_index);
-    if (out != nullptr) ResolveLocked(rec, *out);
+    if (out != nullptr) ResolveLocked(rec, *out, fire);
   }
 
   void EnsureStarted() {
@@ -371,6 +451,26 @@ class ServiceImpl {
     uint64_t limit = 0;          // repeats under equal budgets may mirror
   };
 
+  // The scheduler-bound SubmitOptions of one pool submission: the user's
+  // parameters, the cost-aware WFQ charge (charge this admission by the
+  // plan's last measured task count; first-seen plans keep the flat 1),
+  // and the service's internal completion hook in place of the user's —
+  // the user hooks fire at service-level resolution, inside that hook.
+  SubmitOptions SchedulerSubmit(const SubmitOptions& so,
+                                const std::shared_ptr<QueryRecord>& rec,
+                                const CacheEntry* entry) {
+    SubmitOptions effective = so;
+    if (entry != nullptr && options_.cost_aware_wfq &&
+        options_.admission == AdmissionPolicy::kWeightedFair) {
+      const uint64_t measured = entry->cost->load(std::memory_order_relaxed);
+      if (measured > 0) effective.cost = static_cast<double>(measured);
+    }
+    effective.completion = [this, rec](const QueryOutcome& out) {
+      OnSchedulerComplete(rec, out);
+    };
+    return effective;
+  }
+
   // `borrowed` is null for owning submits (the query then lives in
   // rec->owned_query).
   Ticket SubmitRecord(std::shared_ptr<QueryRecord> rec,
@@ -378,19 +478,38 @@ class ServiceImpl {
     const Hypergraph& query =
         borrowed != nullptr ? *borrowed : rec->owned_query;
     rec->service = this;
+    rec->completion = so.completion;
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    SweepResolvedRecordsLocked();
-    rec->id = submitted_++;
-    if (sealed_) {
-      rec->plan_status = Status::InvalidArgument("service is shut down");
-      rec->outcome.status = QueryStatus::kPlanError;
-      rec->resolved.store(true, std::memory_order_release);
-      ++plan_errors_;
-      records_.push_back(rec);
-      return Ticket(std::move(rec));
+    std::vector<FiredCompletion> fire;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SweepResolvedRecordsLocked();
+      rec->id = submitted_++;
+      if (sealed_) {
+        rec->plan_status = Status::InvalidArgument("service is shut down");
+        ++plan_errors_;
+        QueryOutcome out;
+        out.status = QueryStatus::kPlanError;
+        ResolveNow(rec, out, &fire);
+        records_.push_back(rec);
+      } else {
+        SubmitOpenLocked(rec, query, so, &fire);
+      }
     }
+    // Synchronously resolved submissions (rejections, plan errors, mirrors
+    // of finished canonicals) deliver their hooks before Submit returns;
+    // hooks of executed queries fire from the pool when they finish.
+    if (!fire.empty()) {
+      resolve_cv_.notify_all();
+      FireCompletions(&fire);
+    }
+    return Ticket(std::move(rec));
+  }
 
+  // The not-sealed body of SubmitRecord. Callers hold mutex_.
+  void SubmitOpenLocked(const std::shared_ptr<QueryRecord>& rec,
+                        const Hypergraph& query, const SubmitOptions& so,
+                        std::vector<FiredCompletion>* fire) {
     std::string key;
     if (options_.plan_cache) {
       key = QueryCacheKey(query);
@@ -401,25 +520,40 @@ class ServiceImpl {
         const bool same_budgets =
             EffectiveTimeout(so) == entry.timeout_seconds &&
             EffectiveLimit(so) == entry.limit;
-        // TryGet resolves (and recycles) the canonical opportunistically;
-        // it never consults a released slot.
-        const QueryOutcome* done = TryGet(entry.canonical.get());
-        if (so.sink == nullptr && same_budgets) {
-          if (done == nullptr || done->status == QueryStatus::kOk ||
-              done->status == QueryStatus::kLimit) {
-            // Mirror: skip execution, copy the canonical outcome once it
-            // is (or already became) available. A canonical that is known
-            // to have timed out or been cancelled is not a trustworthy
-            // source of counts, so such repeats re-execute below.
-            rec->canonical = entry.canonical;
-            ++mirrored_;
-            records_.push_back(rec);
-            return Ticket(std::move(rec));
+        // The canonical resolves eagerly (completion-driven), so its
+        // resolved flag + stored outcome are the authoritative snapshot —
+        // no scheduler consultation.
+        const QueryOutcome* done =
+            entry.canonical->resolved.load(std::memory_order_acquire)
+                ? &entry.canonical->outcome
+                : nullptr;
+        if (so.sink == nullptr && same_budgets &&
+            (done == nullptr || done->status == QueryStatus::kOk ||
+             done->status == QueryStatus::kLimit)) {
+          // Mirror: skip execution, copy the canonical outcome once it is
+          // (or already became) available. A canonical that is known to
+          // have timed out or been cancelled is not a trustworthy source
+          // of counts, so such repeats re-execute below.
+          rec->canonical = entry.canonical;
+          ++mirrored_;
+          records_.push_back(rec);
+          std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+          if (entry.canonical->resolved.load(std::memory_order_acquire)) {
+            // Resolved (well, or resolved *badly* in the window since the
+            // snapshot above — the same fate the mirror would have shared
+            // attached a moment earlier).
+            if (!rec->resolved.load(std::memory_order_acquire)) {
+              ResolveLocked(rec, entry.canonical->outcome, fire);
+            }
+          } else {
+            entry.canonical->mirrors.push_back(rec);
           }
+          return;
         }
         rec->plan_cost = entry.cost;
-        rec->sched_index =
-            scheduler_.Submit(entry.plan, WithPlanCost(so, entry));
+        const uint32_t index =
+            scheduler_.Submit(entry.plan, SchedulerSubmit(so, rec, &entry));
+        AttachSchedIndex(rec, index);
         if (CountScheduledLocked(rec.get()) && done != nullptr &&
             done->status != QueryStatus::kOk &&
             done->status != QueryStatus::kLimit && same_budgets) {
@@ -430,29 +564,35 @@ class ServiceImpl {
           entry.canonical = rec;
         }
         records_.push_back(rec);
-        return Ticket(std::move(rec));
+        return;
       }
     }
 
     Result<QueryPlan> plan = BuildQueryPlan(query, data_);
     if (!plan.ok()) {
       rec->plan_status = plan.status();
-      rec->outcome.status = QueryStatus::kPlanError;
-      rec->resolved.store(true, std::memory_order_release);
       ++plan_errors_;
+      QueryOutcome out;
+      out.status = QueryStatus::kPlanError;
+      ResolveNow(rec, out, fire);
       records_.push_back(rec);
-      return Ticket(std::move(rec));
+      return;
     }
-    auto compiled_owner =
-        std::make_unique<QueryPlan>(std::move(plan).value());
+    auto compiled_owner = std::make_unique<QueryPlan>(std::move(plan).value());
     const QueryPlan* compiled = compiled_owner.get();
     ++unique_plans_;
-    rec->sched_index = scheduler_.Submit(compiled, so);
+    // Everything the completion hook's resolution path reads must be in
+    // place before Submit hands the record to the pool — a fast query can
+    // finalise before this thread regains control.
+    auto cost = options_.plan_cache
+                    ? std::make_shared<std::atomic<uint64_t>>(0)
+                    : nullptr;
+    rec->plan_cost = cost;
+    AttachSchedIndex(
+        rec, scheduler_.Submit(compiled, SchedulerSubmit(so, rec, nullptr)));
     const bool accepted = CountScheduledLocked(rec.get());
     if (options_.plan_cache && accepted) {
       plans_.push_back(std::move(compiled_owner));
-      auto cost = std::make_shared<std::atomic<uint64_t>>(0);
-      rec->plan_cost = cost;
       cache_.emplace(std::move(key),
                      CacheEntry{compiled, rec, rec, std::move(cost),
                                 EffectiveTimeout(so), EffectiveLimit(so)});
@@ -462,33 +602,34 @@ class ServiceImpl {
       // entry: repeats could never mirror again) — the plan serves exactly
       // this record; it is retired + freed at resolution (bounded
       // retention for cache-off services).
-      rec->owned_plan = std::move(compiled_owner);
+      {
+        std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+        if (!rec->resolved.load(std::memory_order_acquire)) {
+          rec->owned_plan = std::move(compiled_owner);
+        } else {
+          // Resolved synchronously inside Submit (shed by the queue
+          // bound): the slot was already released, so retire the plan
+          // right here instead of parking it on the record.
+          scheduler_.RetirePlan(compiled_owner->uid);
+          compiled_owner.reset();
+        }
+      }
     }
     records_.push_back(rec);
-    return Ticket(std::move(rec));
   }
 
   // A submission shed by the queue-depth bound resolves synchronously
-  // inside scheduler_.Submit; classify it as rejected rather than executed
-  // (report semantics: `executed` = queries that actually ran). Returns
-  // whether the submission was accepted onto the pool.
+  // inside scheduler_.Submit (through the completion hook); classify it as
+  // rejected rather than executed (report semantics: `executed` = queries
+  // that actually ran). Returns whether the submission was accepted onto
+  // the pool. Callers hold mutex_.
   bool CountScheduledLocked(QueryRecord* rec) {
-    const QueryOutcome* out = scheduler_.TryGetQuery(rec->sched_index);
-    if (out != nullptr && out->status == QueryStatus::kRejected) return false;
+    if (rec->resolved.load(std::memory_order_acquire) &&
+        rec->outcome.status == QueryStatus::kRejected) {
+      return false;
+    }
     ++executed_;
     return true;
-  }
-
-  // Cost-aware WFQ: charge this admission by the plan's last measured task
-  // count (first-seen plans keep the flat charge of 1).
-  SubmitOptions WithPlanCost(const SubmitOptions& so, const CacheEntry& entry) {
-    SubmitOptions effective = so;
-    if (options_.cost_aware_wfq &&
-        options_.admission == AdmissionPolicy::kWeightedFair) {
-      const uint64_t measured = entry.cost->load(std::memory_order_relaxed);
-      if (measured > 0) effective.cost = static_cast<double>(measured);
-    }
-    return effective;
   }
 
   // Opportunistic GC for long-lived services: a resolved record is a pure
@@ -525,7 +666,13 @@ class ServiceImpl {
   bool sealed_ = false;
   bool started_ = false;  // guarded by mutex_ after construction
 
-  std::mutex resolve_mutex_;  // serialises Wait/Cancel resolution races
+  // Lock order: mutex_ before resolve_mutex_; scheduler-internal locks are
+  // only ever taken *under* resolve_mutex_ (Release/RetirePlan/TryGet),
+  // never the other way around — the scheduler fires completion hooks with
+  // no lock held.
+  std::mutex resolve_mutex_;          // record resolution + mirror lists
+  std::condition_variable resolve_cv_;  // armed by the completion hook
+  std::atomic<uint64_t> finished_{0};  // pool submissions resolved
 
   std::mutex shutdown_mutex_;
   std::atomic<bool> shut_down_{false};
@@ -557,7 +704,7 @@ const QueryOutcome* Ticket::TryGet() const {
 
 bool Ticket::Cancel() const {
   if (rec_->resolved.load(std::memory_order_acquire)) return false;
-  return rec_->service->Cancel(rec_.get());
+  return rec_->service->Cancel(rec_);
 }
 
 // ------------------------------------------------------------ MatchService --

@@ -2,6 +2,7 @@
 #define HGMATCH_PARALLEL_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -80,6 +81,26 @@ struct ServiceOptions {
   /// when query sizes are heterogeneous. First-seen plans charge 1. No
   /// effect without plan_cache or under other admission policies.
   bool cost_aware_wfq = true;
+
+  /// Service-wide completion hook: invoked exactly once per submission —
+  /// with its Ticket::id() and final outcome — at the moment the outcome
+  /// finalises, whatever the terminal status (ok, timeout, limit,
+  /// cancelled, rejected, plan-error) and whichever path produced it
+  /// (executed on the pool, mirrored from a canonical, cancelled while
+  /// queued, shed by backpressure, rejected after Shutdown). Fired after
+  /// the outcome is observable through Ticket::TryGet() and with no
+  /// service or scheduler lock that the read-side API needs, so the hook
+  /// may TryGet other tickets. It runs on whichever thread finalised the
+  /// outcome: a pool worker for executed queries (mirrors piggyback on
+  /// their canonical's finish), or the caller of Submit()/Cancel() —
+  /// before that call returns — for synchronously resolved submissions.
+  /// Keep it fast and non-blocking, and do not call Submit/Wait/Cancel/
+  /// Drain/Shutdown on this service from inside it. The wire front end
+  /// (net/server.h) uses this hook to wake its serving loop the instant a
+  /// query finishes instead of polling tickets. Runs after the per-submit
+  /// SubmitOptions::completion hook of the same query, if any.
+  std::function<void(uint64_t ticket_id, const QueryOutcome& outcome)>
+      on_query_complete;
 };
 
 /// Aggregate accounting of one service lifetime, returned by Shutdown().
@@ -119,7 +140,9 @@ class Ticket {
   /// Blocks until the query finishes (completion, timeout, limit,
   /// cancellation or rejection) and returns its outcome. The reference
   /// stays valid for the service's lifetime. Thread-safe; may be called
-  /// repeatedly.
+  /// repeatedly. Completion-driven: the wait parks on a condition variable
+  /// armed by the scheduler's completion hook, so it wakes the moment the
+  /// outcome finalises — there is no polling anywhere on this path.
   const QueryOutcome& Wait() const;
 
   /// Bounded Wait (request deadlines, e.g. the wire front end): blocks
@@ -158,13 +181,21 @@ class Ticket {
 /// waits for everything submitted so far; Shutdown() seals the service,
 /// drains, joins the pool and returns the aggregate report.
 ///
+/// Outcome delivery is completion-driven: the service hangs a completion
+/// hook on every pool submission, and the moment the scheduler finalises a
+/// query the hook copies the outcome into the ticket record, releases the
+/// scheduler slot, resolves any mirrors attached to the record, wakes every
+/// Ticket::Wait, and fires the user-visible completion hooks (per-submit
+/// SubmitOptions::completion, then ServiceOptions::on_query_complete) —
+/// exactly once per submission, on the thread that finalised the outcome.
+///
 /// Retention is bounded for a long-lived service: a query's heavy
 /// execution state is recycled the moment it finishes, its scheduler slot
-/// is recycled when its outcome is first retrieved (Wait/TryGet — outcomes
-/// never retrieved are reclaimed at Shutdown), and resolved ticket records
-/// are swept opportunistically, so memory tracks in-flight work plus the
-/// plan cache (one plan + canonical outcome per distinct query structure),
-/// not the total ever submitted.
+/// is recycled at that same instant (the completion hook resolves the
+/// record eagerly — outcomes need not be retrieved for memory to stay
+/// bounded), and resolved ticket records are swept opportunistically, so
+/// memory tracks in-flight work plus the plan cache (one plan + canonical
+/// outcome per distinct query structure), not the total ever submitted.
 ///
 /// The batch engine (parallel/batch_runner.h RunBatch) is a thin facade
 /// over this class: submit all, wait all, map outcomes to input order.
@@ -203,10 +234,12 @@ class MatchService {
   /// Resolved pool size.
   uint32_t num_threads() const;
 
-  /// Monotonic count of pool queries that have finished (any terminal
-  /// status; mirrors resolve without touching it). One atomic load — a
-  /// poller (e.g. the wire server) can skip scanning its tickets while
-  /// this has not advanced.
+  /// Monotonic count of pool submissions whose outcome has finalised *and*
+  /// become retrievable through Ticket::TryGet (any terminal status;
+  /// mirrors and plan errors resolve without touching it). One atomic load
+  /// — a poller (the wire server's poll fallback) can skip scanning its
+  /// tickets while this has not advanced, and an advance guarantees the
+  /// corresponding TryGet calls succeed.
   uint64_t finished_queries() const;
 
  private:

@@ -2,6 +2,7 @@
 #define HGMATCH_PARALLEL_SUBMIT_OPTIONS_H_
 
 #include <cstdint>
+#include <functional>
 
 // Plain-data submission vocabulary shared by the scheduler core
 // (parallel/scheduler.h), the streaming service (parallel/service.h), the
@@ -13,6 +14,7 @@
 namespace hgmatch {
 
 class EmbeddingSink;
+struct QueryOutcome;
 
 /// Order in which waiting queries are admitted into the pool when the
 /// admission window has a free slot.
@@ -85,6 +87,20 @@ struct SubmitOptions {
   /// Consumer of this query's embeddings; may be null (count only). Emit
   /// calls are serialised per query.
   EmbeddingSink* sink = nullptr;
+
+  /// Completion hook: invoked exactly once when this query's outcome
+  /// finalises, whatever the terminal status (ok, timeout, limit,
+  /// cancelled, rejected — and, through the service layer, plan-error and
+  /// mirrored resolutions). Fired strictly *after* the outcome is
+  /// retrievable (TryGet-style reads from inside the hook observe it) and
+  /// never while an engine lock is held, so the hook may call back into
+  /// the engine's read-side API. It runs on whichever thread finalised the
+  /// outcome: a pool worker for queries that execute, or the caller of
+  /// Submit()/Cancel() for synchronously resolved ones (rejections,
+  /// cancelled-while-queued, plan errors) — in the latter case before that
+  /// call returns. Keep it fast and non-blocking (it runs on the hot
+  /// completion path), and do not submit/cancel/wait from inside it.
+  std::function<void(const QueryOutcome&)> completion;
 };
 
 }  // namespace hgmatch

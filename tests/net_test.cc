@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -20,6 +21,7 @@
 
 #include "core/hgmatch.h"
 #include "tests/test_fixtures.h"
+#include "util/rng.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define HGMATCH_NET_TEST_SOCKETS 1
@@ -619,6 +621,241 @@ TEST(NetTest, RemoteShutdownIsRefusedWhenDisabled) {
   ASSERT_TRUE(client.RequestShutdown().ok());  // sends fine...
   EXPECT_FALSE(client.Ping().ok());  // ...but the server errors and closes
   EXPECT_FALSE(server.WaitFor(0.2));  // and keeps serving
+  server.Stop();
+}
+
+TEST(NetTest, PollFallbackStillDeliversOutcomes) {
+  // ServerOptions::completion_wakeups = false keeps the legacy 2 ms ticket
+  // poll alive as an operational escape hatch (and as the baseline of the
+  // bench_net_loopback latency comparison); parity, pipelining and cancel
+  // must hold there too.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  ServerOptions options = LoopbackOptions(2);
+  options.completion_wakeups = false;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t expected1 =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const uint64_t expected2 =
+      MatchSequential(idx, PathQuery(2)).value().embeddings;
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::vector<uint64_t> ids;
+  for (uint32_t k : {1u, 2u, 1u}) {
+    Result<uint64_t> id = client.Submit(PathQuery(k));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (size_t i = ids.size(); i-- > 0;) {
+    Result<WireOutcome> reply = client.WaitOutcome(ids[i]);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().outcome.stats.embeddings,
+              i % 2 == 0 ? expected1 : expected2);
+  }
+  server.Stop();
+}
+
+TEST(NetTest, PollFallbackDeliversMirrorsResolvedWithTheirCanonical) {
+  // Regression: the poll fallback's sweep gate (finished_queries) is read
+  // lock-free while the service resolves a canonical and its mirrors under
+  // its resolve lock. The gate must only advance once the mirrors are
+  // resolved too — a bump in between let the sweep latch past a mirror and
+  // strand its outcome forever (this test then hangs into its TIMEOUT).
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;  // plan_cache stays on (default)
+  options.completion_wakeups = false;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> canonical = client.Submit(PathQuery(4));
+  Result<uint64_t> mirror = client.Submit(PathQuery(4));  // attaches in flight
+  ASSERT_TRUE(canonical.ok() && mirror.ok());
+  ASSERT_TRUE(client.Cancel(canonical.value()).ok());
+
+  // Both outcomes must arrive: the canonical's cancellation and the
+  // mirror's inherited one, resolved in the same completion step.
+  Result<WireOutcome> canonical_reply = client.WaitOutcome(canonical.value());
+  ASSERT_TRUE(canonical_reply.ok());
+  EXPECT_EQ(canonical_reply.value().outcome.status, QueryStatus::kCancelled);
+  Result<WireOutcome> mirror_reply = client.WaitOutcome(mirror.value());
+  ASSERT_TRUE(mirror_reply.ok());
+  EXPECT_EQ(mirror_reply.value().outcome.status, QueryStatus::kCancelled);
+  EXPECT_TRUE(mirror_reply.value().outcome.mirrored);
+  server.Stop();
+}
+
+// ------------------------------------------------------ protocol fuzzing --
+
+// Seeded protocol fuzz harness: take valid frames, mutate them (bit flips,
+// truncation, oversized/undersized length fields, random type bytes,
+// garbage payloads, random garbage streams), replay each mutant on a fresh
+// connection against a live server, and require that the server either
+// ignores the bytes, answers valid frames, or answers one kError and
+// closes — and that it never crashes, leaks (the ASan/UBSan CI job runs
+// this suite), wedges, or stops serving well-formed clients. The seed is
+// deterministic (override with HGMATCH_FUZZ_SEED) and logged on failure so
+// any crash replays bit-for-bit.
+TEST(NetFuzzTest, MutatedFramesNeverCrashTheServer) {
+  uint64_t seed = 0xfeedface2024;
+  if (const char* env = std::getenv("HGMATCH_FUZZ_SEED")) {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  SCOPED_TRACE("fuzz seed = " + std::to_string(seed) +
+               " (re-run with HGMATCH_FUZZ_SEED)");
+  Rng rng(seed);
+
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(2);
+  options.max_connections = 8;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The corpus of valid byte streams the mutations start from.
+  std::vector<std::string> corpus;
+  {
+    std::string s;
+    AppendFrame(FrameType::kPing, "fuzz", &s);
+    corpus.push_back(s);
+  }
+  {
+    WireSubmit submit;
+    submit.request_id = 1;
+    submit.query = PaperQueryHypergraph();
+    std::string s;
+    AppendFrame(FrameType::kSubmit, EncodeSubmit(submit), &s);
+    corpus.push_back(s);
+  }
+  {
+    std::string s;
+    AppendFrame(FrameType::kCancel, EncodeRequestId(7), &s);
+    AppendFrame(FrameType::kStats, "", &s);
+    corpus.push_back(s);
+  }
+  {
+    std::string s;
+    AppendFrame(FrameType::kShutdown, "", &s);  // disabled => error path
+    corpus.push_back(s);
+  }
+
+  // Checks one server reply stream: every complete frame parses, only
+  // server->client frame types appear, and an error frame (if any) is
+  // final. Trailing partial bytes are impossible — the server writes whole
+  // frames — so any parse failure is a real server bug.
+  auto check_reply = [](const std::string& reply, int iteration) {
+    FrameReader reader;
+    reader.Feed(reply.data(), reply.size());
+    FrameReader::Frame frame;
+    bool saw_error = false;
+    while (true) {
+      Result<bool> next = reader.Next(&frame);
+      ASSERT_TRUE(next.ok()) << "iteration " << iteration
+                             << ": unparseable server reply";
+      if (!next.value()) break;
+      ASSERT_FALSE(saw_error) << "iteration " << iteration
+                              << ": frames after kError";
+      switch (frame.type) {
+        case FrameType::kOutcome:
+        case FrameType::kRejected:
+        case FrameType::kPong:
+        case FrameType::kStatsReply:
+          break;  // legal replies to a mutant that stayed well-formed
+        case FrameType::kError:
+          saw_error = true;
+          break;
+        default:
+          FAIL() << "iteration " << iteration
+                 << ": server sent client->server frame type "
+                 << static_cast<int>(frame.type);
+      }
+    }
+    EXPECT_EQ(reader.buffered(), 0u)
+        << "iteration " << iteration << ": truncated trailing frame";
+  };
+
+  constexpr int kIterations = 250;
+  for (int i = 0; i < kIterations; ++i) {
+    std::string bytes = corpus[rng.NextBounded(corpus.size())];
+    switch (rng.NextBounded(6)) {
+      case 0:  // bit flips
+        for (uint64_t flips = 1 + rng.NextBounded(8); flips > 0; --flips) {
+          const size_t pos = rng.NextBounded(bytes.size());
+          bytes[pos] = static_cast<char>(
+              bytes[pos] ^ static_cast<char>(1u << rng.NextBounded(8)));
+        }
+        break;
+      case 1:  // truncation
+        bytes.resize(rng.NextBounded(bytes.size()));
+        break;
+      case 2: {  // length-field rewrite: oversized, undersized, or huge
+        if (bytes.size() >= kWireHeaderBytes) {
+          uint32_t len;
+          switch (rng.NextBounded(3)) {
+            case 0: len = kMaxWirePayload + 1; break;       // over the bound
+            case 1: len = static_cast<uint32_t>(            // wrong but legal
+                        rng.NextBounded(kMaxWirePayload)); break;
+            default: len = 0xffffffffu; break;              // absurd
+          }
+          bytes.replace(5, 4, reinterpret_cast<const char*>(&len), 4);
+        }
+        break;
+      }
+      case 3:  // random type byte
+        if (bytes.size() >= kWireHeaderBytes) {
+          bytes[4] = static_cast<char>(rng.NextBounded(256));
+        }
+        break;
+      case 4: {  // garbage payload under a valid header
+        const uint32_t len = static_cast<uint32_t>(rng.NextBounded(512));
+        std::string garbage(len, '\0');
+        for (char& c : garbage) c = static_cast<char>(rng.Next64());
+        bytes.clear();
+        AppendFrame(static_cast<FrameType>(
+                        1 + rng.NextBounded(10)),  // any defined type
+                    garbage, &bytes);
+        break;
+      }
+      default: {  // pure random garbage stream
+        bytes.resize(1 + rng.NextBounded(2048));
+        for (char& c : bytes) c = static_cast<char>(rng.Next64());
+        break;
+      }
+    }
+
+    RawConn conn;
+    ASSERT_TRUE(conn.Connect(server.port())) << "iteration " << i;
+    if (!bytes.empty()) {
+      if (!conn.Send(bytes)) continue;  // server already slammed the door
+    }
+    conn.HalfClose();
+    // ReadAll returns at server close: EOF always ends the exchange — a
+    // wedged connection would hang here and fail through the CTest
+    // TIMEOUT.
+    check_reply(conn.ReadAll(), i);
+
+    if (i % 25 == 0) {
+      // Liveness probe: a well-formed client is still served exactly.
+      MatchClient probe;
+      ASSERT_TRUE(probe.Connect("127.0.0.1", server.port()).ok())
+          << "iteration " << i;
+      ASSERT_TRUE(probe.Ping().ok()) << "iteration " << i;
+      Result<uint64_t> id = probe.Submit(PaperQueryHypergraph());
+      ASSERT_TRUE(id.ok()) << "iteration " << i;
+      Result<WireOutcome> reply = probe.WaitOutcome(id.value());
+      ASSERT_TRUE(reply.ok()) << "iteration " << i;
+      EXPECT_EQ(reply.value().outcome.stats.embeddings, 2u)
+          << "iteration " << i;
+    }
+  }
+
+  // The fuzz barrage must not have wedged bookkeeping: the server still
+  // reports zero in-flight work once everything settled.
+  ASSERT_TRUE(EventuallyTrue([&] { return server.Stats().inflight == 0; }));
   server.Stop();
 }
 

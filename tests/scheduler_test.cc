@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <vector>
@@ -463,6 +464,205 @@ TEST(SchedulerTest, ContextTableStaysBoundedUnderStreamingChurn) {
   EXPECT_EQ(scheduler.LiveContexts(), 0u);
   EXPECT_EQ(scheduler.RetainedSlots(), 0u);
   EXPECT_EQ(report.queries.size(), 0u);
+}
+
+// ----------------------------------------------- completion-hook contract --
+//
+// The contract of SubmitOptions::completion: exactly once per query, for
+// every terminal status, after the outcome is retrievable, never under a
+// scheduler lock. The lock clause is asserted by re-entering the scheduler
+// from inside the hook (TryGetQuery/LiveContexts take the admission lock):
+// a hook invoked with that non-recursive mutex held deadlocks on the spot
+// and fails the suite through its CTest TIMEOUT — the try-lock assertion,
+// in structural form.
+
+// Hook bookkeeping shared by the contract tests.
+struct HookProbe {
+  std::atomic<int> fires{0};
+  std::atomic<QueryStatus> status{QueryStatus::kOk};
+  std::atomic<uint64_t> embeddings{0};
+};
+
+TEST(SchedulerCallbackTest, OkLimitAndTimeoutFireOnceFromThePool) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(20));
+  const uint64_t cheap_expected =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+
+  struct Case {
+    uint32_t path_len;
+    double timeout = 0;
+    uint64_t limit = 0;
+    QueryStatus expected;
+  };
+  const std::vector<Case> cases = {
+      {1, 0, 0, QueryStatus::kOk},
+      {3, 0, 10, QueryStatus::kLimit},
+      {4, 0.05, 0, QueryStatus::kTimeout},
+  };
+  for (const Case& c : cases) {
+    Hypergraph q = PathQuery(c.path_len);
+    Result<QueryPlan> plan = BuildQueryPlan(q, idx);
+    ASSERT_TRUE(plan.ok());
+
+    SchedulerOptions options;
+    options.parallel.num_threads = 2;
+    options.parallel.scan_grain = 4;
+    options.task_quota = 64;
+    Scheduler scheduler(idx, options);
+    HookProbe probe;
+    SubmitOptions so;
+    so.timeout_seconds = c.timeout > 0 ? c.timeout : -1;
+    if (c.limit != 0) so.limit = c.limit;
+    so.completion = [&](const QueryOutcome& out) {
+      probe.fires.fetch_add(1);
+      probe.status.store(out.status);
+      probe.embeddings.store(out.stats.embeddings);
+      // Retrievable from inside the hook, and no scheduler lock held
+      // (these calls take the admission lock; holding it here deadlocks).
+      const QueryOutcome* got = scheduler.TryGetQuery(0);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->status, out.status);
+      (void)scheduler.LiveContexts();
+    };
+    ASSERT_EQ(scheduler.Submit(&plan.value(), so), 0u);
+    scheduler.Run();
+    EXPECT_EQ(probe.fires.load(), 1)
+        << "path=" << c.path_len << " expected "
+        << QueryStatusName(c.expected);
+    EXPECT_EQ(probe.status.load(), c.expected);
+    if (c.expected == QueryStatus::kOk) {
+      EXPECT_EQ(probe.embeddings.load(), cheap_expected);
+    }
+  }
+}
+
+TEST(SchedulerCallbackTest, CancelledAndRejectedFireOnceSynchronously) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(6));
+  const Hypergraph query = PathQuery(1);
+  Result<QueryPlan> plan = BuildQueryPlan(query, idx);
+  ASSERT_TRUE(plan.ok());
+
+  SchedulerOptions options;
+  options.parallel.num_threads = 2;
+  options.parallel.scan_grain = 1;
+  options.max_inflight_queries = 1;
+  options.max_queued_queries = 1;
+  Scheduler scheduler(idx, options);
+  scheduler.Start();
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  const uint32_t plug = scheduler.Submit(&plan.value(), plug_options);
+  gate.AwaitEntered();  // the plug owns the only admission slot
+
+  // Cancelled while queued: the hook fires from inside Cancel(), on this
+  // thread, before Cancel returns.
+  HookProbe cancelled;
+  SubmitOptions queued_options;
+  queued_options.completion = [&](const QueryOutcome& out) {
+    cancelled.fires.fetch_add(1);
+    cancelled.status.store(out.status);
+    (void)scheduler.LiveContexts();  // deadlocks if a lock were held
+  };
+  const uint32_t queued = scheduler.Submit(&plan.value(), queued_options);
+  EXPECT_EQ(cancelled.fires.load(), 0);  // still waiting: nothing final yet
+  EXPECT_TRUE(scheduler.Cancel(queued));
+  EXPECT_EQ(cancelled.fires.load(), 1);
+  EXPECT_EQ(cancelled.status.load(), QueryStatus::kCancelled);
+  ASSERT_NE(scheduler.TryGetQuery(queued), nullptr);
+
+  // Shed by the queue bound: the hook fires from inside Submit(), before
+  // the caller even learns the index.
+  const uint32_t waiting = scheduler.Submit(&plan.value(), SubmitOptions{});
+  HookProbe rejected;
+  SubmitOptions shed_options;
+  shed_options.completion = [&](const QueryOutcome& out) {
+    rejected.fires.fetch_add(1);
+    rejected.status.store(out.status);
+    (void)scheduler.LiveContexts();
+  };
+  const uint32_t shed = scheduler.Submit(&plan.value(), shed_options);
+  EXPECT_EQ(rejected.fires.load(), 1);
+  EXPECT_EQ(rejected.status.load(), QueryStatus::kRejected);
+  ASSERT_NE(scheduler.TryGetQuery(shed), nullptr);
+
+  gate.Release();
+  EXPECT_EQ(scheduler.WaitQuery(plug).status, QueryStatus::kOk);
+  EXPECT_EQ(scheduler.WaitQuery(waiting).status, QueryStatus::kOk);
+  scheduler.Seal();
+  scheduler.Join();
+  // Nothing fired twice, and the plug/waiting queries (no hook) changed
+  // nothing.
+  EXPECT_EQ(cancelled.fires.load(), 1);
+  EXPECT_EQ(rejected.fires.load(), 1);
+}
+
+TEST(SchedulerCallbackTest, PreStartCancelFiresBeforeTheRun) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(6));
+  const Hypergraph query = PathQuery(1);
+  Result<QueryPlan> plan = BuildQueryPlan(query, idx);
+  ASSERT_TRUE(plan.ok());
+
+  SchedulerOptions options;
+  options.parallel.num_threads = 2;
+  Scheduler scheduler(idx, options);
+  HookProbe probe;
+  SubmitOptions so;
+  so.completion = [&](const QueryOutcome& out) {
+    probe.fires.fetch_add(1);
+    probe.status.store(out.status);
+  };
+  const uint32_t doomed = scheduler.Submit(&plan.value(), so);
+  const uint32_t survivor = scheduler.Submit(&plan.value(), SubmitOptions{});
+  EXPECT_TRUE(scheduler.Cancel(doomed));
+  EXPECT_EQ(probe.fires.load(), 1);  // resolved before the pool even starts
+  EXPECT_EQ(probe.status.load(), QueryStatus::kCancelled);
+
+  SchedulerReport report = scheduler.Run();
+  EXPECT_EQ(probe.fires.load(), 1);
+  EXPECT_EQ(report.queries[doomed].status, QueryStatus::kCancelled);
+  EXPECT_EQ(report.queries[survivor].status, QueryStatus::kOk);
+}
+
+TEST(SchedulerCallbackTest, ExactlyOnceUnderChurnWithCancels) {
+  // Many tiny queries through a window of 1 with a cancel sprinkled over
+  // every third submission: the hook must fire exactly once per query no
+  // matter which path resolved it (worker finish, cancel-while-queued, or
+  // admission of an already-stopped query).
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  const Hypergraph query = PathQuery(1);
+  Result<QueryPlan> plan = BuildQueryPlan(query, idx);
+  ASSERT_TRUE(plan.ok());
+
+  SchedulerOptions options;
+  options.parallel.num_threads = 4;
+  options.parallel.scan_grain = 1;
+  options.max_inflight_queries = 1;
+  Scheduler scheduler(idx, options);
+  scheduler.Start();
+
+  constexpr int kQueries = 48;
+  std::vector<std::atomic<int>> fires(kQueries);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < kQueries; ++i) {
+    SubmitOptions so;
+    so.completion = [&fires, i](const QueryOutcome&) {
+      fires[i].fetch_add(1);
+    };
+    ids.push_back(scheduler.Submit(&plan.value(), so));
+    if (i % 3 == 0) scheduler.Cancel(ids.back());
+  }
+  scheduler.Seal();
+  scheduler.Join();
+  for (int i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(fires[i].load(), 1) << "query " << i;
+    const QueryOutcome* out = scheduler.TryGetQuery(ids[i]);
+    ASSERT_NE(out, nullptr) << "query " << i;
+    EXPECT_TRUE(out->status == QueryStatus::kOk ||
+                out->status == QueryStatus::kCancelled)
+        << "query " << i << ": " << QueryStatusName(out->status);
+  }
 }
 
 TEST(SchedulerTest, QueueDepthBoundShedsOnlyTheOverflow) {

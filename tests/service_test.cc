@@ -11,10 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdlib>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/rng.h"
 
 #include "core/hgmatch.h"
 #include "io/loader.h"
@@ -685,6 +690,323 @@ TEST(ServiceTest, CostAwareWfqHoldsSharesUnderHeterogeneousQuerySizes) {
     EXPECT_GT(b_count, a_count);
   }
   service.Shutdown();
+}
+
+// ------------------------------------------------------ completion hooks --
+
+TEST(ServiceCallbackTest, HooksFireOnceForEveryResolutionPath) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+
+  // Service-wide hook: id -> (fires, final status), recorded under a test
+  // mutex (the hook may run on pool workers and submit threads alike).
+  std::mutex seen_mutex;
+  std::map<uint64_t, std::pair<int, QueryStatus>> seen;
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  options.max_queued_queries = 1;
+  options.on_query_complete = [&](uint64_t id, const QueryOutcome& out) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    auto& entry = seen[id];
+    ++entry.first;
+    entry.second = out.status;
+  };
+  auto status_of = [&](const Ticket& t) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    auto it = seen.find(t.id());
+    return it == seen.end()
+               ? std::pair<int, QueryStatus>{0, QueryStatus::kOk}
+               : it->second;
+  };
+
+  MatchService service(idx, options);
+
+  // Executed: the per-submit hook and the service-wide hook both fire with
+  // the exact final outcome. Hooks fire on the resolving pool thread just
+  // *after* Wait's condition variable is armed, so their effects are
+  // asserted once Shutdown has joined the pool, not right after Wait.
+  std::atomic<int> submit_hook_fires{0};
+  std::atomic<uint64_t> submit_hook_embeddings{0};
+  SubmitOptions with_hook;
+  with_hook.completion = [&](const QueryOutcome& out) {
+    submit_hook_fires.fetch_add(1);
+    submit_hook_embeddings.store(out.stats.embeddings);
+  };
+  Ticket executed = service.Submit(PaperQueryHypergraph(), with_hook);
+  EXPECT_EQ(executed.Wait().status, QueryStatus::kOk);
+
+  // Mirrored: a sink-less repeat of the finished canonical resolves inside
+  // Submit — its hook has fired by the time Submit returns. (The canonical
+  // resolved on a pool worker; Wait above proves resolution, and the
+  // repeat's cache hit below proves the canonical outcome is mirrorable.)
+  Ticket mirror = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(status_of(mirror), (std::pair<int, QueryStatus>{
+                                   1, QueryStatus::kOk}));
+  EXPECT_TRUE(mirror.Wait().mirrored);
+
+  // Plan error: resolved (and reported) synchronously.
+  Ticket bad = service.Submit(Hypergraph());
+  EXPECT_EQ(status_of(bad), (std::pair<int, QueryStatus>{
+                                1, QueryStatus::kPlanError}));
+
+  // Rejected by the queue bound: a plug holds the window, one query
+  // waits, the overflow is shed — and its hook fires inside Submit.
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();
+  CountSink waiting_sink;  // distinct budgets not needed; sink skips mirror
+  SubmitOptions waiting_options;
+  waiting_options.sink = &waiting_sink;
+  Ticket waiting = service.Submit(PaperQueryHypergraph(), waiting_options);
+  CountSink shed_sink;
+  SubmitOptions shed_options;
+  shed_options.sink = &shed_sink;
+  Ticket shed = service.Submit(PaperQueryHypergraph(), shed_options);
+  EXPECT_EQ(status_of(shed), (std::pair<int, QueryStatus>{
+                                 1, QueryStatus::kRejected}));
+  gate.Release();
+  service.Shutdown();  // joins the pool: every hook has fired by now
+
+  EXPECT_EQ(submit_hook_fires.load(), 1);
+  EXPECT_EQ(submit_hook_embeddings.load(), 2u);
+  EXPECT_EQ(status_of(executed), (std::pair<int, QueryStatus>{
+                                     1, QueryStatus::kOk}));
+  EXPECT_EQ(status_of(plug), (std::pair<int, QueryStatus>{
+                                 1, QueryStatus::kOk}));
+  EXPECT_EQ(status_of(waiting), (std::pair<int, QueryStatus>{
+                                    1, QueryStatus::kOk}));
+
+  // Submission after Shutdown: rejected as a plan error, hook included.
+  Ticket late = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(status_of(late), (std::pair<int, QueryStatus>{
+                                 1, QueryStatus::kPlanError}));
+
+  // Exactly one firing per submission, full stop.
+  std::lock_guard<std::mutex> lock(seen_mutex);
+  EXPECT_EQ(seen.size(), 7u);
+  for (const auto& [id, entry] : seen) {
+    EXPECT_EQ(entry.first, 1) << "ticket " << id;
+  }
+}
+
+TEST(ServiceCallbackTest, MirrorHooksShareTheCanonicalFinish) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();  // the plug holds the only admission slot
+
+  // A fresh structure queued behind the plug, plus two sink-less repeats
+  // that attach to it as mirrors while it is still unresolved.
+  auto shape = [] {
+    Hypergraph q;
+    q.AddVertex(0);
+    q.AddVertex(1);
+    (void)q.AddEdge({0, 1});
+    return q;
+  };
+  std::atomic<int> canonical_fires{0}, mirror_fires{0}, cancel_fires{0};
+  std::atomic<bool> canonical_was_first{false};
+  SubmitOptions canonical_options;
+  canonical_options.completion = [&](const QueryOutcome&) {
+    canonical_fires.fetch_add(1);
+  };
+  Ticket canonical = service.Submit(shape(), canonical_options);
+  SubmitOptions mirror_options;
+  mirror_options.completion = [&](const QueryOutcome& out) {
+    mirror_fires.fetch_add(1);
+    EXPECT_TRUE(out.mirrored);
+    // Mirrors resolve in the same step as their canonical, after it.
+    canonical_was_first.store(canonical_fires.load() == 1);
+  };
+  Ticket mirror = service.Submit(shape(), mirror_options);
+  SubmitOptions doomed_options;
+  doomed_options.completion = [&](const QueryOutcome& out) {
+    cancel_fires.fetch_add(1);
+    EXPECT_EQ(out.status, QueryStatus::kCancelled);
+  };
+  Ticket doomed_mirror = service.Submit(shape(), doomed_options);
+
+  // Cancelling a mirror resolves it (and fires its hooks) immediately,
+  // while canonical and sibling stay pending.
+  EXPECT_TRUE(doomed_mirror.Cancel());
+  EXPECT_EQ(cancel_fires.load(), 1);
+  EXPECT_EQ(canonical_fires.load(), 0);
+  EXPECT_EQ(mirror_fires.load(), 0);
+
+  gate.Release();
+  const QueryOutcome& out = mirror.Wait();
+  EXPECT_EQ(out.status, QueryStatus::kOk);
+  EXPECT_TRUE(out.mirrored);
+  EXPECT_EQ(canonical.Wait().status, QueryStatus::kOk);
+  service.Shutdown();  // joins the pool: every hook has fired by now
+  EXPECT_EQ(canonical_fires.load(), 1);
+  EXPECT_EQ(mirror_fires.load(), 1);
+  EXPECT_EQ(cancel_fires.load(), 1);
+  EXPECT_TRUE(canonical_was_first.load());
+}
+
+// --------------------------------------------------- randomized soak test --
+
+// N submitter threads churn a seeded mix of submit / wait / bounded-wait /
+// cancel / tiny-timeout / mirrored-duplicate operations against one
+// MatchService; every outcome that claims exact counts is cross-checked
+// against MatchSequential, and the per-submit completion hook is counted
+// for exactly-once delivery. The seed is deterministic (override with
+// HGMATCH_SOAK_SEED) and logged so any failure replays bit-for-bit.
+TEST(ServiceSoakTest, RandomizedChurnCrossChecksSequential) {
+  uint64_t seed = 0x5eedc0ffee;
+  if (const char* env = std::getenv("HGMATCH_SOAK_SEED")) {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  SCOPED_TRACE("soak seed = " + std::to_string(seed) +
+               " (re-run with HGMATCH_SOAK_SEED)");
+
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  std::vector<Hypergraph> shapes;
+  for (uint32_t k : {1u, 2u, 3u}) shapes.push_back(PathQuery(k));
+  std::vector<uint64_t> expected;
+  for (const Hypergraph& q : shapes) {
+    expected.push_back(MatchSequential(idx, q).value().embeddings);
+  }
+
+  ServiceOptions options = BaseOptions(4);
+  options.max_inflight_queries = 3;
+  options.admission = AdmissionPolicy::kWeightedFair;
+  MatchService service(idx, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 120;
+  std::atomic<uint64_t> hook_fires{0};
+  std::vector<std::vector<std::string>> failures(kThreads);
+  // Per-submission hook counters, shared with the hooks themselves: a hook
+  // fires just after Wait is released, so exactly-once is asserted only
+  // after Shutdown has joined every firing thread.
+  std::vector<std::vector<std::shared_ptr<std::atomic<int>>>> fired(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(Mix64(seed) + static_cast<uint64_t>(t));
+      auto fail = [&](int op, const std::string& what) {
+        failures[t].push_back("op " + std::to_string(op) + ": " + what);
+      };
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const size_t shape = rng.NextBounded(shapes.size());
+        SubmitOptions so;
+        so.tenant_id = static_cast<uint32_t>(t);
+        so.weight = 1.0 + static_cast<double>(rng.NextBounded(3));
+        auto counter = std::make_shared<std::atomic<int>>(0);
+        fired[t].push_back(counter);
+        so.completion = [&hook_fires, counter](const QueryOutcome&) {
+          hook_fires.fetch_add(1);
+          counter->fetch_add(1);
+        };
+        const uint64_t roll = rng.NextBounded(100);
+        if (roll < 40) {
+          // Plain submit + wait: must be exact (a sink forces execution,
+          // so no mirror can inherit a stranger's cancellation).
+          CountSink sink;
+          so.sink = &sink;
+          Ticket ticket = service.Submit(shapes[shape].Clone(), so);
+          const QueryOutcome& out = ticket.Wait();
+          if (out.status != QueryStatus::kOk) {
+            fail(op, std::string("expected ok, got ") +
+                         QueryStatusName(out.status));
+          } else if (out.stats.embeddings != expected[shape]) {
+            fail(op, "embedding count mismatch");
+          }
+        } else if (roll < 60) {
+          // Sink-less submit: may execute or mirror; an ok outcome must
+          // still be exact, and a cancelled one can only come from a
+          // mirror whose canonical another thread cancelled.
+          Ticket ticket = service.Submit(shapes[shape].Clone(), so);
+          const QueryOutcome& out = ticket.Wait();
+          if (out.status == QueryStatus::kOk) {
+            if (out.stats.embeddings != expected[shape]) {
+              fail(op, "mirrored/executed count mismatch");
+            }
+          } else if (out.status != QueryStatus::kCancelled) {
+            fail(op, std::string("expected ok/cancelled, got ") +
+                         QueryStatusName(out.status));
+          }
+        } else if (roll < 75) {
+          // Submit + immediate cancel: cancelled (with partial counts) or
+          // finished first — both legal, nothing else is.
+          CountSink sink;
+          so.sink = &sink;
+          Ticket ticket = service.Submit(shapes[shape].Clone(), so);
+          ticket.Cancel();
+          const QueryOutcome& out = ticket.Wait();
+          if (out.status != QueryStatus::kOk &&
+              out.status != QueryStatus::kCancelled) {
+            fail(op, std::string("expected ok/cancelled, got ") +
+                         QueryStatusName(out.status));
+          } else if (out.status == QueryStatus::kOk &&
+                     out.stats.embeddings != expected[shape]) {
+            fail(op, "cancel-race count mismatch");
+          }
+        } else if (roll < 90) {
+          // Bounded waits loop until resolution: expiry must never resolve
+          // or corrupt the ticket.
+          CountSink sink;
+          so.sink = &sink;
+          Ticket ticket = service.Submit(shapes[shape].Clone(), so);
+          const QueryOutcome* out = nullptr;
+          while ((out = ticket.Wait(0.002)) == nullptr) {
+          }
+          if (out->status != QueryStatus::kOk ||
+              out->stats.embeddings != expected[shape]) {
+            fail(op, "bounded-wait outcome mismatch");
+          }
+        } else {
+          // Tiny per-query timeout: ok (everything finished in time, exact
+          // counts) or timeout (work dropped) — never anything else.
+          CountSink sink;
+          so.sink = &sink;
+          so.timeout_seconds = rng.NextBounded(2) == 0 ? 1e-7 : 0.001;
+          Ticket ticket = service.Submit(shapes[shape].Clone(), so);
+          const QueryOutcome& out = ticket.Wait();
+          if (out.status == QueryStatus::kOk) {
+            if (out.stats.embeddings != expected[shape]) {
+              fail(op, "timed submit count mismatch");
+            }
+          } else if (out.status != QueryStatus::kTimeout) {
+            fail(op, std::string("expected ok/timeout, got ") +
+                         QueryStatusName(out.status));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (const std::string& f : failures[t]) {
+      ADD_FAILURE() << "thread " << t << " " << f;
+    }
+  }
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.submitted,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(hook_fires.load(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t op = 0; op < fired[t].size(); ++op) {
+      EXPECT_EQ(fired[t][op]->load(), 1)
+          << "thread " << t << " op " << op << " hook fire count";
+    }
+  }
+  EXPECT_EQ(report.executed + report.mirrored + report.rejected +
+                report.plan_errors,
+            report.submitted);
 }
 
 // ---------------------------------------------------- query-set headers --

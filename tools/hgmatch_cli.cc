@@ -89,6 +89,8 @@ int Usage() {
                "                         (caps memory under endless\n"
                "                         distinct query structures)\n"
                "    [--serve-seconds=S]  exit after S seconds (0 = forever)\n"
+               "    [--poll-outcomes]    legacy 2ms outcome polling instead\n"
+               "                         of completion-driven delivery\n"
                "    [--allow-remote-shutdown]  honour client SHUTDOWN\n"
                "  hgmatch query --connect=HOST:PORT <queryset>\n"
                "    [--limit=N]          per-query embedding limit\n"
@@ -457,6 +459,8 @@ int CmdServe(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--no-plan-cache") == 0) {
       options.service.plan_cache = false;
+    } else if (std::strcmp(arg, "--poll-outcomes") == 0) {
+      options.completion_wakeups = false;
     } else if (std::strcmp(arg, "--allow-remote-shutdown") == 0) {
       options.allow_remote_shutdown = true;
     } else {
