@@ -7,10 +7,16 @@
 // itself. A second section measures single-query round-trip latency
 // percentiles (p50/p95/p99) with completion-driven delivery (the wake-pipe
 // path) against the legacy 2 ms ticket poll, so the tail-latency effect of
-// the completion path is measured, not asserted.
+// the completion path is measured, not asserted. A third section sweeps
+// concurrent connections (1/8/64/256 clients) against reactor widths
+// (io_threads 1/2/4) over a fixed budget of tiny queries, so the aggregate
+// q/s scaling of the epoll front end is measured where framing — not
+// matching — is the bottleneck.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -121,6 +127,86 @@ void DeliveryLatencySection() {
              /*completion_wakeups=*/false, 120);
 }
 
+// Aggregate-throughput sweep of the reactor: C concurrent clients split a
+// fixed budget of tiny queries (single pair edge over a 16-clique — the
+// matching work is negligible, so the wire front end is the bottleneck)
+// and the table reads as q/s per (io_threads, clients) cell. On a
+// multi-core host the io_threads=4 rows should clearly beat io_threads=1
+// at 64+ clients; on a single core the sweep degenerates into a
+// context-switch bench and the rows converge.
+void ConcurrentSweepSection() {
+  Hypergraph clique;
+  constexpr uint32_t kVertices = 16;
+  clique.AddVertices(kVertices, 0);
+  for (VertexId i = 0; i < kVertices; ++i) {
+    for (VertexId j = i + 1; j < kVertices; ++j) (void)clique.AddEdge({i, j});
+  }
+  IndexedHypergraph index = IndexedHypergraph::Build(std::move(clique));
+  Hypergraph tiny;
+  tiny.AddVertices(2, 0);
+  (void)tiny.AddEdge({0, 1});
+
+  ServiceOptions service_options;
+  service_options.parallel.num_threads = 2;
+
+  constexpr uint32_t kTotalQueries = 4096;
+  std::printf("-- concurrent connections (%u tiny queries total) --\n",
+              kTotalQueries);
+  for (uint32_t io_threads : {1u, 2u, 4u}) {
+    for (uint32_t clients : {1u, 8u, 64u, 256u}) {
+      ServerOptions server_options;
+      server_options.service = service_options;
+      server_options.io_threads = io_threads;
+      server_options.max_connections = 512;
+      MatchServer server(index, server_options);
+      if (!server.Start().ok()) {
+        std::printf("sweep         unavailable on this platform\n");
+        return;
+      }
+      const uint32_t per_client = kTotalQueries / clients;
+      std::atomic<bool> failed{false};
+      Timer timer;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (uint32_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          MatchClient client;
+          if (!client.Connect("127.0.0.1", server.port()).ok()) {
+            failed.store(true);
+            return;
+          }
+          std::vector<uint64_t> ids;
+          ids.reserve(per_client);
+          for (uint32_t i = 0; i < per_client; ++i) {
+            Result<uint64_t> id = client.Submit(tiny);
+            if (!id.ok()) {
+              failed.store(true);
+              return;
+            }
+            ids.push_back(id.value());
+          }
+          for (uint64_t id : ids) {
+            if (!client.WaitOutcome(id).ok()) {
+              failed.store(true);
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double seconds = timer.ElapsedSeconds();
+      server.Stop();
+      if (failed.load()) {
+        std::printf("io=%u clients=%-3u  failed\n", io_threads, clients);
+        continue;
+      }
+      std::printf("io=%u clients=%-3u  %5u q/conn  %8.4fs  %9.1f q/s\n",
+                  io_threads, clients, per_client, seconds,
+                  seconds > 0 ? kTotalQueries / seconds : 0);
+    }
+  }
+}
+
 int Main(int argc, char** argv) {
   const auto names = DatasetArgs(argc, argv, {"CP"});
   for (const std::string& name : names) {
@@ -191,6 +277,7 @@ int Main(int argc, char** argv) {
   }
 
   DeliveryLatencySection();
+  ConcurrentSweepSection();
   return 0;
 }
 

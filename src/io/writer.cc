@@ -7,17 +7,25 @@ namespace hgmatch {
 std::string FormatHypergraph(const Hypergraph& h) {
   std::string out;
   out.reserve(h.NumVertices() * 8 + h.NumIncidences() * 8);
+  // Piecewise appends: `"v " + std::to_string(v) + ...` trips a GCC 12
+  // -Wrestrict false positive (PR105651) under -O2 -Werror.
   for (VertexId v = 0; v < h.NumVertices(); ++v) {
-    out += "v " + std::to_string(v) + " " + std::to_string(h.label(v)) + "\n";
+    out += "v ";
+    out += std::to_string(v);
+    out += ' ';
+    out += std::to_string(h.label(v));
+    out += '\n';
   }
   for (EdgeId e = 0; e < h.NumEdges(); ++e) {
     if (h.edge_label(e) != 0) {
-      out += "el " + std::to_string(h.edge_label(e));
+      out += "el ";
+      out += std::to_string(h.edge_label(e));
     } else {
       out += "e";
     }
     for (VertexId v : h.edge(e)) {
-      out += " " + std::to_string(v);
+      out += ' ';
+      out += std::to_string(v);
     }
     out += "\n";
   }

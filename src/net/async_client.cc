@@ -1,0 +1,369 @@
+#include "net/async_client.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HGMATCH_HAVE_SOCKETS 1
+#endif
+
+#if HGMATCH_HAVE_SOCKETS
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/socket_util.h"
+#endif
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace hgmatch {
+
+AsyncMatchClient::AsyncMatchClient(const AsyncClientOptions& options)
+    : options_(options) {}
+
+#if HGMATCH_HAVE_SOCKETS
+
+AsyncMatchClient::~AsyncMatchClient() { Close(); }
+
+Status AsyncMatchClient::Connect(const std::string& host, uint16_t port) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (fd_ >= 0) return Status::InvalidArgument("already connected");
+    if (closed_) return Status::InvalidArgument("client closed");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result) != 0) {
+    return Status::IOError("cannot resolve " + host);
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int candidate =
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (candidate < 0) continue;
+    if (::connect(candidate, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(candidate, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd = candidate;
+      break;
+    }
+    ::close(candidate);
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    return Status::IOError("cannot connect to " + host + ":" + port_str);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    fd_ = fd;
+  }
+  reader_ = std::thread([this] { ReaderLoop(); });
+  return Status::OK();
+}
+
+bool AsyncMatchClient::connected() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return fd_ >= 0;
+}
+
+Status AsyncMatchClient::SendFrame(FrameType type,
+                                   const std::string& payload) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (fd_ < 0) return Status::InvalidArgument("not connected");
+    if (!failure_.ok()) return failure_;
+    fd = fd_;
+  }
+  std::string frame;
+  AppendFrame(type, payload, &frame);
+  std::lock_guard<std::mutex> send_lock(send_mutex_);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = net_internal::SendBytes(fd, frame.data() + sent,
+                                              frame.size() - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError("connection lost while sending");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph& query,
+                                          const SubmitOptions& options,
+                                          OutcomeCallback callback) {
+  uint64_t id;
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (fd_ < 0) return Status::InvalidArgument("not connected");
+    if (options_.max_inflight > 0) {
+      cv_.wait(lock, [this] {
+        return pending_.size() < options_.max_inflight || !failure_.ok() ||
+               closed_;
+      });
+    }
+    if (!failure_.ok()) return failure_;
+    if (closed_) return Status::InvalidArgument("client closed");
+    id = next_request_id_++;
+    pending_.emplace(id, std::move(callback));
+  }
+  WireSubmit submit;
+  submit.request_id = id;
+  submit.tenant_id = options.tenant_id;
+  submit.priority = options.priority;
+  submit.weight = options.weight;
+  submit.timeout_seconds = options.timeout_seconds;
+  submit.limit = options.limit;
+  const std::string payload = EncodeSubmit(submit, query);
+  if (payload.size() > kMaxWirePayload) {
+    // Fail just this request locally: sending it would make the server
+    // error-close the connection, killing every pipelined sibling.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    pending_.erase(id);
+    cv_.notify_all();
+    return Status::InvalidArgument(
+        "query exceeds the wire payload bound (" +
+        std::to_string(payload.size()) + " > " +
+        std::to_string(kMaxWirePayload) + " bytes)");
+  }
+  const Status sent = SendFrame(FrameType::kSubmit, payload);
+  if (!sent.ok()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (pending_.erase(id) == 1) {
+      cv_.notify_all();
+      return sent;
+    }
+    // The reader tore the connection down between our send and this
+    // cleanup and already owns the callback: it fires with the failure,
+    // so the request counts as accepted (exactly-once holds).
+  }
+  return id;
+}
+
+Status AsyncMatchClient::Cancel(uint64_t request_id) {
+  return SendFrame(FrameType::kCancel, EncodeRequestId(request_id));
+}
+
+Status AsyncMatchClient::Ping() {
+  const Status sent = SendFrame(FrameType::kPing, "ping");
+  if (!sent.ok()) return sent;
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  // Replies come back in send order, so waiting for the N-th pong after
+  // sending the N-th ping is exact even with concurrent pingers.
+  const uint64_t ticket = ++pings_sent_;
+  cv_.wait(lock, [this, ticket] {
+    return pongs_received_ >= ticket || !failure_.ok() || closed_;
+  });
+  if (pongs_received_ >= ticket) return Status::OK();
+  return failure_.ok() ? Status::InvalidArgument("client closed") : failure_;
+}
+
+Result<WireStats> AsyncMatchClient::Stats() {
+  const Status sent = SendFrame(FrameType::kStats, "");
+  if (!sent.ok()) return sent;
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  cv_.wait(lock, [this] {
+    return !stats_replies_.empty() || !failure_.ok() || closed_;
+  });
+  if (!stats_replies_.empty()) {
+    WireStats stats = std::move(stats_replies_.front());
+    stats_replies_.pop_front();
+    return stats;
+  }
+  return failure_.ok() ? Status::InvalidArgument("client closed") : failure_;
+}
+
+Status AsyncMatchClient::RequestShutdown() {
+  return SendFrame(FrameType::kShutdown, "");
+}
+
+void AsyncMatchClient::Close() {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (closed_) return;
+    closed_ = true;
+    fd = fd_;
+    cv_.notify_all();
+  }
+  // Unblocks the reader (read returns 0); its EOF path fires every
+  // pending callback with the connection-lost status before exiting.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void AsyncMatchClient::FinishOne(WireOutcome wire) {
+  OutcomeCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = pending_.find(wire.request_id);
+    if (it == pending_.end()) return;  // unknown id: nothing waits on it
+    callback = std::move(it->second);
+    pending_.erase(it);
+    cv_.notify_all();  // a window slot freed up
+  }
+  AsyncOutcome result;
+  result.request_id = wire.request_id;
+  result.wire = std::move(wire);
+  if (callback) callback(result);
+}
+
+void AsyncMatchClient::FailAll(const Status& status) {
+  std::unordered_map<uint64_t, OutcomeCallback> orphans;
+  Status verdict;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (failure_.ok()) failure_ = status;
+    verdict = failure_;
+    orphans.swap(pending_);
+    cv_.notify_all();
+  }
+  for (auto& [id, callback] : orphans) {
+    if (!callback) continue;
+    AsyncOutcome result;
+    result.request_id = id;
+    result.transport = verdict;
+    callback(result);
+  }
+}
+
+void AsyncMatchClient::ReaderLoop() {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    fd = fd_;
+  }
+  FrameReader reader;
+  FrameReader::Frame frame;
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got == 0) {
+      bool closed;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        closed = closed_;
+      }
+      FailAll(Status::IOError(closed ? "client closed"
+                                     : "connection closed by server"));
+      return;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      FailAll(Status::IOError("connection read failed"));
+      return;
+    }
+    reader.Feed(buffer, static_cast<size_t>(got));
+    while (true) {
+      Result<bool> next = reader.Next(&frame);
+      if (!next.ok()) {
+        FailAll(next.status());
+        return;
+      }
+      if (!next.value()) break;
+      switch (frame.type) {
+        case FrameType::kOutcome: {
+          Result<WireOutcome> outcome = DecodeOutcome(frame.payload);
+          if (!outcome.ok()) {
+            FailAll(outcome.status());
+            return;
+          }
+          FinishOne(std::move(outcome).value());
+          break;
+        }
+        case FrameType::kRejected: {
+          Result<WireRejected> rejected = DecodeRejected(frame.payload);
+          if (!rejected.ok()) {
+            FailAll(rejected.status());
+            return;
+          }
+          // Server-side sheds surface as a normal outcome with
+          // QueryStatus::kRejected and the shed reason attached.
+          WireOutcome wire;
+          wire.request_id = rejected.value().request_id;
+          wire.outcome.status = QueryStatus::kRejected;
+          wire.reject_reason = rejected.value().reason;
+          FinishOne(std::move(wire));
+          break;
+        }
+        case FrameType::kPong: {
+          if (frame.payload != "ping") {
+            FailAll(Status::Corruption("PONG payload mismatch"));
+            return;
+          }
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          ++pongs_received_;
+          cv_.notify_all();
+          break;
+        }
+        case FrameType::kStatsReply: {
+          Result<WireStats> stats = DecodeStats(frame.payload);
+          if (!stats.ok()) {
+            FailAll(stats.status());
+            return;
+          }
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          stats_replies_.push_back(std::move(stats).value());
+          cv_.notify_all();
+          break;
+        }
+        case FrameType::kError:
+          FailAll(Status::Internal("server error: " + frame.payload));
+          return;
+        default:
+          FailAll(Status::Corruption("unexpected frame from server"));
+          return;
+      }
+    }
+  }
+}
+
+#else  // !HGMATCH_HAVE_SOCKETS
+
+AsyncMatchClient::~AsyncMatchClient() = default;
+Status AsyncMatchClient::Connect(const std::string&, uint16_t) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+bool AsyncMatchClient::connected() const { return false; }
+Status AsyncMatchClient::SendFrame(FrameType, const std::string&) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph&,
+                                          const SubmitOptions&,
+                                          OutcomeCallback) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Status AsyncMatchClient::Cancel(uint64_t) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Status AsyncMatchClient::Ping() {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Result<WireStats> AsyncMatchClient::Stats() {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Status AsyncMatchClient::RequestShutdown() {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+void AsyncMatchClient::Close() {}
+void AsyncMatchClient::ReaderLoop() {}
+void AsyncMatchClient::FinishOne(WireOutcome) {}
+void AsyncMatchClient::FailAll(const Status&) {}
+
+#endif  // HGMATCH_HAVE_SOCKETS
+
+}  // namespace hgmatch

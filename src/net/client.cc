@@ -1,258 +1,52 @@
 #include "net/client.h"
 
-#if defined(__unix__) || defined(__APPLE__)
-#define HGMATCH_HAVE_SOCKETS 1
-#endif
-
-#if HGMATCH_HAVE_SOCKETS
-#include <errno.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include "net/socket_util.h"
-#endif
-
 #include <utility>
 
 namespace hgmatch {
 
-#if HGMATCH_HAVE_SOCKETS
-
 MatchClient::~MatchClient() { Close(); }
 
-void MatchClient::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
+void MatchClient::Close() { async_.Close(); }
 
 Status MatchClient::Connect(const std::string& host, uint16_t port) {
-  if (fd_ >= 0) return Status::InvalidArgument("already connected");
-  addrinfo hints{};
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* result = nullptr;
-  const std::string port_str = std::to_string(port);
-  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result) != 0) {
-    return Status::IOError("cannot resolve " + host);
-  }
-  Status status = Status::IOError("cannot connect to " + host + ":" + port_str);
-  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
-    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      fd_ = fd;
-      status = Status::OK();
-      break;
-    }
-    ::close(fd);
-  }
-  ::freeaddrinfo(result);
-  return status;
-}
-
-Status MatchClient::SendFrame(FrameType type, const std::string& payload) {
-  if (fd_ < 0) return Status::InvalidArgument("not connected");
-  std::string frame;
-  AppendFrame(type, payload, &frame);
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = net_internal::SendBytes(fd_, frame.data() + sent,
-                                              frame.size() - sent);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    Close();
-    return Status::IOError("connection lost while sending");
-  }
-  return Status::OK();
-}
-
-Result<FrameReader::Frame> MatchClient::ReadOneFrame() {
-  if (fd_ < 0) return Status::InvalidArgument("not connected");
-  char buffer[1 << 16];
-  while (true) {
-    FrameReader::Frame frame;
-    Result<bool> next = reader_.Next(&frame);
-    if (!next.ok()) {
-      Close();
-      return next.status();
-    }
-    if (next.value()) return frame;
-    const ssize_t got = ::read(fd_, buffer, sizeof(buffer));
-    if (got > 0) {
-      reader_.Feed(buffer, static_cast<size_t>(got));
-      continue;
-    }
-    if (got < 0 && errno == EINTR) continue;
-    Close();
-    return Status::IOError("connection closed by server");
-  }
-}
-
-// Files one already-read outcome/rejection frame under its request id;
-// kError carries the server's message, and anything else is a protocol
-// violation (this client is synchronous: no other frame can be pending).
-Status MatchClient::AbsorbFrame(const FrameReader::Frame& frame) {
-  switch (frame.type) {
-    case FrameType::kOutcome: {
-      Result<WireOutcome> outcome = DecodeOutcome(frame.payload);
-      if (!outcome.ok()) {
-        Close();
-        return outcome.status();
-      }
-      const uint64_t id = outcome.value().request_id;
-      ready_.emplace(id, std::move(outcome).value());
-      return Status::OK();
-    }
-    case FrameType::kRejected: {
-      Result<uint64_t> id = DecodeRequestId(frame.payload);
-      if (!id.ok()) {
-        Close();
-        return id.status();
-      }
-      WireOutcome rejected;
-      rejected.request_id = id.value();
-      rejected.outcome.status = QueryStatus::kRejected;
-      ready_.emplace(id.value(), rejected);
-      return Status::OK();
-    }
-    case FrameType::kError:
-      Close();
-      return Status::Internal("server error: " + frame.payload);
-    default:
-      Close();
-      return Status::Corruption("unexpected frame from server");
-  }
-}
-
-Status MatchClient::PumpOutcomeFrame() {
-  Result<FrameReader::Frame> frame = ReadOneFrame();
-  if (!frame.ok()) return frame.status();
-  return AbsorbFrame(frame.value());
-}
-
-Result<FrameReader::Frame> MatchClient::ReadFrameOfType(FrameType want) {
-  while (true) {
-    Result<FrameReader::Frame> frame = ReadOneFrame();
-    if (!frame.ok()) return frame.status();
-    if (frame.value().type == want) return frame;
-    const Status absorbed = AbsorbFrame(frame.value());
-    if (!absorbed.ok()) return absorbed;
-  }
+  return async_.Connect(host, port);
 }
 
 Result<uint64_t> MatchClient::Submit(const Hypergraph& query,
                                      const SubmitOptions& options) {
-  WireSubmit submit;
-  submit.request_id = next_request_id_++;
-  submit.tenant_id = options.tenant_id;
-  submit.priority = options.priority;
-  submit.weight = options.weight;
-  submit.timeout_seconds = options.timeout_seconds;
-  submit.limit = options.limit;
-  std::string payload = EncodeSubmit(submit, query);
-  if (payload.size() > kMaxWirePayload) {
-    // Fail just this request locally: sending it would make the server
-    // error-close the connection, killing every pipelined sibling.
-    return Status::InvalidArgument(
-        "query exceeds the wire payload bound (" +
-        std::to_string(payload.size()) + " > " +
-        std::to_string(kMaxWirePayload) + " bytes)");
-  }
-  const Status status = SendFrame(FrameType::kSubmit, payload);
-  if (!status.ok()) return status;
-  return submit.request_id;
+  return async_.Submit(query, options, [this](const AsyncOutcome& result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result.transport.ok()) {
+      ready_.emplace(result.request_id, result.wire);
+    } else if (failure_.ok()) {
+      failure_ = result.transport;
+    }
+    cv_.notify_all();
+  });
 }
 
 Result<WireOutcome> MatchClient::WaitOutcome(uint64_t request_id) {
-  while (true) {
-    auto it = ready_.find(request_id);
-    if (it != ready_.end()) {
-      WireOutcome outcome = std::move(it->second);
-      ready_.erase(it);
-      return outcome;
-    }
-    const Status pumped = PumpOutcomeFrame();
-    if (!pumped.ok()) return pumped;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this, request_id] {
+    return ready_.count(request_id) != 0 || !failure_.ok();
+  });
+  auto it = ready_.find(request_id);
+  if (it != ready_.end()) {
+    WireOutcome outcome = std::move(it->second);
+    ready_.erase(it);
+    return outcome;
   }
+  return failure_;
 }
 
 Status MatchClient::Cancel(uint64_t request_id) {
-  return SendFrame(FrameType::kCancel, EncodeRequestId(request_id));
+  return async_.Cancel(request_id);
 }
 
-Status MatchClient::Ping() {
-  const Status sent = SendFrame(FrameType::kPing, "ping");
-  if (!sent.ok()) return sent;
-  Result<FrameReader::Frame> pong = ReadFrameOfType(FrameType::kPong);
-  if (!pong.ok()) return pong.status();
-  if (pong.value().payload != "ping") {
-    return Status::Corruption("PONG payload mismatch");
-  }
-  return Status::OK();
-}
+Status MatchClient::Ping() { return async_.Ping(); }
 
-Result<WireStats> MatchClient::Stats() {
-  const Status sent = SendFrame(FrameType::kStats, "");
-  if (!sent.ok()) return sent;
-  Result<FrameReader::Frame> reply =
-      ReadFrameOfType(FrameType::kStatsReply);
-  if (!reply.ok()) return reply.status();
-  return DecodeStats(reply.value().payload);
-}
+Result<WireStats> MatchClient::Stats() { return async_.Stats(); }
 
-Status MatchClient::RequestShutdown() {
-  return SendFrame(FrameType::kShutdown, "");
-}
-
-#else  // !HGMATCH_HAVE_SOCKETS
-
-MatchClient::~MatchClient() = default;
-void MatchClient::Close() {}
-Status MatchClient::Connect(const std::string&, uint16_t) {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Status MatchClient::SendFrame(FrameType, const std::string&) {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Result<FrameReader::Frame> MatchClient::ReadFrameOfType(FrameType) {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Status MatchClient::AbsorbFrame(const FrameReader::Frame&) {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Status MatchClient::PumpOutcomeFrame() {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Result<uint64_t> MatchClient::Submit(const Hypergraph&,
-                                     const SubmitOptions&) {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Result<WireOutcome> MatchClient::WaitOutcome(uint64_t) {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Status MatchClient::Cancel(uint64_t) {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Status MatchClient::Ping() {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Result<WireStats> MatchClient::Stats() {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-Status MatchClient::RequestShutdown() {
-  return Status::Internal("hgmatch net requires POSIX sockets");
-}
-
-#endif  // HGMATCH_HAVE_SOCKETS
+Status MatchClient::RequestShutdown() { return async_.RequestShutdown(); }
 
 }  // namespace hgmatch

@@ -1,11 +1,14 @@
 #ifndef HGMATCH_NET_CLIENT_H_
 #define HGMATCH_NET_CLIENT_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/hypergraph.h"
+#include "net/async_client.h"
 #include "net/protocol.h"
 #include "parallel/submit_options.h"
 #include "util/status.h"
@@ -14,16 +17,18 @@ namespace hgmatch {
 
 /// Blocking client of the hgmatch wire protocol (net/protocol.h), used by
 /// `hgmatch query --connect`, the loopback tests and the benches. One
-/// instance speaks for one connection and is NOT thread-safe — it is a
-/// deliberately simple, synchronous API; concurrency comes from pipelining
-/// (submit many, then wait) or from one client per thread.
+/// instance speaks for one connection; the synchronous surface stays the
+/// deliberately simple one — concurrency comes from pipelining (submit
+/// many, then wait) or from one client per thread.
 ///
-/// Submissions are pipelined: Submit() assigns a connection-unique request
-/// id and returns immediately after writing the frame; WaitOutcome(id)
-/// blocks reading frames until that id's outcome (or rejection) arrives,
-/// buffering outcomes of other ids for their own waits. A submission shed
-/// by server backpressure surfaces as a normal outcome with
-/// QueryStatus::kRejected.
+/// This is a thin facade over AsyncMatchClient (net/async_client.h): each
+/// Submit() registers a callback that files the reply into a ready map,
+/// and WaitOutcome(id) parks on a condition variable until that id's
+/// outcome (or a connection failure) arrives — outcomes of other ids wait
+/// in the map for their own waits, exactly like the historical
+/// frame-pumping client. A submission shed by server backpressure or rate
+/// limiting surfaces as a normal outcome with QueryStatus::kRejected (the
+/// shed reason lands in WireOutcome::reject_reason).
 class MatchClient {
  public:
   MatchClient() = default;
@@ -35,7 +40,7 @@ class MatchClient {
   /// Connects to host:port (numeric IP or hostname). POSIX-only.
   Status Connect(const std::string& host, uint16_t port);
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return async_.connected(); }
 
   /// Sends one query; returns its request id. `options.sink` is ignored
   /// (embeddings do not cross the wire; counts and stats do).
@@ -62,23 +67,14 @@ class MatchClient {
   void Close();
 
  private:
-  Status SendFrame(FrameType type, const std::string& payload);
-  /// Blocks until one complete frame arrives.
-  Result<FrameReader::Frame> ReadOneFrame();
-  /// Files an outcome/rejection frame under its request id in ready_;
-  /// kError and unexpected types abort with an error status.
-  Status AbsorbFrame(const FrameReader::Frame& frame);
-  /// ReadOneFrame + AbsorbFrame: advances by exactly one outcome-bearing
-  /// frame (the WaitOutcome pump).
-  Status PumpOutcomeFrame();
-  /// Reads frames until one of type `want` arrives, buffering outcomes and
-  /// rejections along the way; kError aborts with its message.
-  Result<FrameReader::Frame> ReadFrameOfType(FrameType want);
-
-  int fd_ = -1;
-  uint64_t next_request_id_ = 1;
-  FrameReader reader_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
   std::unordered_map<uint64_t, WireOutcome> ready_;  // out-of-order arrivals
+  Status failure_;  // sticky first transport/server failure
+
+  // Declared last: destroyed first, so the reader thread joins (and every
+  // callback into the members above returns) before they die.
+  AsyncMatchClient async_;
 };
 
 }  // namespace hgmatch

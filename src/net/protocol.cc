@@ -106,6 +106,36 @@ Result<WireOutcome> DecodeOutcome(std::string_view payload) {
   return wire;
 }
 
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kRateLimited:
+      return "rate-limited";
+  }
+  return "unknown";
+}
+
+std::string EncodeRejected(const WireRejected& rejected) {
+  std::string payload;
+  AppendValue<uint64_t>(rejected.request_id, &payload);
+  AppendValue<uint8_t>(static_cast<uint8_t>(rejected.reason), &payload);
+  return payload;
+}
+
+Result<WireRejected> DecodeRejected(std::string_view payload) {
+  ByteReader r(payload);
+  WireRejected rejected;
+  rejected.request_id = r.ReadValue<uint64_t>();
+  const uint8_t reason = r.ReadValue<uint8_t>();
+  if (!r.ok() || r.remaining() != 0 ||
+      reason > static_cast<uint8_t>(RejectReason::kRateLimited)) {
+    return Status::Corruption("malformed REJECTED frame");
+  }
+  rejected.reason = static_cast<RejectReason>(reason);
+  return rejected;
+}
+
 std::string EncodeRequestId(uint64_t request_id) {
   std::string payload;
   AppendValue<uint64_t>(request_id, &payload);
@@ -128,8 +158,22 @@ std::string EncodeStats(const WireStats& stats) {
   AppendValue<uint64_t>(stats.submitted, &payload);
   AppendValue<uint64_t>(stats.completed, &payload);
   AppendValue<uint64_t>(stats.rejected, &payload);
+  AppendValue<uint64_t>(stats.rate_limited, &payload);
   AppendValue<uint64_t>(stats.cancelled_by_disconnect, &payload);
   AppendValue<uint64_t>(stats.inflight, &payload);
+  AppendValue<uint64_t>(stats.service_finished, &payload);
+  AppendValue<uint64_t>(stats.service_live_contexts, &payload);
+  AppendValue<uint64_t>(stats.service_retained_slots, &payload);
+  AppendValue<uint32_t>(static_cast<uint32_t>(stats.io_threads.size()),
+                        &payload);
+  for (const WireIoThreadStats& t : stats.io_threads) {
+    AppendValue<uint64_t>(t.connections, &payload);
+    AppendValue<uint64_t>(t.frames_in, &payload);
+    AppendValue<uint64_t>(t.frames_out, &payload);
+    AppendValue<uint64_t>(t.bytes_in, &payload);
+    AppendValue<uint64_t>(t.bytes_out, &payload);
+    AppendValue<uint64_t>(t.rejects, &payload);
+  }
   return payload;
 }
 
@@ -141,8 +185,28 @@ Result<WireStats> DecodeStats(std::string_view payload) {
   stats.submitted = r.ReadValue<uint64_t>();
   stats.completed = r.ReadValue<uint64_t>();
   stats.rejected = r.ReadValue<uint64_t>();
+  stats.rate_limited = r.ReadValue<uint64_t>();
   stats.cancelled_by_disconnect = r.ReadValue<uint64_t>();
   stats.inflight = r.ReadValue<uint64_t>();
+  stats.service_finished = r.ReadValue<uint64_t>();
+  stats.service_live_contexts = r.ReadValue<uint64_t>();
+  stats.service_retained_slots = r.ReadValue<uint64_t>();
+  const uint32_t threads = r.ReadValue<uint32_t>();
+  if (!r.ok()) return Status::Corruption("malformed STATS frame");
+  // 6 u64 counters per row; the bound keeps a corrupt count from turning
+  // into a giant allocation before the length check can fail.
+  if (r.remaining() != static_cast<size_t>(threads) * 48) {
+    return Status::Corruption("malformed STATS frame");
+  }
+  stats.io_threads.resize(threads);
+  for (WireIoThreadStats& t : stats.io_threads) {
+    t.connections = r.ReadValue<uint64_t>();
+    t.frames_in = r.ReadValue<uint64_t>();
+    t.frames_out = r.ReadValue<uint64_t>();
+    t.bytes_in = r.ReadValue<uint64_t>();
+    t.bytes_out = r.ReadValue<uint64_t>();
+    t.rejects = r.ReadValue<uint64_t>();
+  }
   if (!r.ok() || r.remaining() != 0) {
     return Status::Corruption("malformed STATS frame");
   }

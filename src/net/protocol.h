@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/hypergraph.h"
 #include "parallel/scheduler.h"
@@ -28,10 +29,13 @@ namespace hgmatch {
 ///   kSubmit     client->server  WireSubmit (options + inline query
 ///                               hypergraph in the io/binary_format image)
 ///   kOutcome    server->client  WireOutcome (full QueryOutcome/MatchStats)
-///   kRejected   server->client  u64 request id: the submission was shed by
-///                               queue-depth backpressure
-///                               (SchedulerOptions::max_queued_queries) —
-///                               retry once the backlog drains
+///   kRejected   server->client  WireRejected (u64 request id + u8 reason):
+///                               the submission was shed at the server edge
+///                               — by queue-depth backpressure
+///                               (SchedulerOptions::max_queued_queries) or
+///                               by the per-tenant rate limiter
+///                               (ServerOptions::max_submits_per_sec) —
+///                               retry once the backlog/window drains
 ///   kCancel     client->server  u64 request id (unknown ids are ignored:
 ///                               the race with completion is benign)
 ///   kPing       client->server  arbitrary payload, echoed back
@@ -77,22 +81,65 @@ struct WireSubmit {
   Hypergraph query;
 };
 
+/// Why a submission was shed at the server edge (kRejected frames).
+enum class RejectReason : uint8_t {
+  /// The admission backlog was at its max_queued_queries bound.
+  kQueueFull = 0,
+  /// The tenant's token bucket (ServerOptions::max_submits_per_sec) was
+  /// empty: the tenant is submitting faster than its allowance.
+  kRateLimited = 1,
+};
+
+/// Stable display name: "queue-full", "rate-limited".
+const char* RejectReasonName(RejectReason reason);
+
+/// One shed submission (kRejected frames).
+struct WireRejected {
+  uint64_t request_id = 0;
+  RejectReason reason = RejectReason::kQueueFull;
+};
+
 /// One finished query's reply: the request id plus the full QueryOutcome
 /// (status, exact MatchStats, admission timestamps and sequence number).
+/// `reject_reason` is client-side bookkeeping — kRejected travels as its
+/// own frame type; clients fold it into a synthetic outcome and record the
+/// reason here.
 struct WireOutcome {
   uint64_t request_id = 0;
   QueryOutcome outcome;
+  RejectReason reject_reason = RejectReason::kQueueFull;
 };
 
-/// Server statistics snapshot (kStatsReply).
+/// Per-IO-thread counters of the reactor front end (kStatsReply): each IO
+/// thread owns one row and bumps it without cross-thread coordination.
+struct WireIoThreadStats {
+  uint64_t connections = 0;  // currently open connections on this thread
+  uint64_t frames_in = 0;    // complete frames parsed
+  uint64_t frames_out = 0;   // frames queued for delivery
+  uint64_t bytes_in = 0;     // raw bytes read off sockets
+  uint64_t bytes_out = 0;    // raw bytes written to sockets
+  uint64_t rejects = 0;      // kRejected frames sent by this thread
+};
+
+/// Server statistics snapshot (kStatsReply): whole-server counters, live
+/// scheduler/service gauges, and one row per IO thread — the
+/// Prometheus-style observability surface of the wire front end.
 struct WireStats {
   uint32_t num_threads = 0;             // worker pool size
   uint64_t connections = 0;             // currently open connections
   uint64_t submitted = 0;               // SUBMIT frames accepted
   uint64_t completed = 0;               // outcomes delivered
   uint64_t rejected = 0;                // shed by queue-depth backpressure
+  uint64_t rate_limited = 0;            // shed by the per-tenant rate limit
   uint64_t cancelled_by_disconnect = 0; // queries cancelled by peer drops
   uint64_t inflight = 0;                // queries awaiting their outcome
+
+  // Live service/scheduler gauges (see MatchService::Gauges()).
+  uint64_t service_finished = 0;        // outcomes finalised since start
+  uint64_t service_live_contexts = 0;   // queries with live execution state
+  uint64_t service_retained_slots = 0;  // outcome slots awaiting retrieval
+
+  std::vector<WireIoThreadStats> io_threads;  // one row per IO thread
 };
 
 /// Appends one complete frame (header + payload) to *out.
@@ -108,7 +155,10 @@ Result<WireSubmit> DecodeSubmit(std::string_view payload);
 std::string EncodeOutcome(const WireOutcome& outcome);
 Result<WireOutcome> DecodeOutcome(std::string_view payload);
 
-/// kRejected and kCancel payloads are a bare request id.
+std::string EncodeRejected(const WireRejected& rejected);
+Result<WireRejected> DecodeRejected(std::string_view payload);
+
+/// kCancel payloads are a bare request id.
 std::string EncodeRequestId(uint64_t request_id);
 Result<uint64_t> DecodeRequestId(std::string_view payload);
 

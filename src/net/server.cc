@@ -4,7 +4,9 @@
 #define HGMATCH_HAVE_SOCKETS 1
 #endif
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <mutex>
@@ -19,10 +21,10 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "net/reactor.h"
 #include "net/socket_util.h"
 #endif
 
@@ -44,11 +46,17 @@ bool SetNonBlocking(int fd) {
 class MatchServer::Impl {
  public:
   Impl(const IndexedHypergraph& data, const ServerOptions& options)
-      : options_(options), service_(data, ServiceOptionsFor(options, this)) {}
+      : options_(Normalize(options)),
+        service_(data, ServiceOptionsFor(options_, this)) {}
 
   ~Impl() { Stop(); }
 
   Status Start() {
+    if (!options_.completion_wakeups && options_.io_threads > 1) {
+      return Status::InvalidArgument(
+          "the poll fallback (completion_wakeups=false) predates the "
+          "reactor and supports io_threads=1 only");
+    }
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) return Status::IOError("socket() failed");
     const int one = 1;
@@ -76,18 +84,28 @@ class MatchServer::Impl {
       CloseListen();
       return Status::IOError("cannot listen on " + options_.host);
     }
-    if (::pipe(wake_pipe_) != 0) {
-      CloseListen();
-      return Status::IOError("pipe() failed");
+    // Every loop is initialised before any thread launches, so the
+    // acceptor may Post() adoptions into a sibling loop from its very
+    // first pass.
+    io_.reserve(options_.io_threads);
+    for (uint32_t i = 0; i < options_.io_threads; ++i) {
+      auto t = std::make_unique<IoThread>();
+      t->index = i;
+      Status init = t->loop.Init();
+      if (!init.ok()) {
+        io_.clear();
+        CloseListen();
+        return init;
+      }
+      io_.push_back(std::move(t));
     }
-    SetNonBlocking(wake_pipe_[0]);
-    SetNonBlocking(wake_pipe_[1]);
-    thread_ = std::thread([this] {
-      ServeLoop();
-      std::lock_guard<std::mutex> lock(exit_mutex_);
-      exited_ = true;
-      exit_cv_.notify_all();
-    });
+    for (auto& t : io_) {
+      IoThread* raw = t.get();
+      raw->thread = std::thread([this, raw] {
+        RunLoop(raw);
+        NotifyExit();
+      });
+    }
     return Status::OK();
   }
 
@@ -108,34 +126,49 @@ class MatchServer::Impl {
 
   void Stop() {
     stop_requested_.store(true, std::memory_order_release);
-    WakeLoop();
-    if (thread_.joinable()) thread_.join();
-    CloseListen();
-    // The loop cancelled whatever was still in flight on exit; those
-    // queries resolve asynchronously and their completion hooks write the
-    // wake pipe. Shut the service down *before* closing the pipe so no
-    // straggler hook can write into a recycled descriptor (Shutdown blocks
-    // until every outcome resolved and every hook returned; it is
-    // idempotent, so the destructor chain repeating it is harmless).
-    service_.Shutdown();
-    for (int i = 0; i < 2; ++i) {
-      if (wake_pipe_[i] >= 0) {
-        ::close(wake_pipe_[i]);
-        wake_pipe_[i] = -1;
-      }
+    for (auto& t : io_) t->loop.Wake();
+    for (auto& t : io_) {
+      if (t->thread.joinable()) t->thread.join();
     }
+    // Thread 0 closes the listener on exit; this covers Start() failure
+    // paths and the never-started server.
+    CloseListen();
+    // The loops cancelled whatever was still in flight on exit; those
+    // queries resolve asynchronously and their completion hooks touch the
+    // loops' wake pipes. Shut the service down *before* the loops are
+    // destroyed so no straggler hook can write into a recycled descriptor
+    // (Shutdown blocks until every outcome resolved and every hook
+    // returned; it is idempotent, so the destructor chain repeating it is
+    // harmless).
+    service_.Shutdown();
   }
 
-  WireStats Stats() const {
+  WireStats Stats() {
     WireStats s;
     s.num_threads = service_.num_threads();
     s.connections = connections_.load(std::memory_order_relaxed);
     s.submitted = submitted_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_relaxed);
     s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
     s.cancelled_by_disconnect =
         cancelled_by_disconnect_.load(std::memory_order_relaxed);
     s.inflight = inflight_.load(std::memory_order_relaxed);
+    const ServiceGauges gauges = service_.Gauges();
+    s.service_finished = gauges.finished;
+    s.service_live_contexts = gauges.live_contexts;
+    s.service_retained_slots = gauges.retained_slots;
+    s.io_threads.reserve(io_.size());
+    for (const auto& t : io_) {
+      WireIoThreadStats row;
+      row.connections = t->st_connections.load(std::memory_order_relaxed);
+      row.frames_in = t->st_frames_in.load(std::memory_order_relaxed);
+      row.frames_out = t->st_frames_out.load(std::memory_order_relaxed);
+      row.bytes_in = t->st_bytes_in.load(std::memory_order_relaxed);
+      row.bytes_out = t->st_bytes_out.load(std::memory_order_relaxed);
+      row.rejects = t->st_rejects.load(std::memory_order_relaxed);
+      s.io_threads.push_back(row);
+    }
     return s;
   }
 
@@ -146,13 +179,18 @@ class MatchServer::Impl {
     std::string outbuf;
     size_t out_sent = 0;  // prefix of outbuf already on the wire
     std::unordered_map<uint64_t, Ticket> inflight;
+    // Registered readiness mask; tracked so interest updates only hit the
+    // poller when they change.
+    uint32_t interest = 0;
     // The connection is ending (protocol error answered with kError, or
     // peer EOF): in-flight queries are already cancelled; flush whatever
     // replies were earned, then close.
     bool draining = false;
-    // Peer EOF seen: stop polling POLLIN (a closed peer reports readable
-    // forever).
+    // Peer EOF seen: stop asking for readability (a closed peer reports
+    // readable forever).
     bool peer_closed = false;
+    // Close now, flush nothing (socket error or buffer-bound violation).
+    bool dead = false;
   };
 
   // Where a finished ticket's reply goes: the connection that submitted it
@@ -162,9 +200,50 @@ class MatchServer::Impl {
     uint64_t request_id = 0;
   };
 
+  // One reactor thread: an event loop plus every piece of protocol state
+  // of the connections pinned to it. Everything except `loop` (internally
+  // synchronised), the ready list (mutex) and the stats row (atomics,
+  // single writer) is touched by the owning thread only.
+  struct IoThread {
+    uint32_t index = 0;
+    EventLoop loop;
+    std::thread thread;
+
+    // Loop-thread-only state.
+    std::vector<std::unique_ptr<Conn>> conns;
+    std::unordered_map<int, Conn*> by_fd;
+    std::unordered_map<uint64_t, Route> routes;  // ticket id -> reply route
+    uint64_t finished_seen = 0;  // poll-fallback delivery gate
+    std::vector<uint64_t> ready_drain;  // reusable swap target
+
+    // Ticket ids whose outcomes finalised, pushed by the completion hook
+    // from pool threads, drained by the owning loop.
+    std::mutex ready_mutex;
+    std::vector<uint64_t> ready;
+
+    // Per-thread stats row (kStatsReply): one writer, racing readers.
+    std::atomic<uint64_t> st_connections{0};
+    std::atomic<uint64_t> st_frames_in{0};
+    std::atomic<uint64_t> st_frames_out{0};
+    std::atomic<uint64_t> st_bytes_in{0};
+    std::atomic<uint64_t> st_bytes_out{0};
+    std::atomic<uint64_t> st_rejects{0};
+  };
+
+  // Per-tenant token bucket of the edge rate limiter.
+  struct TokenBucket {
+    double tokens = 0;
+    std::chrono::steady_clock::time_point last;
+  };
+
+  static ServerOptions Normalize(ServerOptions options) {
+    options.io_threads = std::max<uint32_t>(1, options.io_threads);
+    return options;
+  }
+
   // Installs the completion hook that drives outcome delivery: each
-  // finished ticket id goes onto the ready list and the serving loop is
-  // woken through its pipe. The hook body is deliberately tiny — it runs
+  // finished ticket id is routed to the IO thread owning its connection
+  // and that loop is woken. The hook body is deliberately tiny — it runs
   // on a pool worker inside the query's finish path.
   static ServiceOptions ServiceOptionsFor(const ServerOptions& options,
                                           Impl* self) {
@@ -179,21 +258,75 @@ class MatchServer::Impl {
     return service;
   }
 
+  // Routes one finished ticket to the loop owning its connection. A
+  // ticket with no registry entry was answered inline at submit/cancel
+  // time, or belonged to a connection that died — either way nobody is
+  // waiting for it and the service has already recycled its state.
   void OnQueryComplete(uint64_t ticket_id) {
+    IoThread* target = nullptr;
     {
-      std::lock_guard<std::mutex> lock(ready_mutex_);
-      ready_.push_back(ticket_id);
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      auto it = registry_.find(ticket_id);
+      if (it != registry_.end()) {
+        target = it->second;
+        registry_.erase(it);
+      }
     }
-    WakeLoop();
+    if (target == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(target->ready_mutex);
+      target->ready.push_back(ticket_id);
+    }
+    target->loop.Wake();
   }
 
-  // Wakes the poll loop; a full pipe is as good as a written one (the loop
-  // drains the pipe and the ready list together).
-  void WakeLoop() {
-    if (wake_pipe_[1] >= 0) {
-      const char byte = 0;
-      (void)!::write(wake_pipe_[1], &byte, 1);
+  void Register(uint64_t ticket_id, IoThread* t) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_[ticket_id] = t;
+  }
+
+  void Unregister(uint64_t ticket_id) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_.erase(ticket_id);
+  }
+
+  // Edge rate limiter: one token per SUBMIT, refilled at
+  // max_submits_per_sec with a one-second burst allowance. Rejections do
+  // not consume tokens. The bucket map is the only shared state on the
+  // submit path; the critical section is a handful of arithmetic ops.
+  bool AllowSubmit(uint32_t tenant_id) {
+    const double rate = options_.max_submits_per_sec;
+    const double burst = std::max(rate, 1.0);
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(rate_mutex_);
+    auto [it, inserted] =
+        buckets_.try_emplace(tenant_id, TokenBucket{burst, now});
+    TokenBucket& bucket = it->second;
+    if (!inserted) {
+      const double elapsed =
+          std::chrono::duration<double>(now - bucket.last).count();
+      bucket.tokens = std::min(burst, bucket.tokens + elapsed * rate);
+      bucket.last = now;
     }
+    // Amortised prune: a bucket back at full burst carries no state a
+    // fresh one would not, so forgetting it keeps the map bounded by
+    // *active* tenants even when a hostile peer mints tenant ids.
+    if (++rate_ops_ % 256 == 0) {
+      for (auto pit = buckets_.begin(); pit != buckets_.end();) {
+        if (pit == it) {
+          ++pit;
+          continue;
+        }
+        const double refilled =
+            pit->second.tokens +
+            std::chrono::duration<double>(now - pit->second.last).count() *
+                rate;
+        pit = refilled >= burst ? buckets_.erase(pit) : std::next(pit);
+      }
+    }
+    if (bucket.tokens < 1.0) return false;
+    bucket.tokens -= 1.0;
+    return true;
   }
 
   void CloseListen() {
@@ -203,60 +336,86 @@ class MatchServer::Impl {
     }
   }
 
-  void SendFrame(Conn* conn, FrameType type, std::string_view payload) {
+  // Closes the listener from its owning loop (thread 0). Other threads
+  // reach this through a posted task.
+  void CloseListenFrom(IoThread* t0) {
+    if (listen_fd_ >= 0) {
+      t0->loop.Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  void SendFrame(IoThread* t, Conn* conn, FrameType type,
+                 std::string_view payload) {
     AppendFrame(type, payload, &conn->outbuf);
+    t->st_frames_out.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Cancels and orphans every in-flight query of a dying connection and
-  // forgets their delivery routes. Nothing needs to track the orphans
-  // afterwards: the service resolves every outcome eagerly through its
-  // completion hook, so the queries' slots recycle without anyone reading
-  // them, and a ready-list id whose route is gone is simply skipped.
-  void CancelConnQueries(Conn* conn) {
+  // forgets their delivery routes. Registry entries go first so a
+  // synchronously-resolving Cancel's completion hook finds nothing to
+  // wake; an id the hook already pushed is skipped by the route check.
+  void CancelConnQueries(IoThread* t, Conn* conn) {
+    if (conn->inflight.empty()) return;
     cancelled_by_disconnect_.fetch_add(conn->inflight.size(),
                                        std::memory_order_relaxed);
     inflight_.fetch_sub(conn->inflight.size(), std::memory_order_relaxed);
     for (auto& [id, ticket] : conn->inflight) {
-      routes_.erase(ticket.id());
+      Unregister(ticket.id());
+      t->routes.erase(ticket.id());
       ticket.Cancel();
     }
     conn->inflight.clear();
   }
 
   // Queues one finished query's reply on its connection.
-  void DeliverOutcome(Conn* conn, uint64_t request_id,
+  void DeliverOutcome(IoThread* t, Conn* conn, uint64_t request_id,
                       const QueryOutcome& outcome) {
     if (outcome.status == QueryStatus::kRejected) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      SendFrame(conn, FrameType::kRejected, EncodeRequestId(request_id));
+      t->st_rejects.fetch_add(1, std::memory_order_relaxed);
+      SendFrame(t, conn, FrameType::kRejected,
+                EncodeRejected({request_id, RejectReason::kQueueFull}));
     } else {
       completed_.fetch_add(1, std::memory_order_relaxed);
-      SendFrame(conn, FrameType::kOutcome,
-                EncodeOutcome({request_id, outcome}));
+      SendFrame(t, conn, FrameType::kOutcome,
+                EncodeOutcome({request_id, outcome, RejectReason::kQueueFull}));
     }
   }
 
-  void ProtocolError(Conn* conn, const std::string& message) {
+  void ProtocolError(IoThread* t, Conn* conn, const std::string& message) {
     if (conn->draining) return;
-    SendFrame(conn, FrameType::kError, message);
-    CancelConnQueries(conn);
+    SendFrame(t, conn, FrameType::kError, message);
+    CancelConnQueries(t, conn);
     conn->draining = true;
   }
 
   // Connection teardown is signalled through conn->draining, never by a
   // return value.
-  void HandleFrame(Conn* conn, FrameReader::Frame& frame) {
+  void HandleFrame(IoThread* t, Conn* conn, FrameReader::Frame& frame) {
+    t->st_frames_in.fetch_add(1, std::memory_order_relaxed);
     switch (frame.type) {
       case FrameType::kSubmit: {
         Result<WireSubmit> submit = DecodeSubmit(frame.payload);
         if (!submit.ok()) {
-          ProtocolError(conn, submit.status().message());
+          ProtocolError(t, conn, submit.status().message());
           return;
         }
         WireSubmit& ws = submit.value();
         if (conn->inflight.count(ws.request_id) != 0) {
-          ProtocolError(conn, "duplicate request id " +
-                                  std::to_string(ws.request_id));
+          ProtocolError(t, conn, "duplicate request id " +
+                                     std::to_string(ws.request_id));
+          return;
+        }
+        // The rate limiter sits at the very edge: an over-limit tenant is
+        // answered before its query touches planning or admission.
+        if (options_.max_submits_per_sec > 0 && !AllowSubmit(ws.tenant_id)) {
+          rate_limited_.fetch_add(1, std::memory_order_relaxed);
+          t->st_rejects.fetch_add(1, std::memory_order_relaxed);
+          SendFrame(t, conn, FrameType::kRejected,
+                    EncodeRejected(
+                        {ws.request_id, RejectReason::kRateLimited}));
           return;
         }
         SubmitOptions so;
@@ -270,16 +429,30 @@ class MatchServer::Impl {
         submitted_.fetch_add(1, std::memory_order_relaxed);
         // Backpressure sheds, planning errors and mirrors of completed
         // canonicals resolve synchronously — and a fast query may already
-        // have finished between Submit and here: answer inline. The
-        // completion hook may have pushed such a ticket onto the ready
-        // list already; with no route registered, the sweep skips it.
+        // have finished between Submit and here: answer inline.
         const QueryOutcome* done = ticket.TryGet();
         if (done != nullptr) {
-          DeliverOutcome(conn, ws.request_id, *done);
+          DeliverOutcome(t, conn, ws.request_id, *done);
           return;
         }
         if (options_.completion_wakeups) {
-          routes_[ticket.id()] = {conn, ws.request_id};
+          // Register, then probe again: a query that finished between the
+          // first TryGet and the registration ran its completion hook
+          // against an empty registry — nobody will wake us for it, so
+          // the second probe (ordered after the hook's lookup by the
+          // registry mutex) must answer it inline. A hook that instead
+          // runs after the registration finds the entry and the ready
+          // sweep delivers normally; if both paths fire, the inline
+          // answer erases the route and the sweep skips the stale id.
+          Register(ticket.id(), t);
+          t->routes[ticket.id()] = {conn, ws.request_id};
+          done = ticket.TryGet();
+          if (done != nullptr) {
+            Unregister(ticket.id());
+            t->routes.erase(ticket.id());
+            DeliverOutcome(t, conn, ws.request_id, *done);
+            return;
+          }
         }
         inflight_.fetch_add(1, std::memory_order_relaxed);
         conn->inflight.emplace(ws.request_id, std::move(ticket));
@@ -288,7 +461,7 @@ class MatchServer::Impl {
       case FrameType::kCancel: {
         Result<uint64_t> id = DecodeRequestId(frame.payload);
         if (!id.ok()) {
-          ProtocolError(conn, id.status().message());
+          ProtocolError(t, conn, id.status().message());
           return;
         }
         auto it = conn->inflight.find(id.value());
@@ -297,11 +470,14 @@ class MatchServer::Impl {
           it->second.Cancel();
           // A synchronously resolved cancel (queued query, mirror of a
           // running canonical) is ready right now: answer inline and drop
-          // its route so the ready-list sweep cannot answer it again.
+          // its route so the ready-list sweep cannot answer it again. An
+          // unresolved cancel stays registered — the query stops at its
+          // next task boundary and delivers through the hook as usual.
           const QueryOutcome* done = it->second.TryGet();
           if (done != nullptr) {
-            routes_.erase(it->second.id());
-            DeliverOutcome(conn, it->first, *done);
+            Unregister(it->second.id());
+            t->routes.erase(it->second.id());
+            DeliverOutcome(t, conn, it->first, *done);
             inflight_.fetch_sub(1, std::memory_order_relaxed);
             conn->inflight.erase(it);
           }
@@ -309,35 +485,44 @@ class MatchServer::Impl {
         return;
       }
       case FrameType::kPing:
-        SendFrame(conn, FrameType::kPong, frame.payload);
+        SendFrame(t, conn, FrameType::kPong, frame.payload);
         return;
       case FrameType::kStats:
-        SendFrame(conn, FrameType::kStatsReply, EncodeStats(Stats()));
+        SendFrame(t, conn, FrameType::kStatsReply, EncodeStats(Stats()));
         return;
       case FrameType::kShutdown:
         if (options_.allow_remote_shutdown) {
-          shutting_down_ = true;
-          CloseListen();
+          shutting_down_.store(true, std::memory_order_release);
+          // The listener belongs to thread 0's loop; close it there.
+          if (t->index == 0) {
+            CloseListenFrom(t);
+          } else {
+            IoThread* t0 = io_[0].get();
+            t0->loop.Post([this, t0] { CloseListenFrom(t0); });
+          }
+          for (auto& other : io_) other->loop.Wake();
         } else {
-          ProtocolError(conn, "remote shutdown is disabled");
+          ProtocolError(t, conn, "remote shutdown is disabled");
         }
         return;
       default:
         // Server-bound streams must not carry server->client frames.
-        ProtocolError(conn, "unexpected frame type");
+        ProtocolError(t, conn, "unexpected frame type");
         return;
     }
   }
 
   // Reads everything available and handles the complete frames; true when
-  // the connection must be dropped. A clean EOF still parses what arrived
-  // first, so a peer that pipelines frames and closes loses nothing.
-  bool ReadConn(Conn* conn) {
+  // the peer closed its end. A clean EOF still parses what arrived first,
+  // so a peer that pipelines frames and closes loses nothing.
+  bool ReadConn(IoThread* t, Conn* conn) {
     char buffer[1 << 16];
     bool peer_closed = false;
     while (true) {
       const ssize_t got = ::read(conn->fd, buffer, sizeof(buffer));
       if (got > 0) {
+        t->st_bytes_in.fetch_add(static_cast<uint64_t>(got),
+                                 std::memory_order_relaxed);
         conn->reader.Feed(buffer, static_cast<size_t>(got));
         if (static_cast<size_t>(got) < sizeof(buffer)) break;
         continue;
@@ -355,47 +540,51 @@ class MatchServer::Impl {
       while (true) {
         Result<bool> next = conn->reader.Next(&frame);
         if (!next.ok()) {
-          ProtocolError(conn, next.status().message());
+          ProtocolError(t, conn, next.status().message());
           break;
         }
         if (!next.value()) break;
-        HandleFrame(conn, frame);
+        HandleFrame(t, conn, frame);
         if (conn->draining) break;
       }
     }
     return peer_closed;
   }
 
-  // Flushes as much buffered output as the socket accepts; true when the
-  // connection must be dropped (write error, or a drained error-close).
-  bool FlushConn(Conn* conn) {
+  // Flushes as much buffered output as the socket accepts; marks the
+  // connection dead on a write error or when a peer that stopped reading
+  // pins more buffered bytes than the configured bound.
+  void FlushConn(IoThread* t, Conn* conn) {
     while (conn->out_sent < conn->outbuf.size()) {
       const ssize_t sent =
           SendBytes(conn->fd, conn->outbuf.data() + conn->out_sent,
                     conn->outbuf.size() - conn->out_sent);
       if (sent > 0) {
         conn->out_sent += static_cast<size_t>(sent);
+        t->st_bytes_out.fetch_add(static_cast<uint64_t>(sent),
+                                  std::memory_order_relaxed);
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      return true;
+      conn->dead = true;
+      return;
     }
     if (conn->out_sent == conn->outbuf.size()) {
       conn->outbuf.clear();
       conn->out_sent = 0;
-      if (conn->draining) return true;
     }
-    // A peer that stopped reading its replies pins every byte we buffer;
-    // past the bound it is abandoned like any other dead connection.
     if (conn->outbuf.size() - conn->out_sent >
         options_.max_connection_buffer) {
-      return true;
+      conn->dead = true;
     }
-    return false;
   }
 
-  void AcceptConnections() {
+  // Accepts everything pending (thread 0 only — it owns the listener) and
+  // distributes the connections across the IO threads by fd hash. Remote
+  // adoptions travel as posted tasks and land inside the target's next
+  // Wait(), before its readiness events.
+  void AcceptConnections(IoThread* t) {
     while (listen_fd_ >= 0) {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) break;  // EAGAIN and friends: done for this pass
@@ -405,7 +594,8 @@ class MatchServer::Impl {
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      if (conns_.size() >= options_.max_connections) {
+      if (connections_.load(std::memory_order_relaxed) >=
+          options_.max_connections) {
         // Turn the connection away loudly (best-effort write on a fresh
         // socket buffer) instead of hanging it.
         std::string frame;
@@ -415,18 +605,43 @@ class MatchServer::Impl {
         ::close(fd);
         continue;
       }
-      auto conn = std::make_unique<Conn>();
-      conn->fd = fd;
-      conns_.push_back(std::move(conn));
+      // Counted at accept time so the bound holds while the adoption is
+      // still in flight to its owning thread.
+      connections_.fetch_add(1, std::memory_order_relaxed);
+      IoThread* target = io_[static_cast<size_t>(fd) % io_.size()].get();
+      if (target == t) {
+        AdoptConn(target, fd);
+      } else {
+        target->loop.Post([this, target, fd] { AdoptConn(target, fd); });
+      }
     }
-    connections_.store(conns_.size(), std::memory_order_relaxed);
   }
 
-  void DropConn(size_t i) {
-    CancelConnQueries(conns_[i].get());
-    ::close(conns_[i]->fd);
-    conns_.erase(conns_.begin() + i);
-    connections_.store(conns_.size(), std::memory_order_relaxed);
+  // Runs on the owning thread: from here on, only that thread touches the
+  // connection.
+  void AdoptConn(IoThread* t, int fd) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->interest = EventLoop::kReadable;
+    if (!t->loop.Add(fd, conn->interest).ok()) {
+      ::close(fd);
+      connections_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    t->by_fd[fd] = conn.get();
+    t->conns.push_back(std::move(conn));
+    t->st_connections.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void DropConnAt(IoThread* t, size_t i) {
+    Conn* conn = t->conns[i].get();
+    CancelConnQueries(t, conn);
+    t->loop.Remove(conn->fd);
+    ::close(conn->fd);
+    t->by_fd.erase(conn->fd);
+    t->conns.erase(t->conns.begin() + i);
+    connections_.fetch_sub(1, std::memory_order_relaxed);
+    t->st_connections.fetch_sub(1, std::memory_order_relaxed);
   }
 
   // Completion-driven delivery: drains the ready list the completion hook
@@ -434,191 +649,227 @@ class MatchServer::Impl {
   // of all pending tickets. Ids without a route were answered inline at
   // submit/cancel time or belonged to a dropped connection; skipping them
   // is the whole cleanup.
-  void DeliverReady() {
+  void DeliverReady(IoThread* t) {
     {
-      std::lock_guard<std::mutex> lock(ready_mutex_);
-      if (ready_.empty()) return;
-      ready_drain_.swap(ready_);
+      std::lock_guard<std::mutex> lock(t->ready_mutex);
+      if (t->ready.empty()) return;
+      t->ready_drain.swap(t->ready);
     }
-    for (const uint64_t ticket_id : ready_drain_) {
-      auto route = routes_.find(ticket_id);
-      if (route == routes_.end()) continue;
+    for (const uint64_t ticket_id : t->ready_drain) {
+      auto route = t->routes.find(ticket_id);
+      if (route == t->routes.end()) continue;
       Conn* conn = route->second.conn;
       const uint64_t request_id = route->second.request_id;
-      routes_.erase(route);
+      t->routes.erase(route);
       auto it = conn->inflight.find(request_id);
       if (it == conn->inflight.end()) continue;
       // The hook fires strictly after the outcome is retrievable, so this
       // TryGet cannot miss.
       const QueryOutcome* done = it->second.TryGet();
       if (done == nullptr) continue;
-      DeliverOutcome(conn, request_id, *done);
+      DeliverOutcome(t, conn, request_id, *done);
       inflight_.fetch_sub(1, std::memory_order_relaxed);
       conn->inflight.erase(it);
     }
-    ready_drain_.clear();
+    t->ready_drain.clear();
   }
 
-  // Poll fallback (ServerOptions::completion_wakeups == false): scan every
-  // pending ticket, gated on the service's finished-query counter so idle
-  // passes stay cheap. Snapshot before sweeping: a finish racing the sweep
-  // re-arms the next pass.
-  void DeliverFinished() {
+  // Poll fallback (ServerOptions::completion_wakeups == false, single IO
+  // thread): scan every pending ticket, gated on the service's
+  // finished-query counter so idle passes stay cheap. Snapshot before
+  // sweeping: a finish racing the sweep re-arms the next pass.
+  void DeliverFinished(IoThread* t) {
     const uint64_t finished_now = service_.finished_queries();
-    if (finished_now == finished_seen_) return;
-    for (auto& conn : conns_) {
+    if (finished_now == t->finished_seen) return;
+    for (auto& conn : t->conns) {
       for (auto it = conn->inflight.begin(); it != conn->inflight.end();) {
         const QueryOutcome* done = it->second.TryGet();
         if (done == nullptr) {
           ++it;
           continue;
         }
-        DeliverOutcome(conn.get(), it->first, *done);
+        DeliverOutcome(t, conn.get(), it->first, *done);
         inflight_.fetch_sub(1, std::memory_order_relaxed);
         it = conn->inflight.erase(it);
       }
     }
-    finished_seen_ = finished_now;
+    t->finished_seen = finished_now;
   }
 
-  bool AnyPendingWork() const {
-    for (const auto& conn : conns_) {
+  bool AnyPendingWork(const IoThread* t) const {
+    for (const auto& conn : t->conns) {
       if (!conn->inflight.empty()) return true;
     }
     return false;
   }
 
-  void ServeLoop() {
-    std::vector<pollfd> fds;
+  void SweepConns(IoThread* t) {
+    for (size_t i = 0; i < t->conns.size();) {
+      Conn* conn = t->conns[i].get();
+      if (conn->dead ||
+          (conn->draining && conn->out_sent == conn->outbuf.size())) {
+        DropConnAt(t, i);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void UpdateInterest(IoThread* t) {
+    for (auto& conn : t->conns) {
+      uint32_t want = 0;
+      if (!conn->peer_closed && !conn->draining) {
+        want |= EventLoop::kReadable;
+      }
+      if (conn->out_sent < conn->outbuf.size()) {
+        want |= EventLoop::kWritable;
+      }
+      if (want != conn->interest &&
+          t->loop.Modify(conn->fd, want).ok()) {
+        conn->interest = want;
+      }
+    }
+  }
+
+  void RunLoop(IoThread* t) {
+    if (t->index == 0 && listen_fd_ >= 0) {
+      t->loop.Add(listen_fd_, EventLoop::kReadable);
+    }
+    std::vector<EventLoop::Event> events;
     while (true) {
       if (stop_requested_.load(std::memory_order_acquire)) break;
-      AcceptConnections();
       if (options_.completion_wakeups) {
-        DeliverReady();
+        DeliverReady(t);
       } else {
-        DeliverFinished();
+        DeliverFinished(t);
       }
-      for (size_t i = 0; i < conns_.size();) {
-        if (FlushConn(conns_[i].get())) {
-          DropConn(i);
-        } else {
-          ++i;
+      for (auto& conn : t->conns) {
+        if (!conn->dead && conn->out_sent < conn->outbuf.size()) {
+          FlushConn(t, conn.get());
         }
       }
-      if (shutting_down_) {
+      SweepConns(t);
+      if (shutting_down_.load(std::memory_order_acquire)) {
         // Graceful remote shutdown: finish in-flight work, flush, then
-        // close connections as they go idle; exit when none remain.
-        for (size_t i = 0; i < conns_.size();) {
-          Conn* conn = conns_[i].get();
-          if (conn->inflight.empty() && conn->outbuf.empty()) {
-            DropConn(i);
+        // close connections as they go idle; this thread exits when none
+        // of its own remain.
+        for (size_t i = 0; i < t->conns.size();) {
+          Conn* conn = t->conns[i].get();
+          if (conn->inflight.empty() &&
+              conn->out_sent == conn->outbuf.size()) {
+            DropConnAt(t, i);
           } else {
             ++i;
           }
         }
-        if (conns_.empty()) break;
+        if (t->conns.empty()) break;
       }
-
-      fds.clear();
-      fds.push_back({wake_pipe_[0], POLLIN, 0});
-      if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
-      for (const auto& conn : conns_) {
-        // A half-closed peer reports POLLIN/EOF forever; stop asking.
-        short events = conn->peer_closed ? 0 : POLLIN;
-        if (conn->out_sent < conn->outbuf.size()) events |= POLLOUT;
-        fds.push_back({conn->fd, events, 0});
-      }
+      UpdateInterest(t);
       // Completion wakeups arrive through the wake pipe the instant a
-      // query finishes, so the timeout is pure idle housekeeping; only the
-      // poll fallback needs a tight cadence to notice finished queries.
+      // query finishes, so the timeout is pure idle housekeeping; only
+      // the poll fallback needs a tight cadence to notice finished
+      // queries.
       const int timeout_ms =
-          !options_.completion_wakeups && AnyPendingWork() ? 2 : 250;
-      const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-      if (ready < 0 && errno != EINTR) break;
-
-      size_t fd_index = 0;
-      if (fds[fd_index].revents & POLLIN) {
-        char drain[64];
-        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
-        }
-      }
-      ++fd_index;
-      if (listen_fd_ >= 0) ++fd_index;  // accept handled at loop top
-      // Map poll results back to connections (same order as built).
-      for (size_t i = 0; i < conns_.size() && fd_index + i < fds.size();
-           ++i) {
-        const short revents = fds[fd_index + i].revents;
-        Conn* conn = conns_[i].get();
-        if (revents & (POLLERR | POLLNVAL)) {
-          conn->outbuf.clear();  // the socket is gone; nothing to flush
-          conn->draining = true;
+          !options_.completion_wakeups && AnyPendingWork(t) ? 2 : 250;
+      const int n = t->loop.Wait(timeout_ms, &events);
+      if (n < 0) break;
+      // Event handlers only mark connection state (draining/dead); no fd
+      // closes here, so a stale event cannot hit a recycled descriptor —
+      // by_fd is authoritative for the pass.
+      for (const EventLoop::Event& ev : events) {
+        if (t->index == 0 && listen_fd_ >= 0 && ev.fd == listen_fd_) {
+          AcceptConnections(t);
           continue;
         }
-        if (!conn->peer_closed && (revents & (POLLIN | POLLHUP))) {
-          if (ReadConn(conn)) {
+        auto lookup = t->by_fd.find(ev.fd);
+        if (lookup == t->by_fd.end()) continue;
+        Conn* conn = lookup->second;
+        if (ev.events & EventLoop::kError) {
+          // The socket is gone; nothing to flush.
+          conn->outbuf.clear();
+          conn->out_sent = 0;
+          CancelConnQueries(t, conn);
+          conn->draining = true;
+          conn->dead = true;
+          continue;
+        }
+        if (!conn->peer_closed &&
+            (ev.events & (EventLoop::kReadable | EventLoop::kHangup))) {
+          if (ReadConn(t, conn)) {
             // Peer EOF. The requester is gone, so its in-flight queries
             // are cancelled (abandoned work must not outlive its
             // requester) — but replies already earned by the final burst
             // (PONGs, inline outcomes) are flushed, not discarded.
             conn->peer_closed = true;
-            CancelConnQueries(conn);
+            CancelConnQueries(t, conn);
             conn->draining = true;
           }
         }
-      }
-      for (size_t i = 0; i < conns_.size();) {
-        Conn* conn = conns_[i].get();
-        if (conn->draining && conn->outbuf.empty()) {
-          DropConn(i);
-        } else {
-          ++i;
+        if (!conn->dead && (ev.events & EventLoop::kWritable) &&
+            conn->out_sent < conn->outbuf.size()) {
+          FlushConn(t, conn);
         }
       }
     }
-    // Loop exit: cancel whatever is still in flight and close every socket
-    // (outcomes of cancelled queries resolve through the service's
-    // completion path as it shuts down with the server).
-    for (auto& conn : conns_) {
-      CancelConnQueries(conn.get());
+    // Loop exit: cancel whatever is still in flight on this thread's
+    // connections and close every socket (outcomes of cancelled queries
+    // resolve through the service's completion path as it shuts down with
+    // the server).
+    for (auto& conn : t->conns) {
+      CancelConnQueries(t, conn.get());
+      t->loop.Remove(conn->fd);
       ::close(conn->fd);
     }
-    conns_.clear();
-    connections_.store(0, std::memory_order_relaxed);
-    routes_.clear();
+    connections_.fetch_sub(t->conns.size(), std::memory_order_relaxed);
+    t->st_connections.store(0, std::memory_order_relaxed);
+    t->conns.clear();
+    t->by_fd.clear();
+    t->routes.clear();
+    if (t->index == 0) CloseListenFrom(t);
+  }
+
+  void NotifyExit() {
+    std::lock_guard<std::mutex> lock(exit_mutex_);
+    if (++exited_threads_ == io_.size()) {
+      exited_ = true;
+      exit_cv_.notify_all();
+    }
   }
 
   const ServerOptions options_;
   MatchService service_;
 
+  // Owned by IO thread 0's loop after Start(); main-thread access only
+  // before launch (Start) and after join (Stop).
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
-  std::thread thread_;
+
+  std::vector<std::unique_ptr<IoThread>> io_;
   std::atomic<bool> stop_requested_{false};
-  bool shutting_down_ = false;  // serving-thread only
+  std::atomic<bool> shutting_down_{false};
 
-  std::vector<std::unique_ptr<Conn>> conns_;  // serving-thread only
-  // Delivery routes of in-flight tickets, keyed by ticket id
-  // (serving-thread only; entries die with their answer or connection).
-  std::unordered_map<uint64_t, Route> routes_;
-  uint64_t finished_seen_ = 0;  // poll-fallback gate; serving-thread only
+  // Which IO thread delivers each in-flight ticket: the completion hook's
+  // only lookup. Entries die with their delivery, their cancellation or
+  // their connection.
+  std::mutex registry_mutex_;
+  std::unordered_map<uint64_t, IoThread*> registry_;
 
-  // Ticket ids whose outcomes finalised, pushed by the completion hook
-  // from pool threads, drained by the serving loop. ready_drain_ is the
-  // loop's reusable swap target (serving-thread only).
-  std::mutex ready_mutex_;
-  std::vector<uint64_t> ready_;
-  std::vector<uint64_t> ready_drain_;
+  // Edge rate limiter (ServerOptions::max_submits_per_sec).
+  std::mutex rate_mutex_;
+  std::unordered_map<uint32_t, TokenBucket> buckets_;
+  uint64_t rate_ops_ = 0;
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> rate_limited_{0};
   std::atomic<uint64_t> cancelled_by_disconnect_{0};
   std::atomic<uint64_t> inflight_{0};
 
   std::mutex exit_mutex_;
   std::condition_variable exit_cv_;
+  size_t exited_threads_ = 0;
   bool exited_ = false;
 };
 
@@ -636,7 +887,7 @@ class MatchServer::Impl {
   void Wait() {}
   bool WaitFor(double) { return true; }
   void Stop() {}
-  WireStats Stats() const { return {}; }
+  WireStats Stats() { return {}; }
 };
 
 #endif  // HGMATCH_HAVE_SOCKETS

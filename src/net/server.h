@@ -26,7 +26,15 @@ struct ServerOptions {
   /// server relays each shed submission as a kRejected frame.
   ServiceOptions service;
 
-  /// Accepted connections beyond this are turned away with a kError frame.
+  /// Reactor IO threads: each runs its own epoll loop and owns the full
+  /// protocol state of the connections pinned to it (see the thread-
+  /// ownership notes on MatchServer). 1 = the classic single-loop server;
+  /// scale up when frame parsing/serialisation saturates one core. 0 is
+  /// clamped to 1.
+  uint32_t io_threads = 1;
+
+  /// Accepted connections beyond this are turned away with a kError frame
+  /// (enforced across all IO threads).
   uint32_t max_connections = 64;
 
   /// Per-connection output-buffer bound: a peer that submits but never
@@ -36,6 +44,15 @@ struct ServerOptions {
   /// (kMaxWirePayload); outcomes are ~150 bytes each.
   uint64_t max_connection_buffer = uint64_t{2} * kMaxWirePayload;
 
+  /// Per-tenant rate limit at the server edge: each tenant id holds a
+  /// token bucket refilled at this many tokens per second (burst capacity
+  /// = one second's allowance, at least 1). A SUBMIT that finds its
+  /// tenant's bucket empty is answered with kRejected
+  /// (RejectReason::kRateLimited) before touching the service — over-limit
+  /// traffic never consumes admission-queue slots or planning work.
+  /// 0 disables the limiter.
+  double max_submits_per_sec = 0;
+
   /// Honour kShutdown frames (any connected client may then stop the
   /// server). Off by default; `hgmatch serve` enables it on request for
   /// scripted runs (the CLI smoke test drives it).
@@ -43,40 +60,64 @@ struct ServerOptions {
 
   /// Completion-driven outcome delivery (the default): the server hangs a
   /// completion hook on the service (ServiceOptions::on_query_complete)
-  /// that pushes each finished ticket id onto a lock-protected ready list
-  /// and writes the serving loop's wake pipe, so the loop wakes the
-  /// instant a query finishes and delivers exactly the ready outcomes —
-  /// the idle poll timeout stays at 250 ms regardless of in-flight work.
+  /// that routes each finished ticket id to the ready list of the IO
+  /// thread owning its connection and wakes that thread's loop, so
+  /// outcomes are delivered the instant a query finishes — the idle wait
+  /// timeout stays at 250 ms regardless of in-flight work.
   /// Off = the legacy poll fallback: the loop re-polls at 2 ms while
-  /// queries are in flight and scans every pending ticket, which adds up
-  /// to one poll interval of delivery latency per query. Kept as an
-  /// operational escape hatch and as the baseline of the
-  /// bench_net_loopback latency comparison.
+  /// queries are in flight and scans every pending ticket. The fallback
+  /// predates the reactor and only composes with io_threads == 1 (Start()
+  /// rejects other combinations); it is kept as an operational escape
+  /// hatch and as the baseline of the bench_net_loopback latency
+  /// comparison.
   bool completion_wakeups = true;
 };
 
-/// A poll()-based multi-connection TCP server over one MatchService: the
-/// wire front end that turns the library into a servable system. One
-/// serving thread multiplexes the listening socket and every connection
-/// (non-blocking reads/writes, per-connection frame reassembly and output
-/// buffering); query execution itself runs on the service's worker pool,
-/// so a slow client never blocks matching and a heavy query never blocks
-/// the protocol.
+/// A multi-threaded epoll reactor over one MatchService: the wire front
+/// end that turns the library into a servable system. An acceptor (IO
+/// thread 0 owns the listening socket) distributes incoming connections
+/// across ServerOptions::io_threads event loops, pinned by fd hash; query
+/// execution itself runs on the service's worker pool, so a slow client
+/// never blocks matching and a heavy query never blocks the protocol.
+///
+/// Thread-ownership invariants (the reason this design needs no
+/// per-connection locks):
+///
+///  - A connection is owned by exactly one IO thread from adoption to
+///    close. Its fd, frame reader, output buffer, in-flight ticket table
+///    and delivery routes are touched only by that thread — never
+///    concurrently, never handed off.
+///  - Each IO thread owns one EventLoop (epoll instance + wake pipe) and
+///    one route table mapping ticket ids to (connection, request id).
+///    Routes are created, read and destroyed on the owning thread only.
+///  - Cross-thread traffic uses exactly two channels, both leaf-locked:
+///    (1) the acceptor Post()s connection adoptions into the owning
+///    thread's loop, and (2) the service's completion hook pushes
+///    finished ticket ids onto the owning thread's ready list and wakes
+///    its loop. The hook finds the owning thread through a shared
+///    ticket registry (mutex-protected map, erased on completion); a
+///    ready-list id is only ever interpreted through the owning thread's
+///    route table, so a stale id — its route answered inline or dead with
+///    its connection — is skipped, never dereferenced.
+///  - Whole-server counters (connection count, submitted/completed/...)
+///    are atomics; per-IO-thread stats rows are atomics owned by one
+///    writer each. The per-tenant rate limiter is a shared
+///    mutex-protected map — the only state every SUBMIT path touches.
 ///
 /// Per connection the server keeps a table of in-flight tickets keyed by
 /// the client's request id. Outcome delivery is completion-driven: the
-/// service's completion hook enqueues each finished ticket id on a ready
-/// list and wakes the poll loop through its wake pipe, so outcomes are
-/// delivered as kOutcome frames the moment they finalise, in completion
-/// order (clients pipeline submissions and match replies by id) — the
-/// loop never scans pending tickets on a cadence. A submission shed by
-/// queue-depth backpressure comes back immediately as kRejected. A
-/// connection that drops — cleanly or not — has all its in-flight
-/// queries cancelled: abandoned work never outlives its requester. A
-/// malformed frame gets one kError frame and the same
+/// hook enqueues each finished ticket id on the owning thread's ready
+/// list and wakes its loop, so outcomes are delivered as kOutcome frames
+/// the moment they finalise, in completion order (clients pipeline
+/// submissions and match replies by id). A submission shed by queue-depth
+/// backpressure or the per-tenant rate limiter comes back immediately as
+/// kRejected with its reason. A connection that drops — cleanly or not —
+/// has all its in-flight queries cancelled: abandoned work never outlives
+/// its requester. A malformed frame gets one kError frame and the same
 /// cancel-and-close treatment.
 ///
-/// POSIX-only (poll/sockets); Start() reports Internal elsewhere.
+/// POSIX-only (epoll on Linux, poll elsewhere); Start() reports Internal
+/// on unsupported platforms.
 class MatchServer {
  public:
   /// `data` must outlive the server.
@@ -88,21 +129,22 @@ class MatchServer {
   MatchServer(const MatchServer&) = delete;
   MatchServer& operator=(const MatchServer&) = delete;
 
-  /// Binds, listens and launches the serving thread. Call once.
+  /// Binds, listens and launches the IO threads. Call once. Rejects
+  /// incoherent options (poll fallback with io_threads > 1).
   Status Start();
 
   /// The bound port (resolves option port 0); valid after Start().
   uint16_t port() const;
 
-  /// Blocks until the serving loop exits: Stop(), or a remote shutdown
+  /// Blocks until every IO thread exits: Stop(), or a remote shutdown
   /// when ServerOptions::allow_remote_shutdown is set.
   void Wait();
 
-  /// Wait with a budget; true when the loop exited within it.
+  /// Wait with a budget; true when the loops exited within it.
   bool WaitFor(double seconds);
 
-  /// Stops serving: wakes the loop, cancels in-flight queries, closes
-  /// every socket and joins the thread. Idempotent.
+  /// Stops serving: wakes every loop, cancels in-flight queries, closes
+  /// every socket and joins the IO threads. Idempotent.
   void Stop();
 
   /// Statistics snapshot, equivalent to a kStats round-trip.

@@ -203,6 +203,15 @@ class ServiceImpl {
     return finished_.load(std::memory_order_acquire);
   }
 
+  ServiceGauges Gauges() {
+    ServiceGauges g;
+    g.finished = finished_.load(std::memory_order_acquire);
+    g.live_contexts = scheduler_.LiveContexts();
+    g.retained_slots = scheduler_.RetainedSlots();
+    g.rejected = scheduler_.RejectedCount();
+    return g;
+  }
+
   // ------------------------------------------------- ticket entry points --
 
   const QueryOutcome& Wait(QueryRecord* rec) {
@@ -733,5 +742,7 @@ uint32_t MatchService::num_threads() const { return impl_->num_threads(); }
 uint64_t MatchService::finished_queries() const {
   return impl_->finished_queries();
 }
+
+ServiceGauges MatchService::Gauges() { return impl_->Gauges(); }
 
 }  // namespace hgmatch

@@ -103,6 +103,17 @@ struct ServiceOptions {
       on_query_complete;
 };
 
+/// Live observability gauges of a running service, cheap enough to sample
+/// on every stats request (a few atomic loads plus the scheduler's
+/// amortised slot sweeps). The wire front end folds these into its
+/// kStatsReply snapshot.
+struct ServiceGauges {
+  uint64_t finished = 0;        // outcomes finalised since construction
+  uint64_t live_contexts = 0;   // queries whose execution state is live
+  uint64_t retained_slots = 0;  // finished outcome slots not yet released
+  uint64_t rejected = 0;        // shed by the max_queued_queries bound
+};
+
 /// Aggregate accounting of one service lifetime, returned by Shutdown().
 struct ServiceReport {
   std::vector<WorkerReport> workers;  // size = pool threads
@@ -241,6 +252,11 @@ class MatchService {
   /// tickets while this has not advanced, and an advance guarantees the
   /// corresponding TryGet calls succeed.
   uint64_t finished_queries() const;
+
+  /// Live observability snapshot (see ServiceGauges). Thread-safe;
+  /// non-const because sampling the scheduler's slot gauges performs its
+  /// amortised sweeps.
+  ServiceGauges Gauges();
 
  private:
   std::unique_ptr<internal::ServiceImpl> impl_;

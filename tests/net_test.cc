@@ -7,16 +7,20 @@
 // kRejected while admitted queries keep exact stats (the acceptance bar
 // of the serve subsystem). Socket tests are POSIX-only and skip elsewhere.
 
+#include "net/async_client.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/hgmatch.h"
@@ -87,6 +91,69 @@ TEST(ProtocolTest, OutcomeFrameRoundTripsFullStats) {
   EXPECT_TRUE(out.stats.limit_hit);
   EXPECT_EQ(out.stats.seconds, 0.5);
   EXPECT_EQ(out.admit_index, 13u);
+}
+
+TEST(ProtocolTest, RejectedFrameRoundTripsReason) {
+  for (RejectReason reason :
+       {RejectReason::kQueueFull, RejectReason::kRateLimited}) {
+    WireRejected rejected;
+    rejected.request_id = 321;
+    rejected.reason = reason;
+    Result<WireRejected> decoded = DecodeRejected(EncodeRejected(rejected));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().request_id, 321u);
+    EXPECT_EQ(decoded.value().reason, reason);
+  }
+  EXPECT_STREQ(RejectReasonName(RejectReason::kQueueFull), "queue-full");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kRateLimited), "rate-limited");
+
+  // Truncated, oversized and unknown-reason payloads are corruption.
+  const std::string good = EncodeRejected(WireRejected{});
+  EXPECT_FALSE(DecodeRejected(good.substr(0, good.size() - 1)).ok());
+  EXPECT_FALSE(DecodeRejected(good + "x").ok());
+  std::string bad_reason = good;
+  bad_reason.back() = 7;
+  EXPECT_FALSE(DecodeRejected(bad_reason).ok());
+}
+
+TEST(ProtocolTest, StatsFrameRoundTripsIoThreadRows) {
+  WireStats stats;
+  stats.num_threads = 3;
+  stats.connections = 2;
+  stats.submitted = 100;
+  stats.completed = 90;
+  stats.rejected = 4;
+  stats.rate_limited = 6;
+  stats.cancelled_by_disconnect = 1;
+  stats.inflight = 5;
+  stats.service_finished = 95;
+  stats.service_live_contexts = 3;
+  stats.service_retained_slots = 2;
+  for (uint64_t i = 0; i < 2; ++i) {
+    WireIoThreadStats row;
+    row.connections = i + 1;
+    row.frames_in = 10 * (i + 1);
+    row.frames_out = 11 * (i + 1);
+    row.bytes_in = 1000 * (i + 1);
+    row.bytes_out = 1001 * (i + 1);
+    row.rejects = i;
+    stats.io_threads.push_back(row);
+  }
+
+  Result<WireStats> decoded = DecodeStats(EncodeStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().rate_limited, 6u);
+  EXPECT_EQ(decoded.value().service_finished, 95u);
+  EXPECT_EQ(decoded.value().service_live_contexts, 3u);
+  EXPECT_EQ(decoded.value().service_retained_slots, 2u);
+  ASSERT_EQ(decoded.value().io_threads.size(), 2u);
+  EXPECT_EQ(decoded.value().io_threads[1].frames_in, 20u);
+  EXPECT_EQ(decoded.value().io_threads[1].bytes_out, 2002u);
+
+  // A row-count that disagrees with the remaining bytes is corruption,
+  // not an allocation request.
+  std::string encoded = EncodeStats(stats);
+  EXPECT_FALSE(DecodeStats(encoded.substr(0, encoded.size() - 8)).ok());
 }
 
 TEST(ProtocolTest, FrameReaderReassemblesFragmentedStreams) {
@@ -701,18 +768,23 @@ TEST(NetTest, PollFallbackDeliversMirrorsResolvedWithTheirCanonical) {
 // this suite), wedges, or stops serving well-formed clients. The seed is
 // deterministic (override with HGMATCH_FUZZ_SEED) and logged on failure so
 // any crash replays bit-for-bit.
-TEST(NetFuzzTest, MutatedFramesNeverCrashTheServer) {
+// The harness body, parameterised over the reactor width so the identical
+// barrage runs against both the single IO thread and a 4-thread reactor
+// (where a mutant's connection, an honest probe's and the acceptor live on
+// different threads).
+void FuzzMutatedFramesAgainstServer(uint32_t io_threads) {
   uint64_t seed = 0xfeedface2024;
   if (const char* env = std::getenv("HGMATCH_FUZZ_SEED")) {
     seed = std::strtoull(env, nullptr, 0);
   }
   SCOPED_TRACE("fuzz seed = " + std::to_string(seed) +
                " (re-run with HGMATCH_FUZZ_SEED)");
-  Rng rng(seed);
+  Rng rng(seed + io_threads);  // distinct mutation walk per reactor width
 
   IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
   ServerOptions options = LoopbackOptions(2);
   options.max_connections = 8;
+  options.io_threads = io_threads;
   MatchServer server(idx, options);
   ASSERT_TRUE(server.Start().ok());
 
@@ -859,6 +931,14 @@ TEST(NetFuzzTest, MutatedFramesNeverCrashTheServer) {
   server.Stop();
 }
 
+TEST(NetFuzzTest, MutatedFramesNeverCrashTheServer) {
+  FuzzMutatedFramesAgainstServer(1);
+}
+
+TEST(NetFuzzTest, MutatedFramesNeverCrashTheFourThreadReactor) {
+  FuzzMutatedFramesAgainstServer(4);
+}
+
 TEST(NetTest, ConnectionLimitTurnsExtrasAway) {
   IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
   ServerOptions options = LoopbackOptions(1);
@@ -874,6 +954,358 @@ TEST(NetTest, ConnectionLimitTurnsExtrasAway) {
   ASSERT_TRUE(second.Connect(server.port()));
   ExpectErrorFrameThenEof(second);
   ASSERT_TRUE(first.Ping().ok());  // unaffected
+  server.Stop();
+}
+
+// ---------------------------------------------- multi-threaded reactor --
+
+TEST(NetReactorTest, SixtyFourClientsOverFourIoThreadsKeepExactCounts) {
+  // The headline invariant of the reactor redesign: connections spread
+  // over four IO threads (pinned by fd hash) behave exactly like the
+  // single-threaded front end — every client gets its own exact counts,
+  // no reply ever crosses to another connection's socket.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  ServerOptions options = LoopbackOptions(2);
+  options.io_threads = 4;
+  options.max_connections = 128;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t expected1 =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const uint64_t expected2 =
+      MatchSequential(idx, PathQuery(2)).value().embeddings;
+
+  constexpr int kClients = 64;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      MatchClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        ++failures;
+        return;
+      }
+      std::vector<uint64_t> ids;
+      for (uint32_t k : {1u, 2u}) {  // pipelined: submit both, then wait
+        Result<uint64_t> id = client.Submit(PathQuery(k));
+        if (!id.ok()) {
+          ++failures;
+          return;
+        }
+        ids.push_back(id.value());
+      }
+      for (size_t i = 0; i < ids.size(); ++i) {
+        Result<WireOutcome> reply = client.WaitOutcome(ids[i]);
+        if (!reply.ok() ||
+            reply.value().outcome.status != QueryStatus::kOk ||
+            reply.value().outcome.stats.embeddings !=
+                (i == 0 ? expected1 : expected2)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  ASSERT_TRUE(EventuallyTrue([&] { return server.Stats().inflight == 0; }));
+  WireStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 2u * kClients);
+  EXPECT_EQ(stats.completed, 2u * kClients);
+  ASSERT_EQ(stats.io_threads.size(), 4u);
+  uint64_t frames_in = 0;
+  for (const WireIoThreadStats& row : stats.io_threads) {
+    frames_in += row.frames_in;
+  }
+  EXPECT_GE(frames_in, 2u * kClients);  // every submit frame was counted
+  server.Stop();
+}
+
+TEST(NetReactorTest, PollFallbackComposesOnlyWithOneIoThread) {
+  // The legacy 2 ms ticket poll scans one thread's ticket tables; with
+  // completion wakeups off a multi-thread reactor would strand outcomes,
+  // so Start() must refuse the combination outright...
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(1);
+  options.completion_wakeups = false;
+  options.io_threads = 2;
+  {
+    MatchServer server(idx, options);
+    EXPECT_FALSE(server.Start().ok());
+  }
+  // ...while the supported single-thread shape still starts and serves.
+  options.io_threads = 1;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  server.Stop();
+}
+
+TEST(NetReactorTest, StatsReportOneRowPerIoThreadAndServiceGauges) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(2);
+  options.io_threads = 2;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient a;
+  MatchClient b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> id = a.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(a.WaitOutcome(id.value()).ok());
+  ASSERT_TRUE(b.Ping().ok());
+
+  Result<WireStats> reply = a.Stats();
+  ASSERT_TRUE(reply.ok());
+  const WireStats& stats = reply.value();
+  EXPECT_EQ(stats.connections, 2u);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_GE(stats.service_finished, 1u);
+  EXPECT_EQ(stats.service_live_contexts, 0u);
+  ASSERT_EQ(stats.io_threads.size(), 2u);
+  uint64_t row_connections = 0;
+  uint64_t frames_in = 0;
+  uint64_t bytes_out = 0;
+  for (const WireIoThreadStats& row : stats.io_threads) {
+    row_connections += row.connections;
+    frames_in += row.frames_in;
+    bytes_out += row.bytes_out;
+  }
+  EXPECT_EQ(row_connections, 2u);  // per-thread rows sum to the gauge
+  EXPECT_GE(frames_in, 3u);        // submit + ping + stats at minimum
+  EXPECT_GT(bytes_out, 0u);
+  server.Stop();
+}
+
+TEST(NetTest, RateLimiterShedsFastTenantAndSparesOthers) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(2);
+  // Burst is max(rate, 1): one token up front, then a refill so slow the
+  // test cannot race it. The first submit per tenant is admitted, every
+  // later one is shed.
+  options.max_submits_per_sec = 0.001;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  SubmitOptions fast;
+  fast.tenant_id = 7;
+  Result<uint64_t> first = client.Submit(PaperQueryHypergraph(), fast);
+  ASSERT_TRUE(first.ok());
+  Result<WireOutcome> first_reply = client.WaitOutcome(first.value());
+  ASSERT_TRUE(first_reply.ok());
+  EXPECT_EQ(first_reply.value().outcome.status, QueryStatus::kOk);
+
+  // Same tenant, bucket empty: shed at the edge with the rate-limit
+  // reason, distinct from queue-full backpressure.
+  Result<uint64_t> second = client.Submit(PaperQueryHypergraph(), fast);
+  ASSERT_TRUE(second.ok());
+  Result<WireOutcome> second_reply = client.WaitOutcome(second.value());
+  ASSERT_TRUE(second_reply.ok());
+  EXPECT_EQ(second_reply.value().outcome.status, QueryStatus::kRejected);
+  EXPECT_EQ(second_reply.value().reject_reason, RejectReason::kRateLimited);
+
+  // Another tenant has its own bucket and is untouched.
+  SubmitOptions other;
+  other.tenant_id = 8;
+  Result<uint64_t> third = client.Submit(PaperQueryHypergraph(), other);
+  ASSERT_TRUE(third.ok());
+  Result<WireOutcome> third_reply = client.WaitOutcome(third.value());
+  ASSERT_TRUE(third_reply.ok());
+  EXPECT_EQ(third_reply.value().outcome.status, QueryStatus::kOk);
+
+  // Shed submissions never reached the service: only the two admitted
+  // ones count as submitted, and the shed one is tallied separately from
+  // queue-full rejections.
+  WireStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rate_limited, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  server.Stop();
+}
+
+// ----------------------------------------------------- async client API --
+
+TEST(AsyncClientTest, CallbacksFireExactlyOncePerSubmit) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+  const uint64_t expected =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+
+  AsyncMatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  constexpr int kSubmits = 16;
+  std::mutex mu;
+  std::unordered_map<uint64_t, int> fired;       // id -> callback count
+  std::unordered_map<uint64_t, bool> exact;      // id -> reply was exact
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kSubmits; ++i) {
+    Result<uint64_t> id = client.Submit(
+        PathQuery(1), {}, [&](const AsyncOutcome& result) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++fired[result.request_id];
+          exact[result.request_id] =
+              result.transport.ok() &&
+              result.wire.outcome.status == QueryStatus::kOk &&
+              result.wire.outcome.stats.embeddings == expected;
+        });
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  ASSERT_TRUE(EventuallyTrue([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return fired.size() == kSubmits;
+  }));
+  client.Close();  // teardown must not re-fire already-resolved callbacks
+
+  std::lock_guard<std::mutex> lock(mu);
+  for (uint64_t id : ids) {
+    EXPECT_EQ(fired[id], 1) << "request " << id;
+    EXPECT_TRUE(exact[id]) << "request " << id;
+  }
+  server.Stop();
+}
+
+TEST(AsyncClientTest, ConnectionDropFailsEveryPendingCallback) {
+  // Three monster queries are parked in flight when the server goes away:
+  // each pending callback must fire (exactly once) with a not-ok
+  // transport status — no request is left dangling.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncMatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::mutex mu;
+  std::unordered_map<uint64_t, int> fired;
+  std::unordered_map<uint64_t, bool> failed;
+  for (int i = 0; i < 3; ++i) {
+    Result<uint64_t> id = client.Submit(
+        PathQuery(4), {}, [&](const AsyncOutcome& result) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++fired[result.request_id];
+          failed[result.request_id] = !result.transport.ok();
+        });
+    ASSERT_TRUE(id.ok());
+  }
+  ASSERT_TRUE(EventuallyTrue([&] { return server.Stats().inflight == 3; }));
+  server.Stop();
+
+  ASSERT_TRUE(EventuallyTrue([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return fired.size() == 3;
+  }));
+  std::unique_lock<std::mutex> lock(mu);
+  for (const auto& [id, count] : fired) {
+    EXPECT_EQ(count, 1) << "request " << id;
+    EXPECT_TRUE(failed[id]) << "request " << id;
+  }
+  lock.unlock();
+  client.Close();
+}
+
+TEST(AsyncClientTest, CancelAfterSubmitResolvesTheCallbackExactlyOnce) {
+  // The cancel-right-after-submit race: whichever side wins inside the
+  // server (inline rejection, queued cancel, in-flight cancel), the
+  // callback resolves exactly once with a real outcome.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncMatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::mutex mu;
+  int fired = 0;
+  AsyncOutcome seen;
+  Result<uint64_t> monster = client.Submit(
+      PathQuery(4), {}, [&](const AsyncOutcome& result) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++fired;
+        seen = result;
+      });
+  ASSERT_TRUE(monster.ok());
+  ASSERT_TRUE(client.Cancel(monster.value()).ok());
+
+  ASSERT_TRUE(EventuallyTrue([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return fired > 0;
+  }));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(fired, 1);
+    ASSERT_TRUE(seen.transport.ok()) << seen.transport.ToString();
+    // At this scale the monster cannot have finished first.
+    EXPECT_EQ(seen.wire.outcome.status, QueryStatus::kCancelled);
+  }
+  client.Close();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(fired, 1);  // Close() must not fire it again
+  }
+  server.Stop();
+}
+
+TEST(AsyncClientTest, InflightWindowBlocksSubmitUntilASlotFrees) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  ServerOptions options = LoopbackOptions(2);
+  options.service.parallel.scan_grain = 64;
+  options.service.task_quota = 64;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncClientOptions window;
+  window.max_inflight = 1;
+  AsyncMatchClient client(window);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::mutex mu;
+  int fired = 0;
+  OutcomeCallback count = [&](const AsyncOutcome&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++fired;
+  };
+  Result<uint64_t> monster = client.Submit(PathQuery(4), {}, count);
+  ASSERT_TRUE(monster.ok());
+
+  // The window (1) is held by the monster, so this Submit must park...
+  std::atomic<bool> second_returned{false};
+  std::thread submitter([&] {
+    Result<uint64_t> second = client.Submit(PathQuery(1), {}, count);
+    EXPECT_TRUE(second.ok());
+    second_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(second_returned.load());
+
+  // ...until the monster's (cancelled) outcome frees the slot.
+  ASSERT_TRUE(client.Cancel(monster.value()).ok());
+  ASSERT_TRUE(EventuallyTrue([&] { return second_returned.load(); }));
+  submitter.join();
+  ASSERT_TRUE(EventuallyTrue([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return fired == 2;
+  }));
+  client.Close();
   server.Stop();
 }
 

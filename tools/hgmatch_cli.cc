@@ -88,12 +88,20 @@ int Usage() {
                "    [--no-plan-cache]    no cross-submission plan reuse\n"
                "                         (caps memory under endless\n"
                "                         distinct query structures)\n"
+               "    [--io-threads=N]     reactor IO threads serving\n"
+               "                         connections (default 1)\n"
+               "    [--max-submits-per-sec=R]  per-tenant edge rate limit\n"
+               "                         (token bucket; 0 = off)\n"
                "    [--serve-seconds=S]  exit after S seconds (0 = forever)\n"
                "    [--poll-outcomes]    legacy 2ms outcome polling instead\n"
                "                         of completion-driven delivery\n"
+               "                         (io-threads=1 only)\n"
                "    [--allow-remote-shutdown]  honour client SHUTDOWN\n"
-               "  hgmatch query --connect=HOST:PORT <queryset>\n"
+               "  hgmatch query --connect=HOST:PORT [<queryset>]\n"
                "    [--limit=N]          per-query embedding limit\n"
+               "    [--stats]            print the server statistics\n"
+               "                         snapshot (standalone or after\n"
+               "                         the queryset)\n"
                "    [--shutdown]         ask the server to exit afterwards\n"
                "profiles: HC MA CH CP SB HB WT TC SA AR random\n"
                "queryset: text queries separated by '---' or '# query' "
@@ -452,6 +460,17 @@ int CmdServe(int argc, char** argv) {
         return 2;
       }
       options.service.max_queued_queries = static_cast<uint32_t>(count);
+    } else if (std::strncmp(arg, "--io-threads=", 13) == 0) {
+      if (!ParseCount(arg + 13, &count) || count < 1 || count > 64) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.io_threads = static_cast<uint32_t>(count);
+    } else if (std::strncmp(arg, "--max-submits-per-sec=", 22) == 0) {
+      if (!ParseSeconds(arg + 22, &options.max_submits_per_sec)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
     } else if (std::strncmp(arg, "--serve-seconds=", 16) == 0) {
       if (!ParseSeconds(arg + 16, &serve_seconds)) {
         std::fprintf(stderr, "bad value '%s'\n", arg);
@@ -476,8 +495,9 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("serving %s:%u (%u worker threads)\n", options.host.c_str(),
-              server.port(), server.Stats().num_threads);
+  std::printf("serving %s:%u (%u worker threads, %u io threads)\n",
+              options.host.c_str(), server.port(),
+              server.Stats().num_threads, options.io_threads);
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");
@@ -502,12 +522,50 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+// Pretty-prints a kStatsReply snapshot: whole-server counters, live
+// service gauges, one row per IO thread.
+void PrintWireStats(const WireStats& s) {
+  std::printf("server stats:\n");
+  std::printf("  workers                  %u\n", s.num_threads);
+  std::printf("  connections              %llu\n",
+              static_cast<unsigned long long>(s.connections));
+  std::printf("  submitted                %llu\n",
+              static_cast<unsigned long long>(s.submitted));
+  std::printf("  completed                %llu\n",
+              static_cast<unsigned long long>(s.completed));
+  std::printf("  rejected (queue-full)    %llu\n",
+              static_cast<unsigned long long>(s.rejected));
+  std::printf("  rejected (rate-limited)  %llu\n",
+              static_cast<unsigned long long>(s.rate_limited));
+  std::printf("  cancelled by disconnect  %llu\n",
+              static_cast<unsigned long long>(s.cancelled_by_disconnect));
+  std::printf("  inflight                 %llu\n",
+              static_cast<unsigned long long>(s.inflight));
+  std::printf("  service: finished %llu, live contexts %llu, "
+              "retained slots %llu\n",
+              static_cast<unsigned long long>(s.service_finished),
+              static_cast<unsigned long long>(s.service_live_contexts),
+              static_cast<unsigned long long>(s.service_retained_slots));
+  for (size_t i = 0; i < s.io_threads.size(); ++i) {
+    const WireIoThreadStats& t = s.io_threads[i];
+    std::printf("  io[%zu]: conns %llu, frames in/out %llu/%llu, "
+                "bytes in/out %llu/%llu, rejects %llu\n",
+                i, static_cast<unsigned long long>(t.connections),
+                static_cast<unsigned long long>(t.frames_in),
+                static_cast<unsigned long long>(t.frames_out),
+                static_cast<unsigned long long>(t.bytes_in),
+                static_cast<unsigned long long>(t.bytes_out),
+                static_cast<unsigned long long>(t.rejects));
+  }
+}
+
 int CmdQuery(int argc, char** argv) {
   std::string host;
   uint16_t port = 0;
   std::string queryset;
   uint64_t limit = SubmitOptions::kInheritLimit;
   bool shutdown_after = false;
+  bool print_stats = false;
   for (int a = 2; a < argc; ++a) {
     const char* arg = argv[a];
     if (std::strncmp(arg, "--connect=", 10) == 0) {
@@ -520,6 +578,8 @@ int CmdQuery(int argc, char** argv) {
         std::fprintf(stderr, "bad value '%s'\n", arg);
         return 2;
       }
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      print_stats = true;
     } else if (std::strcmp(arg, "--shutdown") == 0) {
       shutdown_after = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -531,7 +591,36 @@ int CmdQuery(int argc, char** argv) {
       return Usage();
     }
   }
-  if (host.empty() || queryset.empty()) return Usage();
+  // A queryset is optional when only observing: `--stats` (and
+  // `--shutdown`) work standalone.
+  if (host.empty() || (queryset.empty() && !print_stats && !shutdown_after)) {
+    return Usage();
+  }
+
+  if (queryset.empty()) {
+    MatchClient client;
+    const Status connected = client.Connect(host, port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "%s\n", connected.ToString().c_str());
+      return 1;
+    }
+    if (print_stats) {
+      Result<WireStats> stats = client.Stats();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+        return 1;
+      }
+      PrintWireStats(stats.value());
+    }
+    if (shutdown_after) {
+      const Status sent = client.RequestShutdown();
+      if (!sent.ok()) {
+        std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   Result<std::vector<QuerySetEntry>> entries = LoadQuerySetEntries(queryset);
   if (!entries.ok()) {
@@ -574,10 +663,13 @@ int CmdQuery(int argc, char** argv) {
       return 1;
     }
     const QueryOutcome& out = reply.value().outcome;
-    std::printf("query %zu: embeddings %llu%s in %.3fs  [%s]%s\n", i,
+    const bool shed = out.status == QueryStatus::kRejected;
+    std::printf("query %zu: embeddings %llu%s in %.3fs  [%s%s%s]%s\n", i,
                 static_cast<unsigned long long>(out.stats.embeddings),
                 out.stats.limit_hit ? "+" : "", out.stats.seconds,
-                QueryStatusName(out.status), out.mirrored ? " (mirrored)" : "");
+                QueryStatusName(out.status), shed ? ": " : "",
+                shed ? RejectReasonName(reply.value().reject_reason) : "",
+                out.mirrored ? " (mirrored)" : "");
     total_embeddings += out.stats.embeddings;
     if (out.status == QueryStatus::kOk || out.status == QueryStatus::kLimit) {
       ++ok_count;
@@ -590,6 +682,14 @@ int CmdQuery(int argc, char** argv) {
               static_cast<unsigned long long>(rejected),
               static_cast<unsigned long long>(total_embeddings),
               timer.ElapsedSeconds());
+  if (print_stats) {
+    Result<WireStats> stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    PrintWireStats(stats.value());
+  }
   if (shutdown_after) {
     const Status sent = client.RequestShutdown();
     if (!sent.ok()) {
