@@ -19,6 +19,36 @@ inline void AppendValue(T value, std::string* out) {
   out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
+/// Appends an unsigned LEB128 varint (7 value bits per byte, LSB first,
+/// high bit = continuation). Small values — vertex-id deltas, labels,
+/// arities, entry lengths — cost one byte instead of four or eight; this
+/// is the pre-pass that makes the LZSS stage (io/compress.h) see its
+/// repeats at byte granularity.
+inline void AppendVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// Reads a varint from any sticky-failure reader exposing
+/// ReadValue<uint8_t>() and MarkFailed(). Over-long encodings (more than
+/// 10 bytes, or bits past the 64th) fail the reader instead of silently
+/// truncating.
+template <typename Reader>
+inline uint64_t ReadVarint(Reader& r) {
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const uint8_t byte = r.template ReadValue<uint8_t>();
+    if (shift == 63 && (byte & 0x7e) != 0) break;  // bits past the 64th
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  r.MarkFailed();
+  return 0;
+}
+
 /// Bounded reader over an in-memory byte image.
 class ByteReader {
  public:
@@ -28,6 +58,7 @@ class ByteReader {
       : ByteReader(bytes.data(), bytes.size()) {}
 
   bool ok() const { return !failed_; }
+  void MarkFailed() { failed_ = true; }
   uint64_t remaining() const { return size_ - pos_; }
   std::string_view rest() const {
     return std::string_view(data_ + pos_, size_ - pos_);
@@ -39,6 +70,16 @@ class ByteReader {
       return;
     }
     std::memcpy(out, data_ + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  /// Advances past `bytes` without copying them (callers that took a view
+  /// via rest() first).
+  void Skip(size_t bytes) {
+    if (failed_ || bytes > size_ - pos_) {
+      failed_ = true;
+      return;
+    }
     pos_ += bytes;
   }
 

@@ -1,0 +1,225 @@
+#include "io/compress.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+namespace hgmatch {
+
+namespace {
+
+// Hash of the 3-byte prefix at `p` — the minimum-match key of the chain
+// index below.
+inline uint32_t Hash3(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     static_cast<uint32_t>(p[1]) << 8 |
+                     static_cast<uint32_t>(p[2]) << 16;
+  return (v * 2654435761u) >> 18;  // top 14 bits -> 16384 buckets
+}
+
+constexpr size_t kHashBuckets = 1u << 14;
+
+// Longest chain walked per position: caps worst-case compression time on
+// degenerate inputs (e.g. one repeated byte hashes every position into one
+// bucket) at a constant factor.
+constexpr int kMaxChainSteps = 64;
+
+// A match this long is taken without walking the rest of the chain: squeezing
+// the last few bytes out of an already-long match is not worth the extra
+// candidate compares on periodic payloads.
+constexpr size_t kNiceMatch = 96;
+
+// Length of the common prefix of a and b, capped at limit. Word-at-a-time:
+// with an 18-byte match cap this is at most three 8-byte compares.
+inline size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t limit) {
+  size_t len = 0;
+  while (len + 8 <= limit) {
+    uint64_t wa, wb;
+    std::memcpy(&wa, a + len, 8);
+    std::memcpy(&wb, b + len, 8);
+    const uint64_t x = wa ^ wb;
+    if (x != 0) {  // index of the first differing byte within the word
+      if constexpr (std::endian::native == std::endian::little) {
+        return len + (std::countr_zero(x) >> 3);
+      } else {
+        return len + (std::countl_zero(x) >> 3);
+      }
+    }
+    len += 8;
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+// Per-thread match-finder state, reused across calls. A bucket is live only
+// when its stamp equals the current generation, so starting a fresh frame is
+// a counter bump instead of a 64 KB fill — the dominant cost when thousands
+// of small frames (one per outcome) go through the compressor.
+struct LzssScratch {
+  std::vector<int32_t> head = std::vector<int32_t>(kHashBuckets, -1);
+  std::vector<uint32_t> stamp = std::vector<uint32_t>(kHashBuckets, 0);
+  std::vector<int32_t> prev;
+  uint32_t gen = 0;
+};
+
+}  // namespace
+
+void LzssCompress(std::string_view input, std::string* out) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t n = input.size();
+  out->reserve(out->size() + n / 2 + 16);
+
+  // head[h] = most recent position whose 3-byte prefix hashes to h (live iff
+  // stamp[h] == gen); prev[i] = the position before i in i's chain. -1
+  // terminates. prev entries are only ever reached through a live head, so
+  // they never need clearing.
+  thread_local LzssScratch scratch;
+  if (++scratch.gen == 0) {  // stamp wrap: every bucket looks live once
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+    scratch.gen = 1;
+  }
+  const uint32_t gen = scratch.gen;
+  int32_t* const head = scratch.head.data();
+  uint32_t* const stamp = scratch.stamp.data();
+  const size_t last_insertable =
+      n >= kLzssMinMatch ? n - kLzssMinMatch + 1 : 0;  // exclusive
+  if (scratch.prev.size() < last_insertable) {
+    scratch.prev.resize(last_insertable);
+  }
+  int32_t* const prev = scratch.prev.data();
+
+  const auto insert = [&](size_t i) {
+    if (i >= last_insertable) return;
+    const uint32_t h = Hash3(data + i);
+    prev[i] = stamp[h] == gen ? head[h] : -1;
+    head[h] = static_cast<int32_t>(i);
+    stamp[h] = gen;
+  };
+
+  // One control byte fronting up to eight literal/match items.
+  uint8_t flags = 0;
+  int items = 0;
+  std::string group;
+  group.reserve(24);  // eight items of up to three bytes
+  const auto flush_group = [&] {
+    if (items == 0) return;
+    out->push_back(static_cast<char>(flags));
+    out->append(group);
+    flags = 0;
+    items = 0;
+    group.clear();
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (i < last_insertable) {
+      const size_t limit = std::min(n - i, kLzssMaxMatch);
+      const uint32_t h = Hash3(data + i);
+      int32_t cand = stamp[h] == gen ? head[h] : -1;
+      int steps = kMaxChainSteps;
+      while (cand >= 0 && steps-- > 0) {
+        const size_t c = static_cast<size_t>(cand);
+        if (i - c > kLzssWindowBytes) break;  // chains only get older
+        // A candidate can only improve on best_len if it matches there too;
+        // one byte compare rejects most of the chain without a full walk.
+        if (data[c + best_len] == data[i + best_len]) {
+          const size_t len = MatchLength(data + c, data + i, limit);
+          if (len > best_len) {
+            best_len = len;
+            best_dist = i - c;
+            if (len == limit || len >= kNiceMatch) break;
+          }
+        }
+        cand = prev[c];
+      }
+    }
+    if (best_len >= kLzssMinMatch) {
+      const size_t len_code = std::min<size_t>(best_len - kLzssMinMatch, 15);
+      const uint16_t token =
+          static_cast<uint16_t>((best_dist - 1) << 4 | len_code);
+      group.push_back(static_cast<char>(token & 0xff));
+      group.push_back(static_cast<char>(token >> 8));
+      if (len_code == 15) {  // extension byte: length 18 + E
+        group.push_back(static_cast<char>(best_len - kLzssMinMatch - 15));
+      }
+      flags |= static_cast<uint8_t>(1u << items);
+      // Index the match sparsely: matched bytes are by definition repeats
+      // of text already anchored in the table, so a few anchors per match
+      // keep long-range matches findable while skipping most of the table
+      // maintenance — the dominant compression cost on periodic payloads.
+      const size_t end = i + best_len;
+      for (size_t j = i; j < end; j += 8) insert(j);
+      i = end;
+    } else {
+      group.push_back(static_cast<char>(data[i]));
+      insert(i);
+      ++i;
+    }
+    if (++items == 8) flush_group();
+  }
+  flush_group();
+}
+
+Status LzssDecompress(std::string_view input, size_t max_output_bytes,
+                      std::string* out) {
+  const uint8_t* in = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t n = input.size();
+  const size_t base = out->size();
+  // The declared size is exact for well-formed streams and is validated
+  // against the frame/chunk bound by every caller before this runs, so one
+  // up-front resize replaces per-byte append checks; on a corrupt stream the
+  // partial output is rolled back.
+  out->resize(base + max_output_bytes);
+  char* const buf = out->data() + base;
+  size_t produced = 0;
+  const auto fail = [&](const char* msg) {
+    out->resize(base);
+    return Status::Corruption(msg);
+  };
+  size_t i = 0;
+  while (i < n) {
+    const uint8_t flags = in[i++];
+    for (int bit = 0; bit < 8 && i < n; ++bit) {
+      if (flags & (1u << bit)) {
+        if (i + 2 > n) {
+          return fail("LZSS: truncated match token");
+        }
+        const uint16_t token = static_cast<uint16_t>(
+            in[i] | static_cast<uint16_t>(in[i + 1]) << 8);
+        i += 2;
+        const size_t dist = static_cast<size_t>(token >> 4) + 1;
+        size_t len = static_cast<size_t>(token & 0xf) + kLzssMinMatch;
+        if ((token & 0xf) == 0xf) {  // extension byte follows
+          if (i >= n) {
+            return fail("LZSS: truncated match token");
+          }
+          len += in[i++];
+        }
+        if (dist > produced) {
+          return fail("LZSS: match before stream start");
+        }
+        if (len > max_output_bytes - produced) {  // produced <= max always
+          return fail("LZSS: output exceeds the declared size");
+        }
+        // Byte-at-a-time forward copy on purpose: overlapping matches
+        // (dist < len) read bytes this very copy wrote.
+        const char* src = buf + produced - dist;
+        char* dst = buf + produced;
+        for (size_t k = 0; k < len; ++k) dst[k] = src[k];
+        produced += len;
+      } else {
+        if (produced >= max_output_bytes) {
+          return fail("LZSS: output exceeds the declared size");
+        }
+        buf[produced++] = static_cast<char>(in[i++]);
+      }
+    }
+  }
+  out->resize(base + produced);
+  return Status::OK();
+}
+
+}  // namespace hgmatch

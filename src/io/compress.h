@@ -1,0 +1,55 @@
+#ifndef HGMATCH_IO_COMPRESS_H_
+#define HGMATCH_IO_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+// Small-window LZSS codec shared by the wire protocol (net/protocol.cc
+// wraps negotiated frames in kCompressed) and the on-disk hypergraph
+// format (io/binary_format.cc compresses HGM2 body chunks). The format is
+// byte-aligned — no bitstream or entropy stage — because the payloads it
+// targets (delta+varint id streams, repeated tiny query images) are
+// dominated by short-range repeats that plain LZ matches already collapse;
+// see the layered LZ designs referenced in SNIPPETS.md for the shape this
+// deliberately simplifies.
+//
+// Stream layout: groups of up to eight items behind one control byte whose
+// bit i (LSB first) tags item i — 0 = one literal byte, 1 = a two-byte
+// little-endian match token packing (distance - 1) << 4 | length-code,
+// i.e. distances 1..4096 into the already-decoded output. A length code
+// of 0..14 means length 3..17; code 15 is followed by one extension byte E
+// for length 18 + E (up to 273) — long matches are what make periodic
+// payloads (a batch of near-identical submit entries) collapse to a few
+// tokens per period instead of one per 18 bytes. Matches may overlap their
+// own output (distance < length), which is what collapses runs. The stream
+// carries no sizes: callers transmit the raw size out of band and bound
+// decompression with it.
+
+namespace hgmatch {
+
+/// Match window and length limits of the token encoding above.
+inline constexpr size_t kLzssWindowBytes = 4096;
+inline constexpr size_t kLzssMinMatch = 3;
+inline constexpr size_t kLzssMaxMatch = kLzssMinMatch + 15 + 255;  // 273
+
+/// Compresses `input`, appending the LZSS stream to *out. Greedy matching
+/// over hash chains; output is at most input + ceil(input/8) + 1 bytes
+/// (all-literal worst case), so callers decide incompressible-input
+/// passthrough by comparing sizes.
+void LzssCompress(std::string_view input, std::string* out);
+
+/// Decompresses `input`, appending at most `max_output_bytes` decoded
+/// bytes to *out. Fails with Corruption — before over-allocating — when
+/// the stream is malformed (truncated match token, match reaching before
+/// the stream start) or would inflate past the bound. On failure *out may
+/// hold a partial prefix; callers treat the whole payload as corrupt.
+Status LzssDecompress(std::string_view input, size_t max_output_bytes,
+                      std::string* out);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_IO_COMPRESS_H_

@@ -15,7 +15,10 @@
 #include "net/socket_util.h"
 #endif
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -64,6 +67,29 @@ Status AsyncMatchClient::Connect(const std::string& host, uint16_t port) {
     fd_ = fd;
   }
   reader_ = std::thread([this] { ReaderLoop(); });
+  if (options_.request_features != 0) {
+    // Negotiate before returning, so the caller's first Submit already
+    // knows which features it may use. A pre-HELLO server answers the
+    // unknown frame with kError, which surfaces here as a failed Connect.
+    const Status sent = SendFrame(FrameType::kHello,
+                                  EncodeFeatures(options_.request_features));
+    if (!sent.ok()) {
+      Close();
+      return sent;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    cv_.wait(lock, [this] {
+      return hello_done_ || !failure_.ok() || closed_;
+    });
+    if (!hello_done_) {
+      const Status failure = failure_.ok()
+                                 ? Status::InvalidArgument("client closed")
+                                 : failure_;
+      lock.unlock();
+      Close();
+      return failure;
+    }
+  }
   return Status::OK();
 }
 
@@ -72,8 +98,7 @@ bool AsyncMatchClient::connected() const {
   return fd_ >= 0;
 }
 
-Status AsyncMatchClient::SendFrame(FrameType type,
-                                   const std::string& payload) {
+Status AsyncMatchClient::SendEncoded(const std::string& frame) {
   int fd;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -81,8 +106,6 @@ Status AsyncMatchClient::SendFrame(FrameType type,
     if (!failure_.ok()) return failure_;
     fd = fd_;
   }
-  std::string frame;
-  AppendFrame(type, payload, &frame);
   std::lock_guard<std::mutex> send_lock(send_mutex_);
   size_t sent = 0;
   while (sent < frame.size()) {
@@ -95,7 +118,28 @@ Status AsyncMatchClient::SendFrame(FrameType type,
     if (errno == EINTR) continue;
     return Status::IOError("connection lost while sending");
   }
+  st_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  st_bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status AsyncMatchClient::SendFrame(FrameType type,
+                                   const std::string& payload) {
+  std::string frame;
+  AppendFrame(type, payload, &frame);
+  return SendEncoded(frame);
+}
+
+Status AsyncMatchClient::SendFrameNegotiated(FrameType type,
+                                             const std::string& payload) {
+  bool compress;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    compress = (features_ & kFeatureCompression) != 0;
+  }
+  std::string frame;
+  AppendFrameMaybeCompressed(type, payload, compress, &frame);
+  return SendEncoded(frame);
 }
 
 Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph& query,
@@ -135,7 +179,7 @@ Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph& query,
         std::to_string(payload.size()) + " > " +
         std::to_string(kMaxWirePayload) + " bytes)");
   }
-  const Status sent = SendFrame(FrameType::kSubmit, payload);
+  const Status sent = SendFrameNegotiated(FrameType::kSubmit, payload);
   if (!sent.ok()) {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (pending_.erase(id) == 1) {
@@ -147,6 +191,123 @@ Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph& query,
     // so the request counts as accepted (exactly-once holds).
   }
   return id;
+}
+
+Result<std::vector<uint64_t>> AsyncMatchClient::SubmitBatch(
+    const std::vector<const Hypergraph*>& queries,
+    const SubmitOptions& options, OutcomeCallback callback) {
+  bool batched;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (fd_ < 0) return Status::InvalidArgument("not connected");
+    batched = (features_ & kFeatureBatch) != 0;
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(queries.size());
+  if (!batched) {
+    // The server never granted batching: same requests, same callbacks,
+    // one SUBMIT frame each.
+    for (const Hypergraph* query : queries) {
+      Result<uint64_t> id = Submit(*query, options, callback);
+      if (!id.ok()) return id.status();
+      ids.push_back(id.value());
+    }
+    return ids;
+  }
+
+  // Pre-encode every entry with a placeholder request id; ids are only
+  // assigned under the window wait below, chunk by chunk, and the id is
+  // the first 8 bytes of the SUBMIT payload — patched in place.
+  WireSubmit fields;
+  fields.request_id = 0;
+  fields.tenant_id = options.tenant_id;
+  fields.priority = options.priority;
+  fields.weight = options.weight;
+  fields.timeout_seconds = options.timeout_seconds;
+  fields.limit = options.limit;
+  std::vector<std::string> entries;
+  entries.reserve(queries.size());
+  for (const Hypergraph* query : queries) {
+    entries.push_back(EncodeSubmit(fields, *query));
+    if (entries.back().size() > kMaxWirePayload) {
+      return Status::InvalidArgument(
+          "batch entry exceeds the wire payload bound (" +
+          std::to_string(entries.back().size()) + " > " +
+          std::to_string(kMaxWirePayload) + " bytes)");
+    }
+  }
+
+  // Chunk by the frame payload bound and the in-flight window, then ship
+  // each chunk as one kBatchSubmit frame. Chunks are capped at half the
+  // window so the next chunk is admitted while the previous one drains —
+  // a full-window chunk would stall until pending hits zero between
+  // frames, serialising the flood.
+  const size_t chunk_cap =
+      options_.max_inflight > 0
+          ? std::max<size_t>(1, options_.max_inflight / 2)
+          : 0;
+  size_t begin = 0;
+  while (begin < entries.size()) {
+    size_t end = begin;
+    size_t chunk_bytes = 10;  // count varint
+    while (end < entries.size()) {
+      const size_t entry_bytes = entries[end].size() + 10;
+      if (end > begin && chunk_bytes + entry_bytes > kMaxWirePayload) break;
+      if (chunk_cap > 0 && end - begin >= chunk_cap) break;
+      chunk_bytes += entry_bytes;
+      ++end;
+    }
+    const size_t chunk = end - begin;
+    std::vector<std::string> frame_entries(
+        std::make_move_iterator(entries.begin() + begin),
+        std::make_move_iterator(entries.begin() + end));
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      if (options_.max_inflight > 0) {
+        cv_.wait(lock, [this, chunk] {
+          return pending_.size() + chunk <= options_.max_inflight ||
+                 !failure_.ok() || closed_;
+        });
+      }
+      if (!failure_.ok()) return failure_;
+      if (closed_) return Status::InvalidArgument("client closed");
+      for (std::string& entry : frame_entries) {
+        const uint64_t id = next_request_id_++;
+        std::memcpy(entry.data(), &id, sizeof(id));
+        pending_.emplace(id, callback);
+        ids.push_back(id);
+      }
+    }
+    const Status sent = SendFrameNegotiated(
+        FrameType::kBatchSubmit, EncodeBatchPayload(frame_entries));
+    if (!sent.ok()) {
+      // Un-register what the reader has not already claimed; claimed ones
+      // fire through the failure path (exactly-once, as in Submit). Ids of
+      // chunks already sent stay accepted — their callbacks still fire.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      for (size_t i = ids.size() - chunk; i < ids.size(); ++i) {
+        pending_.erase(ids[i]);
+      }
+      cv_.notify_all();
+      return sent;
+    }
+    begin = end;
+  }
+  return ids;
+}
+
+uint32_t AsyncMatchClient::features() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return features_;
+}
+
+ClientTransferStats AsyncMatchClient::TransferStats() const {
+  ClientTransferStats s;
+  s.frames_sent = st_frames_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = st_bytes_sent_.load(std::memory_order_relaxed);
+  s.frames_received = st_frames_received_.load(std::memory_order_relaxed);
+  s.bytes_received = st_bytes_received_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Status AsyncMatchClient::Cancel(uint64_t request_id) {
@@ -267,6 +428,8 @@ void AsyncMatchClient::ReaderLoop() {
       FailAll(Status::IOError("connection read failed"));
       return;
     }
+    st_bytes_received_.fetch_add(static_cast<uint64_t>(got),
+                                 std::memory_order_relaxed);
     reader.Feed(buffer, static_cast<size_t>(got));
     while (true) {
       Result<bool> next = reader.Next(&frame);
@@ -275,60 +438,105 @@ void AsyncMatchClient::ReaderLoop() {
         return;
       }
       if (!next.value()) break;
-      switch (frame.type) {
-        case FrameType::kOutcome: {
-          Result<WireOutcome> outcome = DecodeOutcome(frame.payload);
-          if (!outcome.ok()) {
-            FailAll(outcome.status());
-            return;
-          }
-          FinishOne(std::move(outcome).value());
-          break;
-        }
-        case FrameType::kRejected: {
-          Result<WireRejected> rejected = DecodeRejected(frame.payload);
-          if (!rejected.ok()) {
-            FailAll(rejected.status());
-            return;
-          }
-          // Server-side sheds surface as a normal outcome with
-          // QueryStatus::kRejected and the shed reason attached.
-          WireOutcome wire;
-          wire.request_id = rejected.value().request_id;
-          wire.outcome.status = QueryStatus::kRejected;
-          wire.reject_reason = rejected.value().reason;
-          FinishOne(std::move(wire));
-          break;
-        }
-        case FrameType::kPong: {
-          if (frame.payload != "ping") {
-            FailAll(Status::Corruption("PONG payload mismatch"));
-            return;
-          }
-          std::lock_guard<std::mutex> lock(state_mutex_);
-          ++pongs_received_;
-          cv_.notify_all();
-          break;
-        }
-        case FrameType::kStatsReply: {
-          Result<WireStats> stats = DecodeStats(frame.payload);
-          if (!stats.ok()) {
-            FailAll(stats.status());
-            return;
-          }
-          std::lock_guard<std::mutex> lock(state_mutex_);
-          stats_replies_.push_back(std::move(stats).value());
-          cv_.notify_all();
-          break;
-        }
-        case FrameType::kError:
-          FailAll(Status::Internal("server error: " + frame.payload));
-          return;
-        default:
-          FailAll(Status::Corruption("unexpected frame from server"));
-          return;
-      }
+      st_frames_received_.fetch_add(1, std::memory_order_relaxed);
+      if (!HandleServerFrame(frame.type, frame.payload)) return;
     }
+  }
+}
+
+bool AsyncMatchClient::HandleServerFrame(FrameType type,
+                                         std::string& payload) {
+  switch (type) {
+    case FrameType::kOutcome: {
+      Result<WireOutcome> outcome = DecodeOutcome(payload);
+      if (!outcome.ok()) {
+        FailAll(outcome.status());
+        return false;
+      }
+      FinishOne(std::move(outcome).value());
+      return true;
+    }
+    case FrameType::kBatchOutcome: {
+      Result<std::vector<std::string_view>> entries =
+          DecodeBatchPayload(payload);
+      if (!entries.ok()) {
+        FailAll(entries.status());
+        return false;
+      }
+      for (const std::string_view entry : entries.value()) {
+        Result<WireOutcome> outcome = DecodeOutcome(entry);
+        if (!outcome.ok()) {
+          FailAll(outcome.status());
+          return false;
+        }
+        FinishOne(std::move(outcome).value());
+      }
+      return true;
+    }
+    case FrameType::kCompressed: {
+      std::string inner;
+      Result<FrameType> inner_type = DecodeCompressedFrame(payload, &inner);
+      if (!inner_type.ok()) {
+        FailAll(inner_type.status());
+        return false;
+      }
+      // One level only: DecodeCompressedFrame rejects nested kCompressed.
+      return HandleServerFrame(inner_type.value(), inner);
+    }
+    case FrameType::kRejected: {
+      Result<WireRejected> rejected = DecodeRejected(payload);
+      if (!rejected.ok()) {
+        FailAll(rejected.status());
+        return false;
+      }
+      // Server-side sheds surface as a normal outcome with
+      // QueryStatus::kRejected and the shed reason attached.
+      WireOutcome wire;
+      wire.request_id = rejected.value().request_id;
+      wire.outcome.status = QueryStatus::kRejected;
+      wire.reject_reason = rejected.value().reason;
+      FinishOne(std::move(wire));
+      return true;
+    }
+    case FrameType::kPong: {
+      if (payload != "ping") {
+        FailAll(Status::Corruption("PONG payload mismatch"));
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++pongs_received_;
+      cv_.notify_all();
+      return true;
+    }
+    case FrameType::kStatsReply: {
+      Result<WireStats> stats = DecodeStats(payload);
+      if (!stats.ok()) {
+        FailAll(stats.status());
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stats_replies_.push_back(std::move(stats).value());
+      cv_.notify_all();
+      return true;
+    }
+    case FrameType::kHelloReply: {
+      Result<uint32_t> granted = DecodeFeatures(payload);
+      if (!granted.ok()) {
+        FailAll(granted.status());
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      features_ = granted.value();
+      hello_done_ = true;
+      cv_.notify_all();
+      return true;
+    }
+    case FrameType::kError:
+      FailAll(Status::Internal("server error: " + payload));
+      return false;
+    default:
+      FailAll(Status::Corruption("unexpected frame from server"));
+      return false;
   }
 }
 
@@ -346,6 +554,23 @@ Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph&,
                                           const SubmitOptions&,
                                           OutcomeCallback) {
   return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Result<std::vector<uint64_t>> AsyncMatchClient::SubmitBatch(
+    const std::vector<const Hypergraph*>&, const SubmitOptions&,
+    OutcomeCallback) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+uint32_t AsyncMatchClient::features() const { return 0; }
+ClientTransferStats AsyncMatchClient::TransferStats() const { return {}; }
+Status AsyncMatchClient::SendEncoded(const std::string&) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Status AsyncMatchClient::SendFrameNegotiated(FrameType,
+                                             const std::string&) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+bool AsyncMatchClient::HandleServerFrame(FrameType, std::string&) {
+  return false;
 }
 Status AsyncMatchClient::Cancel(uint64_t) {
   return Status::Internal("hgmatch net requires POSIX sockets");

@@ -1,6 +1,7 @@
 #ifndef HGMATCH_NET_ASYNC_CLIENT_H_
 #define HGMATCH_NET_ASYNC_CLIENT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/hypergraph.h"
 #include "net/protocol.h"
@@ -24,6 +26,25 @@ struct AsyncClientOptions {
   /// connection failure frees a slot), so a fast producer cannot buffer
   /// unbounded work into a slow server. 0 = unbounded.
   uint32_t max_inflight = 1024;
+
+  /// Feature bits (kFeatureBatch | kFeatureCompression) to request via a
+  /// kHello exchange at Connect(). The default 0 sends no HELLO at all —
+  /// the stream is then byte-identical to the pre-HELLO protocol, so the
+  /// default client interoperates with servers of any age. Requesting
+  /// features against a pre-HELLO server fails Connect() (that server
+  /// answers the unknown frame with kError): opting in is explicit.
+  uint32_t request_features = 0;
+};
+
+/// Wire-level transfer counters of one client connection, for bytes/query
+/// accounting (bench_net_loopback, `hgmatch query --connect` framing
+/// stats). Frames count wire frames as sent/received — a kBatchSubmit or
+/// kCompressed wrapper is one frame however many submissions it carries.
+struct ClientTransferStats {
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_received = 0;
 };
 
 /// What a submission's callback receives — exactly once per accepted
@@ -91,6 +112,25 @@ class AsyncMatchClient {
                           const SubmitOptions& options,
                           OutcomeCallback callback);
 
+  /// Submits many queries sharing one options/callback pair, coalescing
+  /// them into kBatchSubmit frames — one syscall and one server admission
+  /// pass per chunk instead of per query. Entries are chunked by the
+  /// in-flight window and the frame payload bound; each chunk blocks
+  /// until the window has room for all of it. Returns the request ids in
+  /// input order; the callback fires exactly once per id, as with
+  /// Submit(). Falls back to per-query SUBMIT frames when the server did
+  /// not grant kFeatureBatch (same ids, same callbacks, more frames).
+  Result<std::vector<uint64_t>> SubmitBatch(
+      const std::vector<const Hypergraph*>& queries,
+      const SubmitOptions& options, OutcomeCallback callback);
+
+  /// Feature bits granted by the server's kHelloReply (0 before Connect,
+  /// or when AsyncClientOptions::request_features was 0).
+  uint32_t features() const;
+
+  /// Transfer counters since Connect(). Thread-safe snapshot.
+  ClientTransferStats TransferStats() const;
+
   /// Requests cancellation of an in-flight submission (fire and forget).
   Status Cancel(uint64_t request_id);
 
@@ -112,14 +152,22 @@ class AsyncMatchClient {
 
  private:
   void ReaderLoop();
+  /// Dispatches one server frame (unwrapping kCompressed first). False =
+  /// fatal: the connection failed and the reader must exit.
+  bool HandleServerFrame(FrameType type, std::string& payload);
   /// Resolves one answered request: pops its callback under the state
   /// lock, invokes it outside.
   void FinishOne(WireOutcome wire);
   /// Connection teardown: records the first failure, fires every pending
   /// callback with it, wakes every waiter.
   void FailAll(const Status& status);
+  /// Writes pre-framed bytes (serialised by the send lock) and counts
+  /// them into the transfer stats.
+  Status SendEncoded(const std::string& frame);
   /// Writes one whole frame (serialised by the send lock).
   Status SendFrame(FrameType type, const std::string& payload);
+  /// SendFrame, compressed when the server granted kFeatureCompression.
+  Status SendFrameNegotiated(FrameType type, const std::string& payload);
 
   const AsyncClientOptions options_;
 
@@ -138,6 +186,15 @@ class AsyncMatchClient {
   uint64_t pings_sent_ = 0;      // FIFO replies: waiter N parks until
   uint64_t pongs_received_ = 0;  // received >= its ticket N
   std::deque<WireStats> stats_replies_;
+  uint32_t features_ = 0;    // granted by kHelloReply
+  bool hello_done_ = false;  // kHelloReply arrived (Connect parks on this)
+
+  // Transfer counters (ClientTransferStats): bumped outside state_mutex_
+  // on the send and reader paths.
+  std::atomic<uint64_t> st_frames_sent_{0};
+  std::atomic<uint64_t> st_bytes_sent_{0};
+  std::atomic<uint64_t> st_frames_received_{0};
+  std::atomic<uint64_t> st_bytes_received_{0};
 
   std::thread reader_;
 };

@@ -25,6 +25,22 @@ Result<uint64_t> MatchClient::Submit(const Hypergraph& query,
   });
 }
 
+Result<std::vector<uint64_t>> MatchClient::SubmitBatch(
+    const std::vector<const Hypergraph*>& queries,
+    const SubmitOptions& options) {
+  return async_.SubmitBatch(queries, options,
+                            [this](const AsyncOutcome& result) {
+                              std::lock_guard<std::mutex> lock(mutex_);
+                              if (result.transport.ok()) {
+                                ready_.emplace(result.request_id,
+                                               result.wire);
+                              } else if (failure_.ok()) {
+                                failure_ = result.transport;
+                              }
+                              cv_.notify_all();
+                            });
+}
+
 Result<WireOutcome> MatchClient::WaitOutcome(uint64_t request_id) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this, request_id] {

@@ -32,6 +32,11 @@ namespace hgmatch {
 class MatchClient {
  public:
   MatchClient() = default;
+  /// Non-default transport options — a bounded in-flight window, or
+  /// AsyncClientOptions::request_features to negotiate batching/
+  /// compression at Connect() (`hgmatch query --batch/--compress`).
+  explicit MatchClient(const AsyncClientOptions& options)
+      : async_(options) {}
   ~MatchClient();
 
   MatchClient(const MatchClient&) = delete;
@@ -46,6 +51,22 @@ class MatchClient {
   /// (embeddings do not cross the wire; counts and stats do).
   Result<uint64_t> Submit(const Hypergraph& query,
                           const SubmitOptions& options = {});
+
+  /// Sends many queries sharing one options block, coalesced into
+  /// kBatchSubmit frames when the server granted kFeatureBatch (per-query
+  /// SUBMIT frames otherwise). Returns the request ids in input order;
+  /// wait for each with WaitOutcome() as usual.
+  Result<std::vector<uint64_t>> SubmitBatch(
+      const std::vector<const Hypergraph*>& queries,
+      const SubmitOptions& options = {});
+
+  /// Feature bits granted at Connect() (0 when none were requested).
+  uint32_t features() const { return async_.features(); }
+
+  /// Wire transfer counters since Connect() (framing stats).
+  ClientTransferStats TransferStats() const {
+    return async_.TransferStats();
+  }
 
   /// Blocks until `request_id`'s outcome (or rejection) arrives.
   Result<WireOutcome> WaitOutcome(uint64_t request_id);

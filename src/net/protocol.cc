@@ -4,6 +4,7 @@
 
 #include "io/binary_format.h"
 #include "io/byte_io.h"
+#include "io/compress.h"
 
 namespace hgmatch {
 
@@ -11,7 +12,7 @@ namespace {
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kSubmit) &&
-         type <= static_cast<uint8_t>(FrameType::kShutdown);
+         type <= static_cast<uint8_t>(FrameType::kCompressed);
 }
 
 }  // namespace
@@ -211,6 +212,98 @@ Result<WireStats> DecodeStats(std::string_view payload) {
     return Status::Corruption("malformed STATS frame");
   }
   return stats;
+}
+
+std::string EncodeFeatures(uint32_t features) {
+  std::string payload;
+  AppendValue<uint32_t>(features, &payload);
+  return payload;
+}
+
+Result<uint32_t> DecodeFeatures(std::string_view payload) {
+  ByteReader r(payload);
+  const uint32_t features = r.ReadValue<uint32_t>();
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("malformed HELLO frame");
+  }
+  return features;
+}
+
+std::string EncodeBatchPayload(const std::vector<std::string>& entries) {
+  size_t total = 10;
+  for (const std::string& e : entries) total += e.size() + 10;
+  std::string payload;
+  payload.reserve(total);
+  AppendVarint(entries.size(), &payload);
+  for (const std::string& e : entries) {
+    AppendVarint(e.size(), &payload);
+    payload.append(e);
+  }
+  return payload;
+}
+
+Result<std::vector<std::string_view>> DecodeBatchPayload(
+    std::string_view payload) {
+  ByteReader r(payload);
+  const uint64_t count = ReadVarint(r);
+  // Every entry costs at least its one-byte length prefix, so a count
+  // beyond the remaining bytes is corrupt before anything is reserved.
+  if (!r.ok() || count > r.remaining()) {
+    return Status::Corruption("malformed batch frame");
+  }
+  std::vector<std::string_view> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t bytes = ReadVarint(r);
+    if (!r.ok() || bytes > r.remaining()) {
+      return Status::Corruption("malformed batch frame");
+    }
+    entries.push_back(r.rest().substr(0, bytes));
+    r.Skip(bytes);
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("malformed batch frame");
+  }
+  return entries;
+}
+
+void AppendFrameMaybeCompressed(FrameType type, std::string_view payload,
+                                bool compress, std::string* out) {
+  if (compress && payload.size() >= kCompressThresholdBytes) {
+    std::string wrapped;
+    wrapped.reserve(payload.size() / 2 + 16);
+    AppendValue<uint8_t>(static_cast<uint8_t>(type), &wrapped);
+    AppendVarint(payload.size(), &wrapped);
+    const size_t header = wrapped.size();
+    LzssCompress(payload, &wrapped);
+    if (wrapped.size() - header < payload.size()) {
+      AppendFrame(FrameType::kCompressed, wrapped, out);
+      return;
+    }
+  }
+  AppendFrame(type, payload, out);
+}
+
+Result<FrameType> DecodeCompressedFrame(std::string_view payload,
+                                        std::string* inner_payload) {
+  ByteReader r(payload);
+  const uint8_t inner = r.ReadValue<uint8_t>();
+  const uint64_t raw_bytes = ReadVarint(r);
+  if (!r.ok() || !ValidFrameType(inner) ||
+      inner == static_cast<uint8_t>(FrameType::kCompressed)) {
+    return Status::Corruption("malformed COMPRESSED frame");
+  }
+  if (raw_bytes > kMaxWirePayload) {
+    return Status::Corruption("COMPRESSED frame exceeds the payload bound");
+  }
+  inner_payload->clear();
+  inner_payload->reserve(raw_bytes);
+  Status s = LzssDecompress(r.rest(), raw_bytes, inner_payload);
+  if (!s.ok()) return s;
+  if (inner_payload->size() != raw_bytes) {
+    return Status::Corruption("COMPRESSED frame: raw-size mismatch");
+  }
+  return static_cast<FrameType>(inner);
 }
 
 Result<bool> FrameReader::Next(Frame* out) {

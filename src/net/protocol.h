@@ -46,6 +46,30 @@ namespace hgmatch {
 ///   kShutdown   client->server  empty; asks the server process to finish
 ///                               outstanding work and exit (honoured only
 ///                               with ServerOptions::allow_remote_shutdown)
+///   kHello      client->server  u32 requested feature bits (kFeature*).
+///                               Optional: a client that wants no optional
+///                               feature sends no HELLO and the stream is
+///                               byte-identical to the pre-HELLO protocol,
+///                               so old and new peers always interoperate.
+///   kHelloReply server->client  u32 granted feature bits (a subset of the
+///                               request). Only features granted here may
+///                               appear on the wire afterwards, in either
+///                               direction.
+///   kBatchSubmit client->server [varint count][varint bytes, SUBMIT
+///                               payload]... — many submissions in one
+///                               frame/syscall, admitted by the service in
+///                               one pass. Requires kFeatureBatch.
+///   kBatchOutcome server->client same framing over OUTCOME payloads:
+///                               outcomes ready in the same reactor tick
+///                               coalesce into one frame. Sent only to
+///                               peers granted kFeatureBatch.
+///   kCompressed either way      [u8 inner type][varint raw bytes][LZSS
+///                               stream] — a whole frame payload
+///                               compressed (io/compress.h), opt-in per
+///                               frame. Requires kFeatureCompression; a
+///                               stream that inflates past the declared
+///                               raw size (or past kMaxWirePayload) is a
+///                               protocol error, not an allocation.
 inline constexpr uint32_t kWireMagic = 0x314e'4748;  // "HGN1"
 
 /// Upper bound on a frame payload (a ~16 MiB query hypergraph is far
@@ -66,7 +90,21 @@ enum class FrameType : uint8_t {
   kStatsReply = 8,
   kError = 9,
   kShutdown = 10,
+  kHello = 11,
+  kHelloReply = 12,
+  kBatchSubmit = 13,
+  kBatchOutcome = 14,
+  kCompressed = 15,
 };
+
+/// Feature bits carried by kHello / kHelloReply.
+inline constexpr uint32_t kFeatureCompression = 1u << 0;
+inline constexpr uint32_t kFeatureBatch = 1u << 1;
+
+/// Payloads below this size skip the compression attempt outright: the
+/// wrapper overhead (type byte + raw-size varint + control bytes) eats any
+/// win and the CPU spent is pure loss.
+inline constexpr size_t kCompressThresholdBytes = 64;
 
 /// One query submission as it crosses the wire: the client-chosen request
 /// id (scopes the reply; unique per connection), the SubmitOptions fields
@@ -164,6 +202,35 @@ Result<uint64_t> DecodeRequestId(std::string_view payload);
 
 std::string EncodeStats(const WireStats& stats);
 Result<WireStats> DecodeStats(std::string_view payload);
+
+/// kHello / kHelloReply payloads are a bare u32 feature bitmap. Unknown
+/// bits are ignored on decode (a newer peer may request features this
+/// build has never heard of; the reply simply won't grant them).
+std::string EncodeFeatures(uint32_t features);
+Result<uint32_t> DecodeFeatures(std::string_view payload);
+
+/// kBatchSubmit / kBatchOutcome payloads share one shape: a varint entry
+/// count, then per entry a varint byte length and that many bytes of the
+/// inner (SUBMIT / OUTCOME) payload. Encode takes the pre-encoded inner
+/// payloads; Decode returns views into `payload`, which must outlive them.
+std::string EncodeBatchPayload(const std::vector<std::string>& entries);
+Result<std::vector<std::string_view>> DecodeBatchPayload(
+    std::string_view payload);
+
+/// Appends `payload` as a frame of `type` — wrapped in kCompressed when
+/// `compress` is set, the payload clears kCompressThresholdBytes, and the
+/// LZSS stream actually comes out smaller; plain otherwise. Negotiation is
+/// the caller's problem: pass compress=false unless the peer was granted
+/// kFeatureCompression.
+void AppendFrameMaybeCompressed(FrameType type, std::string_view payload,
+                                bool compress, std::string* out);
+
+/// Unwraps a kCompressed payload into the inner frame. Fails with
+/// Corruption when the inner type is invalid (or itself kCompressed — no
+/// nesting), the declared raw size exceeds kMaxWirePayload, or the LZSS
+/// stream is malformed or decodes to a different size than declared.
+Result<FrameType> DecodeCompressedFrame(std::string_view payload,
+                                        std::string* inner_payload);
 
 /// Incremental frame parser: feed raw stream bytes, pop complete frames.
 /// Validates the magic, the type tag and the payload bound as soon as a

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -191,6 +192,13 @@ class MatchServer::Impl {
     bool peer_closed = false;
     // Close now, flush nothing (socket error or buffer-bound violation).
     bool dead = false;
+    // Feature bits granted to this peer by the kHello exchange (0 until a
+    // HELLO arrives — a pre-HELLO peer speaks the base protocol and must
+    // never see kBatchOutcome or kCompressed frames).
+    uint32_t features = 0;
+    // Encoded OUTCOME payloads earned by a batch-capable peer, coalesced
+    // into one kBatchOutcome frame per reactor pass (FlushBatchReplies).
+    std::vector<std::string> batch_replies;
   };
 
   // Where a finished ticket's reply goes: the connection that submitted it
@@ -352,6 +360,28 @@ class MatchServer::Impl {
     t->st_frames_out.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // SendFrame for reply types a negotiated peer may receive compressed
+  // (outcomes, batch outcomes, stats). PONG stays raw — it is a latency
+  // probe — and kError stays raw so even a peer with a broken codec can
+  // read its eviction notice.
+  void SendFrameNegotiated(IoThread* t, Conn* conn, FrameType type,
+                           std::string_view payload) {
+    AppendFrameMaybeCompressed(type, payload,
+                               (conn->features & kFeatureCompression) != 0,
+                               &conn->outbuf);
+    t->st_frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Coalesces the outcome payloads a batch peer earned this pass into one
+  // kBatchOutcome frame. Runs before every output flush, so batched
+  // replies are never pinned behind an idle wait.
+  void FlushBatchReplies(IoThread* t, Conn* conn) {
+    if (conn->batch_replies.empty()) return;
+    const std::string payload = EncodeBatchPayload(conn->batch_replies);
+    conn->batch_replies.clear();
+    SendFrameNegotiated(t, conn, FrameType::kBatchOutcome, payload);
+  }
+
   // Cancels and orphans every in-flight query of a dying connection and
   // forgets their delivery routes. Registry entries go first so a
   // synchronously-resolving Cancel's completion hook finds nothing to
@@ -379,16 +409,72 @@ class MatchServer::Impl {
                 EncodeRejected({request_id, RejectReason::kQueueFull}));
     } else {
       completed_.fetch_add(1, std::memory_order_relaxed);
-      SendFrame(t, conn, FrameType::kOutcome,
-                EncodeOutcome({request_id, outcome, RejectReason::kQueueFull}));
+      std::string payload =
+          EncodeOutcome({request_id, outcome, RejectReason::kQueueFull});
+      if ((conn->features & kFeatureBatch) != 0) {
+        conn->batch_replies.push_back(std::move(payload));
+      } else {
+        SendFrameNegotiated(t, conn, FrameType::kOutcome, payload);
+      }
     }
   }
 
   void ProtocolError(IoThread* t, Conn* conn, const std::string& message) {
     if (conn->draining) return;
+    // Replies earned before the offending frame still go out, ahead of
+    // the error notice.
+    FlushBatchReplies(t, conn);
     SendFrame(t, conn, FrameType::kError, message);
     CancelConnQueries(t, conn);
     conn->draining = true;
+  }
+
+  // Extracts the remotely-settable SubmitOptions fields of one decoded
+  // submission (hostile floats are clamped to the server defaults).
+  static SubmitOptions SubmitOptionsFor(const WireSubmit& ws) {
+    SubmitOptions so;
+    so.tenant_id = ws.tenant_id;
+    so.priority = ws.priority;
+    so.weight = std::isfinite(ws.weight) ? ws.weight : 1.0;
+    so.timeout_seconds =
+        std::isfinite(ws.timeout_seconds) ? ws.timeout_seconds : -1;
+    so.limit = ws.limit;
+    return so;
+  }
+
+  // Post-submit bookkeeping shared by kSubmit and kBatchSubmit: answer
+  // inline if already resolved, else register for completion wakeup.
+  void TrackTicket(IoThread* t, Conn* conn, uint64_t request_id,
+                   Ticket ticket) {
+    // Backpressure sheds, planning errors and mirrors of completed
+    // canonicals resolve synchronously — and a fast query may already
+    // have finished between Submit and here: answer inline.
+    const QueryOutcome* done = ticket.TryGet();
+    if (done != nullptr) {
+      DeliverOutcome(t, conn, request_id, *done);
+      return;
+    }
+    if (options_.completion_wakeups) {
+      // Register, then probe again: a query that finished between the
+      // first TryGet and the registration ran its completion hook
+      // against an empty registry — nobody will wake us for it, so
+      // the second probe (ordered after the hook's lookup by the
+      // registry mutex) must answer it inline. A hook that instead
+      // runs after the registration finds the entry and the ready
+      // sweep delivers normally; if both paths fire, the inline
+      // answer erases the route and the sweep skips the stale id.
+      Register(ticket.id(), t);
+      t->routes[ticket.id()] = {conn, request_id};
+      done = ticket.TryGet();
+      if (done != nullptr) {
+        Unregister(ticket.id());
+        t->routes.erase(ticket.id());
+        DeliverOutcome(t, conn, request_id, *done);
+        return;
+      }
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    conn->inflight.emplace(request_id, std::move(ticket));
   }
 
   // Connection teardown is signalled through conn->draining, never by a
@@ -418,44 +504,106 @@ class MatchServer::Impl {
                         {ws.request_id, RejectReason::kRateLimited}));
           return;
         }
-        SubmitOptions so;
-        so.tenant_id = ws.tenant_id;
-        so.priority = ws.priority;
-        so.weight = std::isfinite(ws.weight) ? ws.weight : 1.0;
-        so.timeout_seconds =
-            std::isfinite(ws.timeout_seconds) ? ws.timeout_seconds : -1;
-        so.limit = ws.limit;
-        Ticket ticket = service_.Submit(std::move(ws.query), so);
+        Ticket ticket =
+            service_.Submit(std::move(ws.query), SubmitOptionsFor(ws));
         submitted_.fetch_add(1, std::memory_order_relaxed);
-        // Backpressure sheds, planning errors and mirrors of completed
-        // canonicals resolve synchronously — and a fast query may already
-        // have finished between Submit and here: answer inline.
-        const QueryOutcome* done = ticket.TryGet();
-        if (done != nullptr) {
-          DeliverOutcome(t, conn, ws.request_id, *done);
+        TrackTicket(t, conn, ws.request_id, std::move(ticket));
+        return;
+      }
+      case FrameType::kHello: {
+        Result<uint32_t> requested = DecodeFeatures(frame.payload);
+        if (!requested.ok()) {
+          ProtocolError(t, conn, requested.status().message());
           return;
         }
-        if (options_.completion_wakeups) {
-          // Register, then probe again: a query that finished between the
-          // first TryGet and the registration ran its completion hook
-          // against an empty registry — nobody will wake us for it, so
-          // the second probe (ordered after the hook's lookup by the
-          // registry mutex) must answer it inline. A hook that instead
-          // runs after the registration finds the entry and the ready
-          // sweep delivers normally; if both paths fire, the inline
-          // answer erases the route and the sweep skips the stale id.
-          Register(ticket.id(), t);
-          t->routes[ticket.id()] = {conn, ws.request_id};
-          done = ticket.TryGet();
-          if (done != nullptr) {
-            Unregister(ticket.id());
-            t->routes.erase(ticket.id());
-            DeliverOutcome(t, conn, ws.request_id, *done);
+        // Batching is always worth granting; compression is an operator
+        // decision (ServerOptions::enable_compression). Unknown requested
+        // bits are simply not granted.
+        uint32_t granted = requested.value() & kFeatureBatch;
+        if (options_.enable_compression) {
+          granted |= requested.value() & kFeatureCompression;
+        }
+        conn->features = granted;
+        SendFrame(t, conn, FrameType::kHelloReply, EncodeFeatures(granted));
+        return;
+      }
+      case FrameType::kCompressed: {
+        if ((conn->features & kFeatureCompression) == 0) {
+          ProtocolError(t, conn,
+                        "COMPRESSED frame without negotiated compression");
+          return;
+        }
+        FrameReader::Frame inner;
+        Result<FrameType> type =
+            DecodeCompressedFrame(frame.payload, &inner.payload);
+        if (!type.ok()) {
+          ProtocolError(t, conn, type.status().message());
+          return;
+        }
+        inner.type = type.value();
+        // One level only: DecodeCompressedFrame rejects a nested
+        // kCompressed inner type, so this recursion terminates.
+        HandleFrame(t, conn, inner);
+        return;
+      }
+      case FrameType::kBatchSubmit: {
+        if ((conn->features & kFeatureBatch) == 0) {
+          ProtocolError(t, conn,
+                        "BATCH_SUBMIT frame without negotiated batching");
+          return;
+        }
+        Result<std::vector<std::string_view>> entries =
+            DecodeBatchPayload(frame.payload);
+        if (!entries.ok()) {
+          ProtocolError(t, conn, entries.status().message());
+          return;
+        }
+        // Decode and validate the whole batch before admitting any of it:
+        // a malformed entry poisons the frame, exactly as a malformed
+        // kSubmit poisons the connection.
+        std::vector<WireSubmit> submits;
+        submits.reserve(entries.value().size());
+        std::unordered_set<uint64_t> batch_ids;
+        batch_ids.reserve(entries.value().size());
+        for (const std::string_view entry : entries.value()) {
+          Result<WireSubmit> submit = DecodeSubmit(entry);
+          if (!submit.ok()) {
+            ProtocolError(t, conn, submit.status().message());
             return;
           }
+          const uint64_t id = submit.value().request_id;
+          if (conn->inflight.count(id) != 0 || !batch_ids.insert(id).second) {
+            ProtocolError(t, conn,
+                          "duplicate request id " + std::to_string(id));
+            return;
+          }
+          submits.push_back(std::move(submit).value());
         }
-        inflight_.fetch_add(1, std::memory_order_relaxed);
-        conn->inflight.emplace(ws.request_id, std::move(ticket));
+        // Rate-limit per entry (the limiter counts submissions, however
+        // framed), then admit the survivors in ONE service pass.
+        std::vector<BatchSubmission> batch;
+        std::vector<uint64_t> request_ids;
+        batch.reserve(submits.size());
+        request_ids.reserve(submits.size());
+        for (WireSubmit& ws : submits) {
+          if (options_.max_submits_per_sec > 0 &&
+              !AllowSubmit(ws.tenant_id)) {
+            rate_limited_.fetch_add(1, std::memory_order_relaxed);
+            t->st_rejects.fetch_add(1, std::memory_order_relaxed);
+            SendFrame(t, conn, FrameType::kRejected,
+                      EncodeRejected(
+                          {ws.request_id, RejectReason::kRateLimited}));
+            continue;
+          }
+          request_ids.push_back(ws.request_id);
+          batch.push_back({std::move(ws.query), SubmitOptionsFor(ws)});
+        }
+        if (batch.empty()) return;
+        std::vector<Ticket> tickets = service_.SubmitBatch(std::move(batch));
+        submitted_.fetch_add(tickets.size(), std::memory_order_relaxed);
+        for (size_t i = 0; i < tickets.size(); ++i) {
+          TrackTicket(t, conn, request_ids[i], std::move(tickets[i]));
+        }
         return;
       }
       case FrameType::kCancel: {
@@ -488,7 +636,8 @@ class MatchServer::Impl {
         SendFrame(t, conn, FrameType::kPong, frame.payload);
         return;
       case FrameType::kStats:
-        SendFrame(t, conn, FrameType::kStatsReply, EncodeStats(Stats()));
+        SendFrameNegotiated(t, conn, FrameType::kStatsReply,
+                            EncodeStats(Stats()));
         return;
       case FrameType::kShutdown:
         if (options_.allow_remote_shutdown) {
@@ -744,7 +893,9 @@ class MatchServer::Impl {
         DeliverFinished(t);
       }
       for (auto& conn : t->conns) {
-        if (!conn->dead && conn->out_sent < conn->outbuf.size()) {
+        if (conn->dead) continue;
+        FlushBatchReplies(t, conn.get());
+        if (conn->out_sent < conn->outbuf.size()) {
           FlushConn(t, conn.get());
         }
       }

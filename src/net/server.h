@@ -58,6 +58,15 @@ struct ServerOptions {
   /// scripted runs (the CLI smoke test drives it).
   bool allow_remote_shutdown = false;
 
+  /// Grant kFeatureCompression to clients that request it via kHello
+  /// (`hgmatch serve --compress`): both directions may then wrap frame
+  /// payloads in kCompressed. Off by default — compression trades CPU on
+  /// the reactor threads for bytes on the wire, a profitable trade for
+  /// small-query floods over real networks but not for loopback-local
+  /// bulk work. Batching (kFeatureBatch) is always granted: it strictly
+  /// reduces per-frame overhead and costs nothing when unused.
+  bool enable_compression = false;
+
   /// Completion-driven outcome delivery (the default): the server hangs a
   /// completion hook on the service (ServiceOptions::on_query_complete)
   /// that routes each finished ticket id to the ready list of the IO

@@ -123,6 +123,51 @@ class ServiceImpl {
     return SubmitRecord(std::make_shared<QueryRecord>(), &query, so);
   }
 
+  // One admission pass for the whole batch: everything SubmitRecord does
+  // per query happens here once per *batch* (lock acquisition, record
+  // sweep, wake + hook delivery), with the per-entry body unchanged —
+  // ids, cache/mirror behaviour and hook ordering match N Submit() calls.
+  std::vector<Ticket> SubmitBatch(std::vector<BatchSubmission> batch) {
+    std::vector<std::shared_ptr<QueryRecord>> recs;
+    recs.reserve(batch.size());
+    for (BatchSubmission& b : batch) {
+      auto rec = std::make_shared<QueryRecord>();
+      rec->owned_query = std::move(b.query);
+      rec->service = this;
+      rec->completion = b.options.completion;
+      recs.push_back(std::move(rec));
+    }
+    std::vector<FiredCompletion> fire;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SweepResolvedRecordsLocked();
+      for (size_t i = 0; i < recs.size(); ++i) {
+        const std::shared_ptr<QueryRecord>& rec = recs[i];
+        rec->id = submitted_++;
+        if (sealed_) {
+          rec->plan_status = Status::InvalidArgument("service is shut down");
+          ++plan_errors_;
+          QueryOutcome out;
+          out.status = QueryStatus::kPlanError;
+          ResolveNow(rec, out, &fire);
+          records_.push_back(rec);
+        } else {
+          SubmitOpenLocked(rec, rec->owned_query, batch[i].options, &fire);
+        }
+      }
+    }
+    if (!fire.empty()) {
+      resolve_cv_.notify_all();
+      FireCompletions(&fire);
+    }
+    std::vector<Ticket> tickets;
+    tickets.reserve(recs.size());
+    for (std::shared_ptr<QueryRecord>& rec : recs) {
+      tickets.push_back(Ticket(std::move(rec)));
+    }
+    return tickets;
+  }
+
   void Drain() {
     EnsureStarted();
     scheduler_.WaitIdle();
@@ -731,6 +776,11 @@ Ticket MatchService::Submit(Hypergraph query, const SubmitOptions& options) {
 Ticket MatchService::SubmitBorrowed(const Hypergraph& query,
                                     const SubmitOptions& options) {
   return impl_->SubmitBorrowed(query, options);
+}
+
+std::vector<Ticket> MatchService::SubmitBatch(
+    std::vector<BatchSubmission> batch) {
+  return impl_->SubmitBatch(std::move(batch));
 }
 
 void MatchService::Drain() { impl_->Drain(); }

@@ -180,6 +180,14 @@ class Ticket {
   std::shared_ptr<internal::QueryRecord> rec_;
 };
 
+/// One entry of MatchService::SubmitBatch(): a query plus its per-submit
+/// options, owned by the batch (SubmitBatch moves the hypergraphs in, like
+/// Submit()).
+struct BatchSubmission {
+  Hypergraph query;
+  SubmitOptions options;
+};
+
 /// A long-lived match-query service bound to one indexed data hypergraph:
 /// the streaming front end of the shared scheduler core
 /// (parallel/scheduler.h). Construction starts the worker pool; Submit()
@@ -232,6 +240,15 @@ class MatchService {
   /// whole batch.
   Ticket SubmitBorrowed(const Hypergraph& query,
                         const SubmitOptions& options = {});
+
+  /// Submits every entry under ONE admission pass: the internal lock is
+  /// taken once for the whole batch, so N tiny queries (the wire front
+  /// end's BATCH_SUBMIT frames) cost one lock round-trip and one record
+  /// sweep instead of N. Semantically identical to calling Submit() once
+  /// per entry in order — same ids, same per-entry plan cache/mirror/
+  /// rejection behaviour, same completion hooks. Returns one ticket per
+  /// entry, in input order. Thread-safe.
+  std::vector<Ticket> SubmitBatch(std::vector<BatchSubmission> batch);
 
   /// Blocks until every query submitted so far has finished. The service
   /// stays up for further submissions. Thread-safe.

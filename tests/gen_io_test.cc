@@ -7,6 +7,7 @@
 #include "gen/generator.h"
 #include "gen/knowledge_base.h"
 #include "gen/query_gen.h"
+#include "io/binary_format.h"
 #include "io/loader.h"
 #include "io/writer.h"
 #include "tests/test_fixtures.h"
@@ -213,6 +214,24 @@ TEST(IoTest, FileRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(FormatHypergraph(loaded.value()), FormatHypergraph(h));
   std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryFileRoundTripsInBothOnDiskVersions) {
+  // The binary writer defaults to the compressed v2 (HGM2) layout; the
+  // --v1 escape hatch writes the uncompressed v1 layout. Both must load
+  // back to an identical hypergraph through the same entry point.
+  Hypergraph h = GenerateHypergraph(SmallRandomConfig(2));
+  const std::string v2 = ::testing::TempDir() + "/hg_io_test_v2.hgb";
+  const std::string v1 = ::testing::TempDir() + "/hg_io_test_v1.hgb";
+  ASSERT_TRUE(SaveHypergraphBinary(h, v2).ok());
+  ASSERT_TRUE(SaveHypergraphBinary(h, v1, /*compress=*/false).ok());
+  for (const std::string& path : {v2, v1}) {
+    Result<Hypergraph> loaded = LoadHypergraphBinary(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(FormatHypergraph(loaded.value()), FormatHypergraph(h)) << path;
+  }
+  std::remove(v2.c_str());
+  std::remove(v1.c_str());
 }
 
 TEST(IoTest, ParserAcceptsCommentsAndBlankLines) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/hgmatch.h"
+#include "io/byte_io.h"
 #include "tests/test_fixtures.h"
 #include "util/rng.h"
 
@@ -222,6 +223,139 @@ TEST(ProtocolTest, TruncatedPayloadsAreCorruption) {
   EXPECT_FALSE(DecodeStats("x").ok());
   // Trailing junk is as corrupt as missing bytes.
   EXPECT_FALSE(DecodeSubmit(payload + "junk").ok());
+}
+
+TEST(ProtocolTest, FeaturesFrameRoundTrips) {
+  for (uint32_t features :
+       {0u, kFeatureCompression, kFeatureBatch,
+        kFeatureCompression | kFeatureBatch, 0xffffffffu}) {
+    Result<uint32_t> decoded = DecodeFeatures(EncodeFeatures(features));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), features);
+  }
+  EXPECT_FALSE(DecodeFeatures("abc").ok());    // short
+  EXPECT_FALSE(DecodeFeatures("abcde").ok());  // trailing byte
+}
+
+TEST(ProtocolTest, BatchPayloadRoundTripsEntriesInOrder) {
+  WireSubmit submit;
+  submit.request_id = 5;
+  submit.query = PaperQueryHypergraph();
+  const std::vector<std::string> entries = {EncodeSubmit(submit), "",
+                                            std::string(300, 'x'), "tail"};
+  const std::string payload = EncodeBatchPayload(entries);
+  Result<std::vector<std::string_view>> decoded = DecodeBatchPayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i], entries[i]) << "entry " << i;
+  }
+  // The first entry decodes back to the original submission.
+  Result<WireSubmit> back = DecodeSubmit(decoded.value()[0]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().request_id, 5u);
+}
+
+TEST(ProtocolTest, BatchPayloadRejectsHostileCountsAndTruncation) {
+  // A count far beyond the payload is corruption, not a reserve request.
+  std::string hostile;
+  AppendVarint(uint64_t{1} << 40, &hostile);
+  EXPECT_FALSE(DecodeBatchPayload(hostile).ok());
+
+  // An entry length past the remaining bytes is corruption.
+  std::string overrun;
+  AppendVarint(1, &overrun);       // one entry...
+  AppendVarint(1000, &overrun);    // ...claiming 1000 bytes
+  overrun.append("short");
+  EXPECT_FALSE(DecodeBatchPayload(overrun).ok());
+
+  // Every strict prefix of a valid payload fails cleanly.
+  const std::string good =
+      EncodeBatchPayload({std::string(40, 'a'), std::string(9, 'b')});
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeBatchPayload(good.substr(0, cut)).ok()) << cut;
+  }
+  // Trailing junk too.
+  EXPECT_FALSE(DecodeBatchPayload(good + "x").ok());
+}
+
+TEST(ProtocolTest, CompressedFrameRoundTripsAndSkipsSmallPayloads) {
+  // A large repetitive payload compresses and round-trips through the
+  // kCompressed wrapper.
+  std::string repetitive;
+  for (int i = 0; i < 200; ++i) repetitive += "submit-frame-bytes-";
+  std::string stream;
+  AppendFrameMaybeCompressed(FrameType::kSubmit, repetitive,
+                             /*compress=*/true, &stream);
+  FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  FrameReader::Frame frame;
+  ASSERT_TRUE(reader.Next(&frame).value());
+  ASSERT_EQ(frame.type, FrameType::kCompressed);
+  EXPECT_LT(frame.payload.size(), repetitive.size() / 2);
+  std::string inner;
+  Result<FrameType> type = DecodeCompressedFrame(frame.payload, &inner);
+  ASSERT_TRUE(type.ok()) << type.status().ToString();
+  EXPECT_EQ(type.value(), FrameType::kSubmit);
+  EXPECT_EQ(inner, repetitive);
+
+  // Below the threshold the wrapper is skipped: the frame goes out raw.
+  std::string small;
+  AppendFrameMaybeCompressed(FrameType::kPing, "tiny", /*compress=*/true,
+                             &small);
+  FrameReader reader2;
+  reader2.Feed(small.data(), small.size());
+  ASSERT_TRUE(reader2.Next(&frame).value());
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_EQ(frame.payload, "tiny");
+}
+
+TEST(ProtocolTest, CompressedFrameRejectsBombsAndNesting) {
+  std::string inner;
+
+  // Inflation bomb: declared raw size past the frame bound must be
+  // rejected arithmetically — before any allocation happens.
+  std::string bomb;
+  bomb.push_back(static_cast<char>(FrameType::kSubmit));
+  AppendVarint(uint64_t{kMaxWirePayload} + 1, &bomb);
+  bomb.append("whatever");
+  EXPECT_FALSE(DecodeCompressedFrame(bomb, &inner).ok());
+
+  // Nested compression wrappers are refused (one level only).
+  std::string nested;
+  nested.push_back(static_cast<char>(FrameType::kCompressed));
+  AppendVarint(100, &nested);
+  nested.append("zzzz");
+  EXPECT_FALSE(DecodeCompressedFrame(nested, &inner).ok());
+
+  // A declared size that disagrees with the actual decompressed size is
+  // corruption.
+  std::string repetitive(4096, 'q');
+  std::string stream;
+  AppendFrameMaybeCompressed(FrameType::kSubmit, repetitive, true, &stream);
+  FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  FrameReader::Frame frame;
+  ASSERT_TRUE(reader.Next(&frame).value());
+  ASSERT_EQ(frame.type, FrameType::kCompressed);
+  std::string tampered = frame.payload;
+  // Rewrite "[type][varint raw]" with raw+1; the LZSS stream is unchanged.
+  std::string header;
+  header.push_back(static_cast<char>(FrameType::kSubmit));
+  AppendVarint(repetitive.size(), &header);
+  std::string wrong_header;
+  wrong_header.push_back(static_cast<char>(FrameType::kSubmit));
+  AppendVarint(repetitive.size() + 1, &wrong_header);
+  ASSERT_EQ(tampered.compare(0, header.size(), header), 0);
+  tampered.replace(0, header.size(), wrong_header);
+  EXPECT_FALSE(DecodeCompressedFrame(tampered, &inner).ok());
+
+  // Truncated LZSS streams fail cleanly at every cut.
+  for (size_t cut = 1; cut < frame.payload.size(); cut += 7) {
+    EXPECT_FALSE(
+        DecodeCompressedFrame(frame.payload.substr(0, cut), &inner).ok())
+        << cut;
+  }
 }
 
 #if HGMATCH_NET_TEST_SOCKETS
@@ -757,6 +891,209 @@ TEST(NetTest, PollFallbackDeliversMirrorsResolvedWithTheirCanonical) {
   server.Stop();
 }
 
+// ------------------------------------------- negotiated batch/compression --
+
+TEST(NetTest, HelloNegotiatesBatchAndCompressionAndKeepsExactCounts) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  ServerOptions options = LoopbackOptions(2);
+  options.enable_compression = true;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t expected1 =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const uint64_t expected2 =
+      MatchSequential(idx, PathQuery(2)).value().embeddings;
+
+  AsyncClientOptions copts;
+  copts.request_features = kFeatureBatch | kFeatureCompression;
+  MatchClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.features(), kFeatureBatch | kFeatureCompression);
+
+  const Hypergraph q1 = PathQuery(1);
+  const Hypergraph q2 = PathQuery(2);
+  constexpr size_t kQueries = 24;
+  std::vector<const Hypergraph*> queries;
+  for (size_t i = 0; i < kQueries; ++i) {
+    queries.push_back(i % 2 == 0 ? &q1 : &q2);
+  }
+  Result<std::vector<uint64_t>> ids = client.SubmitBatch(queries);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids.value().size(), kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    Result<WireOutcome> reply = client.WaitOutcome(ids.value()[i]);
+    ASSERT_TRUE(reply.ok()) << "query " << i;
+    EXPECT_EQ(reply.value().outcome.stats.embeddings,
+              i % 2 == 0 ? expected1 : expected2)
+        << "query " << i;
+  }
+
+  // Framing economy: the whole set crossed in a handful of frames (one
+  // HELLO + one batch chunk here), not one frame per query.
+  const ClientTransferStats ts = client.TransferStats();
+  EXPECT_LE(ts.frames_sent, 3u);
+  EXPECT_LT(ts.frames_received, kQueries);
+  EXPECT_GT(ts.bytes_sent, 0u);
+  EXPECT_GT(ts.bytes_received, 0u);
+  server.Stop();
+}
+
+TEST(NetTest, CompressionGrantRequiresServerOptIn) {
+  // The server always grants batching but only grants compression when
+  // the operator enabled it; the client degrades gracefully.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  MatchServer server(idx, LoopbackOptions(2));  // enable_compression off
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncClientOptions copts;
+  copts.request_features = kFeatureBatch | kFeatureCompression;
+  MatchClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.features(), kFeatureBatch);
+
+  const uint64_t expected =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const Hypergraph q = PathQuery(1);
+  Result<std::vector<uint64_t>> ids =
+      client.SubmitBatch({&q, &q, &q});
+  ASSERT_TRUE(ids.ok());
+  for (uint64_t id : ids.value()) {
+    Result<WireOutcome> reply = client.WaitOutcome(id);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().outcome.stats.embeddings, expected);
+  }
+  server.Stop();
+}
+
+TEST(NetTest, SubmitBatchFallsBackToPerQueryFramesWithoutNegotiation) {
+  // A client that never sent HELLO can still call SubmitBatch: it decays
+  // to per-query SUBMIT frames against any server.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(8));
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;  // request_features = 0: no HELLO at all
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.features(), 0u);
+
+  const uint64_t expected =
+      MatchSequential(idx, PathQuery(1)).value().embeddings;
+  const Hypergraph q = PathQuery(1);
+  Result<std::vector<uint64_t>> ids = client.SubmitBatch({&q, &q});
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids.value().size(), 2u);
+  for (uint64_t id : ids.value()) {
+    Result<WireOutcome> reply = client.WaitOutcome(id);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().outcome.stats.embeddings, expected);
+  }
+  server.Stop();
+}
+
+TEST(NetTest, PreHelloClientInteropsWithCompressionEnabledServer) {
+  // Old-client/new-server interop: a client that never sends HELLO gets
+  // the plain v1 byte stream even from a server with compression enabled.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(2);
+  options.enable_compression = true;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const MatchStats expected =
+      MatchSequential(idx, PaperQueryHypergraph()).value();
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  Result<uint64_t> id = client.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(id.ok());
+  Result<WireOutcome> reply = client.WaitOutcome(id.value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().outcome.stats.embeddings, expected.embeddings);
+  server.Stop();
+}
+
+TEST(NetTest, BatchSubmitWithoutHelloIsAProtocolError) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(1));
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  WireSubmit submit;
+  submit.request_id = 1;
+  submit.query = PaperQueryHypergraph();
+  std::string stream;
+  AppendFrame(FrameType::kBatchSubmit,
+              EncodeBatchPayload({EncodeSubmit(submit)}), &stream);
+  ASSERT_TRUE(conn.Send(stream));
+  ExpectErrorFrameThenEof(conn);
+  server.Stop();
+}
+
+TEST(NetTest, DuplicateRequestIdsInsideABatchCloseTheConnection) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(1));
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  WireSubmit submit;
+  submit.request_id = 9;  // twice in one frame
+  submit.query = PaperQueryHypergraph();
+  std::string stream;
+  AppendFrame(FrameType::kHello, EncodeFeatures(kFeatureBatch), &stream);
+  AppendFrame(FrameType::kBatchSubmit,
+              EncodeBatchPayload({EncodeSubmit(submit), EncodeSubmit(submit)}),
+              &stream);
+  ASSERT_TRUE(conn.Send(stream));
+
+  // The reply must be the HELLO grant followed by kError-and-close; no
+  // outcome for either duplicate sneaks out.
+  const std::string reply = conn.ReadAll();
+  FrameReader reader;
+  reader.Feed(reply.data(), reply.size());
+  FrameReader::Frame frame;
+  ASSERT_TRUE(reader.Next(&frame).value());
+  EXPECT_EQ(frame.type, FrameType::kHelloReply);
+  ASSERT_TRUE(reader.Next(&frame).value());
+  EXPECT_EQ(frame.type, FrameType::kError);
+  server.Stop();
+}
+
+TEST(NetTest, CompressedInflationBombIsRejectedWithError) {
+  // A negotiated peer sending a kCompressed wrapper whose declared raw
+  // size exceeds the frame bound must get kError-and-close — the server
+  // rejects by arithmetic, it never allocates the declared size.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(1);
+  options.enable_compression = true;
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  std::string bomb;
+  bomb.push_back(static_cast<char>(FrameType::kSubmit));
+  AppendVarint(uint64_t{1} << 40, &bomb);  // a terabyte, allegedly
+  bomb.append(64, '\x55');
+  std::string stream;
+  AppendFrame(FrameType::kHello, EncodeFeatures(kFeatureCompression),
+              &stream);
+  AppendFrame(FrameType::kCompressed, bomb, &stream);
+  ASSERT_TRUE(conn.Send(stream));
+
+  const std::string reply = conn.ReadAll();
+  FrameReader reader;
+  reader.Feed(reply.data(), reply.size());
+  FrameReader::Frame frame;
+  ASSERT_TRUE(reader.Next(&frame).value());
+  EXPECT_EQ(frame.type, FrameType::kHelloReply);
+  ASSERT_TRUE(reader.Next(&frame).value());
+  EXPECT_EQ(frame.type, FrameType::kError);
+  server.Stop();
+}
+
 // ------------------------------------------------------ protocol fuzzing --
 
 // Seeded protocol fuzz harness: take valid frames, mutate them (bit flips,
@@ -785,6 +1122,7 @@ void FuzzMutatedFramesAgainstServer(uint32_t io_threads) {
   ServerOptions options = LoopbackOptions(2);
   options.max_connections = 8;
   options.io_threads = io_threads;
+  options.enable_compression = true;  // the negotiated paths get fuzzed too
   MatchServer server(idx, options);
   ASSERT_TRUE(server.Start().ok());
 
@@ -814,6 +1152,44 @@ void FuzzMutatedFramesAgainstServer(uint32_t io_threads) {
     AppendFrame(FrameType::kShutdown, "", &s);  // disabled => error path
     corpus.push_back(s);
   }
+  {
+    // HELLO then a two-entry batch: the negotiated batch path.
+    std::string s;
+    AppendFrame(FrameType::kHello,
+                EncodeFeatures(kFeatureBatch | kFeatureCompression), &s);
+    WireSubmit a;
+    a.request_id = 11;
+    a.query = PaperQueryHypergraph();
+    WireSubmit b;
+    b.request_id = 12;
+    b.query = PaperQueryHypergraph();
+    AppendFrame(FrameType::kBatchSubmit,
+                EncodeBatchPayload({EncodeSubmit(a), EncodeSubmit(b)}), &s);
+    corpus.push_back(s);
+  }
+  {
+    // HELLO then a compressed SUBMIT wrapper: the kCompressed unwrap path.
+    std::string s;
+    AppendFrame(FrameType::kHello, EncodeFeatures(kFeatureCompression), &s);
+    WireSubmit submit;
+    submit.request_id = 13;
+    submit.query = PaperQueryHypergraph();
+    AppendFrameMaybeCompressed(FrameType::kSubmit, EncodeSubmit(submit),
+                               /*compress=*/true, &s);
+    corpus.push_back(s);
+  }
+  {
+    // HELLO then an inflation bomb: a kCompressed wrapper declaring an
+    // absurd raw size. The decode bound must hold under every mutation.
+    std::string bomb;
+    bomb.push_back(static_cast<char>(FrameType::kSubmit));
+    AppendVarint(uint64_t{1} << 42, &bomb);
+    bomb.append(128, '\x55');
+    std::string s;
+    AppendFrame(FrameType::kHello, EncodeFeatures(kFeatureCompression), &s);
+    AppendFrame(FrameType::kCompressed, bomb, &s);
+    corpus.push_back(s);
+  }
 
   // Checks one server reply stream: every complete frame parses, only
   // server->client frame types appear, and an error frame (if any) is
@@ -836,6 +1212,9 @@ void FuzzMutatedFramesAgainstServer(uint32_t io_threads) {
         case FrameType::kRejected:
         case FrameType::kPong:
         case FrameType::kStatsReply:
+        case FrameType::kHelloReply:
+        case FrameType::kBatchOutcome:
+        case FrameType::kCompressed:
           break;  // legal replies to a mutant that stayed well-formed
         case FrameType::kError:
           saw_error = true;
@@ -888,7 +1267,7 @@ void FuzzMutatedFramesAgainstServer(uint32_t io_threads) {
         for (char& c : garbage) c = static_cast<char>(rng.Next64());
         bytes.clear();
         AppendFrame(static_cast<FrameType>(
-                        1 + rng.NextBounded(10)),  // any defined type
+                        1 + rng.NextBounded(15)),  // any defined type
                     garbage, &bytes);
         break;
       }

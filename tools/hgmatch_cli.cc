@@ -9,7 +9,8 @@
 //                 [--task-quota=N] [--timeout=S] [--batch-timeout=S]
 //                 [--no-plan-cache] [--policy=fifo|priority|wfq]
 //   hgmatch serve <data> [--port=N] [--host=H] [--threads=N] [flags...]
-//   hgmatch query --connect=HOST:PORT <queryset> [--limit=N] [--shutdown]
+//   hgmatch query --connect=HOST:PORT <queryset> [--limit=N] [--batch]
+//                 [--compress] [--shutdown]
 //
 // Files ending in .hgb use the binary format (io/binary_format.h); anything
 // else is the text format (io/loader.h).
@@ -66,7 +67,9 @@ int Usage() {
                "usage:\n"
                "  hgmatch gen <profile|random> <out[.hgb]> [scale]\n"
                "  hgmatch stats <file>\n"
-               "  hgmatch convert <in> <out>\n"
+               "  hgmatch convert <in> <out> [--v1]\n"
+               "    [--v1]               write .hgb in the uncompressed v1\n"
+               "                         layout (readable by old builds)\n"
                "  hgmatch sample <data> <num-edges> [count]\n"
                "  hgmatch match <data> <query> [threads] [limit]\n"
                "  hgmatch batch <data> <queryset> [threads] [limit]\n"
@@ -97,8 +100,15 @@ int Usage() {
                "                         of completion-driven delivery\n"
                "                         (io-threads=1 only)\n"
                "    [--allow-remote-shutdown]  honour client SHUTDOWN\n"
+               "    [--compress]         grant clients frame compression\n"
+               "                         when they request it at connect\n"
                "  hgmatch query --connect=HOST:PORT [<queryset>]\n"
                "    [--limit=N]          per-query embedding limit\n"
+               "    [--batch]            negotiate BATCH_SUBMIT and send\n"
+               "                         the queryset coalesced (shared\n"
+               "                         options; per-query headers are\n"
+               "                         ignored)\n"
+               "    [--compress]         negotiate frame compression\n"
                "    [--stats]            print the server statistics\n"
                "                         snapshot (standalone or after\n"
                "                         the queryset)\n"
@@ -220,17 +230,32 @@ int CmdStats(int argc, char** argv) {
 
 int CmdConvert(int argc, char** argv) {
   if (argc < 4) return Usage();
+  bool v1 = false;
+  for (int a = 4; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--v1") == 0) {
+      v1 = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[a]);
+      return 2;
+    }
+  }
   Result<Hypergraph> h = LoadAny(argv[2]);
   if (!h.ok()) {
     std::fprintf(stderr, "%s\n", h.status().ToString().c_str());
     return 1;
   }
-  const Status s = SaveAny(h.value(), argv[3]);
+  const std::string out = argv[3];
+  // --v1 forces the uncompressed v1 binary layout (for files that must
+  // stay readable by pre-HGM2 builds); it only means something for .hgb.
+  const Status s = v1 && IsBinaryPath(out)
+                       ? SaveHypergraphBinary(h.value(), out,
+                                              /*compress=*/false)
+                       : SaveAny(h.value(), out);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s\n", argv[3]);
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 
@@ -482,6 +507,8 @@ int CmdServe(int argc, char** argv) {
       options.completion_wakeups = false;
     } else if (std::strcmp(arg, "--allow-remote-shutdown") == 0) {
       options.allow_remote_shutdown = true;
+    } else if (std::strcmp(arg, "--compress") == 0) {
+      options.enable_compression = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return 2;
@@ -566,6 +593,8 @@ int CmdQuery(int argc, char** argv) {
   uint64_t limit = SubmitOptions::kInheritLimit;
   bool shutdown_after = false;
   bool print_stats = false;
+  bool use_batch = false;
+  bool use_compress = false;
   for (int a = 2; a < argc; ++a) {
     const char* arg = argv[a];
     if (std::strncmp(arg, "--connect=", 10) == 0) {
@@ -582,6 +611,10 @@ int CmdQuery(int argc, char** argv) {
       print_stats = true;
     } else if (std::strcmp(arg, "--shutdown") == 0) {
       shutdown_after = true;
+    } else if (std::strcmp(arg, "--batch") == 0) {
+      use_batch = true;
+    } else if (std::strcmp(arg, "--compress") == 0) {
+      use_compress = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return 2;
@@ -597,8 +630,15 @@ int CmdQuery(int argc, char** argv) {
     return Usage();
   }
 
+  // --batch/--compress opt into the negotiated extensions: a kHello
+  // exchange at connect requests the feature bits, and the server's grant
+  // decides what actually goes over the wire.
+  AsyncClientOptions copts;
+  if (use_batch) copts.request_features |= kFeatureBatch;
+  if (use_compress) copts.request_features |= kFeatureCompression;
+
   if (queryset.empty()) {
-    MatchClient client;
+    MatchClient client(copts);
     const Status connected = client.Connect(host, port);
     if (!connected.ok()) {
       std::fprintf(stderr, "%s\n", connected.ToString().c_str());
@@ -632,7 +672,7 @@ int CmdQuery(int argc, char** argv) {
     return 1;
   }
 
-  MatchClient client;
+  MatchClient client(copts);
   const Status connected = client.Connect(host, port);
   if (!connected.ok()) {
     std::fprintf(stderr, "%s\n", connected.ToString().c_str());
@@ -642,15 +682,34 @@ int CmdQuery(int argc, char** argv) {
   // Pipeline: submit everything, then collect outcomes in input order.
   std::vector<uint64_t> ids;
   ids.reserve(entries.value().size());
-  for (QuerySetEntry& e : entries.value()) {
-    SubmitOptions so = e.submit;
+  if (use_batch) {
+    // Batch mode coalesces the whole set into kBatchSubmit frames. The
+    // set shares one options block, so per-query '# tenant=' style
+    // headers are ignored here — use per-query mode when they matter.
+    SubmitOptions so;
     if (limit != SubmitOptions::kInheritLimit) so.limit = limit;
-    Result<uint64_t> id = client.Submit(e.query, so);
-    if (!id.ok()) {
-      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    std::vector<const Hypergraph*> queries;
+    queries.reserve(entries.value().size());
+    for (const QuerySetEntry& e : entries.value()) {
+      queries.push_back(&e.query);
+    }
+    Result<std::vector<uint64_t>> batch_ids = client.SubmitBatch(queries, so);
+    if (!batch_ids.ok()) {
+      std::fprintf(stderr, "%s\n", batch_ids.status().ToString().c_str());
       return 1;
     }
-    ids.push_back(id.value());
+    ids = std::move(batch_ids.value());
+  } else {
+    for (QuerySetEntry& e : entries.value()) {
+      SubmitOptions so = e.submit;
+      if (limit != SubmitOptions::kInheritLimit) so.limit = limit;
+      Result<uint64_t> id = client.Submit(e.query, so);
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(id.value());
+    }
   }
 
   size_t ok_count = 0;
@@ -682,6 +741,24 @@ int CmdQuery(int argc, char** argv) {
               static_cast<unsigned long long>(rejected),
               static_cast<unsigned long long>(total_embeddings),
               timer.ElapsedSeconds());
+  if (copts.request_features != 0) {
+    const ClientTransferStats ts = client.TransferStats();
+    const double per_query =
+        ids.empty() ? 0.0
+                    : static_cast<double>(ts.bytes_sent + ts.bytes_received) /
+                          static_cast<double>(ids.size());
+    std::printf("wire: granted%s%s%s, sent %llu frames / %llu bytes, "
+                "received %llu frames / %llu bytes, %.1f bytes/query\n",
+                client.features() == 0 ? " none" : "",
+                (client.features() & kFeatureBatch) != 0 ? " batch" : "",
+                (client.features() & kFeatureCompression) != 0 ? " compress"
+                                                               : "",
+                static_cast<unsigned long long>(ts.frames_sent),
+                static_cast<unsigned long long>(ts.bytes_sent),
+                static_cast<unsigned long long>(ts.frames_received),
+                static_cast<unsigned long long>(ts.bytes_received),
+                per_query);
+  }
   if (print_stats) {
     Result<WireStats> stats = client.Stats();
     if (!stats.ok()) {
