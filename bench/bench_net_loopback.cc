@@ -15,11 +15,16 @@
 // with 10k tiny queries under {per-query SUBMIT, BATCH_SUBMIT} x {raw,
 // compressed} and reports bytes/query and q/s per cell — the wire-economy
 // numbers behind the batched/compressed framing — and writes them to
-// BENCH_net.json for machine consumption.
+// BENCH_net.json for machine consumption. A fifth section exercises the
+// graph catalog: round-robin routing over 1 vs 4 hosted graphs and a
+// scatter-gather shard sweep (K = 1/2/8) of one expensive query shape,
+// with per-query counts cross-checked across every cell, written to
+// BENCH_catalog.json.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -378,6 +383,166 @@ void FloodSection() {
   std::printf("wrote BENCH_net.json\n");
 }
 
+// Catalog + scatter-gather section. Two measurements, one JSON file:
+//  * multi-graph serving: G hosted graphs on one pool vs the same load on
+//    a single-graph server — the cost of routing and per-graph services
+//    when the pool, not the catalog, should be the bottleneck;
+//  * shard sweep: K in {1, 2, 8} scan-sliced fan-out of one expensive
+//    query shape, pipelined through one connection — the latency lever
+//    sharding buys on a multi-core pool (and the fan-out overhead it
+//    costs on K > cores).
+// Counts are asserted equal across all cells: sharding and routing are
+// exactness-preserving, so a mismatch here is a bug, not noise.
+struct CatalogCell {
+  std::string label;
+  uint32_t shards = 1;
+  size_t queries = 0;
+  uint64_t embeddings = 0;
+  double seconds = 0;
+};
+
+void CatalogSection() {
+  Hypergraph clique;
+  constexpr uint32_t kVertices = 28;
+  clique.AddVertices(kVertices, 0);
+  for (VertexId i = 0; i < kVertices; ++i) {
+    for (VertexId j = i + 1; j < kVertices; ++j) (void)clique.AddEdge({i, j});
+  }
+  Hypergraph query;  // 3-edge path: heavy enough for slicing to matter
+  query.AddVertices(4, 0);
+  for (VertexId v = 0; v < 3; ++v) (void)query.AddEdge({v, v + 1});
+
+  std::vector<CatalogCell> cells;
+  std::printf("-- graph catalog + shard sweep (28-clique, 3-edge path) --\n");
+
+  // Multi-graph routing: the same budget of queries against 1 vs 4 hosted
+  // copies of the graph, round-robin routed, one client.
+  constexpr size_t kRouted = 64;
+  for (uint32_t num_graphs : {1u, 4u}) {
+    std::vector<NamedGraph> graphs;
+    std::vector<std::string> names;
+    for (uint32_t g = 0; g < num_graphs; ++g) {
+      names.push_back("g" + std::to_string(g));
+      graphs.push_back({names.back(), clique.Clone()});
+    }
+    ServerOptions server_options;
+    server_options.service.parallel.num_threads = 4;
+    MatchServer server(std::move(graphs), server_options);
+    if (!server.Start().ok()) {
+      std::printf("catalog       unavailable on this platform\n");
+      return;
+    }
+    AsyncClientOptions copts;
+    copts.request_features = kFeatureCatalog;
+    MatchClient client(copts);
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+
+    CatalogCell cell;
+    cell.label = "route/" + std::to_string(num_graphs) + "-graph";
+    cell.queries = kRouted;
+    Timer timer;
+    std::vector<uint64_t> ids;
+    ids.reserve(kRouted);
+    for (size_t i = 0; i < kRouted; ++i) {
+      Result<uint64_t> id =
+          client.SubmitTo(names[i % names.size()], query);
+      if (!id.ok()) return;
+      ids.push_back(id.value());
+    }
+    for (uint64_t id : ids) {
+      Result<WireOutcome> reply = client.WaitOutcome(id);
+      if (!reply.ok()) return;
+      cell.embeddings += reply.value().outcome.stats.embeddings;
+    }
+    cell.seconds = timer.ElapsedSeconds();
+    server.Stop();
+    std::printf("%-16s %4zu queries  %8.4fs  %8.1f q/s\n",
+                cell.label.c_str(), cell.queries, cell.seconds,
+                cell.seconds > 0
+                    ? static_cast<double>(cell.queries) / cell.seconds
+                    : 0);
+    cells.push_back(std::move(cell));
+  }
+
+  // Shard sweep: scatter-gather fan-out of every submission.
+  constexpr size_t kSharded = 32;
+  for (uint32_t shards : {1u, 2u, 8u}) {
+    std::vector<NamedGraph> graphs;
+    graphs.push_back({"default", clique.Clone()});
+    ServerOptions server_options;
+    server_options.service.parallel.num_threads = 4;
+    server_options.service.shards = shards;
+    MatchServer server(std::move(graphs), server_options);
+    if (!server.Start().ok()) return;
+    MatchClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+
+    CatalogCell cell;
+    cell.label = "shards/" + std::to_string(shards);
+    cell.shards = shards;
+    cell.queries = kSharded;
+    Timer timer;
+    std::vector<uint64_t> ids;
+    ids.reserve(kSharded);
+    for (size_t i = 0; i < kSharded; ++i) {
+      Result<uint64_t> id = client.Submit(query);
+      if (!id.ok()) return;
+      ids.push_back(id.value());
+    }
+    for (uint64_t id : ids) {
+      Result<WireOutcome> reply = client.WaitOutcome(id);
+      if (!reply.ok()) return;
+      cell.embeddings += reply.value().outcome.stats.embeddings;
+    }
+    cell.seconds = timer.ElapsedSeconds();
+    server.Stop();
+    std::printf("%-16s %4zu queries  %8.4fs  %8.1f q/s\n",
+                cell.label.c_str(), cell.queries, cell.seconds,
+                cell.seconds > 0
+                    ? static_cast<double>(cell.queries) / cell.seconds
+                    : 0);
+    cells.push_back(std::move(cell));
+  }
+
+  // Exactness cross-check: every cell saw the same per-query counts.
+  const uint64_t per_query = cells.empty() || cells[0].queries == 0
+                                 ? 0
+                                 : cells[0].embeddings / cells[0].queries;
+  for (const CatalogCell& cell : cells) {
+    if (cell.queries > 0 && cell.embeddings / cell.queries != per_query) {
+      std::printf("MISMATCH: %s saw %llu embeddings/query (want %llu)\n",
+                  cell.label.c_str(),
+                  static_cast<unsigned long long>(cell.embeddings /
+                                                  cell.queries),
+                  static_cast<unsigned long long>(per_query));
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_catalog.json", "w");
+  if (json == nullptr) {
+    std::printf("(could not write BENCH_catalog.json)\n");
+    return;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"net_loopback_catalog\",\n");
+  std::fprintf(json, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CatalogCell& cell = cells[i];
+    std::fprintf(json,
+                 "    {\"label\": \"%s\", \"shards\": %u, \"queries\": %zu, "
+                 "\"embeddings\": %llu, \"seconds\": %.6f, \"qps\": %.1f}%s\n",
+                 cell.label.c_str(), cell.shards, cell.queries,
+                 static_cast<unsigned long long>(cell.embeddings),
+                 cell.seconds,
+                 cell.seconds > 0
+                     ? static_cast<double>(cell.queries) / cell.seconds
+                     : 0,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_catalog.json\n");
+}
+
 int Main(int argc, char** argv) {
   const auto names = DatasetArgs(argc, argv, {"CP"});
   for (const std::string& name : names) {
@@ -450,6 +615,7 @@ int Main(int argc, char** argv) {
   DeliveryLatencySection();
   ConcurrentSweepSection();
   FloodSection();
+  CatalogSection();
   return 0;
 }
 

@@ -1,0 +1,92 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/signature.h"
+
+namespace hgmatch {
+
+std::vector<uint32_t> AssignShards(const Hypergraph& h, uint32_t num_shards) {
+  const uint32_t k = std::max<uint32_t>(1, num_shards);
+  std::vector<uint32_t> assign(h.NumEdges(), 0);
+  if (k == 1) return assign;
+  // Group hyperedges by partition key; iterating edges in id order keeps
+  // each group ascending, so the slices below are contiguous id ranges
+  // within their table.
+  std::unordered_map<Signature, std::vector<EdgeId>, SignatureHash> tables;
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    tables[SignatureKeyOf(h, e)].push_back(e);
+  }
+  for (const auto& [key, edges] : tables) {
+    const uint64_t n = edges.size();
+    for (uint64_t s = 0; s < k; ++s) {
+      const uint64_t lo = n * s / k;
+      const uint64_t hi = n * (s + 1) / k;
+      for (uint64_t i = lo; i < hi; ++i) {
+        assign[edges[i]] = static_cast<uint32_t>(s);
+      }
+    }
+  }
+  return assign;
+}
+
+std::vector<Hypergraph> SplitHypergraph(const Hypergraph& h,
+                                        uint32_t num_shards) {
+  const uint32_t k = std::max<uint32_t>(1, num_shards);
+  const std::vector<uint32_t> assign = AssignShards(h, k);
+  std::vector<Hypergraph> parts(k);
+  for (Hypergraph& part : parts) {
+    for (VertexId v = 0; v < h.NumVertices(); ++v) {
+      part.AddVertex(h.label(v));
+    }
+  }
+  for (EdgeId e = 0; e < h.NumEdges(); ++e) {
+    // The source is a valid simple hypergraph, so re-adding its edges
+    // into a part with the same vertex ids cannot fail.
+    (void)parts[assign[e]].AddEdge(h.edge(e), h.edge_label(e));
+  }
+  return parts;
+}
+
+Result<Hypergraph> MergeShards(const std::vector<Hypergraph>& parts) {
+  Hypergraph merged;
+  if (parts.empty()) return merged;
+  const Hypergraph& first = parts[0];
+  for (size_t p = 1; p < parts.size(); ++p) {
+    if (parts[p].NumVertices() != first.NumVertices()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(p) + " has " +
+          std::to_string(parts[p].NumVertices()) + " vertices, shard 0 has " +
+          std::to_string(first.NumVertices()));
+    }
+    for (VertexId v = 0; v < first.NumVertices(); ++v) {
+      if (parts[p].label(v) != first.label(v)) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(p) + " disagrees with shard 0 on the "
+            "label of vertex " + std::to_string(v));
+      }
+    }
+  }
+  for (VertexId v = 0; v < first.NumVertices(); ++v) {
+    merged.AddVertex(first.label(v));
+  }
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (EdgeId e = 0; e < parts[p].NumEdges(); ++e) {
+      const size_t before = merged.NumEdges();
+      Result<EdgeId> added = merged.AddEdge(parts[p].edge(e),
+                                            parts[p].edge_label(e));
+      if (!added.ok()) return added.status();
+      if (merged.NumEdges() == before) {
+        return Status::InvalidArgument(
+            "shards overlap: hyperedge " + std::to_string(e) + " of shard " +
+            std::to_string(p) + " already present");
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,50 @@
+#ifndef HGMATCH_CORE_SHARD_H_
+#define HGMATCH_CORE_SHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hypergraph.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Storage sharding of a data hypergraph: split one hypergraph into K
+/// parts so each part can be indexed (and served) independently, with
+/// every signature table kept intact *per part* — a part's hyperedges are
+/// grouped by the same SignatureKeyOf partition key as the full index, so
+/// per-shard candidate generation is unchanged (Section IV.B).
+///
+/// The split is per-table contiguous slicing: hyperedges of each
+/// signature table (ascending edge ids) are cut into K near-equal
+/// contiguous ranges, and part k receives the k-th range of *every*
+/// table. All vertices (ids and labels) are replicated into every part —
+/// hyperedges reference vertices by id, and vertex storage is small next
+/// to incidence lists. Consequences:
+///  * every signature present in the full graph is present (possibly
+///    empty) in each part's range computation, so no table is lost;
+///  * edge ids renumber within a part; matching semantics depend only on
+///    (vertex set, label) content, so results are unaffected;
+///  * the union of the parts' hyperedge sets is exactly the original
+///    hyperedge set, and parts are pairwise edge-disjoint.
+
+/// Assigns each hyperedge of `h` to one of `num_shards` parts by slicing
+/// each signature table contiguously. Returns a vector of NumEdges()
+/// entries in [0, num_shards). num_shards == 0 is treated as 1.
+std::vector<uint32_t> AssignShards(const Hypergraph& h, uint32_t num_shards);
+
+/// Splits `h` into `num_shards` parts per AssignShards. Each part carries
+/// every vertex of `h` (identical ids and labels) and its slice of the
+/// hyperedges (with their labels).
+std::vector<Hypergraph> SplitHypergraph(const Hypergraph& h,
+                                        uint32_t num_shards);
+
+/// Reassembles the union of `parts`. All parts must agree on the vertex
+/// set (count and labels); the parts' hyperedge sets must be pairwise
+/// disjoint (as SplitHypergraph produces). Fails with InvalidArgument on
+/// a vertex mismatch or an overlapping hyperedge.
+Result<Hypergraph> MergeShards(const std::vector<Hypergraph>& parts);
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_CORE_SHARD_H_

@@ -142,13 +142,21 @@ Status AsyncMatchClient::SendFrameNegotiated(FrameType type,
   return SendEncoded(frame);
 }
 
-Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph& query,
+Result<uint64_t> AsyncMatchClient::Submit(const std::string& graph,
+                                          const Hypergraph& query,
                                           const SubmitOptions& options,
                                           OutcomeCallback callback) {
   uint64_t id;
+  bool with_graph;
   {
     std::unique_lock<std::mutex> lock(state_mutex_);
     if (fd_ < 0) return Status::InvalidArgument("not connected");
+    with_graph = (features_ & kFeatureCatalog) != 0;
+    if (!graph.empty() && !with_graph) {
+      return Status::InvalidArgument(
+          "graph routing requires the catalog feature (request "
+          "kFeatureCatalog at Connect)");
+    }
     if (options_.max_inflight > 0) {
       cv_.wait(lock, [this] {
         return pending_.size() < options_.max_inflight || !failure_.ok() ||
@@ -167,7 +175,8 @@ Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph& query,
   submit.weight = options.weight;
   submit.timeout_seconds = options.timeout_seconds;
   submit.limit = options.limit;
-  const std::string payload = EncodeSubmit(submit, query);
+  submit.graph = graph;
+  const std::string payload = EncodeSubmit(submit, query, with_graph);
   if (payload.size() > kMaxWirePayload) {
     // Fail just this request locally: sending it would make the server
     // error-close the connection, killing every pipelined sibling.
@@ -194,13 +203,20 @@ Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph& query,
 }
 
 Result<std::vector<uint64_t>> AsyncMatchClient::SubmitBatch(
-    const std::vector<const Hypergraph*>& queries,
+    const std::string& graph, const std::vector<const Hypergraph*>& queries,
     const SubmitOptions& options, OutcomeCallback callback) {
   bool batched;
+  bool with_graph;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (fd_ < 0) return Status::InvalidArgument("not connected");
     batched = (features_ & kFeatureBatch) != 0;
+    with_graph = (features_ & kFeatureCatalog) != 0;
+  }
+  if (!graph.empty() && !with_graph) {
+    return Status::InvalidArgument(
+        "graph routing requires the catalog feature (request "
+        "kFeatureCatalog at Connect)");
   }
   std::vector<uint64_t> ids;
   ids.reserve(queries.size());
@@ -208,7 +224,7 @@ Result<std::vector<uint64_t>> AsyncMatchClient::SubmitBatch(
     // The server never granted batching: same requests, same callbacks,
     // one SUBMIT frame each.
     for (const Hypergraph* query : queries) {
-      Result<uint64_t> id = Submit(*query, options, callback);
+      Result<uint64_t> id = Submit(graph, *query, options, callback);
       if (!id.ok()) return id.status();
       ids.push_back(id.value());
     }
@@ -217,7 +233,8 @@ Result<std::vector<uint64_t>> AsyncMatchClient::SubmitBatch(
 
   // Pre-encode every entry with a placeholder request id; ids are only
   // assigned under the window wait below, chunk by chunk, and the id is
-  // the first 8 bytes of the SUBMIT payload — patched in place.
+  // the first 8 bytes of the SUBMIT payload — patched in place (the graph
+  // name sits after the fixed fields, so the id offset is unaffected).
   WireSubmit fields;
   fields.request_id = 0;
   fields.tenant_id = options.tenant_id;
@@ -225,10 +242,11 @@ Result<std::vector<uint64_t>> AsyncMatchClient::SubmitBatch(
   fields.weight = options.weight;
   fields.timeout_seconds = options.timeout_seconds;
   fields.limit = options.limit;
+  fields.graph = graph;
   std::vector<std::string> entries;
   entries.reserve(queries.size());
   for (const Hypergraph* query : queries) {
-    entries.push_back(EncodeSubmit(fields, *query));
+    entries.push_back(EncodeSubmit(fields, *query, with_graph));
     if (entries.back().size() > kMaxWirePayload) {
       return Status::InvalidArgument(
           "batch entry exceeds the wire payload bound (" +
@@ -345,6 +363,48 @@ Result<WireStats> AsyncMatchClient::Stats() {
 
 Status AsyncMatchClient::RequestShutdown() {
   return SendFrame(FrameType::kShutdown, "");
+}
+
+Result<WireCatalogReply> AsyncMatchClient::CatalogRoundTrip(
+    FrameType type, const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if ((features_ & kFeatureCatalog) == 0) {
+      return Status::InvalidArgument(
+          "catalog verbs require the catalog feature (request "
+          "kFeatureCatalog at Connect)");
+    }
+  }
+  const Status sent = SendFrame(type, payload);
+  if (!sent.ok()) return sent;
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  // Replies come back in send order (all three verbs answer with one
+  // kCatalogReply), so FIFO matching is exact, as with Stats().
+  cv_.wait(lock, [this] {
+    return !catalog_replies_.empty() || !failure_.ok() || closed_;
+  });
+  if (!catalog_replies_.empty()) {
+    WireCatalogReply reply = std::move(catalog_replies_.front());
+    catalog_replies_.pop_front();
+    return reply;
+  }
+  return failure_.ok() ? Status::InvalidArgument("client closed") : failure_;
+}
+
+Result<WireCatalogReply> AsyncMatchClient::ListGraphs() {
+  return CatalogRoundTrip(FrameType::kListGraphs, "");
+}
+
+Result<WireCatalogReply> AsyncMatchClient::LoadGraph(const std::string& name,
+                                                     const std::string& path) {
+  return CatalogRoundTrip(FrameType::kLoadGraph,
+                          EncodeCatalogRequest({name, path}));
+}
+
+Result<WireCatalogReply> AsyncMatchClient::UnloadGraph(
+    const std::string& name) {
+  return CatalogRoundTrip(FrameType::kUnloadGraph,
+                          EncodeCatalogRequest({name, ""}));
 }
 
 void AsyncMatchClient::Close() {
@@ -519,6 +579,17 @@ bool AsyncMatchClient::HandleServerFrame(FrameType type,
       cv_.notify_all();
       return true;
     }
+    case FrameType::kCatalogReply: {
+      Result<WireCatalogReply> reply = DecodeCatalogReply(payload);
+      if (!reply.ok()) {
+        FailAll(reply.status());
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      catalog_replies_.push_back(std::move(reply).value());
+      cv_.notify_all();
+      return true;
+    }
     case FrameType::kHelloReply: {
       Result<uint32_t> granted = DecodeFeatures(payload);
       if (!granted.ok()) {
@@ -550,14 +621,29 @@ bool AsyncMatchClient::connected() const { return false; }
 Status AsyncMatchClient::SendFrame(FrameType, const std::string&) {
   return Status::Internal("hgmatch net requires POSIX sockets");
 }
-Result<uint64_t> AsyncMatchClient::Submit(const Hypergraph&,
+Result<uint64_t> AsyncMatchClient::Submit(const std::string&,
+                                          const Hypergraph&,
                                           const SubmitOptions&,
                                           OutcomeCallback) {
   return Status::Internal("hgmatch net requires POSIX sockets");
 }
 Result<std::vector<uint64_t>> AsyncMatchClient::SubmitBatch(
-    const std::vector<const Hypergraph*>&, const SubmitOptions&,
-    OutcomeCallback) {
+    const std::string&, const std::vector<const Hypergraph*>&,
+    const SubmitOptions&, OutcomeCallback) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Result<WireCatalogReply> AsyncMatchClient::CatalogRoundTrip(
+    FrameType, const std::string&) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Result<WireCatalogReply> AsyncMatchClient::ListGraphs() {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Result<WireCatalogReply> AsyncMatchClient::LoadGraph(const std::string&,
+                                                     const std::string&) {
+  return Status::Internal("hgmatch net requires POSIX sockets");
+}
+Result<WireCatalogReply> AsyncMatchClient::UnloadGraph(const std::string&) {
   return Status::Internal("hgmatch net requires POSIX sockets");
 }
 uint32_t AsyncMatchClient::features() const { return 0; }

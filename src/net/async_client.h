@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/hypergraph.h"
@@ -27,12 +28,13 @@ struct AsyncClientOptions {
   /// unbounded work into a slow server. 0 = unbounded.
   uint32_t max_inflight = 1024;
 
-  /// Feature bits (kFeatureBatch | kFeatureCompression) to request via a
-  /// kHello exchange at Connect(). The default 0 sends no HELLO at all —
-  /// the stream is then byte-identical to the pre-HELLO protocol, so the
-  /// default client interoperates with servers of any age. Requesting
-  /// features against a pre-HELLO server fails Connect() (that server
-  /// answers the unknown frame with kError): opting in is explicit.
+  /// Feature bits (kFeatureBatch | kFeatureCompression | kFeatureCatalog)
+  /// to request via a kHello exchange at Connect(). The default 0 sends
+  /// no HELLO at all — the stream is then byte-identical to the pre-HELLO
+  /// protocol, so the default client interoperates with servers of any
+  /// age. Requesting features against a pre-HELLO server fails Connect()
+  /// (that server answers the unknown frame with kError): opting in is
+  /// explicit.
   uint32_t request_features = 0;
 };
 
@@ -110,6 +112,16 @@ class AsyncMatchClient {
   /// ignored (embeddings do not cross the wire; counts and stats do).
   Result<uint64_t> Submit(const Hypergraph& query,
                           const SubmitOptions& options,
+                          OutcomeCallback callback) {
+    return Submit("", query, options, std::move(callback));
+  }
+
+  /// Submit routed to a named graph in the server's catalog (empty =
+  /// default graph). Naming a graph requires kFeatureCatalog to have been
+  /// granted at Connect(); an unknown graph comes back as a
+  /// QueryStatus::kRejected outcome with reject_reason kUnknownGraph.
+  Result<uint64_t> Submit(const std::string& graph, const Hypergraph& query,
+                          const SubmitOptions& options,
                           OutcomeCallback callback);
 
   /// Submits many queries sharing one options/callback pair, coalescing
@@ -121,6 +133,15 @@ class AsyncMatchClient {
   /// Submit(). Falls back to per-query SUBMIT frames when the server did
   /// not grant kFeatureBatch (same ids, same callbacks, more frames).
   Result<std::vector<uint64_t>> SubmitBatch(
+      const std::vector<const Hypergraph*>& queries,
+      const SubmitOptions& options, OutcomeCallback callback) {
+    return SubmitBatch("", queries, options, std::move(callback));
+  }
+
+  /// SubmitBatch routed to a named graph (empty = default graph; needs
+  /// kFeatureCatalog when non-empty).
+  Result<std::vector<uint64_t>> SubmitBatch(
+      const std::string& graph,
       const std::vector<const Hypergraph*>& queries,
       const SubmitOptions& options, OutcomeCallback callback);
 
@@ -143,6 +164,18 @@ class AsyncMatchClient {
   /// Asks the server process to shut down (needs the server to run with
   /// allow_remote_shutdown).
   Status RequestShutdown();
+
+  /// Catalog verbs (block for the kCatalogReply; need kFeatureCatalog).
+  /// Every reply carries the post-verb graph list; a failed verb comes
+  /// back as ok() transport with reply.ok == false and the server's
+  /// message — only transport/protocol trouble is a non-ok Result.
+  Result<WireCatalogReply> ListGraphs();
+  /// Asks the server to index `path` (a file on the *server's*
+  /// filesystem) and serve it as `name` (needs allow_remote_load there).
+  Result<WireCatalogReply> LoadGraph(const std::string& name,
+                                     const std::string& path);
+  /// Removes `name`; in-flight queries of that graph still resolve.
+  Result<WireCatalogReply> UnloadGraph(const std::string& name);
 
   /// Closes the connection and joins the reader thread. Every
   /// still-outstanding callback fires first with a not-ok transport
@@ -168,6 +201,10 @@ class AsyncMatchClient {
   Status SendFrame(FrameType type, const std::string& payload);
   /// SendFrame, compressed when the server granted kFeatureCompression.
   Status SendFrameNegotiated(FrameType type, const std::string& payload);
+  /// Shared body of the catalog verbs: requires kFeatureCatalog, sends
+  /// one frame, parks for the next kCatalogReply (FIFO, like Stats()).
+  Result<WireCatalogReply> CatalogRoundTrip(FrameType type,
+                                            const std::string& payload);
 
   const AsyncClientOptions options_;
 
@@ -186,6 +223,7 @@ class AsyncMatchClient {
   uint64_t pings_sent_ = 0;      // FIFO replies: waiter N parks until
   uint64_t pongs_received_ = 0;  // received >= its ticket N
   std::deque<WireStats> stats_replies_;
+  std::deque<WireCatalogReply> catalog_replies_;
   uint32_t features_ = 0;    // granted by kHelloReply
   bool hello_done_ = false;  // kHelloReply arrived (Connect parks on this)
 

@@ -14,21 +14,35 @@ Status MatchClient::Connect(const std::string& host, uint16_t port) {
 
 Result<uint64_t> MatchClient::Submit(const Hypergraph& query,
                                      const SubmitOptions& options) {
-  return async_.Submit(query, options, [this](const AsyncOutcome& result) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (result.transport.ok()) {
-      ready_.emplace(result.request_id, result.wire);
-    } else if (failure_.ok()) {
-      failure_ = result.transport;
-    }
-    cv_.notify_all();
-  });
+  return SubmitTo("", query, options);
+}
+
+Result<uint64_t> MatchClient::SubmitTo(const std::string& graph,
+                                       const Hypergraph& query,
+                                       const SubmitOptions& options) {
+  return async_.Submit(graph, query, options,
+                       [this](const AsyncOutcome& result) {
+                         std::lock_guard<std::mutex> lock(mutex_);
+                         if (result.transport.ok()) {
+                           ready_.emplace(result.request_id, result.wire);
+                         } else if (failure_.ok()) {
+                           failure_ = result.transport;
+                         }
+                         cv_.notify_all();
+                       });
 }
 
 Result<std::vector<uint64_t>> MatchClient::SubmitBatch(
     const std::vector<const Hypergraph*>& queries,
     const SubmitOptions& options) {
-  return async_.SubmitBatch(queries, options,
+  return SubmitBatchTo("", queries, options);
+}
+
+Result<std::vector<uint64_t>> MatchClient::SubmitBatchTo(
+    const std::string& graph,
+    const std::vector<const Hypergraph*>& queries,
+    const SubmitOptions& options) {
+  return async_.SubmitBatch(graph, queries, options,
                             [this](const AsyncOutcome& result) {
                               std::lock_guard<std::mutex> lock(mutex_);
                               if (result.transport.ok()) {

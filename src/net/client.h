@@ -52,11 +52,26 @@ class MatchClient {
   Result<uint64_t> Submit(const Hypergraph& query,
                           const SubmitOptions& options = {});
 
+  /// Submit routed to a named graph in the server's catalog (empty =
+  /// default graph; naming one requires kFeatureCatalog at Connect).
+  /// An unknown graph resolves as a QueryStatus::kRejected outcome with
+  /// reject_reason kUnknownGraph.
+  Result<uint64_t> SubmitTo(const std::string& graph,
+                            const Hypergraph& query,
+                            const SubmitOptions& options = {});
+
   /// Sends many queries sharing one options block, coalesced into
   /// kBatchSubmit frames when the server granted kFeatureBatch (per-query
   /// SUBMIT frames otherwise). Returns the request ids in input order;
   /// wait for each with WaitOutcome() as usual.
   Result<std::vector<uint64_t>> SubmitBatch(
+      const std::vector<const Hypergraph*>& queries,
+      const SubmitOptions& options = {});
+
+  /// SubmitBatch routed to a named catalog graph (empty = default graph;
+  /// unknown names resolve per entry as kRejected/kUnknownGraph).
+  Result<std::vector<uint64_t>> SubmitBatchTo(
+      const std::string& graph,
       const std::vector<const Hypergraph*>& queries,
       const SubmitOptions& options = {});
 
@@ -80,6 +95,17 @@ class MatchClient {
 
   /// Fetches the server statistics snapshot.
   Result<WireStats> Stats();
+
+  /// Catalog verbs (require kFeatureCatalog at Connect; see
+  /// AsyncMatchClient for the reply contract).
+  Result<WireCatalogReply> ListGraphs() { return async_.ListGraphs(); }
+  Result<WireCatalogReply> LoadGraph(const std::string& name,
+                                     const std::string& path) {
+    return async_.LoadGraph(name, path);
+  }
+  Result<WireCatalogReply> UnloadGraph(const std::string& name) {
+    return async_.UnloadGraph(name);
+  }
 
   /// Asks the server process to shut down (needs the server to run with
   /// allow_remote_shutdown).

@@ -12,7 +12,42 @@ namespace {
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kSubmit) &&
-         type <= static_cast<uint8_t>(FrameType::kCompressed);
+         type <= static_cast<uint8_t>(FrameType::kCatalogReply);
+}
+
+// Length-prefixed string: varint byte count, then the bytes.
+void AppendString(std::string_view s, std::string* out) {
+  AppendVarint(s.size(), out);
+  out->append(s);
+}
+
+// Returns false (leaving *out untouched) on truncation; the caller folds
+// that into its frame-level Corruption status.
+bool ReadString(ByteReader& r, std::string* out) {
+  const uint64_t bytes = ReadVarint(r);
+  if (!r.ok() || bytes > r.remaining()) return false;
+  out->assign(r.rest().substr(0, bytes));
+  r.Skip(bytes);
+  return true;
+}
+
+void AppendGraphStats(const WireGraphStats& g, std::string* payload) {
+  AppendString(g.name, payload);
+  AppendValue<uint8_t>(g.is_default ? 1 : 0, payload);
+  AppendValue<uint64_t>(g.queries, payload);
+  AppendValue<uint64_t>(g.live_tickets, payload);
+  AppendValue<uint64_t>(g.index_bytes, payload);
+  AppendValue<uint32_t>(g.shards, payload);
+}
+
+bool ReadGraphStats(ByteReader& r, WireGraphStats* g) {
+  if (!ReadString(r, &g->name)) return false;
+  g->is_default = r.ReadValue<uint8_t>() != 0;
+  g->queries = r.ReadValue<uint64_t>();
+  g->live_tickets = r.ReadValue<uint64_t>();
+  g->index_bytes = r.ReadValue<uint64_t>();
+  g->shards = r.ReadValue<uint32_t>();
+  return r.ok();
 }
 
 }  // namespace
@@ -25,11 +60,12 @@ void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
   out->append(payload);
 }
 
-std::string EncodeSubmit(const WireSubmit& submit) {
-  return EncodeSubmit(submit, submit.query);
+std::string EncodeSubmit(const WireSubmit& submit, bool with_graph) {
+  return EncodeSubmit(submit, submit.query, with_graph);
 }
 
-std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query) {
+std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query,
+                         bool with_graph) {
   std::string payload;
   AppendValue<uint64_t>(fields.request_id, &payload);
   AppendValue<uint32_t>(fields.tenant_id, &payload);
@@ -37,11 +73,14 @@ std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query) {
   AppendValue<double>(fields.weight, &payload);
   AppendValue<double>(fields.timeout_seconds, &payload);
   AppendValue<uint64_t>(fields.limit, &payload);
+  // The graph name sits before the query image because the image consumes
+  // the remainder of the payload.
+  if (with_graph) AppendString(fields.graph, &payload);
   AppendHypergraphBinary(query, &payload);
   return payload;
 }
 
-Result<WireSubmit> DecodeSubmit(std::string_view payload) {
+Result<WireSubmit> DecodeSubmit(std::string_view payload, bool with_graph) {
   ByteReader r(payload);
   WireSubmit submit;
   submit.request_id = r.ReadValue<uint64_t>();
@@ -51,6 +90,9 @@ Result<WireSubmit> DecodeSubmit(std::string_view payload) {
   submit.timeout_seconds = r.ReadValue<double>();
   submit.limit = r.ReadValue<uint64_t>();
   if (!r.ok()) return Status::Corruption("truncated SUBMIT frame");
+  if (with_graph && !ReadString(r, &submit.graph)) {
+    return Status::Corruption("truncated SUBMIT frame");
+  }
   const std::string_view image = r.rest();
   Result<Hypergraph> query =
       DecodeHypergraphBinary(image.data(), image.size());
@@ -113,6 +155,8 @@ const char* RejectReasonName(RejectReason reason) {
       return "queue-full";
     case RejectReason::kRateLimited:
       return "rate-limited";
+    case RejectReason::kUnknownGraph:
+      return "unknown-graph";
   }
   return "unknown";
 }
@@ -130,7 +174,7 @@ Result<WireRejected> DecodeRejected(std::string_view payload) {
   rejected.request_id = r.ReadValue<uint64_t>();
   const uint8_t reason = r.ReadValue<uint8_t>();
   if (!r.ok() || r.remaining() != 0 ||
-      reason > static_cast<uint8_t>(RejectReason::kRateLimited)) {
+      reason > static_cast<uint8_t>(RejectReason::kUnknownGraph)) {
     return Status::Corruption("malformed REJECTED frame");
   }
   rejected.reason = static_cast<RejectReason>(reason);
@@ -175,6 +219,10 @@ std::string EncodeStats(const WireStats& stats) {
     AppendValue<uint64_t>(t.bytes_out, &payload);
     AppendValue<uint64_t>(t.rejects, &payload);
   }
+  // Per-graph rows trail the original layout; the decoder treats them as
+  // optional, so a payload from a pre-catalog encoder still parses.
+  AppendVarint(stats.graphs.size(), &payload);
+  for (const WireGraphStats& g : stats.graphs) AppendGraphStats(g, &payload);
   return payload;
 }
 
@@ -195,8 +243,9 @@ Result<WireStats> DecodeStats(std::string_view payload) {
   const uint32_t threads = r.ReadValue<uint32_t>();
   if (!r.ok()) return Status::Corruption("malformed STATS frame");
   // 6 u64 counters per row; the bound keeps a corrupt count from turning
-  // into a giant allocation before the length check can fail.
-  if (r.remaining() != static_cast<size_t>(threads) * 48) {
+  // into a giant allocation before the length check can fail. A lower
+  // bound (not equality) because per-graph rows may trail the IO rows.
+  if (r.remaining() < static_cast<size_t>(threads) * 48) {
     return Status::Corruption("malformed STATS frame");
   }
   stats.io_threads.resize(threads);
@@ -208,10 +257,76 @@ Result<WireStats> DecodeStats(std::string_view payload) {
     t.bytes_out = r.ReadValue<uint64_t>();
     t.rejects = r.ReadValue<uint64_t>();
   }
+  if (!r.ok()) return Status::Corruption("malformed STATS frame");
+  if (r.remaining() > 0) {
+    // Optional graph-row section from a catalog-era server.
+    const uint64_t count = ReadVarint(r);
+    if (!r.ok() || count > r.remaining()) {
+      return Status::Corruption("malformed STATS frame");
+    }
+    stats.graphs.resize(count);
+    for (WireGraphStats& g : stats.graphs) {
+      if (!ReadGraphStats(r, &g)) {
+        return Status::Corruption("malformed STATS frame");
+      }
+    }
+  }
   if (!r.ok() || r.remaining() != 0) {
     return Status::Corruption("malformed STATS frame");
   }
   return stats;
+}
+
+std::string EncodeCatalogRequest(const WireCatalogRequest& request) {
+  std::string payload;
+  AppendString(request.name, &payload);
+  AppendString(request.path, &payload);
+  return payload;
+}
+
+Result<WireCatalogRequest> DecodeCatalogRequest(std::string_view payload) {
+  ByteReader r(payload);
+  WireCatalogRequest request;
+  if (!ReadString(r, &request.name) || !ReadString(r, &request.path) ||
+      r.remaining() != 0) {
+    return Status::Corruption("malformed catalog-request frame");
+  }
+  return request;
+}
+
+std::string EncodeCatalogReply(const WireCatalogReply& reply) {
+  std::string payload;
+  AppendValue<uint8_t>(reply.ok ? 1 : 0, &payload);
+  AppendString(reply.message, &payload);
+  AppendVarint(reply.graphs.size(), &payload);
+  for (const WireGraphStats& g : reply.graphs) AppendGraphStats(g, &payload);
+  return payload;
+}
+
+Result<WireCatalogReply> DecodeCatalogReply(std::string_view payload) {
+  ByteReader r(payload);
+  WireCatalogReply reply;
+  reply.ok = r.ReadValue<uint8_t>() != 0;
+  if (!r.ok() || !ReadString(r, &reply.message)) {
+    return Status::Corruption("malformed CATALOG_REPLY frame");
+  }
+  const uint64_t count = ReadVarint(r);
+  // Every row costs at least its name's length prefix plus the fixed
+  // counters, so a count beyond the remaining bytes is corrupt before
+  // anything is reserved.
+  if (!r.ok() || count > r.remaining()) {
+    return Status::Corruption("malformed CATALOG_REPLY frame");
+  }
+  reply.graphs.resize(count);
+  for (WireGraphStats& g : reply.graphs) {
+    if (!ReadGraphStats(r, &g)) {
+      return Status::Corruption("malformed CATALOG_REPLY frame");
+    }
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("malformed CATALOG_REPLY frame");
+  }
+  return reply;
 }
 
 std::string EncodeFeatures(uint32_t features) {

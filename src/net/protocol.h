@@ -70,6 +70,24 @@ namespace hgmatch {
 ///                               stream that inflates past the declared
 ///                               raw size (or past kMaxWirePayload) is a
 ///                               protocol error, not an allocation.
+///   kLoadGraph  client->server  WireCatalogRequest (graph name + a
+///                               server-side .hgb path): load and index
+///                               the file, serve it under the name.
+///                               Requires kFeatureCatalog.
+///   kUnloadGraph client->server WireCatalogRequest (name; path unused):
+///                               remove the graph once its in-flight
+///                               queries resolve. Requires kFeatureCatalog.
+///   kListGraphs client->server  empty. Requires kFeatureCatalog.
+///   kCatalogReply server->client WireCatalogReply: ok/error of the verb
+///                               plus the current graph list (every
+///                               catalog verb answers with one, so a
+///                               client always sees the post-verb state).
+///
+/// Catalog-negotiated peers (kFeatureCatalog granted) additionally carry
+/// an optional graph name in every SUBMIT/BATCH_SUBMIT entry, routing the
+/// query to a named graph (empty = the server's default graph); peers
+/// that never negotiated keep the original byte stream and always hit the
+/// default graph.
 inline constexpr uint32_t kWireMagic = 0x314e'4748;  // "HGN1"
 
 /// Upper bound on a frame payload (a ~16 MiB query hypergraph is far
@@ -95,11 +113,16 @@ enum class FrameType : uint8_t {
   kBatchSubmit = 13,
   kBatchOutcome = 14,
   kCompressed = 15,
+  kLoadGraph = 16,
+  kUnloadGraph = 17,
+  kListGraphs = 18,
+  kCatalogReply = 19,
 };
 
 /// Feature bits carried by kHello / kHelloReply.
 inline constexpr uint32_t kFeatureCompression = 1u << 0;
 inline constexpr uint32_t kFeatureBatch = 1u << 1;
+inline constexpr uint32_t kFeatureCatalog = 1u << 2;
 
 /// Payloads below this size skip the compression attempt outright: the
 /// wrapper overhead (type byte + raw-size varint + control bytes) eats any
@@ -116,6 +139,10 @@ struct WireSubmit {
   double weight = 1.0;
   double timeout_seconds = -1;              // < 0 = inherit server default
   uint64_t limit = ~uint64_t{0};            // SubmitOptions::kInheritLimit
+  /// Target graph in the server's catalog (empty = default graph). On the
+  /// wire only between catalog-negotiated peers — see the with_graph flag
+  /// of EncodeSubmit/DecodeSubmit.
+  std::string graph;
   Hypergraph query;
 };
 
@@ -126,9 +153,12 @@ enum class RejectReason : uint8_t {
   /// The tenant's token bucket (ServerOptions::max_submits_per_sec) was
   /// empty: the tenant is submitting faster than its allowance.
   kRateLimited = 1,
+  /// The submission named a graph the catalog doesn't host (or one that
+  /// is mid-unload). Not retryable until the graph is (re)loaded.
+  kUnknownGraph = 2,
 };
 
-/// Stable display name: "queue-full", "rate-limited".
+/// Stable display name: "queue-full", "rate-limited", "unknown-graph".
 const char* RejectReasonName(RejectReason reason);
 
 /// One shed submission (kRejected frames).
@@ -159,6 +189,17 @@ struct WireIoThreadStats {
   uint64_t rejects = 0;      // kRejected frames sent by this thread
 };
 
+/// One hosted graph's row in kStatsReply and kCatalogReply — the wire
+/// image of serve/catalog.h's CatalogGraphInfo.
+struct WireGraphStats {
+  std::string name;
+  bool is_default = false;
+  uint64_t queries = 0;       // submissions routed to this graph, ever
+  uint64_t live_tickets = 0;  // submissions not yet resolved
+  uint64_t index_bytes = 0;   // signature-index footprint
+  uint32_t shards = 1;        // scatter-gather fan-out
+};
+
 /// Server statistics snapshot (kStatsReply): whole-server counters, live
 /// scheduler/service gauges, and one row per IO thread — the
 /// Prometheus-style observability surface of the wire front end.
@@ -178,17 +219,42 @@ struct WireStats {
   uint64_t service_retained_slots = 0;  // outcome slots awaiting retrieval
 
   std::vector<WireIoThreadStats> io_threads;  // one row per IO thread
+
+  /// One row per hosted graph (default first). Absent on the wire when
+  /// the server predates the catalog — decoders leave it empty then.
+  std::vector<WireGraphStats> graphs;
+};
+
+/// kLoadGraph / kUnloadGraph payload: the graph name and, for loads, a
+/// path on the *server's* filesystem naming the .hgb file to index.
+struct WireCatalogRequest {
+  std::string name;
+  std::string path;
+};
+
+/// kCatalogReply payload: verb outcome plus the post-verb graph list, so
+/// LIST_GRAPHS and the load/unload acks share one decoder.
+struct WireCatalogReply {
+  bool ok = true;
+  std::string message;  // human-readable error when !ok, else empty
+  std::vector<WireGraphStats> graphs;
 };
 
 /// Appends one complete frame (header + payload) to *out.
 void AppendFrame(FrameType type, std::string_view payload, std::string* out);
 
-std::string EncodeSubmit(const WireSubmit& submit);
+/// with_graph selects the catalog-negotiated SUBMIT layout, which carries
+/// WireSubmit::graph before the query image. It must match on both ends:
+/// pass true exactly when the connection was granted kFeatureCatalog
+/// (batch entries inherit the connection's flag).
+std::string EncodeSubmit(const WireSubmit& submit, bool with_graph = false);
 /// Encode variant that reads the query from the caller instead of
 /// `fields.query` (whose value is ignored), so senders need not clone a
 /// hypergraph into the move-only WireSubmit just to serialise it.
-std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query);
-Result<WireSubmit> DecodeSubmit(std::string_view payload);
+std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query,
+                         bool with_graph = false);
+Result<WireSubmit> DecodeSubmit(std::string_view payload,
+                                bool with_graph = false);
 
 std::string EncodeOutcome(const WireOutcome& outcome);
 Result<WireOutcome> DecodeOutcome(std::string_view payload);
@@ -202,6 +268,13 @@ Result<uint64_t> DecodeRequestId(std::string_view payload);
 
 std::string EncodeStats(const WireStats& stats);
 Result<WireStats> DecodeStats(std::string_view payload);
+
+/// kLoadGraph / kUnloadGraph payloads (unloads leave `path` empty).
+std::string EncodeCatalogRequest(const WireCatalogRequest& request);
+Result<WireCatalogRequest> DecodeCatalogRequest(std::string_view payload);
+
+std::string EncodeCatalogReply(const WireCatalogReply& reply);
+Result<WireCatalogReply> DecodeCatalogReply(std::string_view payload);
 
 /// kHello / kHelloReply payloads are a bare u32 feature bitmap. Unknown
 /// bits are ignored on decode (a newer peer may request features this

@@ -1,5 +1,9 @@
 #include "net/server.h"
 
+#include "io/binary_format.h"
+#include "io/loader.h"
+#include "serve/catalog.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define HGMATCH_HAVE_SOCKETS 1
 #endif
@@ -48,7 +52,13 @@ class MatchServer::Impl {
  public:
   Impl(const IndexedHypergraph& data, const ServerOptions& options)
       : options_(Normalize(options)),
-        service_(data, ServiceOptionsFor(options_, this)) {}
+        catalog_(CatalogOptionsFor(options_, this)),
+        shared_data_(&data) {}
+
+  Impl(std::vector<NamedGraph> graphs, const ServerOptions& options)
+      : options_(Normalize(options)),
+        catalog_(CatalogOptionsFor(options_, this)),
+        preload_(std::move(graphs)) {}
 
   ~Impl() { Stop(); }
 
@@ -57,6 +67,20 @@ class MatchServer::Impl {
       return Status::InvalidArgument(
           "the poll fallback (completion_wakeups=false) predates the "
           "reactor and supports io_threads=1 only");
+    }
+    // Preloads happen here, not at construction, so a duplicate name or
+    // an empty graph list is a reportable Start() failure.
+    if (shared_data_ != nullptr) {
+      Status s = catalog_.LoadShared("default", *shared_data_);
+      if (!s.ok()) return s;
+    }
+    for (NamedGraph& g : preload_) {
+      Status s = catalog_.Load(g.name, std::move(g.data));
+      if (!s.ok()) return s;
+    }
+    preload_.clear();
+    if (catalog_.NumGraphs() == 0) {
+      return Status::InvalidArgument("no graph to serve");
     }
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) return Status::IOError("socket() failed");
@@ -136,17 +160,17 @@ class MatchServer::Impl {
     CloseListen();
     // The loops cancelled whatever was still in flight on exit; those
     // queries resolve asynchronously and their completion hooks touch the
-    // loops' wake pipes. Shut the service down *before* the loops are
+    // loops' wake pipes. Shut the catalog down *before* the loops are
     // destroyed so no straggler hook can write into a recycled descriptor
     // (Shutdown blocks until every outcome resolved and every hook
     // returned; it is idempotent, so the destructor chain repeating it is
     // harmless).
-    service_.Shutdown();
+    catalog_.Shutdown();
   }
 
   WireStats Stats() {
     WireStats s;
-    s.num_threads = service_.num_threads();
+    s.num_threads = catalog_.num_threads();
     s.connections = connections_.load(std::memory_order_relaxed);
     s.submitted = submitted_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_relaxed);
@@ -155,10 +179,11 @@ class MatchServer::Impl {
     s.cancelled_by_disconnect =
         cancelled_by_disconnect_.load(std::memory_order_relaxed);
     s.inflight = inflight_.load(std::memory_order_relaxed);
-    const ServiceGauges gauges = service_.Gauges();
+    const ServiceGauges gauges = catalog_.Gauges();
     s.service_finished = gauges.finished;
     s.service_live_contexts = gauges.live_contexts;
     s.service_retained_slots = gauges.retained_slots;
+    s.graphs = GraphRows();
     s.io_threads.reserve(io_.size());
     for (const auto& t : io_) {
       WireIoThreadStats row;
@@ -179,7 +204,7 @@ class MatchServer::Impl {
     FrameReader reader;
     std::string outbuf;
     size_t out_sent = 0;  // prefix of outbuf already on the wire
-    std::unordered_map<uint64_t, Ticket> inflight;
+    std::unordered_map<uint64_t, CatalogTicket> inflight;
     // Registered readiness mask; tracked so interest updates only hit the
     // poller when they change.
     uint32_t interest = 0;
@@ -250,20 +275,38 @@ class MatchServer::Impl {
   }
 
   // Installs the completion hook that drives outcome delivery: each
-  // finished ticket id is routed to the IO thread owning its connection
-  // and that loop is woken. The hook body is deliberately tiny — it runs
-  // on a pool worker inside the query's finish path.
-  static ServiceOptions ServiceOptionsFor(const ServerOptions& options,
+  // finished catalog-unique ticket id is routed to the IO thread owning
+  // its connection and that loop is woken. The hook body is deliberately
+  // tiny — it runs on a pool worker inside the query's finish path. (The
+  // catalog chains any hook already set on options.service before this
+  // one.)
+  static CatalogOptions CatalogOptionsFor(const ServerOptions& options,
                                           Impl* self) {
-    ServiceOptions service = options.service;
-    if (!options.completion_wakeups) return service;
-    auto chained = std::move(service.on_query_complete);
-    service.on_query_complete = [self, chained](uint64_t ticket_id,
-                                                const QueryOutcome& outcome) {
-      if (chained) chained(ticket_id, outcome);
-      self->OnQueryComplete(ticket_id);
-    };
-    return service;
+    CatalogOptions catalog;
+    catalog.service = options.service;
+    if (options.completion_wakeups) {
+      catalog.on_query_complete = [self](uint64_t unique_id,
+                                         const QueryOutcome&) {
+        self->OnQueryComplete(unique_id);
+      };
+    }
+    return catalog;
+  }
+
+  // Catalog snapshot as wire rows (kStatsReply / kCatalogReply).
+  std::vector<WireGraphStats> GraphRows() {
+    std::vector<WireGraphStats> rows;
+    for (const CatalogGraphInfo& g : catalog_.List()) {
+      WireGraphStats row;
+      row.name = g.name;
+      row.is_default = g.is_default;
+      row.queries = g.queries;
+      row.live_tickets = g.live_tickets;
+      row.index_bytes = g.index_bytes;
+      row.shards = g.shards;
+      rows.push_back(std::move(row));
+    }
+    return rows;
   }
 
   // Routes one finished ticket to the loop owning its connection. A
@@ -391,10 +434,10 @@ class MatchServer::Impl {
     cancelled_by_disconnect_.fetch_add(conn->inflight.size(),
                                        std::memory_order_relaxed);
     inflight_.fetch_sub(conn->inflight.size(), std::memory_order_relaxed);
-    for (auto& [id, ticket] : conn->inflight) {
-      Unregister(ticket.id());
-      t->routes.erase(ticket.id());
-      ticket.Cancel();
+    for (auto& [id, ct] : conn->inflight) {
+      Unregister(ct.unique_id);
+      t->routes.erase(ct.unique_id);
+      catalog_.Cancel(ct);
     }
     conn->inflight.clear();
   }
@@ -417,6 +460,27 @@ class MatchServer::Impl {
         SendFrameNegotiated(t, conn, FrameType::kOutcome, payload);
       }
     }
+  }
+
+  // Every catalog verb answers with one kCatalogReply carrying the verb's
+  // outcome and the post-verb graph list.
+  void SendCatalogReply(IoThread* t, Conn* conn, const Status& status) {
+    WireCatalogReply reply;
+    reply.ok = status.ok();
+    if (!status.ok()) reply.message = status.message();
+    reply.graphs = GraphRows();
+    SendFrameNegotiated(t, conn, FrameType::kCatalogReply,
+                        EncodeCatalogReply(reply));
+  }
+
+  // A submission naming a graph the catalog doesn't host: answered with a
+  // typed kRejected frame so the connection (and the rest of a batch)
+  // survives.
+  void RejectUnknownGraph(IoThread* t, Conn* conn, uint64_t request_id) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    t->st_rejects.fetch_add(1, std::memory_order_relaxed);
+    SendFrame(t, conn, FrameType::kRejected,
+              EncodeRejected({request_id, RejectReason::kUnknownGraph}));
   }
 
   void ProtocolError(IoThread* t, Conn* conn, const std::string& message) {
@@ -445,11 +509,11 @@ class MatchServer::Impl {
   // Post-submit bookkeeping shared by kSubmit and kBatchSubmit: answer
   // inline if already resolved, else register for completion wakeup.
   void TrackTicket(IoThread* t, Conn* conn, uint64_t request_id,
-                   Ticket ticket) {
+                   CatalogTicket ct) {
     // Backpressure sheds, planning errors and mirrors of completed
     // canonicals resolve synchronously — and a fast query may already
     // have finished between Submit and here: answer inline.
-    const QueryOutcome* done = ticket.TryGet();
+    const QueryOutcome* done = ct.ticket.TryGet();
     if (done != nullptr) {
       DeliverOutcome(t, conn, request_id, *done);
       return;
@@ -463,18 +527,18 @@ class MatchServer::Impl {
       // runs after the registration finds the entry and the ready
       // sweep delivers normally; if both paths fire, the inline
       // answer erases the route and the sweep skips the stale id.
-      Register(ticket.id(), t);
-      t->routes[ticket.id()] = {conn, request_id};
-      done = ticket.TryGet();
+      Register(ct.unique_id, t);
+      t->routes[ct.unique_id] = {conn, request_id};
+      done = ct.ticket.TryGet();
       if (done != nullptr) {
-        Unregister(ticket.id());
-        t->routes.erase(ticket.id());
+        Unregister(ct.unique_id);
+        t->routes.erase(ct.unique_id);
         DeliverOutcome(t, conn, request_id, *done);
         return;
       }
     }
     inflight_.fetch_add(1, std::memory_order_relaxed);
-    conn->inflight.emplace(request_id, std::move(ticket));
+    conn->inflight.emplace(request_id, std::move(ct));
   }
 
   // Connection teardown is signalled through conn->draining, never by a
@@ -483,7 +547,8 @@ class MatchServer::Impl {
     t->st_frames_in.fetch_add(1, std::memory_order_relaxed);
     switch (frame.type) {
       case FrameType::kSubmit: {
-        Result<WireSubmit> submit = DecodeSubmit(frame.payload);
+        Result<WireSubmit> submit = DecodeSubmit(
+            frame.payload, (conn->features & kFeatureCatalog) != 0);
         if (!submit.ok()) {
           ProtocolError(t, conn, submit.status().message());
           return;
@@ -504,10 +569,17 @@ class MatchServer::Impl {
                         {ws.request_id, RejectReason::kRateLimited}));
           return;
         }
-        Ticket ticket =
-            service_.Submit(std::move(ws.query), SubmitOptionsFor(ws));
+        Result<CatalogTicket> ct = catalog_.Submit(
+            ws.graph, std::move(ws.query), SubmitOptionsFor(ws));
+        if (!ct.ok()) {
+          // Unknown/unloading graph: a typed reject on a healthy
+          // connection, not a protocol error — the client may simply be
+          // racing an unload and can re-route.
+          RejectUnknownGraph(t, conn, ws.request_id);
+          return;
+        }
         submitted_.fetch_add(1, std::memory_order_relaxed);
-        TrackTicket(t, conn, ws.request_id, std::move(ticket));
+        TrackTicket(t, conn, ws.request_id, std::move(ct).value());
         return;
       }
       case FrameType::kHello: {
@@ -516,10 +588,12 @@ class MatchServer::Impl {
           ProtocolError(t, conn, requested.status().message());
           return;
         }
-        // Batching is always worth granting; compression is an operator
-        // decision (ServerOptions::enable_compression). Unknown requested
-        // bits are simply not granted.
-        uint32_t granted = requested.value() & kFeatureBatch;
+        // Batching and catalog routing are always worth granting;
+        // compression is an operator decision
+        // (ServerOptions::enable_compression). Unknown requested bits are
+        // simply not granted.
+        uint32_t granted =
+            requested.value() & (kFeatureBatch | kFeatureCatalog);
         if (options_.enable_compression) {
           granted |= requested.value() & kFeatureCompression;
         }
@@ -566,7 +640,8 @@ class MatchServer::Impl {
         std::unordered_set<uint64_t> batch_ids;
         batch_ids.reserve(entries.value().size());
         for (const std::string_view entry : entries.value()) {
-          Result<WireSubmit> submit = DecodeSubmit(entry);
+          Result<WireSubmit> submit =
+              DecodeSubmit(entry, (conn->features & kFeatureCatalog) != 0);
           if (!submit.ok()) {
             ProtocolError(t, conn, submit.status().message());
             return;
@@ -580,11 +655,12 @@ class MatchServer::Impl {
           submits.push_back(std::move(submit).value());
         }
         // Rate-limit per entry (the limiter counts submissions, however
-        // framed), then admit the survivors in ONE service pass.
-        std::vector<BatchSubmission> batch;
-        std::vector<uint64_t> request_ids;
-        batch.reserve(submits.size());
-        request_ids.reserve(submits.size());
+        // framed), then admit the survivors per target graph — one
+        // service pass per graph named in the batch (the common batch
+        // names one graph and keeps the single-pass admission).
+        std::vector<std::string> graph_order;
+        std::unordered_map<std::string, std::vector<BatchSubmission>> batch;
+        std::unordered_map<std::string, std::vector<uint64_t>> request_ids;
         for (WireSubmit& ws : submits) {
           if (options_.max_submits_per_sec > 0 &&
               !AllowSubmit(ws.tenant_id)) {
@@ -595,14 +671,26 @@ class MatchServer::Impl {
                           {ws.request_id, RejectReason::kRateLimited}));
             continue;
           }
-          request_ids.push_back(ws.request_id);
-          batch.push_back({std::move(ws.query), SubmitOptionsFor(ws)});
+          if (batch.find(ws.graph) == batch.end()) {
+            graph_order.push_back(ws.graph);
+          }
+          request_ids[ws.graph].push_back(ws.request_id);
+          batch[ws.graph].push_back(
+              {std::move(ws.query), SubmitOptionsFor(ws)});
         }
-        if (batch.empty()) return;
-        std::vector<Ticket> tickets = service_.SubmitBatch(std::move(batch));
-        submitted_.fetch_add(tickets.size(), std::memory_order_relaxed);
-        for (size_t i = 0; i < tickets.size(); ++i) {
-          TrackTicket(t, conn, request_ids[i], std::move(tickets[i]));
+        for (const std::string& graph : graph_order) {
+          std::vector<uint64_t>& ids = request_ids[graph];
+          Result<std::vector<CatalogTicket>> tickets =
+              catalog_.SubmitBatch(graph, std::move(batch[graph]));
+          if (!tickets.ok()) {
+            for (const uint64_t id : ids) RejectUnknownGraph(t, conn, id);
+            continue;
+          }
+          submitted_.fetch_add(tickets.value().size(),
+                               std::memory_order_relaxed);
+          for (size_t i = 0; i < tickets.value().size(); ++i) {
+            TrackTicket(t, conn, ids[i], std::move(tickets.value()[i]));
+          }
         }
         return;
       }
@@ -615,16 +703,16 @@ class MatchServer::Impl {
         auto it = conn->inflight.find(id.value());
         // Unknown ids are ignored: the cancel raced the outcome.
         if (it != conn->inflight.end()) {
-          it->second.Cancel();
+          catalog_.Cancel(it->second);
           // A synchronously resolved cancel (queued query, mirror of a
           // running canonical) is ready right now: answer inline and drop
           // its route so the ready-list sweep cannot answer it again. An
           // unresolved cancel stays registered — the query stops at its
           // next task boundary and delivers through the hook as usual.
-          const QueryOutcome* done = it->second.TryGet();
+          const QueryOutcome* done = it->second.ticket.TryGet();
           if (done != nullptr) {
-            Unregister(it->second.id());
-            t->routes.erase(it->second.id());
+            Unregister(it->second.unique_id);
+            t->routes.erase(it->second.unique_id);
             DeliverOutcome(t, conn, it->first, *done);
             inflight_.fetch_sub(1, std::memory_order_relaxed);
             conn->inflight.erase(it);
@@ -632,6 +720,62 @@ class MatchServer::Impl {
         }
         return;
       }
+      case FrameType::kLoadGraph: {
+        if ((conn->features & kFeatureCatalog) == 0) {
+          ProtocolError(t, conn,
+                        "LOAD_GRAPH frame without negotiated catalog");
+          return;
+        }
+        Result<WireCatalogRequest> req = DecodeCatalogRequest(frame.payload);
+        if (!req.ok()) {
+          ProtocolError(t, conn, req.status().message());
+          return;
+        }
+        if (!options_.allow_remote_load) {
+          SendCatalogReply(t, conn, Status::InvalidArgument(
+                                        "remote graph loading is disabled"));
+          return;
+        }
+        // Read + index on the IO thread: a load stalls this thread's
+        // connections for the duration, which an operator issuing one
+        // accepts; query execution on sibling threads and the pool is
+        // unaffected.
+        Result<Hypergraph> data = LoadHypergraphBinary(req.value().path);
+        if (!data.ok()) {
+          SendCatalogReply(t, conn, data.status());
+          return;
+        }
+        SendCatalogReply(
+            t, conn,
+            catalog_.Load(req.value().name, std::move(data).value()));
+        return;
+      }
+      case FrameType::kUnloadGraph: {
+        if ((conn->features & kFeatureCatalog) == 0) {
+          ProtocolError(t, conn,
+                        "UNLOAD_GRAPH frame without negotiated catalog");
+          return;
+        }
+        Result<WireCatalogRequest> req = DecodeCatalogRequest(frame.payload);
+        if (!req.ok()) {
+          ProtocolError(t, conn, req.status().message());
+          return;
+        }
+        // Non-blocking: the graph stops taking submissions now and is
+        // freed by a later catalog pass once its in-flight tickets
+        // resolve — an IO thread must not sit in a drain wait.
+        SendCatalogReply(t, conn,
+                         catalog_.Unload(req.value().name, /*wait=*/false));
+        return;
+      }
+      case FrameType::kListGraphs:
+        if ((conn->features & kFeatureCatalog) == 0) {
+          ProtocolError(t, conn,
+                        "LIST_GRAPHS frame without negotiated catalog");
+          return;
+        }
+        SendCatalogReply(t, conn, Status::OK());
+        return;
       case FrameType::kPing:
         SendFrame(t, conn, FrameType::kPong, frame.payload);
         return;
@@ -814,7 +958,7 @@ class MatchServer::Impl {
       if (it == conn->inflight.end()) continue;
       // The hook fires strictly after the outcome is retrievable, so this
       // TryGet cannot miss.
-      const QueryOutcome* done = it->second.TryGet();
+      const QueryOutcome* done = it->second.ticket.TryGet();
       if (done == nullptr) continue;
       DeliverOutcome(t, conn, request_id, *done);
       inflight_.fetch_sub(1, std::memory_order_relaxed);
@@ -828,11 +972,11 @@ class MatchServer::Impl {
   // finished-query counter so idle passes stay cheap. Snapshot before
   // sweeping: a finish racing the sweep re-arms the next pass.
   void DeliverFinished(IoThread* t) {
-    const uint64_t finished_now = service_.finished_queries();
+    const uint64_t finished_now = catalog_.finished_queries();
     if (finished_now == t->finished_seen) return;
     for (auto& conn : t->conns) {
       for (auto it = conn->inflight.begin(); it != conn->inflight.end();) {
-        const QueryOutcome* done = it->second.TryGet();
+        const QueryOutcome* done = it->second.ticket.TryGet();
         if (done == nullptr) {
           ++it;
           continue;
@@ -988,7 +1132,11 @@ class MatchServer::Impl {
   }
 
   const ServerOptions options_;
-  MatchService service_;
+  GraphCatalog catalog_;
+  // Graphs waiting for Start(): either the historical borrowed index
+  // (single-graph constructor) or a list of owned graphs to index.
+  const IndexedHypergraph* shared_data_ = nullptr;
+  std::vector<NamedGraph> preload_;
 
   // Owned by IO thread 0's loop after Start(); main-thread access only
   // before launch (Start) and after join (Stop).
@@ -1031,6 +1179,7 @@ class MatchServer::Impl {
 class MatchServer::Impl {
  public:
   Impl(const IndexedHypergraph&, const ServerOptions&) {}
+  Impl(std::vector<NamedGraph>, const ServerOptions&) {}
   Status Start() {
     return Status::Internal("hgmatch net requires POSIX sockets");
   }
@@ -1046,6 +1195,10 @@ class MatchServer::Impl {
 MatchServer::MatchServer(const IndexedHypergraph& data,
                          const ServerOptions& options)
     : impl_(std::make_unique<Impl>(data, options)) {}
+
+MatchServer::MatchServer(std::vector<NamedGraph> graphs,
+                         const ServerOptions& options)
+    : impl_(std::make_unique<Impl>(std::move(graphs), options)) {}
 
 MatchServer::~MatchServer() = default;
 

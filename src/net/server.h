@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/indexed_hypergraph.h"
 #include "net/protocol.h"
@@ -21,9 +23,12 @@ struct ServerOptions {
   /// Listen port; 0 picks an ephemeral port (read it back with port()).
   uint16_t port = 0;
 
-  /// The backing MatchService configuration. Backpressure lives here:
+  /// The backing service configuration, shared by every hosted graph
+  /// (the catalog builds one MatchService per graph from this template,
+  /// all on one scheduler pool). Backpressure lives here:
   /// service.max_queued_queries bounds the admission backlog, and the
-  /// server relays each shed submission as a kRejected frame.
+  /// server relays each shed submission as a kRejected frame. Sharded
+  /// scatter-gather execution is service.shards.
   ServiceOptions service;
 
   /// Reactor IO threads: each runs its own epoll loop and owns the full
@@ -58,6 +63,14 @@ struct ServerOptions {
   /// scripted runs (the CLI smoke test drives it).
   bool allow_remote_shutdown = false;
 
+  /// Honour kLoadGraph frames, which name a file on the *server's*
+  /// filesystem to index and serve. Off by default for the same reason
+  /// as remote shutdown: a connected client gets a server-side
+  /// capability (filesystem reads, memory growth) beyond query traffic.
+  /// UNLOAD_GRAPH and LIST_GRAPHS are always honoured for
+  /// catalog-negotiated peers.
+  bool allow_remote_load = false;
+
   /// Grant kFeatureCompression to clients that request it via kHello
   /// (`hgmatch serve --compress`): both directions may then wrap frame
   /// payloads in kCompressed. Off by default — compression trades CPU on
@@ -82,12 +95,28 @@ struct ServerOptions {
   bool completion_wakeups = true;
 };
 
-/// A multi-threaded epoll reactor over one MatchService: the wire front
+/// One graph preloaded into the server's catalog at construction time
+/// (`hgmatch serve --graph name=path`, repeatable). The first entry is
+/// the default graph — the one un-routed submissions hit.
+struct NamedGraph {
+  std::string name;
+  Hypergraph data;
+};
+
+/// A multi-threaded epoll reactor over a GraphCatalog: the wire front
 /// end that turns the library into a servable system. An acceptor (IO
 /// thread 0 owns the listening socket) distributes incoming connections
 /// across ServerOptions::io_threads event loops, pinned by fd hash; query
-/// execution itself runs on the service's worker pool, so a slow client
-/// never blocks matching and a heavy query never blocks the protocol.
+/// execution itself runs on the catalog's shared worker pool, so a slow
+/// client never blocks matching and a heavy query never blocks the
+/// protocol.
+///
+/// The catalog hosts any number of named graphs behind one pool.
+/// Catalog-negotiated peers (kFeatureCatalog via HELLO) route each
+/// submission by graph name, manage graphs with
+/// LOAD_GRAPH/UNLOAD_GRAPH/LIST_GRAPHS, and see per-graph STATS rows;
+/// peers that never negotiated speak the original byte stream and always
+/// hit the default graph — old clients interoperate unchanged.
 ///
 /// Thread-ownership invariants (the reason this design needs no
 /// per-connection locks):
@@ -129,8 +158,14 @@ struct ServerOptions {
 /// on unsupported platforms.
 class MatchServer {
  public:
-  /// `data` must outlive the server.
+  /// Serves `data` as the single catalog graph "default". `data` must
+  /// outlive the server. The historical single-graph constructor; no
+  /// copy, no re-index.
   MatchServer(const IndexedHypergraph& data, const ServerOptions& options);
+
+  /// Serves `graphs` (indexed at Start(); the first is the default).
+  /// Duplicate or empty names fail Start(), not construction.
+  MatchServer(std::vector<NamedGraph> graphs, const ServerOptions& options);
 
   /// Stops and joins (cancelling in-flight queries of open connections).
   ~MatchServer();

@@ -57,7 +57,14 @@ struct QueryContext {
   uint32_t index = 0;
   QuerySlot* slot = nullptr;  // owning slot (node-stable in the slot map)
   const QueryPlan* plan = nullptr;
+  // The data graph this query runs against — the pool default or the
+  // per-submission graph of the data-graph Submit overload.
+  const IndexedHypergraph* data = nullptr;
   const EdgeSet* scan_table = nullptr;  // first-step signature table
+  // Slice of the first-step table this query seeds (SubmitOptions::
+  // scan_slice/scan_slices); [0, scan_table->size()) when unsliced.
+  uint32_t scan_lo = 0;
+  uint32_t scan_hi = 0;
   EmbeddingSink* sink = nullptr;
   std::mutex sink_mutex;
 
@@ -135,8 +142,8 @@ struct QuerySlot {
 // executes a task of plan p spends nothing on p.
 class Scheduler::Impl {
  public:
-  Impl(const IndexedHypergraph& data, const SchedulerOptions& options)
-      : data_(data),
+  Impl(const IndexedHypergraph* data, const SchedulerOptions& options)
+      : default_data_(data),
         options_(options),
         num_threads_(options.parallel.num_threads != 0
                          ? options.parallel.num_threads
@@ -160,11 +167,13 @@ class Scheduler::Impl {
     Join();
   }
 
-  uint32_t Submit(const QueryPlan* plan, const SubmitOptions& so) {
+  uint32_t Submit(const QueryPlan* plan, const IndexedHypergraph* data,
+                  const SubmitOptions& so) {
     // Compiler-stamped plans only: uid 0 would collide with the workers'
     // empty-expander-cache sentinel and alias distinct plans in the
     // uid-keyed expander maps.
     assert(plan->uid != 0 && "submit plans built by BuildQueryPlan");
+    assert(data != nullptr && "a data-less pool needs per-submit data");
     uint32_t index;
     bool notify = false;
     std::vector<PendingCompletion> fire;
@@ -192,11 +201,25 @@ class Scheduler::Impl {
                        ? options_.parallel.limit
                        : so.limit;
       ctx->completion = so.completion;
+      ctx->data = data;
       const Partition* first =
-          plan->NumSteps() > 0 ? data_.FindPartition(plan->steps[0].signature)
+          plan->NumSteps() > 0 ? data->FindPartition(plan->steps[0].signature)
                                : nullptr;
       if (first != nullptr && !first->edges().empty()) {
-        ctx->scan_table = &first->edges();
+        // Clamp the requested slice into [0, table size); an empty slice
+        // (every table smaller than scan_slices leaves some slices empty)
+        // behaves exactly like an empty table: done at admission with zero
+        // stats.
+        const uint64_t total = first->edges().size();
+        const uint64_t slices = std::max<uint32_t>(1, so.scan_slices);
+        const uint64_t slice = std::min<uint64_t>(so.scan_slice, slices - 1);
+        const uint64_t lo = total * slice / slices;
+        const uint64_t hi = total * (slice + 1) / slices;
+        if (lo < hi) {
+          ctx->scan_table = &first->edges();
+          ctx->scan_lo = static_cast<uint32_t>(lo);
+          ctx->scan_hi = static_cast<uint32_t>(hi);
+        }
       }
       QueryContext* raw = ctx.get();
       slot.ctx = std::move(ctx);
@@ -448,6 +471,8 @@ class Scheduler::Impl {
 
   uint32_t num_threads() const { return num_threads_; }
 
+  const IndexedHypergraph* default_data() const { return default_data_; }
+
  private:
   struct Worker {
     Worker(uint32_t id, uint64_t seed) : id(id), rng(seed) {}
@@ -494,7 +519,9 @@ class Scheduler::Impl {
     const uint64_t uid = ctx->plan->uid;
     if (w->expander_key != uid) {
       auto& slot = w->expanders[uid];
-      if (slot == nullptr) slot = std::make_unique<Expander>(data_, *ctx->plan);
+      if (slot == nullptr) {
+        slot = std::make_unique<Expander>(*ctx->data, *ctx->plan);
+      }
       w->expander_key = uid;
       w->expander_cache = slot.get();
     }
@@ -817,12 +844,14 @@ class Scheduler::Impl {
       }
       ctx->seeded = true;
       ++inflight_;
-      const uint64_t total = ctx->scan_table->size();
+      // Seed only the query's slice of the table (the whole table when
+      // unsliced); SCAN task ranges are absolute table indices.
+      const uint64_t total = ctx->scan_hi - ctx->scan_lo;
       const uint64_t chunk = (total + num_threads_ - 1) / num_threads_;
       for (uint32_t w = 0; w < num_threads_; ++w) {
-        const uint64_t lo = static_cast<uint64_t>(w) * chunk;
-        if (lo >= total) break;
-        const uint64_t hi = std::min<uint64_t>(lo + chunk, total);
+        const uint64_t lo = ctx->scan_lo + static_cast<uint64_t>(w) * chunk;
+        if (lo >= ctx->scan_hi) break;
+        const uint64_t hi = std::min<uint64_t>(lo + chunk, ctx->scan_hi);
         Task* t = Task::NewScan(ctx, static_cast<uint32_t>(lo),
                                 static_cast<uint32_t>(hi));
         if (!threads_running_) {
@@ -1071,7 +1100,8 @@ class Scheduler::Impl {
     }
   }
 
-  const IndexedHypergraph& data_;
+  // Pool-default data graph; null for a shared (per-submit data) pool.
+  const IndexedHypergraph* const default_data_;
   const SchedulerOptions options_;
   const uint32_t num_threads_;
   Deadline batch_deadline_;
@@ -1137,19 +1167,28 @@ class Scheduler::Impl {
 
 Scheduler::Scheduler(const IndexedHypergraph& data,
                      const SchedulerOptions& options)
-    : impl_(std::make_unique<Impl>(data, options)) {}
+    : impl_(std::make_unique<Impl>(&data, options)) {}
+
+Scheduler::Scheduler(const SchedulerOptions& options)
+    : impl_(std::make_unique<Impl>(nullptr, options)) {}
 
 Scheduler::~Scheduler() = default;
 
 uint32_t Scheduler::Submit(const QueryPlan* plan,
                            const SubmitOptions& options) {
-  return impl_->Submit(plan, options);
+  return impl_->Submit(plan, impl_->default_data(), options);
+}
+
+uint32_t Scheduler::Submit(const QueryPlan* plan,
+                           const IndexedHypergraph& data,
+                           const SubmitOptions& options) {
+  return impl_->Submit(plan, &data, options);
 }
 
 uint32_t Scheduler::Submit(const QueryPlan* plan, EmbeddingSink* sink) {
   SubmitOptions options;
   options.sink = sink;
-  return impl_->Submit(plan, options);
+  return impl_->Submit(plan, impl_->default_data(), options);
 }
 
 void Scheduler::Start() { impl_->Start(); }

@@ -125,6 +125,13 @@ struct SchedulerReport {
 class Scheduler {
  public:
   Scheduler(const IndexedHypergraph& data, const SchedulerOptions& options);
+
+  /// Pool without a default data graph: every Submit must name its data
+  /// through the data-graph overload. This is the shared-pool mode of the
+  /// graph catalog (serve/catalog.h) — many per-graph services multiplex
+  /// one worker pool, each submission carrying its own index.
+  explicit Scheduler(const SchedulerOptions& options);
+
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -143,7 +150,19 @@ class Scheduler {
   /// (queue-depth rejection) or inside Cancel()/Start()/Seal() — after the
   /// outcome became observable through TryGetQuery() and with no scheduler
   /// lock held (see SubmitOptions::completion for the full contract).
+  ///
+  /// Requires a construction-time data graph; the data-graph overload
+  /// below works in both modes.
   uint32_t Submit(const QueryPlan* plan, const SubmitOptions& options);
+
+  /// Submit against an explicit data graph (must match the index the plan
+  /// was built against and outlive the query). `options.scan_slice/
+  /// scan_slices` restrict the first-step SCAN to one contiguous slice of
+  /// the root signature table — the scatter half of sharded execution:
+  /// slices of the same plan partition the embedding set exactly, so
+  /// summing the slice counts reproduces the unsliced result.
+  uint32_t Submit(const QueryPlan* plan, const IndexedHypergraph& data,
+                  const SubmitOptions& options);
 
   /// Back-compat convenience: Submit with default options and this sink.
   uint32_t Submit(const QueryPlan* plan, EmbeddingSink* sink = nullptr);

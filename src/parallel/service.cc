@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -11,12 +12,66 @@
 #include <vector>
 
 #include "core/matching_order.h"
+#include "util/timer.h"
 
 namespace hgmatch {
 
 namespace {
 
 constexpr uint32_t kNotScheduled = 0xffffffffu;
+
+// Serialises Emit across the sub-queries of one sharded fan: the
+// scheduler serialises Emit per query, and each fan sub-query is its own
+// scheduler query, so concurrent slices would otherwise race on the
+// user's sink.
+class LockedSink : public EmbeddingSink {
+ public:
+  explicit LockedSink(EmbeddingSink* wrapped) : wrapped_(wrapped) {}
+
+  void Emit(const EdgeId* edges, uint32_t size) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wrapped_->Emit(edges, size);
+  }
+
+ private:
+  EmbeddingSink* wrapped_;
+  std::mutex mutex_;
+};
+
+// Merge dominance of terminal statuses: when the slices of one sharded
+// query end differently, the parent reports the most user-actionable
+// cause (the same order QueryStatus documents).
+int StatusSeverity(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return 0;
+    case QueryStatus::kLimit: return 1;
+    case QueryStatus::kTimeout: return 2;
+    case QueryStatus::kCancelled: return 3;
+    case QueryStatus::kPlanError: return 5;
+    case QueryStatus::kRejected: return 4;
+  }
+  return 0;
+}
+
+// Folds one slice outcome into the fan's merged parent outcome: counts
+// sum (the slices partition the embedding set), wall-clock fields span
+// the whole fan (earliest admission to last finish), and the most severe
+// status wins. `any` is false for the first slice.
+void MergeShardOutcome(QueryOutcome* into, const QueryOutcome& out,
+                       bool any) {
+  if (!any) {
+    *into = out;
+    return;
+  }
+  if (StatusSeverity(out.status) > StatusSeverity(into->status)) {
+    into->status = out.status;
+  }
+  into->stats += out.stats;
+  into->stats.seconds = std::max(into->stats.seconds, out.stats.seconds);
+  into->admit_seconds = std::min(into->admit_seconds, out.admit_seconds);
+  into->finish_seconds = std::max(into->finish_seconds, out.finish_seconds);
+  into->admit_index = std::min(into->admit_index, out.admit_index);
+}
 
 // Canonical cache key of a query hypergraph: the exact vertex structure
 // (vertex labels, then each hyperedge's arity, vertex ids and edge label),
@@ -52,6 +107,26 @@ std::string QueryCacheKey(const Hypergraph& q) {
 
 namespace internal {
 
+// Fan-out bookkeeping of one sharded submission (ServiceOptions::shards
+// > 1): the record's execution is K scheduler sub-queries, one per scan
+// slice, and the parent resolves when the last of them does. Every field
+// is guarded by ServiceImpl::resolve_mutex_ (sub-query completion hooks,
+// attachment of scheduler indices and parent resolution all serialise
+// there), except `locked_sink`, which is written once before the first
+// sub-query is submitted.
+struct ShardFan {
+  uint32_t remaining = 0;      // sub-queries not yet finished
+  bool any = false;            // `merged` holds at least one slice
+  bool cancel_issued = false;  // a rejected slice cancelled its siblings
+  QueryOutcome merged;         // running merge of finished slices
+  // Scheduler indices of the sub-queries; kNotScheduled until Submit
+  // returns each (a slice resolving synchronously inside Submit can beat
+  // its own attachment).
+  std::vector<uint32_t> sub;
+  // Serialising wrapper around the user's sink, when one is set.
+  std::unique_ptr<LockedSink> locked_sink;
+};
+
 // Shared state behind one Ticket. Exactly one of three shapes:
 //  * executed:  sched_index valid — the query ran (or runs) on the pool;
 //  * mirror:    canonical set — a sink-less structural repeat that copies
@@ -81,6 +156,12 @@ struct QueryRecord {
   // count of a completed run of the plan (0 = not yet measured). Written at
   // resolution, read at later submissions for cost-aware WFQ charging.
   std::shared_ptr<std::atomic<uint64_t>> plan_cost;
+  // In-flight-submission refcount of this record's plan-cache entry (the
+  // LRU eviction guard); decremented exactly once, at resolution. Null
+  // for cache-off submissions.
+  std::shared_ptr<std::atomic<uint32_t>> plan_live;
+  // Sharded execution state; null for plain (shards <= 1) submissions.
+  std::shared_ptr<ShardFan> fan;
 
   // Per-submit completion hook (SubmitOptions::completion); moved into the
   // fire list when the record resolves, which is what makes exactly-once
@@ -104,11 +185,20 @@ class ServiceImpl {
   ServiceImpl(const IndexedHypergraph& data, const ServiceOptions& options)
       : data_(data),
         options_(options),
-        scheduler_(data, MakeSchedulerOptions(options)) {
+        owned_(std::make_unique<Scheduler>(data, ToSchedulerOptions(options))),
+        sched_(owned_.get()) {
     if (!options.defer_start) {
-      scheduler_.Start();
+      sched_->Start();
       started_ = true;
     }
+  }
+
+  // Shared-pool mode: execute on `pool`'s (already running) workers,
+  // carrying data_ per submission. The pool outlives this service.
+  ServiceImpl(const IndexedHypergraph& data, SchedulerPool& pool,
+              const ServiceOptions& options)
+      : data_(data), options_(options), sched_(&pool.scheduler()) {
+    started_ = true;
   }
 
   ~ServiceImpl() { Shutdown(); }
@@ -170,13 +260,22 @@ class ServiceImpl {
 
   void Drain() {
     EnsureStarted();
-    scheduler_.WaitIdle();
-    // The pool going idle means every query finished, but the completion
-    // hook of the very last one may still be mid-flight on a worker; a
-    // drained service promises every ticket *resolved*, so wait out the
-    // specific records still unresolved at this point (a global count
-    // would not do: a submission racing in behind us and resolving
-    // synchronously could stand in for the straggler we are waiting for).
+    // On an owned pool, idling first is a cheap fast-forward; on a shared
+    // pool it would wait on sibling services' queries too, and the
+    // record wait below is sufficient on its own (every record resolves
+    // through a completion hook).
+    if (owned_ != nullptr) sched_->WaitIdle();
+    WaitRecordsResolved();
+  }
+
+  // Blocks until every record submitted so far has resolved. The
+  // completion hook of the very last query may still be mid-flight on a
+  // worker when the pool goes idle; a drained service promises every
+  // ticket *resolved*, so wait out the specific records still unresolved
+  // at this point (a global count would not do: a submission racing in
+  // behind us and resolving synchronously could stand in for the
+  // straggler we are waiting for).
+  void WaitRecordsResolved() {
     std::vector<std::shared_ptr<QueryRecord>> pending;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -204,12 +303,33 @@ class ServiceImpl {
       std::lock_guard<std::mutex> lock(mutex_);
       sealed_ = true;
       if (!started_) {
-        scheduler_.Start();
+        sched_->Start();
         started_ = true;
       }
     }
-    scheduler_.Seal();
-    scheduler_.WaitIdle();
+    if (owned_ == nullptr) {
+      // Shared pool: the pool keeps running for sibling services, so no
+      // Seal/Join — wait for this service's own records instead (every
+      // one resolves through a completion hook, sharded fans included),
+      // then for in-flight hook deliveries to leave the building (Join
+      // provides that barrier in owned mode; here nothing else would).
+      WaitRecordsResolved();
+      {
+        std::unique_lock<std::mutex> lock(resolve_mutex_);
+        resolve_cv_.wait(lock, [this] { return hook_busy_ == 0; });
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Cached plans die with this service while the pool's workers live
+      // on; retire them so the per-worker expander state keyed by their
+      // uids is dropped instead of accreting across service lifetimes.
+      for (auto& [key, entry] : cache_) sched_->RetirePlan(entry.plan->uid);
+      report_.seconds = wall_.ElapsedSeconds();
+      FillReportCountersLocked();
+      shut_down_.store(true, std::memory_order_release);
+      return report_;
+    }
+    sched_->Seal();
+    sched_->WaitIdle();
     std::vector<FiredCompletion> fire;
     {
       // Every query has finished and almost every record already resolved
@@ -224,25 +344,19 @@ class ServiceImpl {
     }
     resolve_cv_.notify_all();
     FireCompletions(&fire);
-    SchedulerReport sr = scheduler_.Join();
+    SchedulerReport sr = sched_->Join();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       report_.workers = std::move(sr.workers);
       report_.peak_task_bytes = sr.peak_task_bytes;
       report_.seconds = sr.seconds;
-      report_.submitted = submitted_;
-      report_.executed = executed_;
-      report_.mirrored = mirrored_;
-      report_.rejected = scheduler_.RejectedCount();
-      report_.plan_errors = plan_errors_;
-      report_.plan_cache_hits = plan_cache_hits_;
-      report_.unique_plans = unique_plans_;
+      FillReportCountersLocked();
     }
     shut_down_.store(true, std::memory_order_release);
     return report_;
   }
 
-  uint32_t num_threads() const { return scheduler_.num_threads(); }
+  uint32_t num_threads() const { return sched_->num_threads(); }
 
   uint64_t finished_queries() const {
     return finished_.load(std::memory_order_acquire);
@@ -251,9 +365,9 @@ class ServiceImpl {
   ServiceGauges Gauges() {
     ServiceGauges g;
     g.finished = finished_.load(std::memory_order_acquire);
-    g.live_contexts = scheduler_.LiveContexts();
-    g.retained_slots = scheduler_.RetainedSlots();
-    g.rejected = scheduler_.RejectedCount();
+    g.live_contexts = sched_->LiveContexts();
+    g.retained_slots = sched_->RetainedSlots();
+    g.rejected = rejected_.load(std::memory_order_acquire);
     return g;
   }
 
@@ -288,11 +402,30 @@ class ServiceImpl {
   bool Cancel(const std::shared_ptr<QueryRecord>& rec) {
     if (rec->resolved.load(std::memory_order_acquire)) return false;
     if (rec->canonical == nullptr) {
+      std::vector<uint32_t> subs;
+      {
+        std::lock_guard<std::mutex> lock(resolve_mutex_);
+        if (rec->fan != nullptr) {
+          subs = rec->fan->sub;
+          // Slices still inside their own Submit call attach later;
+          // AttachShardIndex observes the flag and cancels them then.
+          rec->fan->cancel_issued = true;
+        }
+      }
+      if (!subs.empty()) {
+        // Sharded: cancel every attached sub-query; the fan resolves
+        // (status kCancelled dominating ok/limit) once every slice does.
+        bool any = false;
+        for (uint32_t idx : subs) {
+          if (idx != kNotScheduled && sched_->Cancel(idx)) any = true;
+        }
+        return any;
+      }
       // Resolution arrives through the scheduler's completion hook —
       // synchronously inside this call for queries cancelled while queued,
       // at the next task boundary for in-flight ones. A released slot
       // reports false here (long finished).
-      return scheduler_.Cancel(rec->sched_index);
+      return sched_->Cancel(rec->sched_index);
     }
     // Mirror: if the canonical execution already finished, the mirror is
     // (about to be) resolved from it — too late to cancel; otherwise the
@@ -319,15 +452,15 @@ class ServiceImpl {
   }
 
  private:
-  static SchedulerOptions MakeSchedulerOptions(const ServiceOptions& o) {
-    SchedulerOptions so;
-    so.parallel = o.parallel;
-    so.admission = o.admission;
-    so.max_inflight_queries = o.max_inflight_queries;
-    so.max_queued_queries = o.max_queued_queries;
-    so.task_quota = o.task_quota;
-    so.batch_timeout_seconds = o.run_timeout_seconds;
-    return so;
+  // Shared tail of both Shutdown modes. Callers hold mutex_.
+  void FillReportCountersLocked() {
+    report_.submitted = submitted_;
+    report_.executed = executed_;
+    report_.mirrored = mirrored_;
+    report_.rejected = rejected_.load(std::memory_order_acquire);
+    report_.plan_errors = plan_errors_;
+    report_.plan_cache_hits = plan_cache_hits_;
+    report_.unique_plans = unique_plans_;
   }
 
   // One resolved record whose user-visible hooks are ready to fire once
@@ -364,9 +497,26 @@ class ServiceImpl {
       if (!rec->resolved.load(std::memory_order_acquire)) {
         ResolveLocked(rec, out, &fire);
       }
+      // Claimed in the same critical section that publishes the resolved
+      // flag, so a shared-pool Shutdown observing every record resolved
+      // either sees this delivery finished or sees hook_busy_ > 0 — never
+      // the gap where it could destroy the service under a live delivery.
+      ++hook_busy_;
     }
+    DeliverResolutions(&fire);
+  }
+
+  // The post-resolution delivery tail of a pool-worker completion hook:
+  // wake waiters, fire user hooks, then drop the delivery claim taken
+  // under resolve_mutex_. The final notify happens *under* the lock and
+  // is the thread's last touch of the service, so a Shutdown waiter that
+  // wakes on it can safely let the service be destroyed.
+  void DeliverResolutions(std::vector<FiredCompletion>* fire) {
     resolve_cv_.notify_all();
-    FireCompletions(&fire);
+    FireCompletions(fire);
+    std::lock_guard<std::mutex> lock(resolve_mutex_);
+    --hook_busy_;
+    resolve_cv_.notify_all();
   }
 
   // Stores `out` as the record's final outcome, releases whatever the
@@ -389,6 +539,16 @@ class ServiceImpl {
       rec->plan_cost->store(std::max<uint64_t>(1, out.stats.expansions),
                             std::memory_order_relaxed);
     }
+    if (rec->plan_live != nullptr) {
+      // Unpins the plan-cache entry for LRU eviction; exactly once per
+      // record (resolution is exactly-once).
+      rec->plan_live->fetch_sub(1, std::memory_order_acq_rel);
+      rec->plan_live.reset();
+    }
+    if (rec->outcome.status == QueryStatus::kRejected &&
+        rec->canonical == nullptr) {
+      rejected_.fetch_add(1, std::memory_order_acq_rel);
+    }
     rec->resolved.store(true, std::memory_order_release);
     ReleaseSlotLocked(rec.get());
     fire->push_back({rec, std::move(rec->completion)});
@@ -398,7 +558,7 @@ class ServiceImpl {
       }
     }
     rec->mirrors.clear();
-    if (rec->sched_index != kNotScheduled) {
+    if (rec->sched_index != kNotScheduled || rec->fan != nullptr) {
       // The finished-count gate of the wire server's poll fallback: bumped
       // strictly after this record's resolved flag AND after its mirrors
       // resolved (the fetch_add is visible to the lock-free sweep while
@@ -406,19 +566,32 @@ class ServiceImpl {
       // let the sweep latch its gate past a mirror that resolves a few
       // instructions later and strand its outcome), so an observer of the
       // advanced count always finds every dependent outcome retrievable.
+      // A sharded record's fan is set before any slice is submitted, so
+      // no attachment catch-up is needed on the fan path.
       finished_.fetch_add(1, std::memory_order_release);
     }
   }
 
-  // Releases the resolved record's scheduler slot and, for plan-cache-off
-  // submissions, retires + frees the plan that served exactly this query.
-  // Callers hold resolve_mutex_.
+  // Releases the resolved record's scheduler slot(s) and, for
+  // plan-cache-off submissions, retires + frees the plan that served
+  // exactly this query. Callers hold resolve_mutex_.
   void ReleaseSlotLocked(QueryRecord* rec) {
-    if (rec->released || rec->sched_index == kNotScheduled) return;
-    rec->released = true;
-    scheduler_.Release(rec->sched_index);
+    if (rec->fan != nullptr) {
+      if (rec->released) return;
+      rec->released = true;
+      // Parent resolution means every slice's completion hook already ran,
+      // so every attached sub-slot is releasable; slices still inside
+      // their own Submit call release at attachment (AttachShardIndex).
+      for (uint32_t idx : rec->fan->sub) {
+        if (idx != kNotScheduled) sched_->Release(idx);
+      }
+    } else {
+      if (rec->released || rec->sched_index == kNotScheduled) return;
+      rec->released = true;
+      sched_->Release(rec->sched_index);
+    }
     if (rec->owned_plan != nullptr) {
-      scheduler_.RetirePlan(rec->owned_plan->uid);
+      sched_->RetirePlan(rec->owned_plan->uid);
       rec->owned_plan.reset();
       rec->owned_query = Hypergraph();
     }
@@ -437,6 +610,69 @@ class ServiceImpl {
     if (rec->resolved.load(std::memory_order_acquire) && !rec->released) {
       ReleaseSlotLocked(rec.get());
       finished_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  // Fan analogue of AttachSchedIndex: publishes slice k's scheduler index.
+  // If the parent already resolved (this slice finished synchronously
+  // inside its own Submit and was the last one), the slot is released
+  // right here — the parent's ReleaseSlotLocked could not reach it. If a
+  // cancellation was issued while this slice was mid-Submit, it is
+  // cancelled on the way out.
+  void AttachShardIndex(const std::shared_ptr<QueryRecord>& rec, uint32_t k,
+                        uint32_t index) {
+    bool cancel = false;
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      if (rec->released) {
+        sched_->Release(index);
+        return;
+      }
+      rec->fan->sub[k] = index;
+      cancel = rec->fan->cancel_issued;
+    }
+    if (cancel) sched_->Cancel(index);
+  }
+
+  // Completion hook of fan slice k: fold the slice outcome into the
+  // parent's running merge; the parent resolves when the last slice does.
+  // A rejected slice (queue-bound shed) cancels its siblings so the fan
+  // resolves promptly as kRejected instead of burning pool time on a
+  // result that is already lost.
+  void OnShardComplete(const std::shared_ptr<QueryRecord>& rec, uint32_t k,
+                       const QueryOutcome& out) {
+    (void)k;
+    std::vector<uint32_t> to_cancel;
+    std::vector<FiredCompletion> fire;
+    bool resolved_now = false;
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      ShardFan* fan = rec->fan.get();
+      MergeShardOutcome(&fan->merged, out, fan->any);
+      fan->any = true;
+      if (out.status == QueryStatus::kRejected && !fan->cancel_issued) {
+        fan->cancel_issued = true;
+        for (uint32_t idx : fan->sub) {
+          if (idx != kNotScheduled) to_cancel.push_back(idx);
+        }
+      }
+      if (--fan->remaining == 0 &&
+          !rec->resolved.load(std::memory_order_acquire)) {
+        ResolveLocked(rec, fan->merged, &fire);
+        resolved_now = true;
+      }
+      ++hook_busy_;  // see OnSchedulerComplete
+    }
+    // Cancel outside resolve_mutex_: Cancel fires sibling completion hooks
+    // synchronously for still-queued slices, and those hooks re-enter this
+    // function.
+    for (uint32_t idx : to_cancel) sched_->Cancel(idx);
+    if (resolved_now) {
+      DeliverResolutions(&fire);
+    } else {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      --hook_busy_;
+      resolve_cv_.notify_all();
     }
   }
 
@@ -467,14 +703,32 @@ class ServiceImpl {
       }
       return;
     }
-    const QueryOutcome* out = scheduler_.TryGetQuery(rec->sched_index);
+    if (rec->fan != nullptr) {
+      // Owned-mode Shutdown after Seal()+WaitIdle(): every slice finished
+      // and attached (Submit callers are gone), so re-merge the lot — the
+      // straggler here is the parent whose last hook is still mid-flight,
+      // and a fresh merge of the authoritative per-slice outcomes is
+      // race-free.
+      QueryOutcome merged;
+      bool any = false;
+      for (uint32_t idx : rec->fan->sub) {
+        if (idx == kNotScheduled) continue;
+        const QueryOutcome* out = sched_->TryGetQuery(idx);
+        if (out == nullptr) return;  // hook mid-flight; resolves itself
+        MergeShardOutcome(&merged, *out, any);
+        any = true;
+      }
+      if (any) ResolveLocked(rec, merged, fire);
+      return;
+    }
+    const QueryOutcome* out = sched_->TryGetQuery(rec->sched_index);
     if (out != nullptr) ResolveLocked(rec, *out, fire);
   }
 
   void EnsureStarted() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!started_) {
-      scheduler_.Start();
+      sched_->Start();
       started_ = true;
     }
   }
@@ -491,6 +745,9 @@ class ServiceImpl {
 
   struct CacheEntry {
     const QueryPlan* plan = nullptr;
+    // The cached plan itself (the entry is its owner, so evicting the
+    // entry frees it).
+    std::unique_ptr<QueryPlan> owned;
     // Source of mirrored outcomes; replaced when the original ends
     // unusably and a later accepted run takes over.
     std::shared_ptr<QueryRecord> canonical;
@@ -501,6 +758,14 @@ class ServiceImpl {
     // Latest measured task count of a completed run of this plan (0 = not
     // yet measured); the cost-aware WFQ charge of later submissions.
     std::shared_ptr<std::atomic<uint64_t>> cost;
+    // In-flight submissions of this plan (eviction guard: only idle —
+    // live == 0 — entries may be evicted). Atomic because records
+    // decrement it at resolution under resolve_mutex_, while the cache
+    // reads it under mutex_.
+    std::shared_ptr<std::atomic<uint32_t>> live;
+    // Position in lru_ (most-recent first); spliced to the front on every
+    // hit. Guarded by mutex_.
+    std::list<std::string>::iterator lru_it;
     double timeout_seconds = 0;  // the canonical's effective budgets: only
     uint64_t limit = 0;          // repeats under equal budgets may mirror
   };
@@ -514,6 +779,11 @@ class ServiceImpl {
                                 const std::shared_ptr<QueryRecord>& rec,
                                 const CacheEntry* entry) {
     SubmitOptions effective = so;
+    // Resolve budget inheritance against *this service's* defaults: on a
+    // shared pool the scheduler's own defaults belong to the pool, not to
+    // this service.
+    effective.timeout_seconds = EffectiveTimeout(so);
+    effective.limit = EffectiveLimit(so);
     if (entry != nullptr && options_.cost_aware_wfq &&
         options_.admission == AdmissionPolicy::kWeightedFair) {
       const uint64_t measured = entry->cost->load(std::memory_order_relaxed);
@@ -523,6 +793,43 @@ class ServiceImpl {
       OnSchedulerComplete(rec, out);
     };
     return effective;
+  }
+
+  // Hands one record to the pool: plain single submission when sharding
+  // is off, otherwise a K-way scan-slice fan-out whose slices merge back
+  // into the one record (see ShardFan). Callers hold mutex_.
+  void SubmitToPool(const std::shared_ptr<QueryRecord>& rec,
+                    const QueryPlan* plan, const SubmitOptions& so,
+                    const CacheEntry* entry) {
+    const uint32_t shards = std::max<uint32_t>(1, options_.shards);
+    if (shards == 1) {
+      AttachSchedIndex(rec, sched_->Submit(plan, data_,
+                                           SchedulerSubmit(so, rec, entry)));
+      return;
+    }
+    auto fan = std::make_shared<ShardFan>();
+    fan->remaining = shards;
+    fan->sub.assign(shards, kNotScheduled);
+    if (so.sink != nullptr) {
+      fan->locked_sink = std::make_unique<LockedSink>(so.sink);
+    }
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      rec->fan = fan;
+    }
+    for (uint32_t k = 0; k < shards; ++k) {
+      SubmitOptions sub = SchedulerSubmit(so, rec, entry);
+      sub.scan_slice = k;
+      sub.scan_slices = shards;
+      // Charge the fan's admission cost once across its slices, not K
+      // times (the plan's measured cost covers the whole embedding set).
+      sub.cost = std::max(1.0, sub.cost / shards);
+      if (fan->locked_sink != nullptr) sub.sink = fan->locked_sink.get();
+      sub.completion = [this, rec, k](const QueryOutcome& out) {
+        OnShardComplete(rec, k, out);
+      };
+      AttachShardIndex(rec, k, sched_->Submit(plan, data_, sub));
+    }
   }
 
   // `borrowed` is null for owning submits (the query then lives in
@@ -571,6 +878,9 @@ class ServiceImpl {
       if (it != cache_.end()) {
         ++plan_cache_hits_;
         CacheEntry& entry = it->second;
+        if (options_.plan_cache_capacity > 0) {
+          lru_.splice(lru_.begin(), lru_, entry.lru_it);
+        }
         const bool same_budgets =
             EffectiveTimeout(so) == entry.timeout_seconds &&
             EffectiveLimit(so) == entry.limit;
@@ -605,9 +915,13 @@ class ServiceImpl {
           return;
         }
         rec->plan_cost = entry.cost;
-        const uint32_t index =
-            scheduler_.Submit(entry.plan, SchedulerSubmit(so, rec, &entry));
-        AttachSchedIndex(rec, index);
+        if (entry.live != nullptr) {
+          // Pin before the pool can race an eviction pass; unpinned once,
+          // at resolution.
+          rec->plan_live = entry.live;
+          entry.live->fetch_add(1, std::memory_order_acq_rel);
+        }
+        SubmitToPool(rec, entry.plan, so, &entry);
         if (CountScheduledLocked(rec.get()) && done != nullptr &&
             done->status != QueryStatus::kOk &&
             done->status != QueryStatus::kLimit && same_budgets) {
@@ -641,15 +955,29 @@ class ServiceImpl {
     auto cost = options_.plan_cache
                     ? std::make_shared<std::atomic<uint64_t>>(0)
                     : nullptr;
+    auto live = options_.plan_cache
+                    ? std::make_shared<std::atomic<uint32_t>>(1)
+                    : nullptr;
     rec->plan_cost = cost;
-    AttachSchedIndex(
-        rec, scheduler_.Submit(compiled, SchedulerSubmit(so, rec, nullptr)));
+    rec->plan_live = live;
+    SubmitToPool(rec, compiled, so, nullptr);
     const bool accepted = CountScheduledLocked(rec.get());
     if (options_.plan_cache && accepted) {
-      plans_.push_back(std::move(compiled_owner));
-      cache_.emplace(std::move(key),
-                     CacheEntry{compiled, rec, rec, std::move(cost),
-                                EffectiveTimeout(so), EffectiveLimit(so)});
+      CacheEntry e;
+      e.plan = compiled;
+      e.owned = std::move(compiled_owner);
+      e.canonical = rec;
+      e.plan_owner = rec;
+      e.cost = std::move(cost);
+      e.live = std::move(live);
+      e.timeout_seconds = EffectiveTimeout(so);
+      e.limit = EffectiveLimit(so);
+      if (options_.plan_cache_capacity > 0) {
+        lru_.push_front(key);
+        e.lru_it = lru_.begin();
+      }
+      cache_.emplace(std::move(key), std::move(e));
+      EvictIdlePlansLocked();
     } else {
       // Without the cache — or when this submission was shed by the queue
       // bound (a rejected canonical would poison the structure's cache
@@ -664,12 +992,36 @@ class ServiceImpl {
           // Resolved synchronously inside Submit (shed by the queue
           // bound): the slot was already released, so retire the plan
           // right here instead of parking it on the record.
-          scheduler_.RetirePlan(compiled_owner->uid);
+          sched_->RetirePlan(compiled_owner->uid);
           compiled_owner.reset();
         }
       }
     }
     records_.push_back(rec);
+  }
+
+  // Walks the LRU list cold-end-first, evicting idle (no in-flight
+  // submission) entries until the cache is back under
+  // plan_cache_capacity; entries pinned by a live submission are skipped,
+  // so the cache transiently overshoots rather than evict a plan the pool
+  // is executing. Callers hold mutex_. (Taking the scheduler's internal
+  // lock via RetirePlan under mutex_ alone is safe: the scheduler never
+  // calls into the service while holding its own lock.)
+  void EvictIdlePlansLocked() {
+    const size_t cap = options_.plan_cache_capacity;
+    if (cap == 0) return;
+    auto it = lru_.end();
+    while (cache_.size() > cap && it != lru_.begin()) {
+      --it;
+      auto cit = cache_.find(*it);
+      if (cit->second.live->load(std::memory_order_acquire) != 0) continue;
+      sched_->RetirePlan(cit->second.plan->uid);
+      // erase returns the position after the erased element; the next
+      // pass's --it lands on the element before it, so the walk keeps
+      // moving frontward without revisiting anything.
+      it = lru_.erase(it);
+      cache_.erase(cit);
+    }
   }
 
   // A submission shed by the queue-depth bound resolves synchronously
@@ -704,11 +1056,18 @@ class ServiceImpl {
 
   const IndexedHypergraph& data_;
   const ServiceOptions options_;
-  Scheduler scheduler_;
+  // Owned mode: owned_ holds the pool and sched_ points at it. Shared
+  // (SchedulerPool) mode: owned_ is null and sched_ points at the pool's
+  // scheduler, which outlives this service.
+  std::unique_ptr<Scheduler> owned_;
+  Scheduler* sched_ = nullptr;
+  Timer wall_;  // service wall clock (shared-mode report seconds)
 
   std::mutex mutex_;  // cache, records, counters
   std::unordered_map<std::string, CacheEntry> cache_;
-  std::vector<std::unique_ptr<QueryPlan>> plans_;
+  // Cache keys, most-recently-used first; maintained (and non-empty) only
+  // when plan_cache_capacity > 0. Guarded by mutex_.
+  std::list<std::string> lru_;
   std::vector<std::shared_ptr<QueryRecord>> records_;
   uint64_t submitted_ = 0;
   uint64_t executed_ = 0;
@@ -727,6 +1086,15 @@ class ServiceImpl {
   std::mutex resolve_mutex_;          // record resolution + mirror lists
   std::condition_variable resolve_cv_;  // armed by the completion hook
   std::atomic<uint64_t> finished_{0};  // pool submissions resolved
+  // Pool-worker completion deliveries (notify + user hooks) currently in
+  // flight; a shared-pool Shutdown waits for 0 so destroying the service
+  // afterwards cannot pull state from under a live delivery. Guarded by
+  // resolve_mutex_.
+  uint64_t hook_busy_ = 0;
+  // Service-level rejection count (this service's own shed submissions —
+  // the scheduler's pool-wide counter would conflate siblings on a
+  // shared pool).
+  std::atomic<uint64_t> rejected_{0};
 
   std::mutex shutdown_mutex_;
   std::atomic<bool> shut_down_{false};
@@ -761,11 +1129,38 @@ bool Ticket::Cancel() const {
   return rec_->service->Cancel(rec_);
 }
 
+// ----------------------------------------------------------- SchedulerPool --
+
+SchedulerOptions ToSchedulerOptions(const ServiceOptions& o) {
+  SchedulerOptions so;
+  so.parallel = o.parallel;
+  so.admission = o.admission;
+  so.max_inflight_queries = o.max_inflight_queries;
+  so.max_queued_queries = o.max_queued_queries;
+  so.task_quota = o.task_quota;
+  so.batch_timeout_seconds = o.run_timeout_seconds;
+  return so;
+}
+
+SchedulerPool::SchedulerPool(const ServiceOptions& options)
+    : scheduler_(std::make_unique<Scheduler>(ToSchedulerOptions(options))) {
+  scheduler_->Start();
+}
+
+SchedulerPool::~SchedulerPool() {
+  scheduler_->Seal();
+  scheduler_->Join();
+}
+
 // ------------------------------------------------------------ MatchService --
 
 MatchService::MatchService(const IndexedHypergraph& data,
                            const ServiceOptions& options)
     : impl_(std::make_unique<internal::ServiceImpl>(data, options)) {}
+
+MatchService::MatchService(const IndexedHypergraph& data, SchedulerPool& pool,
+                           const ServiceOptions& options)
+    : impl_(std::make_unique<internal::ServiceImpl>(data, pool, options)) {}
 
 MatchService::~MatchService() = default;
 

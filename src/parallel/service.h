@@ -44,6 +44,29 @@ struct ServiceOptions {
   /// Per-query fairness quota on live tasks (see SchedulerOptions).
   uint64_t task_quota = 0;
 
+  /// Scatter-gather sharded execution: every accepted submission fans out
+  /// as this many scan-sliced sub-queries (each runs the shared plan over
+  /// one contiguous slice of the first step's signature table — see
+  /// SubmitOptions::scan_slice), and their outcomes merge back into the
+  /// one ticket the caller holds: counts/stats sum, admission/finish
+  /// timestamps take min/max, and the most severe terminal status wins.
+  /// The slices partition the embedding set exactly, so merged counts
+  /// equal an unsharded run. Each sub-query inherits the parent's
+  /// timeout; the embedding limit applies per slice, so a limit-bounded
+  /// sharded query may overshoot by up to a factor of `shards` (the same
+  /// per-worker overshoot the parallel executor already allows). Each
+  /// sub-query occupies its own admission-window slot. 0 and 1 = off.
+  uint32_t shards = 1;
+
+  /// Upper bound on distinct compiled plans retained by the plan cache;
+  /// 0 = unbounded (the historical behaviour). When an insertion pushes
+  /// the cache past the bound, the least-recently-used entries with no
+  /// in-flight submissions are evicted (plan retired and freed; the
+  /// structure re-compiles on its next appearance). Entries with live
+  /// submissions are never evicted, so the cache may transiently exceed
+  /// the bound under heavy concurrency.
+  size_t plan_cache_capacity = 0;
+
   /// Whole-service wall-clock budget in seconds, armed when the pool
   /// starts; <= 0 disables. Exists mainly for the RunBatch facade's
   /// whole-batch timeout; a long-lived service normally leaves it off.
@@ -188,6 +211,34 @@ struct BatchSubmission {
   SubmitOptions options;
 };
 
+/// The SchedulerOptions a service-owned or shared pool is built from.
+SchedulerOptions ToSchedulerOptions(const ServiceOptions& options);
+
+/// A worker pool shared by several MatchServices — the execution
+/// substrate of the graph catalog (serve/catalog.h), where admission
+/// policies are already multi-tenant and one pool serves every hosted
+/// graph: a data-less Scheduler whose submissions each carry their own
+/// index. The pool starts at construction and joins at destruction; every
+/// service bound to it must be shut down (or destroyed) first. The
+/// `parallel` shape, admission policy, window/queue bounds and task quota
+/// of `options` configure the pool; per-service fields (plan cache,
+/// shards, hooks) are ignored here and read from each service's own
+/// options.
+class SchedulerPool {
+ public:
+  explicit SchedulerPool(const ServiceOptions& options);
+  ~SchedulerPool();
+
+  SchedulerPool(const SchedulerPool&) = delete;
+  SchedulerPool& operator=(const SchedulerPool&) = delete;
+
+  Scheduler& scheduler() { return *scheduler_; }
+  uint32_t num_threads() const { return scheduler_->num_threads(); }
+
+ private:
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
 /// A long-lived match-query service bound to one indexed data hypergraph:
 /// the streaming front end of the shared scheduler core
 /// (parallel/scheduler.h). Construction starts the worker pool; Submit()
@@ -222,6 +273,18 @@ class MatchService {
  public:
   /// Starts the worker pool. `data` must outlive the service.
   MatchService(const IndexedHypergraph& data, const ServiceOptions& options);
+
+  /// Binds the service to a shared pool instead of owning one: queries
+  /// execute on `pool`'s workers, carrying `data` per submission. The
+  /// pool's admission policy/window/queue bounds apply pool-wide; this
+  /// service's `options` still govern its plan cache, sharding, default
+  /// budgets and completion hooks (the `parallel` pool-shape fields and
+  /// admission fields of `options` are ignored). `data` and `pool` must
+  /// outlive the service; Shutdown() waits for this service's own queries
+  /// only and leaves the pool running for its siblings (its report then
+  /// carries service counters but no worker rows).
+  MatchService(const IndexedHypergraph& data, SchedulerPool& pool,
+               const ServiceOptions& options);
 
   /// Shuts down (cancelling nothing: outstanding queries finish first).
   ~MatchService();

@@ -84,6 +84,17 @@ struct SubmitOptions {
   /// WFQ); 1 — the flat historical charge — for first-seen plans.
   double cost = 1.0;
 
+  /// Scatter-gather scan slicing: run this query against slice
+  /// `scan_slice` (0-based) of `scan_slices` near-equal contiguous ranges
+  /// of the first plan step's signature table instead of the whole table.
+  /// Slices of one plan partition the table — and therefore the embedding
+  /// set — exactly, so submitting every slice and summing the counts
+  /// reproduces the unsliced result. The defaults (slice 0 of 1) are the
+  /// whole table. scan_slices == 0 is treated as 1; an out-of-range
+  /// scan_slice is clamped to the last slice.
+  uint32_t scan_slice = 0;
+  uint32_t scan_slices = 1;
+
   /// Consumer of this query's embeddings; may be null (count only). Emit
   /// calls are serialised per query.
   EmbeddingSink* sink = nullptr;

@@ -1,0 +1,165 @@
+#ifndef HGMATCH_SERVE_CATALOG_H_
+#define HGMATCH_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/indexed_hypergraph.h"
+#include "parallel/service.h"
+#include "util/status.h"
+
+namespace hgmatch {
+
+/// Configuration of a GraphCatalog.
+struct CatalogOptions {
+  /// Pool shape (parallel/admission/window/queue/quota fields build the
+  /// shared SchedulerPool) and per-graph service behaviour (plan cache,
+  /// capacity, shards, default budgets) — every hosted graph's
+  /// MatchService is configured from this one template.
+  ServiceOptions service;
+
+  /// Completion hook receiving *catalog-unique* ticket ids (the
+  /// CatalogTicket::unique_id of the finished submission) — the wire
+  /// server's wakeup channel. Same contract as
+  /// ServiceOptions::on_query_complete: fires exactly once per
+  /// submission, after the outcome is retrievable, with no lock held.
+  std::function<void(uint64_t unique_id, const QueryOutcome& outcome)>
+      on_query_complete;
+};
+
+/// One row of GraphCatalog::List() — the per-graph slice of the STATS
+/// surface.
+struct CatalogGraphInfo {
+  std::string name;
+  bool is_default = false;
+  uint64_t queries = 0;       // submissions routed to this graph, ever
+  uint64_t live_tickets = 0;  // submissions not yet resolved
+  uint64_t index_bytes = 0;   // IndexedHypergraph::IndexBytes()
+  uint32_t shards = 1;        // scatter-gather fan-out (ServiceOptions)
+};
+
+/// A submission accepted by the catalog: the service ticket plus the
+/// catalog-unique id that survives graph routing (two graphs' services
+/// both hand out ticket id 0; unique_id disambiguates them for the wire
+/// server's completion registry).
+struct CatalogTicket {
+  Ticket ticket;
+  uint64_t unique_id = 0;
+};
+
+/// A registry of named data graphs served from one worker pool — the
+/// serving tier behind `hgmatch serve`. Each loaded graph gets its own
+/// MatchService (plan cache, sharded scatter-gather execution, budgets)
+/// bound to the catalog's shared SchedulerPool, so K graphs cost one set
+/// of worker threads, not K. Submissions route by graph name (empty =
+/// the default graph, the first one loaded), and every accepted
+/// submission carries a catalog-unique ticket id.
+///
+/// Lifetime is refcounted per graph: Unload marks the graph so new
+/// submissions are rejected immediately, then waits (or defers, wait =
+/// false) until every in-flight ticket of that graph resolved before the
+/// index and service are destroyed — an unload never invalidates an
+/// outstanding ticket and never loses an outcome. All methods are
+/// thread-safe.
+class GraphCatalog {
+ public:
+  explicit GraphCatalog(const CatalogOptions& options);
+
+  /// Shuts down: blocks until every in-flight submission resolved.
+  ~GraphCatalog();
+
+  GraphCatalog(const GraphCatalog&) = delete;
+  GraphCatalog& operator=(const GraphCatalog&) = delete;
+
+  /// Indexes `data` and serves it as `name`. The first loaded graph
+  /// becomes the default. Fails with AlreadyExists on a duplicate name
+  /// (unloading counts as gone) and InvalidArgument on an empty name.
+  Status Load(const std::string& name, Hypergraph data);
+
+  /// Load() over an externally owned index (no copy, no re-index); the
+  /// caller guarantees `index` outlives the catalog. The back-compat
+  /// path of the wire server, whose historical constructor borrows the
+  /// caller's IndexedHypergraph.
+  Status LoadShared(const std::string& name, const IndexedHypergraph& index);
+
+  /// Removes `name` from the catalog. New submissions to it are rejected
+  /// from this call on. wait = true blocks until the graph's in-flight
+  /// tickets resolved, then frees its service and index; wait = false
+  /// returns immediately and the drained graph is reaped by a later
+  /// catalog operation (or Shutdown). Fails with NotFound for unknown
+  /// (or already-unloading) names.
+  Status Unload(const std::string& name, bool wait = true);
+
+  /// Snapshot of every hosted graph, default first, then load order.
+  std::vector<CatalogGraphInfo> List();
+
+  bool Has(const std::string& name);
+
+  /// Name of the default graph; empty when none is loaded (or the
+  /// default was unloaded and nothing replaced it).
+  std::string DefaultGraph();
+
+  size_t NumGraphs();
+
+  /// Routes one submission to `name` (empty = default graph). Fails with
+  /// NotFound when the graph is unknown or unloading — no ticket is
+  /// created, so the caller can relay a typed rejection instead of a
+  /// dead connection.
+  Result<CatalogTicket> Submit(const std::string& name, Hypergraph query,
+                               const SubmitOptions& options);
+
+  /// One admission pass for a whole batch against one graph.
+  Result<std::vector<CatalogTicket>> SubmitBatch(
+      const std::string& name, std::vector<BatchSubmission> batch);
+
+  /// Cancels through the owning graph, pinned against a racing unload
+  /// (cancelling a ticket of a mid-unload graph is legal and speeds the
+  /// drain). Returns false when the query already finished.
+  bool Cancel(const CatalogTicket& ticket);
+
+  /// Monotonic count of finished submissions across all graphs (the wire
+  /// server's poll-fallback gate). Cheap: one atomic load.
+  uint64_t finished_queries() const;
+
+  /// Shared pool width.
+  uint32_t num_threads() const;
+
+  /// Aggregated service gauges: finished across all graphs, live
+  /// contexts / retained slots from the shared pool, rejected summed
+  /// over hosted graphs.
+  ServiceGauges Gauges();
+
+  /// Unloads everything (waiting for in-flight tickets) and joins the
+  /// pool. Idempotent; implied by destruction. No submissions may race
+  /// or follow this call.
+  void Shutdown();
+
+ private:
+  struct Entry;
+  struct State;
+
+  Status Install(std::shared_ptr<Entry> entry);
+  // Finds the live entry named `name` (empty = default), pins it against
+  // unload and claims `count` upcoming submissions; null + *error when
+  // the graph is unknown, unloading or the catalog is sealed.
+  std::shared_ptr<Entry> FindPinnedForSubmit(const std::string& name,
+                                             uint64_t count, Status* error);
+  void Unpin(const std::shared_ptr<Entry>& entry);
+  void ReapLocked(std::vector<std::shared_ptr<Entry>>* to_destroy);
+  void DestroyEntries(std::vector<std::shared_ptr<Entry>> to_destroy);
+
+  CatalogOptions options_;
+  std::shared_ptr<State> state_;
+  // Finished-submission counter; shared with every per-graph completion
+  // hook so a hook mid-flight during teardown touches refcounted memory,
+  // never the catalog object.
+  std::shared_ptr<std::atomic<uint64_t>> finished_;
+  std::unique_ptr<SchedulerPool> pool_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_SERVE_CATALOG_H_

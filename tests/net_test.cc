@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/hgmatch.h"
+#include "io/binary_format.h"
 #include "io/byte_io.h"
 #include "tests/test_fixtures.h"
 #include "util/rng.h"
@@ -155,6 +156,125 @@ TEST(ProtocolTest, StatsFrameRoundTripsIoThreadRows) {
   // not an allocation request.
   std::string encoded = EncodeStats(stats);
   EXPECT_FALSE(DecodeStats(encoded.substr(0, encoded.size() - 8)).ok());
+}
+
+TEST(ProtocolTest, StatsFrameRoundTripsGraphRows) {
+  WireStats stats;
+  stats.num_threads = 1;
+  WireGraphStats g;
+  g.name = "orders";
+  g.is_default = true;
+  g.queries = 42;
+  g.live_tickets = 3;
+  g.index_bytes = 123456;
+  g.shards = 8;
+  stats.graphs.push_back(g);
+  g = WireGraphStats();
+  g.name = "users";
+  stats.graphs.push_back(g);
+
+  Result<WireStats> decoded = DecodeStats(EncodeStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().graphs.size(), 2u);
+  EXPECT_EQ(decoded.value().graphs[0].name, "orders");
+  EXPECT_TRUE(decoded.value().graphs[0].is_default);
+  EXPECT_EQ(decoded.value().graphs[0].queries, 42u);
+  EXPECT_EQ(decoded.value().graphs[0].live_tickets, 3u);
+  EXPECT_EQ(decoded.value().graphs[0].index_bytes, 123456u);
+  EXPECT_EQ(decoded.value().graphs[0].shards, 8u);
+  EXPECT_EQ(decoded.value().graphs[1].name, "users");
+  EXPECT_FALSE(decoded.value().graphs[1].is_default);
+
+  // The graph section is optional on the wire: a pre-catalog payload
+  // (nothing after the IO rows) still decodes, with no graph rows.
+  WireStats old_style;
+  old_style.num_threads = 1;
+  std::string encoded = EncodeStats(old_style);
+  const std::string trailer_free = encoded.substr(0, encoded.size() - 1);
+  Result<WireStats> old_decoded = DecodeStats(trailer_free);
+  ASSERT_TRUE(old_decoded.ok()) << old_decoded.status().ToString();
+  EXPECT_TRUE(old_decoded.value().graphs.empty());
+}
+
+TEST(ProtocolTest, SubmitFrameCarriesGraphOnlyWhenNegotiated) {
+  WireSubmit submit;
+  submit.request_id = 9;
+  submit.query = PaperQueryHypergraph();
+  submit.graph = "orders";
+
+  // Negotiated peers round-trip the route.
+  Result<WireSubmit> routed =
+      DecodeSubmit(EncodeSubmit(submit, /*with_graph=*/true),
+                   /*with_graph=*/true);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_EQ(routed.value().graph, "orders");
+  EXPECT_EQ(routed.value().request_id, 9u);
+  EXPECT_EQ(routed.value().query.NumEdges(), submit.query.NumEdges());
+
+  // Without the feature the field never reaches the wire, so a v1 decoder
+  // sees a byte-identical pre-catalog payload.
+  WireSubmit plain;
+  plain.request_id = 9;
+  plain.query = PaperQueryHypergraph();
+  EXPECT_EQ(EncodeSubmit(submit, /*with_graph=*/false), EncodeSubmit(plain));
+  Result<WireSubmit> unrouted = DecodeSubmit(EncodeSubmit(submit));
+  ASSERT_TRUE(unrouted.ok());
+  EXPECT_TRUE(unrouted.value().graph.empty());
+
+  // A graph-name length running past the payload is corruption.
+  std::string truncated = EncodeSubmit(submit, /*with_graph=*/true);
+  truncated.resize(20);
+  EXPECT_FALSE(DecodeSubmit(truncated, /*with_graph=*/true).ok());
+}
+
+TEST(ProtocolTest, CatalogRequestAndReplyRoundTrip) {
+  WireCatalogRequest request;
+  request.name = "fresh";
+  request.path = "/data/fresh.hgb";
+  Result<WireCatalogRequest> req =
+      DecodeCatalogRequest(EncodeCatalogRequest(request));
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req.value().name, "fresh");
+  EXPECT_EQ(req.value().path, "/data/fresh.hgb");
+
+  WireCatalogReply reply;
+  reply.ok = false;
+  reply.message = "remote graph loading is disabled";
+  WireGraphStats g;
+  g.name = "default";
+  g.is_default = true;
+  g.shards = 2;
+  reply.graphs.push_back(g);
+  Result<WireCatalogReply> rep =
+      DecodeCatalogReply(EncodeCatalogReply(reply));
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_FALSE(rep.value().ok);
+  EXPECT_EQ(rep.value().message, reply.message);
+  ASSERT_EQ(rep.value().graphs.size(), 1u);
+  EXPECT_EQ(rep.value().graphs[0].name, "default");
+  EXPECT_EQ(rep.value().graphs[0].shards, 2u);
+
+  // Hostile row counts and truncations are corruption, not allocations.
+  std::string encoded = EncodeCatalogReply(reply);
+  EXPECT_FALSE(DecodeCatalogReply(encoded.substr(0, 4)).ok());
+  EXPECT_FALSE(DecodeCatalogRequest("").ok());
+  std::string bomb;
+  bomb.push_back(1);           // ok
+  AppendVarint(0, &bomb);      // empty message
+  AppendVarint(1u << 30, &bomb);  // a billion rows, three bytes left
+  bomb.append("abc");
+  EXPECT_FALSE(DecodeCatalogReply(bomb).ok());
+}
+
+TEST(ProtocolTest, RejectedFrameRoundTripsUnknownGraphReason) {
+  WireRejected rejected;
+  rejected.request_id = 77;
+  rejected.reason = RejectReason::kUnknownGraph;
+  Result<WireRejected> decoded = DecodeRejected(EncodeRejected(rejected));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().reason, RejectReason::kUnknownGraph);
+  EXPECT_STREQ(RejectReasonName(RejectReason::kUnknownGraph),
+               "unknown-graph");
 }
 
 TEST(ProtocolTest, FrameReaderReassemblesFragmentedStreams) {
@@ -1686,6 +1806,241 @@ TEST(AsyncClientTest, InflightWindowBlocksSubmitUntilASlotFrees) {
   }));
   client.Close();
   server.Stop();
+}
+
+// ------------------------------------------------------- catalog tests --
+
+// The serving-tier acceptance flow: a server hosting two named graphs; a
+// catalog-negotiated client lists them, loads a third from disk, routes
+// submits by graph id, unloads a graph with queries still in flight (no
+// outcome lost or wrong), and a pre-catalog client keeps working against
+// the default graph over the same server.
+TEST(NetCatalogTest, EndToEndMultiGraphServing) {
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"small", PaperDataHypergraph()});
+  graphs.push_back({"big", PairCliqueData(8)});
+  ServerOptions options = LoopbackOptions(2);
+  options.allow_remote_load = true;
+  MatchServer server(std::move(graphs), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  IndexedHypergraph small_idx =
+      IndexedHypergraph::Build(PaperDataHypergraph());
+  IndexedHypergraph big_idx = IndexedHypergraph::Build(PairCliqueData(8));
+  const Hypergraph query = PathQuery(2);
+  const MatchStats want_small = MatchSequential(small_idx, query).value();
+  const MatchStats want_big = MatchSequential(big_idx, query).value();
+  ASSERT_NE(want_small.embeddings, want_big.embeddings);
+
+  AsyncClientOptions copts;
+  copts.request_features = kFeatureCatalog | kFeatureBatch;
+  MatchClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE((client.features() & kFeatureCatalog) != 0);
+
+  // LIST: both preloaded graphs, the first one default.
+  Result<WireCatalogReply> list = client.ListGraphs();
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  ASSERT_TRUE(list.value().ok);
+  ASSERT_EQ(list.value().graphs.size(), 2u);
+  EXPECT_EQ(list.value().graphs[0].name, "small");
+  EXPECT_TRUE(list.value().graphs[0].is_default);
+
+  // LOAD a third graph from the server's filesystem.
+  const std::string third_path =
+      ::testing::TempDir() + "/net_catalog_third.hgb";
+  ASSERT_TRUE(
+      SaveHypergraphBinary(PairCliqueData(5), third_path).ok());
+  Result<WireCatalogReply> loaded = client.LoadGraph("third", third_path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().ok) << loaded.value().message;
+  EXPECT_EQ(loaded.value().graphs.size(), 3u);
+  IndexedHypergraph third_idx = IndexedHypergraph::Build(PairCliqueData(5));
+  const MatchStats want_third = MatchSequential(third_idx, query).value();
+
+  // Route by graph id; each name resolves to its own exact counts.
+  Result<uint64_t> to_small = client.SubmitTo("small", query);
+  Result<uint64_t> to_big = client.SubmitTo("big", query);
+  Result<uint64_t> to_third = client.SubmitTo("third", query);
+  Result<uint64_t> to_default = client.Submit(query);
+  ASSERT_TRUE(to_small.ok() && to_big.ok() && to_third.ok() &&
+              to_default.ok());
+  EXPECT_EQ(client.WaitOutcome(to_small.value())
+                .value().outcome.stats.embeddings,
+            want_small.embeddings);
+  EXPECT_EQ(client.WaitOutcome(to_big.value())
+                .value().outcome.stats.embeddings,
+            want_big.embeddings);
+  EXPECT_EQ(client.WaitOutcome(to_third.value())
+                .value().outcome.stats.embeddings,
+            want_third.embeddings);
+  EXPECT_EQ(client.WaitOutcome(to_default.value())
+                .value().outcome.stats.embeddings,
+            want_small.embeddings);
+
+  // A batch routed to one graph stays exact, too.
+  std::vector<const Hypergraph*> batch{&query, &query};
+  Result<std::vector<uint64_t>> batch_ids =
+      client.SubmitBatchTo("big", batch);
+  ASSERT_TRUE(batch_ids.ok());
+  for (uint64_t id : batch_ids.value()) {
+    EXPECT_EQ(client.WaitOutcome(id).value().outcome.stats.embeddings,
+              want_big.embeddings);
+  }
+
+  // UNLOAD with queries in flight: fire a burst at "big", unload it
+  // immediately, and every already-accepted outcome still arrives exact.
+  std::vector<uint64_t> inflight;
+  for (int i = 0; i < 8; ++i) {
+    Result<uint64_t> id = client.SubmitTo("big", PathQuery(3));
+    ASSERT_TRUE(id.ok());
+    inflight.push_back(id.value());
+  }
+  Result<WireCatalogReply> unloaded = client.UnloadGraph("big");
+  ASSERT_TRUE(unloaded.ok());
+  EXPECT_TRUE(unloaded.value().ok) << unloaded.value().message;
+  const MatchStats want_inflight =
+      MatchSequential(big_idx, PathQuery(3)).value();
+  for (uint64_t id : inflight) {
+    Result<WireOutcome> outcome = client.WaitOutcome(id);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().outcome.status, QueryStatus::kOk);
+    EXPECT_EQ(outcome.value().outcome.stats.embeddings,
+              want_inflight.embeddings);
+  }
+
+  // Submits to the unloaded graph are typed rejections now, and the
+  // connection survives them.
+  Result<uint64_t> gone = client.SubmitTo("big", query);
+  ASSERT_TRUE(gone.ok());
+  Result<WireOutcome> rejected = client.WaitOutcome(gone.value());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().outcome.status, QueryStatus::kRejected);
+  EXPECT_EQ(rejected.value().reject_reason, RejectReason::kUnknownGraph);
+  ASSERT_TRUE(client.Ping().ok());
+
+  // Per-graph stats rows ride the plain STATS surface.
+  Result<WireStats> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().graphs.size(), 2u);  // big is gone
+  EXPECT_EQ(stats.value().graphs[0].name, "small");
+  EXPECT_TRUE(stats.value().graphs[0].is_default);
+  EXPECT_GT(stats.value().graphs[0].index_bytes, 0u);
+
+  // A pre-catalog client (no HELLO at all) still speaks the v1 byte
+  // stream against the default graph of the very same server.
+  MatchClient legacy;
+  ASSERT_TRUE(legacy.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> legacy_id = legacy.Submit(query);
+  ASSERT_TRUE(legacy_id.ok());
+  EXPECT_EQ(legacy.WaitOutcome(legacy_id.value())
+                .value().outcome.stats.embeddings,
+            want_small.embeddings);
+
+  client.Close();
+  legacy.Close();
+  server.Stop();
+}
+
+TEST(NetCatalogTest, UnknownGraphRejectsWithoutClosingConnection) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncClientOptions copts;
+  copts.request_features = kFeatureCatalog;
+  MatchClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Result<uint64_t> id = client.SubmitTo("nope", PaperQueryHypergraph());
+  ASSERT_TRUE(id.ok());
+  Result<WireOutcome> reply = client.WaitOutcome(id.value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().outcome.status, QueryStatus::kRejected);
+  EXPECT_EQ(reply.value().reject_reason, RejectReason::kUnknownGraph);
+
+  // The connection is intact and the default graph still answers.
+  Result<uint64_t> ok_id = client.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(ok_id.ok());
+  EXPECT_EQ(client.WaitOutcome(ok_id.value()).value().outcome.status,
+            QueryStatus::kOk);
+  server.Stop();
+}
+
+TEST(NetCatalogTest, RemoteLoadNeedsServerOptIn) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(2));  // allow_remote_load off
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncClientOptions copts;
+  copts.request_features = kFeatureCatalog;
+  MatchClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Result<WireCatalogReply> denied =
+      client.LoadGraph("x", "/tmp/anything.hgb");
+  ASSERT_TRUE(denied.ok());  // transport fine, verb refused
+  EXPECT_FALSE(denied.value().ok);
+  // LIST (and the connection) still work after the refusal.
+  Result<WireCatalogReply> list = client.ListGraphs();
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list.value().ok);
+  ASSERT_EQ(list.value().graphs.size(), 1u);
+  EXPECT_EQ(list.value().graphs[0].name, "default");
+  server.Stop();
+}
+
+TEST(NetCatalogTest, GraphRoutingRequiresNegotiatedFeature) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;  // no HELLO, no features
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_FALSE(client.SubmitTo("any", PaperQueryHypergraph()).ok());
+  EXPECT_FALSE(client.ListGraphs().ok());
+  // The empty route is the v1 stream and keeps working.
+  Result<uint64_t> id = client.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(client.WaitOutcome(id.value()).value().outcome.status,
+            QueryStatus::kOk);
+  server.Stop();
+}
+
+// Scatter-gather behind the wire: a sharded server fans every submission
+// across K scan slices and merged counts stay exactly sequential.
+TEST(NetCatalogTest, ShardedServerKeepsExactCountsOverTheWire) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(7));
+  const Hypergraph query = PathQuery(2);
+  const MatchStats expected = MatchSequential(idx, query).value();
+
+  for (uint32_t shards : {2u, 8u}) {
+    ServerOptions options = LoopbackOptions(4);
+    options.service.shards = shards;
+    MatchServer server(idx, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    MatchClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 6; ++i) {
+      Result<uint64_t> id = client.Submit(query);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    for (uint64_t id : ids) {
+      Result<WireOutcome> reply = client.WaitOutcome(id);
+      ASSERT_TRUE(reply.ok());
+      EXPECT_EQ(reply.value().outcome.stats.embeddings,
+                expected.embeddings)
+          << "shards " << shards;
+    }
+    Result<WireStats> stats = client.Stats();
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats.value().graphs.size(), 1u);
+    EXPECT_EQ(stats.value().graphs[0].shards, shards);
+    server.Stop();
+  }
 }
 
 #endif  // HGMATCH_NET_TEST_SOCKETS

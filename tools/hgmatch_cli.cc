@@ -8,9 +8,13 @@
 //   hgmatch batch <data> <queryset> [threads] [limit] [--max-inflight=N]
 //                 [--task-quota=N] [--timeout=S] [--batch-timeout=S]
 //                 [--no-plan-cache] [--policy=fifo|priority|wfq]
-//   hgmatch serve <data> [--port=N] [--host=H] [--threads=N] [flags...]
+//   hgmatch shard <in> <out-prefix> <K>
+//   hgmatch serve [<data>] [--graph NAME=PATH]... [--shards=K]
+//                 [--port=N] [--host=H] [--threads=N] [flags...]
 //   hgmatch query --connect=HOST:PORT <queryset> [--limit=N] [--batch]
-//                 [--compress] [--shutdown]
+//                 [--compress] [--graph=NAME] [--list-graphs]
+//                 [--load-graph=NAME=PATH] [--unload-graph=NAME]
+//                 [--shutdown]
 //
 // Files ending in .hgb use the binary format (io/binary_format.h); anything
 // else is the text format (io/loader.h).
@@ -27,6 +31,7 @@
 #include "gen/query_gen.h"
 #include "io/binary_format.h"
 #include "io/loader.h"
+#include "io/shard_io.h"
 #include "io/writer.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -80,7 +85,22 @@ int Usage() {
                "    [--no-plan-cache]    plan every query independently\n"
                "    [--policy=P]         admission order: fifo (default),\n"
                "                         priority, wfq (weighted-fair)\n"
-               "  hgmatch serve <data>   TCP front end over the service\n"
+               "  hgmatch shard <in> <out-prefix> <K>\n"
+               "                         split a data hypergraph into K\n"
+               "                         edge-disjoint shard files\n"
+               "                         (<out-prefix>.shardI-ofK.hgb)\n"
+               "  hgmatch serve [<data>] TCP front end over the service\n"
+               "    [--graph NAME=PATH]  serve PATH as graph NAME\n"
+               "                         (repeatable; first graph — or the\n"
+               "                         positional <data>, as \"default\" —\n"
+               "                         answers unrouted submits)\n"
+               "    [--shards=K]         split each graph into K shards and\n"
+               "                         scatter-gather every query across\n"
+               "                         them (1 = off)\n"
+               "    [--plan-cache-cap=N] keep at most N idle cached plans\n"
+               "                         per graph (0 = unbounded)\n"
+               "    [--allow-remote-load]  honour client LOAD_GRAPH (reads\n"
+               "                         files on this server's filesystem)\n"
                "    [--host=H]           listen address (default 127.0.0.1)\n"
                "    [--port=N]           listen port (0 = ephemeral)\n"
                "    [--port-file=PATH]   write the bound port to PATH\n"
@@ -112,6 +132,13 @@ int Usage() {
                "    [--stats]            print the server statistics\n"
                "                         snapshot (standalone or after\n"
                "                         the queryset)\n"
+               "    [--graph=NAME]       route the queryset to catalog\n"
+               "                         graph NAME (negotiates the\n"
+               "                         catalog feature)\n"
+               "    [--list-graphs]      print the server's graph catalog\n"
+               "    [--load-graph=NAME=PATH]  ask the server to load PATH\n"
+               "                         (its filesystem) as NAME\n"
+               "    [--unload-graph=NAME]  remove NAME from the catalog\n"
                "    [--shutdown]         ask the server to exit afterwards\n"
                "profiles: HC MA CH CP SB HB WT TC SA AR random\n"
                "queryset: text queries separated by '---' or '# query' "
@@ -422,6 +449,34 @@ int CmdBatch(int argc, char** argv) {
   return planned > 0 ? 0 : 1;
 }
 
+int CmdShard(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Result<Hypergraph> data = LoadAny(argv[2]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t k = 0;
+  if (!ParseCount(argv[4], &k) || k < 1 || k > 256) {
+    std::fprintf(stderr, "bad shard count '%s'\n", argv[4]);
+    return 2;
+  }
+  Timer timer;
+  Result<std::vector<std::string>> paths =
+      SaveShards(data.value(), argv[3], static_cast<uint32_t>(k));
+  if (!paths.ok()) {
+    std::fprintf(stderr, "%s\n", paths.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& p : paths.value()) {
+    std::printf("wrote %s\n", p.c_str());
+  }
+  std::printf("sharded %zu hyperedges into %llu files (%.2fs)\n",
+              data.value().NumEdges(), static_cast<unsigned long long>(k),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
 // Parses "HOST:PORT" (the last ':' splits, so numeric hosts stay simple).
 bool ParseHostPort(const char* arg, std::string* host, uint16_t* port) {
   const std::string s = arg;
@@ -438,18 +493,38 @@ bool ParseHostPort(const char* arg, std::string* host, uint16_t* port) {
   return true;
 }
 
+// Splits a "NAME=PATH" --graph payload. NAME must be non-empty (an empty
+// name is the wire spelling of "the default graph", never a real entry).
+bool ParseGraphSpec(const char* payload, std::string* name,
+                    std::string* path) {
+  const char* eq = std::strchr(payload, '=');
+  if (eq == nullptr || eq == payload || eq[1] == '\0') return false;
+  name->assign(payload, eq);
+  path->assign(eq + 1);
+  return true;
+}
+
 int CmdServe(int argc, char** argv) {
   if (argc < 3) return Usage();
-  Result<Hypergraph> data = LoadAny(argv[2]);
-  if (!data.ok()) {
-    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
-    return 1;
+
+  // The positional <data> (served as "default") is optional once --graph
+  // names the graphs explicitly; flags may therefore start at argv[2].
+  std::vector<NamedGraph> graphs;
+  int a = 2;
+  if (argv[2][0] != '-') {
+    Result<Hypergraph> data = LoadAny(argv[2]);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    graphs.push_back({"default", std::move(data.value())});
+    a = 3;
   }
 
   ServerOptions options;
   std::string port_file;
   double serve_seconds = 0;
-  for (int a = 3; a < argc; ++a) {
+  for (; a < argc; ++a) {
     const char* arg = argv[a];
     uint64_t count = 0;
     const int scheduling = ParseSchedulingFlag(
@@ -464,7 +539,53 @@ int CmdServe(int argc, char** argv) {
     if (scheduling > 0) {
       continue;
     }
-    if (std::strncmp(arg, "--host=", 7) == 0) {
+    if (std::strcmp(arg, "--graph") == 0 ||
+        std::strncmp(arg, "--graph=", 8) == 0) {
+      // "--graph NAME=PATH" or "--graph=NAME=PATH": load PATH now and
+      // serve it as NAME. Duplicate names are a spelling mistake worth
+      // rejecting here — the catalog would refuse the second Load at
+      // Start(), but with a less pointed message.
+      const char* spec = arg[7] == '=' ? arg + 8 : nullptr;
+      if (spec == nullptr) {
+        if (a + 1 >= argc) {
+          std::fprintf(stderr, "--graph needs NAME=PATH\n");
+          return 2;
+        }
+        spec = argv[++a];
+      }
+      std::string name, path;
+      if (!ParseGraphSpec(spec, &name, &path)) {
+        std::fprintf(stderr, "bad graph spec '%s' (want NAME=PATH)\n", spec);
+        return 2;
+      }
+      for (const NamedGraph& g : graphs) {
+        if (g.name == name) {
+          std::fprintf(stderr, "duplicate graph name '%s'\n", name.c_str());
+          return 2;
+        }
+      }
+      Result<Hypergraph> data = LoadAny(path);
+      if (!data.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     data.status().ToString().c_str());
+        return 1;
+      }
+      graphs.push_back({std::move(name), std::move(data.value())});
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      if (!ParseCount(arg + 9, &count) || count < 1 || count > 256) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.service.shards = static_cast<uint32_t>(count);
+    } else if (std::strncmp(arg, "--plan-cache-cap=", 17) == 0) {
+      if (!ParseCount(arg + 17, &count)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.service.plan_cache_capacity = count;
+    } else if (std::strcmp(arg, "--allow-remote-load") == 0) {
+      options.allow_remote_load = true;
+    } else if (std::strncmp(arg, "--host=", 7) == 0) {
       options.host = arg + 7;
     } else if (std::strncmp(arg, "--port=", 7) == 0) {
       if (!ParseCount(arg + 7, &count) || count > 65535) {
@@ -515,15 +636,20 @@ int CmdServe(int argc, char** argv) {
     }
   }
 
-  IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
-  MatchServer server(index, options);
+  if (graphs.empty()) {
+    std::fprintf(stderr, "serve needs a <data> positional or --graph\n");
+    return 2;
+  }
+  const size_t num_graphs = graphs.size();
+  MatchServer server(std::move(graphs), options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("serving %s:%u (%u worker threads, %u io threads)\n",
-              options.host.c_str(), server.port(),
+  std::printf("serving %s:%u (%zu graphs, %u worker threads, %u io "
+              "threads)\n",
+              options.host.c_str(), server.port(), num_graphs,
               server.Stats().num_threads, options.io_threads);
   std::fflush(stdout);
   if (!port_file.empty()) {
@@ -584,6 +710,41 @@ void PrintWireStats(const WireStats& s) {
                 static_cast<unsigned long long>(t.bytes_out),
                 static_cast<unsigned long long>(t.rejects));
   }
+  for (const WireGraphStats& g : s.graphs) {
+    std::printf("  graph %s%s: queries %llu, live %llu, index %llu bytes, "
+                "%u shard%s\n",
+                g.name.c_str(), g.is_default ? " (default)" : "",
+                static_cast<unsigned long long>(g.queries),
+                static_cast<unsigned long long>(g.live_tickets),
+                static_cast<unsigned long long>(g.index_bytes),
+                g.shards, g.shards == 1 ? "" : "s");
+  }
+}
+
+// Pretty-prints a kCatalogReply (the graph list every catalog verb
+// answers with).
+int PrintCatalogReply(const Result<WireCatalogReply>& reply) {
+  if (!reply.ok()) {
+    std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+    return 1;
+  }
+  const WireCatalogReply& r = reply.value();
+  if (!r.ok) {
+    std::fprintf(stderr, "catalog: %s\n", r.message.c_str());
+    return 1;
+  }
+  std::printf("catalog: %zu graph%s\n", r.graphs.size(),
+              r.graphs.size() == 1 ? "" : "s");
+  for (const WireGraphStats& g : r.graphs) {
+    std::printf("  %s%s: queries %llu, live %llu, index %llu bytes, "
+                "%u shard%s\n",
+                g.name.c_str(), g.is_default ? " (default)" : "",
+                static_cast<unsigned long long>(g.queries),
+                static_cast<unsigned long long>(g.live_tickets),
+                static_cast<unsigned long long>(g.index_bytes),
+                g.shards, g.shards == 1 ? "" : "s");
+  }
+  return 0;
 }
 
 int CmdQuery(int argc, char** argv) {
@@ -595,6 +756,10 @@ int CmdQuery(int argc, char** argv) {
   bool print_stats = false;
   bool use_batch = false;
   bool use_compress = false;
+  std::string graph;        // --graph: route the queryset here
+  bool list_graphs = false;
+  std::string load_name, load_path;  // --load-graph=NAME=PATH
+  std::string unload_name;           // --unload-graph=NAME
   for (int a = 2; a < argc; ++a) {
     const char* arg = argv[a];
     if (std::strncmp(arg, "--connect=", 10) == 0) {
@@ -605,6 +770,25 @@ int CmdQuery(int argc, char** argv) {
     } else if (std::strncmp(arg, "--limit=", 8) == 0) {
       if (!ParseCount(arg + 8, &limit)) {
         std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--graph=", 8) == 0) {
+      graph = arg + 8;
+      if (graph.empty()) {
+        std::fprintf(stderr, "--graph needs a name\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--list-graphs") == 0) {
+      list_graphs = true;
+    } else if (std::strncmp(arg, "--load-graph=", 13) == 0) {
+      if (!ParseGraphSpec(arg + 13, &load_name, &load_path)) {
+        std::fprintf(stderr, "bad value '%s' (want NAME=PATH)\n", arg);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--unload-graph=", 15) == 0) {
+      unload_name = arg + 15;
+      if (unload_name.empty()) {
+        std::fprintf(stderr, "--unload-graph needs a name\n");
         return 2;
       }
     } else if (std::strcmp(arg, "--stats") == 0) {
@@ -624,18 +808,26 @@ int CmdQuery(int argc, char** argv) {
       return Usage();
     }
   }
-  // A queryset is optional when only observing: `--stats` (and
-  // `--shutdown`) work standalone.
-  if (host.empty() || (queryset.empty() && !print_stats && !shutdown_after)) {
+  // A queryset is optional when only observing or administering: the
+  // catalog verbs, `--stats` and `--shutdown` all work standalone.
+  const bool catalog_admin =
+      list_graphs || !load_name.empty() || !unload_name.empty();
+  if (host.empty() ||
+      (queryset.empty() && !print_stats && !shutdown_after &&
+       !catalog_admin)) {
     return Usage();
   }
 
   // --batch/--compress opt into the negotiated extensions: a kHello
   // exchange at connect requests the feature bits, and the server's grant
-  // decides what actually goes over the wire.
+  // decides what actually goes over the wire. Graph routing and the
+  // catalog verbs ride on kFeatureCatalog.
   AsyncClientOptions copts;
   if (use_batch) copts.request_features |= kFeatureBatch;
   if (use_compress) copts.request_features |= kFeatureCompression;
+  if (!graph.empty() || catalog_admin) {
+    copts.request_features |= kFeatureCatalog;
+  }
 
   if (queryset.empty()) {
     MatchClient client(copts);
@@ -643,6 +835,19 @@ int CmdQuery(int argc, char** argv) {
     if (!connected.ok()) {
       std::fprintf(stderr, "%s\n", connected.ToString().c_str());
       return 1;
+    }
+    if (!load_name.empty()) {
+      const int rc = PrintCatalogReply(client.LoadGraph(load_name,
+                                                        load_path));
+      if (rc != 0) return rc;
+    }
+    if (!unload_name.empty()) {
+      const int rc = PrintCatalogReply(client.UnloadGraph(unload_name));
+      if (rc != 0) return rc;
+    }
+    if (list_graphs) {
+      const int rc = PrintCatalogReply(client.ListGraphs());
+      if (rc != 0) return rc;
     }
     if (print_stats) {
       Result<WireStats> stats = client.Stats();
@@ -679,6 +884,13 @@ int CmdQuery(int argc, char** argv) {
     return 1;
   }
 
+  // --load-graph runs before the queryset so `--load-graph=g=... --graph=g`
+  // can load and immediately query; unload/list run after the outcomes.
+  if (!load_name.empty()) {
+    const int rc = PrintCatalogReply(client.LoadGraph(load_name, load_path));
+    if (rc != 0) return rc;
+  }
+
   // Pipeline: submit everything, then collect outcomes in input order.
   std::vector<uint64_t> ids;
   ids.reserve(entries.value().size());
@@ -693,7 +905,8 @@ int CmdQuery(int argc, char** argv) {
     for (const QuerySetEntry& e : entries.value()) {
       queries.push_back(&e.query);
     }
-    Result<std::vector<uint64_t>> batch_ids = client.SubmitBatch(queries, so);
+    Result<std::vector<uint64_t>> batch_ids =
+        client.SubmitBatchTo(graph, queries, so);
     if (!batch_ids.ok()) {
       std::fprintf(stderr, "%s\n", batch_ids.status().ToString().c_str());
       return 1;
@@ -703,7 +916,7 @@ int CmdQuery(int argc, char** argv) {
     for (QuerySetEntry& e : entries.value()) {
       SubmitOptions so = e.submit;
       if (limit != SubmitOptions::kInheritLimit) so.limit = limit;
-      Result<uint64_t> id = client.Submit(e.query, so);
+      Result<uint64_t> id = client.SubmitTo(graph, e.query, so);
       if (!id.ok()) {
         std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
         return 1;
@@ -747,17 +960,26 @@ int CmdQuery(int argc, char** argv) {
         ids.empty() ? 0.0
                     : static_cast<double>(ts.bytes_sent + ts.bytes_received) /
                           static_cast<double>(ids.size());
-    std::printf("wire: granted%s%s%s, sent %llu frames / %llu bytes, "
+    std::printf("wire: granted%s%s%s%s, sent %llu frames / %llu bytes, "
                 "received %llu frames / %llu bytes, %.1f bytes/query\n",
                 client.features() == 0 ? " none" : "",
                 (client.features() & kFeatureBatch) != 0 ? " batch" : "",
                 (client.features() & kFeatureCompression) != 0 ? " compress"
                                                                : "",
+                (client.features() & kFeatureCatalog) != 0 ? " catalog" : "",
                 static_cast<unsigned long long>(ts.frames_sent),
                 static_cast<unsigned long long>(ts.bytes_sent),
                 static_cast<unsigned long long>(ts.frames_received),
                 static_cast<unsigned long long>(ts.bytes_received),
                 per_query);
+  }
+  if (!unload_name.empty()) {
+    const int rc = PrintCatalogReply(client.UnloadGraph(unload_name));
+    if (rc != 0) return rc;
+  }
+  if (list_graphs) {
+    const int rc = PrintCatalogReply(client.ListGraphs());
+    if (rc != 0) return rc;
   }
   if (print_stats) {
     Result<WireStats> stats = client.Stats();
@@ -786,6 +1008,7 @@ int Main(int argc, char** argv) {
   if (cmd == "sample") return CmdSample(argc, argv);
   if (cmd == "match") return CmdMatch(argc, argv);
   if (cmd == "batch") return CmdBatch(argc, argv);
+  if (cmd == "shard") return CmdShard(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
   return Usage();
