@@ -19,7 +19,10 @@
 // graph catalog: round-robin routing over 1 vs 4 hosted graphs and a
 // scatter-gather shard sweep (K = 1/2/8) of one expensive query shape,
 // with per-query counts cross-checked across every cell, written to
-// BENCH_catalog.json.
+// BENCH_catalog.json. A sixth section reruns the 10k-query flood under
+// {metrics on (the default), metrics compiled in but disabled, metrics +
+// per-query tracing} and reports each cell's q/s overhead against the
+// disabled baseline — the observability tax, written to BENCH_obs.json.
 
 #include <algorithm>
 #include <atomic>
@@ -31,6 +34,7 @@
 #include "bench/bench_common.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "parallel/service.h"
 #include "util/timer.h"
 
@@ -543,6 +547,129 @@ void CatalogSection() {
   std::printf("wrote BENCH_catalog.json\n");
 }
 
+// Observability-tax section: the 10k tiny-query flood of FloodSection
+// rerun under three instrumentation states. "metrics/off" flips the
+// process registry to disabled — every Add/Observe degrades to one
+// relaxed load + branch, the compiled-in-but-idle configuration — and is
+// the baseline; "metrics/on" is the shipped default (sharded counters and
+// histograms live on every layer's hot path); "trace/on" adds per-query
+// span capture and the OUTCOME trace section on the wire (kFeatureTrace).
+// Overhead is reported as the q/s delta against the disabled baseline.
+// Loopback is the worst case for this tax: no network time hides the
+// extra stamps, so deployment overhead is bounded by these numbers.
+struct ObsCell {
+  const char* mode = "";
+  bool metrics = true;
+  bool trace = false;
+  size_t queries = 0;
+  double seconds = 0;
+};
+
+bool RunObsCell(const IndexedHypergraph& index, const Hypergraph& tiny,
+                ObsCell* cell) {
+  MetricsRegistry::Default().set_enabled(cell->metrics);
+  ServerOptions server_options;
+  server_options.service.parallel.num_threads = 2;
+  MatchServer server(index, server_options);
+  if (!server.Start().ok()) return false;
+
+  AsyncClientOptions copts;
+  if (cell->trace) copts.request_features |= kFeatureTrace;
+  MatchClient client(copts);
+  if (!client.Connect("127.0.0.1", server.port()).ok()) return false;
+
+  Timer timer;
+  std::vector<uint64_t> ids;
+  ids.reserve(cell->queries);
+  for (size_t i = 0; i < cell->queries; ++i) {
+    Result<uint64_t> id = client.Submit(tiny);
+    if (!id.ok()) return false;
+    ids.push_back(id.value());
+  }
+  for (uint64_t id : ids) {
+    if (!client.WaitOutcome(id).ok()) return false;
+  }
+  cell->seconds = timer.ElapsedSeconds();
+  server.Stop();
+  MetricsRegistry::Default().set_enabled(true);
+  return true;
+}
+
+void ObsSection() {
+  Hypergraph clique;
+  constexpr uint32_t kVertices = 16;
+  clique.AddVertices(kVertices, 0);
+  for (VertexId i = 0; i < kVertices; ++i) {
+    for (VertexId j = i + 1; j < kVertices; ++j) (void)clique.AddEdge({i, j});
+  }
+  IndexedHypergraph index = IndexedHypergraph::Build(std::move(clique));
+  Hypergraph tiny;
+  tiny.AddVertices(2, 0);
+  (void)tiny.AddEdge({0, 1});
+
+  constexpr size_t kFlood = 10000;
+  ObsCell cells[3];
+  cells[0].mode = "metrics/off";
+  cells[0].metrics = false;
+  cells[1].mode = "metrics/on";
+  cells[2].mode = "trace/on";
+  cells[2].trace = true;
+  std::printf("-- observability tax (%zu single-edge queries, 1 conn) --\n",
+              kFlood);
+  // One discarded flood first: the first flood of the process pays page
+  // faults and allocator warmup, which would otherwise all land on the
+  // baseline cell and make the instrumented cells look free.
+  ObsCell warmup = cells[1];
+  warmup.queries = kFlood;
+  (void)RunObsCell(index, tiny, &warmup);
+  for (ObsCell& cell : cells) {
+    cell.queries = kFlood;
+    bool ok = false;
+    for (int rep = 0; rep < 3; ++rep) {  // best of three, as FloodSection
+      ObsCell probe = cell;
+      if (!RunObsCell(index, tiny, &probe)) break;
+      if (!ok || probe.seconds < cell.seconds) cell.seconds = probe.seconds;
+      ok = true;
+    }
+    if (!ok) {
+      std::printf("obs           unavailable on this platform\n");
+      return;
+    }
+  }
+  const double base_qps =
+      cells[0].seconds > 0 ? kFlood / cells[0].seconds : 0;
+  for (const ObsCell& cell : cells) {
+    const double qps = cell.seconds > 0 ? kFlood / cell.seconds : 0;
+    const double overhead =
+        base_qps > 0 ? (base_qps - qps) / base_qps * 100.0 : 0;
+    std::printf("%-12s %8.4fs  %9.1f q/s  %+6.2f%% vs metrics/off\n",
+                cell.mode, cell.seconds, qps, overhead);
+  }
+
+  std::FILE* json = std::fopen("BENCH_obs.json", "w");
+  if (json == nullptr) {
+    std::printf("(could not write BENCH_obs.json)\n");
+    return;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"net_loopback_obs\",\n");
+  std::fprintf(json, "  \"queries\": %zu,\n  \"cells\": [\n", kFlood);
+  for (size_t i = 0; i < 3; ++i) {
+    const ObsCell& cell = cells[i];
+    const double qps = cell.seconds > 0 ? kFlood / cell.seconds : 0;
+    std::fprintf(json,
+                 "    {\"mode\": \"%s\", \"metrics\": %s, \"trace\": %s, "
+                 "\"seconds\": %.6f, \"qps\": %.1f, "
+                 "\"overhead_pct_vs_disabled\": %.3f}%s\n",
+                 cell.mode, cell.metrics ? "true" : "false",
+                 cell.trace ? "true" : "false", cell.seconds, qps,
+                 base_qps > 0 ? (base_qps - qps) / base_qps * 100.0 : 0,
+                 i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_obs.json\n");
+}
+
 int Main(int argc, char** argv) {
   const auto names = DatasetArgs(argc, argv, {"CP"});
   for (const std::string& name : names) {
@@ -616,6 +743,7 @@ int Main(int argc, char** argv) {
   ConcurrentSweepSection();
   FloodSection();
   CatalogSection();
+  ObsSection();
   return 0;
 }
 

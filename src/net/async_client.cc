@@ -508,7 +508,8 @@ bool AsyncMatchClient::HandleServerFrame(FrameType type,
                                          std::string& payload) {
   switch (type) {
     case FrameType::kOutcome: {
-      Result<WireOutcome> outcome = DecodeOutcome(payload);
+      Result<WireOutcome> outcome =
+          DecodeOutcome(payload, (features_ & kFeatureTrace) != 0);
       if (!outcome.ok()) {
         FailAll(outcome.status());
         return false;
@@ -524,7 +525,8 @@ bool AsyncMatchClient::HandleServerFrame(FrameType type,
         return false;
       }
       for (const std::string_view entry : entries.value()) {
-        Result<WireOutcome> outcome = DecodeOutcome(entry);
+        Result<WireOutcome> outcome =
+            DecodeOutcome(entry, (features_ & kFeatureTrace) != 0);
         if (!outcome.ok()) {
           FailAll(outcome.status());
           return false;

@@ -28,8 +28,9 @@ struct AsyncClientOptions {
   /// unbounded work into a slow server. 0 = unbounded.
   uint32_t max_inflight = 1024;
 
-  /// Feature bits (kFeatureBatch | kFeatureCompression | kFeatureCatalog)
-  /// to request via a kHello exchange at Connect(). The default 0 sends
+  /// Feature bits (kFeatureBatch | kFeatureCompression | kFeatureCatalog |
+  /// kFeatureTrace) to request via a kHello exchange at Connect(). The
+  /// default 0 sends
   /// no HELLO at all — the stream is then byte-identical to the pre-HELLO
   /// protocol, so the default client interoperates with servers of any
   /// age. Requesting features against a pre-HELLO server fails Connect()

@@ -103,7 +103,7 @@ Result<WireSubmit> DecodeSubmit(std::string_view payload, bool with_graph) {
   return submit;
 }
 
-std::string EncodeOutcome(const WireOutcome& wire) {
+std::string EncodeOutcome(const WireOutcome& wire, bool with_trace) {
   const QueryOutcome& out = wire.outcome;
   std::string payload;
   AppendValue<uint64_t>(wire.request_id, &payload);
@@ -119,10 +119,32 @@ std::string EncodeOutcome(const WireOutcome& wire) {
   AppendValue<double>(out.admit_seconds, &payload);
   AppendValue<double>(out.finish_seconds, &payload);
   AppendValue<uint64_t>(out.admit_index, &payload);
+  if (with_trace) {
+    // Trailing trace section, present only between kFeatureTrace peers:
+    // untraced peers keep the byte-identical pre-trace payload above.
+    const QuerySpan& span = out.span;
+    AppendValue<uint8_t>(span.enabled ? 1 : 0, &payload);
+    if (span.enabled) {
+      AppendValue<double>(span.submit_seconds, &payload);
+      AppendValue<double>(span.admit_seconds, &payload);
+      AppendValue<double>(span.first_task_seconds, &payload);
+      AppendValue<double>(span.last_task_seconds, &payload);
+      AppendValue<double>(span.resolve_seconds, &payload);
+      AppendValue<double>(span.deliver_seconds, &payload);
+      AppendVarint(span.slices.size(), &payload);
+      for (const TraceSlice& s : span.slices) {
+        AppendValue<uint32_t>(s.slice, &payload);
+        AppendValue<double>(s.admit_seconds, &payload);
+        AppendValue<double>(s.first_task_seconds, &payload);
+        AppendValue<double>(s.finish_seconds, &payload);
+      }
+    }
+  }
   return payload;
 }
 
-Result<WireOutcome> DecodeOutcome(std::string_view payload) {
+Result<WireOutcome> DecodeOutcome(std::string_view payload,
+                                  bool with_trace) {
   ByteReader r(payload);
   WireOutcome wire;
   wire.request_id = r.ReadValue<uint64_t>();
@@ -143,6 +165,35 @@ Result<WireOutcome> DecodeOutcome(std::string_view payload) {
   out.admit_seconds = r.ReadValue<double>();
   out.finish_seconds = r.ReadValue<double>();
   out.admit_index = r.ReadValue<uint64_t>();
+  if (with_trace) {
+    const uint8_t enabled = r.ReadValue<uint8_t>();
+    if (r.ok() && enabled > 1) {
+      return Status::Corruption("malformed OUTCOME trace section");
+    }
+    if (r.ok() && enabled == 1) {
+      QuerySpan& span = out.span;
+      span.enabled = true;
+      span.submit_seconds = r.ReadValue<double>();
+      span.admit_seconds = r.ReadValue<double>();
+      span.first_task_seconds = r.ReadValue<double>();
+      span.last_task_seconds = r.ReadValue<double>();
+      span.resolve_seconds = r.ReadValue<double>();
+      span.deliver_seconds = r.ReadValue<double>();
+      const uint64_t slices = ReadVarint(r);
+      // 28 bytes per row; the bound keeps a corrupt count from turning
+      // into a giant allocation before the length check can fail.
+      if (!r.ok() || slices > r.remaining() / 28) {
+        return Status::Corruption("malformed OUTCOME trace section");
+      }
+      span.slices.resize(slices);
+      for (TraceSlice& s : span.slices) {
+        s.slice = r.ReadValue<uint32_t>();
+        s.admit_seconds = r.ReadValue<double>();
+        s.first_task_seconds = r.ReadValue<double>();
+        s.finish_seconds = r.ReadValue<double>();
+      }
+    }
+  }
   if (!r.ok() || r.remaining() != 0) {
     return Status::Corruption("malformed OUTCOME frame");
   }
@@ -223,6 +274,20 @@ std::string EncodeStats(const WireStats& stats) {
   // optional, so a payload from a pre-catalog encoder still parses.
   AppendVarint(stats.graphs.size(), &payload);
   for (const WireGraphStats& g : stats.graphs) AppendGraphStats(g, &payload);
+  // Uptime + slow-query section trails the graph rows as a second
+  // optional tier (absent from pre-observability encoders).
+  AppendValue<double>(stats.uptime_seconds, &payload);
+  AppendValue<double>(stats.monotonic_seconds, &payload);
+  AppendVarint(stats.slow_queries.size(), &payload);
+  for (const WireSlowQuery& s : stats.slow_queries) {
+    AppendValue<uint64_t>(s.request_id, &payload);
+    AppendValue<uint32_t>(s.tenant_id, &payload);
+    AppendString(s.graph, &payload);
+    AppendValue<double>(s.total_seconds, &payload);
+    AppendValue<double>(s.queue_seconds, &payload);
+    AppendValue<double>(s.run_seconds, &payload);
+    AppendValue<double>(s.deliver_seconds, &payload);
+  }
   return payload;
 }
 
@@ -269,6 +334,31 @@ Result<WireStats> DecodeStats(std::string_view payload) {
       if (!ReadGraphStats(r, &g)) {
         return Status::Corruption("malformed STATS frame");
       }
+    }
+  }
+  if (r.ok() && r.remaining() > 0) {
+    // Second optional tier: uptime + slow-query ring (observability-era
+    // servers). A payload that has graph rows but ends before this point
+    // is a valid pre-observability encoding.
+    stats.uptime_seconds = r.ReadValue<double>();
+    stats.monotonic_seconds = r.ReadValue<double>();
+    const uint64_t count = ReadVarint(r);
+    // >= 37 bytes per row (fixed fields + 1-byte name length); the bound
+    // keeps a corrupt count from turning into a giant allocation.
+    if (!r.ok() || count > r.remaining() / 37) {
+      return Status::Corruption("malformed STATS frame");
+    }
+    stats.slow_queries.resize(count);
+    for (WireSlowQuery& s : stats.slow_queries) {
+      s.request_id = r.ReadValue<uint64_t>();
+      s.tenant_id = r.ReadValue<uint32_t>();
+      if (!ReadString(r, &s.graph)) {
+        return Status::Corruption("malformed STATS frame");
+      }
+      s.total_seconds = r.ReadValue<double>();
+      s.queue_seconds = r.ReadValue<double>();
+      s.run_seconds = r.ReadValue<double>();
+      s.deliver_seconds = r.ReadValue<double>();
     }
   }
   if (!r.ok() || r.remaining() != 0) {

@@ -123,6 +123,13 @@ enum class FrameType : uint8_t {
 inline constexpr uint32_t kFeatureCompression = 1u << 0;
 inline constexpr uint32_t kFeatureBatch = 1u << 1;
 inline constexpr uint32_t kFeatureCatalog = 1u << 2;
+/// Per-query tracing: the server records a QuerySpan for every submission
+/// on the connection and appends it to each OUTCOME payload as a trailing
+/// optional section (see the with_trace flag of EncodeOutcome /
+/// DecodeOutcome). Peers that never negotiated the bit keep the
+/// byte-identical pre-trace stream — the same compatibility pattern as
+/// kFeatureCatalog's SUBMIT graph field.
+inline constexpr uint32_t kFeatureTrace = 1u << 3;
 
 /// Payloads below this size skip the compression attempt outright: the
 /// wrapper overhead (type byte + raw-size varint + control bytes) eats any
@@ -200,6 +207,20 @@ struct WireGraphStats {
   uint32_t shards = 1;        // scatter-gather fan-out
 };
 
+/// One slow-query ring entry in kStatsReply (ServerOptions::
+/// slow_query_ms): which query was slow, whose it was, where it ran, and
+/// where its time went — the span summary an operator reads before asking
+/// for the full trace.
+struct WireSlowQuery {
+  uint64_t request_id = 0;
+  uint32_t tenant_id = 0;
+  std::string graph;            // empty = the default graph
+  double total_seconds = 0;     // submit -> delivery
+  double queue_seconds = 0;     // submit -> admission
+  double run_seconds = 0;       // first task -> last task
+  double deliver_seconds = 0;   // resolution -> socket write
+};
+
 /// Server statistics snapshot (kStatsReply): whole-server counters, live
 /// scheduler/service gauges, and one row per IO thread — the
 /// Prometheus-style observability surface of the wire front end.
@@ -223,6 +244,15 @@ struct WireStats {
   /// One row per hosted graph (default first). Absent on the wire when
   /// the server predates the catalog — decoders leave it empty then.
   std::vector<WireGraphStats> graphs;
+
+  /// Trailing optional uptime section (absent from pre-observability
+  /// encoders; decoders leave the defaults then): how long the server has
+  /// been up, the process-monotonic clock at snapshot time (lets a client
+  /// align span stamps from traced outcomes with this snapshot), and the
+  /// slow-query ring (newest last; empty when --slow-query-ms is off).
+  double uptime_seconds = 0;
+  double monotonic_seconds = 0;
+  std::vector<WireSlowQuery> slow_queries;
 };
 
 /// kLoadGraph / kUnloadGraph payload: the graph name and, for loads, a
@@ -256,8 +286,16 @@ std::string EncodeSubmit(const WireSubmit& fields, const Hypergraph& query,
 Result<WireSubmit> DecodeSubmit(std::string_view payload,
                                 bool with_graph = false);
 
-std::string EncodeOutcome(const WireOutcome& outcome);
-Result<WireOutcome> DecodeOutcome(std::string_view payload);
+/// with_trace selects the trace-negotiated OUTCOME layout, which appends
+/// the query's QuerySpan (enabled flag, six stamps, per-slice rows) after
+/// the fixed fields. It must match on both ends: pass true exactly when
+/// the connection was granted kFeatureTrace (batch entries inherit the
+/// connection's flag). With with_trace=true and an untraced outcome the
+/// section is a single 0 byte.
+std::string EncodeOutcome(const WireOutcome& outcome,
+                          bool with_trace = false);
+Result<WireOutcome> DecodeOutcome(std::string_view payload,
+                                  bool with_trace = false);
 
 std::string EncodeRejected(const WireRejected& rejected);
 Result<WireRejected> DecodeRejected(std::string_view payload);

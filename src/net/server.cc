@@ -2,6 +2,8 @@
 
 #include "io/binary_format.h"
 #include "io/loader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/catalog.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -13,7 +15,9 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -27,6 +31,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "net/reactor.h"
@@ -109,6 +114,14 @@ class MatchServer::Impl {
       CloseListen();
       return Status::IOError("cannot listen on " + options_.host);
     }
+    if (options_.metrics_port >= 0) {
+      Status ms = OpenMetricsListener();
+      if (!ms.ok()) {
+        CloseListen();
+        return ms;
+      }
+    }
+    start_mono_ = MonotonicSeconds();
     // Every loop is initialised before any thread launches, so the
     // acceptor may Post() adoptions into a sibling loop from its very
     // first pass.
@@ -120,6 +133,7 @@ class MatchServer::Impl {
       if (!init.ok()) {
         io_.clear();
         CloseListen();
+        CloseMetrics();
         return init;
       }
       io_.push_back(std::move(t));
@@ -135,6 +149,8 @@ class MatchServer::Impl {
   }
 
   uint16_t port() const { return port_; }
+
+  uint16_t metrics_port() const { return metrics_port_; }
 
   void Wait() {
     std::unique_lock<std::mutex> lock(exit_mutex_);
@@ -155,9 +171,10 @@ class MatchServer::Impl {
     for (auto& t : io_) {
       if (t->thread.joinable()) t->thread.join();
     }
-    // Thread 0 closes the listener on exit; this covers Start() failure
+    // Thread 0 closes the listeners on exit; this covers Start() failure
     // paths and the never-started server.
     CloseListen();
+    CloseMetrics();
     // The loops cancelled whatever was still in flight on exit; those
     // queries resolve asynchronously and their completion hooks touch the
     // loops' wake pipes. Shut the catalog down *before* the loops are
@@ -184,6 +201,21 @@ class MatchServer::Impl {
     s.service_live_contexts = gauges.live_contexts;
     s.service_retained_slots = gauges.retained_slots;
     s.graphs = GraphRows();
+    s.monotonic_seconds = MonotonicSeconds();
+    if (start_mono_ > 0) s.uptime_seconds = s.monotonic_seconds - start_mono_;
+    {
+      std::lock_guard<std::mutex> lock(slow_mutex_);
+      if (slow_queries_.size() < kSlowRingCapacity) {
+        s.slow_queries = slow_queries_;
+      } else {
+        // Full ring: unroll oldest-first.
+        s.slow_queries.reserve(kSlowRingCapacity);
+        for (size_t i = 0; i < kSlowRingCapacity; ++i) {
+          s.slow_queries.push_back(
+              slow_queries_[(slow_next_ + i) % kSlowRingCapacity]);
+        }
+      }
+    }
     s.io_threads.reserve(io_.size());
     for (const auto& t : io_) {
       WireIoThreadStats row;
@@ -227,10 +259,22 @@ class MatchServer::Impl {
   };
 
   // Where a finished ticket's reply goes: the connection that submitted it
-  // and the client-chosen request id scoping the reply.
+  // and the client-chosen request id scoping the reply. Tenant and graph
+  // ride along so the slow-query ring can attribute the entry without a
+  // second lookup.
   struct Route {
     Conn* conn = nullptr;
     uint64_t request_id = 0;
+    uint32_t tenant_id = 0;
+    std::string graph;  // as submitted; empty = the default graph
+  };
+
+  // One completion-hook notification: the finished ticket plus the moment
+  // the hook enqueued it, so DeliverReady can histogram the hook-to-
+  // delivery latency.
+  struct ReadyItem {
+    uint64_t ticket_id = 0;
+    double enqueued_seconds = 0;
   };
 
   // One reactor thread: an event loop plus every piece of protocol state
@@ -247,12 +291,12 @@ class MatchServer::Impl {
     std::unordered_map<int, Conn*> by_fd;
     std::unordered_map<uint64_t, Route> routes;  // ticket id -> reply route
     uint64_t finished_seen = 0;  // poll-fallback delivery gate
-    std::vector<uint64_t> ready_drain;  // reusable swap target
+    std::vector<ReadyItem> ready_drain;  // reusable swap target
 
     // Ticket ids whose outcomes finalised, pushed by the completion hook
     // from pool threads, drained by the owning loop.
     std::mutex ready_mutex;
-    std::vector<uint64_t> ready;
+    std::vector<ReadyItem> ready;
 
     // Per-thread stats row (kStatsReply): one writer, racing readers.
     std::atomic<uint64_t> st_connections{0};
@@ -326,7 +370,7 @@ class MatchServer::Impl {
     if (target == nullptr) return;
     {
       std::lock_guard<std::mutex> lock(target->ready_mutex);
-      target->ready.push_back(ticket_id);
+      target->ready.push_back({ticket_id, MonotonicSeconds()});
     }
     target->loop.Wake();
   }
@@ -397,6 +441,137 @@ class MatchServer::Impl {
     }
   }
 
+  void CloseMetrics() {
+    if (metrics_fd_ >= 0) {
+      ::close(metrics_fd_);
+      metrics_fd_ = -1;
+    }
+  }
+
+  void CloseMetricsFrom(IoThread* t0) {
+    if (metrics_fd_ >= 0) {
+      t0->loop.Remove(metrics_fd_);
+      ::close(metrics_fd_);
+      metrics_fd_ = -1;
+    }
+  }
+
+  // Second listener of the Prometheus endpoint, same address as the wire
+  // port, served by IO thread 0's loop.
+  Status OpenMetricsListener() {
+    if (options_.metrics_port > 65535) {
+      return Status::InvalidArgument("bad metrics port " +
+                                     std::to_string(options_.metrics_port));
+    }
+    metrics_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (metrics_fd_ < 0) return Status::IOError("socket() failed");
+    const int one = 1;
+    ::setsockopt(metrics_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.metrics_port));
+    ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr);
+    if (::bind(metrics_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      CloseMetrics();
+      return Status::IOError("cannot bind metrics port " +
+                             std::to_string(options_.metrics_port));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(metrics_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len);
+    metrics_port_ = ntohs(bound.sin_port);
+    if (::listen(metrics_fd_, 16) != 0 || !SetNonBlocking(metrics_fd_)) {
+      CloseMetrics();
+      return Status::IOError("cannot listen on metrics port");
+    }
+    return Status::OK();
+  }
+
+  // Gauges only the server knows, appended to the registry render at
+  // scrape time (no callback plumbing, no stale cached values).
+  void AppendServerGauges(std::string* out) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "# TYPE hgmatch_server_uptime_seconds gauge\n"
+                  "hgmatch_server_uptime_seconds %.6f\n",
+                  start_mono_ > 0 ? MonotonicSeconds() - start_mono_ : 0.0);
+    out->append(line);
+    std::snprintf(line, sizeof(line),
+                  "# TYPE hgmatch_server_connections gauge\n"
+                  "hgmatch_server_connections %llu\n",
+                  static_cast<unsigned long long>(
+                      connections_.load(std::memory_order_relaxed)));
+    out->append(line);
+    std::snprintf(line, sizeof(line),
+                  "# TYPE hgmatch_server_inflight_queries gauge\n"
+                  "hgmatch_server_inflight_queries %llu\n",
+                  static_cast<unsigned long long>(
+                      inflight_.load(std::memory_order_relaxed)));
+    out->append(line);
+  }
+
+  std::string BuildMetricsResponse(std::string_view request) {
+    const char* status = "200 OK";
+    std::string body;
+    const size_t sp1 = request.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : request.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos) {
+      status = "400 Bad Request";
+      body = "bad request\n";
+    } else if (request.substr(0, sp1) != "GET") {
+      status = "405 Method Not Allowed";
+      body = "method not allowed\n";
+    } else {
+      const std::string_view path =
+          request.substr(sp1 + 1, sp2 - sp1 - 1);
+      if (path != "/metrics" && path != "/") {
+        status = "404 Not Found";
+        body = "try /metrics\n";
+      } else {
+        body = MetricsRegistry::Default().RenderPrometheus();
+        AppendServerGauges(&body);
+      }
+    }
+    char header[192];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.0 %s\r\n"
+                  "Content-Type: text/plain; version=0.0.4\r\n"
+                  "Content-Length: %llu\r\n"
+                  "Connection: close\r\n\r\n",
+                  status, static_cast<unsigned long long>(body.size()));
+    return std::string(header) + body;
+  }
+
+  // Answers every pending scrape connection. One short blocking exchange
+  // per scrape on IO thread 0: the request is one packet and the response
+  // a few kilobytes, so a bounded stall (1 s socket deadlines) beats a
+  // dedicated exposition thread. Accepted sockets do not inherit
+  // O_NONBLOCK from the listener, so the deadlines actually bound the
+  // exchange.
+  void ServeMetricsConnections() {
+    while (metrics_fd_ >= 0) {
+      const int fd = ::accept(metrics_fd_, nullptr, nullptr);
+      if (fd < 0) break;
+      timeval deadline{};
+      deadline.tv_sec = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &deadline,
+                   sizeof(deadline));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &deadline,
+                   sizeof(deadline));
+      char request[1024];
+      const ssize_t got = ::read(fd, request, sizeof(request) - 1);
+      if (got > 0) {
+        const std::string response = BuildMetricsResponse(
+            std::string_view(request, static_cast<size_t>(got)));
+        (void)SendBytes(fd, response.data(), response.size());
+      }
+      ::close(fd);
+    }
+  }
+
   void SendFrame(IoThread* t, Conn* conn, FrameType type,
                  std::string_view payload) {
     AppendFrame(type, payload, &conn->outbuf);
@@ -409,9 +584,14 @@ class MatchServer::Impl {
   // read its eviction notice.
   void SendFrameNegotiated(IoThread* t, Conn* conn, FrameType type,
                            std::string_view payload) {
+    const size_t before = conn->outbuf.size();
     AppendFrameMaybeCompressed(type, payload,
                                (conn->features & kFeatureCompression) != 0,
                                &conn->outbuf);
+    // Raw payload bytes vs what actually hit the buffer (codec output
+    // plus frame headers): the pair makes compression wins measurable.
+    metric_reply_raw_bytes_->Add(payload.size());
+    metric_reply_wire_bytes_->Add(conn->outbuf.size() - before);
     t->st_frames_out.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -420,6 +600,8 @@ class MatchServer::Impl {
   // replies are never pinned behind an idle wait.
   void FlushBatchReplies(IoThread* t, Conn* conn) {
     if (conn->batch_replies.empty()) return;
+    metric_batch_replies_->Observe(
+        static_cast<double>(conn->batch_replies.size()));
     const std::string payload = EncodeBatchPayload(conn->batch_replies);
     conn->batch_replies.clear();
     SendFrameNegotiated(t, conn, FrameType::kBatchOutcome, payload);
@@ -442,9 +624,11 @@ class MatchServer::Impl {
     conn->inflight.clear();
   }
 
-  // Queues one finished query's reply on its connection.
+  // Queues one finished query's reply on its connection. Tenant and graph
+  // only attribute the slow-query ring entry; delivery needs neither.
   void DeliverOutcome(IoThread* t, Conn* conn, uint64_t request_id,
-                      const QueryOutcome& outcome) {
+                      const QueryOutcome& outcome, uint32_t tenant_id,
+                      const std::string& graph) {
     if (outcome.status == QueryStatus::kRejected) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       t->st_rejects.fetch_add(1, std::memory_order_relaxed);
@@ -452,14 +636,49 @@ class MatchServer::Impl {
                 EncodeRejected({request_id, RejectReason::kQueueFull}));
     } else {
       completed_.fetch_add(1, std::memory_order_relaxed);
+      WireOutcome wire{request_id, outcome, RejectReason::kQueueFull};
+      if (wire.outcome.span.enabled) {
+        wire.outcome.span.deliver_seconds = MonotonicSeconds();
+        RecordSlowQuery(wire.outcome.span, request_id, tenant_id, graph);
+      }
       std::string payload =
-          EncodeOutcome({request_id, outcome, RejectReason::kQueueFull});
+          EncodeOutcome(wire, (conn->features & kFeatureTrace) != 0);
       if ((conn->features & kFeatureBatch) != 0) {
         conn->batch_replies.push_back(std::move(payload));
       } else {
         SendFrameNegotiated(t, conn, FrameType::kOutcome, payload);
       }
     }
+  }
+
+  // Records one finished span in the slow-query ring when it crosses the
+  // configured threshold (most recent kSlowRingCapacity entries win).
+  void RecordSlowQuery(const QuerySpan& span, uint64_t request_id,
+                       uint32_t tenant_id, const std::string& graph) {
+    if (options_.slow_query_ms <= 0) return;
+    const double total = span.TotalSeconds();
+    if (total * 1000.0 < options_.slow_query_ms) return;
+    WireSlowQuery row;
+    row.request_id = request_id;
+    row.tenant_id = tenant_id;
+    row.graph = graph.empty() ? "default" : graph;
+    row.total_seconds = total;
+    if (span.submit_seconds > 0 && span.admit_seconds > 0) {
+      row.queue_seconds = span.admit_seconds - span.submit_seconds;
+    }
+    if (span.first_task_seconds > 0 && span.last_task_seconds > 0) {
+      row.run_seconds = span.last_task_seconds - span.first_task_seconds;
+    }
+    if (span.resolve_seconds > 0 && span.deliver_seconds > 0) {
+      row.deliver_seconds = span.deliver_seconds - span.resolve_seconds;
+    }
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    if (slow_queries_.size() < kSlowRingCapacity) {
+      slow_queries_.push_back(std::move(row));
+    } else {
+      slow_queries_[slow_next_ % kSlowRingCapacity] = std::move(row);
+    }
+    ++slow_next_;
   }
 
   // Every catalog verb answers with one kCatalogReply carrying the verb's
@@ -495,7 +714,8 @@ class MatchServer::Impl {
 
   // Extracts the remotely-settable SubmitOptions fields of one decoded
   // submission (hostile floats are clamped to the server defaults).
-  static SubmitOptions SubmitOptionsFor(const WireSubmit& ws) {
+  SubmitOptions SubmitOptionsFor(const Conn* conn,
+                                 const WireSubmit& ws) const {
     SubmitOptions so;
     so.tenant_id = ws.tenant_id;
     so.priority = ws.priority;
@@ -503,19 +723,25 @@ class MatchServer::Impl {
     so.timeout_seconds =
         std::isfinite(ws.timeout_seconds) ? ws.timeout_seconds : -1;
     so.limit = ws.limit;
+    // Span capture: for the peer when it negotiated tracing, for the
+    // slow-query ring when that is armed (the ring needs spans whether or
+    // not the peer asked to see them).
+    so.trace = (conn->features & kFeatureTrace) != 0 ||
+               options_.slow_query_ms > 0;
     return so;
   }
 
   // Post-submit bookkeeping shared by kSubmit and kBatchSubmit: answer
   // inline if already resolved, else register for completion wakeup.
   void TrackTicket(IoThread* t, Conn* conn, uint64_t request_id,
-                   CatalogTicket ct) {
+                   CatalogTicket ct, uint32_t tenant_id,
+                   const std::string& graph) {
     // Backpressure sheds, planning errors and mirrors of completed
     // canonicals resolve synchronously — and a fast query may already
     // have finished between Submit and here: answer inline.
     const QueryOutcome* done = ct.ticket.TryGet();
     if (done != nullptr) {
-      DeliverOutcome(t, conn, request_id, *done);
+      DeliverOutcome(t, conn, request_id, *done, tenant_id, graph);
       return;
     }
     if (options_.completion_wakeups) {
@@ -528,12 +754,12 @@ class MatchServer::Impl {
       // sweep delivers normally; if both paths fire, the inline
       // answer erases the route and the sweep skips the stale id.
       Register(ct.unique_id, t);
-      t->routes[ct.unique_id] = {conn, request_id};
+      t->routes[ct.unique_id] = {conn, request_id, tenant_id, graph};
       done = ct.ticket.TryGet();
       if (done != nullptr) {
         Unregister(ct.unique_id);
         t->routes.erase(ct.unique_id);
-        DeliverOutcome(t, conn, request_id, *done);
+        DeliverOutcome(t, conn, request_id, *done, tenant_id, graph);
         return;
       }
     }
@@ -570,7 +796,7 @@ class MatchServer::Impl {
           return;
         }
         Result<CatalogTicket> ct = catalog_.Submit(
-            ws.graph, std::move(ws.query), SubmitOptionsFor(ws));
+            ws.graph, std::move(ws.query), SubmitOptionsFor(conn, ws));
         if (!ct.ok()) {
           // Unknown/unloading graph: a typed reject on a healthy
           // connection, not a protocol error — the client may simply be
@@ -579,7 +805,8 @@ class MatchServer::Impl {
           return;
         }
         submitted_.fetch_add(1, std::memory_order_relaxed);
-        TrackTicket(t, conn, ws.request_id, std::move(ct).value());
+        TrackTicket(t, conn, ws.request_id, std::move(ct).value(),
+                    ws.tenant_id, ws.graph);
         return;
       }
       case FrameType::kHello: {
@@ -588,12 +815,13 @@ class MatchServer::Impl {
           ProtocolError(t, conn, requested.status().message());
           return;
         }
-        // Batching and catalog routing are always worth granting;
-        // compression is an operator decision
+        // Batching, catalog routing and tracing are always worth
+        // granting; compression is an operator decision
         // (ServerOptions::enable_compression). Unknown requested bits are
         // simply not granted.
         uint32_t granted =
-            requested.value() & (kFeatureBatch | kFeatureCatalog);
+            requested.value() &
+            (kFeatureBatch | kFeatureCatalog | kFeatureTrace);
         if (options_.enable_compression) {
           granted |= requested.value() & kFeatureCompression;
         }
@@ -658,9 +886,11 @@ class MatchServer::Impl {
         // framed), then admit the survivors per target graph — one
         // service pass per graph named in the batch (the common batch
         // names one graph and keeps the single-pass admission).
+        metric_batch_submits_->Observe(static_cast<double>(submits.size()));
         std::vector<std::string> graph_order;
         std::unordered_map<std::string, std::vector<BatchSubmission>> batch;
         std::unordered_map<std::string, std::vector<uint64_t>> request_ids;
+        std::unordered_map<std::string, std::vector<uint32_t>> tenant_ids;
         for (WireSubmit& ws : submits) {
           if (options_.max_submits_per_sec > 0 &&
               !AllowSubmit(ws.tenant_id)) {
@@ -675,11 +905,13 @@ class MatchServer::Impl {
             graph_order.push_back(ws.graph);
           }
           request_ids[ws.graph].push_back(ws.request_id);
+          tenant_ids[ws.graph].push_back(ws.tenant_id);
           batch[ws.graph].push_back(
-              {std::move(ws.query), SubmitOptionsFor(ws)});
+              {std::move(ws.query), SubmitOptionsFor(conn, ws)});
         }
         for (const std::string& graph : graph_order) {
           std::vector<uint64_t>& ids = request_ids[graph];
+          std::vector<uint32_t>& tenants = tenant_ids[graph];
           Result<std::vector<CatalogTicket>> tickets =
               catalog_.SubmitBatch(graph, std::move(batch[graph]));
           if (!tickets.ok()) {
@@ -689,7 +921,8 @@ class MatchServer::Impl {
           submitted_.fetch_add(tickets.value().size(),
                                std::memory_order_relaxed);
           for (size_t i = 0; i < tickets.value().size(); ++i) {
-            TrackTicket(t, conn, ids[i], std::move(tickets.value()[i]));
+            TrackTicket(t, conn, ids[i], std::move(tickets.value()[i]),
+                        tenants[i], graph);
           }
         }
         return;
@@ -712,8 +945,15 @@ class MatchServer::Impl {
           const QueryOutcome* done = it->second.ticket.TryGet();
           if (done != nullptr) {
             Unregister(it->second.unique_id);
-            t->routes.erase(it->second.unique_id);
-            DeliverOutcome(t, conn, it->first, *done);
+            uint32_t tenant_id = 0;
+            std::string graph;
+            auto route = t->routes.find(it->second.unique_id);
+            if (route != t->routes.end()) {
+              tenant_id = route->second.tenant_id;
+              graph = std::move(route->second.graph);
+              t->routes.erase(route);
+            }
+            DeliverOutcome(t, conn, it->first, *done, tenant_id, graph);
             inflight_.fetch_sub(1, std::memory_order_relaxed);
             conn->inflight.erase(it);
           }
@@ -816,6 +1056,7 @@ class MatchServer::Impl {
       if (got > 0) {
         t->st_bytes_in.fetch_add(static_cast<uint64_t>(got),
                                  std::memory_order_relaxed);
+        metric_bytes_in_->Add(static_cast<uint64_t>(got));
         conn->reader.Feed(buffer, static_cast<size_t>(got));
         if (static_cast<size_t>(got) < sizeof(buffer)) break;
         continue;
@@ -856,6 +1097,7 @@ class MatchServer::Impl {
         conn->out_sent += static_cast<size_t>(sent);
         t->st_bytes_out.fetch_add(static_cast<uint64_t>(sent),
                                   std::memory_order_relaxed);
+        metric_bytes_out_->Add(static_cast<uint64_t>(sent));
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -948,11 +1190,13 @@ class MatchServer::Impl {
       if (t->ready.empty()) return;
       t->ready_drain.swap(t->ready);
     }
-    for (const uint64_t ticket_id : t->ready_drain) {
-      auto route = t->routes.find(ticket_id);
+    for (const ReadyItem& item : t->ready_drain) {
+      auto route = t->routes.find(item.ticket_id);
       if (route == t->routes.end()) continue;
       Conn* conn = route->second.conn;
       const uint64_t request_id = route->second.request_id;
+      const uint32_t tenant_id = route->second.tenant_id;
+      std::string graph = std::move(route->second.graph);
       t->routes.erase(route);
       auto it = conn->inflight.find(request_id);
       if (it == conn->inflight.end()) continue;
@@ -960,7 +1204,8 @@ class MatchServer::Impl {
       // TryGet cannot miss.
       const QueryOutcome* done = it->second.ticket.TryGet();
       if (done == nullptr) continue;
-      DeliverOutcome(t, conn, request_id, *done);
+      metric_delivery_->Observe(MonotonicSeconds() - item.enqueued_seconds);
+      DeliverOutcome(t, conn, request_id, *done, tenant_id, graph);
       inflight_.fetch_sub(1, std::memory_order_relaxed);
       conn->inflight.erase(it);
     }
@@ -981,7 +1226,7 @@ class MatchServer::Impl {
           ++it;
           continue;
         }
-        DeliverOutcome(t, conn.get(), it->first, *done);
+        DeliverOutcome(t, conn.get(), it->first, *done, 0, std::string());
         inflight_.fetch_sub(1, std::memory_order_relaxed);
         it = conn->inflight.erase(it);
       }
@@ -1027,6 +1272,9 @@ class MatchServer::Impl {
   void RunLoop(IoThread* t) {
     if (t->index == 0 && listen_fd_ >= 0) {
       t->loop.Add(listen_fd_, EventLoop::kReadable);
+    }
+    if (t->index == 0 && metrics_fd_ >= 0) {
+      t->loop.Add(metrics_fd_, EventLoop::kReadable);
     }
     std::vector<EventLoop::Event> events;
     while (true) {
@@ -1076,6 +1324,10 @@ class MatchServer::Impl {
           AcceptConnections(t);
           continue;
         }
+        if (t->index == 0 && metrics_fd_ >= 0 && ev.fd == metrics_fd_) {
+          ServeMetricsConnections();
+          continue;
+        }
         auto lookup = t->by_fd.find(ev.fd);
         if (lookup == t->by_fd.end()) continue;
         Conn* conn = lookup->second;
@@ -1120,7 +1372,10 @@ class MatchServer::Impl {
     t->conns.clear();
     t->by_fd.clear();
     t->routes.clear();
-    if (t->index == 0) CloseListenFrom(t);
+    if (t->index == 0) {
+      CloseListenFrom(t);
+      CloseMetricsFrom(t);
+    }
   }
 
   void NotifyExit() {
@@ -1139,9 +1394,39 @@ class MatchServer::Impl {
   std::vector<NamedGraph> preload_;
 
   // Owned by IO thread 0's loop after Start(); main-thread access only
-  // before launch (Start) and after join (Stop).
+  // before launch (Start) and after join (Stop). The metrics listener
+  // follows the same ownership rule as the wire listener.
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  int metrics_fd_ = -1;
+  uint16_t metrics_port_ = 0;
+
+  // MonotonicSeconds() at Start(); 0 until then (uptime reads 0).
+  double start_mono_ = 0;
+
+  // Metric handles resolved once per server; writes through them are
+  // lock-free (see MetricsRegistry).
+  Counter* metric_bytes_in_ =
+      MetricsRegistry::Default().GetCounter("hgmatch_server_bytes_in_total");
+  Counter* metric_bytes_out_ = MetricsRegistry::Default().GetCounter(
+      "hgmatch_server_bytes_out_total");
+  Counter* metric_reply_raw_bytes_ = MetricsRegistry::Default().GetCounter(
+      "hgmatch_reply_raw_bytes_total");
+  Counter* metric_reply_wire_bytes_ = MetricsRegistry::Default().GetCounter(
+      "hgmatch_reply_wire_bytes_total");
+  Histogram* metric_delivery_ =
+      MetricsRegistry::Default().GetHistogram("hgmatch_delivery_seconds");
+  Histogram* metric_batch_replies_ =
+      MetricsRegistry::Default().GetHistogram("hgmatch_batch_replies");
+  Histogram* metric_batch_submits_ =
+      MetricsRegistry::Default().GetHistogram("hgmatch_batch_submits");
+
+  // Slow-query ring (ServerOptions::slow_query_ms): the most recent
+  // kSlowRingCapacity threshold-crossing spans, surfaced through STATS.
+  static constexpr size_t kSlowRingCapacity = 64;
+  std::mutex slow_mutex_;
+  std::vector<WireSlowQuery> slow_queries_;
+  uint64_t slow_next_ = 0;
 
   std::vector<std::unique_ptr<IoThread>> io_;
   std::atomic<bool> stop_requested_{false};
@@ -1184,6 +1469,7 @@ class MatchServer::Impl {
     return Status::Internal("hgmatch net requires POSIX sockets");
   }
   uint16_t port() const { return 0; }
+  uint16_t metrics_port() const { return 0; }
   void Wait() {}
   bool WaitFor(double) { return true; }
   void Stop() {}
@@ -1205,6 +1491,8 @@ MatchServer::~MatchServer() = default;
 Status MatchServer::Start() { return impl_->Start(); }
 
 uint16_t MatchServer::port() const { return impl_->port(); }
+
+uint16_t MatchServer::metrics_port() const { return impl_->metrics_port(); }
 
 void MatchServer::Wait() { impl_->Wait(); }
 

@@ -80,6 +80,22 @@ struct ServerOptions {
   /// reduces per-frame overhead and costs nothing when unused.
   bool enable_compression = false;
 
+  /// Prometheus exposition port: when >= 0 the server opens a second
+  /// listener on `host`:`metrics_port` answering `GET /metrics` with the
+  /// process metrics registry in text exposition format (HTTP/1.0,
+  /// one request per connection). 0 picks an ephemeral port (read it
+  /// back with metrics_port()); -1 (the default) disables the endpoint.
+  /// The listener is served by IO thread 0's event loop — no extra
+  /// threads — with a one-second per-scrape deadline.
+  int metrics_port = -1;
+
+  /// Slow-query threshold in milliseconds: a finished query whose
+  /// submit-to-delivery span reaches the threshold is recorded in a
+  /// bounded in-memory ring (most recent 64) surfaced through STATS
+  /// (WireStats::slow_queries). Enabling the ring forces span capture
+  /// for every submission, traced peer or not. 0 disables it.
+  double slow_query_ms = 0;
+
   /// Completion-driven outcome delivery (the default): the server hangs a
   /// completion hook on the service (ServiceOptions::on_query_complete)
   /// that routes each finished ticket id to the ready list of the IO
@@ -179,6 +195,10 @@ class MatchServer {
 
   /// The bound port (resolves option port 0); valid after Start().
   uint16_t port() const;
+
+  /// The bound /metrics port (resolves option metrics_port 0); valid
+  /// after Start(), 0 when the endpoint is disabled.
+  uint16_t metrics_port() const;
 
   /// Blocks until every IO thread exits: Stop(), or a remote shutdown
   /// when ServerOptions::allow_remote_shutdown is set.

@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace hgmatch {
+
+namespace {
+
+/// Smallest finite bucket bound: 1 microsecond. Everything the engine
+/// times (queue waits, task latencies) bottoms out around here; byte and
+/// count histograms simply use the low buckets less.
+constexpr double kFirstBound = 1e-6;
+
+/// Bounds grow by sqrt(2) per bucket: 2x per two buckets, 55 finite
+/// bounds span 1 us .. ~190 s which covers every latency the server can
+/// produce inside its own timeouts.
+constexpr double kGrowth = 1.4142135623730951;
+
+struct BoundTable {
+  double bounds[Histogram::kNumBuckets];
+  BoundTable() {
+    double b = kFirstBound;
+    for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+      bounds[i] = b;
+      b *= kGrowth;
+    }
+    bounds[Histogram::kNumBuckets - 1] =
+        std::numeric_limits<double>::infinity();
+  }
+};
+
+const BoundTable& Bounds() {
+  static const BoundTable table;
+  return table;
+}
+
+void AtomicMax(std::atomic<double>* cell, double v) {
+  double cur = cell->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !cell->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* cell, double v) {
+  double cur = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(cur, cur + v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// Formats a double the way Prometheus text exposition expects: full
+/// precision, "+Inf" for infinity.
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+size_t MetricShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::BucketBound(size_t k) { return Bounds().bounds[k]; }
+
+size_t Histogram::BucketIndex(double v) {
+  const double* bounds = Bounds().bounds;
+  // First bucket swallows everything <= 1 us (including garbage negative
+  // inputs); the +Inf bucket catches the rest, so the search range is the
+  // finite interior bounds only.
+  const double* end = bounds + kNumBuckets - 1;
+  const double* it = std::lower_bound(bounds, end, v);
+  return static_cast<size_t>(it - bounds);
+}
+
+void Histogram::Observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  Shard& s = shards_[MetricShardIndex()];
+  s.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&s.sum, v);
+  AtomicMax(&s.max, v);
+}
+
+uint64_t Histogram::Count() const { return CumulativeCount(kNumBuckets - 1); }
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Max() const {
+  double m = 0;
+  for (const Shard& s : shards_) {
+    m = std::max(m, s.max.load(std::memory_order_relaxed));
+  }
+  return m;
+}
+
+uint64_t Histogram::CumulativeCount(size_t k) const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i <= k && i < kNumBuckets; ++i) {
+      total += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t counts[kNumBuckets] = {};
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      uint64_t c = s.buckets[i].load(std::memory_order_relaxed);
+      counts[i] += c;
+      total += c;
+    }
+  }
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation, 1-based, at least 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      const double hi = Bounds().bounds[i];
+      const double lo = i == 0 ? 0.0 : Bounds().bounds[i - 1];
+      if (std::isinf(hi)) return lo;
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[i];
+  }
+  return Max();
+}
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  std::string labels;
+  char kind;  // 'c' counter, 'g' gauge, 'h' histogram
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instrumented subsystems may outlive static
+  // destruction order, and cached handles must stay valid for the life
+  // of the process.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      std::string_view labels,
+                                                      char kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels && e->kind == kind) {
+      return e.get();
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name.assign(name);
+  e->labels.assign(labels);
+  e->kind = kind;
+  switch (kind) {
+    case 'c':
+      e->counter.reset(new Counter(&enabled_));
+      break;
+    case 'g':
+      e->gauge.reset(new Gauge());
+      break;
+    default:
+      e->histogram.reset(new Histogram(&enabled_));
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  return FindOrCreate(name, labels, 'c')->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  return FindOrCreate(name, labels, 'g')->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view labels) {
+  return FindOrCreate(name, labels, 'h')->histogram.get();
+}
+
+namespace {
+
+void AppendLabelled(std::string* out, const std::string& name,
+                    const std::string& labels, const std::string& extra,
+                    const std::string& value) {
+  out->append(name);
+  if (!labels.empty() || !extra.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra.empty()) out->push_back(',');
+    out->append(extra);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  std::string last_family;
+  for (const auto& e : entries_) {
+    if (e->name != last_family) {
+      last_family = e->name;
+      out.append("# TYPE ");
+      out.append(e->name);
+      switch (e->kind) {
+        case 'c':
+          out.append(" counter\n");
+          break;
+        case 'g':
+          out.append(" gauge\n");
+          break;
+        default:
+          out.append(" histogram\n");
+          break;
+      }
+    }
+    switch (e->kind) {
+      case 'c':
+        AppendLabelled(&out, e->name, e->labels, "",
+                       std::to_string(e->counter->Value()));
+        break;
+      case 'g':
+        AppendLabelled(&out, e->name, e->labels, "",
+                       FormatValue(e->gauge->Value()));
+        break;
+      default: {
+        const Histogram* h = e->histogram.get();
+        // Cumulative bucket rows; collapse runs of empty high buckets by
+        // emitting every bucket anyway — scrapers expect the full grid
+        // and 56 rows per histogram is cheap.
+        for (size_t k = 0; k < Histogram::kNumBuckets; ++k) {
+          AppendLabelled(&out, e->name + "_bucket", e->labels,
+                         "le=\"" + FormatValue(Histogram::BucketBound(k)) +
+                             "\"",
+                         std::to_string(h->CumulativeCount(k)));
+        }
+        AppendLabelled(&out, e->name + "_sum", e->labels, "",
+                       FormatValue(h->Sum()));
+        AppendLabelled(&out, e->name + "_count", e->labels, "",
+                       std::to_string(h->Count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hgmatch

@@ -1,0 +1,167 @@
+#ifndef HGMATCH_OBS_METRICS_H_
+#define HGMATCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hgmatch {
+
+/// Shards of every hot-path metric cell: threads scatter over the shards
+/// by a cheap thread-local slot id, so concurrent Add/Observe calls from
+/// the pool workers and the IO threads do not contend on one cache line.
+/// Reads (scrapes) sum the shards — scrape cost is irrelevant next to
+/// write-path contention.
+inline constexpr size_t kMetricShards = 16;
+
+/// This thread's shard index, assigned round-robin at first use.
+size_t MetricShardIndex();
+
+/// Escapes a string for use as a Prometheus label value (backslash,
+/// double quote and newline), e.g.
+/// `"graph=\"" + EscapeLabelValue(name) + "\""`.
+std::string EscapeLabelValue(std::string_view value);
+
+class MetricsRegistry;
+
+/// A monotonically increasing counter. Add() is lock-free and wait-free:
+/// one enabled-flag load plus one relaxed fetch_add on a per-thread shard.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[MetricShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  const std::atomic<bool>* enabled_;
+  Shard shards_[kMetricShards];
+};
+
+/// A point-in-time value (last write wins). Set() is a relaxed store; no
+/// sharding — gauges are written from slow paths (scrapes, snapshots).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0};
+};
+
+/// A log-bucketed latency/size histogram: bucket k spans
+/// (bound[k-1], bound[k]] with bounds growing by a factor of sqrt(2) from
+/// 1 microsecond, so p50/p90/p99 read off the buckets are exact to within
+/// ~41% of the true value — the resolution a dashboard needs, at the cost
+/// of one binary search plus one relaxed fetch_add per observation.
+/// Sum and max are tracked exactly (per-shard CAS).
+class Histogram {
+ public:
+  /// Number of finite bucket bounds; bucket kNumBuckets-1 is +Inf.
+  static constexpr size_t kNumBuckets = 56;
+
+  /// Upper bound of bucket k in seconds (+Inf for the last bucket).
+  static double BucketBound(size_t k);
+
+  /// Index of the bucket that counts `v` (negative values land in
+  /// bucket 0).
+  static size_t BucketIndex(double v);
+
+  void Observe(double v);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Max() const;
+
+  /// Cumulative count of every observation <= BucketBound(k).
+  uint64_t CumulativeCount(size_t k) const;
+
+  /// Quantile q in [0, 1], linearly interpolated inside the bucket that
+  /// crosses rank q*Count(). Returns 0 for an empty histogram; the last
+  /// (+Inf) bucket reports its finite lower bound.
+  double Quantile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kNumBuckets];
+    std::atomic<double> sum{0};
+    std::atomic<double> max{0};
+  };
+  const std::atomic<bool>* enabled_;
+  Shard shards_[kMetricShards];
+};
+
+/// Process-wide registry of named metrics, rendered as Prometheus text
+/// exposition. Registration (GetCounter/GetGauge/GetHistogram) takes a
+/// mutex and returns a stable pointer — resolve the pointer once at setup
+/// and keep it; the write path through the returned handle is lock-free.
+/// Metric names follow Prometheus conventions (hgmatch_*_total,
+/// hgmatch_*_seconds); `labels` is the literal label body without braces
+/// (e.g. `reason="queue-full"`), empty for unlabelled metrics. The same
+/// (name, labels) pair always returns the same handle.
+///
+/// The registry can be disabled (set_enabled(false)): every handle's write
+/// path then degrades to one relaxed load + branch — the "compiled in but
+/// idle" cost the overhead bench measures.
+class MetricsRegistry {
+ public:
+  // Both out of line: inline defaults would instantiate the entries_
+  // vector's cleanup with Entry still incomplete.
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide default instance every subsystem instruments into.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(std::string_view name, std::string_view labels = "");
+  Gauge* GetGauge(std::string_view name, std::string_view labels = "");
+  Histogram* GetHistogram(std::string_view name,
+                          std::string_view labels = "");
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Renders every registered metric in Prometheus text exposition format
+  /// (one # TYPE line per family, histograms as cumulative _bucket rows
+  /// plus _sum/_count). Safe to call concurrently with writes: counts are
+  /// relaxed snapshots.
+  std::string RenderPrometheus() const;
+
+ private:
+  struct Entry;
+  Entry* FindOrCreate(std::string_view name, std::string_view labels,
+                      char kind);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{true};
+  // Registration order; pointers are stable because entries are
+  // heap-allocated and never removed.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_OBS_METRICS_H_

@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace hgmatch {
+
+double MonotonicSeconds() {
+  // The epoch is captured once, at first use anywhere in the process, so
+  // every subsystem shares one origin and stamps stay small (printable as
+  // short offsets instead of raw steady_clock ticks).
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+double QuerySpan::TotalSeconds() const {
+  double last = submit_seconds;
+  last = std::max(last, admit_seconds);
+  last = std::max(last, first_task_seconds);
+  last = std::max(last, last_task_seconds);
+  last = std::max(last, resolve_seconds);
+  last = std::max(last, deliver_seconds);
+  return last - submit_seconds;
+}
+
+namespace {
+
+void MergeMin(double* into, double from) {
+  if (from <= 0) return;
+  if (*into <= 0 || from < *into) *into = from;
+}
+
+void MergeMax(double* into, double from) {
+  if (from > *into) *into = from;
+}
+
+void AppendStage(std::string* out, const char* name, double stamp,
+                 double submit) {
+  char buf[128];
+  if (stamp <= 0) {
+    std::snprintf(buf, sizeof(buf), "  %-12s -\n", name);
+  } else {
+    std::snprintf(buf, sizeof(buf), "  %-12s +%.3f ms\n", name,
+                  (stamp - submit) * 1e3);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+void QuerySpan::MergeFrom(const QuerySpan& other) {
+  enabled = enabled || other.enabled;
+  MergeMin(&submit_seconds, other.submit_seconds);
+  MergeMin(&admit_seconds, other.admit_seconds);
+  MergeMin(&first_task_seconds, other.first_task_seconds);
+  MergeMax(&last_task_seconds, other.last_task_seconds);
+  MergeMax(&resolve_seconds, other.resolve_seconds);
+  MergeMax(&deliver_seconds, other.deliver_seconds);
+}
+
+std::string QuerySpan::Timeline() const {
+  std::string out;
+  if (!enabled) {
+    out = "trace: (not recorded)\n";
+    return out;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "trace: total %.3f ms\n",
+                TotalSeconds() * 1e3);
+  out.append(buf);
+  AppendStage(&out, "submit", submit_seconds, submit_seconds);
+  AppendStage(&out, "admit", admit_seconds, submit_seconds);
+  AppendStage(&out, "first-task", first_task_seconds, submit_seconds);
+  AppendStage(&out, "last-task", last_task_seconds, submit_seconds);
+  AppendStage(&out, "resolve", resolve_seconds, submit_seconds);
+  AppendStage(&out, "deliver", deliver_seconds, submit_seconds);
+  for (const TraceSlice& s : slices) {
+    if (s.first_task_seconds > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "  slice %-6u admit +%.3f ms  first-task +%.3f ms  "
+                    "finish +%.3f ms\n",
+                    s.slice, (s.admit_seconds - submit_seconds) * 1e3,
+                    (s.first_task_seconds - submit_seconds) * 1e3,
+                    (s.finish_seconds - submit_seconds) * 1e3);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  slice %-6u admit +%.3f ms  first-task -  finish "
+                    "+%.3f ms\n",
+                    s.slice, (s.admit_seconds - submit_seconds) * 1e3,
+                    (s.finish_seconds - submit_seconds) * 1e3);
+    }
+    out.append(buf);
+  }
+  return out;
+}
+
+}  // namespace hgmatch

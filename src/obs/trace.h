@@ -1,0 +1,68 @@
+#ifndef HGMATCH_OBS_TRACE_H_
+#define HGMATCH_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hgmatch {
+
+/// Seconds since a process-wide monotonic epoch (the first call in the
+/// process). Every span stamp across every layer — scheduler workers,
+/// service resolution, reactor delivery — uses this one clock, so stamps
+/// taken on different threads and different pools are directly
+/// comparable. Never goes backwards, unaffected by wall-clock jumps.
+double MonotonicSeconds();
+
+/// One scatter-gather slice's contribution to a traced query: when the
+/// slice was admitted by its scheduler, when its first task ran, and when
+/// it finished. All stamps are MonotonicSeconds(); 0 means "never
+/// happened" (e.g. a slice cancelled before running a task).
+struct TraceSlice {
+  uint32_t slice = 0;
+  double admit_seconds = 0;
+  double first_task_seconds = 0;
+  double finish_seconds = 0;
+};
+
+/// The end-to-end timeline of one query, filled in as it crosses layers:
+///
+///   submit      SubmitOptions accepted by the scheduler (or service)
+///   admit       admission window granted; tasks may now be seeded
+///   first_task  first worker began executing a task for this query
+///   last_task   final task retired (pending count hit zero)
+///   resolve     MatchService resolved the ticket (outcome visible)
+///   deliver     reactor wrote the OUTCOME frame to the client socket
+///
+/// Stamps are MonotonicSeconds(); 0 means the stage never happened (a
+/// rejected query has only submit/resolve, a cancelled-queued query never
+/// gets first_task). Spans are recorded only when `enabled` — set from
+/// SubmitOptions::trace — so untraced queries pay nothing beyond the
+/// always-on metric stamps.
+struct QuerySpan {
+  bool enabled = false;
+  double submit_seconds = 0;
+  double admit_seconds = 0;
+  double first_task_seconds = 0;
+  double last_task_seconds = 0;
+  double resolve_seconds = 0;
+  double deliver_seconds = 0;
+  /// Per-shard rows when the service fanned the query over scan slices.
+  std::vector<TraceSlice> slices;
+
+  /// Latest stamp minus submit: the query's total visible latency so far.
+  double TotalSeconds() const;
+
+  /// Merges a shard slice's span into this (the fan parent's) span:
+  /// earliest submit/admit/first_task, latest last_task. Zero stamps on
+  /// either side never win a min.
+  void MergeFrom(const QuerySpan& other);
+
+  /// Multi-line human-readable timeline (relative offsets from submit),
+  /// as printed by `hgmatch query --trace`.
+  std::string Timeline() const;
+};
+
+}  // namespace hgmatch
+
+#endif  // HGMATCH_OBS_TRACE_H_

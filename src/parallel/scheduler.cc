@@ -8,12 +8,15 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/candidates.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/task.h"
 #include "parallel/ws_deque.h"
 #include "util/rng.h"
@@ -93,6 +96,20 @@ struct QueryContext {
   // rejection path (same thread), read only by CompleteQuery.
   bool rejected = false;
 
+  // Span/metric stamps on the process-monotonic clock (obs/trace.h).
+  // submit/admit are published to the workers with the same fences as
+  // admit_seconds (see the struct comment); first_task is written by the
+  // one worker that wins the first_task_claimed exchange and read only
+  // after the query's last pending decrement synchronised with that
+  // worker's; last_task is written by the single worker that retires the
+  // last task. `trace` gates only the span copy into the outcome — the
+  // latency histograms are recorded for every query.
+  bool trace = false;
+  double submit_mono = 0;
+  double admit_mono = 0;
+  double first_task_mono = 0;
+  double last_task_mono = 0;
+
   // Per-query completion hook (SubmitOptions::completion). Moved out of the
   // context into the deferred-fire list the moment the outcome is
   // published, which is what makes the exactly-once guarantee structural:
@@ -111,6 +128,7 @@ struct QueryContext {
   std::atomic<bool> work_dropped{false};
   std::atomic<bool> limit_hit{false};
   std::atomic<bool> cancel_requested{false};
+  std::atomic<bool> first_task_claimed{false};
 
   // Per-task stat flushes; summed into the outcome when the query finishes.
   std::atomic<uint64_t> embeddings_sum{0};
@@ -148,6 +166,27 @@ class Scheduler::Impl {
         num_threads_(options.parallel.num_threads != 0
                          ? options.parallel.num_threads
                          : std::max(1u, std::thread::hardware_concurrency())) {
+    // Metric handles are resolved once here; the per-query hot paths only
+    // touch the lock-free Add/Observe fast path.
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    metric_submitted_ = reg.GetCounter("hgmatch_queries_submitted_total");
+    metric_rejected_ =
+        reg.GetCounter("hgmatch_rejected_total", "reason=\"queue-full\"");
+    metric_queue_wait_ = reg.GetHistogram("hgmatch_queue_wait_seconds");
+    metric_admission_wait_ =
+        reg.GetHistogram("hgmatch_admission_wait_seconds");
+    metric_first_task_ = reg.GetHistogram("hgmatch_first_task_seconds");
+    metric_run_ = reg.GetHistogram("hgmatch_query_run_seconds");
+    static constexpr QueryStatus kStatuses[] = {
+        QueryStatus::kOk,        QueryStatus::kTimeout,
+        QueryStatus::kLimit,     QueryStatus::kCancelled,
+        QueryStatus::kPlanError, QueryStatus::kRejected,
+    };
+    for (QueryStatus s : kStatuses) {
+      metric_status_[static_cast<size_t>(s)] = reg.GetCounter(
+          "hgmatch_queries_finished_total",
+          std::string("status=\"") + QueryStatusName(s) + "\"");
+    }
   }
 
   ~Impl() {
@@ -201,6 +240,8 @@ class Scheduler::Impl {
                        ? options_.parallel.limit
                        : so.limit;
       ctx->completion = so.completion;
+      ctx->trace = so.trace;
+      ctx->submit_mono = MonotonicSeconds();
       ctx->data = data;
       const Partition* first =
           plan->NumSteps() > 0 ? data->FindPartition(plan->steps[0].signature)
@@ -224,6 +265,7 @@ class Scheduler::Impl {
       QueryContext* raw = ctx.get();
       slot.ctx = std::move(ctx);
       submitted_count_.fetch_add(1, std::memory_order_relaxed);
+      metric_submitted_->Add();
 
       // Queue-depth backpressure: once the pool runs, the waiting queue is
       // non-empty only while the admission window is full (AdmitLocked
@@ -239,6 +281,7 @@ class Scheduler::Impl {
         raw->admit_index = admit_seq_++;
         raw->admit_seconds = raw->finish_seconds = wall_.ElapsedSeconds();
         rejected_count_.fetch_add(1, std::memory_order_relaxed);
+        metric_rejected_->Add();
         CompleteQuery(raw);
         QueueCompletionLocked(raw);
         RecycleContextLocked(raw);
@@ -590,6 +633,17 @@ class Scheduler::Impl {
     out.admit_seconds = ctx->admit_seconds;
     out.finish_seconds = ctx->finish_seconds;
     out.admit_index = ctx->admit_index;
+    metric_status_[static_cast<size_t>(out.status)]->Add();
+    if (ctx->trace) {
+      // Zero stamps mean "stage never happened" (a rejected query has only
+      // submit, a cancelled-while-queued one has no admit) — the span
+      // contract, not missing data.
+      out.span.enabled = true;
+      out.span.submit_seconds = ctx->submit_mono;
+      out.span.admit_seconds = ctx->admit_mono;
+      out.span.first_task_seconds = ctx->first_task_mono;
+      out.span.last_task_seconds = ctx->last_task_mono;
+    }
     {
       std::lock_guard<std::mutex> lock(finish_mutex_);
       ctx->slot->finished.store(true, std::memory_order_release);
@@ -651,6 +705,10 @@ class Scheduler::Impl {
       // *before* the global count below can reach zero, so the pool never
       // shuts down between two admissions.
       ctx->finish_seconds = wall_.ElapsedSeconds();
+      ctx->last_task_mono = MonotonicSeconds();
+      if (ctx->first_task_mono > 0) {
+        metric_run_->Observe(ctx->last_task_mono - ctx->first_task_mono);
+      }
       CompleteQuery(ctx);
       std::vector<PendingCompletion> fire;
       {
@@ -821,6 +879,8 @@ class Scheduler::Impl {
       if (ctx == nullptr) break;
       ctx->admit_index = admit_seq_++;
       ctx->admit_seconds = wall_.ElapsedSeconds();
+      ctx->admit_mono = MonotonicSeconds();
+      metric_queue_wait_->Observe(ctx->admit_mono - ctx->submit_mono);
       ctx->deadline = Deadline::After(ctx->timeout_seconds);
       if (ctx->stop.load(std::memory_order_relaxed)) {
         // Stopped before it ever ran (whole-run deadline): all of its work
@@ -1025,6 +1085,16 @@ class Scheduler::Impl {
       return;
     }
     Timer busy;
+    if (!ctx->first_task_claimed.load(std::memory_order_relaxed) &&
+        !ctx->first_task_claimed.exchange(true, std::memory_order_relaxed)) {
+      // First task of this query to actually execute: the stamp feeds the
+      // span and the scheduling-latency histograms (submit -> first task
+      // end to end, admit -> first task for the post-admission wait).
+      ctx->first_task_mono = MonotonicSeconds();
+      metric_first_task_->Observe(ctx->first_task_mono - ctx->submit_mono);
+      metric_admission_wait_->Observe(ctx->first_task_mono -
+                                      ctx->admit_mono);
+    }
     w->task_stats = MatchStats{};
     if (t->kind == Task::Kind::kScan) {
       ExecuteScan(w, t);
@@ -1161,6 +1231,15 @@ class Scheduler::Impl {
   std::condition_variable finish_cv_;    // broadcast on every query finish
   std::mutex idle_mutex_;                // parks idle workers
   std::condition_variable idle_cv_;      // notified on new admissible work
+
+  // Registry handles (resolved once in the constructor; see obs/metrics.h).
+  Counter* metric_submitted_ = nullptr;
+  Counter* metric_rejected_ = nullptr;
+  Counter* metric_status_[6] = {};
+  Histogram* metric_queue_wait_ = nullptr;
+  Histogram* metric_admission_wait_ = nullptr;
+  Histogram* metric_first_task_ = nullptr;
+  Histogram* metric_run_ = nullptr;
 
   TaskMemoryTracker memory_;
 };

@@ -8,6 +8,7 @@
 #include "core/indexed_hypergraph.h"
 #include "core/matching_order.h"
 #include "core/result.h"
+#include "obs/trace.h"
 #include "parallel/executor.h"
 #include "parallel/submit_options.h"
 
@@ -87,6 +88,13 @@ struct QueryOutcome {
   /// without ever reaching admission (cancelled while queued) also consume
   /// a slot in this sequence, at the moment they resolve.
   uint64_t admit_index = 0;
+
+  /// End-to-end timeline (process-monotonic stamps), recorded only when
+  /// the query was submitted with SubmitOptions::trace; span.enabled is
+  /// false otherwise. The scheduler fills submit/admit/first_task/
+  /// last_task; the service layer adds resolve (and slice rows for fanned
+  /// queries); the wire server adds deliver.
+  QuerySpan span;
 };
 
 /// Aggregate outcome of one scheduler run.

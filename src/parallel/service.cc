@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/matching_order.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace hgmatch {
@@ -19,6 +21,29 @@ namespace hgmatch {
 namespace {
 
 constexpr uint32_t kNotScheduled = 0xffffffffu;
+
+// Service-layer registry handles, resolved once per process (every
+// MatchService instance shares them — the metrics describe the process,
+// not one service).
+struct ServiceMetrics {
+  Counter* plan_cache_hits;
+  Counter* plan_cache_misses;
+  Counter* plan_cache_evictions;
+  Counter* mirrored;
+};
+
+const ServiceMetrics& Metrics() {
+  static const ServiceMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    return ServiceMetrics{
+        reg.GetCounter("hgmatch_plan_cache_hits_total"),
+        reg.GetCounter("hgmatch_plan_cache_misses_total"),
+        reg.GetCounter("hgmatch_plan_cache_evictions_total"),
+        reg.GetCounter("hgmatch_queries_mirrored_total"),
+    };
+  }();
+  return m;
+}
 
 // Serialises Emit across the sub-queries of one sharded fan: the
 // scheduler serialises Emit per query, and each fan sub-query is its own
@@ -71,6 +96,10 @@ void MergeShardOutcome(QueryOutcome* into, const QueryOutcome& out,
   into->admit_seconds = std::min(into->admit_seconds, out.admit_seconds);
   into->finish_seconds = std::max(into->finish_seconds, out.finish_seconds);
   into->admit_index = std::min(into->admit_index, out.admit_index);
+  // Span scalars span the whole fan (earliest submit/admit/first task,
+  // latest last task); per-slice rows are appended by the caller, which
+  // knows the slice index.
+  into->span.MergeFrom(out.span);
 }
 
 // Canonical cache key of a query hypergraph: the exact vertex structure
@@ -532,6 +561,12 @@ class ServiceImpl {
                      std::vector<FiredCompletion>* fire) {
     rec->outcome = out;
     rec->outcome.mirrored = rec->canonical != nullptr;
+    if (rec->outcome.span.enabled) {
+      // The record resolves exactly once, so this stamp is exactly-once
+      // per query — mirrors get their own stamp when they resolve off the
+      // canonical's outcome a moment later.
+      rec->outcome.span.resolve_seconds = MonotonicSeconds();
+    }
     if (rec->plan_cost != nullptr && rec->canonical == nullptr &&
         out.status == QueryStatus::kOk) {
       // Only complete runs measure the plan's true cost; partial runs
@@ -641,7 +676,6 @@ class ServiceImpl {
   // result that is already lost.
   void OnShardComplete(const std::shared_ptr<QueryRecord>& rec, uint32_t k,
                        const QueryOutcome& out) {
-    (void)k;
     std::vector<uint32_t> to_cancel;
     std::vector<FiredCompletion> fire;
     bool resolved_now = false;
@@ -649,6 +683,11 @@ class ServiceImpl {
       std::lock_guard<std::mutex> lock(resolve_mutex_);
       ShardFan* fan = rec->fan.get();
       MergeShardOutcome(&fan->merged, out, fan->any);
+      if (out.span.enabled) {
+        fan->merged.span.slices.push_back({k, out.span.admit_seconds,
+                                           out.span.first_task_seconds,
+                                           out.span.last_task_seconds});
+      }
       fan->any = true;
       if (out.status == QueryStatus::kRejected && !fan->cancel_issued) {
         fan->cancel_issued = true;
@@ -711,11 +750,17 @@ class ServiceImpl {
       // race-free.
       QueryOutcome merged;
       bool any = false;
-      for (uint32_t idx : rec->fan->sub) {
+      for (uint32_t k = 0; k < rec->fan->sub.size(); ++k) {
+        const uint32_t idx = rec->fan->sub[k];
         if (idx == kNotScheduled) continue;
         const QueryOutcome* out = sched_->TryGetQuery(idx);
         if (out == nullptr) return;  // hook mid-flight; resolves itself
         MergeShardOutcome(&merged, *out, any);
+        if (out->span.enabled) {
+          merged.span.slices.push_back({k, out->span.admit_seconds,
+                                        out->span.first_task_seconds,
+                                        out->span.last_task_seconds});
+        }
         any = true;
       }
       if (any) ResolveLocked(rec, merged, fire);
@@ -877,6 +922,7 @@ class ServiceImpl {
       auto it = cache_.find(key);
       if (it != cache_.end()) {
         ++plan_cache_hits_;
+        Metrics().plan_cache_hits->Add();
         CacheEntry& entry = it->second;
         if (options_.plan_cache_capacity > 0) {
           lru_.splice(lru_.begin(), lru_, entry.lru_it);
@@ -900,6 +946,7 @@ class ServiceImpl {
           // of counts, so such repeats re-execute below.
           rec->canonical = entry.canonical;
           ++mirrored_;
+          Metrics().mirrored->Add();
           records_.push_back(rec);
           std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
           if (entry.canonical->resolved.load(std::memory_order_acquire)) {
@@ -936,6 +983,7 @@ class ServiceImpl {
       }
     }
 
+    if (options_.plan_cache) Metrics().plan_cache_misses->Add();
     Result<QueryPlan> plan = BuildQueryPlan(query, data_);
     if (!plan.ok()) {
       rec->plan_status = plan.status();
@@ -1016,6 +1064,7 @@ class ServiceImpl {
       auto cit = cache_.find(*it);
       if (cit->second.live->load(std::memory_order_acquire) != 0) continue;
       sched_->RetirePlan(cit->second.plan->uid);
+      Metrics().plan_cache_evictions->Add();
       // erase returns the position after the erased element; the next
       // pass's --it lands on the element before it, so the walk keeps
       // moving frontward without revisiting anything.

@@ -95,6 +95,14 @@ struct SubmitOptions {
   uint32_t scan_slice = 0;
   uint32_t scan_slices = 1;
 
+  /// Record an end-to-end QuerySpan for this query: monotonic
+  /// submit/admit/first-task/last-task/resolve timestamps surfaced through
+  /// QueryOutcome::span (and, over the wire, the OUTCOME trace section
+  /// when the peer negotiated kFeatureTrace). Untraced queries carry an
+  /// empty span; the always-on latency histograms in the metrics registry
+  /// are recorded either way.
+  bool trace = false;
+
   /// Consumer of this query's embeddings; may be null (count only). Emit
   /// calls are serialised per query.
   EmbeddingSink* sink = nullptr;

@@ -7,6 +7,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace hgmatch {
 
 namespace {
@@ -37,6 +39,11 @@ struct GraphCatalog::Entry {
   uint64_t live = 0;     // submissions not yet resolved
   uint64_t pins = 0;     // threads mid-Submit/Cancel on this entry
   bool unloading = false;
+
+  // Registry counter of submissions routed to this graph name, resolved
+  // at install. Counters are never unregistered: reloading a name picks
+  // the same handle back up, so the per-graph series survives unloads.
+  Counter* submit_metric = nullptr;
 };
 
 // The mutable registry, held by shared_ptr from the catalog AND from
@@ -101,6 +108,9 @@ Status GraphCatalog::Install(std::shared_ptr<Entry> entry) {
       }
     }
     entry->id_base = ++st->entry_seq << kEntryIdShift;
+    entry->submit_metric = MetricsRegistry::Default().GetCounter(
+        "hgmatch_graph_submits_total",
+        "graph=\"" + EscapeLabelValue(entry->name) + "\"");
 
     ServiceOptions so = options_.service;
     // Chain the catalog delivery hook behind any template-level one. The
@@ -244,6 +254,7 @@ std::shared_ptr<GraphCatalog::Entry> GraphCatalog::FindPinnedForSubmit(
     ++e->pins;
     e->queries += count;
     e->live += count;
+    e->submit_metric->Add(count);
     return e;
   }
   *error = Status::NotFound("unknown graph '" + target + "'");

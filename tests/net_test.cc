@@ -186,11 +186,14 @@ TEST(ProtocolTest, StatsFrameRoundTripsGraphRows) {
   EXPECT_FALSE(decoded.value().graphs[1].is_default);
 
   // The graph section is optional on the wire: a pre-catalog payload
-  // (nothing after the IO rows) still decodes, with no graph rows.
+  // (nothing after the IO rows) still decodes, with no graph rows. The
+  // encoder now emits the graph varint (1 byte here) plus the 17-byte
+  // uptime/slow-query tier after the IO rows; strip both to reproduce
+  // the v1 byte stream.
   WireStats old_style;
   old_style.num_threads = 1;
   std::string encoded = EncodeStats(old_style);
-  const std::string trailer_free = encoded.substr(0, encoded.size() - 1);
+  const std::string trailer_free = encoded.substr(0, encoded.size() - 18);
   Result<WireStats> old_decoded = DecodeStats(trailer_free);
   ASSERT_TRUE(old_decoded.ok()) << old_decoded.status().ToString();
   EXPECT_TRUE(old_decoded.value().graphs.empty());
@@ -225,6 +228,116 @@ TEST(ProtocolTest, SubmitFrameCarriesGraphOnlyWhenNegotiated) {
   std::string truncated = EncodeSubmit(submit, /*with_graph=*/true);
   truncated.resize(20);
   EXPECT_FALSE(DecodeSubmit(truncated, /*with_graph=*/true).ok());
+}
+
+TEST(ProtocolTest, OutcomeFrameCarriesTraceOnlyWhenNegotiated) {
+  WireOutcome wire;
+  wire.request_id = 11;
+  wire.outcome.stats.embeddings = 7;
+  wire.outcome.span.enabled = true;
+  wire.outcome.span.submit_seconds = 1.0;
+  wire.outcome.span.admit_seconds = 1.25;
+  wire.outcome.span.first_task_seconds = 1.5;
+  wire.outcome.span.last_task_seconds = 2.0;
+  wire.outcome.span.resolve_seconds = 2.25;
+  wire.outcome.span.deliver_seconds = 2.5;
+  wire.outcome.span.slices.push_back({0, 1.25, 1.5, 1.9});
+  wire.outcome.span.slices.push_back({1, 1.3, 0, 2.0});
+
+  // Negotiated peers round-trip the whole timeline, slices included.
+  Result<WireOutcome> traced =
+      DecodeOutcome(EncodeOutcome(wire, /*with_trace=*/true),
+                    /*with_trace=*/true);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  const QuerySpan& span = traced.value().outcome.span;
+  EXPECT_TRUE(span.enabled);
+  EXPECT_EQ(span.submit_seconds, 1.0);
+  EXPECT_EQ(span.admit_seconds, 1.25);
+  EXPECT_EQ(span.first_task_seconds, 1.5);
+  EXPECT_EQ(span.last_task_seconds, 2.0);
+  EXPECT_EQ(span.resolve_seconds, 2.25);
+  EXPECT_EQ(span.deliver_seconds, 2.5);
+  ASSERT_EQ(span.slices.size(), 2u);
+  EXPECT_EQ(span.slices[1].slice, 1u);
+  EXPECT_EQ(span.slices[1].first_task_seconds, 0.0);
+  EXPECT_EQ(span.slices[1].finish_seconds, 2.0);
+
+  // Without the feature the section never reaches the wire: the payload
+  // is byte-identical to a pre-trace encoding of the same outcome.
+  WireOutcome plain;
+  plain.request_id = 11;
+  plain.outcome.stats.embeddings = 7;
+  EXPECT_EQ(EncodeOutcome(wire, /*with_trace=*/false), EncodeOutcome(plain));
+  Result<WireOutcome> untraced = DecodeOutcome(EncodeOutcome(wire));
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_FALSE(untraced.value().outcome.span.enabled);
+
+  // An untraced submission on a traced connection carries one "disabled"
+  // byte; anything other than 0/1 there is corruption, as is truncation
+  // anywhere inside the section.
+  WireOutcome quiet;
+  std::string encoded = EncodeOutcome(quiet, /*with_trace=*/true);
+  Result<WireOutcome> off = DecodeOutcome(encoded, /*with_trace=*/true);
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().outcome.span.enabled);
+  encoded.back() = 7;
+  EXPECT_FALSE(DecodeOutcome(encoded, /*with_trace=*/true).ok());
+  std::string full = EncodeOutcome(wire, /*with_trace=*/true);
+  for (size_t cut : {size_t{1}, size_t{8}, size_t{20}}) {
+    EXPECT_FALSE(
+        DecodeOutcome(std::string_view(full).substr(0, full.size() - cut),
+                      /*with_trace=*/true)
+            .ok())
+        << "cut " << cut;
+  }
+}
+
+TEST(ProtocolTest, StatsFrameRoundTripsUptimeAndSlowQueries) {
+  WireStats stats;
+  stats.num_threads = 1;
+  stats.uptime_seconds = 12.5;
+  stats.monotonic_seconds = 99.25;
+  WireSlowQuery slow;
+  slow.request_id = 42;
+  slow.tenant_id = 3;
+  slow.graph = "orders";
+  slow.total_seconds = 0.5;
+  slow.queue_seconds = 0.1;
+  slow.run_seconds = 0.3;
+  slow.deliver_seconds = 0.05;
+  stats.slow_queries.push_back(slow);
+  stats.slow_queries.push_back(WireSlowQuery{});
+
+  Result<WireStats> decoded = DecodeStats(EncodeStats(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().uptime_seconds, 12.5);
+  EXPECT_EQ(decoded.value().monotonic_seconds, 99.25);
+  ASSERT_EQ(decoded.value().slow_queries.size(), 2u);
+  EXPECT_EQ(decoded.value().slow_queries[0].request_id, 42u);
+  EXPECT_EQ(decoded.value().slow_queries[0].tenant_id, 3u);
+  EXPECT_EQ(decoded.value().slow_queries[0].graph, "orders");
+  EXPECT_EQ(decoded.value().slow_queries[0].total_seconds, 0.5);
+  EXPECT_EQ(decoded.value().slow_queries[0].queue_seconds, 0.1);
+  EXPECT_EQ(decoded.value().slow_queries[0].run_seconds, 0.3);
+  EXPECT_EQ(decoded.value().slow_queries[0].deliver_seconds, 0.05);
+  EXPECT_EQ(decoded.value().slow_queries[1].request_id, 0u);
+
+  // The tier is optional, exactly like the graph section before it: a
+  // pre-observability payload (nothing after the graph rows) still
+  // decodes, with zero uptime and no slow rows.
+  WireStats bare;
+  bare.num_threads = 1;
+  std::string encoded = EncodeStats(bare);
+  // uptime + monotonic doubles + the varint 0 slow count = 17 bytes.
+  const std::string trailer_free = encoded.substr(0, encoded.size() - 17);
+  Result<WireStats> old_decoded = DecodeStats(trailer_free);
+  ASSERT_TRUE(old_decoded.ok()) << old_decoded.status().ToString();
+  EXPECT_EQ(old_decoded.value().uptime_seconds, 0.0);
+  EXPECT_TRUE(old_decoded.value().slow_queries.empty());
+
+  // Truncation inside a slow row (or a hostile row count) is corruption.
+  std::string full = EncodeStats(stats);
+  EXPECT_FALSE(DecodeStats(full.substr(0, full.size() - 3)).ok());
 }
 
 TEST(ProtocolTest, CatalogRequestAndReplyRoundTrip) {
@@ -2041,6 +2154,185 @@ TEST(NetCatalogTest, ShardedServerKeepsExactCountsOverTheWire) {
     EXPECT_EQ(stats.value().graphs[0].shards, shards);
     server.Stop();
   }
+}
+
+// ----------------------------------------------------- observability --
+
+// A trace-negotiated peer gets the end-to-end timeline back on every
+// outcome — ordered stamps through delivery — while an un-negotiated
+// peer on the same server keeps span-free (byte-identical) outcomes.
+TEST(NetObsTest, TraceNegotiationCarriesOrderedSpansOverTheWire) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncClientOptions copts;
+  copts.request_features = kFeatureTrace;
+  MatchClient traced(copts);
+  ASSERT_TRUE(traced.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE((traced.features() & kFeatureTrace) != 0);
+
+  Result<uint64_t> id = traced.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(id.ok());
+  Result<WireOutcome> reply = traced.WaitOutcome(id.value());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const QuerySpan& span = reply.value().outcome.span;
+  EXPECT_TRUE(span.enabled);
+  EXPECT_GT(span.submit_seconds, 0.0);
+  EXPECT_GE(span.admit_seconds, span.submit_seconds);
+  EXPECT_GE(span.first_task_seconds, span.admit_seconds);
+  EXPECT_GE(span.last_task_seconds, span.first_task_seconds);
+  EXPECT_GE(span.resolve_seconds, span.last_task_seconds);
+  // The deliver stamp is taken as the reactor writes the frame — the one
+  // stage only the wire layer can see.
+  EXPECT_GE(span.deliver_seconds, span.resolve_seconds);
+  EXPECT_GT(span.TotalSeconds(), 0.0);
+
+  MatchClient plain;
+  ASSERT_TRUE(plain.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> pid = plain.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(pid.ok());
+  Result<WireOutcome> preply = plain.WaitOutcome(pid.value());
+  ASSERT_TRUE(preply.ok());
+  EXPECT_FALSE(preply.value().outcome.span.enabled);
+  server.Stop();
+}
+
+// The one terminal path with no span at all: an unknown-graph submission
+// is answered inline at the protocol layer before any ticket — and
+// therefore any span — exists. A traced peer gets a clean reject (span
+// disabled, nothing half-finalised) and the connection keeps delivering
+// traced outcomes afterwards.
+TEST(NetObsTest, UnknownGraphRejectKeepsTracedConnectionCoherent) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchServer server(idx, LoopbackOptions(2));
+  ASSERT_TRUE(server.Start().ok());
+
+  AsyncClientOptions copts;
+  copts.request_features = kFeatureTrace | kFeatureCatalog;
+  MatchClient client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Result<uint64_t> bogus = client.SubmitTo("nope", PaperQueryHypergraph());
+  ASSERT_TRUE(bogus.ok());
+  Result<WireOutcome> rejected = client.WaitOutcome(bogus.value());
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().outcome.status, QueryStatus::kRejected);
+  EXPECT_EQ(rejected.value().reject_reason, RejectReason::kUnknownGraph);
+  EXPECT_FALSE(rejected.value().outcome.span.enabled);
+
+  Result<uint64_t> good = client.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(good.ok());
+  Result<WireOutcome> reply = client.WaitOutcome(good.value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().outcome.status, QueryStatus::kOk);
+  EXPECT_TRUE(reply.value().outcome.span.enabled);
+  server.Stop();
+}
+
+// The slow-query ring: with a threshold every query crosses, finished
+// queries appear in STATS — locally and over the wire — with coherent
+// timing decomposition and the uptime tier populated.
+TEST(NetObsTest, SlowQueryRingSurfacesThroughStats) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(2);
+  options.slow_query_ms = 1e-6;  // everything qualifies
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    Result<uint64_t> id = client.Submit(PathQuery(1));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (uint64_t id : ids) ASSERT_TRUE(client.WaitOutcome(id).ok());
+
+  Result<WireStats> reply = client.Stats();
+  ASSERT_TRUE(reply.ok());
+  const WireStats& stats = reply.value();
+  EXPECT_GT(stats.uptime_seconds, 0.0);
+  EXPECT_GT(stats.monotonic_seconds, 0.0);
+  ASSERT_EQ(stats.slow_queries.size(), 3u);
+  for (const WireSlowQuery& slow : stats.slow_queries) {
+    EXPECT_EQ(slow.graph, "default");
+    EXPECT_GT(slow.total_seconds, 0.0);
+    EXPECT_GE(slow.queue_seconds, 0.0);
+    EXPECT_GE(slow.run_seconds, 0.0);
+    EXPECT_GE(slow.deliver_seconds, 0.0);
+    EXPECT_GE(slow.total_seconds,
+              slow.run_seconds);  // the parts nest inside the whole
+  }
+  // The local snapshot agrees with the wire round trip.
+  EXPECT_EQ(server.Stats().slow_queries.size(), 3u);
+  server.Stop();
+}
+
+// One raw HTTP/1.0 exchange against the second listener: GET /metrics
+// returns Prometheus text exposition with the latency histograms the
+// query traffic just populated; anything else is answered, not hung.
+TEST(NetObsTest, MetricsEndpointServesPrometheusText) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServerOptions options = LoopbackOptions(2);
+  options.metrics_port = 0;  // ephemeral
+  MatchServer server(idx, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.metrics_port(), 0);
+
+  MatchClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Result<uint64_t> id = client.Submit(PaperQueryHypergraph());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client.WaitOutcome(id.value()).ok());
+
+  auto http_get = [&](const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.metrics_port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    ssize_t got;
+    while ((got = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      response.append(buf, static_cast<size_t>(got));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const std::string scrape = http_get("GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(scrape.find("200 OK"), std::string::npos);
+  EXPECT_NE(scrape.find("text/plain"), std::string::npos);
+  EXPECT_NE(scrape.find("# TYPE hgmatch_queries_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("# TYPE hgmatch_query_run_seconds histogram"),
+            std::string::npos);
+  // The query we just ran populated the latency histograms: at least one
+  // non-zero cumulative +Inf bucket row must be present.
+  EXPECT_NE(scrape.find("hgmatch_queue_wait_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_EQ(scrape.find("hgmatch_queue_wait_seconds_count 0\n"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("hgmatch_server_uptime_seconds"), std::string::npos);
+  EXPECT_NE(scrape.find("hgmatch_server_connections 1\n"),
+            std::string::npos);
+
+  // Wrong path and wrong method get proper statuses, not a hang; the
+  // main query port is untouched by scrape traffic.
+  EXPECT_NE(http_get("GET /nope HTTP/1.0\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get("POST /metrics HTTP/1.0\r\n\r\n").find("405"),
+            std::string::npos);
+  ASSERT_TRUE(client.Ping().ok());
+  server.Stop();
 }
 
 #endif  // HGMATCH_NET_TEST_SOCKETS

@@ -116,6 +116,11 @@ int Usage() {
                "    [--max-submits-per-sec=R]  per-tenant edge rate limit\n"
                "                         (token bucket; 0 = off)\n"
                "    [--serve-seconds=S]  exit after S seconds (0 = forever)\n"
+               "    [--metrics-port=N]   expose GET /metrics (Prometheus\n"
+               "                         text) on this port (0 = ephemeral;\n"
+               "                         off unless given)\n"
+               "    [--slow-query-ms=T]  record queries slower than T ms in\n"
+               "                         a ring surfaced via --stats\n"
                "    [--poll-outcomes]    legacy 2ms outcome polling instead\n"
                "                         of completion-driven delivery\n"
                "                         (io-threads=1 only)\n"
@@ -132,6 +137,11 @@ int Usage() {
                "    [--stats]            print the server statistics\n"
                "                         snapshot (standalone or after\n"
                "                         the queryset)\n"
+               "    [--json]             emit the --stats snapshot as one\n"
+               "                         JSON object instead of text\n"
+               "    [--trace]            negotiate per-query tracing and\n"
+               "                         print a stage timeline under each\n"
+               "                         outcome\n"
                "    [--graph=NAME]       route the queryset to catalog\n"
                "                         graph NAME (negotiates the\n"
                "                         catalog feature)\n"
@@ -622,6 +632,17 @@ int CmdServe(int argc, char** argv) {
         std::fprintf(stderr, "bad value '%s'\n", arg);
         return 2;
       }
+    } else if (std::strncmp(arg, "--metrics-port=", 15) == 0) {
+      if (!ParseCount(arg + 15, &count) || count > 65535) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
+      options.metrics_port = static_cast<int>(count);
+    } else if (std::strncmp(arg, "--slow-query-ms=", 16) == 0) {
+      if (!ParseSeconds(arg + 16, &options.slow_query_ms)) {
+        std::fprintf(stderr, "bad value '%s'\n", arg);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--no-plan-cache") == 0) {
       options.service.plan_cache = false;
     } else if (std::strcmp(arg, "--poll-outcomes") == 0) {
@@ -651,6 +672,10 @@ int CmdServe(int argc, char** argv) {
               "threads)\n",
               options.host.c_str(), server.port(), num_graphs,
               server.Stats().num_threads, options.io_threads);
+  if (options.metrics_port >= 0) {
+    std::printf("metrics on http://%s:%u/metrics\n", options.host.c_str(),
+                server.metrics_port());
+  }
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::FILE* f = std::fopen(port_file.c_str(), "w");
@@ -719,6 +744,107 @@ void PrintWireStats(const WireStats& s) {
                 static_cast<unsigned long long>(g.index_bytes),
                 g.shards, g.shards == 1 ? "" : "s");
   }
+  if (s.uptime_seconds > 0) {
+    std::printf("  uptime                   %.1fs\n", s.uptime_seconds);
+  }
+  for (const WireSlowQuery& q : s.slow_queries) {
+    std::printf("  slow: request %llu tenant %u graph %s: total %.3fms "
+                "(queue %.3fms, run %.3fms, deliver %.3fms)\n",
+                static_cast<unsigned long long>(q.request_id), q.tenant_id,
+                q.graph.c_str(), q.total_seconds * 1e3,
+                q.queue_seconds * 1e3, q.run_seconds * 1e3,
+                q.deliver_seconds * 1e3);
+  }
+}
+
+// Escapes a string for a JSON string literal (quote, backslash and
+// control characters; graph names are operator-chosen but not trusted).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// The --stats snapshot as one JSON object on stdout (`--stats --json`),
+// machine-readable counterpart of PrintWireStats for scripted scrapes.
+void PrintWireStatsJson(const WireStats& s) {
+  std::printf("{\"workers\":%u", s.num_threads);
+  std::printf(",\"connections\":%llu",
+              static_cast<unsigned long long>(s.connections));
+  std::printf(",\"submitted\":%llu",
+              static_cast<unsigned long long>(s.submitted));
+  std::printf(",\"completed\":%llu",
+              static_cast<unsigned long long>(s.completed));
+  std::printf(",\"rejected\":%llu",
+              static_cast<unsigned long long>(s.rejected));
+  std::printf(",\"rate_limited\":%llu",
+              static_cast<unsigned long long>(s.rate_limited));
+  std::printf(",\"cancelled_by_disconnect\":%llu",
+              static_cast<unsigned long long>(s.cancelled_by_disconnect));
+  std::printf(",\"inflight\":%llu",
+              static_cast<unsigned long long>(s.inflight));
+  std::printf(",\"service_finished\":%llu",
+              static_cast<unsigned long long>(s.service_finished));
+  std::printf(",\"service_live_contexts\":%llu",
+              static_cast<unsigned long long>(s.service_live_contexts));
+  std::printf(",\"service_retained_slots\":%llu",
+              static_cast<unsigned long long>(s.service_retained_slots));
+  std::printf(",\"uptime_seconds\":%.6f", s.uptime_seconds);
+  std::printf(",\"monotonic_seconds\":%.6f", s.monotonic_seconds);
+  std::printf(",\"io_threads\":[");
+  for (size_t i = 0; i < s.io_threads.size(); ++i) {
+    const WireIoThreadStats& t = s.io_threads[i];
+    std::printf("%s{\"connections\":%llu,\"frames_in\":%llu,"
+                "\"frames_out\":%llu,\"bytes_in\":%llu,\"bytes_out\":%llu,"
+                "\"rejects\":%llu}",
+                i == 0 ? "" : ",",
+                static_cast<unsigned long long>(t.connections),
+                static_cast<unsigned long long>(t.frames_in),
+                static_cast<unsigned long long>(t.frames_out),
+                static_cast<unsigned long long>(t.bytes_in),
+                static_cast<unsigned long long>(t.bytes_out),
+                static_cast<unsigned long long>(t.rejects));
+  }
+  std::printf("],\"graphs\":[");
+  for (size_t i = 0; i < s.graphs.size(); ++i) {
+    const WireGraphStats& g = s.graphs[i];
+    std::printf("%s{\"name\":\"%s\",\"default\":%s,\"queries\":%llu,"
+                "\"live_tickets\":%llu,\"index_bytes\":%llu,\"shards\":%u}",
+                i == 0 ? "" : ",", JsonEscape(g.name).c_str(),
+                g.is_default ? "true" : "false",
+                static_cast<unsigned long long>(g.queries),
+                static_cast<unsigned long long>(g.live_tickets),
+                static_cast<unsigned long long>(g.index_bytes), g.shards);
+  }
+  std::printf("],\"slow_queries\":[");
+  for (size_t i = 0; i < s.slow_queries.size(); ++i) {
+    const WireSlowQuery& q = s.slow_queries[i];
+    std::printf("%s{\"request_id\":%llu,\"tenant_id\":%u,\"graph\":\"%s\","
+                "\"total_seconds\":%.6f,\"queue_seconds\":%.6f,"
+                "\"run_seconds\":%.6f,\"deliver_seconds\":%.6f}",
+                i == 0 ? "" : ",",
+                static_cast<unsigned long long>(q.request_id), q.tenant_id,
+                JsonEscape(q.graph).c_str(), q.total_seconds,
+                q.queue_seconds, q.run_seconds, q.deliver_seconds);
+  }
+  std::printf("]}\n");
 }
 
 // Pretty-prints a kCatalogReply (the graph list every catalog verb
@@ -754,8 +880,10 @@ int CmdQuery(int argc, char** argv) {
   uint64_t limit = SubmitOptions::kInheritLimit;
   bool shutdown_after = false;
   bool print_stats = false;
+  bool stats_json = false;
   bool use_batch = false;
   bool use_compress = false;
+  bool use_trace = false;
   std::string graph;        // --graph: route the queryset here
   bool list_graphs = false;
   std::string load_name, load_path;  // --load-graph=NAME=PATH
@@ -793,12 +921,16 @@ int CmdQuery(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--stats") == 0) {
       print_stats = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      stats_json = true;
     } else if (std::strcmp(arg, "--shutdown") == 0) {
       shutdown_after = true;
     } else if (std::strcmp(arg, "--batch") == 0) {
       use_batch = true;
     } else if (std::strcmp(arg, "--compress") == 0) {
       use_compress = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      use_trace = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return 2;
@@ -825,6 +957,7 @@ int CmdQuery(int argc, char** argv) {
   AsyncClientOptions copts;
   if (use_batch) copts.request_features |= kFeatureBatch;
   if (use_compress) copts.request_features |= kFeatureCompression;
+  if (use_trace) copts.request_features |= kFeatureTrace;
   if (!graph.empty() || catalog_admin) {
     copts.request_features |= kFeatureCatalog;
   }
@@ -855,7 +988,11 @@ int CmdQuery(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
         return 1;
       }
-      PrintWireStats(stats.value());
+      if (stats_json) {
+        PrintWireStatsJson(stats.value());
+      } else {
+        PrintWireStats(stats.value());
+      }
     }
     if (shutdown_after) {
       const Status sent = client.RequestShutdown();
@@ -942,6 +1079,9 @@ int CmdQuery(int argc, char** argv) {
                 QueryStatusName(out.status), shed ? ": " : "",
                 shed ? RejectReasonName(reply.value().reject_reason) : "",
                 out.mirrored ? " (mirrored)" : "");
+    if (use_trace && out.span.enabled) {
+      std::printf("%s", out.span.Timeline().c_str());
+    }
     total_embeddings += out.stats.embeddings;
     if (out.status == QueryStatus::kOk || out.status == QueryStatus::kLimit) {
       ++ok_count;
@@ -960,13 +1100,14 @@ int CmdQuery(int argc, char** argv) {
         ids.empty() ? 0.0
                     : static_cast<double>(ts.bytes_sent + ts.bytes_received) /
                           static_cast<double>(ids.size());
-    std::printf("wire: granted%s%s%s%s, sent %llu frames / %llu bytes, "
+    std::printf("wire: granted%s%s%s%s%s, sent %llu frames / %llu bytes, "
                 "received %llu frames / %llu bytes, %.1f bytes/query\n",
                 client.features() == 0 ? " none" : "",
                 (client.features() & kFeatureBatch) != 0 ? " batch" : "",
                 (client.features() & kFeatureCompression) != 0 ? " compress"
                                                                : "",
                 (client.features() & kFeatureCatalog) != 0 ? " catalog" : "",
+                (client.features() & kFeatureTrace) != 0 ? " trace" : "",
                 static_cast<unsigned long long>(ts.frames_sent),
                 static_cast<unsigned long long>(ts.bytes_sent),
                 static_cast<unsigned long long>(ts.frames_received),
@@ -987,7 +1128,11 @@ int CmdQuery(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
       return 1;
     }
-    PrintWireStats(stats.value());
+    if (stats_json) {
+      PrintWireStatsJson(stats.value());
+    } else {
+      PrintWireStats(stats.value());
+    }
   }
   if (shutdown_after) {
     const Status sent = client.RequestShutdown();
