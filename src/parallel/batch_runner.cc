@@ -24,6 +24,7 @@ BatchResult RunBatch(const IndexedHypergraph& data,
   service_options.task_quota = options.task_quota;
   service_options.run_timeout_seconds = options.batch_timeout_seconds;
   service_options.plan_cache = options.plan_cache;
+  service_options.plan_cache_isomorphism = options.plan_cache_isomorphism;
   // Frozen-batch mode: collect the whole batch before the pool starts, so
   // the pre-start seeds spread directly over the worker deques and every
   // per-query deadline arms when execution actually begins — the batch
@@ -67,6 +68,8 @@ BatchResult RunBatch(const IndexedHypergraph& data,
   result.executed = sr.executed;
   result.mirrored = sr.mirrored;
   result.plan_cache_hits = sr.plan_cache_hits;
+  result.plan_cache_isomorphic_hits = sr.plan_cache_isomorphic_hits;
+  result.redispatched = sr.redispatched;
   result.unique_plans = sr.unique_plans;
   return result;
 }

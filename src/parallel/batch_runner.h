@@ -48,12 +48,16 @@ struct BatchOptions {
   /// and starve cheap queries of the batch. 0 = off.
   uint64_t task_quota = 0;
 
-  /// Detect repeated (structurally identical) queries and reuse one
-  /// compiled plan for all copies; copies without a sink additionally skip
-  /// execution entirely and mirror the first copy's exact counts. Repeats
-  /// are found via an exact structural key, so only true duplicates ever
-  /// share.
+  /// Detect repeated queries and reuse one compiled plan for all copies;
+  /// copies without a sink additionally skip execution entirely and mirror
+  /// the first copy's exact counts. Repeats are found via an
+  /// isomorphism-invariant canonical key (small queries) falling back to an
+  /// exact structural key, so renamed/reordered duplicates share too.
   bool plan_cache = true;
+
+  /// When false the plan cache keys on byte-exact structure only — the
+  /// pre-canonicalisation behaviour. An ablation/debug switch.
+  bool plan_cache_isomorphism = true;
 };
 
 /// Outcome of one query of a batch. Entries of BatchResult::queries appear
@@ -103,9 +107,18 @@ struct BatchResult {
   uint64_t mirrored = 0;
 
   /// Queries whose compiled plan came from the plan cache (i.e. they were
-  /// structurally identical to an earlier query of the batch), whether
-  /// they then executed or mirrored.
+  /// isomorphic to an earlier query of the batch), whether they then
+  /// executed or mirrored.
   uint64_t plan_cache_hits = 0;
+
+  /// The subset of plan_cache_hits that matched via the canonical
+  /// (isomorphism-invariant) key rather than byte-for-byte structural
+  /// equality — i.e. renamed/reordered duplicates.
+  uint64_t plan_cache_isomorphic_hits = 0;
+
+  /// Mirrors whose canonical copy resolved non-mirrorably (cancel/timeout)
+  /// and that were re-submitted as independent executions.
+  uint64_t redispatched = 0;
 
   /// Distinct plans actually compiled for this batch.
   uint64_t unique_plans = 0;

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/canonical.h"
 #include "core/matching_order.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -26,20 +27,24 @@ constexpr uint32_t kNotScheduled = 0xffffffffu;
 // MatchService instance shares them — the metrics describe the process,
 // not one service).
 struct ServiceMetrics {
-  Counter* plan_cache_hits;
+  Counter* plan_cache_hits_exact;
+  Counter* plan_cache_hits_isomorphic;
   Counter* plan_cache_misses;
   Counter* plan_cache_evictions;
   Counter* mirrored;
+  Counter* redispatched;
 };
 
 const ServiceMetrics& Metrics() {
   static const ServiceMetrics m = [] {
     MetricsRegistry& reg = MetricsRegistry::Default();
     return ServiceMetrics{
-        reg.GetCounter("hgmatch_plan_cache_hits_total"),
+        reg.GetCounter("hgmatch_plan_cache_hits_total", "kind=\"exact\""),
+        reg.GetCounter("hgmatch_plan_cache_hits_total", "kind=\"isomorphic\""),
         reg.GetCounter("hgmatch_plan_cache_misses_total"),
         reg.GetCounter("hgmatch_plan_cache_evictions_total"),
         reg.GetCounter("hgmatch_queries_mirrored_total"),
+        reg.GetCounter("hgmatch_queries_redispatched_total"),
     };
   }();
   return m;
@@ -102,34 +107,13 @@ void MergeShardOutcome(QueryOutcome* into, const QueryOutcome& out,
   into->span.MergeFrom(out.span);
 }
 
-// Canonical cache key of a query hypergraph: the exact vertex structure
-// (vertex labels, then each hyperedge's arity, vertex ids and edge label),
-// so key equality is exactly structural identity — two queries with equal
-// keys have identical vertex labels and identical hyperedges over identical
-// vertex ids, and therefore compile to interchangeable plans.
-std::string QueryCacheKey(const Hypergraph& q) {
-  std::string key;
-  key.reserve(16 + q.NumVertices() * sizeof(Label) +
-              q.NumIncidences() * sizeof(VertexId) +
-              q.NumEdges() * (sizeof(Label) + sizeof(uint64_t)));
-  auto append = [&key](const void* data, size_t bytes) {
-    key.append(static_cast<const char*>(data), bytes);
-  };
-  const uint64_t nv = q.NumVertices();
-  append(&nv, sizeof(nv));
-  for (VertexId v = 0; v < q.NumVertices(); ++v) {
-    const Label l = q.label(v);
-    append(&l, sizeof(l));
-  }
-  for (EdgeId e = 0; e < q.NumEdges(); ++e) {
-    const VertexSet& vs = q.edge(e);
-    const uint64_t arity = vs.size();
-    append(&arity, sizeof(arity));
-    append(vs.data(), vs.size() * sizeof(VertexId));
-    const Label el = q.edge_label(e);
-    append(&el, sizeof(el));
-  }
-  return key;
+// Whether a canonical outcome is a trustworthy source of mirrored counts:
+// a complete run (kOk) or a limit stop at the same limit budget. Anything
+// else (timeout, cancelled) carries partial counts that belong only to the
+// execution that was interrupted — mirrors of such a canonical re-dispatch
+// instead of copying them.
+bool Mirrorable(QueryStatus s) {
+  return s == QueryStatus::kOk || s == QueryStatus::kLimit;
 }
 
 }  // namespace
@@ -156,10 +140,25 @@ struct ShardFan {
   std::unique_ptr<LockedSink> locked_sink;
 };
 
+// The mutex + condition variable every ticket wait and record resolution
+// parks on. Shared-owned: the service holds one reference and every
+// QueryRecord pins another, so a Ticket::Wait that is still inside the
+// condition wait when its service is destroyed (a catalog unload drains on
+// the completion hook, which fires before woken waiters have re-acquired
+// the mutex) parks on storage that outlives the service.
+struct ResolveGate {
+  std::mutex m;
+  std::condition_variable cv;
+};
+
 // Shared state behind one Ticket. Exactly one of three shapes:
 //  * executed:  sched_index valid — the query ran (or runs) on the pool;
 //  * mirror:    canonical set — a sink-less structural repeat that copies
-//               the canonical execution's outcome instead of running;
+//               the canonical execution's outcome instead of running. A
+//               mirror whose canonical ends with a non-mirrorable outcome
+//               (cancelled / timed out) is *re-dispatched*: it detaches,
+//               clears `canonical` and becomes an executed record on the
+//               shared compiled plan, with its own budgets and hooks;
 //  * failed:    plan_status not-ok — failed planning or submitted after
 //               Shutdown; resolved immediately.
 // Resolution is eager and completion-driven: the scheduler's per-query
@@ -172,6 +171,9 @@ struct ShardFan {
 // retrieves the outcome.
 struct QueryRecord {
   ServiceImpl* service = nullptr;
+  // Pin on the service's resolve gate; lets Ticket reads outlive the
+  // service (see ResolveGate).
+  std::shared_ptr<ResolveGate> gate;
   uint64_t id = 0;
   Status plan_status;
   uint32_t sched_index = kNotScheduled;
@@ -191,6 +193,25 @@ struct QueryRecord {
   std::shared_ptr<std::atomic<uint32_t>> plan_live;
   // Sharded execution state; null for plain (shards <= 1) submissions.
   std::shared_ptr<ShardFan> fan;
+
+  // Mirror re-dispatch state, set at attachment (under mutex_ +
+  // resolve_mutex_) and consumed by RedispatchMirrors when the canonical
+  // ends with a non-mirrorable outcome: the user's own SubmitOptions
+  // (budgets, tenant, priority, trace — the sink is null by the mirror
+  // precondition, the completion hook lives in `completion` above), the
+  // shared compiled plan (kept alive by the plan_live pin until this
+  // record resolves), and the plan-cache key so the first accepted
+  // re-dispatch can take over as the structure's canonical.
+  SubmitOptions mirror_options;
+  const QueryPlan* mirror_plan = nullptr;
+  std::string cache_key;
+  // True from the moment ResolveLocked hands this mirror to the
+  // re-dispatch list until its pool submission attaches: a Cancel() in
+  // that window has no scheduler index to target, so it latches
+  // cancel_pending and the attachment cancels on the way out. Both
+  // guarded by resolve_mutex_.
+  bool redispatching = false;
+  bool cancel_pending = false;
 
   // Per-submit completion hook (SubmitOptions::completion); moved into the
   // fire list when the record resolves, which is what makes exactly-once
@@ -253,6 +274,7 @@ class ServiceImpl {
       auto rec = std::make_shared<QueryRecord>();
       rec->owned_query = std::move(b.query);
       rec->service = this;
+      rec->gate = gate_;
       rec->completion = b.options.completion;
       recs.push_back(std::move(rec));
     }
@@ -402,82 +424,64 @@ class ServiceImpl {
 
   // ------------------------------------------------- ticket entry points --
 
-  const QueryOutcome& Wait(QueryRecord* rec) {
-    std::unique_lock<std::mutex> lock(resolve_mutex_);
-    resolve_cv_.wait(lock, [rec] {
-      return rec->resolved.load(std::memory_order_acquire);
-    });
-    return rec->outcome;
-  }
-
-  const QueryOutcome* WaitFor(QueryRecord* rec, double timeout_seconds) {
-    std::unique_lock<std::mutex> lock(resolve_mutex_);
-    resolve_cv_.wait_for(
-        lock,
-        std::chrono::duration<double>(
-            timeout_seconds > 0 ? timeout_seconds : 0),
-        [rec] { return rec->resolved.load(std::memory_order_acquire); });
-    return rec->resolved.load(std::memory_order_acquire) ? &rec->outcome
-                                                         : nullptr;
-  }
-
-  const QueryOutcome* TryGet(QueryRecord* rec) {
-    // Resolution is eager (completion hook), so the resolved flag is the
-    // whole truth — no scheduler consultation, no lock.
-    return rec->resolved.load(std::memory_order_acquire) ? &rec->outcome
-                                                         : nullptr;
-  }
+  // Wait/WaitFor/TryGet live on Ticket itself: the read side parks on the
+  // record's gate pin, never on the service, so a ticket held across its
+  // service's destruction (catalog unload racing a waiter) stays safe.
 
   bool Cancel(const std::shared_ptr<QueryRecord>& rec) {
     if (rec->resolved.load(std::memory_order_acquire)) return false;
-    if (rec->canonical == nullptr) {
-      std::vector<uint32_t> subs;
-      {
-        std::lock_guard<std::mutex> lock(resolve_mutex_);
-        if (rec->fan != nullptr) {
-          subs = rec->fan->sub;
-          // Slices still inside their own Submit call attach later;
-          // AttachShardIndex observes the flag and cancels them then.
-          rec->fan->cancel_issued = true;
-        }
-      }
-      if (!subs.empty()) {
-        // Sharded: cancel every attached sub-query; the fan resolves
-        // (status kCancelled dominating ok/limit) once every slice does.
-        bool any = false;
-        for (uint32_t idx : subs) {
-          if (idx != kNotScheduled && sched_->Cancel(idx)) any = true;
-        }
-        return any;
-      }
-      // Resolution arrives through the scheduler's completion hook —
-      // synchronously inside this call for queries cancelled while queued,
-      // at the next task boundary for in-flight ones. A released slot
-      // reports false here (long finished).
-      return sched_->Cancel(rec->sched_index);
-    }
-    // Mirror: if the canonical execution already finished, the mirror is
-    // (about to be) resolved from it — too late to cancel; otherwise the
-    // mirror detaches and resolves as cancelled, leaving the canonical
-    // execution (and any sibling mirrors) untouched.
     std::vector<FiredCompletion> fire;
-    bool cancelled = false;
+    std::vector<uint32_t> subs;
+    bool mirror = false;
     {
+      // Classify under resolve_mutex_: re-dispatch moves a record from
+      // mirror to executed concurrently, so an unlocked canonical check
+      // could route the cancel at a stale shape.
       std::lock_guard<std::mutex> lock(resolve_mutex_);
       if (rec->resolved.load(std::memory_order_acquire)) return false;
-      QueryRecord* canon = rec->canonical.get();
-      if (canon->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(rec, canon->outcome, &fire);
-      } else {
+      if (rec->canonical != nullptr) {
+        // Mirror: detach and resolve as cancelled, leaving the canonical
+        // execution and any sibling mirrors untouched — a cancel aimed at
+        // the mirror never propagates to the shared execution, and a
+        // canonical that already ended abnormally cannot drag the mirror
+        // with it (such a mirror was about to re-dispatch; this cancel
+        // wins and the re-dispatch skips it).
         QueryOutcome out;
         out.status = QueryStatus::kCancelled;
-        ResolveLocked(rec, out, &fire);
-        cancelled = true;
+        ResolveLocked(rec, out, &fire, nullptr);
+        mirror = true;
+      } else if (rec->redispatching) {
+        // Detached from its canonical but its pool submission has not
+        // attached yet — nothing to target; the attachment observes the
+        // flag and cancels on the way out.
+        rec->cancel_pending = true;
+        return true;
+      } else if (rec->fan != nullptr) {
+        subs = rec->fan->sub;
+        // Slices still inside their own Submit call attach later;
+        // AttachShardIndex observes the flag and cancels them then.
+        rec->fan->cancel_issued = true;
       }
     }
-    resolve_cv_.notify_all();
-    FireCompletions(&fire);
-    return cancelled;
+    if (mirror) {
+      resolve_cv_.notify_all();
+      FireCompletions(&fire);
+      return true;
+    }
+    if (!subs.empty()) {
+      // Sharded: cancel every attached sub-query; the fan resolves
+      // (status kCancelled dominating ok/limit) once every slice does.
+      bool any = false;
+      for (uint32_t idx : subs) {
+        if (idx != kNotScheduled && sched_->Cancel(idx)) any = true;
+      }
+      return any;
+    }
+    // Resolution arrives through the scheduler's completion hook —
+    // synchronously inside this call for queries cancelled while queued,
+    // at the next task boundary for in-flight ones. A released slot
+    // reports false here (long finished).
+    return sched_->Cancel(rec->sched_index);
   }
 
  private:
@@ -486,9 +490,11 @@ class ServiceImpl {
     report_.submitted = submitted_;
     report_.executed = executed_;
     report_.mirrored = mirrored_;
+    report_.redispatched = redispatched_;
     report_.rejected = rejected_.load(std::memory_order_acquire);
     report_.plan_errors = plan_errors_;
     report_.plan_cache_hits = plan_cache_hits_;
+    report_.plan_cache_isomorphic_hits = plan_cache_iso_hits_;
     report_.unique_plans = unique_plans_;
   }
 
@@ -521,10 +527,11 @@ class ServiceImpl {
   void OnSchedulerComplete(const std::shared_ptr<QueryRecord>& rec,
                            const QueryOutcome& out) {
     std::vector<FiredCompletion> fire;
+    std::vector<std::shared_ptr<QueryRecord>> redispatch;
     {
       std::lock_guard<std::mutex> lock(resolve_mutex_);
       if (!rec->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(rec, out, &fire);
+        ResolveLocked(rec, out, &fire, &redispatch);
       }
       // Claimed in the same critical section that publishes the resolved
       // flag, so a shared-pool Shutdown observing every record resolved
@@ -532,17 +539,25 @@ class ServiceImpl {
       // the gap where it could destroy the service under a live delivery.
       ++hook_busy_;
     }
-    DeliverResolutions(&fire);
+    DeliverResolutions(&fire, &redispatch);
   }
 
   // The post-resolution delivery tail of a pool-worker completion hook:
-  // wake waiters, fire user hooks, then drop the delivery claim taken
-  // under resolve_mutex_. The final notify happens *under* the lock and
-  // is the thread's last touch of the service, so a Shutdown waiter that
-  // wakes on it can safely let the service be destroyed.
-  void DeliverResolutions(std::vector<FiredCompletion>* fire) {
+  // wake waiters, fire user hooks, re-dispatch any mirrors the resolution
+  // orphaned, then drop the delivery claim taken under resolve_mutex_.
+  // Re-dispatch happens under the claim: the orphaned mirrors are
+  // unresolved records, so a shared-pool Shutdown cannot pass
+  // WaitRecordsResolved until they resolve, and holding the claim keeps
+  // the service alive for the re-dispatch submissions themselves. The
+  // final notify happens *under* the lock and is the thread's last touch
+  // of the service, so a Shutdown waiter that wakes on it can safely let
+  // the service be destroyed.
+  void DeliverResolutions(std::vector<FiredCompletion>* fire,
+                          std::vector<std::shared_ptr<QueryRecord>>*
+                              redispatch) {
     resolve_cv_.notify_all();
     FireCompletions(fire);
+    if (redispatch != nullptr) RedispatchMirrors(redispatch);
     std::lock_guard<std::mutex> lock(resolve_mutex_);
     --hook_busy_;
     resolve_cv_.notify_all();
@@ -551,14 +566,20 @@ class ServiceImpl {
   // Stores `out` as the record's final outcome, releases whatever the
   // record still pins (its scheduler slot and, for plan-cache-off
   // submissions, the compiled plan), feeds the measured task count back
-  // into the plan-cache cost tracker (cost-aware WFQ), resolves attached
-  // mirrors from the same outcome, and harvests the completion hooks into
-  // *fire for lock-free delivery by the caller. Callers hold
-  // resolve_mutex_, guarantee !rec->resolved, and notify resolve_cv_ after
-  // releasing the lock. Recursion depth is one: mirrors have no mirrors.
+  // into the plan-cache cost tracker (cost-aware WFQ), settles attached
+  // mirrors, and harvests the completion hooks into *fire for lock-free
+  // delivery by the caller. Mirrors resolve from the same outcome when it
+  // is mirrorable (ok / limit); otherwise they are handed to *redispatch
+  // for independent re-execution once every lock is dropped — unless
+  // redispatch is null (Shutdown's resolve-all sweep and other paths where
+  // re-dispatch is impossible), in which case they fate-share the outcome
+  // as a last resort. Callers hold resolve_mutex_, guarantee
+  // !rec->resolved, and notify resolve_cv_ after releasing the lock.
+  // Recursion depth is one: mirrors have no mirrors.
   void ResolveLocked(const std::shared_ptr<QueryRecord>& rec,
                      const QueryOutcome& out,
-                     std::vector<FiredCompletion>* fire) {
+                     std::vector<FiredCompletion>* fire,
+                     std::vector<std::shared_ptr<QueryRecord>>* redispatch) {
     rec->outcome = out;
     rec->outcome.mirrored = rec->canonical != nullptr;
     if (rec->outcome.span.enabled) {
@@ -587,9 +608,14 @@ class ServiceImpl {
     rec->resolved.store(true, std::memory_order_release);
     ReleaseSlotLocked(rec.get());
     fire->push_back({rec, std::move(rec->completion)});
+    const bool mirrorable = Mirrorable(rec->outcome.status);
     for (std::shared_ptr<QueryRecord>& m : rec->mirrors) {
-      if (!m->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(m, rec->outcome, fire);
+      if (m->resolved.load(std::memory_order_acquire)) continue;
+      if (mirrorable || redispatch == nullptr) {
+        ResolveLocked(m, rec->outcome, fire, nullptr);
+      } else {
+        m->redispatching = true;
+        redispatch->push_back(m);
       }
     }
     rec->mirrors.clear();
@@ -640,12 +666,20 @@ class ServiceImpl {
   // performs the finished-count bump that gates the poll fallback.
   void AttachSchedIndex(const std::shared_ptr<QueryRecord>& rec,
                         uint32_t index) {
-    std::lock_guard<std::mutex> lock(resolve_mutex_);
-    rec->sched_index = index;
-    if (rec->resolved.load(std::memory_order_acquire) && !rec->released) {
-      ReleaseSlotLocked(rec.get());
-      finished_.fetch_add(1, std::memory_order_release);
+    bool cancel = false;
+    {
+      std::lock_guard<std::mutex> lock(resolve_mutex_);
+      rec->sched_index = index;
+      // A re-dispatched mirror is targetable again from here on; honour a
+      // Cancel() that arrived while it had no scheduler index.
+      rec->redispatching = false;
+      cancel = rec->cancel_pending;
+      if (rec->resolved.load(std::memory_order_acquire) && !rec->released) {
+        ReleaseSlotLocked(rec.get());
+        finished_.fetch_add(1, std::memory_order_release);
+      }
     }
+    if (cancel) sched_->Cancel(index);
   }
 
   // Fan analogue of AttachSchedIndex: publishes slice k's scheduler index.
@@ -678,6 +712,7 @@ class ServiceImpl {
                        const QueryOutcome& out) {
     std::vector<uint32_t> to_cancel;
     std::vector<FiredCompletion> fire;
+    std::vector<std::shared_ptr<QueryRecord>> redispatch;
     bool resolved_now = false;
     {
       std::lock_guard<std::mutex> lock(resolve_mutex_);
@@ -697,7 +732,7 @@ class ServiceImpl {
       }
       if (--fan->remaining == 0 &&
           !rec->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(rec, fan->merged, &fire);
+        ResolveLocked(rec, fan->merged, &fire, &redispatch);
         resolved_now = true;
       }
       ++hook_busy_;  // see OnSchedulerComplete
@@ -707,7 +742,7 @@ class ServiceImpl {
     // function.
     for (uint32_t idx : to_cancel) sched_->Cancel(idx);
     if (resolved_now) {
-      DeliverResolutions(&fire);
+      DeliverResolutions(&fire, &redispatch);
     } else {
       std::lock_guard<std::mutex> lock(resolve_mutex_);
       --hook_busy_;
@@ -717,13 +752,15 @@ class ServiceImpl {
 
   // Resolves a record outside the scheduler path (plan errors, sealed
   // submissions, mirrors of already-finished canonicals). Callers hold no
-  // lock beyond mutex_ and fire + notify after releasing it.
+  // lock beyond mutex_ and fire + notify after releasing it. Such records
+  // are always freshly created in the same Submit call, so they carry no
+  // mirrors and need no re-dispatch list.
   void ResolveNow(const std::shared_ptr<QueryRecord>& rec,
                   const QueryOutcome& out,
                   std::vector<FiredCompletion>* fire) {
     std::lock_guard<std::mutex> lock(resolve_mutex_);
     if (!rec->resolved.load(std::memory_order_acquire)) {
-      ResolveLocked(rec, out, fire);
+      ResolveLocked(rec, out, fire, nullptr);
     }
   }
 
@@ -731,14 +768,16 @@ class ServiceImpl {
   // slot (or its canonical record, resolved first — which resolves this
   // mirror along). Callers hold mutex_ + resolve_mutex_ after
   // Seal()+WaitIdle(), so every query has finished and every unresolved
-  // record's slot is still retained.
+  // record's slot is still retained. The pool is sealed, so a mirror of an
+  // abnormally-ended canonical cannot be re-dispatched here — it keeps the
+  // canonical's outcome (the one remaining, documented fate-share).
   void ResolveFinishedLocked(const std::shared_ptr<QueryRecord>& rec,
                              std::vector<FiredCompletion>* fire) {
     if (rec->resolved.load(std::memory_order_acquire)) return;
     if (rec->canonical != nullptr) {
       ResolveFinishedLocked(rec->canonical, fire);
       if (!rec->resolved.load(std::memory_order_acquire)) {
-        ResolveLocked(rec, rec->canonical->outcome, fire);
+        ResolveLocked(rec, rec->canonical->outcome, fire, nullptr);
       }
       return;
     }
@@ -763,11 +802,70 @@ class ServiceImpl {
         }
         any = true;
       }
-      if (any) ResolveLocked(rec, merged, fire);
+      if (any) ResolveLocked(rec, merged, fire, nullptr);
       return;
     }
     const QueryOutcome* out = sched_->TryGetQuery(rec->sched_index);
-    if (out != nullptr) ResolveLocked(rec, *out, fire);
+    if (out != nullptr) ResolveLocked(rec, *out, fire, nullptr);
+  }
+
+  // Re-dispatches mirrors orphaned by a canonical that ended with a
+  // non-mirrorable outcome (cancelled / timed out): each becomes an
+  // independent execution on the shared compiled plan it pinned at
+  // attachment, keeping its own budgets, tenant WFQ charge, completion
+  // hook and trace options. The first accepted re-dispatch takes over as
+  // the structure's canonical, so mirroring resumes without waiting for
+  // an external repeat. Callers hold NO lock (this takes mutex_, and a
+  // queue-shed submission fires completion hooks synchronously inside
+  // SubmitToPool). A mirror cancelled in the hand-off window is skipped;
+  // when the service sealed in the meantime the pool would never admit
+  // the submission, so the mirror keeps the canonical's outcome (the
+  // documented shutdown fate-share).
+  void RedispatchMirrors(std::vector<std::shared_ptr<QueryRecord>>* list) {
+    if (list->empty()) return;
+    std::vector<FiredCompletion> fire;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::shared_ptr<QueryRecord>& m : *list) {
+        {
+          std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+          if (m->resolved.load(std::memory_order_acquire)) continue;
+          if (sealed_) {
+            ResolveLocked(m, m->canonical->outcome, &fire, nullptr);
+            continue;
+          }
+          m->canonical.reset();
+        }
+        // From here the record is an executed submission: move its count
+        // from mirrored to executed/rejected (CountScheduledLocked and
+        // the shed path below keep the submitted = executed + mirrored +
+        // rejected + plan_errors ledger exact).
+        --mirrored_;
+        ++redispatched_;
+        Metrics().redispatched->Add();
+        SubmitToPool(m, m->mirror_plan, m->mirror_options, m->plan_cost);
+        const bool accepted = CountScheduledLocked(m.get());
+        auto cit = cache_.find(m->cache_key);
+        if (accepted && cit != cache_.end()) {
+          CacheEntry& entry = cit->second;
+          const bool bad_canonical =
+              entry.canonical->resolved.load(std::memory_order_acquire) &&
+              !Mirrorable(entry.canonical->outcome.status);
+          // A re-dispatch that was itself cancelled synchronously on the
+          // way in (cancel_pending) is no better a canonical than the one
+          // it replaces.
+          const bool usable =
+              !m->resolved.load(std::memory_order_acquire) ||
+              Mirrorable(m->outcome.status);
+          if (bad_canonical && usable) entry.canonical = m;
+        }
+      }
+    }
+    if (!fire.empty()) {
+      resolve_cv_.notify_all();
+      FireCompletions(&fire);
+    }
+    list->clear();
   }
 
   void EnsureStarted() {
@@ -793,6 +891,13 @@ class ServiceImpl {
     // The cached plan itself (the entry is its owner, so evicting the
     // entry frees it).
     std::unique_ptr<QueryPlan> owned;
+    // Exact structural key of the query the plan was compiled from. Under
+    // the isomorphism-aware cache key, a hit whose own exact key differs
+    // is an *isomorphic* hit (renamed vertices / reordered hyperedges):
+    // counts transfer unchanged, but embedding tuples would follow this
+    // query's edge numbering, so sink-ful isomorphic repeats compile
+    // their own plan.
+    std::string exact_key;
     // Source of mirrored outcomes; replaced when the original ends
     // unusably and a later accepted run takes over.
     std::shared_ptr<QueryRecord> canonical;
@@ -820,18 +925,18 @@ class ServiceImpl {
   // plan's last measured task count; first-seen plans keep the flat 1),
   // and the service's internal completion hook in place of the user's —
   // the user hooks fire at service-level resolution, inside that hook.
-  SubmitOptions SchedulerSubmit(const SubmitOptions& so,
-                                const std::shared_ptr<QueryRecord>& rec,
-                                const CacheEntry* entry) {
+  SubmitOptions SchedulerSubmit(
+      const SubmitOptions& so, const std::shared_ptr<QueryRecord>& rec,
+      const std::shared_ptr<std::atomic<uint64_t>>& plan_cost) {
     SubmitOptions effective = so;
     // Resolve budget inheritance against *this service's* defaults: on a
     // shared pool the scheduler's own defaults belong to the pool, not to
     // this service.
     effective.timeout_seconds = EffectiveTimeout(so);
     effective.limit = EffectiveLimit(so);
-    if (entry != nullptr && options_.cost_aware_wfq &&
+    if (plan_cost != nullptr && options_.cost_aware_wfq &&
         options_.admission == AdmissionPolicy::kWeightedFair) {
-      const uint64_t measured = entry->cost->load(std::memory_order_relaxed);
+      const uint64_t measured = plan_cost->load(std::memory_order_relaxed);
       if (measured > 0) effective.cost = static_cast<double>(measured);
     }
     effective.completion = [this, rec](const QueryOutcome& out) {
@@ -845,11 +950,12 @@ class ServiceImpl {
   // into the one record (see ShardFan). Callers hold mutex_.
   void SubmitToPool(const std::shared_ptr<QueryRecord>& rec,
                     const QueryPlan* plan, const SubmitOptions& so,
-                    const CacheEntry* entry) {
+                    const std::shared_ptr<std::atomic<uint64_t>>& plan_cost) {
     const uint32_t shards = std::max<uint32_t>(1, options_.shards);
     if (shards == 1) {
       AttachSchedIndex(rec, sched_->Submit(plan, data_,
-                                           SchedulerSubmit(so, rec, entry)));
+                                           SchedulerSubmit(so, rec,
+                                                           plan_cost)));
       return;
     }
     auto fan = std::make_shared<ShardFan>();
@@ -861,9 +967,13 @@ class ServiceImpl {
     {
       std::lock_guard<std::mutex> lock(resolve_mutex_);
       rec->fan = fan;
+      // A re-dispatched mirror's cancel routing moves to the fan from
+      // here on; carry over a Cancel() that raced the re-dispatch.
+      rec->redispatching = false;
+      fan->cancel_issued = rec->cancel_pending;
     }
     for (uint32_t k = 0; k < shards; ++k) {
-      SubmitOptions sub = SchedulerSubmit(so, rec, entry);
+      SubmitOptions sub = SchedulerSubmit(so, rec, plan_cost);
       sub.scan_slice = k;
       sub.scan_slices = shards;
       // Charge the fan's admission cost once across its slices, not K
@@ -884,6 +994,7 @@ class ServiceImpl {
     const Hypergraph& query =
         borrowed != nullptr ? *borrowed : rec->owned_query;
     rec->service = this;
+    rec->gate = gate_;
     rec->completion = so.completion;
 
     std::vector<FiredCompletion> fire;
@@ -917,69 +1028,110 @@ class ServiceImpl {
                         const Hypergraph& query, const SubmitOptions& so,
                         std::vector<FiredCompletion>* fire) {
     std::string key;
+    std::string exact_key;
+    // A sink-ful isomorphic (non-exact) hit: the cached plan's embedding
+    // tuples follow its own query's edge numbering, so this submission
+    // compiles a private plan below instead of reusing it — and must not
+    // insert it, the key is already taken.
+    bool uncacheable_hit = false;
     if (options_.plan_cache) {
-      key = QueryCacheKey(query);
+      if (options_.plan_cache_isomorphism) {
+        CanonicalKey ck = CanonicalQueryKey(query);
+        key = std::move(ck.key);
+        exact_key = std::move(ck.exact);
+      } else {
+        exact_key = ExactQueryKey(query);
+        key = 'X' + exact_key;
+      }
       auto it = cache_.find(key);
       if (it != cache_.end()) {
-        ++plan_cache_hits_;
-        Metrics().plan_cache_hits->Add();
         CacheEntry& entry = it->second;
-        if (options_.plan_cache_capacity > 0) {
-          lru_.splice(lru_.begin(), lru_, entry.lru_it);
-        }
-        const bool same_budgets =
-            EffectiveTimeout(so) == entry.timeout_seconds &&
-            EffectiveLimit(so) == entry.limit;
-        // The canonical resolves eagerly (completion-driven), so its
-        // resolved flag + stored outcome are the authoritative snapshot —
-        // no scheduler consultation.
-        const QueryOutcome* done =
-            entry.canonical->resolved.load(std::memory_order_acquire)
-                ? &entry.canonical->outcome
-                : nullptr;
-        if (so.sink == nullptr && same_budgets &&
-            (done == nullptr || done->status == QueryStatus::kOk ||
-             done->status == QueryStatus::kLimit)) {
-          // Mirror: skip execution, copy the canonical outcome once it is
-          // (or already became) available. A canonical that is known to
-          // have timed out or been cancelled is not a trustworthy source
-          // of counts, so such repeats re-execute below.
-          rec->canonical = entry.canonical;
-          ++mirrored_;
-          Metrics().mirrored->Add();
-          records_.push_back(rec);
-          std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
-          if (entry.canonical->resolved.load(std::memory_order_acquire)) {
-            // Resolved (well, or resolved *badly* in the window since the
-            // snapshot above — the same fate the mirror would have shared
-            // attached a moment earlier).
-            if (!rec->resolved.load(std::memory_order_acquire)) {
-              ResolveLocked(rec, entry.canonical->outcome, fire);
-            }
+        const bool exact_hit = entry.exact_key == exact_key;
+        if (so.sink != nullptr && !exact_hit) {
+          uncacheable_hit = true;
+        } else {
+          ++plan_cache_hits_;
+          if (exact_hit) {
+            Metrics().plan_cache_hits_exact->Add();
           } else {
-            entry.canonical->mirrors.push_back(rec);
+            ++plan_cache_iso_hits_;
+            Metrics().plan_cache_hits_isomorphic->Add();
           }
+          if (options_.plan_cache_capacity > 0) {
+            lru_.splice(lru_.begin(), lru_, entry.lru_it);
+          }
+          const bool same_budgets =
+              EffectiveTimeout(so) == entry.timeout_seconds &&
+              EffectiveLimit(so) == entry.limit;
+          if (so.sink == nullptr && same_budgets) {
+            // Mirror candidate: decided under resolve_mutex_ so the
+            // canonical's resolution cannot slip between the check and the
+            // attachment. Counts are isomorphism-invariant, so isomorphic
+            // repeats mirror exactly like exact ones.
+            bool handled = false;
+            {
+              std::lock_guard<std::mutex> resolve_lock(resolve_mutex_);
+              if (!entry.canonical->resolved.load(
+                      std::memory_order_acquire)) {
+                // Attach to the running canonical. The mirror pins the
+                // cache entry and remembers the shared plan plus its own
+                // SubmitOptions: if the canonical ends cancelled or timed
+                // out, the mirror re-dispatches as an independent
+                // execution instead of inheriting that fate.
+                rec->canonical = entry.canonical;
+                rec->mirror_plan = entry.plan;
+                rec->mirror_options = so;
+                rec->mirror_options.completion = nullptr;
+                rec->cache_key = key;
+                rec->plan_cost = entry.cost;
+                rec->plan_live = entry.live;
+                entry.live->fetch_add(1, std::memory_order_acq_rel);
+                entry.canonical->mirrors.push_back(rec);
+                handled = true;
+              } else if (Mirrorable(entry.canonical->outcome.status)) {
+                // Already finished with trustworthy counts: resolve the
+                // mirror right here, from the stored outcome.
+                rec->canonical = entry.canonical;
+                if (!rec->resolved.load(std::memory_order_acquire)) {
+                  ResolveLocked(rec, entry.canonical->outcome, fire,
+                                nullptr);
+                }
+                handled = true;
+              }
+              // else: the canonical ended abnormally — fall through and
+              // re-execute on the shared plan.
+            }
+            if (handled) {
+              ++mirrored_;
+              Metrics().mirrored->Add();
+              records_.push_back(rec);
+              return;
+            }
+          }
+          // Re-execute on the shared plan (sink-ful repeat, different
+          // budgets, or a canonical that ended abnormally).
+          rec->plan_cost = entry.cost;
+          if (entry.live != nullptr) {
+            // Pin before the pool can race an eviction pass; unpinned
+            // once, at resolution.
+            rec->plan_live = entry.live;
+            entry.live->fetch_add(1, std::memory_order_acq_rel);
+          }
+          SubmitToPool(rec, entry.plan, so, entry.cost);
+          const bool bad_canonical =
+              entry.canonical->resolved.load(std::memory_order_acquire) &&
+              !Mirrorable(entry.canonical->outcome.status);
+          if (CountScheduledLocked(rec.get()) && bad_canonical &&
+              same_budgets) {
+            // The cached canonical ended unusably (rejected/cancelled/
+            // timeout) so repeats stopped mirroring; this accepted,
+            // same-budget execution becomes the new canonical, restoring
+            // mirroring for the structure once it completes.
+            entry.canonical = rec;
+          }
+          records_.push_back(rec);
           return;
         }
-        rec->plan_cost = entry.cost;
-        if (entry.live != nullptr) {
-          // Pin before the pool can race an eviction pass; unpinned once,
-          // at resolution.
-          rec->plan_live = entry.live;
-          entry.live->fetch_add(1, std::memory_order_acq_rel);
-        }
-        SubmitToPool(rec, entry.plan, so, &entry);
-        if (CountScheduledLocked(rec.get()) && done != nullptr &&
-            done->status != QueryStatus::kOk &&
-            done->status != QueryStatus::kLimit && same_budgets) {
-          // The cached canonical ended unusably (rejected/cancelled/
-          // timeout) so repeats stopped mirroring; this accepted,
-          // same-budget execution becomes the new canonical, restoring
-          // mirroring for the structure once it completes.
-          entry.canonical = rec;
-        }
-        records_.push_back(rec);
-        return;
       }
     }
 
@@ -997,23 +1149,23 @@ class ServiceImpl {
     auto compiled_owner = std::make_unique<QueryPlan>(std::move(plan).value());
     const QueryPlan* compiled = compiled_owner.get();
     ++unique_plans_;
+    const bool cacheable = options_.plan_cache && !uncacheable_hit;
     // Everything the completion hook's resolution path reads must be in
     // place before Submit hands the record to the pool — a fast query can
     // finalise before this thread regains control.
-    auto cost = options_.plan_cache
-                    ? std::make_shared<std::atomic<uint64_t>>(0)
-                    : nullptr;
-    auto live = options_.plan_cache
-                    ? std::make_shared<std::atomic<uint32_t>>(1)
-                    : nullptr;
+    auto cost =
+        cacheable ? std::make_shared<std::atomic<uint64_t>>(0) : nullptr;
+    auto live =
+        cacheable ? std::make_shared<std::atomic<uint32_t>>(1) : nullptr;
     rec->plan_cost = cost;
     rec->plan_live = live;
     SubmitToPool(rec, compiled, so, nullptr);
     const bool accepted = CountScheduledLocked(rec.get());
-    if (options_.plan_cache && accepted) {
+    if (cacheable && accepted) {
       CacheEntry e;
       e.plan = compiled;
       e.owned = std::move(compiled_owner);
+      e.exact_key = std::move(exact_key);
       e.canonical = rec;
       e.plan_owner = rec;
       e.cost = std::move(cost);
@@ -1121,8 +1273,11 @@ class ServiceImpl {
   uint64_t submitted_ = 0;
   uint64_t executed_ = 0;
   uint64_t mirrored_ = 0;
+  uint64_t redispatched_ = 0;  // mirrors re-executed after an abnormal
+                               // canonical (also counted in executed_)
   uint64_t plan_errors_ = 0;
   uint64_t plan_cache_hits_ = 0;
+  uint64_t plan_cache_iso_hits_ = 0;  // hits whose exact key differed
   uint64_t unique_plans_ = 0;  // plans compiled (cached or record-owned)
   size_t last_sweep_size_ = 0;
   bool sealed_ = false;
@@ -1132,8 +1287,12 @@ class ServiceImpl {
   // only ever taken *under* resolve_mutex_ (Release/RetirePlan/TryGet),
   // never the other way around — the scheduler fires completion hooks with
   // no lock held.
-  std::mutex resolve_mutex_;          // record resolution + mirror lists
-  std::condition_variable resolve_cv_;  // armed by the completion hook
+  // Record resolution + mirror lists park on the shared gate (see
+  // ResolveGate); the references keep the service-internal code reading
+  // as plain members.
+  const std::shared_ptr<ResolveGate> gate_ = std::make_shared<ResolveGate>();
+  std::mutex& resolve_mutex_ = gate_->m;
+  std::condition_variable& resolve_cv_ = gate_->cv;  // armed by the hook
   std::atomic<uint64_t> finished_{0};  // pool submissions resolved
   // Pool-worker completion deliveries (notify + user hooks) currently in
   // flight; a shared-pool Shutdown waits for 0 so destroying the service
@@ -1159,18 +1318,38 @@ uint64_t Ticket::id() const { return rec_->id; }
 const Status& Ticket::status() const { return rec_->plan_status; }
 
 const QueryOutcome& Ticket::Wait() const {
-  if (rec_->resolved.load(std::memory_order_acquire)) return rec_->outcome;
-  return rec_->service->Wait(rec_.get());
+  internal::QueryRecord* rec = rec_.get();
+  if (rec->resolved.load(std::memory_order_acquire)) return rec->outcome;
+  // Park on the record's gate pin, not the service: the service can be
+  // destroyed (catalog unload drains on the completion hook) while a woken
+  // waiter is still inside the condition wait, and the gate's shared
+  // ownership is what keeps that legal.
+  const std::shared_ptr<internal::ResolveGate> gate = rec->gate;
+  std::unique_lock<std::mutex> lock(gate->m);
+  gate->cv.wait(lock, [rec] {
+    return rec->resolved.load(std::memory_order_acquire);
+  });
+  return rec->outcome;
 }
 
 const QueryOutcome* Ticket::Wait(double timeout_seconds) const {
-  if (rec_->resolved.load(std::memory_order_acquire)) return &rec_->outcome;
-  return rec_->service->WaitFor(rec_.get(), timeout_seconds);
+  internal::QueryRecord* rec = rec_.get();
+  if (rec->resolved.load(std::memory_order_acquire)) return &rec->outcome;
+  const std::shared_ptr<internal::ResolveGate> gate = rec->gate;
+  std::unique_lock<std::mutex> lock(gate->m);
+  gate->cv.wait_for(
+      lock,
+      std::chrono::duration<double>(timeout_seconds > 0 ? timeout_seconds : 0),
+      [rec] { return rec->resolved.load(std::memory_order_acquire); });
+  return rec->resolved.load(std::memory_order_acquire) ? &rec->outcome
+                                                       : nullptr;
 }
 
 const QueryOutcome* Ticket::TryGet() const {
-  if (rec_->resolved.load(std::memory_order_acquire)) return &rec_->outcome;
-  return rec_->service->TryGet(rec_.get());
+  // Resolution is eager (completion hook), so the resolved flag is the
+  // whole truth — no scheduler consultation, no lock, no service touch.
+  return rec_->resolved.load(std::memory_order_acquire) ? &rec_->outcome
+                                                        : nullptr;
 }
 
 bool Ticket::Cancel() const {

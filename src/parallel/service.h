@@ -83,19 +83,37 @@ struct ServiceOptions {
   /// something triggers the start — call Drain() or Shutdown() first.
   bool defer_start = false;
 
-  /// Detect repeated (structurally identical) queries across *all*
-  /// submissions of this service's lifetime and reuse one compiled plan for
-  /// all copies. A sink-less repeat additionally skips execution and
-  /// mirrors the canonical copy's exact counts — unless the canonical is
-  /// already known to have ended abnormally (timeout/cancelled) or ran
-  /// under different timeout/limit budgets, in which case the repeat
-  /// executes on the shared plan. A mirror attached while its canonical is
-  /// still running shares the canonical's fate, including a later
-  /// cancellation or timeout of the canonical (re-dispatching such
-  /// mirrors is a known open item); a canonical that ends abnormally is
-  /// replaced by the next accepted same-budget execution, so mirroring
-  /// resumes for the structure.
+  /// Detect repeated queries across *all* submissions of this service's
+  /// lifetime and reuse one compiled plan for all copies. A sink-less
+  /// repeat under the same timeout/limit budgets additionally skips
+  /// execution and mirrors the canonical copy's exact counts — unless the
+  /// canonical is already known to have ended abnormally
+  /// (timeout/cancelled), in which case the repeat executes on the shared
+  /// plan (and, if accepted, becomes the structure's new canonical).
+  ///
+  /// Mirrors never fate-share: a mirror attached while its canonical is
+  /// still running is *re-dispatched* as an independent execution on the
+  /// shared compiled plan if the canonical ends cancelled or timed out —
+  /// it keeps its own budgets, tenant WFQ charge, completion hook and
+  /// trace span, and resolves with its own exact outcome; the first
+  /// accepted re-dispatch takes over as canonical, so mirroring resumes
+  /// for the structure. Cancelling a mirror resolves only that mirror
+  /// (kCancelled) and never disturbs the canonical execution or sibling
+  /// mirrors. The one remaining fate-share is Shutdown(): mirrors still
+  /// attached when the pool seals resolve from their canonical's outcome,
+  /// whatever it is, because nothing can execute any more.
   bool plan_cache = true;
+
+  /// Key the plan cache by a canonical labelling of the query hypergraph
+  /// (core/canonical.h) instead of its exact structure, so isomorphic
+  /// repeats — renamed vertices, reordered hyperedges — also hit the cache
+  /// and skip planning. Counts are isomorphism-invariant, so such repeats
+  /// mirror exactly like exact ones; sink-ful isomorphic repeats compile a
+  /// private plan (the embedding tuples must follow the submitted query's
+  /// own edge numbering). Queries above the canonicaliser's size cutoff
+  /// (or exhausting its search budget) fall back to the exact key. No
+  /// effect without plan_cache.
+  bool plan_cache_isomorphism = true;
 
   /// Cost-aware weighted-fair charging: under AdmissionPolicy::kWeightedFair
   /// each admission charges its tenant by the measured task count of the
@@ -146,9 +164,15 @@ struct ServiceReport {
   uint64_t submitted = 0;        // every Submit() call
   uint64_t executed = 0;         // queries that actually ran on the pool
   uint64_t mirrored = 0;         // sink-less repeats resolved from the cache
+  uint64_t redispatched = 0;     // mirrors re-executed after their canonical
+                                 // ended cancelled/timed out (these moved
+                                 // from mirrored to executed)
   uint64_t rejected = 0;         // shed by the max_queued_queries bound
   uint64_t plan_errors = 0;      // submissions that failed planning
   uint64_t plan_cache_hits = 0;  // submissions that reused a compiled plan
+  uint64_t plan_cache_isomorphic_hits = 0;  // subset of plan_cache_hits from
+                                            // renamed/reordered (non-exact)
+                                            // repeats
   uint64_t unique_plans = 0;     // distinct plans compiled
 };
 
@@ -173,10 +197,15 @@ class Ticket {
 
   /// Blocks until the query finishes (completion, timeout, limit,
   /// cancellation or rejection) and returns its outcome. The reference
-  /// stays valid for the service's lifetime. Thread-safe; may be called
+  /// stays valid for the ticket's lifetime (the outcome store is
+  /// shared-owned by the ticket itself). Thread-safe; may be called
   /// repeatedly. Completion-driven: the wait parks on a condition variable
   /// armed by the scheduler's completion hook, so it wakes the moment the
-  /// outcome finalises — there is no polling anywhere on this path.
+  /// outcome finalises — there is no polling anywhere on this path. The
+  /// wait does not require the service to stay alive: a ticket whose
+  /// service is torn down mid-wait (e.g. a catalog unload draining behind
+  /// an in-flight query) still resolves and returns safely — only
+  /// Cancel() needs the service itself.
   const QueryOutcome& Wait() const;
 
   /// Bounded Wait (request deadlines, e.g. the wire front end): blocks
@@ -191,7 +220,11 @@ class Ticket {
   /// Requests cancellation. A query waiting for admission (or a not yet
   /// resolved mirror) resolves immediately with QueryStatus::kCancelled; an
   /// in-flight query stops at the next task boundary, keeping the partial
-  /// counts it completed. Returns false iff the query had already finished.
+  /// counts it completed. Cancelling a mirror detaches and resolves only
+  /// that mirror — the canonical execution and sibling mirrors are
+  /// untouched; cancelling a canonical re-dispatches its attached mirrors
+  /// instead of dragging them down (see ServiceOptions::plan_cache).
+  /// Returns false iff the query had already finished.
   bool Cancel() const;
 
  private:
@@ -327,7 +360,9 @@ class MatchService {
 
   /// Monotonic count of pool submissions whose outcome has finalised *and*
   /// become retrievable through Ticket::TryGet (any terminal status;
-  /// mirrors and plan errors resolve without touching it). One atomic load
+  /// mirrors resolved from their canonical and plan errors resolve without
+  /// touching it, while a re-dispatched mirror is a pool submission of its
+  /// own and counts when it resolves). One atomic load
   /// — a poller (the wire server's poll fallback) can skip scanning its
   /// tickets while this has not advanced, and an advance guarantees the
   /// corresponding TryGet calls succeed.

@@ -233,6 +233,41 @@ TEST(CatalogTest, DeferredUnloadReapsAfterDrain) {
   catalog.Shutdown();
 }
 
+// A ticket wait racing its service's destruction. The unload drain
+// condition is satisfied by the completion hook, which fires before a
+// woken Ticket::Wait waiter has necessarily left the condition wait — so
+// the wait must park on storage the service's destruction cannot touch
+// (the record's resolve-gate pin), never on the service itself. Looped:
+// the window is a few instructions wide, and a single shot almost never
+// lands in it. TSan runs this in CI.
+TEST(CatalogTest, TicketWaitSurvivesUnloadDestroyingTheService) {
+  for (int round = 0; round < 40; ++round) {
+    GraphCatalog catalog(SmallPool());
+    ASSERT_TRUE(catalog.Load("g", PairCliqueData(6)).ok());
+    Result<CatalogTicket> t = catalog.Submit("g", PathQuery(2), {});
+    ASSERT_TRUE(t.ok());
+
+    // Two waiters widen the window: both park on the gate, and the unload
+    // can only be safe if neither ever needs the service after waking.
+    std::thread w1([&] {
+      EXPECT_EQ(t.value().ticket.Wait().status, QueryStatus::kOk);
+    });
+    std::thread w2([&] {
+      const QueryOutcome* out = t.value().ticket.Wait(30.0);
+      ASSERT_NE(out, nullptr);
+      EXPECT_EQ(out->status, QueryStatus::kOk);
+    });
+    // wait=true destroys the graph's service as soon as the hook-driven
+    // drain condition holds — concurrently with the waiters waking.
+    EXPECT_TRUE(catalog.Unload("g", /*wait=*/true).ok());
+    w1.join();
+    w2.join();
+    // The outcome store is ticket-owned: still readable after teardown.
+    EXPECT_EQ(t.value().ticket.TryGet()->status, QueryStatus::kOk);
+    catalog.Shutdown();
+  }
+}
+
 // The headline race: loader/unloader cycling a name while submitters hammer
 // it. Every submit either fails cleanly (graph momentarily absent) or
 // yields a ticket that resolves with an exact count. TSan runs this in CI.

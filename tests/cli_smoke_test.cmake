@@ -86,6 +86,26 @@ run_cli("2 plan-cache hits" batch ${WORK_DIR}/data.hg
 run_cli("0 plan-cache hits" batch ${WORK_DIR}/data.hg
         ${WORK_DIR}/queries.hgq 4 --no-plan-cache)
 
+# Isomorphic dedup: a renamed copy of the query (vertices permuted
+# 0→2 1→4 2→0 3→3 4→1, edges reordered) hits the plan cache via the
+# canonical key and mirrors the original's counts.
+file(WRITE ${WORK_DIR}/renamed.hg
+"v 0 0
+v 1 1
+v 2 0
+v 3 0
+v 4 2
+e 0 1
+e 0 2 4
+e 1 2 3 4
+")
+file(READ ${WORK_DIR}/renamed.hg RENAMED_TEXT)
+file(WRITE ${WORK_DIR}/renamed.hgq "${QUERY_TEXT}---\n${RENAMED_TEXT}")
+run_cli("1 plan-cache hits of which 1 isomorphic" batch ${WORK_DIR}/data.hg
+        ${WORK_DIR}/renamed.hgq 4)
+run_cli("query 1: embeddings 2 in [0-9.]+s  \\[ok\\] \\(mirrored\\)" batch
+        ${WORK_DIR}/data.hg ${WORK_DIR}/renamed.hgq 4)
+
 # Admission window + fairness quota: same results, serialised admission.
 run_cli("batch: 3 queries \\(3 completed\\), embeddings 6 in" batch
         ${WORK_DIR}/data.hg ${WORK_DIR}/queries.hgq 4

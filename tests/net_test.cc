@@ -1091,13 +1091,17 @@ TEST(NetTest, PollFallbackStillDeliversOutcomes) {
   server.Stop();
 }
 
-TEST(NetTest, PollFallbackDeliversMirrorsResolvedWithTheirCanonical) {
+TEST(NetTest, PollFallbackDeliversRedispatchedMirrorOutcomes) {
   // Regression: the poll fallback's sweep gate (finished_queries) is read
-  // lock-free while the service resolves a canonical and its mirrors under
-  // its resolve lock. The gate must only advance once the mirrors are
-  // resolved too — a bump in between let the sweep latch past a mirror and
-  // strand its outcome forever (this test then hangs into its TIMEOUT).
+  // lock-free while the service resolves a canonical and settles its
+  // mirrors under its resolve lock. The gate must only advance once the
+  // mirrors are settled too — a bump in between let the sweep latch past a
+  // mirror and strand its outcome forever (this test then hangs into its
+  // TIMEOUT). The mirror does not inherit the canonical's cancellation:
+  // it re-dispatches and its outcome arrives with its own exact counts.
   IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(40));
+  const uint64_t expected =
+      MatchSequential(idx, PathQuery(4)).value().embeddings;
   ServerOptions options = LoopbackOptions(2);
   options.service.parallel.scan_grain = 64;
   options.service.task_quota = 64;  // plan_cache stays on (default)
@@ -1112,15 +1116,16 @@ TEST(NetTest, PollFallbackDeliversMirrorsResolvedWithTheirCanonical) {
   ASSERT_TRUE(canonical.ok() && mirror.ok());
   ASSERT_TRUE(client.Cancel(canonical.value()).ok());
 
-  // Both outcomes must arrive: the canonical's cancellation and the
-  // mirror's inherited one, resolved in the same completion step.
+  // Both outcomes must arrive: the canonical's cancellation, and the
+  // re-dispatched mirror's own complete run.
   Result<WireOutcome> canonical_reply = client.WaitOutcome(canonical.value());
   ASSERT_TRUE(canonical_reply.ok());
   EXPECT_EQ(canonical_reply.value().outcome.status, QueryStatus::kCancelled);
   Result<WireOutcome> mirror_reply = client.WaitOutcome(mirror.value());
   ASSERT_TRUE(mirror_reply.ok());
-  EXPECT_EQ(mirror_reply.value().outcome.status, QueryStatus::kCancelled);
-  EXPECT_TRUE(mirror_reply.value().outcome.mirrored);
+  EXPECT_EQ(mirror_reply.value().outcome.status, QueryStatus::kOk);
+  EXPECT_FALSE(mirror_reply.value().outcome.mirrored);
+  EXPECT_EQ(mirror_reply.value().outcome.stats.embeddings, expected);
   server.Stop();
 }
 

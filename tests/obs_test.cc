@@ -106,6 +106,22 @@ TEST(MetricsTest, HistogramQuantilesTrackBruteForceWithinBucketError) {
   }
 }
 
+TEST(MetricsTest, EmptyHistogramQuantileIsZeroAtEveryPoint) {
+  // Pins the documented contract (obs/metrics.h): a histogram with no
+  // observations returns 0 from Quantile — not NaN, not infinity, not a
+  // bucket bound — at every probe point including the extremes. Dashboards
+  // divide by and alert on these values, so the zero must stay exact.
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("never_observed_seconds");
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h->Quantile(q), 0.0) << "q=" << q;
+  }
+  // Still zero after a reset-like sequence of lookups (Quantile must not
+  // mutate state), and count/sum agree that nothing was observed.
+  EXPECT_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
 TEST(MetricsTest, HistogramQuantileEdgeCases) {
   MetricsRegistry reg;
   Histogram* h = reg.GetHistogram("edge_seconds");

@@ -581,6 +581,196 @@ TEST(ServiceTest, AcceptedRunRestoresMirroringAfterCancelledCanonical) {
   EXPECT_EQ(report.unique_plans, 2u);     // the plug's shape + this shape
 }
 
+// Single-edge query {0,1} over two distinct labels — the throwaway shape
+// used by the mirror/re-dispatch tests so the plug's plan never collides.
+Hypergraph TwoLabelEdgeQuery() {
+  Hypergraph q;
+  q.AddVertex(0);
+  q.AddVertex(1);
+  (void)q.AddEdge({0, 1});
+  return q;
+}
+
+TEST(ServiceTest, CancelledCanonicalRedispatchesLiveMirrors) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  const uint64_t expected =
+      MatchSequential(idx, TwoLabelEdgeQuery()).value().embeddings;
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();  // the plug holds the only admission slot
+
+  // Canonical + two live mirrors, all pending behind the plug.
+  Ticket canonical = service.Submit(TwoLabelEdgeQuery());
+  Ticket m1 = service.Submit(TwoLabelEdgeQuery());
+  Ticket m2 = service.Submit(TwoLabelEdgeQuery());
+
+  // Cancelling the canonical must not take the mirrors with it: they
+  // re-dispatch as independent executions on the shared compiled plan.
+  EXPECT_TRUE(canonical.Cancel());
+  EXPECT_EQ(canonical.Wait().status, QueryStatus::kCancelled);
+
+  gate.Release();
+  service.Drain();
+  for (Ticket* t : {&m1, &m2}) {
+    const QueryOutcome& out = t->Wait();
+    EXPECT_EQ(out.status, QueryStatus::kOk);
+    EXPECT_FALSE(out.mirrored);  // executed for real, not copied
+    EXPECT_EQ(out.stats.embeddings, expected);
+  }
+  EXPECT_EQ(plug.Wait().status, QueryStatus::kOk);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.redispatched, 2u);
+  EXPECT_EQ(report.mirrored, 0u);  // both re-dispatches moved out
+  EXPECT_EQ(report.plan_cache_hits, 2u);
+  EXPECT_EQ(report.unique_plans, 2u);
+}
+
+TEST(ServiceTest, TimedOutCanonicalRedispatchesMirror) {
+  // Sized so the post-release remainder of the canonical's work crosses
+  // the scheduler's 1024-call deadline-poll stride: the worker then sees
+  // the expired budget and drops the rest — a real per-query timeout.
+  IndexedHypergraph idx = IndexedHypergraph::Build(PairCliqueData(12));
+  const uint64_t expected =
+      MatchSequential(idx, PathQuery(3)).value().embeddings;
+
+  // One worker: the canonical blocks it in the gated sink past its own
+  // deadline, so everything after the release is over budget.
+  MatchService service(idx, BaseOptions(1));
+
+  GateSink gate;
+  SubmitOptions canonical_options;
+  canonical_options.sink = &gate;
+  canonical_options.timeout_seconds = 1.0;
+  Ticket canonical = service.Submit(PathQuery(3), canonical_options);
+  gate.AwaitEntered();
+
+  // Same budgets, no sink: attaches to the blocked canonical as a mirror.
+  SubmitOptions mirror_options;
+  mirror_options.timeout_seconds = 1.0;
+  Ticket mirror = service.Submit(PathQuery(3), mirror_options);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  gate.Release();
+
+  EXPECT_EQ(canonical.Wait().status, QueryStatus::kTimeout);
+  // The mirror's timeout budget arms at its *own* re-admission, so the
+  // re-dispatched run finishes comfortably and stays exact.
+  const QueryOutcome& out = mirror.Wait();
+  EXPECT_EQ(out.status, QueryStatus::kOk);
+  EXPECT_FALSE(out.mirrored);
+  EXPECT_EQ(out.stats.embeddings, expected);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.redispatched, 1u);
+  EXPECT_EQ(report.mirrored, 0u);
+}
+
+TEST(ServiceTest, CancelMirrorLeavesCanonicalUntouched) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  const uint64_t expected =
+      MatchSequential(idx, TwoLabelEdgeQuery()).value().embeddings;
+
+  ServiceOptions options = BaseOptions(2);
+  options.max_inflight_queries = 1;
+  MatchService service(idx, options);
+
+  GateSink gate;
+  SubmitOptions plug_options;
+  plug_options.sink = &gate;
+  Ticket plug = service.Submit(PaperQueryHypergraph(), plug_options);
+  gate.AwaitEntered();
+
+  Ticket canonical = service.Submit(TwoLabelEdgeQuery());
+  Ticket mirror = service.Submit(TwoLabelEdgeQuery());
+
+  // Cancelling a mirror detaches and resolves only that mirror …
+  EXPECT_TRUE(mirror.Cancel());
+  const QueryOutcome* out = mirror.TryGet();
+  ASSERT_NE(out, nullptr);  // resolved immediately, no pool round-trip
+  EXPECT_EQ(out->status, QueryStatus::kCancelled);
+  // … while the canonical is still pending and completes untouched.
+  EXPECT_EQ(canonical.TryGet(), nullptr);
+  gate.Release();
+  service.Drain();
+  EXPECT_EQ(canonical.Wait().status, QueryStatus::kOk);
+  EXPECT_EQ(canonical.Wait().stats.embeddings, expected);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.redispatched, 0u);
+}
+
+TEST(ServiceTest, IsomorphicRepeatHitsPlanCacheAndMirrors) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  MatchService service(idx, BaseOptions(2));
+
+  Ticket first = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(first.Wait().stats.embeddings, 2u);
+
+  // The paper query with vertices renamed u0<->u3 (both label A) and the
+  // hyperedges reordered: structurally different bytes, isomorphic shape.
+  Hypergraph renamed;
+  const Label A = 0, B = 1, C = 2;
+  for (Label l : {A, C, A, A, B}) renamed.AddVertex(l);
+  (void)renamed.AddEdge({1, 3, 0, 4});  // was {0,1,3,4}
+  (void)renamed.AddEdge({2, 4});
+  (void)renamed.AddEdge({3, 1, 2});     // was {0,1,2}
+  Ticket second = service.Submit(std::move(renamed));
+  EXPECT_EQ(second.Wait().status, QueryStatus::kOk);
+  EXPECT_TRUE(second.Wait().mirrored);  // counts are iso-invariant
+  EXPECT_EQ(second.Wait().stats.embeddings, 2u);
+
+  // Near-miss: one label changed (u4: B -> C) — must NOT hit the cache.
+  Hypergraph near;
+  for (Label l : {A, C, A, A, C}) near.AddVertex(l);
+  (void)near.AddEdge({2, 4});
+  (void)near.AddEdge({0, 1, 2});
+  (void)near.AddEdge({0, 1, 3, 4});
+  Ticket third = service.Submit(std::move(near));
+  EXPECT_EQ(third.Wait().status, QueryStatus::kOk);
+  EXPECT_FALSE(third.Wait().mirrored);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.plan_cache_hits, 1u);
+  EXPECT_EQ(report.plan_cache_isomorphic_hits, 1u);
+  EXPECT_EQ(report.mirrored, 1u);
+  EXPECT_EQ(report.unique_plans, 2u);  // paper shape + the near-miss
+}
+
+TEST(ServiceTest, IsomorphismDisabledFallsBackToExactMatching) {
+  IndexedHypergraph idx = IndexedHypergraph::Build(PaperDataHypergraph());
+  ServiceOptions options = BaseOptions(2);
+  options.plan_cache_isomorphism = false;
+  MatchService service(idx, options);
+
+  Ticket first = service.Submit(PaperQueryHypergraph());
+  EXPECT_EQ(first.Wait().stats.embeddings, 2u);
+  // An exact repeat still mirrors …
+  Ticket repeat = service.Submit(PaperQueryHypergraph());
+  EXPECT_TRUE(repeat.Wait().mirrored);
+  // … but a renamed copy does not: exact keys see the rename.
+  Hypergraph renamed;
+  const Label A = 0, B = 1, C = 2;
+  for (Label l : {A, C, A, A, B}) renamed.AddVertex(l);
+  (void)renamed.AddEdge({2, 4});
+  (void)renamed.AddEdge({3, 1, 2});
+  (void)renamed.AddEdge({1, 3, 0, 4});
+  Ticket other = service.Submit(std::move(renamed));
+  EXPECT_FALSE(other.Wait().mirrored);
+
+  const ServiceReport report = service.Shutdown();
+  EXPECT_EQ(report.plan_cache_hits, 1u);
+  EXPECT_EQ(report.plan_cache_isomorphic_hits, 0u);
+  EXPECT_EQ(report.unique_plans, 2u);
+}
+
 TEST(ServiceTest, CostAwareWfqHoldsSharesUnderHeterogeneousQuerySizes) {
   // The 3:1 guarantee, in *work* units: tenant A (weight 3) floods heavy
   // queries while tenant B (weight 1) floods cheap ones. With cost-aware
@@ -886,6 +1076,9 @@ TEST(ServiceSoakTest, RandomizedChurnCrossChecksSequential) {
   constexpr int kThreads = 4;
   constexpr int kOpsPerThread = 120;
   std::atomic<uint64_t> hook_fires{0};
+  // The duplicate-op branch submits a second ticket per op; the ledger
+  // below needs the true submission count.
+  std::atomic<uint64_t> total_extra_submits{0};
   std::vector<std::vector<std::string>> failures(kThreads);
   // Per-submission hook counters, shared with the hooks themselves: a hook
   // fires just after Wait is released, so exactly-once is asserted only
@@ -895,6 +1088,7 @@ TEST(ServiceSoakTest, RandomizedChurnCrossChecksSequential) {
   for (int t = 0; t < kThreads; ++t) {
     submitters.emplace_back([&, t] {
       Rng rng(Mix64(seed) + static_cast<uint64_t>(t));
+      uint64_t extra_submits = 0;
       auto fail = [&](int op, const std::string& what) {
         failures[t].push_back("op " + std::to_string(op) + ": " + what);
       };
@@ -924,20 +1118,19 @@ TEST(ServiceSoakTest, RandomizedChurnCrossChecksSequential) {
             fail(op, "embedding count mismatch");
           }
         } else if (roll < 60) {
-          // Sink-less submit: may execute or mirror; an ok outcome must
-          // still be exact, and a cancelled one can only come from a
-          // mirror whose canonical another thread cancelled.
+          // Sink-less submit: may execute or mirror — either way the
+          // outcome must be ok with exact counts. A mirror whose
+          // canonical another thread cancels re-dispatches instead of
+          // inheriting the cancellation, so no other status is legal.
           Ticket ticket = service.Submit(shapes[shape].Clone(), so);
           const QueryOutcome& out = ticket.Wait();
-          if (out.status == QueryStatus::kOk) {
-            if (out.stats.embeddings != expected[shape]) {
-              fail(op, "mirrored/executed count mismatch");
-            }
-          } else if (out.status != QueryStatus::kCancelled) {
-            fail(op, std::string("expected ok/cancelled, got ") +
+          if (out.status != QueryStatus::kOk) {
+            fail(op, std::string("expected ok, got ") +
                          QueryStatusName(out.status));
+          } else if (out.stats.embeddings != expected[shape]) {
+            fail(op, "mirrored/executed count mismatch");
           }
-        } else if (roll < 75) {
+        } else if (roll < 70) {
           // Submit + immediate cancel: cancelled (with partial counts) or
           // finished first — both legal, nothing else is.
           CountSink sink;
@@ -952,6 +1145,40 @@ TEST(ServiceSoakTest, RandomizedChurnCrossChecksSequential) {
           } else if (out.status == QueryStatus::kOk &&
                      out.stats.embeddings != expected[shape]) {
             fail(op, "cancel-race count mismatch");
+          }
+        } else if (roll < 80) {
+          // Mirrored duplicate + cancelled canonical: a sink-ful copy (a
+          // canonical candidate), a sink-less duplicate that may attach
+          // to it as a mirror, then cancel the first. The duplicate must
+          // never inherit the cancellation — it re-dispatches and stays
+          // exact.
+          CountSink sink;
+          so.sink = &sink;
+          Ticket victim = service.Submit(shapes[shape].Clone(), so);
+          SubmitOptions dup;
+          dup.tenant_id = so.tenant_id;
+          dup.weight = so.weight;
+          auto dup_counter = std::make_shared<std::atomic<int>>(0);
+          fired[t].push_back(dup_counter);
+          dup.completion = [&hook_fires, dup_counter](const QueryOutcome&) {
+            hook_fires.fetch_add(1);
+            dup_counter->fetch_add(1);
+          };
+          ++extra_submits;
+          Ticket duplicate = service.Submit(shapes[shape].Clone(), dup);
+          victim.Cancel();
+          const QueryOutcome& vout = victim.Wait();
+          if (vout.status != QueryStatus::kOk &&
+              vout.status != QueryStatus::kCancelled) {
+            fail(op, std::string("victim: expected ok/cancelled, got ") +
+                         QueryStatusName(vout.status));
+          }
+          const QueryOutcome& dout = duplicate.Wait();
+          if (dout.status != QueryStatus::kOk) {
+            fail(op, std::string("duplicate: expected ok, got ") +
+                         QueryStatusName(dout.status));
+          } else if (dout.stats.embeddings != expected[shape]) {
+            fail(op, "duplicate count mismatch");
           }
         } else if (roll < 90) {
           // Bounded waits loop until resolution: expiry must never resolve
@@ -984,6 +1211,7 @@ TEST(ServiceSoakTest, RandomizedChurnCrossChecksSequential) {
           }
         }
       }
+      total_extra_submits.fetch_add(extra_submits);
     });
   }
   for (auto& t : submitters) t.join();
@@ -994,10 +1222,11 @@ TEST(ServiceSoakTest, RandomizedChurnCrossChecksSequential) {
   }
 
   const ServiceReport report = service.Shutdown();
-  EXPECT_EQ(report.submitted,
-            static_cast<uint64_t>(kThreads) * kOpsPerThread);
-  EXPECT_EQ(hook_fires.load(),
-            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  const uint64_t total_submitted =
+      static_cast<uint64_t>(kThreads) * kOpsPerThread +
+      total_extra_submits.load();
+  EXPECT_EQ(report.submitted, total_submitted);
+  EXPECT_EQ(hook_fires.load(), total_submitted);
   for (int t = 0; t < kThreads; ++t) {
     for (size_t op = 0; op < fired[t].size(); ++op) {
       EXPECT_EQ(fired[t][op]->load(), 1)

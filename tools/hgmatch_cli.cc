@@ -303,9 +303,17 @@ int CmdSample(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
     return 1;
   }
-  const uint32_t k = static_cast<uint32_t>(std::atoi(argv[3]));
-  const size_t count = argc > 4 ? static_cast<size_t>(std::atol(argv[4])) : 1;
-  QuerySettings settings{"cli", k, 2, 1000};
+  uint64_t k = 0;
+  if (!ParseCount(argv[3], &k) || k < 1 || k > 64) {
+    std::fprintf(stderr, "bad query edge count '%s' (want 1..64)\n", argv[3]);
+    return 2;
+  }
+  uint64_t count = 1;
+  if (argc > 4 && !ParseCount(argv[4], &count)) {
+    std::fprintf(stderr, "bad sample count '%s'\n", argv[4]);
+    return 2;
+  }
+  QuerySettings settings{"cli", static_cast<uint32_t>(k), 2, 1000};
   const auto queries = SampleQueries(data.value(), settings, count, 7);
   for (size_t i = 0; i < queries.size(); ++i) {
     std::printf("# query %zu\n%s", i, FormatHypergraph(queries[i]).c_str());
@@ -329,7 +337,11 @@ int CmdMatch(int argc, char** argv) {
     std::fprintf(stderr, "bad thread count '%s'\n", argv[4]);
     return 2;
   }
-  const uint64_t limit = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
+  uint64_t limit = 0;
+  if (argc > 5 && !ParseCount(argv[5], &limit)) {
+    std::fprintf(stderr, "bad embedding limit '%s'\n", argv[5]);
+    return 2;
+  }
 
   IndexedHypergraph index = IndexedHypergraph::Build(std::move(data.value()));
   Result<QueryPlan> plan = BuildQueryPlan(query.value(), index);
@@ -412,7 +424,10 @@ int CmdBatch(int argc, char** argv) {
       }
       ++positional;
     } else if (positional == 1) {
-      options.parallel.limit = std::strtoull(arg, nullptr, 10);
+      if (!ParseCount(arg, &options.parallel.limit)) {
+        std::fprintf(stderr, "bad embedding limit '%s'\n", arg);
+        return 2;
+      }
       ++positional;
     } else {
       return Usage();
@@ -447,15 +462,18 @@ int CmdBatch(int argc, char** argv) {
   }
   std::printf("batch: %llu queries (%llu completed), embeddings %llu "
               "in %.3fs (%llu executed at %.1f queries/s, %llu mirrored, "
-              "peak task mem %llu bytes, %llu plan-cache hits)\n",
+              "%llu re-dispatched, peak task mem %llu bytes, "
+              "%llu plan-cache hits of which %llu isomorphic)\n",
               static_cast<unsigned long long>(r.queries.size()),
               static_cast<unsigned long long>(r.completed),
               static_cast<unsigned long long>(r.total.embeddings), r.seconds,
               static_cast<unsigned long long>(r.executed),
               r.QueriesPerSecond(),
               static_cast<unsigned long long>(r.mirrored),
+              static_cast<unsigned long long>(r.redispatched),
               static_cast<unsigned long long>(r.peak_task_bytes),
-              static_cast<unsigned long long>(r.plan_cache_hits));
+              static_cast<unsigned long long>(r.plan_cache_hits),
+              static_cast<unsigned long long>(r.plan_cache_isomorphic_hits));
   return planned > 0 ? 0 : 1;
 }
 
